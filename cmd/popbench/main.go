@@ -1,0 +1,130 @@
+// Command popbench regenerates the paper's figures. Each figure id maps
+// to one experiment from the evaluation section (see DESIGN.md's
+// per-experiment index); the output is the same series the paper plots,
+// as an aligned table (default) or TSV (-tsv).
+//
+// Examples:
+//
+//	popbench -list
+//	popbench -figure fig2a -duration 2s -threads 1,2,4,8,16
+//	popbench -figure all -scale 128 -duration 500ms -tsv > results.tsv
+//	popbench -figure fig4 -policies NR,EBR,NBR,HazardPtrPOP,EpochPOP
+//
+// The -scale flag divides the paper's structure sizes (defaults to 64 so
+// a laptop run finishes); -scale 1 runs the full-size structures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"pop/internal/core"
+	"pop/internal/figures"
+)
+
+func main() {
+	var (
+		figureID = flag.String("figure", "", "figure id to run (see -list), or 'all'")
+		list     = flag.Bool("list", false, "list available figures and exit")
+		duration = flag.Duration("duration", 300*time.Millisecond, "execution time per trial")
+		threads  = flag.String("threads", "1,2,4,8", "comma-separated thread counts to sweep")
+		scale    = flag.Int64("scale", 64, "divide the paper's structure sizes by this factor")
+		seed     = flag.Uint64("seed", 42, "trial seed")
+		policies = flag.String("policies", "", "comma-separated policy subset (default: the paper's set)")
+		tsv      = flag.Bool("tsv", false, "emit TSV instead of aligned tables")
+		quiet    = flag.Bool("quiet", false, "suppress progress messages")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, f := range figures.All() {
+			fmt.Printf("%-18s %s\n", f.ID, f.Desc)
+		}
+		return
+	}
+	if *figureID == "" {
+		fmt.Fprintln(os.Stderr, "popbench: -figure required (use -list to see ids)")
+		os.Exit(2)
+	}
+
+	ctx := figures.Ctx{
+		Duration: *duration,
+		Scale:    *scale,
+		Seed:     *seed,
+	}
+	if !*quiet {
+		ctx.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	var err error
+	if ctx.Threads, err = parseInts(*threads); err != nil {
+		fmt.Fprintf(os.Stderr, "popbench: bad -threads: %v\n", err)
+		os.Exit(2)
+	}
+	if *policies != "" {
+		for _, name := range strings.Split(*policies, ",") {
+			p, err := core.ParsePolicy(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
+				os.Exit(2)
+			}
+			ctx.Policies = append(ctx.Policies, p)
+		}
+	}
+
+	var toRun []figures.Figure
+	if *figureID == "all" {
+		toRun = figures.All()
+	} else {
+		for _, id := range strings.Split(*figureID, ",") {
+			f, ok := figures.Get(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "popbench: unknown figure %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			toRun = append(toRun, f)
+		}
+	}
+
+	for _, f := range toRun {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "== %s: %s\n", f.ID, f.Desc)
+		}
+		series, err := f.Run(ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "popbench: %s failed: %v\n", f.ID, err)
+			os.Exit(1)
+		}
+		for i := range series {
+			if *tsv {
+				err = series[i].WriteTSV(os.Stdout)
+			} else {
+				err = series[i].WriteTable(os.Stdout)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "popbench: write: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if n <= 0 {
+			return nil, fmt.Errorf("thread count must be positive, got %d", n)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,124 @@
+// Command popstress is the torture-test driver: it runs high-churn
+// workloads with deliberately tiny reclamation thresholds (maximal
+// ping/reclaim traffic), optional thread-delay injection, and verifies
+// the reclamation invariants after every trial:
+//
+//   - a quiescent flush drains every retire list (except NR, which leaks
+//     by design);
+//   - allocation and free counters balance with the structure's final
+//     population;
+//   - robust policies made reclamation progress despite delays.
+//
+// A use-after-free in any scheme surfaces here as a double-free panic,
+// an arena sequence panic, or an invariant failure. Exit status 0 means
+// every trial passed.
+//
+// Usage:
+//
+//	popstress                          # full matrix, quick
+//	popstress -duration 2s -threads 8  # heavier
+//	popstress -ds hml -policy EpochPOP -stall
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pop/internal/core"
+	"pop/internal/harness"
+	"pop/internal/workload"
+)
+
+func main() {
+	var (
+		dsFlag     = flag.String("ds", "", "single data structure (default: all)")
+		policyFlag = flag.String("policy", "", "single policy (default: all)")
+		threads    = flag.Int("threads", 4, "worker threads per trial")
+		duration   = flag.Duration("duration", 300*time.Millisecond, "per-trial duration")
+		keyRange   = flag.Int64("keys", 1024, "key range")
+		stall      = flag.Bool("stall", false, "inject a periodically delayed thread")
+		seed       = flag.Uint64("seed", uint64(time.Now().UnixNano()), "trial seed")
+	)
+	flag.Parse()
+
+	structures := harness.DSNames()
+	if *dsFlag != "" {
+		structures = []string{*dsFlag}
+	}
+	policies := core.Policies()
+	if *policyFlag != "" {
+		p, err := core.ParsePolicy(*policyFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "popstress: %v\n", err)
+			os.Exit(2)
+		}
+		policies = []core.Policy{p}
+	}
+
+	failures := 0
+	for _, dsName := range structures {
+		for _, p := range policies {
+			cfg := harness.Config{
+				DS:               dsName,
+				Policy:           p,
+				Threads:          *threads,
+				Duration:         *duration,
+				KeyRange:         *keyRange,
+				Mix:              workload.UpdateHeavy,
+				ReclaimThreshold: 48, // tiny: constant reclamation pressure
+				EpochFreq:        8,
+				BatchSize:        8,
+				Seed:             *seed,
+			}
+			if *stall {
+				cfg.StallEvery = 2 * time.Millisecond
+				cfg.StallLength = *duration / 5
+			}
+			res, err := harness.Run(cfg)
+			if err != nil {
+				fmt.Printf("FAIL %-5s %-13v run error: %v\n", dsName, p, err)
+				failures++
+				continue
+			}
+			if msg := check(res); msg != "" {
+				fmt.Printf("FAIL %-5s %-13v %s\n", dsName, p, msg)
+				failures++
+				continue
+			}
+			fmt.Printf("ok   %-5s %-13v ops=%-9d retires=%-8d frees=%-8d pings=%-6d maxRetire=%d\n",
+				dsName, p, res.Ops, res.Reclaim.Retires, res.Reclaim.Frees,
+				res.Reclaim.PingsSent, res.MaxRetire)
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("popstress: %d failures\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("popstress: all trials passed")
+}
+
+// check validates post-trial invariants.
+func check(res harness.Result) string {
+	p := res.Config.Policy
+	if res.Ops == 0 {
+		return "zero operations completed"
+	}
+	if p == core.NR {
+		if res.Reclaim.Frees != 0 {
+			return fmt.Sprintf("NR freed %d nodes", res.Reclaim.Frees)
+		}
+		return ""
+	}
+	if res.LeakedAfter != 0 {
+		return fmt.Sprintf("%d nodes unreclaimed after quiescent flush", res.LeakedAfter)
+	}
+	if res.Reclaim.Retires > 1000 && res.Reclaim.Frees == 0 {
+		return fmt.Sprintf("no frees despite %d retires", res.Reclaim.Retires)
+	}
+	if res.Reclaim.Frees > res.Reclaim.Retires {
+		return fmt.Sprintf("frees (%d) exceed retires (%d)", res.Reclaim.Frees, res.Reclaim.Retires)
+	}
+	return ""
+}

@@ -1,0 +1,98 @@
+// Long-running reads: the paper's §5.1.2 scenario as a standalone demo.
+//
+// Half the workers scan a large Harris-Michael list end to end (an
+// OLTP-style long read); the other half churn updates near the head with
+// a small retire threshold, so reclamation events are constant. Under
+// NBR every reclamation neutralizes the scanners and restarts their
+// traversals from the entry point — their completion rate collapses.
+// Under HazardPtrPOP a reclamation only asks the scanners to publish
+// their reservations; the scans keep their position.
+//
+//	go run ./examples/longreads
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pop"
+)
+
+const (
+	listSize  = 400_000
+	runFor    = 1500 * time.Millisecond
+	threshold = 64 // small: reclamation events arrive faster than a scan finishes
+)
+
+func main() {
+	fmt.Printf("list size %d, %v per policy, retire threshold %d\n\n",
+		listSize, runFor, threshold)
+	fmt.Printf("%-14s %14s %14s %12s\n", "policy", "scans done", "updates done", "restarts")
+	for _, p := range []pop.Policy{pop.NR, pop.EBR, pop.NBR, pop.HazardPtrPOP, pop.EpochPOP} {
+		scans, updates, restarts := run(p)
+		fmt.Printf("%-14v %14d %14d %12d\n", p, scans, updates, restarts)
+	}
+	fmt.Println("\nNBR's restarts crush scan completion; the POP schemes never restart.")
+}
+
+func run(p pop.Policy) (scans, updates uint64, restarts uint64) {
+	const scanners, updaters = 1, 3
+	d := pop.NewDomain(p, scanners+updaters, &pop.Options{ReclaimThreshold: threshold})
+	list := pop.NewHarrisMichaelList(d)
+
+	seedThread := d.RegisterThread()
+	// Seed in descending order: each insert lands just after the head, so
+	// building the sorted list is O(n) instead of O(n^2).
+	for k := int64(listSize - 1); k >= 0; k-- {
+		list.Insert(seedThread, k*2) // even keys: scans probe the far end
+	}
+
+	var stop atomic.Bool
+	var scanCount, updateCount atomic.Uint64
+	var wg sync.WaitGroup
+
+	// Scanners: each "scan" is a probe of the last key, i.e. a traversal
+	// of the entire list.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := seedThread
+		for !stop.Load() {
+			list.Contains(t, (listSize-1)*2)
+			scanCount.Add(1)
+		}
+	}()
+	for i := 1; i < scanners; i++ {
+		t := d.RegisterThread()
+		wg.Add(1)
+		go func(t *pop.Thread) {
+			defer wg.Done()
+			for !stop.Load() {
+				list.Contains(t, (listSize-1)*2)
+				scanCount.Add(1)
+			}
+		}(t)
+	}
+
+	// Updaters: insert/delete odd keys near the head.
+	for i := 0; i < updaters; i++ {
+		t := d.RegisterThread()
+		wg.Add(1)
+		go func(t *pop.Thread, i int) {
+			defer wg.Done()
+			k := int64(2*i + 1)
+			for !stop.Load() {
+				list.Insert(t, k)
+				list.Delete(t, k)
+				updateCount.Add(2)
+			}
+		}(t, i)
+	}
+
+	time.Sleep(runFor)
+	stop.Store(true)
+	wg.Wait()
+	return scanCount.Load(), updateCount.Load(), d.Stats().Restarts
+}

@@ -1,0 +1,84 @@
+// Robustness: what happens to memory when one thread is delayed.
+//
+// One worker repeatedly parks inside an operation (still running —
+// answering pings — but never finishing, like a thread preempted by
+// other work). The remaining workers churn a list. Under EBR the parked
+// worker pins the minimum epoch, so *nothing* can be reclaimed and
+// garbage grows without bound — the paper's motivating failure. Under
+// EpochPOP the reclaimers notice the stuck epoch, ping everyone, learn
+// the parked worker's (tiny) reservation set, and keep freeing around
+// it: garbage stays bounded.
+//
+//	go run ./examples/robustness
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pop"
+)
+
+const (
+	churners  = 3
+	runFor    = 2 * time.Second
+	sampleDt  = 250 * time.Millisecond
+	threshold = 256
+)
+
+func main() {
+	fmt.Printf("one delayed thread + %d churners, sampling garbage every %v\n\n",
+		churners, sampleDt)
+	for _, p := range []pop.Policy{pop.EBR, pop.HazardPtrPOP, pop.EpochPOP} {
+		fmt.Printf("%v:\n", p)
+		run(p)
+		fmt.Println()
+	}
+}
+
+func run(p pop.Policy) {
+	d := pop.NewDomain(p, churners+1, &pop.Options{ReclaimThreshold: threshold})
+	list := pop.NewLazyList(d)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	// The delayed thread: enters an operation and stays there, polling.
+	// (With real POSIX signals the poll would be implicit; see the core
+	// package docs for the substitution.)
+	stalled := d.RegisterThread()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		list.Insert(stalled, -1)
+		stalled.StartOp() // park inside an operation: epoch pinned
+		for !stop.Load() {
+			stalled.Poll()
+		}
+		stalled.EndOp()
+	}()
+
+	for i := 0; i < churners; i++ {
+		t := d.RegisterThread()
+		wg.Add(1)
+		go func(t *pop.Thread, i int) {
+			defer wg.Done()
+			base := int64(i) * 1_000_000
+			for k := base; !stop.Load(); k++ {
+				list.Insert(t, base+k%512)
+				list.Delete(t, base+k%512)
+			}
+		}(t, i)
+	}
+
+	deadline := time.Now().Add(runFor)
+	for time.Now().Before(deadline) {
+		time.Sleep(sampleDt)
+		fmt.Printf("  garbage: %8d unreclaimed nodes (outstanding %d)\n",
+			d.Unreclaimed(), list.Outstanding())
+	}
+	stop.Store(true)
+	wg.Wait()
+}

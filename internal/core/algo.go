@@ -1,0 +1,75 @@
+package core
+
+import "unsafe"
+
+// algorithm is the per-policy behaviour behind a Thread's public API.
+// One stateless instance per Domain; all mutable state lives on Thread.
+type algorithm interface {
+	// initThread runs once when a thread registers.
+	initThread(t *Thread)
+	// startOp runs at operation start (after opSeq goes odd).
+	startOp(t *Thread)
+	// endOp runs at operation end (before local slots are cleared and
+	// opSeq goes even); it releases any policy-specific announcements.
+	endOp(t *Thread)
+	// protect implements Thread.Protect.
+	protect(t *Thread, slot int, a *Atomic) (unsafe.Pointer, bool)
+	// retireHook runs after a node is appended to the retire list and
+	// decides whether to reclaim.
+	retireHook(t *Thread)
+	// allocHook runs on every allocation (IBR's epoch cadence).
+	allocHook(t *Thread)
+	// poll is a reclamation safepoint outside Protect.
+	poll(t *Thread)
+	// enterWrite / exitWrite bracket an NBR write phase.
+	enterWrite(t *Thread) bool
+	exitWrite(t *Thread)
+	// flush performs a final reclamation attempt.
+	flush(t *Thread)
+}
+
+// baseAlgo supplies the no-op defaults every policy starts from.
+type baseAlgo struct{ d *Domain }
+
+func (baseAlgo) initThread(*Thread) {}
+func (baseAlgo) startOp(*Thread)    {}
+func (baseAlgo) endOp(*Thread)      {}
+func (baseAlgo) retireHook(*Thread) {}
+func (baseAlgo) allocHook(*Thread)  {}
+func (baseAlgo) poll(*Thread)       {}
+func (b baseAlgo) enterWrite(*Thread) bool {
+	return true
+}
+func (baseAlgo) exitWrite(*Thread) {}
+func (baseAlgo) flush(*Thread)     {}
+
+// newAlgorithm wires a policy to its implementation.
+func newAlgorithm(d *Domain, p Policy) algorithm {
+	b := baseAlgo{d: d}
+	switch p {
+	case NR:
+		return &nrAlgo{baseAlgo: b}
+	case HP:
+		return &hpAlgo{baseAlgo: b}
+	case HPAsym:
+		return &hpAsymAlgo{baseAlgo: b}
+	case HE:
+		return &heAlgo{baseAlgo: b}
+	case EBR:
+		return &ebrAlgo{baseAlgo: b}
+	case IBR:
+		return &ibrAlgo{baseAlgo: b}
+	case NBR:
+		return &nbrAlgo{baseAlgo: b}
+	case HazardPtrPOP:
+		return &hpPOPAlgo{baseAlgo: b}
+	case HazardEraPOP:
+		return &hePOPAlgo{baseAlgo: b}
+	case EpochPOP:
+		return &epochPOPAlgo{baseAlgo: b}
+	case Crystalline:
+		return &crystAlgo{baseAlgo: b}
+	default:
+		panic("core: unknown policy " + p.String())
+	}
+}

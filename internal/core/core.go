@@ -1,0 +1,356 @@
+// Package core implements the paper's contribution — the publish-on-ping
+// (POP) safe-memory-reclamation algorithms HazardPtrPOP, HazardEraPOP and
+// EpochPOP — together with every baseline scheme the paper evaluates
+// against: hazard pointers (HP), asymmetric-fence hazard pointers
+// (HPAsym, Folly-style), hazard eras (HE), epoch-based reclamation (EBR,
+// RCU-style), interval-based reclamation (IBR/2GE), neutralization-based
+// reclamation (NBR+), a leaky no-reclamation baseline (NR) and a
+// simplified Crystalline-style batch reclaimer.
+//
+// # The ping substrate (simulating POSIX signals)
+//
+// The paper delivers "publish your reservations" requests with
+// pthread_kill; the receiving signal handler copies the thread's private
+// reservation array into shared single-writer multi-reader (SWMR) slots,
+// issues one fence, and increments a publish counter. Go cannot interrupt
+// a goroutine asynchronously, so this package substitutes safepoint
+// polling: every Thread owns a padded ping word that reclaimers set and
+// that the thread polls on each Protect (every shared-pointer read, the
+// natural unit of reader progress) and at StartOp/EndOp. When the poll
+// observes a ping, the thread runs the handler inline. Signal-delivery
+// latency in the paper (bounded, per Assumption 1) becomes poll latency
+// here (bounded by the gap between consecutive reads).
+//
+// A real signal handler also runs while a thread is *between* operations;
+// a polling thread does not. Each Thread therefore maintains a
+// seqlock-style operation counter (opSeq: odd while inside an operation,
+// even while quiescent). A reclaimer that observes an even opSeq treats
+// the thread as published-empty: EndOp clears reservations before the
+// transition, and any reservation made by a later operation can only name
+// nodes read after the victim was unlinked, which the standard hazard-
+// pointer validation step rejects (the paper's own safety argument,
+// Property 2 case t1' < t2').
+//
+// # Cost fidelity
+//
+// The asymmetry the paper exploits is preserved on amd64:
+//
+//   - HP publishes with a sequentially-consistent store (Go's
+//     atomic.StorePointer compiles to XCHG — a full fence, the same
+//     instruction C++ seq_cst stores compile to);
+//   - HPAsym publishes with a plain store (MOV) and shifts ordering cost
+//     to the reclaimer (see hpasym.go for the membarrier substitution);
+//   - the POP algorithms store to a *private* array (MOV to an owned
+//     cache line) plus one load of an owned ping word, and fence only in
+//     the rare publish handler.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+	"unsafe"
+
+	"pop/internal/padded"
+)
+
+// MaxSlots is the number of reservation slots per thread (the paper's
+// MAX_HP). The deepest consumer is the (a,b)-tree, which protects
+// grandparent, parent, leaf and a sibling.
+const MaxSlots = 8
+
+// maxTypes is the number of distinct node types a domain can free.
+const maxTypes = 8
+
+// eraNone is the "no reservation" era value (eras start at 1).
+const eraNone = 0
+
+// eraMax marks a quiescent thread's announced epoch.
+const eraMax = ^uint64(0)
+
+// Policy selects a reclamation algorithm.
+type Policy uint8
+
+// The reclamation policies, in the order the paper's plots list them.
+const (
+	NR           Policy = iota // no reclamation (leaky baseline)
+	HP                         // hazard pointers, per-read fence
+	HPAsym                     // hazard pointers with asymmetric fences (Folly-style)
+	HE                         // hazard eras
+	EBR                        // epoch-based reclamation (RCU-style)
+	IBR                        // interval-based reclamation (2GE)
+	NBR                        // neutralization-based reclamation (NBR+)
+	HazardPtrPOP               // the paper: HP with publish-on-ping
+	HazardEraPOP               // the paper: HE with publish-on-ping
+	EpochPOP                   // the paper: dual-mode EBR + HazardPtrPOP
+	Crystalline                // simplified Crystalline-style batch reclaimer (appendix E)
+	numPolicies
+)
+
+var policyNames = [numPolicies]string{
+	NR: "NR", HP: "HP", HPAsym: "HPAsym", HE: "HE", EBR: "EBR", IBR: "IBR",
+	NBR: "NBR", HazardPtrPOP: "HazardPtrPOP", HazardEraPOP: "HazardEraPOP",
+	EpochPOP: "EpochPOP", Crystalline: "Crystalline",
+}
+
+// String returns the policy's canonical name.
+func (p Policy) String() string {
+	if int(p) < len(policyNames) {
+		return policyNames[p]
+	}
+	return fmt.Sprintf("Policy(%d)", uint8(p))
+}
+
+// ParsePolicy resolves a case-sensitive policy name.
+func ParsePolicy(s string) (Policy, error) {
+	for i, n := range policyNames {
+		if n == s {
+			return Policy(i), nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown policy %q", s)
+}
+
+// Policies returns all policies in plot order.
+func Policies() []Policy {
+	out := make([]Policy, numPolicies)
+	for i := range out {
+		out[i] = Policy(i)
+	}
+	return out
+}
+
+// Robust reports whether the policy bounds unreclaimed garbage in the
+// presence of delayed threads (the paper's robustness property).
+func (p Policy) Robust() bool {
+	switch p {
+	case HP, HPAsym, HE, IBR, NBR, HazardPtrPOP, HazardEraPOP, EpochPOP:
+		return true
+	}
+	return false
+}
+
+// Options tunes a Domain. The zero value is usable; unset fields take the
+// paper's defaults.
+type Options struct {
+	// ReclaimThreshold is the retire-list length that triggers a
+	// reclamation attempt (the paper's reclaimFreq; §5.0.1 uses 24K for
+	// the main experiments and 2K for the long-running-reads experiment).
+	ReclaimThreshold int
+	// EpochFreq is the number of operations (or allocations, for IBR)
+	// between global epoch increments.
+	EpochFreq int
+	// CMult is EpochPOP's escalation factor C: when the retire list
+	// reaches CMult*ReclaimThreshold despite epoch reclamation, the
+	// publish-on-ping path is engaged (paper Alg. 3 line 26).
+	CMult int
+	// AsymDrain is the reclaimer-side wait that stands in for
+	// sys_membarrier in HPAsym (substitution S3 in DESIGN.md).
+	AsymDrain time.Duration
+	// BatchSize is the Crystalline-lite batch size.
+	BatchSize int
+	// Debug enables expensive internal assertions (double-retire checks
+	// are always on; Debug adds slot-bounds and phase checks).
+	Debug bool
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.ReclaimThreshold <= 0 {
+		out.ReclaimThreshold = 24576
+	}
+	if out.EpochFreq <= 0 {
+		out.EpochFreq = 128
+	}
+	if out.CMult <= 1 {
+		out.CMult = 2
+	}
+	if out.AsymDrain <= 0 {
+		out.AsymDrain = 10 * time.Microsecond
+	}
+	if out.BatchSize <= 0 {
+		out.BatchSize = 64
+	}
+	return out
+}
+
+// Domain is one reclamation domain: a policy, a global epoch, and a fixed
+// set of registered threads. All threads operating on a data structure
+// must share its domain.
+type Domain struct {
+	policy Policy
+	opts   Options
+	algo   algorithm
+
+	// epoch is the global era for HE/EBR/IBR/EpochPOP. Starts at 1 so 0
+	// can mean "no reservation".
+	epoch padded.Uint64
+
+	mu         sync.Mutex
+	threads    []*Thread
+	maxThreads int
+
+	freeFns [maxTypes]func(*Thread, *Header)
+	ntypes  int
+
+	leaked padded.Int64 // nodes dropped by NR (never freed)
+}
+
+// NewDomain creates a domain for at most maxThreads threads. opts may be
+// nil for defaults.
+func NewDomain(policy Policy, maxThreads int, opts *Options) *Domain {
+	if maxThreads <= 0 {
+		panic("core: maxThreads must be positive")
+	}
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	d := &Domain{
+		policy:     policy,
+		opts:       o.withDefaults(),
+		threads:    make([]*Thread, 0, maxThreads),
+		maxThreads: maxThreads,
+	}
+	d.epoch.Store(1)
+	d.algo = newAlgorithm(d, policy)
+	return d
+}
+
+// Policy returns the domain's reclamation policy.
+func (d *Domain) Policy() Policy { return d.policy }
+
+// Epoch returns the current global era.
+func (d *Domain) Epoch() uint64 { return d.epoch.Load() }
+
+// RegisterType registers the free function for one node type and returns
+// the type id to place in Header.Type at allocation. The free function
+// receives the reclaiming thread so it can return the node to that
+// thread's allocation cache (mimalloc-style sharded frees, which §5.0.1
+// identifies as necessary for scalability).
+func (d *Domain) RegisterType(free func(*Thread, *Header)) uint8 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.ntypes >= maxTypes {
+		panic("core: too many node types registered")
+	}
+	id := uint8(d.ntypes)
+	d.freeFns[id] = free
+	d.ntypes++
+	return id
+}
+
+// RegisterThread creates and registers a new thread handle. It panics if
+// the domain is full. Thread handles must not be shared across goroutines.
+func (d *Domain) RegisterThread() *Thread {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.threads) >= d.maxThreads {
+		panic("core: thread capacity exhausted")
+	}
+	t := &Thread{
+		d:      d,
+		tid:    len(d.threads),
+		hiSlot: -1,
+	}
+	t.resEpoch.Store(eraMax)
+	t.ibrLo.Store(eraMax)
+	t.ibrHi.Store(eraMax)
+	// Pre-size the retire list for the common threshold but cap the
+	// eager allocation: callers may set a huge threshold to disable
+	// reclamation entirely.
+	capHint := d.opts.ReclaimThreshold + MaxSlots
+	if capHint > 1<<16 {
+		capHint = 1 << 16
+	}
+	t.retired = make([]*Header, 0, capHint)
+	d.threads = append(d.threads, t)
+	d.algo.initThread(t)
+	return t
+}
+
+// Threads returns a snapshot of the registered thread handles.
+func (d *Domain) Threads() []*Thread {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]*Thread, len(d.threads))
+	copy(out, d.threads)
+	return out
+}
+
+// snapshot of registered threads without copying; reclaimers iterate this.
+// The backing array only ever grows and registration is rare, so reading
+// the slice header under the lock once per reclamation pass is cheap.
+func (d *Domain) threadList() []*Thread {
+	d.mu.Lock()
+	ts := d.threads
+	d.mu.Unlock()
+	return ts
+}
+
+// free returns one node to its pool on behalf of reclaiming thread t.
+func (d *Domain) free(t *Thread, h *Header) {
+	if !h.retiredFlag.CompareAndSwap(1, 0) {
+		panic("core: freeing a node that is not retired (double free?)")
+	}
+	fn := d.freeFns[h.Type]
+	if fn == nil {
+		panic(fmt.Sprintf("core: no free function registered for type %d", h.Type))
+	}
+	fn(t, h)
+}
+
+// MaxThreads returns the domain's thread capacity.
+func (d *Domain) MaxThreads() int { return d.maxThreads }
+
+// Unreclaimed returns the number of retired-but-unfreed nodes across all
+// threads plus nodes leaked by NR. It is exact when the domain is
+// quiescent and approximate otherwise.
+func (d *Domain) Unreclaimed() int64 {
+	total := d.leaked.Load()
+	for _, t := range d.threadList() {
+		total += int64(t.retiredLen.Load()) + t.batchedLen.Load()
+	}
+	return total
+}
+
+// Stats aggregates per-thread statistics.
+func (d *Domain) Stats() Stats {
+	var agg Stats
+	for _, t := range d.threadList() {
+		s := t.StatsSnapshot()
+		agg.Retires += s.Retires
+		agg.Frees += s.Frees
+		agg.Reclaims += s.Reclaims
+		agg.EpochReclaims += s.EpochReclaims
+		agg.POPReclaims += s.POPReclaims
+		agg.PingsSent += s.PingsSent
+		agg.Publishes += s.Publishes
+		agg.Restarts += s.Restarts
+		if s.MaxRetire > agg.MaxRetire {
+			agg.MaxRetire = s.MaxRetire
+		}
+	}
+	return agg
+}
+
+// Stats counts reclamation events. All fields are monotone counters
+// except MaxRetire (a high-water mark).
+type Stats struct {
+	Retires       uint64 // nodes handed to Retire
+	Frees         uint64 // nodes returned to their pool
+	Reclaims      uint64 // reclamation passes executed
+	EpochReclaims uint64 // EpochPOP: passes served by the EBR mode
+	POPReclaims   uint64 // EpochPOP: passes that escalated to publish-on-ping
+	PingsSent     uint64 // ping words set by this thread's reclamation passes
+	Publishes     uint64 // publish-handler executions on this thread
+	Restarts      uint64 // NBR: neutralization-induced operation restarts
+	MaxRetire     int    // maximum retire-list length observed
+}
+
+// Mask clears the tag bits of a (possibly marked) node pointer. Data
+// structures tag the two low-order bits (Harris-Michael's mark); the
+// reclamation layer always works with masked pointers.
+func Mask(p unsafe.Pointer) unsafe.Pointer {
+	return unsafe.Pointer(uintptr(p) &^ 3)
+}

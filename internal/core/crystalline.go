@@ -1,0 +1,145 @@
+package core
+
+import "unsafe"
+
+// crystAlgo is the appendix-E comparator: a simplified Crystalline-style
+// reclaimer (Nikolaev & Ravindran [50]).
+//
+// Substitution (DESIGN.md S5): full Crystalline is a wait-free scheme
+// built on batch reference counting with per-slot handshakes. We keep its
+// two observable characteristics — (a) retirement in fixed-size *batches*
+// whose bookkeeping is amortised across members, and (b) robustness — by
+// combining IBR-style interval reservations on the read path with
+// batch-granularity freeing: a batch is freed when its aggregate
+// [min birth, max retire] interval intersects no thread's reservation.
+// Batch granularity gives Crystalline-lite its signature behaviour in the
+// plots: cheaper reclamation passes but a coarser memory floor.
+type crystAlgo struct{ baseAlgo }
+
+// batchState is a thread's batch bookkeeping.
+type batchState struct {
+	full    []cbatch
+	pending int // nodes across full batches (t.retired holds the open one)
+}
+
+type cbatch struct {
+	nodes []*Header
+	lo    uint64 // min birth era
+	hi    uint64 // max retire era
+}
+
+func (a *crystAlgo) initThread(t *Thread) { t.batches = &batchState{} }
+
+// Read path: IBR interval reservations (see ibr.go).
+
+func (a *crystAlgo) startOp(t *Thread) {
+	e := a.d.epoch.Load()
+	t.ibrLo.Store(e)
+	t.ibrHi.Store(e)
+	t.ibrHiCache = e
+}
+
+func (a *crystAlgo) endOp(t *Thread) {
+	t.ibrLo.Store(eraMax)
+	t.ibrHi.Store(eraMax)
+}
+
+func (a *crystAlgo) protect(t *Thread, slot int, cell *Atomic) (unsafe.Pointer, bool) {
+	for {
+		p := cell.Load()
+		e := a.d.epoch.Load()
+		if e == t.ibrHiCache {
+			return p, true
+		}
+		t.ibrHi.Store(e)
+		t.ibrHiCache = e
+	}
+}
+
+func (a *crystAlgo) allocHook(t *Thread) {
+	if t.allocCount%uint64(a.d.opts.EpochFreq) == 0 {
+		a.d.epoch.Add(1)
+	}
+}
+
+func (a *crystAlgo) retireHook(t *Thread) {
+	bs := t.batches
+	// Seal a batch once the open list reaches BatchSize.
+	if len(t.retired) >= a.d.opts.BatchSize {
+		b := cbatch{nodes: make([]*Header, len(t.retired)), lo: eraMax, hi: 0}
+		copy(b.nodes, t.retired)
+		for _, h := range b.nodes {
+			if h.BirthEra < b.lo {
+				b.lo = h.BirthEra
+			}
+			if h.RetireEra > b.hi {
+				b.hi = h.RetireEra
+			}
+		}
+		bs.full = append(bs.full, b)
+		bs.pending += len(b.nodes)
+		t.batchedLen.Store(int64(bs.pending))
+		t.retired = t.retired[:0]
+	}
+	if t.sinceReclaim >= a.d.opts.ReclaimThreshold {
+		t.sinceReclaim = 0
+		a.reclaim(t)
+	}
+}
+
+func (a *crystAlgo) reclaim(t *Thread) {
+	t.stats.Reclaims++
+	ts := t.d.threadList()
+	los := grow(t.scCounts, len(ts))
+	his := grow(t.scSeqs, len(ts))
+	for i, o := range ts {
+		los[i] = o.ibrLo.Load()
+		his[i] = o.ibrHi.Load()
+	}
+	bs := t.batches
+	kept := bs.full[:0]
+	for _, b := range bs.full {
+		if intervalReserved(los, his, b.lo, b.hi) {
+			kept = append(kept, b)
+			continue
+		}
+		for _, h := range b.nodes {
+			a.d.free(t, h)
+		}
+		t.stats.Frees += uint64(len(b.nodes))
+		bs.pending -= len(b.nodes)
+	}
+	bs.full = kept
+	t.batchedLen.Store(int64(bs.pending))
+}
+
+func (a *crystAlgo) flush(t *Thread) {
+	// Seal the open tail so everything is batch-resident, then reclaim.
+	if len(t.retired) > 0 {
+		b := cbatch{nodes: make([]*Header, len(t.retired)), lo: eraMax, hi: 0}
+		copy(b.nodes, t.retired)
+		for _, h := range b.nodes {
+			if h.BirthEra < b.lo {
+				b.lo = h.BirthEra
+			}
+			if h.RetireEra > b.hi {
+				b.hi = h.RetireEra
+			}
+		}
+		t.batches.full = append(t.batches.full, b)
+		t.batches.pending += len(b.nodes)
+		t.batchedLen.Store(int64(t.batches.pending))
+		t.retired = t.retired[:0]
+	}
+	a.d.epoch.Add(1)
+	a.reclaim(t)
+}
+
+// Pending returns the number of nodes awaiting reclamation in sealed
+// batches (for Unreclaimed accounting).
+func (bs *batchState) Pending() int {
+	if bs == nil {
+		return 0
+	}
+	return bs.pending
+}

@@ -1,0 +1,46 @@
+package core
+
+import "unsafe"
+
+// ebrAlgo is RCU-style epoch-based reclamation (paper Alg. 6): reads are
+// free; each operation announces the global epoch on entry and eraMax on
+// exit; a reclaimer frees everything retired before the minimum announced
+// epoch. Fast — and not robust: one delayed thread pins the minimum epoch
+// and stalls reclamation everywhere (the failure mode EpochPOP fixes).
+type ebrAlgo struct{ baseAlgo }
+
+func (a *ebrAlgo) startOp(t *Thread) {
+	t.opCount++
+	if t.opCount%uint64(a.d.opts.EpochFreq) == 0 {
+		a.d.epoch.Add(1)
+	}
+	t.resEpoch.Store(a.d.epoch.Load())
+}
+
+func (a *ebrAlgo) endOp(t *Thread) {
+	t.resEpoch.Store(eraMax)
+}
+
+func (a *ebrAlgo) protect(t *Thread, slot int, cell *Atomic) (unsafe.Pointer, bool) {
+	return cell.Load(), true
+}
+
+func (a *ebrAlgo) retireHook(t *Thread) {
+	if t.sinceReclaim < a.d.opts.ReclaimThreshold {
+		return
+	}
+	t.sinceReclaim = 0
+	a.reclaim(t)
+}
+
+func (a *ebrAlgo) reclaim(t *Thread) {
+	t.stats.Reclaims++
+	t.freeBeforeEpoch(t.minAnnouncedEpoch())
+}
+
+func (a *ebrAlgo) flush(t *Thread) {
+	// Advance the epoch so nodes retired in the current epoch become
+	// eligible once every thread is quiescent.
+	a.d.epoch.Add(1)
+	a.reclaim(t)
+}

@@ -1,0 +1,77 @@
+package core
+
+import "unsafe"
+
+// epochPOPAlgo is EpochPOP (paper Alg. 3): threads run classic EBR and
+// HazardPtrPOP *simultaneously*. Operations announce epochs exactly like
+// EBR (so reclamation is normally the cheap minimum-epoch test), while
+// every read also maintains a private pointer reservation exactly like
+// HazardPtrPOP (no fence). When the EBR path fails to shrink the retire
+// list — the signature of a delayed thread pinning the minimum epoch —
+// the reclaimer escalates to publish-on-ping and frees around the delayed
+// thread's (now published) reservations. No global mode switch: different
+// threads can be reclaiming in different modes at the same time, which is
+// the paper's key contrast with Qsense.
+type epochPOPAlgo struct{ baseAlgo }
+
+func (a *epochPOPAlgo) startOp(t *Thread) {
+	t.checkPing((*Thread).publishPtrs)
+	// EBR announcement (Alg. 3 lines 10-13).
+	t.opCount++
+	if t.opCount%uint64(a.d.opts.EpochFreq) == 0 {
+		a.d.epoch.Add(1)
+	}
+	t.resEpoch.Store(a.d.epoch.Load())
+}
+
+func (a *epochPOPAlgo) endOp(t *Thread) {
+	t.resEpoch.Store(eraMax)
+	t.checkPing((*Thread).publishPtrs)
+}
+
+func (a *epochPOPAlgo) protect(t *Thread, slot int, cell *Atomic) (unsafe.Pointer, bool) {
+	t.checkPing((*Thread).publishPtrs)
+	for {
+		p := cell.Load()
+		t.localPtrs[slot] = Mask(p) // the HazardPtrPOP half: private, no fence
+		if cell.Load() == p {
+			return p, true
+		}
+	}
+}
+
+func (a *epochPOPAlgo) poll(t *Thread) { t.checkPing((*Thread).publishPtrs) }
+
+func (a *epochPOPAlgo) retireHook(t *Thread) {
+	threshold := a.d.opts.ReclaimThreshold
+	if t.sinceReclaim < threshold {
+		return
+	}
+	t.sinceReclaim = 0
+	// Fast path (Alg. 3 lines 24-25): EBR-style reclamation.
+	t.stats.Reclaims++
+	t.stats.EpochReclaims++
+	t.freeBeforeEpoch(t.minAnnouncedEpoch())
+	// Escalation (lines 26-30): if the list is still ≥ C×threshold, some
+	// thread is pinning an old epoch — ping everyone and free with the
+	// HazardPtrPOP rule, skipping only the published reservations.
+	if len(t.retired) >= a.d.opts.CMult*threshold {
+		t.stats.POPReclaims++
+		skip := t.pingAllAndWait((*Thread).publishPtrs)
+		set := t.collectPtrSet(skip)
+		t.freeUnreserved(set)
+	}
+}
+
+func (a *epochPOPAlgo) flush(t *Thread) {
+	a.d.epoch.Add(1)
+	t.stats.Reclaims++
+	t.stats.EpochReclaims++
+	t.freeBeforeEpoch(t.minAnnouncedEpoch())
+	if len(t.retired) > 0 {
+		t.stats.POPReclaims++
+		skip := t.pingAllAndWait((*Thread).publishPtrs)
+		set := t.collectPtrSet(skip)
+		t.freeUnreserved(set)
+	}
+}

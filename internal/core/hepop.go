@@ -1,0 +1,54 @@
+package core
+
+import "unsafe"
+
+// hePOPAlgo is HazardEraPOP (paper Alg. 5): hazard eras with the
+// publish-on-ping treatment. Reads reserve the current era in a private
+// array — the fence HE pays on era change disappears entirely; the
+// reservation becomes visible to reclaimers only on ping. Freeing uses
+// HE's lifespan test against the published (plus the reclaimer's own
+// private) era reservations.
+type hePOPAlgo struct{ baseAlgo }
+
+func (a *hePOPAlgo) protect(t *Thread, slot int, cell *Atomic) (unsafe.Pointer, bool) {
+	t.checkPing((*Thread).publishEras)
+	oldEra := t.localEras[slot]
+	for {
+		p := cell.Load()
+		newEra := a.d.epoch.Load()
+		if newEra == oldEra {
+			return p, true
+		}
+		t.localEras[slot] = newEra // private: no fence (Alg. 5 line 16)
+		oldEra = newEra
+	}
+}
+
+func (a *hePOPAlgo) startOp(t *Thread) { t.checkPing((*Thread).publishEras) }
+
+func (a *hePOPAlgo) endOp(t *Thread) { t.checkPing((*Thread).publishEras) }
+
+func (a *hePOPAlgo) poll(t *Thread) { t.checkPing((*Thread).publishEras) }
+
+func (a *hePOPAlgo) retireHook(t *Thread) {
+	if t.sinceReclaim < a.d.opts.ReclaimThreshold {
+		return
+	}
+	t.sinceReclaim = 0
+	// As in HE, advance the era before reclaiming so new operations stop
+	// pinning the current one.
+	a.d.epoch.Add(1)
+	a.reclaim(t)
+}
+
+func (a *hePOPAlgo) reclaim(t *Thread) {
+	t.stats.Reclaims++
+	skip := t.pingAllAndWait((*Thread).publishEras)
+	eras := t.collectEraList(skip)
+	t.freeOutsideEras(eras)
+}
+
+func (a *hePOPAlgo) flush(t *Thread) {
+	a.d.epoch.Add(1)
+	a.reclaim(t)
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// hpAsymAlgo is the paper's HPAsym baseline: hazard pointers with
+// asymmetric fences, modelled on Folly's implementation. Readers publish
+// reservations with a *plain* store (a MOV — no fence); the ordering cost
+// moves to the reclaimer, which in the original executes sys_membarrier
+// to force a barrier on every CPU before scanning.
+//
+// Substitution (DESIGN.md S3): Go has no process-wide membarrier, so the
+// reclaimer issues a full fence of its own and then waits AsymDrain
+// before scanning, relying on the temporally-bounded-TSO property
+// (Morrison & Afek [46]) that a store buffer drains within a bounded,
+// sub-microsecond window on real hardware. A reservation that is missed
+// anyway is caught by the validation step for newly created reservations,
+// and the type-stable arena turns the residual theoretical risk into a
+// detectable (not memory-unsafe) event. Under `go test -race` the reader
+// store is atomic and the scheme is unconditionally sound.
+type hpAsymAlgo struct{ baseAlgo }
+
+// asymFence is the dummy word the reclaimer RMWs to order itself.
+var asymFence atomic.Uint64
+
+func (a *hpAsymAlgo) protect(t *Thread, slot int, cell *Atomic) (unsafe.Pointer, bool) {
+	for {
+		p := cell.Load()
+		storeRelaxed(&t.sharedPtrs[slot], Mask(p)) // no fence: the HPAsym fast path
+		if cell.Load() == p {
+			return p, true
+		}
+	}
+}
+
+func (a *hpAsymAlgo) endOp(t *Thread) {
+	for i := 0; i <= t.hiSlot; i++ {
+		storeRelaxed(&t.sharedPtrs[i], nil)
+	}
+}
+
+func (a *hpAsymAlgo) retireHook(t *Thread) {
+	if t.sinceReclaim < a.d.opts.ReclaimThreshold {
+		return
+	}
+	t.sinceReclaim = 0
+	a.reclaim(t)
+}
+
+func (a *hpAsymAlgo) reclaim(t *Thread) {
+	t.stats.Reclaims++
+	// The membarrier substitution: fence ourselves, then give every other
+	// CPU's store buffer time to drain so the readers' plain stores are
+	// visible to the scan below.
+	asymFence.Add(1)
+	sleepFor(a.d.opts.AsymDrain)
+	set := t.collectPtrSet(nil)
+	t.freeUnreserved(set)
+}
+
+func (a *hpAsymAlgo) flush(t *Thread) { a.reclaim(t) }
+
+// sleepFor waits approximately d without arming a timer (timer resolution
+// on Linux is far coarser than the microsecond drains we need).
+func sleepFor(d time.Duration) {
+	start := time.Now()
+	for time.Since(start) < d {
+		// Busy wait; the reclaimer is about to do a full scan anyway, so
+		// burning a few microseconds here mirrors the membarrier syscall
+		// cost in the original.
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import "unsafe"
+
+// ibrAlgo is 2GE interval-based reclamation (Wen et al. [60], the "IBR"
+// line in the paper's plots). Each operation reserves an era *interval*
+// [lo, hi]: lo is the epoch at operation start, hi grows to the current
+// epoch whenever a read observes the epoch moved. A node is freeable when
+// its [birth, retire] lifespan intersects no thread's reserved interval.
+// Robust (a stalled thread pins only nodes overlapping its interval) and
+// fence-light (the hi bump is rare), at the cost of tagging every node
+// with birth/retire eras.
+type ibrAlgo struct{ baseAlgo }
+
+func (a *ibrAlgo) startOp(t *Thread) {
+	e := a.d.epoch.Load()
+	t.ibrLo.Store(e)
+	t.ibrHi.Store(e)
+	t.ibrHiCache = e
+}
+
+func (a *ibrAlgo) endOp(t *Thread) {
+	t.ibrLo.Store(eraMax)
+	t.ibrHi.Store(eraMax)
+}
+
+func (a *ibrAlgo) protect(t *Thread, slot int, cell *Atomic) (unsafe.Pointer, bool) {
+	for {
+		p := cell.Load()
+		e := a.d.epoch.Load()
+		if e == t.ibrHiCache {
+			return p, true
+		}
+		// Epoch moved since our last reservation: extend the interval
+		// (seq_cst store = fence) and retry the read under it.
+		t.ibrHi.Store(e)
+		t.ibrHiCache = e
+	}
+}
+
+func (a *ibrAlgo) allocHook(t *Thread) {
+	// IBR advances the global epoch on an allocation cadence.
+	if t.allocCount%uint64(a.d.opts.EpochFreq) == 0 {
+		a.d.epoch.Add(1)
+	}
+}
+
+func (a *ibrAlgo) retireHook(t *Thread) {
+	if t.sinceReclaim < a.d.opts.ReclaimThreshold {
+		return
+	}
+	t.sinceReclaim = 0
+	a.reclaim(t)
+}
+
+func (a *ibrAlgo) reclaim(t *Thread) {
+	t.stats.Reclaims++
+	ts := t.d.threadList()
+	// Gather reserved intervals.
+	los := grow(t.scCounts, len(ts))
+	his := grow(t.scSeqs, len(ts))
+	for i, o := range ts {
+		los[i] = o.ibrLo.Load()
+		his[i] = o.ibrHi.Load()
+	}
+	kept := t.retired[:0]
+	freed := 0
+	for _, h := range t.retired {
+		if intervalReserved(los, his, h.BirthEra, h.RetireEra) {
+			kept = append(kept, h)
+		} else {
+			a.d.free(t, h)
+			freed++
+		}
+	}
+	t.retired = kept
+	t.stats.Frees += uint64(freed)
+}
+
+// intervalReserved reports whether [birth, retire] intersects any
+// reserved [lo, hi] interval.
+func intervalReserved(los, his []uint64, birth, retire uint64) bool {
+	for i := range los {
+		if los[i] == eraMax {
+			continue // quiescent
+		}
+		if retire >= los[i] && birth <= his[i] {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *ibrAlgo) flush(t *Thread) {
+	a.d.epoch.Add(1)
+	a.reclaim(t)
+}

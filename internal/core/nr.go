@@ -1,0 +1,26 @@
+package core
+
+import "unsafe"
+
+// nrAlgo is the leaky baseline ("NR" in the paper's plots): reads are
+// plain loads, retired nodes are dropped on the floor and never freed.
+// It bounds the best possible read-path performance and the worst
+// possible memory behaviour.
+type nrAlgo struct{ baseAlgo }
+
+func (a *nrAlgo) protect(t *Thread, slot int, cell *Atomic) (unsafe.Pointer, bool) {
+	return cell.Load(), true
+}
+
+func (a *nrAlgo) retireHook(t *Thread) {
+	// Leak: account the nodes and forget them. The retire list is drained
+	// immediately so its length stays ~0 in the memory plots (NR has no
+	// deferred-reclamation backlog — the leak shows up in outstanding
+	// nodes instead).
+	a.d.leaked.Add(int64(len(t.retired)))
+	for _, h := range t.retired {
+		// Mark permanently retired; nobody will free these.
+		_ = h
+	}
+	t.retired = t.retired[:0]
+}

@@ -1,0 +1,473 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+	"unsafe"
+
+	"pop/internal/padded"
+)
+
+// publishWaitLimit bounds how long a reclaimer spins waiting for other
+// threads to publish (the paper's Assumption 1: threads publish in
+// bounded time after a ping). Exceeding it means a thread is blocked
+// inside an operation without polling — a bug in the harness or data
+// structure — so we fail loudly rather than hang the test suite.
+const publishWaitLimit = 30 * time.Second
+
+// Thread is a per-worker handle into a Domain. All data-structure
+// operations happen through a Thread; a Thread must only ever be used by
+// the goroutine that owns it.
+//
+// The first block of fields is the thread's SWMR (single-writer
+// multi-reader) surface: the words reclaimers read. Each is cache-line
+// padded so that thread i's announcements never false-share with thread
+// j's. The reservation arrays are padded as a group (slots of one thread
+// share a writer, so intra-thread sharing is free).
+type Thread struct {
+	d   *Domain
+	tid int
+
+	// --- SWMR surface (read by reclaimers) ---
+
+	// ping is the simulated signal: reclaimers set it, the owner polls it
+	// at every Protect and StartOp/EndOp and runs the publish handler.
+	// For NBR it doubles as the neutralization flag.
+	ping padded.Uint32
+	// pubCount counts publish-handler executions (NBR: neutralization
+	// acks). Reclaimers compare before/after values to learn that a
+	// publish happened after their ping.
+	pubCount padded.Uint64
+	// opSeq is a seqlock-style operation counter: odd while inside an
+	// operation, even while quiescent. Reclaimers use it to treat
+	// quiescent threads as published-empty (signal handlers run between
+	// operations; polls do not — see the package comment).
+	opSeq padded.Uint64
+	// phase is NBR's operation phase: 0 quiescent, 1 read phase, 2 write
+	// phase (reservations published, neutralization masked).
+	phase padded.Uint32
+	// resEpoch is the announced epoch for EBR/EpochPOP (eraMax when
+	// quiescent).
+	resEpoch padded.Uint64
+	// ibrLo/ibrHi are IBR's reserved interval.
+	ibrLo padded.Uint64
+	ibrHi padded.Uint64
+	// retiredLen mirrors len(retired) for Domain.Unreclaimed.
+	retiredLen padded.Uint32
+	// batchedLen mirrors the Crystalline-lite sealed-batch population.
+	batchedLen padded.Int64
+
+	_          [padded.CacheLine]byte
+	sharedPtrs [MaxSlots]unsafe.Pointer // published pointer reservations
+	sharedEras [MaxSlots]uint64         // published era reservations
+	_          [padded.CacheLine]byte
+
+	// --- private state (owner goroutine only) ---
+
+	localPtrs  [MaxSlots]unsafe.Pointer // private pointer reservations
+	localEras  [MaxSlots]uint64         // private era reservations
+	hiSlot     int                      // highest slot used since last clear
+	opCount    uint64                   // operations started (epoch cadence)
+	allocCount uint64                   // allocations (IBR epoch cadence)
+	ibrHiCache uint64                   // private mirror of ibrHi
+	heCache    [MaxSlots]uint64         // HE: private mirror of sharedEras
+	inWrite    bool                     // NBR: inside a write phase
+	neutral    bool                     // NBR: neutralization seen by Poll
+
+	retired      []*Header
+	maxRetire    int
+	sinceReclaim int // retires since the last reclamation attempt
+
+	// crystalline-lite batching state
+	batches *batchState
+
+	// scratch buffers reused across reclamation passes
+	scCounts []uint64
+	scSeqs   []uint64
+	scSkip   []bool
+	scPtrs   map[unsafe.Pointer]struct{}
+	scEras   []uint64
+
+	stats Stats
+}
+
+// ID returns the thread's dense index within its domain.
+func (t *Thread) ID() int { return t.tid }
+
+// Domain returns the owning domain.
+func (t *Thread) Domain() *Domain { return t.d }
+
+// StatsSnapshot returns the thread's counters. Only meaningful from the
+// owner goroutine or after the owner has stopped.
+func (t *Thread) StatsSnapshot() Stats {
+	s := t.stats
+	s.MaxRetire = t.maxRetire
+	return s
+}
+
+// StartOp marks the beginning of a data-structure operation. Every
+// public operation of every data structure calls StartOp/EndOp exactly
+// once (retries happen inside the pair).
+func (t *Thread) StartOp() {
+	t.opSeq.Add(1) // -> odd: active
+	t.d.algo.startOp(t)
+}
+
+// EndOp marks the end of an operation: reservations are released and the
+// thread becomes quiescent.
+func (t *Thread) EndOp() {
+	t.d.algo.endOp(t)
+	// Drop private reservations. Plain stores: the array is owner-only.
+	for i := 0; i <= t.hiSlot; i++ {
+		t.localPtrs[i] = nil
+		t.localEras[i] = eraNone
+	}
+	t.hiSlot = -1
+	t.opSeq.Add(1) // -> even: quiescent (fences the clears above)
+}
+
+// Protect reads the shared link a into reservation slot `slot` and
+// returns the (possibly tag-marked) pointer read. The second result is
+// false only under NBR when the operation has been neutralized and must
+// restart from its entry point; all other policies always return true
+// (the POP algorithms' headline property: no reclamation-induced control
+// flow).
+func (t *Thread) Protect(slot int, a *Atomic) (unsafe.Pointer, bool) {
+	if t.d.opts.Debug && (slot < 0 || slot >= MaxSlots) {
+		panic(fmt.Sprintf("core: Protect slot %d out of range", slot))
+	}
+	if slot > t.hiSlot {
+		t.hiSlot = slot
+	}
+	return t.d.algo.protect(t, slot, a)
+}
+
+// OnAlloc stamps a freshly allocated node. typ is the id returned by
+// Domain.RegisterType for the node's type.
+func (t *Thread) OnAlloc(h *Header, typ uint8) {
+	h.Type = typ
+	h.BirthEra = t.d.epoch.Load()
+	h.RetireEra = 0
+	t.allocCount++
+	t.d.algo.allocHook(t)
+}
+
+// Retire hands an unlinked node to the reclamation layer. The node must
+// already be unreachable from the data structure's roots.
+func (t *Thread) Retire(h *Header) {
+	if !h.retiredFlag.CompareAndSwap(0, 1) {
+		panic("core: double retire")
+	}
+	h.RetireEra = t.d.epoch.Load()
+	t.retired = append(t.retired, h)
+	if len(t.retired) > t.maxRetire {
+		t.maxRetire = len(t.retired)
+	}
+	t.retiredLen.Store(uint32(len(t.retired)))
+	t.stats.Retires++
+	t.sinceReclaim++
+	t.d.algo.retireHook(t)
+	t.retiredLen.Store(uint32(len(t.retired)))
+}
+
+// RetireListLen returns the current retire-list length (owner only).
+func (t *Thread) RetireListLen() int { return len(t.retired) }
+
+// Poll is a reclamation safepoint for threads that are busy outside
+// Protect calls (the harness's "delayed but running" workers). It models
+// the fact that a POSIX signal interrupts arbitrary user code.
+func (t *Thread) Poll() { t.d.algo.poll(t) }
+
+// EnterWritePhase begins an NBR write phase: the reservations currently
+// held in the thread's slots are published with one fence and the thread
+// becomes immune to neutralization until ExitWritePhase. It returns false
+// if the operation was neutralized before the reservations could be
+// published, in which case the caller must restart. For every other
+// policy it is a no-op returning true.
+func (t *Thread) EnterWritePhase() bool { return t.d.algo.enterWrite(t) }
+
+// ExitWritePhase ends an NBR write phase (no-op for other policies). It
+// must be called before the operation performs further unprotected reads
+// (i.e., before retrying a failed attempt or continuing a traversal).
+func (t *Thread) ExitWritePhase() { t.d.algo.exitWrite(t) }
+
+// Flush attempts a final reclamation pass. Call it once per thread after
+// the workload has stopped (all other threads quiescent) to drain retire
+// lists for the end-of-run accounting.
+func (t *Thread) Flush() {
+	t.d.algo.flush(t)
+	t.retiredLen.Store(uint32(len(t.retired)))
+}
+
+// ---------------------------------------------------------------------
+// Publish-on-ping machinery (shared by HazardPtrPOP, HazardEraPOP,
+// EpochPOP and, as the ack path, NBR).
+// ---------------------------------------------------------------------
+
+// publishPtrs is the pointer-reservation "signal handler": copy the
+// private array to the shared SWMR array, then advance the publish
+// counter. The counter increment is an atomic RMW, so it both fences the
+// stores and tells waiting reclaimers the handler completed (paper Alg. 2
+// lines 40-43).
+func (t *Thread) publishPtrs() {
+	for i := 0; i < MaxSlots; i++ {
+		atomic.StorePointer(&t.sharedPtrs[i], t.localPtrs[i])
+	}
+	t.pubCount.Add(1)
+	t.stats.Publishes++
+}
+
+// publishEras is the era-reservation handler (HazardEraPOP).
+func (t *Thread) publishEras() {
+	for i := 0; i < MaxSlots; i++ {
+		atomic.StoreUint64(&t.sharedEras[i], t.localEras[i])
+	}
+	t.pubCount.Add(1)
+	t.stats.Publishes++
+}
+
+// checkPing polls the ping word and runs the given handler if a ping is
+// pending. Clearing the flag before publishing means a ping that arrives
+// mid-publish is handled by the next poll rather than lost.
+//
+// After publishing, the thread yields. A POSIX signal handler returns
+// control to a *waiting* reclaimer immediately (the reclaimer runs on
+// its own core); under GOMAXPROCS < threads the publisher would instead
+// keep burning its whole timeslice while the reclaimer sits in the run
+// queue, inflating every reclamation by tens of milliseconds. The yield
+// restores the paper's prompt-handler semantics at the cost of one
+// scheduler call on the (rare) publish path.
+func (t *Thread) checkPing(publish func(*Thread)) {
+	if t.ping.Load() != 0 {
+		t.ping.Store(0)
+		publish(t)
+		runtime.Gosched()
+	}
+}
+
+// pingAllAndWait implements collectPublishedCounters + pingAllToPublish +
+// waitForAllPublished (paper Alg. 1 lines 19-21, Alg. 2 lines 36-51).
+//
+// It returns a per-thread skip mask: skip[i] means thread i's shared
+// reservations must be ignored (the thread was quiescent, or crossed an
+// operation boundary after our ping — in both cases any reservation it
+// holds now was created after our victims were unlinked and is therefore
+// excluded by the validation step; see the package comment).
+//
+// While waiting, the caller answers pings directed at itself via
+// selfPublish, which is what makes concurrent reclaimers ping each other
+// without deadlock (in the paper, signal handlers nest freely).
+func (t *Thread) pingAllAndWait(selfPublish func(*Thread)) []bool {
+	ts := t.d.threadList()
+	n := len(ts)
+	t.scCounts = grow(t.scCounts, n)
+	t.scSeqs = grow(t.scSeqs, n)
+	t.scSkip = growBool(t.scSkip, n)
+	counts, seqs, skip := t.scCounts, t.scSeqs, t.scSkip
+
+	// Collect counters and operation states.
+	for i, o := range ts {
+		if o == t {
+			skip[i] = true // self: scanned from localPtrs/localEras directly
+			continue
+		}
+		counts[i] = o.pubCount.Load()
+		seqs[i] = o.opSeq.Load()
+		skip[i] = seqs[i]%2 == 0 // quiescent: published-empty
+	}
+
+	// Ping (the pthread_kill loop).
+	for i, o := range ts {
+		if !skip[i] {
+			o.ping.Store(1)
+			t.stats.PingsSent++
+		}
+	}
+
+	// Wait for every pinged thread to publish or to cross an operation
+	// boundary.
+	deadline := time.Now().Add(publishWaitLimit)
+	for i, o := range ts {
+		if skip[i] {
+			continue
+		}
+		for o.pubCount.Load() == counts[i] {
+			if o.opSeq.Load() != seqs[i] {
+				// The thread left the operation it was in when we pinged;
+				// its reservations were cleared at that boundary.
+				skip[i] = true
+				break
+			}
+			t.checkPing(selfPublish)
+			runtime.Gosched()
+			if time.Now().After(deadline) {
+				panic(fmt.Sprintf("core: thread %d waited >%v for thread %d to publish (Assumption 1 violated: a thread is blocked inside an operation without polling)", t.tid, publishWaitLimit, o.tid))
+			}
+		}
+	}
+	return skip
+}
+
+// ---------------------------------------------------------------------
+// Scanning and freeing
+// ---------------------------------------------------------------------
+
+// collectPtrSet gathers the reservation set for a pointer-based scan.
+// skip==nil means scan everyone's shared slots (classic HP/HPAsym);
+// otherwise skipped threads are ignored and the caller's own private
+// slots are used directly.
+func (t *Thread) collectPtrSet(skip []bool) map[unsafe.Pointer]struct{} {
+	if t.scPtrs == nil {
+		t.scPtrs = make(map[unsafe.Pointer]struct{}, MaxSlots*8)
+	}
+	set := t.scPtrs
+	clear(set)
+	ts := t.d.threadList()
+	for i, o := range ts {
+		if skip != nil {
+			if o == t {
+				for s := 0; s < MaxSlots; s++ {
+					if p := Mask(t.localPtrs[s]); p != nil {
+						set[p] = struct{}{}
+					}
+				}
+				continue
+			}
+			if skip[i] {
+				continue
+			}
+		}
+		for s := 0; s < MaxSlots; s++ {
+			if p := Mask(atomic.LoadPointer(&o.sharedPtrs[s])); p != nil {
+				set[p] = struct{}{}
+			}
+		}
+	}
+	return set
+}
+
+// collectEraList gathers reserved eras for an era-based scan, with the
+// same skip semantics as collectPtrSet.
+func (t *Thread) collectEraList(skip []bool) []uint64 {
+	eras := t.scEras[:0]
+	ts := t.d.threadList()
+	for i, o := range ts {
+		if skip != nil {
+			if o == t {
+				for s := 0; s < MaxSlots; s++ {
+					if e := t.localEras[s]; e != eraNone {
+						eras = append(eras, e)
+					}
+				}
+				continue
+			}
+			if skip[i] {
+				continue
+			}
+		}
+		for s := 0; s < MaxSlots; s++ {
+			if e := atomic.LoadUint64(&o.sharedEras[s]); e != eraNone {
+				eras = append(eras, e)
+			}
+		}
+	}
+	t.scEras = eras
+	return eras
+}
+
+// freeUnreserved frees every retired node whose pointer is absent from
+// the reservation set (paper Alg. 2 lines 26-35) and compacts the retire
+// list in place. Returns the number freed.
+//
+// Node pointers equal Header pointers because Header is, by contract, the
+// first field of every managed node type.
+func (t *Thread) freeUnreserved(set map[unsafe.Pointer]struct{}) int {
+	kept := t.retired[:0]
+	freed := 0
+	for _, h := range t.retired {
+		if _, reserved := set[unsafe.Pointer(h)]; reserved {
+			kept = append(kept, h)
+		} else {
+			t.d.free(t, h)
+			freed++
+		}
+	}
+	t.retired = kept
+	t.stats.Frees += uint64(freed)
+	return freed
+}
+
+// freeOutsideEras frees every retired node whose [birth,retire] lifespan
+// intersects no reserved era (paper Alg. 4 canFree) and compacts.
+func (t *Thread) freeOutsideEras(eras []uint64) int {
+	kept := t.retired[:0]
+	freed := 0
+	for _, h := range t.retired {
+		if eraListIntersects(eras, h.BirthEra, h.RetireEra) {
+			kept = append(kept, h)
+		} else {
+			t.d.free(t, h)
+			freed++
+		}
+	}
+	t.retired = kept
+	t.stats.Frees += uint64(freed)
+	return freed
+}
+
+// eraListIntersects reports whether any reserved era falls within
+// [birth, retire].
+func eraListIntersects(eras []uint64, birth, retire uint64) bool {
+	for _, e := range eras {
+		if e >= birth && e <= retire {
+			return true
+		}
+	}
+	return false
+}
+
+// freeBeforeEpoch frees retired nodes with RetireEra < min (EBR/EpochPOP
+// fast path) and compacts.
+func (t *Thread) freeBeforeEpoch(min uint64) int {
+	kept := t.retired[:0]
+	freed := 0
+	for _, h := range t.retired {
+		if h.RetireEra < min {
+			t.d.free(t, h)
+			freed++
+		} else {
+			kept = append(kept, h)
+		}
+	}
+	t.retired = kept
+	t.stats.Frees += uint64(freed)
+	return freed
+}
+
+// minAnnouncedEpoch scans every thread's announced epoch (eraMax when
+// quiescent) and returns the minimum.
+func (t *Thread) minAnnouncedEpoch() uint64 {
+	min := uint64(eraMax)
+	for _, o := range t.d.threadList() {
+		if e := o.resEpoch.Load(); e < min {
+			min = e
+		}
+	}
+	return min
+}
+
+func grow(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+func growBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}

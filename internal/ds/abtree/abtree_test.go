@@ -1,0 +1,112 @@
+package abtree_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pop/internal/core"
+	"pop/internal/ds"
+	"pop/internal/ds/abtree"
+	"pop/internal/ds/dstest"
+)
+
+func TestConformance(t *testing.T) {
+	dstest.Run(t, func(d *core.Domain) ds.Set { return abtree.New(d) }, dstest.Config{
+		KeyRange: 4096, // force real tree depth and split/excise traffic
+	})
+}
+
+// TestQuickSequentialEquivalence checks map equivalence on random tapes.
+func TestQuickSequentialEquivalence(t *testing.T) {
+	prop := func(tape []uint32) bool {
+		d := core.NewDomain(core.HazardPtrPOP, 1, &core.Options{ReclaimThreshold: 16})
+		th := d.RegisterThread()
+		tr := abtree.New(d)
+		ref := make(map[int64]bool)
+		for _, w := range tape {
+			k := int64(w % 1024)
+			switch (w / 1024) % 3 {
+			case 0:
+				if tr.Insert(th, k) == ref[k] {
+					return false
+				}
+				ref[k] = true
+			case 1:
+				if tr.Delete(th, k) != ref[k] {
+					return false
+				}
+				delete(ref, k)
+			default:
+				if tr.Contains(th, k) != ref[k] {
+					return false
+				}
+			}
+		}
+		return tr.Size(th) == len(ref)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGrowShrinkCycles drives the tree through repeated full growth and
+// emptying, which exercises root growth, leaf splits, excision and root
+// collapse paths.
+func TestGrowShrinkCycles(t *testing.T) {
+	d := core.NewDomain(core.EBR, 1, &core.Options{ReclaimThreshold: 128})
+	tr := abtree.New(d)
+	th := d.RegisterThread()
+	const n = 5000
+	for cycle := 0; cycle < 3; cycle++ {
+		for k := int64(0); k < n; k++ {
+			if !tr.Insert(th, k*7%n) {
+				t.Fatalf("cycle %d: insert %d failed", cycle, k*7%n)
+			}
+		}
+		if got := tr.Size(th); got != n {
+			t.Fatalf("cycle %d: Size = %d, want %d", cycle, got, n)
+		}
+		for k := int64(0); k < n; k++ {
+			if !tr.Delete(th, k) {
+				t.Fatalf("cycle %d: delete %d failed", cycle, k)
+			}
+		}
+		if got := tr.Size(th); got != 0 {
+			t.Fatalf("cycle %d: Size = %d, want 0", cycle, got)
+		}
+	}
+	th.Flush()
+	if u := d.Unreclaimed(); u != 0 {
+		t.Fatalf("unreclaimed = %d after flush", u)
+	}
+}
+
+// TestDescendingAndAscendingOrders stresses split balance on adversarial
+// insertion orders.
+func TestDescendingAndAscendingOrders(t *testing.T) {
+	for name, step := range map[string]int64{"Ascending": 1, "Descending": -1} {
+		t.Run(name, func(t *testing.T) {
+			d := core.NewDomain(core.HP, 1, &core.Options{ReclaimThreshold: 64})
+			tr := abtree.New(d)
+			th := d.RegisterThread()
+			const n = 3000
+			start := int64(0)
+			if step < 0 {
+				start = n - 1
+			}
+			for i, k := int64(0), start; i < n; i, k = i+1, k+step {
+				if !tr.Insert(th, k) {
+					t.Fatalf("insert %d failed", k)
+				}
+			}
+			if got := tr.Size(th); got != n {
+				t.Fatalf("Size = %d, want %d", got, n)
+			}
+			for k := int64(0); k < n; k++ {
+				if !tr.Contains(th, k) {
+					t.Fatalf("missing %d", k)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,32 @@
+// Package ds defines the common contract implemented by every concurrent
+// set in this repository (the five data structures of the paper's
+// evaluation: Harris-Michael list, lazy list, hash table, external BST,
+// (a,b)-tree).
+//
+// All operations take the calling thread's reclamation handle; keys are
+// restricted to the open interval (math.MinInt64, math.MaxInt64) because
+// the extreme values are reserved for sentinel nodes.
+package ds
+
+import "pop/internal/core"
+
+// Set is a concurrent set of int64 keys integrated with a reclamation
+// domain. Implementations are linearizable; operations may be called
+// concurrently from any number of threads registered with the set's
+// domain.
+type Set interface {
+	// Insert adds key and reports whether it was absent.
+	Insert(t *core.Thread, key int64) bool
+	// Delete removes key and reports whether it was present.
+	Delete(t *core.Thread, key int64) bool
+	// Contains reports whether key is present.
+	Contains(t *core.Thread, key int64) bool
+}
+
+// Sized is implemented by sets that can report their cardinality with a
+// full traversal. Only meaningful while no operations are in flight;
+// used by tests and prefill accounting.
+type Sized interface {
+	// Size counts the keys currently in the set.
+	Size(t *core.Thread) int
+}

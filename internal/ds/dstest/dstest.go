@@ -1,0 +1,376 @@
+// Package dstest is the conformance suite every concurrent set in this
+// repository must pass, under every reclamation policy. Data-structure
+// packages call Run from their tests; the suite exercises:
+//
+//   - sequential semantics (insert/delete/contains truth table, ordering,
+//     duplicates, sentinels);
+//   - randomized sequential equivalence against a reference map;
+//   - concurrent mixed workloads with a net-count invariant (inserts
+//     minus deletes equals final size);
+//   - reclamation pressure (tiny retire thresholds force constant
+//     reclaim/ping traffic while readers traverse);
+//   - a delayed-thread scenario that must not break safety.
+//
+// Any use-after-free surfaces as a poisoned key, a failed invariant, or
+// an arena panic — the Go analogue of the segfault the paper's C++
+// benchmark would produce.
+package dstest
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pop/internal/core"
+	"pop/internal/ds"
+	"pop/internal/rng"
+)
+
+// Factory builds a fresh set instance over the given domain.
+type Factory func(d *core.Domain) ds.Set
+
+// Config tunes the suite for a data structure's cost profile.
+type Config struct {
+	// KeyRange bounds random keys to [0, KeyRange).
+	KeyRange int64
+	// ConcOps is the per-goroutine operation count in concurrent tests.
+	ConcOps int
+	// Threads is the concurrency level (defaults to 4).
+	Threads int
+	// SkipPolicies lists policies the structure does not support.
+	SkipPolicies []core.Policy
+}
+
+func (c Config) withDefaults() Config {
+	if c.KeyRange <= 0 {
+		c.KeyRange = 512
+	}
+	if c.ConcOps <= 0 {
+		c.ConcOps = 3000
+	}
+	if c.Threads <= 0 {
+		c.Threads = 4
+	}
+	return c
+}
+
+func (c Config) skip(p core.Policy) bool {
+	for _, s := range c.SkipPolicies {
+		if s == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the full conformance suite.
+func Run(t *testing.T, f Factory, cfg Config) {
+	cfg = cfg.withDefaults()
+	for _, p := range core.Policies() {
+		if cfg.skip(p) {
+			continue
+		}
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			t.Run("Sequential", func(t *testing.T) { sequential(t, f, p) })
+			t.Run("RandomizedVsMap", func(t *testing.T) { randomizedVsMap(t, f, p, cfg) })
+			t.Run("ConcurrentInvariant", func(t *testing.T) { concurrentInvariant(t, f, p, cfg) })
+			t.Run("ConcurrentDistinctKeys", func(t *testing.T) { concurrentDistinctKeys(t, f, p, cfg) })
+			t.Run("DelayedReader", func(t *testing.T) { delayedReader(t, f, p, cfg) })
+		})
+	}
+}
+
+// newDomain builds a domain with a tiny reclaim threshold so reclamation
+// paths run constantly during the suite.
+func newDomain(p core.Policy, threads int) *core.Domain {
+	return core.NewDomain(p, threads, &core.Options{
+		ReclaimThreshold: 32,
+		EpochFreq:        8,
+		BatchSize:        8,
+		Debug:            true,
+	})
+}
+
+func sequential(t *testing.T, f Factory, p core.Policy) {
+	d := newDomain(p, 1)
+	s := f(d)
+	th := d.RegisterThread()
+
+	if s.Contains(th, 10) {
+		t.Fatal("empty set contains 10")
+	}
+	if s.Delete(th, 10) {
+		t.Fatal("delete from empty set succeeded")
+	}
+	if !s.Insert(th, 10) {
+		t.Fatal("insert 10 failed")
+	}
+	if s.Insert(th, 10) {
+		t.Fatal("duplicate insert 10 succeeded")
+	}
+	if !s.Contains(th, 10) {
+		t.Fatal("set lost 10")
+	}
+	// Neighbours must not be confused with 10.
+	for _, k := range []int64{9, 11, 0, 1 << 40} {
+		if s.Contains(th, k) {
+			t.Fatalf("phantom key %d", k)
+		}
+	}
+	if !s.Delete(th, 10) {
+		t.Fatal("delete 10 failed")
+	}
+	if s.Contains(th, 10) {
+		t.Fatal("10 survived delete")
+	}
+	if s.Delete(th, 10) {
+		t.Fatal("double delete succeeded")
+	}
+
+	// Ascending, descending, interleaved batches.
+	for i := int64(0); i < 64; i++ {
+		if !s.Insert(th, i) {
+			t.Fatalf("insert %d failed", i)
+		}
+	}
+	for i := int64(127); i >= 64; i-- {
+		if !s.Insert(th, i) {
+			t.Fatalf("insert %d failed", i)
+		}
+	}
+	for i := int64(0); i < 128; i++ {
+		if !s.Contains(th, i) {
+			t.Fatalf("missing %d", i)
+		}
+	}
+	if sized, ok := s.(ds.Sized); ok {
+		if got := sized.Size(th); got != 128 {
+			t.Fatalf("Size = %d, want 128", got)
+		}
+	}
+	// Delete evens, verify odds.
+	for i := int64(0); i < 128; i += 2 {
+		if !s.Delete(th, i) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	for i := int64(0); i < 128; i++ {
+		want := i%2 == 1
+		if got := s.Contains(th, i); got != want {
+			t.Fatalf("Contains(%d) = %v, want %v", i, got, want)
+		}
+	}
+	th.Flush()
+}
+
+func randomizedVsMap(t *testing.T, f Factory, p core.Policy, cfg Config) {
+	d := newDomain(p, 1)
+	s := f(d)
+	th := d.RegisterThread()
+	ref := make(map[int64]bool)
+	r := rng.New(uint64(0xC0FFEE) ^ uint64(p))
+
+	for i := 0; i < 4000; i++ {
+		k := r.Intn(cfg.KeyRange)
+		switch r.Intn(3) {
+		case 0:
+			want := !ref[k]
+			if got := s.Insert(th, k); got != want {
+				t.Fatalf("op %d: Insert(%d) = %v, want %v", i, k, got, want)
+			}
+			ref[k] = true
+		case 1:
+			want := ref[k]
+			if got := s.Delete(th, k); got != want {
+				t.Fatalf("op %d: Delete(%d) = %v, want %v", i, k, got, want)
+			}
+			delete(ref, k)
+		default:
+			if got := s.Contains(th, k); got != ref[k] {
+				t.Fatalf("op %d: Contains(%d) = %v, want %v", i, k, got, ref[k])
+			}
+		}
+	}
+	if sized, ok := s.(ds.Sized); ok {
+		if got := sized.Size(th); got != len(ref) {
+			t.Fatalf("Size = %d, want %d", got, len(ref))
+		}
+	}
+	th.Flush()
+}
+
+// concurrentInvariant hammers the set from several goroutines and checks
+// that successful inserts minus successful deletes equals the final size.
+func concurrentInvariant(t *testing.T, f Factory, p core.Policy, cfg Config) {
+	d := newDomain(p, cfg.Threads)
+	s := f(d)
+	var net atomic.Int64
+	var wg sync.WaitGroup
+	threads := make([]*core.Thread, cfg.Threads)
+	for i := range threads {
+		threads[i] = d.RegisterThread()
+	}
+	for i := 0; i < cfg.Threads; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := threads[id]
+			r := rng.New(uint64(id)*7919 + uint64(p))
+			local := int64(0)
+			for n := 0; n < cfg.ConcOps; n++ {
+				k := r.Intn(cfg.KeyRange)
+				switch r.Intn(10) {
+				case 0, 1, 2, 3:
+					if s.Insert(th, k) {
+						local++
+					}
+				case 4, 5, 6, 7:
+					if s.Delete(th, k) {
+						local--
+					}
+				default:
+					s.Contains(th, k)
+				}
+			}
+			net.Add(local)
+		}(i)
+	}
+	wg.Wait()
+
+	if sized, ok := s.(ds.Sized); ok {
+		if got := sized.Size(threads[0]); int64(got) != net.Load() {
+			t.Fatalf("net inserts %d != final size %d", net.Load(), got)
+		}
+	}
+	for _, th := range threads {
+		th.Flush()
+	}
+	// Everything retired must be freed once all threads are quiescent
+	// (except NR, which leaks by design).
+	if p != core.NR {
+		if u := d.Unreclaimed(); u != 0 {
+			t.Fatalf("%d unreclaimed nodes after quiescent flush", u)
+		}
+	}
+}
+
+// concurrentDistinctKeys gives each goroutine a private key range so
+// every operation's outcome is deterministic even under concurrency.
+func concurrentDistinctKeys(t *testing.T, f Factory, p core.Policy, cfg Config) {
+	d := newDomain(p, cfg.Threads)
+	s := f(d)
+	var wg sync.WaitGroup
+	threads := make([]*core.Thread, cfg.Threads)
+	for i := range threads {
+		threads[i] = d.RegisterThread()
+	}
+	errs := make(chan error, cfg.Threads)
+	for i := 0; i < cfg.Threads; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := threads[id]
+			base := int64(id) * 1_000_000
+			for k := base; k < base+200; k++ {
+				if !s.Insert(th, k) {
+					errs <- fmt.Errorf("thread %d: insert %d failed", id, k)
+					return
+				}
+			}
+			for k := base; k < base+200; k++ {
+				if !s.Contains(th, k) {
+					errs <- fmt.Errorf("thread %d: lost key %d", id, k)
+					return
+				}
+			}
+			for k := base; k < base+200; k += 2 {
+				if !s.Delete(th, k) {
+					errs <- fmt.Errorf("thread %d: delete %d failed", id, k)
+					return
+				}
+			}
+			for k := base; k < base+200; k++ {
+				want := k%2 == 1
+				if got := s.Contains(th, k); got != want {
+					errs <- fmt.Errorf("thread %d: Contains(%d)=%v want %v", id, k, got, want)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for _, th := range threads {
+		th.Flush()
+	}
+}
+
+// delayedReader holds one thread inside an operation (answering polls,
+// like a thread busy with other work) while writers churn. Robust
+// policies must keep reclaiming; all policies must stay safe.
+func delayedReader(t *testing.T, f Factory, p core.Policy, cfg Config) {
+	d := newDomain(p, 3)
+	s := f(d)
+	reader := d.RegisterThread()
+	w1 := d.RegisterThread()
+	w2 := d.RegisterThread()
+
+	// Seed some keys so the reader has something to look at.
+	for k := int64(0); k < 32; k++ {
+		s.Insert(w1, k)
+	}
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// The reader performs one op, then stalls inside a fresh op
+		// polling (busy-delayed), then resumes.
+		s.Contains(reader, 1)
+		reader.StartOp()
+		for {
+			select {
+			case <-stop:
+				reader.EndOp()
+				return
+			default:
+				reader.Poll()
+				runtime.Gosched()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for _, th := range []*core.Thread{w1, w2} {
+		wg.Add(1)
+		go func(th *core.Thread) {
+			defer wg.Done()
+			r := rng.New(uint64(th.ID()) + 99)
+			for n := 0; n < cfg.ConcOps; n++ {
+				k := r.Intn(cfg.KeyRange)
+				if r.Intn(2) == 0 {
+					s.Insert(th, k)
+				} else {
+					s.Delete(th, k)
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+	close(stop)
+	<-done
+
+	st := d.Stats()
+	if p.Robust() && st.Frees == 0 && st.Retires > 64 {
+		t.Fatalf("robust policy %v freed nothing under a delayed reader (retires=%d)", p, st.Retires)
+	}
+	for _, th := range []*core.Thread{reader, w1, w2} {
+		th.Flush()
+	}
+}

@@ -1,0 +1,79 @@
+// Package hashtable implements HMHT from the paper's plots: a fixed-size
+// open hash table whose buckets are Harris-Michael lists. With the
+// paper's load factor of 6, bucket chains stay short, which makes this
+// the data structure with the *least* traversal per operation — the
+// regime where per-read SMR overhead is proportionally largest and cache
+// behaviour dominates.
+package hashtable
+
+import (
+	"pop/internal/core"
+	"pop/internal/ds/hmlist"
+)
+
+// Table is a fixed-bucket-count hash set of int64 keys.
+type Table struct {
+	shared  *hmlist.Shared
+	buckets []*hmlist.List
+	mask    uint64
+}
+
+// New creates a table sized for expectedKeys at the given load factor
+// (keys per bucket; the paper uses 6). The bucket count is rounded up to
+// a power of two. All buckets share one node pool.
+func New(d *core.Domain, expectedKeys int64, loadFactor int) *Table {
+	if loadFactor <= 0 {
+		loadFactor = 6
+	}
+	want := expectedKeys / int64(loadFactor)
+	n := uint64(1)
+	for int64(n) < want {
+		n <<= 1
+	}
+	t := &Table{
+		shared:  hmlist.NewShared(d),
+		buckets: make([]*hmlist.List, n),
+		mask:    n - 1,
+	}
+	for i := range t.buckets {
+		t.buckets[i] = hmlist.NewWithShared(t.shared)
+	}
+	return t
+}
+
+// Outstanding reports pool-level live+retired nodes (memory metric).
+func (t *Table) Outstanding() int64 { return t.shared.Outstanding() }
+
+// bucket hashes key with a Fibonacci multiply (SplitMix-style finisher
+// keeps adjacent keys in distinct buckets).
+func (t *Table) bucket(key int64) *hmlist.List {
+	x := uint64(key)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return t.buckets[x&t.mask]
+}
+
+// Insert adds key; false if already present.
+func (t *Table) Insert(th *core.Thread, key int64) bool {
+	return t.bucket(key).Insert(th, key)
+}
+
+// Delete removes key; false if absent.
+func (t *Table) Delete(th *core.Thread, key int64) bool {
+	return t.bucket(key).Delete(th, key)
+}
+
+// Contains reports whether key is present.
+func (t *Table) Contains(th *core.Thread, key int64) bool {
+	return t.bucket(key).Contains(th, key)
+}
+
+// Size sums bucket sizes. Quiescent use only.
+func (t *Table) Size(th *core.Thread) int {
+	n := 0
+	for _, b := range t.buckets {
+		n += b.Size(th)
+	}
+	return n
+}

@@ -1,0 +1,277 @@
+// Package hmlist implements the Harris-Michael lock-free linked-list set
+// (HML in the paper's plots; Michael [42], building on Harris [29]).
+//
+// Nodes are sorted by key between two sentinels. Deletion is two-phase:
+// a CAS sets the mark bit in the victim's next field (logical delete),
+// then a CAS swings the predecessor's next past it (physical unlink).
+// Traversals help unlink marked nodes they encounter, which is what makes
+// every traversal a potential reclaimer interaction — the property that
+// makes this list the paper's most SMR-sensitive benchmark (per-read
+// protection cost is paid on every hop of every operation).
+//
+// Reservation discipline (Michael's, adapted to the core API): three
+// rotating slots protect pred, curr and next; after protecting curr's
+// successor the traversal re-validates pred.next == curr, restarting from
+// the head on failure. Under NBR the unlink/insert/delete CASes are
+// bracketed by EnterWritePhase/ExitWritePhase and a neutralized Protect
+// restarts the whole operation.
+package hmlist
+
+import (
+	"math"
+	"unsafe"
+
+	"pop/internal/arena"
+	"pop/internal/core"
+)
+
+// node is a list cell. Header must be first (reclamation contract).
+// The mark bit of next tags *this* node as logically deleted.
+type node struct {
+	core.Header
+	key  int64
+	next core.Atomic
+}
+
+// Shared is the allocation state that one or more lists built over the
+// same domain can share — the hash table creates one Shared and thousands
+// of bucket Lists.
+type Shared struct {
+	d      *core.Domain
+	typ    uint8
+	pool   *arena.Pool[node]
+	caches []*arena.ThreadCache[node] // indexed by thread id, owner-only
+}
+
+// NewShared creates the node pool for lists in domain d.
+func NewShared(d *core.Domain) *Shared {
+	s := &Shared{
+		d:      d,
+		pool:   arena.NewPool[node](nil, nil),
+		caches: make([]*arena.ThreadCache[node], d.MaxThreads()),
+	}
+	s.typ = d.RegisterType(func(t *core.Thread, h *core.Header) {
+		s.cacheFor(t).Put((*node)(unsafe.Pointer(h)))
+	})
+	return s
+}
+
+// Outstanding reports pool-level live+retired nodes (memory metric).
+func (s *Shared) Outstanding() int64 { return s.pool.Outstanding() }
+
+// cacheFor returns t's allocation cache, creating it on first use. The
+// slot is only ever touched by t's goroutine.
+func (s *Shared) cacheFor(t *core.Thread) *arena.ThreadCache[node] {
+	c := s.caches[t.ID()]
+	if c == nil {
+		c = s.pool.NewCache()
+		s.caches[t.ID()] = c
+	}
+	return c
+}
+
+// List is a Harris-Michael sorted-list set.
+type List struct {
+	s    *Shared
+	head *node
+	tail *node
+}
+
+// New creates a standalone list (with its own Shared pool) in domain d.
+func New(d *core.Domain) *List { return NewWithShared(NewShared(d)) }
+
+// NewWithShared creates a list drawing nodes from an existing pool.
+func NewWithShared(s *Shared) *List {
+	// Sentinels come from the Go heap, not the pool: they are never
+	// retired, and keeping them out of the pool means pool.Outstanding
+	// counts only real keys.
+	head := &node{key: math.MinInt64}
+	tail := &node{key: math.MaxInt64}
+	head.next.Raw(unsafe.Pointer(tail))
+	return &List{s: s, head: head, tail: tail}
+}
+
+// Reservation slots. The traversal rotates roles among three physical
+// slots so advancing never re-publishes (Michael's index-rotation trick).
+const (
+	slotA = 0
+	slotB = 1
+	slotC = 2
+)
+
+// find locates the first unmarked node with key >= key, unlinking marked
+// nodes on the way. It returns the predecessor cell and both nodes with
+// pred protected in sPred and curr in sCurr. ok=false means the operation
+// was neutralized (NBR) and must restart from StartOp level.
+type position struct {
+	predCell *core.Atomic
+	pred     *node // protected; may be head sentinel
+	curr     *node // protected; tail sentinel if key > all
+	next     *node // protected; successor of curr (nil iff curr==tail)
+	sPred    int   // slot currently protecting pred
+	sCurr    int   // slot currently protecting curr
+	sNext    int   // slot currently protecting next
+}
+
+func (l *List) find(t *core.Thread, key int64) (pos position, ok bool) {
+retry:
+	pos = position{
+		predCell: &l.head.next,
+		pred:     l.head,
+		sPred:    slotC, sCurr: slotA, sNext: slotB,
+	}
+	craw, okp := t.Protect(pos.sCurr, pos.predCell)
+	if !okp {
+		return pos, false
+	}
+	if core.Marked(craw) {
+		// Head is never deleted; a marked head.next is impossible.
+		panic("hmlist: head.next marked")
+	}
+	pos.curr = (*node)(craw)
+	for {
+		if pos.curr == l.tail {
+			pos.next = nil
+			return pos, true
+		}
+		nraw, okp := t.Protect(pos.sNext, &pos.curr.next)
+		if !okp {
+			return pos, false
+		}
+		// Validate the edge: pred must still point at curr (and pred must
+		// not have been logically deleted, which would mark this cell).
+		if pos.predCell.Load() != unsafe.Pointer(pos.curr) {
+			goto retry
+		}
+		if core.Marked(nraw) {
+			// curr is logically deleted: help unlink it.
+			next := (*node)(core.Mask(nraw))
+			if !t.EnterWritePhase() {
+				return pos, false
+			}
+			if !pos.predCell.CompareAndSwap(unsafe.Pointer(pos.curr), unsafe.Pointer(next)) {
+				t.ExitWritePhase()
+				goto retry
+			}
+			t.Retire(&pos.curr.Header)
+			t.ExitWritePhase()
+			// next keeps its protection and becomes curr.
+			pos.curr = next
+			pos.sCurr, pos.sNext = pos.sNext, pos.sCurr
+			continue
+		}
+		next := (*node)(nraw)
+		if pos.curr.key >= key {
+			pos.next = next
+			return pos, true
+		}
+		// Advance: curr becomes pred, next becomes curr; the old pred
+		// slot is recycled for the next protection.
+		pos.pred = pos.curr
+		pos.predCell = &pos.curr.next
+		pos.curr = next
+		pos.sPred, pos.sCurr, pos.sNext = pos.sCurr, pos.sNext, pos.sPred
+	}
+}
+
+// Contains reports whether key is in the set.
+func (l *List) Contains(t *core.Thread, key int64) bool {
+	t.StartOp()
+	defer t.EndOp()
+	for {
+		pos, ok := l.find(t, key)
+		if !ok {
+			continue // neutralized: restart
+		}
+		return pos.curr != l.tail && pos.curr.key == key
+	}
+}
+
+// Insert adds key; false if already present.
+func (l *List) Insert(t *core.Thread, key int64) bool {
+	checkKey(key)
+	t.StartOp()
+	defer t.EndOp()
+	cache := l.s.cacheFor(t)
+	var n *node
+	for {
+		pos, ok := l.find(t, key)
+		if !ok {
+			continue
+		}
+		if pos.curr != l.tail && pos.curr.key == key {
+			if n != nil {
+				// Never published: return straight to the pool.
+				cache.Put(n)
+			}
+			return false
+		}
+		if n == nil {
+			n = cache.Get()
+			n.key = key
+			t.OnAlloc(&n.Header, l.s.typ)
+		}
+		n.next.Raw(unsafe.Pointer(pos.curr))
+		if !t.EnterWritePhase() {
+			continue
+		}
+		if pos.predCell.CompareAndSwap(unsafe.Pointer(pos.curr), unsafe.Pointer(n)) {
+			t.ExitWritePhase()
+			return true
+		}
+		t.ExitWritePhase()
+	}
+}
+
+// Delete removes key; false if absent.
+func (l *List) Delete(t *core.Thread, key int64) bool {
+	checkKey(key)
+	t.StartOp()
+	defer t.EndOp()
+	for {
+		pos, ok := l.find(t, key)
+		if !ok {
+			continue
+		}
+		if pos.curr == l.tail || pos.curr.key != key {
+			return false
+		}
+		if !t.EnterWritePhase() {
+			continue
+		}
+		// Logical delete: mark curr.next. pos.next is protected, so the
+		// CAS succeeding means no successor change raced us.
+		if !pos.curr.next.CompareAndSwap(unsafe.Pointer(pos.next), core.WithMark(unsafe.Pointer(pos.next))) {
+			t.ExitWritePhase()
+			continue
+		}
+		// Physical unlink; on failure some traversal will help.
+		if pos.predCell.CompareAndSwap(unsafe.Pointer(pos.curr), unsafe.Pointer(pos.next)) {
+			t.Retire(&pos.curr.Header)
+		}
+		t.ExitWritePhase()
+		return true
+	}
+}
+
+// Size counts the unmarked nodes. Quiescent use only.
+func (l *List) Size(t *core.Thread) int {
+	n := 0
+	for c := (*node)(core.Mask(l.head.next.Load())); c != l.tail; {
+		nraw := c.next.Load()
+		if !core.Marked(nraw) {
+			n++
+		}
+		c = (*node)(core.Mask(nraw))
+	}
+	return n
+}
+
+func checkKey(key int64) {
+	if key == math.MinInt64 || key == math.MaxInt64 {
+		panic("hmlist: key collides with sentinel")
+	}
+}
+
+// Outstanding reports pool-level live+retired nodes (memory metric).
+func (l *List) Outstanding() int64 { return l.s.Outstanding() }

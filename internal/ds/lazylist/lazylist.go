@@ -1,0 +1,240 @@
+// Package lazylist implements the lazy list of Heller et al. [31]
+// (LL in the paper's plots): a sorted linked-list set with wait-free
+// unsynchronized traversals, per-node locks for updates, and a marked
+// flag for logical deletion.
+//
+// Where the Harris-Michael list helps unlink during traversal, the lazy
+// list's readers are pure: Contains walks the list with no writes at all,
+// validating only the final node. Updates lock pred and curr, validate
+// that both are unmarked and still adjacent, and then mutate. This gives
+// the paper a second list with a very different reader/writer balance:
+// traversal cost is dominated purely by the SMR read protocol.
+package lazylist
+
+import (
+	"math"
+	"sync"
+	"unsafe"
+
+	"pop/internal/arena"
+	"pop/internal/core"
+)
+
+// node is a list cell. Header must be first (reclamation contract).
+type node struct {
+	core.Header
+	key    int64
+	marked core.Flag // logical deletion mark (distinct from link tags)
+	mu     sync.Mutex
+	next   core.Atomic
+}
+
+// List is a lazy-list set.
+type List struct {
+	d     *core.Domain
+	typ   uint8
+	pool  *arena.Pool[node]
+	cache []*arena.ThreadCache[node]
+	head  *node
+	tail  *node
+}
+
+// New creates an empty lazy list in domain d.
+func New(d *core.Domain) *List {
+	l := &List{
+		d:     d,
+		pool:  arena.NewPool[node](nil, nil),
+		cache: make([]*arena.ThreadCache[node], d.MaxThreads()),
+	}
+	l.typ = d.RegisterType(func(t *core.Thread, h *core.Header) {
+		n := (*node)(unsafe.Pointer(h))
+		n.marked.Store(false)
+		l.cacheFor(t).Put(n)
+	})
+	l.head = &node{key: math.MinInt64}
+	l.tail = &node{key: math.MaxInt64}
+	l.head.next.Raw(unsafe.Pointer(l.tail))
+	return l
+}
+
+// Outstanding reports pool-level live+retired nodes (memory metric).
+func (l *List) Outstanding() int64 { return l.pool.Outstanding() }
+
+func (l *List) cacheFor(t *core.Thread) *arena.ThreadCache[node] {
+	c := l.cache[t.ID()]
+	if c == nil {
+		c = l.pool.NewCache()
+		l.cache[t.ID()] = c
+	}
+	return c
+}
+
+const (
+	slotPred = 0
+	slotCurr = 1
+)
+
+// search walks to the first node with key >= key. Slots rotate between
+// the two roles so advancing does not re-publish. ok=false: neutralized.
+func (l *List) search(t *core.Thread, key int64) (pred, curr *node, sPred, sCurr int, ok bool) {
+restart:
+	pred = l.head
+	sPred, sCurr = slotPred, slotCurr
+	raw, okp := t.Protect(sCurr, &pred.next)
+	if !okp {
+		return nil, nil, 0, 0, false
+	}
+	curr = (*node)(raw)
+	for curr.key < key {
+		nraw, okp := t.Protect(sPred, &curr.next) // old pred slot becomes next's
+		if !okp {
+			return nil, nil, 0, 0, false
+		}
+		// Liveness validation: an unlinked node is marked before its
+		// next pointer freezes, so restarting on a marked curr (checked
+		// *after* protecting the successor) guarantees the successor was
+		// reachable at protect time. The textbook lazy list traverses
+		// marked nodes freely, but that is only safe under garbage
+		// collection or epochs; under pointer-based reclamation the
+		// traversal must not cross frozen links.
+		if curr.marked.Load() {
+			goto restart
+		}
+		pred = curr
+		curr = (*node)(nraw)
+		sPred, sCurr = sCurr, sPred
+	}
+	return pred, curr, sPred, sCurr, true
+}
+
+// Contains is the lazy list's wait-free membership test: walk, then check
+// the final node's key and mark.
+func (l *List) Contains(t *core.Thread, key int64) bool {
+	t.StartOp()
+	defer t.EndOp()
+	for {
+		_, curr, _, _, ok := l.search(t, key)
+		if !ok {
+			continue
+		}
+		return curr.key == key && !curr.marked.Load()
+	}
+}
+
+// validate re-checks, under locks, that pred and curr are both unmarked
+// and adjacent — the lazy list's linearization guard.
+func (l *List) validate(pred, curr *node) bool {
+	return !pred.marked.Load() && !curr.marked.Load() &&
+		l.nextOf(pred) == curr
+}
+
+func (l *List) nextOf(n *node) *node { return (*node)(n.next.Load()) }
+
+// Insert adds key; false if already present.
+func (l *List) Insert(t *core.Thread, key int64) bool {
+	checkKey(key)
+	t.StartOp()
+	defer t.EndOp()
+	cache := l.cacheFor(t)
+	var n *node
+	for {
+		pred, curr, _, _, ok := l.search(t, key)
+		if !ok {
+			continue
+		}
+		if curr.key == key && !curr.marked.Load() {
+			if n != nil {
+				cache.Put(n) // never published
+			}
+			return false
+		}
+		// Write phase: reservations for pred/curr are already in slots.
+		if !t.EnterWritePhase() {
+			continue
+		}
+		pred.mu.Lock()
+		curr.mu.Lock()
+		if !l.validate(pred, curr) {
+			curr.mu.Unlock()
+			pred.mu.Unlock()
+			t.ExitWritePhase()
+			continue
+		}
+		if curr.key == key {
+			// An unmarked duplicate appeared (or curr was the match all
+			// along and a racing delete lost).
+			curr.mu.Unlock()
+			pred.mu.Unlock()
+			t.ExitWritePhase()
+			if n != nil {
+				cache.Put(n)
+			}
+			return false
+		}
+		if n == nil {
+			n = cache.Get()
+			n.key = key
+			n.marked.Store(false)
+			t.OnAlloc(&n.Header, l.typ)
+		}
+		n.next.Raw(unsafe.Pointer(curr))
+		pred.next.Store(unsafe.Pointer(n))
+		curr.mu.Unlock()
+		pred.mu.Unlock()
+		t.ExitWritePhase()
+		return true
+	}
+}
+
+// Delete removes key; false if absent.
+func (l *List) Delete(t *core.Thread, key int64) bool {
+	checkKey(key)
+	t.StartOp()
+	defer t.EndOp()
+	for {
+		pred, curr, _, _, ok := l.search(t, key)
+		if !ok {
+			continue
+		}
+		if curr.key != key || curr.marked.Load() {
+			return false
+		}
+		if !t.EnterWritePhase() {
+			continue
+		}
+		pred.mu.Lock()
+		curr.mu.Lock()
+		if !l.validate(pred, curr) || curr.key != key {
+			curr.mu.Unlock()
+			pred.mu.Unlock()
+			t.ExitWritePhase()
+			continue
+		}
+		curr.marked.Store(true)          // logical delete (linearization point)
+		pred.next.Store(l.rawNext(curr)) // physical unlink
+		curr.mu.Unlock()
+		pred.mu.Unlock()
+		t.Retire(&curr.Header)
+		t.ExitWritePhase()
+		return true
+	}
+}
+
+func (l *List) rawNext(n *node) unsafe.Pointer { return n.next.Load() }
+
+// Size counts unmarked nodes. Quiescent use only.
+func (l *List) Size(t *core.Thread) int {
+	n := 0
+	for c := l.nextOf(l.head); c != l.tail; c = l.nextOf(c) {
+		if !c.marked.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+func checkKey(key int64) {
+	if key == math.MinInt64 || key == math.MaxInt64 {
+		panic("lazylist: key collides with sentinel")
+	}
+}

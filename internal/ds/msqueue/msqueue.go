@@ -1,0 +1,165 @@
+// Package msqueue implements the Michael-Scott lock-free FIFO queue —
+// the original showcase data structure for hazard pointers (Michael
+// [42] §5 uses it as the running example). It is included beyond the
+// paper's five sets to demonstrate the POP algorithms' drop-in claim
+// (§4.2.4: "compatible with the same data structures as hazard
+// pointers") on a structure with a completely different reservation
+// pattern: two fixed slots (head/tail), no traversals, and retirement of
+// the dummy node on every dequeue.
+package msqueue
+
+import (
+	"unsafe"
+
+	"pop/internal/arena"
+	"pop/internal/core"
+)
+
+// node is a queue cell. Header first (reclamation contract).
+type node struct {
+	core.Header
+	val  int64
+	next core.Atomic
+}
+
+// Queue is a lock-free multi-producer multi-consumer FIFO of int64.
+type Queue struct {
+	d     *core.Domain
+	typ   uint8
+	pool  *arena.Pool[node]
+	cache []*arena.ThreadCache[node]
+	head  core.Atomic // dummy node; its successor holds the front value
+	tail  core.Atomic
+}
+
+// New creates an empty queue in domain d.
+func New(d *core.Domain) *Queue {
+	q := &Queue{
+		d:     d,
+		pool:  arena.NewPool[node](nil, nil),
+		cache: make([]*arena.ThreadCache[node], d.MaxThreads()),
+	}
+	q.typ = d.RegisterType(func(t *core.Thread, h *core.Header) {
+		q.cacheFor(t).Put((*node)(unsafe.Pointer(h)))
+	})
+	// The initial dummy is pool-managed: the first dequeue retires it.
+	c := q.pool.NewCache()
+	dummy := c.Get()
+	dummy.val = 0
+	dummy.next.Raw(nil)
+	dummy.Header.Type = q.typ
+	q.head.Raw(unsafe.Pointer(dummy))
+	q.tail.Raw(unsafe.Pointer(dummy))
+	return q
+}
+
+// Outstanding reports pool-level live+retired nodes.
+func (q *Queue) Outstanding() int64 { return q.pool.Outstanding() }
+
+func (q *Queue) cacheFor(t *core.Thread) *arena.ThreadCache[node] {
+	c := q.cache[t.ID()]
+	if c == nil {
+		c = q.pool.NewCache()
+		q.cache[t.ID()] = c
+	}
+	return c
+}
+
+const (
+	slotHead = 0
+	slotNext = 1
+	slotTail = 0 // enqueue reuses slot 0 for the tail
+)
+
+// Enqueue appends v to the queue.
+func (q *Queue) Enqueue(t *core.Thread, v int64) {
+	t.StartOp()
+	defer t.EndOp()
+	cache := q.cacheFor(t)
+	n := cache.Get()
+	n.val = v
+	n.next.Raw(nil)
+	t.OnAlloc(&n.Header, q.typ)
+	for {
+		raw, ok := t.Protect(slotTail, &q.tail)
+		if !ok {
+			continue // neutralized: the new node is private, just retry
+		}
+		tail := (*node)(raw)
+		next := tail.next.Load()
+		if q.tail.Load() != unsafe.Pointer(tail) {
+			continue
+		}
+		if next != nil {
+			// Tail is lagging: help swing it.
+			q.tail.CompareAndSwap(unsafe.Pointer(tail), next)
+			continue
+		}
+		if !t.EnterWritePhase() {
+			continue
+		}
+		if tail.next.CompareAndSwap(nil, unsafe.Pointer(n)) {
+			q.tail.CompareAndSwap(unsafe.Pointer(tail), unsafe.Pointer(n))
+			t.ExitWritePhase()
+			return
+		}
+		t.ExitWritePhase()
+	}
+}
+
+// Dequeue removes and returns the front value; ok=false when empty.
+func (q *Queue) Dequeue(t *core.Thread) (v int64, ok bool) {
+	t.StartOp()
+	defer t.EndOp()
+	for {
+		raw, okp := t.Protect(slotHead, &q.head)
+		if !okp {
+			continue
+		}
+		head := (*node)(raw)
+		tailRaw := q.tail.Load()
+		nextRaw, okp := t.Protect(slotNext, &head.next)
+		if !okp {
+			continue
+		}
+		if q.head.Load() != unsafe.Pointer(head) {
+			continue
+		}
+		next := (*node)(nextRaw)
+		if unsafe.Pointer(head) == tailRaw {
+			if next == nil {
+				return 0, false // empty
+			}
+			// Tail lagging behind an in-flight enqueue: help.
+			q.tail.CompareAndSwap(tailRaw, nextRaw)
+			continue
+		}
+		if next == nil {
+			// head != tail implies a successor exists; re-read raced.
+			continue
+		}
+		// Read the value before the CAS publishes the node as the new
+		// dummy (after the CAS another dequeuer may retire-free it).
+		val := next.val
+		if !t.EnterWritePhase() {
+			continue
+		}
+		if q.head.CompareAndSwap(unsafe.Pointer(head), nextRaw) {
+			t.Retire(&head.Header)
+			t.ExitWritePhase()
+			return val, true
+		}
+		t.ExitWritePhase()
+	}
+}
+
+// Len counts queued values. Quiescent use only.
+func (q *Queue) Len(t *core.Thread) int {
+	n := 0
+	cur := (*node)(q.head.Load())
+	for raw := cur.next.Load(); raw != nil; raw = cur.next.Load() {
+		cur = (*node)(raw)
+		n++
+	}
+	return n
+}

@@ -1,0 +1,181 @@
+package msqueue_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"pop/internal/core"
+	"pop/internal/ds/msqueue"
+)
+
+func TestFIFOSequential(t *testing.T) {
+	for _, p := range core.Policies() {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			d := core.NewDomain(p, 1, &core.Options{ReclaimThreshold: 16, BatchSize: 4})
+			q := msqueue.New(d)
+			th := d.RegisterThread()
+			if _, ok := q.Dequeue(th); ok {
+				t.Fatal("dequeue from empty queue succeeded")
+			}
+			for i := int64(0); i < 100; i++ {
+				q.Enqueue(th, i)
+			}
+			if got := q.Len(th); got != 100 {
+				t.Fatalf("Len = %d, want 100", got)
+			}
+			for i := int64(0); i < 100; i++ {
+				v, ok := q.Dequeue(th)
+				if !ok || v != i {
+					t.Fatalf("Dequeue = (%d, %v), want (%d, true)", v, ok, i)
+				}
+			}
+			if _, ok := q.Dequeue(th); ok {
+				t.Fatal("queue not empty after draining")
+			}
+			th.Flush()
+			if p != core.NR && d.Unreclaimed() != 0 {
+				t.Fatalf("unreclaimed = %d", d.Unreclaimed())
+			}
+		})
+	}
+}
+
+// TestMPMCSumConservation: concurrent producers and consumers; the sum of
+// consumed values must equal the sum produced, and per-producer order
+// must be preserved (FIFO per producer: values from one producer arrive
+// in increasing order).
+func TestMPMCSumConservation(t *testing.T) {
+	for _, p := range []core.Policy{core.HP, core.EBR, core.NBR, core.HazardPtrPOP, core.EpochPOP} {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			const producers, consumers, perProducer = 2, 2, 5000
+			d := core.NewDomain(p, producers+consumers, &core.Options{ReclaimThreshold: 32})
+			q := msqueue.New(d)
+
+			var produced, consumed atomic.Int64
+			var consumedCount atomic.Int64
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+
+			for i := 0; i < producers; i++ {
+				th := d.RegisterThread()
+				wg.Add(1)
+				go func(id int, th *core.Thread) {
+					defer wg.Done()
+					base := int64(id) * 1_000_000
+					for k := int64(0); k < perProducer; k++ {
+						q.Enqueue(th, base+k)
+						produced.Add(base + k)
+					}
+				}(i, th)
+			}
+			var cwg sync.WaitGroup
+			lastSeen := make([][]int64, consumers)
+			for i := 0; i < consumers; i++ {
+				th := d.RegisterThread()
+				cwg.Add(1)
+				lastSeen[i] = []int64{-1, -1} // per-producer high-water
+				go func(id int, th *core.Thread) {
+					defer cwg.Done()
+					for {
+						v, ok := q.Dequeue(th)
+						if !ok {
+							select {
+							case <-stop:
+								// Drain whatever remains, then quit.
+								for {
+									v, ok := q.Dequeue(th)
+									if !ok {
+										return
+									}
+									consumed.Add(v)
+									consumedCount.Add(1)
+								}
+							default:
+								continue
+							}
+						}
+						prod := int(v / 1_000_000)
+						seq := v % 1_000_000
+						if seq <= lastSeen[id][prod] {
+							// Not a strict global FIFO check (two
+							// consumers interleave), but a single
+							// consumer must see each producer's values
+							// in increasing order.
+							t.Errorf("consumer %d saw producer %d out of order: %d after %d",
+								id, prod, seq, lastSeen[id][prod])
+							return
+						}
+						lastSeen[id][prod] = seq
+						consumed.Add(v)
+						consumedCount.Add(1)
+					}
+				}(i, th)
+			}
+			wg.Wait()
+			close(stop)
+			cwg.Wait()
+
+			if consumedCount.Load() != producers*perProducer {
+				t.Fatalf("consumed %d values, want %d", consumedCount.Load(), producers*perProducer)
+			}
+			if produced.Load() != consumed.Load() {
+				t.Fatalf("sum mismatch: produced %d, consumed %d", produced.Load(), consumed.Load())
+			}
+		})
+	}
+}
+
+// TestQuickQueueVsSlice property-checks the queue against a slice model
+// on random enqueue/dequeue tapes.
+func TestQuickQueueVsSlice(t *testing.T) {
+	prop := func(tape []int16) bool {
+		d := core.NewDomain(core.HazardPtrPOP, 1, &core.Options{ReclaimThreshold: 8})
+		q := msqueue.New(d)
+		th := d.RegisterThread()
+		var model []int64
+		for _, w := range tape {
+			if w >= 0 {
+				q.Enqueue(th, int64(w))
+				model = append(model, int64(w))
+			} else {
+				v, ok := q.Dequeue(th)
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					if !ok || v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+		}
+		return q.Len(th) == len(model)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDequeueRetiresDummies: every successful dequeue retires exactly one
+// node (the old dummy), which is what feeds the reclaimer in this
+// structure.
+func TestDequeueRetiresDummies(t *testing.T) {
+	d := core.NewDomain(core.HP, 1, &core.Options{ReclaimThreshold: 1 << 20})
+	q := msqueue.New(d)
+	th := d.RegisterThread()
+	for i := int64(0); i < 50; i++ {
+		q.Enqueue(th, i)
+	}
+	for i := int64(0); i < 50; i++ {
+		q.Dequeue(th)
+	}
+	if got := d.Stats().Retires; got != 50 {
+		t.Fatalf("retires = %d, want 50", got)
+	}
+}

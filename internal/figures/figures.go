@@ -1,0 +1,567 @@
+// Package figures encodes every experiment in the paper's evaluation —
+// Figures 1-11 plus the §2.1.2 read-cost analysis, the robustness
+// scenario, and ablations over the design parameters DESIGN.md calls out.
+// Each figure knows its workload, data structure, sizes and thresholds,
+// runs the sweep through the harness, and returns the same series the
+// paper plots. cmd/popbench renders them; bench_test.go reuses the same
+// definitions so `go test -bench` regenerates every figure.
+//
+// Sizes are the paper's divided by Ctx.Scale so laptop-scale runs finish;
+// pass Scale=1 for full-size structures. The retire-list threshold
+// (paper: 24K) scales with the structure so that reclamation actually
+// triggers at reduced size.
+package figures
+
+import (
+	"fmt"
+	"time"
+
+	"pop/internal/core"
+	"pop/internal/harness"
+	"pop/internal/report"
+	"pop/internal/workload"
+)
+
+// Ctx carries sweep-wide parameters.
+type Ctx struct {
+	Duration time.Duration // per-trial execution time
+	Threads  []int         // thread counts to sweep
+	Scale    int64         // divide paper structure sizes by this (>=1)
+	Seed     uint64
+	Policies []core.Policy        // nil = paper's standard set
+	Log      func(string, ...any) // optional progress sink
+}
+
+func (c Ctx) withDefaults() Ctx {
+	if c.Duration <= 0 {
+		c.Duration = 300 * time.Millisecond
+	}
+	if len(c.Threads) == 0 {
+		c.Threads = []int{1, 2, 4, 8}
+	}
+	if c.Scale <= 0 {
+		c.Scale = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Log == nil {
+		c.Log = func(string, ...any) {}
+	}
+	return c
+}
+
+// standardPolicies is the paper's plot legend order (Figures 1-9).
+var standardPolicies = []core.Policy{
+	core.IBR, core.HE, core.HP, core.HPAsym, core.HazardPtrPOP,
+	core.EBR, core.HazardEraPOP, core.NBR, core.NR, core.EpochPOP,
+}
+
+func (c Ctx) policySet(withCrystalline bool) []core.Policy {
+	if c.Policies != nil {
+		return c.Policies
+	}
+	if !withCrystalline {
+		return standardPolicies
+	}
+	out := append([]core.Policy(nil), standardPolicies...)
+	return append(out, core.Crystalline)
+}
+
+// Figure is one reproducible experiment.
+type Figure struct {
+	ID   string
+	Desc string
+	Run  func(Ctx) ([]report.Series, error)
+}
+
+// metric extracts one plotted value from a trial result.
+type metric struct {
+	name string
+	get  func(harness.Result) float64
+}
+
+var (
+	mThroughput  = metric{"throughput (ops/s)", func(r harness.Result) float64 { return r.Throughput }}
+	mReadTput    = metric{"read throughput (ops/s)", func(r harness.Result) float64 { return r.ReadTput }}
+	mMaxRetire   = metric{"max retireList size (nodes)", func(r harness.Result) float64 { return float64(r.MaxRetire) }}
+	mPeakRes     = metric{"peak resident nodes", func(r harness.Result) float64 { return float64(r.PeakResident) }}
+	mUnreclaimed = metric{"total unreclaimed nodes", func(r harness.Result) float64 { return float64(r.Unreclaimed) }}
+)
+
+// scaleSize divides a paper size by the context scale with a floor.
+func scaleSize(c Ctx, paperSize int64) int64 {
+	s := paperSize / c.Scale
+	if s < 128 {
+		s = 128
+	}
+	return s
+}
+
+// scaleThreshold shrinks the paper's 24K retire threshold proportionally
+// to the structure so reclamation still triggers at reduced scale.
+func scaleThreshold(c Ctx, paperThreshold int) int {
+	t := int(int64(paperThreshold) / c.Scale)
+	if t < 64 {
+		t = 64
+	}
+	return t
+}
+
+// sweepThreads runs cfgBase for every (policy, thread-count) pair and
+// builds one series per metric.
+func sweepThreads(c Ctx, title string, cfgBase harness.Config, policies []core.Policy, metrics []metric) ([]report.Series, error) {
+	names := make([]string, len(policies))
+	for i, p := range policies {
+		names[i] = p.String()
+	}
+	out := make([]report.Series, len(metrics))
+	for i, m := range metrics {
+		out[i] = report.Series{
+			Title:  fmt.Sprintf("%s — %s", title, m.name),
+			XLabel: "threads",
+			Names:  names,
+		}
+	}
+	for _, n := range c.Threads {
+		cells := make([][]float64, len(metrics))
+		for i := range cells {
+			cells[i] = make([]float64, len(policies))
+		}
+		for pi, p := range policies {
+			cfg := cfgBase
+			cfg.Policy = p
+			cfg.Threads = n
+			cfg.Duration = c.Duration
+			cfg.Seed = c.Seed
+			c.Log("  %s: threads=%d policy=%v", title, n, p)
+			res, err := harness.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s [threads=%d policy=%v]: %w", title, n, p, err)
+			}
+			for mi, m := range metrics {
+				cells[mi][pi] = m.get(res)
+			}
+		}
+		for mi := range metrics {
+			out[mi].AddRow(fmt.Sprintf("%d", n), cells[mi])
+		}
+	}
+	return out, nil
+}
+
+// throughputAndMemory is the Figure 1/2 layout: throughput + max retire
+// list across a thread sweep. fixed=true keeps the paper's exact size
+// (the 2K lists are already laptop-scale and their size is the point).
+func throughputAndMemory(id, what, dsName string, paperSize int64, fixed bool, mix workload.Mix) Figure {
+	return Figure{
+		ID:   id,
+		Desc: what,
+		Run: func(c Ctx) ([]report.Series, error) {
+			c = c.withDefaults()
+			size, threshold := paperSize, 24576
+			if !fixed {
+				size = scaleSize(c, paperSize)
+				threshold = scaleThreshold(c, 24576)
+			}
+			cfg := harness.Config{
+				DS:               dsName,
+				KeyRange:         size,
+				Mix:              mix,
+				ReclaimThreshold: threshold,
+			}
+			return sweepThreads(c, what, cfg, c.policySet(false),
+				[]metric{mThroughput, mMaxRetire})
+		},
+	}
+}
+
+// throughputOnly is the Figure 3 layout.
+func throughputOnly(id, what, dsName string, paperSize int64, mix workload.Mix) Figure {
+	return Figure{
+		ID:   id,
+		Desc: what,
+		Run: func(c Ctx) ([]report.Series, error) {
+			c = c.withDefaults()
+			cfg := harness.Config{
+				DS:               dsName,
+				KeyRange:         scaleSize(c, paperSize),
+				Mix:              mix,
+				ReclaimThreshold: scaleThreshold(c, 24576),
+			}
+			return sweepThreads(c, what, cfg, c.policySet(false), []metric{mThroughput})
+		},
+	}
+}
+
+// appendixFigure is the appendix D/E layout: update-heavy and read-heavy
+// panels, each with throughput, peak resident memory and unreclaimed
+// nodes (Figures 5-11).
+func appendixFigure(id, what, dsName string, paperSize int64, fixed, withCrystalline bool) Figure {
+	return Figure{
+		ID:   id,
+		Desc: what,
+		Run: func(c Ctx) ([]report.Series, error) {
+			c = c.withDefaults()
+			var out []report.Series
+			size, threshold := paperSize, 24576
+			if !fixed {
+				size = scaleSize(c, paperSize)
+				threshold = scaleThreshold(c, 24576)
+			}
+			for _, panel := range []struct {
+				name string
+				mix  workload.Mix
+			}{
+				{"update-heavy", workload.UpdateHeavy},
+				{"read-heavy", workload.ReadHeavy},
+			} {
+				cfg := harness.Config{
+					DS:               dsName,
+					KeyRange:         size,
+					Mix:              panel.mix,
+					ReclaimThreshold: threshold,
+				}
+				series, err := sweepThreads(c, fmt.Sprintf("%s (%s)", what, panel.name),
+					cfg, c.policySet(withCrystalline),
+					[]metric{mThroughput, mPeakRes, mUnreclaimed})
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, series...)
+			}
+			return out, nil
+		},
+	}
+}
+
+// longReadsFigure is Figure 4: HML size sweep under the long-running-
+// reads workload, plotting read-throughput ratio to NR and max retire
+// list. The retire threshold is the paper's 2K (scaled).
+func longReadsFigure() Figure {
+	return Figure{
+		ID:   "fig4",
+		Desc: "Fig 4: long-running reads on HML, sizes 10K-800K; read throughput ratio vs NR and memory",
+		Run: func(c Ctx) ([]report.Series, error) {
+			c = c.withDefaults()
+			threads := c.Threads[len(c.Threads)-1]
+			if threads < 2 {
+				threads = 2
+			}
+			policies := c.policySet(false)
+			names := make([]string, len(policies))
+			for i, p := range policies {
+				names[i] = p.String()
+			}
+			ratio := report.Series{
+				Title:  "Fig 4a: HML long-running reads — read throughput ratio to NR",
+				XLabel: "size",
+				Names:  names,
+			}
+			mem := report.Series{
+				Title:  "Fig 4b: HML long-running reads — max retireList size (nodes)",
+				XLabel: "size",
+				Names:  names,
+			}
+			for _, paperSize := range []int64{10_000, 50_000, 100_000, 400_000, 800_000} {
+				size := scaleSize(c, paperSize)
+				cells := make([]float64, len(policies))
+				mems := make([]float64, len(policies))
+				var nrTput float64
+				run := func(p core.Policy) (harness.Result, error) {
+					return harness.Run(harness.Config{
+						DS:               harness.DSHarrisMichaelList,
+						Policy:           p,
+						Threads:          threads,
+						Duration:         c.Duration,
+						KeyRange:         size,
+						LongReads:        true,
+						Seed:             c.Seed,
+						ReclaimThreshold: scaleThreshold(c, 2048),
+					})
+				}
+				c.Log("  fig4: size=%d policy=NR (baseline)", size)
+				base, err := run(core.NR)
+				if err != nil {
+					return nil, err
+				}
+				nrTput = base.ReadTput
+				for pi, p := range policies {
+					var res harness.Result
+					if p == core.NR {
+						res = base
+					} else {
+						c.Log("  fig4: size=%d policy=%v", size, p)
+						res, err = run(p)
+						if err != nil {
+							return nil, err
+						}
+					}
+					if nrTput > 0 {
+						cells[pi] = res.ReadTput / nrTput
+					}
+					mems[pi] = float64(res.MaxRetire)
+				}
+				label := fmt.Sprintf("%d", size)
+				ratio.AddRow(label, cells)
+				mem.AddRow(label, mems)
+			}
+			return []report.Series{ratio, mem}, nil
+		},
+	}
+}
+
+// readCostFigure quantifies §2.1.2: single-threaded read-path cost per
+// scheme on a small HML (ns per contains).
+func readCostFigure() Figure {
+	return Figure{
+		ID:   "readcost",
+		Desc: "§2.1.2: single-thread read-path cost (ns/contains, HML size 1K)",
+		Run: func(c Ctx) ([]report.Series, error) {
+			c = c.withDefaults()
+			policies := c.policySet(false)
+			names := make([]string, len(policies))
+			cells := make([]float64, len(policies))
+			for i, p := range policies {
+				names[i] = p.String()
+				res, err := harness.Run(harness.Config{
+					DS:       harness.DSHarrisMichaelList,
+					Policy:   p,
+					Threads:  1,
+					Duration: c.Duration,
+					KeyRange: 1024,
+					Mix:      workload.Mix{ContainsPct: 100},
+					Seed:     c.Seed,
+				})
+				if err != nil {
+					return nil, err
+				}
+				if res.Ops > 0 {
+					cells[i] = float64(c.Duration.Nanoseconds()) / float64(res.Ops)
+				}
+			}
+			s := report.Series{Title: "Read-path cost — ns per contains (lower is better)", XLabel: "run", Names: names}
+			s.AddRow("1 thread", cells)
+			return []report.Series{s}, nil
+		},
+	}
+}
+
+// stallFigure is the robustness claim: a periodically delayed thread
+// pins EBR's epoch; robust schemes keep garbage bounded.
+func stallFigure() Figure {
+	return Figure{
+		ID:   "stall",
+		Desc: "Robustness: unreclaimed garbage and throughput with a delayed thread",
+		Run: func(c Ctx) ([]report.Series, error) {
+			c = c.withDefaults()
+			threads := c.Threads[len(c.Threads)-1]
+			if threads < 2 {
+				threads = 2
+			}
+			policies := c.policySet(false)
+			names := make([]string, len(policies))
+			unre := make([]float64, len(policies))
+			tput := make([]float64, len(policies))
+			for i, p := range policies {
+				names[i] = p.String()
+				c.Log("  stall: policy=%v", p)
+				res, err := harness.Run(harness.Config{
+					DS:               harness.DSHarrisMichaelList,
+					Policy:           p,
+					Threads:          threads,
+					Duration:         c.Duration,
+					KeyRange:         2048,
+					ReclaimThreshold: 128,
+					StallEvery:       2 * time.Millisecond,
+					StallLength:      c.Duration / 4,
+					Seed:             c.Seed,
+				})
+				if err != nil {
+					return nil, err
+				}
+				unre[i] = float64(res.Unreclaimed)
+				tput[i] = res.Throughput
+			}
+			s1 := report.Series{Title: "Delayed thread — unreclaimed nodes at run end", XLabel: "run", Names: names}
+			s1.AddRow("stall", unre)
+			s2 := report.Series{Title: "Delayed thread — throughput (ops/s)", XLabel: "run", Names: names}
+			s2.AddRow("stall", tput)
+			return []report.Series{s1, s2}, nil
+		},
+	}
+}
+
+// ablateThreshold sweeps the retire-list threshold (the reclaimFreq knob;
+// cf. Kim, Brown & Singh [36] on batch-free harm).
+func ablateThreshold() Figure {
+	return Figure{
+		ID:   "ablate-threshold",
+		Desc: "Ablation: retire-list threshold sweep on HML update-heavy",
+		Run: func(c Ctx) ([]report.Series, error) {
+			c = c.withDefaults()
+			threads := c.Threads[len(c.Threads)-1]
+			policies := []core.Policy{core.HP, core.HPAsym, core.HazardPtrPOP, core.EpochPOP, core.EBR, core.NBR}
+			if c.Policies != nil {
+				policies = c.Policies
+			}
+			names := make([]string, len(policies))
+			for i, p := range policies {
+				names[i] = p.String()
+			}
+			thr := report.Series{Title: "Threshold ablation — throughput (ops/s)", XLabel: "threshold", Names: names}
+			mem := report.Series{Title: "Threshold ablation — peak resident nodes", XLabel: "threshold", Names: names}
+			for _, threshold := range []int{128, 512, 2048, 8192} {
+				tputs := make([]float64, len(policies))
+				mems := make([]float64, len(policies))
+				for pi, p := range policies {
+					c.Log("  ablate-threshold: threshold=%d policy=%v", threshold, p)
+					res, err := harness.Run(harness.Config{
+						DS:               harness.DSHarrisMichaelList,
+						Policy:           p,
+						Threads:          threads,
+						Duration:         c.Duration,
+						KeyRange:         2048,
+						ReclaimThreshold: threshold,
+						Seed:             c.Seed,
+					})
+					if err != nil {
+						return nil, err
+					}
+					tputs[pi] = res.Throughput
+					mems[pi] = float64(res.PeakResident)
+				}
+				thr.AddRow(fmt.Sprintf("%d", threshold), tputs)
+				mem.AddRow(fmt.Sprintf("%d", threshold), mems)
+			}
+			return []report.Series{thr, mem}, nil
+		},
+	}
+}
+
+// ablateEpochFreq sweeps the epoch-advance cadence for the epoch-based
+// schemes.
+func ablateEpochFreq() Figure {
+	return Figure{
+		ID:   "ablate-epochfreq",
+		Desc: "Ablation: epoch frequency sweep for EBR/HE/IBR/EpochPOP on DGT",
+		Run: func(c Ctx) ([]report.Series, error) {
+			c = c.withDefaults()
+			threads := c.Threads[len(c.Threads)-1]
+			policies := []core.Policy{core.EBR, core.HE, core.IBR, core.HazardEraPOP, core.EpochPOP}
+			if c.Policies != nil {
+				policies = c.Policies
+			}
+			names := make([]string, len(policies))
+			for i, p := range policies {
+				names[i] = p.String()
+			}
+			thr := report.Series{Title: "EpochFreq ablation — throughput (ops/s)", XLabel: "epochFreq", Names: names}
+			mem := report.Series{Title: "EpochFreq ablation — peak resident nodes", XLabel: "epochFreq", Names: names}
+			for _, freq := range []int{16, 64, 256, 1024} {
+				tputs := make([]float64, len(policies))
+				mems := make([]float64, len(policies))
+				for pi, p := range policies {
+					c.Log("  ablate-epochfreq: freq=%d policy=%v", freq, p)
+					res, err := harness.Run(harness.Config{
+						DS:               harness.DSExternalBST,
+						Policy:           p,
+						Threads:          threads,
+						Duration:         c.Duration,
+						KeyRange:         scaleSize(c, 200_000),
+						EpochFreq:        freq,
+						ReclaimThreshold: scaleThreshold(c, 24576),
+						Seed:             c.Seed,
+					})
+					if err != nil {
+						return nil, err
+					}
+					tputs[pi] = res.Throughput
+					mems[pi] = float64(res.PeakResident)
+				}
+				thr.AddRow(fmt.Sprintf("%d", freq), tputs)
+				mem.AddRow(fmt.Sprintf("%d", freq), mems)
+			}
+			return []report.Series{thr, mem}, nil
+		},
+	}
+}
+
+// ablateCMult sweeps EpochPOP's escalation factor C under a stalling
+// thread: small C escalates (pings) eagerly, large C tolerates garbage.
+func ablateCMult() Figure {
+	return Figure{
+		ID:   "ablate-c",
+		Desc: "Ablation: EpochPOP escalation factor C under a delayed thread",
+		Run: func(c Ctx) ([]report.Series, error) {
+			c = c.withDefaults()
+			threads := c.Threads[len(c.Threads)-1]
+			if threads < 2 {
+				threads = 2
+			}
+			names := []string{"throughput (ops/s)", "unreclaimed nodes", "POP reclaims", "pings sent"}
+			s := report.Series{Title: "EpochPOP C ablation (delayed thread)", XLabel: "C", Names: names}
+			for _, cm := range []int{2, 4, 8, 16} {
+				c.Log("  ablate-c: C=%d", cm)
+				res, err := harness.Run(harness.Config{
+					DS:               harness.DSHarrisMichaelList,
+					Policy:           core.EpochPOP,
+					Threads:          threads,
+					Duration:         c.Duration,
+					KeyRange:         2048,
+					ReclaimThreshold: 128,
+					CMult:            cm,
+					StallEvery:       2 * time.Millisecond,
+					StallLength:      c.Duration / 4,
+					Seed:             c.Seed,
+				})
+				if err != nil {
+					return nil, err
+				}
+				s.AddRow(fmt.Sprintf("%d", cm), []float64{
+					res.Throughput,
+					float64(res.Unreclaimed),
+					float64(res.Reclaim.POPReclaims),
+					float64(res.Reclaim.PingsSent),
+				})
+			}
+			return []report.Series{s}, nil
+		},
+	}
+}
+
+// All returns every figure in presentation order.
+func All() []Figure {
+	return []Figure{
+		throughputAndMemory("fig1a", "Fig 1a: DGT (ext. BST) 200K update-heavy", harness.DSExternalBST, 200_000, false, workload.UpdateHeavy),
+		throughputAndMemory("fig1b", "Fig 1b: HMHT (hash table) 6M update-heavy", harness.DSHashTable, 6_000_000, false, workload.UpdateHeavy),
+		throughputAndMemory("fig1c", "Fig 1c: ABT ((a,b)-tree) 20M update-heavy", harness.DSABTree, 20_000_000, false, workload.UpdateHeavy),
+		throughputAndMemory("fig2a", "Fig 2a: HML (Harris-Michael list) 2K update-heavy", harness.DSHarrisMichaelList, 2_000, true, workload.UpdateHeavy),
+		throughputAndMemory("fig2b", "Fig 2b: LL (lazy list) 2K update-heavy", harness.DSLazyList, 2_000, true, workload.UpdateHeavy),
+		throughputOnly("fig3a", "Fig 3a: ABT 20M read-heavy", harness.DSABTree, 20_000_000, workload.ReadHeavy),
+		throughputOnly("fig3b", "Fig 3b: DGT 200K read-heavy", harness.DSExternalBST, 200_000, workload.ReadHeavy),
+		longReadsFigure(),
+		appendixFigure("fig5", "Fig 5: ABT 20M (appendix D)", harness.DSABTree, 20_000_000, false, false),
+		appendixFigure("fig6", "Fig 6: DGT 2M (appendix D)", harness.DSExternalBST, 2_000_000, false, false),
+		appendixFigure("fig7", "Fig 7: HT 6M (appendix D)", harness.DSHashTable, 6_000_000, false, false),
+		appendixFigure("fig8", "Fig 8: HML 2K (appendix D)", harness.DSHarrisMichaelList, 2_000, true, false),
+		appendixFigure("fig9", "Fig 9: LL 2K (appendix D)", harness.DSLazyList, 2_000, true, false),
+		appendixFigure("fig10", "Fig 10: HML 2K + Crystalline (appendix E)", harness.DSHarrisMichaelList, 2_000, true, true),
+		appendixFigure("fig11", "Fig 11: HT 6M + Crystalline (appendix E)", harness.DSHashTable, 6_000_000, false, true),
+		readCostFigure(),
+		stallFigure(),
+		ablateThreshold(),
+		ablateEpochFreq(),
+		ablateCMult(),
+	}
+}
+
+// Get resolves a figure by id.
+func Get(id string) (Figure, bool) {
+	for _, f := range All() {
+		if f.ID == id {
+			return f, true
+		}
+	}
+	return Figure{}, false
+}

@@ -1,0 +1,113 @@
+package figures_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pop/internal/core"
+	"pop/internal/figures"
+)
+
+// fastCtx keeps figure smoke-tests quick: two policies, one thread count,
+// tiny trials.
+func fastCtx() figures.Ctx {
+	return figures.Ctx{
+		Duration: 10 * time.Millisecond,
+		Threads:  []int{2},
+		Scale:    2048,
+		Seed:     1,
+		Policies: []core.Policy{core.HP, core.HazardPtrPOP},
+	}
+}
+
+func TestAllFiguresHaveUniqueIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, f := range figures.All() {
+		if f.ID == "" || f.Desc == "" {
+			t.Fatalf("figure with empty id/desc: %+v", f)
+		}
+		if seen[f.ID] {
+			t.Fatalf("duplicate figure id %q", f.ID)
+		}
+		seen[f.ID] = true
+	}
+	if len(seen) < 19 {
+		t.Fatalf("only %d figures registered", len(seen))
+	}
+}
+
+func TestGetResolvesEveryID(t *testing.T) {
+	for _, f := range figures.All() {
+		if got, ok := figures.Get(f.ID); !ok || got.ID != f.ID {
+			t.Fatalf("Get(%q) failed", f.ID)
+		}
+	}
+	if _, ok := figures.Get("nope"); ok {
+		t.Fatal("Get accepted an unknown id")
+	}
+}
+
+// TestEveryFigureRuns executes each figure once at minimal scale and
+// sanity-checks the emitted series.
+func TestEveryFigureRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweeps are slow in -short mode")
+	}
+	for _, f := range figures.All() {
+		f := f
+		t.Run(f.ID, func(t *testing.T) {
+			ctx := fastCtx()
+			if f.ID == "ablate-c" {
+				ctx.Policies = nil // ablate-c is EpochPOP-only by design
+			}
+			series, err := f.Run(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(series) == 0 {
+				t.Fatal("no series emitted")
+			}
+			for _, s := range series {
+				if len(s.Rows) == 0 {
+					t.Fatalf("series %q has no rows", s.Title)
+				}
+				if len(s.Names) == 0 {
+					t.Fatalf("series %q has no columns", s.Title)
+				}
+				for _, r := range s.Rows {
+					if len(r.Cells) != len(s.Names) {
+						t.Fatalf("series %q row %q has %d cells for %d columns",
+							s.Title, r.X, len(r.Cells), len(s.Names))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestThroughputFigureShape checks that a throughput figure produces one
+// row per thread count with positive values.
+func TestThroughputFigureShape(t *testing.T) {
+	f, _ := figures.Get("fig2a")
+	ctx := fastCtx()
+	ctx.Threads = []int{1, 2}
+	series, err := f.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr := series[0]
+	if !strings.Contains(thr.Title, "throughput") {
+		t.Fatalf("first series is %q, want throughput", thr.Title)
+	}
+	if len(thr.Rows) != 2 {
+		t.Fatalf("%d rows, want 2 (thread counts)", len(thr.Rows))
+	}
+	for _, r := range thr.Rows {
+		for i, v := range r.Cells {
+			if v <= 0 {
+				t.Fatalf("non-positive throughput for %s at threads=%s", thr.Names[i], r.X)
+			}
+		}
+	}
+}

@@ -1,0 +1,327 @@
+// Package harness runs one benchmark trial: a data structure × a
+// reclamation policy × a workload × a thread count, following the
+// methodology of the paper's §5.0.2 — prefill to half the key range,
+// then a timed execution phase of randomly mixed operations — and
+// collecting the metrics its figures plot: throughput, maximum
+// retire-list length, peak resident (outstanding) nodes, and unreclaimed
+// nodes at the end of the run.
+//
+// Worker "threads" are goroutines; sweeping the thread count past
+// runtime.GOMAXPROCS reproduces the paper's oversubscription regime
+// (§5.0.2 runs 1..288 threads on 144 hardware threads).
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pop/internal/core"
+	"pop/internal/ds"
+	"pop/internal/ds/abtree"
+	"pop/internal/ds/extbst"
+	"pop/internal/ds/hashtable"
+	"pop/internal/ds/hmlist"
+	"pop/internal/ds/lazylist"
+	"pop/internal/workload"
+)
+
+// DS names accepted by Config.DS, matching the paper's abbreviations.
+const (
+	DSHarrisMichaelList = "hml"  // Harris-Michael list
+	DSLazyList          = "ll"   // lazy list
+	DSHashTable         = "hmht" // hash table over HML buckets
+	DSExternalBST       = "dgt"  // external BST (David-Guerraoui-Trigonakis)
+	DSABTree            = "abt"  // (a,b)-tree
+)
+
+// DSNames lists the supported data structures in the paper's order.
+func DSNames() []string {
+	return []string{DSExternalBST, DSHashTable, DSABTree, DSHarrisMichaelList, DSLazyList}
+}
+
+// Config describes one trial.
+type Config struct {
+	DS       string        // data structure (DS* constants)
+	Policy   core.Policy   // reclamation scheme
+	Threads  int           // worker count
+	Duration time.Duration // execution-phase length
+	KeyRange int64         // keys drawn from [0, KeyRange)
+	Mix      workload.Mix  // operation mixture
+	Seed     uint64        // trial seed (reproducible)
+	NoPrefil bool          // skip prefilling to KeyRange/2
+
+	// Reclamation tuning (0 = paper defaults; see core.Options).
+	ReclaimThreshold int
+	EpochFreq        int
+	CMult            int
+	BatchSize        int
+
+	// LongReads enables the §5.1.2 asymmetric workload: the first half of
+	// the threads run contains-only over the whole key range; the second
+	// half run 50/50 insert/delete over the lowest 5% of the range ("near
+	// the head of the list").
+	LongReads bool
+
+	// Stall configures the robustness scenario: worker 0 periodically
+	// holds an operation open for StallLength while remaining responsive
+	// to pings (a thread busy with other work). Non-robust schemes stop
+	// reclaiming for the stall's duration.
+	StallEvery  time.Duration
+	StallLength time.Duration
+
+	// SamplePeriod is the memory-sampling interval (default 2ms).
+	SamplePeriod time.Duration
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Threads <= 0 {
+		return c, fmt.Errorf("harness: Threads must be positive")
+	}
+	if c.KeyRange <= 1 {
+		return c, fmt.Errorf("harness: KeyRange must exceed 1")
+	}
+	if c.Duration <= 0 {
+		c.Duration = 100 * time.Millisecond
+	}
+	if c.Mix == (workload.Mix{}) {
+		c.Mix = workload.UpdateHeavy
+	}
+	if !c.Mix.Valid() {
+		return c, fmt.Errorf("harness: invalid mix %+v", c.Mix)
+	}
+	if c.SamplePeriod <= 0 {
+		c.SamplePeriod = 2 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x5eed_cafe
+	}
+	return c, nil
+}
+
+// Result is the outcome of one trial.
+type Result struct {
+	Config Config
+
+	Ops        uint64  // operations completed in the execution phase
+	ReadOps    uint64  // contains operations completed
+	Throughput float64 // Ops per second
+	ReadTput   float64 // ReadOps per second (Fig. 4's metric)
+
+	MaxRetire    int   // max retire-list length across threads (paper's memory plots)
+	PeakResident int64 // peak outstanding nodes (max resident memory analogue)
+	Unreclaimed  int64 // retired-but-unfreed nodes at measurement end (pre-flush)
+	LeakedAfter  int64 // unreclaimed after a quiescent flush (0 except NR)
+
+	Reclaim core.Stats // aggregated reclamation counters
+}
+
+// memSet is a Set that can report pool occupancy.
+type memSet interface {
+	ds.Set
+	Outstanding() int64
+}
+
+// build instantiates the data structure named in cfg.
+func build(cfg Config, d *core.Domain) (memSet, error) {
+	switch cfg.DS {
+	case DSHarrisMichaelList:
+		return hmlist.New(d), nil
+	case DSLazyList:
+		return lazylist.New(d), nil
+	case DSHashTable:
+		return hashtable.New(d, cfg.KeyRange, 6), nil
+	case DSExternalBST:
+		return extbst.New(d), nil
+	case DSABTree:
+		return abtree.New(d), nil
+	default:
+		return nil, fmt.Errorf("harness: unknown data structure %q", cfg.DS)
+	}
+}
+
+// Run executes one trial.
+func Run(cfg Config) (Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+	d := core.NewDomain(cfg.Policy, cfg.Threads, &core.Options{
+		ReclaimThreshold: cfg.ReclaimThreshold,
+		EpochFreq:        cfg.EpochFreq,
+		CMult:            cfg.CMult,
+		BatchSize:        cfg.BatchSize,
+	})
+	set, err := build(cfg, d)
+	if err != nil {
+		return Result{}, err
+	}
+	threads := make([]*core.Thread, cfg.Threads)
+	for i := range threads {
+		threads[i] = d.RegisterThread()
+	}
+
+	if !cfg.NoPrefil {
+		prefill(cfg, set, threads)
+	}
+
+	var (
+		stop      atomic.Bool
+		release   = make(chan struct{})
+		flushGo   = make(chan struct{})
+		loopsDone sync.WaitGroup // workers out of their op loops (quiescent)
+		finished  sync.WaitGroup // workers fully done (flushed)
+		opsBy     = make([]uint64, cfg.Threads)
+		readsBy   = make([]uint64, cfg.Threads)
+	)
+	for i := 0; i < cfg.Threads; i++ {
+		loopsDone.Add(1)
+		finished.Add(1)
+		go func(id int) {
+			defer finished.Done()
+			th := threads[id]
+			<-release
+			runWorker(cfg, set, th, id, &stop, &opsBy[id], &readsBy[id])
+			loopsDone.Done()
+			// Park quiescent until everyone stopped, then flush from the
+			// owner goroutine (Thread handles are not transferable).
+			<-flushGo
+			th.Flush()
+		}(i)
+	}
+
+	// Memory sampler: tracks peak outstanding nodes during execution.
+	var peak atomic.Int64
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		for !stop.Load() {
+			if v := set.Outstanding(); v > peak.Load() {
+				peak.Store(v)
+			}
+			time.Sleep(cfg.SamplePeriod)
+		}
+	}()
+
+	close(release)
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	loopsDone.Wait() // every worker is quiescent now
+	<-samplerDone
+
+	// End-of-run memory state, before any flush reclaims the backlog.
+	if v := set.Outstanding(); v > peak.Load() {
+		peak.Store(v)
+	}
+	unreclaimed := d.Unreclaimed()
+
+	close(flushGo)
+	finished.Wait()
+
+	var totalOps, totalReads uint64
+	for i := range opsBy {
+		totalOps += opsBy[i]
+		totalReads += readsBy[i]
+	}
+	res := Result{
+		Config:       cfg,
+		Ops:          totalOps,
+		ReadOps:      totalReads,
+		Throughput:   float64(totalOps) / cfg.Duration.Seconds(),
+		ReadTput:     float64(totalReads) / cfg.Duration.Seconds(),
+		PeakResident: peak.Load(),
+		Unreclaimed:  unreclaimed,
+		LeakedAfter:  d.Unreclaimed(),
+		Reclaim:      d.Stats(),
+	}
+	res.MaxRetire = res.Reclaim.MaxRetire
+	return res, nil
+}
+
+// runWorker is one worker thread's execution phase.
+func runWorker(cfg Config, set ds.Set, th *core.Thread, id int, stop *atomic.Bool, ops, reads *uint64) {
+	seed := cfg.Seed + uint64(id)*0x9e3779b97f4a7c15 + 1
+	mix, keyRange := cfg.Mix, cfg.KeyRange
+
+	// Long-running-reads roles (§5.1.2): first half searches the full
+	// range; second half updates the lowest 5% ("near the head").
+	if cfg.LongReads {
+		if id < cfg.Threads/2 || cfg.Threads == 1 {
+			mix = workload.Mix{ContainsPct: 100}
+		} else {
+			mix = workload.UpdateHeavy
+			keyRange = cfg.KeyRange / 20
+			if keyRange < 2 {
+				keyRange = 2
+			}
+		}
+	}
+	gen := workload.NewGenerator(seed, mix, keyRange)
+
+	staller := cfg.StallEvery > 0 && cfg.StallLength > 0 && id == 0
+	nextStall := time.Now().Add(cfg.StallEvery)
+
+	n, r := uint64(0), uint64(0)
+	for !stop.Load() {
+		if staller && time.Now().After(nextStall) {
+			// Busy delay inside an operation: the thread pins its epoch /
+			// read position but keeps answering pings, exactly the
+			// "delayed but running" scenario EpochPOP is built for.
+			th.StartOp()
+			end := time.Now().Add(cfg.StallLength)
+			for time.Now().Before(end) && !stop.Load() {
+				th.Poll()
+			}
+			th.EndOp()
+			nextStall = time.Now().Add(cfg.StallEvery)
+		}
+		op, key := gen.Next()
+		switch op {
+		case workload.Contains:
+			set.Contains(th, key)
+			r++
+		case workload.Insert:
+			set.Insert(th, key)
+		default:
+			set.Delete(th, key)
+		}
+		n++
+	}
+	*ops, *reads = n, r
+}
+
+// prefill inserts until the structure holds about KeyRange/2 keys
+// (§5.0.2), splitting the work across all threads. Runs on the worker
+// threads'"own" goroutines to respect handle ownership.
+func prefill(cfg Config, set ds.Set, threads []*core.Thread) {
+	target := cfg.KeyRange / 2
+	per := target / int64(len(threads))
+	extra := target - per*int64(len(threads))
+	var wg sync.WaitGroup
+	for i, th := range threads {
+		quota := per
+		if i == 0 {
+			quota += extra
+		}
+		wg.Add(1)
+		go func(id int, th *core.Thread, quota int64) {
+			defer wg.Done()
+			gen := workload.NewGenerator(cfg.Seed^0xfeed+uint64(id), workload.UpdateHeavy, cfg.KeyRange)
+			done := int64(0)
+			attempts := int64(0)
+			for done < quota {
+				if set.Insert(th, gen.Key()) {
+					done++
+				}
+				attempts++
+				if attempts > 50*quota+1000 {
+					// The range is saturated (heavily duplicated draws);
+					// good enough for a prefill.
+					return
+				}
+			}
+		}(i, th, quota)
+	}
+	wg.Wait()
+}

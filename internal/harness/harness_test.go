@@ -1,0 +1,124 @@
+package harness_test
+
+import (
+	"testing"
+	"time"
+
+	"pop/internal/core"
+	"pop/internal/harness"
+	"pop/internal/workload"
+)
+
+func TestRunAllPoliciesAllStructures(t *testing.T) {
+	for _, dsName := range harness.DSNames() {
+		for _, p := range core.Policies() {
+			res, err := harness.Run(harness.Config{
+				DS:               dsName,
+				Policy:           p,
+				Threads:          3,
+				Duration:         30 * time.Millisecond,
+				KeyRange:         512,
+				Mix:              workload.UpdateHeavy,
+				ReclaimThreshold: 64,
+			})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", dsName, p, err)
+			}
+			if res.Ops == 0 {
+				t.Fatalf("%s/%v: zero ops", dsName, p)
+			}
+			if p != core.NR && res.LeakedAfter != 0 {
+				t.Fatalf("%s/%v: %d nodes leaked after flush", dsName, p, res.LeakedAfter)
+			}
+			if p == core.NR && res.Reclaim.Frees != 0 {
+				t.Fatalf("%s/%v: NR freed nodes", dsName, p)
+			}
+		}
+	}
+}
+
+func TestPrefillHitsTarget(t *testing.T) {
+	res, err := harness.Run(harness.Config{
+		DS:       harness.DSHashTable,
+		Policy:   core.EBR,
+		Threads:  2,
+		Duration: 10 * time.Millisecond,
+		KeyRange: 10000,
+		Mix:      workload.ReadHeavy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prefill targets KeyRange/2 keys; peak outstanding must be at least
+	// that (minus reclaim noise, plus churn).
+	if res.PeakResident < 4000 {
+		t.Fatalf("peak resident %d, want >= 4000 (prefill missed)", res.PeakResident)
+	}
+}
+
+func TestLongReadsRolesCount(t *testing.T) {
+	res, err := harness.Run(harness.Config{
+		DS:               harness.DSHarrisMichaelList,
+		Policy:           core.HazardPtrPOP,
+		Threads:          4,
+		Duration:         40 * time.Millisecond,
+		KeyRange:         2000,
+		LongReads:        true,
+		ReclaimThreshold: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReadOps == 0 {
+		t.Fatal("long-reads run recorded no reads")
+	}
+	if res.ReadOps == res.Ops {
+		t.Fatal("long-reads run recorded no updates")
+	}
+}
+
+func TestStallInjection(t *testing.T) {
+	// With a stalling worker, EBR must accumulate garbage (not robust),
+	// while EpochPOP must keep reclaiming (robust). We compare end-of-run
+	// unreclaimed counts.
+	run := func(p core.Policy) int64 {
+		res, err := harness.Run(harness.Config{
+			DS:               harness.DSHarrisMichaelList,
+			Policy:           p,
+			Threads:          3,
+			Duration:         120 * time.Millisecond,
+			KeyRange:         256,
+			ReclaimThreshold: 32,
+			StallEvery:       time.Millisecond,
+			StallLength:      50 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Unreclaimed
+	}
+	ebr := run(core.EBR)
+	epop := run(core.EpochPOP)
+	if ebr == 0 {
+		t.Skip("stall did not pin EBR reclamation this run (scheduling)")
+	}
+	if epop >= ebr {
+		t.Fatalf("EpochPOP unreclaimed (%d) not better than EBR (%d) under stall", epop, ebr)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := harness.Run(harness.Config{DS: "hml", Threads: 0, KeyRange: 10}); err == nil {
+		t.Fatal("accepted zero threads")
+	}
+	if _, err := harness.Run(harness.Config{DS: "hml", Threads: 1, KeyRange: 1}); err == nil {
+		t.Fatal("accepted key range 1")
+	}
+	if _, err := harness.Run(harness.Config{DS: "nope", Threads: 1, KeyRange: 10}); err == nil {
+		t.Fatal("accepted unknown structure")
+	}
+	if _, err := harness.Run(harness.Config{DS: "hml", Threads: 1, KeyRange: 10,
+		Mix: workload.Mix{ContainsPct: 50, InsertPct: 10, DeletePct: 10}}); err == nil {
+		t.Fatal("accepted invalid mix")
+	}
+}

@@ -1,0 +1,124 @@
+// Package report formats benchmark sweeps as the series the paper's
+// figures plot: one row per x-value (thread count, structure size), one
+// column per reclamation scheme. Output is either aligned text for
+// terminals or TSV for plotting tools.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Series is one plot: a titled table of float values.
+type Series struct {
+	Title  string   // e.g. "Fig 1a: DGT 200K update-heavy — throughput (ops/s)"
+	XLabel string   // e.g. "threads"
+	Names  []string // column (scheme) names, plot order
+	Rows   []Row
+}
+
+// Row is one x position.
+type Row struct {
+	X     string
+	Cells []float64
+}
+
+// AddRow appends a row; len(cells) must equal len(Names).
+func (s *Series) AddRow(x string, cells []float64) {
+	if len(cells) != len(s.Names) {
+		panic(fmt.Sprintf("report: row has %d cells, series has %d names", len(cells), len(s.Names)))
+	}
+	s.Rows = append(s.Rows, Row{X: x, Cells: cells})
+}
+
+// WriteTSV emits a tab-separated table with a header row.
+func (s *Series) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s\n", s.Title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s\t%s\n", s.XLabel, strings.Join(s.Names, "\t")); err != nil {
+		return err
+	}
+	for _, r := range s.Rows {
+		cells := make([]string, len(r.Cells))
+		for i, v := range r.Cells {
+			cells[i] = formatVal(v)
+		}
+		if _, err := fmt.Fprintf(w, "%s\t%s\n", r.X, strings.Join(cells, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTable emits an aligned human-readable table.
+func (s *Series) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s\n", s.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(s.Names)+1)
+	widths[0] = len(s.XLabel)
+	for _, r := range s.Rows {
+		if len(r.X) > widths[0] {
+			widths[0] = len(r.X)
+		}
+	}
+	cellStrs := make([][]string, len(s.Rows))
+	for i, n := range s.Names {
+		widths[i+1] = len(n)
+	}
+	for ri, r := range s.Rows {
+		cellStrs[ri] = make([]string, len(r.Cells))
+		for ci, v := range r.Cells {
+			str := formatVal(v)
+			cellStrs[ri][ci] = str
+			if len(str) > widths[ci+1] {
+				widths[ci+1] = len(str)
+			}
+		}
+	}
+	// Header.
+	cols := make([]string, len(s.Names)+1)
+	cols[0] = pad(s.XLabel, widths[0])
+	for i, n := range s.Names {
+		cols[i+1] = pad(n, widths[i+1])
+	}
+	if _, err := fmt.Fprintf(w, "  %s\n", strings.Join(cols, "  ")); err != nil {
+		return err
+	}
+	for ri, r := range s.Rows {
+		cols[0] = pad(r.X, widths[0])
+		for ci := range r.Cells {
+			cols[ci+1] = pad(cellStrs[ri][ci], widths[ci+1])
+		}
+		if _, err := fmt.Fprintf(w, "  %s\n", strings.Join(cols, "  ")); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// formatVal renders large values compactly (12.3M) and small exactly.
+func formatVal(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e4:
+		return fmt.Sprintf("%.1fK", v/1e3)
+	case v == float64(int64(v)):
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}

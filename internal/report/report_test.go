@@ -1,0 +1,87 @@
+package report_test
+
+import (
+	"strings"
+	"testing"
+
+	"pop/internal/report"
+)
+
+func sample() report.Series {
+	s := report.Series{
+		Title:  "demo — throughput (ops/s)",
+		XLabel: "threads",
+		Names:  []string{"HP", "HazardPtrPOP"},
+	}
+	s.AddRow("1", []float64{1_500_000, 3_000_000})
+	s.AddRow("2", []float64{2_200_000, 6_100_000})
+	return s
+}
+
+func TestWriteTSV(t *testing.T) {
+	var sb strings.Builder
+	s := sample()
+	if err := s.WriteTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("TSV has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if lines[1] != "threads\tHP\tHazardPtrPOP" {
+		t.Fatalf("header = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[0], "# demo") {
+		t.Fatalf("title comment = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "1.50M") {
+		t.Fatalf("row = %q", lines[2])
+	}
+}
+
+func TestWriteTableAligned(t *testing.T) {
+	var sb strings.Builder
+	s := sample()
+	if err := s.WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(sb.String(), "\n")
+	// Header + 2 rows share column starts: find "HP" column offset in
+	// the header and check a row cell begins at the same offset.
+	header := lines[1]
+	col := strings.Index(header, "HP")
+	if col < 0 {
+		t.Fatalf("no HP column in %q", header)
+	}
+	for _, row := range lines[2:4] {
+		if len(row) <= col || row[col] == ' ' {
+			t.Fatalf("misaligned row %q (col %d)", row, col)
+		}
+	}
+}
+
+func TestAddRowArityPanics(t *testing.T) {
+	s := sample()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched row width did not panic")
+		}
+	}()
+	s.AddRow("3", []float64{1})
+}
+
+func TestValueFormatting(t *testing.T) {
+	var sb strings.Builder
+	s := report.Series{Title: "fmt", XLabel: "x", Names: []string{"a", "b", "c", "d"}}
+	s.AddRow("r", []float64{2_500_000_000, 42, 0.125, 33_000})
+	if err := s.WriteTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"2.50G", "42", "0.125", "33.0K"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package rng_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pop/internal/rng"
+)
+
+func TestDeterministicForSeed(t *testing.T) {
+	a, b := rng.New(12345), rng.New(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("divergence at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDecorrelate(t *testing.T) {
+	// Adjacent small seeds (thread ids) must produce unrelated streams.
+	a, b := rng.New(1), rng.New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between adjacent seeds", same)
+	}
+}
+
+func TestZeroSeedWorks(t *testing.T) {
+	r := rng.New(0)
+	if x, y := r.Uint64(), r.Uint64(); x == 0 && y == 0 {
+		t.Fatal("zero seed produced zero stream")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := rng.New(99)
+	for _, n := range []int64{1, 2, 3, 10, 1 << 40, math.MaxInt64} {
+		for i := 0; i < 2000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	r := rng.New(1)
+	for _, n := range []int64{0, -1, math.MinInt64} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Intn(%d) did not panic", n)
+				}
+			}()
+			r.Intn(n)
+		}()
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	// Chi-squared-ish sanity: 16 buckets, 64K draws; each bucket within
+	// 10% of the mean.
+	r := rng.New(2024)
+	const buckets, draws = 16, 1 << 16
+	var counts [buckets]int
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	mean := draws / buckets
+	for b, c := range counts {
+		if c < mean*9/10 || c > mean*11/10 {
+			t.Fatalf("bucket %d has %d draws (mean %d)", b, c, mean)
+		}
+	}
+}
+
+func TestPctRange(t *testing.T) {
+	r := rng.New(5)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		p := r.Pct()
+		if p < 0 || p >= 100 {
+			t.Fatalf("Pct() = %d", p)
+		}
+		seen[p] = true
+	}
+	if len(seen) < 90 {
+		t.Fatalf("only %d distinct percentages in 10000 draws", len(seen))
+	}
+}
+
+// TestQuickIntnInRange property-checks Intn over arbitrary seeds/bounds.
+func TestQuickIntnInRange(t *testing.T) {
+	prop := func(seed uint64, bound uint32) bool {
+		n := int64(bound%1000) + 1
+		r := rng.New(seed)
+		for i := 0; i < 50; i++ {
+			if v := r.Intn(n); v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReseed(t *testing.T) {
+	r := rng.New(7)
+	first := r.Uint64()
+	r.Seed(7)
+	if r.Uint64() != first {
+		t.Fatal("Seed did not reset the stream")
+	}
+}

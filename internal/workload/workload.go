@@ -1,0 +1,79 @@
+// Package workload defines the operation mixes and key distributions of
+// the paper's evaluation (§5.0.2): uniformly random keys over a fixed
+// range, chosen operation percentages, and the two standard mixes —
+// read-heavy (90% contains, 5% insert, 5% delete) and update-heavy
+// (50% insert, 50% delete) — plus the long-running-reads asymmetric
+// workload of §5.1.2.
+package workload
+
+import "pop/internal/rng"
+
+// Op is a data-structure operation kind.
+type Op uint8
+
+// Operation kinds.
+const (
+	Contains Op = iota
+	Insert
+	Delete
+)
+
+// Mix is an operation mixture in percent. Fields must sum to 100.
+type Mix struct {
+	ContainsPct int
+	InsertPct   int
+	DeletePct   int
+}
+
+// The paper's two standard mixes.
+var (
+	// ReadHeavy is 90% contains / 5% insert / 5% delete.
+	ReadHeavy = Mix{ContainsPct: 90, InsertPct: 5, DeletePct: 5}
+	// UpdateHeavy is 50% insert / 50% delete.
+	UpdateHeavy = Mix{ContainsPct: 0, InsertPct: 50, DeletePct: 50}
+)
+
+// Valid reports whether the mix sums to 100 with no negatives.
+func (m Mix) Valid() bool {
+	return m.ContainsPct >= 0 && m.InsertPct >= 0 && m.DeletePct >= 0 &&
+		m.ContainsPct+m.InsertPct+m.DeletePct == 100
+}
+
+// Generator draws (operation, key) pairs for one worker thread. Not safe
+// for concurrent use; create one per thread.
+type Generator struct {
+	r        *rng.State
+	mix      Mix
+	keyRange int64
+}
+
+// NewGenerator creates a generator over [0, keyRange) with the given mix.
+func NewGenerator(seed uint64, mix Mix, keyRange int64) *Generator {
+	if !mix.Valid() {
+		panic("workload: mix does not sum to 100")
+	}
+	if keyRange <= 0 {
+		panic("workload: non-positive key range")
+	}
+	return &Generator{r: rng.New(seed), mix: mix, keyRange: keyRange}
+}
+
+// Next returns the next operation and key.
+func (g *Generator) Next() (Op, int64) {
+	k := g.r.Intn(g.keyRange)
+	p := g.r.Pct()
+	switch {
+	case p < g.mix.ContainsPct:
+		return Contains, k
+	case p < g.mix.ContainsPct+g.mix.InsertPct:
+		return Insert, k
+	default:
+		return Delete, k
+	}
+}
+
+// Key returns a uniform key in [0, keyRange) (prefill use).
+func (g *Generator) Key() int64 { return g.r.Intn(g.keyRange) }
+
+// KeyIn returns a uniform key in [0, n).
+func (g *Generator) KeyIn(n int64) int64 { return g.r.Intn(n) }

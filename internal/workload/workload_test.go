@@ -1,0 +1,116 @@
+package workload_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pop/internal/workload"
+)
+
+func TestStandardMixesValid(t *testing.T) {
+	if !workload.ReadHeavy.Valid() {
+		t.Fatal("ReadHeavy invalid")
+	}
+	if !workload.UpdateHeavy.Valid() {
+		t.Fatal("UpdateHeavy invalid")
+	}
+}
+
+func TestMixValidation(t *testing.T) {
+	cases := []struct {
+		mix workload.Mix
+		ok  bool
+	}{
+		{workload.Mix{ContainsPct: 100}, true},
+		{workload.Mix{ContainsPct: 34, InsertPct: 33, DeletePct: 33}, true},
+		{workload.Mix{ContainsPct: 50, InsertPct: 50, DeletePct: 50}, false},
+		{workload.Mix{ContainsPct: -10, InsertPct: 60, DeletePct: 50}, false},
+		{workload.Mix{}, false},
+	}
+	for _, c := range cases {
+		if got := c.mix.Valid(); got != c.ok {
+			t.Fatalf("Valid(%+v) = %v, want %v", c.mix, got, c.ok)
+		}
+	}
+}
+
+func TestGeneratorHonoursMix(t *testing.T) {
+	const draws = 100_000
+	g := workload.NewGenerator(1, workload.ReadHeavy, 1000)
+	var counts [3]int
+	for i := 0; i < draws; i++ {
+		op, key := g.Next()
+		if key < 0 || key >= 1000 {
+			t.Fatalf("key %d out of range", key)
+		}
+		counts[op]++
+	}
+	// 90/5/5 within 1.5 points each.
+	if c := float64(counts[workload.Contains]) / draws * 100; c < 88.5 || c > 91.5 {
+		t.Fatalf("contains fraction %.2f%%, want ~90%%", c)
+	}
+	if c := float64(counts[workload.Insert]) / draws * 100; c < 3.5 || c > 6.5 {
+		t.Fatalf("insert fraction %.2f%%, want ~5%%", c)
+	}
+}
+
+func TestUpdateHeavyHasNoReads(t *testing.T) {
+	g := workload.NewGenerator(2, workload.UpdateHeavy, 100)
+	for i := 0; i < 10_000; i++ {
+		if op, _ := g.Next(); op == workload.Contains {
+			t.Fatal("update-heavy mix produced a contains")
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := workload.NewGenerator(7, workload.ReadHeavy, 500)
+	b := workload.NewGenerator(7, workload.ReadHeavy, 500)
+	for i := 0; i < 1000; i++ {
+		opA, kA := a.Next()
+		opB, kB := b.Next()
+		if opA != opB || kA != kB {
+			t.Fatalf("streams diverged at %d", i)
+		}
+	}
+}
+
+func TestInvalidConstructionPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"bad mix":   func() { workload.NewGenerator(1, workload.Mix{ContainsPct: 1}, 10) },
+		"bad range": func() { workload.NewGenerator(1, workload.ReadHeavy, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestQuickKeysInRange property-checks key bounds for arbitrary seeds and
+// ranges.
+func TestQuickKeysInRange(t *testing.T) {
+	prop := func(seed uint64, r uint16) bool {
+		keyRange := int64(r%5000) + 2
+		g := workload.NewGenerator(seed, workload.UpdateHeavy, keyRange)
+		for i := 0; i < 64; i++ {
+			if _, k := g.Next(); k < 0 || k >= keyRange {
+				return false
+			}
+			if k := g.Key(); k < 0 || k >= keyRange {
+				return false
+			}
+			if k := g.KeyIn(7); k < 0 || k >= 7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

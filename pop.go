@@ -1,0 +1,151 @@
+// Package pop is the public API of the publish-on-ping safe-memory-
+// reclamation library, a Go implementation of
+//
+//	Singh & Brown, "Publish on Ping: A Better Way to Publish
+//	Reservations in Memory Reclamation for Concurrent Data
+//	Structures", PPoPP 2025.
+//
+// It provides the paper's three algorithms — HazardPtrPOP, HazardEraPOP
+// and EpochPOP — as drop-in replacements for hazard pointers, the eight
+// baseline schemes the paper evaluates against, and the five concurrent
+// set data structures of its evaluation, all integrated with a
+// type-stable arena so that "freeing" memory is meaningful inside a
+// garbage-collected runtime.
+//
+// # Usage
+//
+// Create a Domain with a Policy and a thread capacity, register one
+// Thread per worker goroutine, and pass the Thread to every operation:
+//
+//	d := pop.NewDomain(pop.EpochPOP, 8, nil)
+//	set := pop.NewHashTable(d, 1_000_000, 6)
+//	t := d.RegisterThread()      // one per goroutine, not shareable
+//	set.Insert(t, 42)
+//	set.Contains(t, 42)
+//	set.Delete(t, 42)
+//
+// A Thread must only ever be used by the goroutine that registered it.
+// Domains are cheap; use one per data structure (or share one domain
+// across structures that should reclaim together).
+package pop
+
+import (
+	"pop/internal/core"
+	"pop/internal/ds/abtree"
+	"pop/internal/ds/extbst"
+	"pop/internal/ds/hashtable"
+	"pop/internal/ds/hmlist"
+	"pop/internal/ds/lazylist"
+	"pop/internal/ds/msqueue"
+)
+
+// Policy selects a reclamation algorithm (see the core package for the
+// algorithms' documentation).
+type Policy = core.Policy
+
+// The available reclamation policies.
+const (
+	// NR performs no reclamation (leaky baseline).
+	NR = core.NR
+	// HP is Michael's hazard pointers (per-read fence).
+	HP = core.HP
+	// HPAsym is hazard pointers with asymmetric fences (Folly-style).
+	HPAsym = core.HPAsym
+	// HE is hazard eras.
+	HE = core.HE
+	// EBR is RCU-style epoch-based reclamation (fast, not robust).
+	EBR = core.EBR
+	// IBR is 2GE interval-based reclamation.
+	IBR = core.IBR
+	// NBR is neutralization-based reclamation (signal restarts).
+	NBR = core.NBR
+	// HazardPtrPOP is the paper's hazard pointers with publish-on-ping.
+	HazardPtrPOP = core.HazardPtrPOP
+	// HazardEraPOP is the paper's hazard eras with publish-on-ping.
+	HazardEraPOP = core.HazardEraPOP
+	// EpochPOP is the paper's dual-mode EBR + HazardPtrPOP algorithm.
+	EpochPOP = core.EpochPOP
+	// Crystalline is a simplified Crystalline-style batch reclaimer.
+	Crystalline = core.Crystalline
+)
+
+// Domain is a reclamation domain: one policy plus the threads and node
+// types registered with it.
+type Domain = core.Domain
+
+// Thread is a per-goroutine handle used for every operation.
+type Thread = core.Thread
+
+// Options tunes a domain (retire-list threshold, epoch frequency, ...).
+type Options = core.Options
+
+// Stats aggregates reclamation counters.
+type Stats = core.Stats
+
+// NewDomain creates a reclamation domain for at most maxThreads
+// concurrent threads. opts may be nil for the paper's defaults.
+func NewDomain(p Policy, maxThreads int, opts *Options) *Domain {
+	return core.NewDomain(p, maxThreads, opts)
+}
+
+// ParsePolicy resolves a policy name ("HazardPtrPOP", "EBR", ...).
+func ParsePolicy(s string) (Policy, error) { return core.ParsePolicy(s) }
+
+// Policies returns all policies in the paper's plot order.
+func Policies() []Policy { return core.Policies() }
+
+// Set is a concurrent set of int64 keys bound to a reclamation domain.
+// All five constructors below return Sets that are linearizable and safe
+// for concurrent use by threads registered with the same domain.
+type Set interface {
+	// Insert adds key and reports whether it was absent.
+	Insert(t *Thread, key int64) bool
+	// Delete removes key and reports whether it was present.
+	Delete(t *Thread, key int64) bool
+	// Contains reports whether key is present.
+	Contains(t *Thread, key int64) bool
+	// Size counts the keys (quiescent use only: no concurrent updates).
+	Size(t *Thread) int
+	// Outstanding reports live+retired node-pool occupancy (a memory
+	// metric: allocations minus frees).
+	Outstanding() int64
+}
+
+// NewHarrisMichaelList creates a lock-free sorted linked-list set
+// (Michael 2004; "HML" in the paper).
+func NewHarrisMichaelList(d *Domain) Set { return hmlist.New(d) }
+
+// NewLazyList creates a lazy-list set (Heller et al. 2005; "LL").
+func NewLazyList(d *Domain) Set { return lazylist.New(d) }
+
+// NewHashTable creates a fixed-size hash set with Harris-Michael-list
+// buckets ("HMHT"), sized for expectedKeys at the given load factor
+// (keys per bucket; the paper uses 6).
+func NewHashTable(d *Domain, expectedKeys int64, loadFactor int) Set {
+	return hashtable.New(d, expectedKeys, loadFactor)
+}
+
+// NewExternalBST creates a lock-based external binary search tree
+// (David, Guerraoui & Trigonakis 2015; "DGT").
+func NewExternalBST(d *Domain) Set { return extbst.New(d) }
+
+// NewABTree creates a concurrent leaf-oriented (a,b)-tree (after Brown
+// 2017; "ABT").
+func NewABTree(d *Domain) Set { return abtree.New(d) }
+
+// Queue is a concurrent FIFO of int64 values bound to a reclamation
+// domain (the Michael-Scott queue — the original hazard-pointer showcase
+// structure, included to demonstrate POP's drop-in property beyond sets).
+type Queue interface {
+	// Enqueue appends v.
+	Enqueue(t *Thread, v int64)
+	// Dequeue removes and returns the front value; ok=false when empty.
+	Dequeue(t *Thread) (v int64, ok bool)
+	// Len counts queued values (quiescent use only).
+	Len(t *Thread) int
+	// Outstanding reports live+retired node-pool occupancy.
+	Outstanding() int64
+}
+
+// NewQueue creates a Michael-Scott lock-free FIFO queue.
+func NewQueue(d *Domain) Queue { return msqueue.New(d) }

@@ -1,0 +1,124 @@
+package pop_test
+
+import (
+	"sync"
+	"testing"
+
+	"pop"
+)
+
+// TestFacadeAllStructuresAllPolicies exercises the public API surface:
+// every constructor under every policy, with a small concurrent workload.
+func TestFacadeAllStructuresAllPolicies(t *testing.T) {
+	constructors := map[string]func(d *pop.Domain) pop.Set{
+		"HarrisMichaelList": pop.NewHarrisMichaelList,
+		"LazyList":          pop.NewLazyList,
+		"HashTable":         func(d *pop.Domain) pop.Set { return pop.NewHashTable(d, 1024, 6) },
+		"ExternalBST":       pop.NewExternalBST,
+		"ABTree":            pop.NewABTree,
+	}
+	for name, mk := range constructors {
+		for _, p := range pop.Policies() {
+			t.Run(name+"/"+p.String(), func(t *testing.T) {
+				const workers = 3
+				d := pop.NewDomain(p, workers, &pop.Options{ReclaimThreshold: 64})
+				set := mk(d)
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					th := d.RegisterThread()
+					wg.Add(1)
+					go func(w int, th *pop.Thread) {
+						defer wg.Done()
+						base := int64(w * 10_000)
+						for k := base; k < base+300; k++ {
+							if !set.Insert(th, k) {
+								t.Errorf("insert %d failed", k)
+								return
+							}
+						}
+						for k := base; k < base+300; k += 2 {
+							if !set.Delete(th, k) {
+								t.Errorf("delete %d failed", k)
+								return
+							}
+						}
+						for k := base; k < base+300; k++ {
+							want := k%2 == 1
+							if got := set.Contains(th, k); got != want {
+								t.Errorf("Contains(%d) = %v, want %v", k, got, want)
+								return
+							}
+						}
+					}(w, th)
+				}
+				wg.Wait()
+			})
+		}
+	}
+}
+
+func TestParsePolicyFacade(t *testing.T) {
+	p, err := pop.ParsePolicy("EpochPOP")
+	if err != nil || p != pop.EpochPOP {
+		t.Fatalf("ParsePolicy(EpochPOP) = %v, %v", p, err)
+	}
+}
+
+func TestOutstandingTracksLiveKeys(t *testing.T) {
+	d := pop.NewDomain(pop.EBR, 1, &pop.Options{ReclaimThreshold: 16})
+	set := pop.NewHarrisMichaelList(d)
+	th := d.RegisterThread()
+	for k := int64(0); k < 100; k++ {
+		set.Insert(th, k)
+	}
+	if got := set.Outstanding(); got < 100 {
+		t.Fatalf("Outstanding = %d, want >= 100", got)
+	}
+	if got := set.Size(th); got != 100 {
+		t.Fatalf("Size = %d, want 100", got)
+	}
+}
+
+// TestSharedDomainAcrossStructures runs a set and a queue in one
+// reclamation domain (the documented multi-structure pattern): retires
+// from both node types flow through the same reclaimer and must be freed
+// to their respective pools.
+func TestSharedDomainAcrossStructures(t *testing.T) {
+	for _, p := range []pop.Policy{pop.HazardPtrPOP, pop.EpochPOP, pop.HE, pop.EBR} {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			const workers = 3
+			d := pop.NewDomain(p, workers, &pop.Options{ReclaimThreshold: 64})
+			set := pop.NewHarrisMichaelList(d)
+			q := pop.NewQueue(d)
+			var wg sync.WaitGroup
+			threads := make([]*pop.Thread, workers)
+			for i := range threads {
+				threads[i] = d.RegisterThread()
+			}
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int, th *pop.Thread) {
+					defer wg.Done()
+					base := int64(w) * 100_000
+					for i := int64(0); i < 2000; i++ {
+						k := base + i%97
+						set.Insert(th, k)
+						q.Enqueue(th, k)
+						set.Delete(th, k)
+						q.Dequeue(th)
+					}
+				}(w, threads[w])
+			}
+			wg.Wait()
+			for _, th := range threads {
+				th.Flush()
+			}
+			if got := set.Outstanding() + q.Outstanding(); got > 100 {
+				// Only currently-linked nodes (set leftovers + queue dummy)
+				// may remain outstanding.
+				t.Fatalf("outstanding after flush = %d", got)
+			}
+		})
+	}
+}
