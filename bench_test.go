@@ -108,6 +108,11 @@ func BenchmarkFig9LLAppendix(b *testing.B)  { benchFigure(b, "fig9") }
 func BenchmarkFig10HMLCrystalline(b *testing.B) { benchFigure(b, "fig10") }
 func BenchmarkFig11HTCrystalline(b *testing.B)  { benchFigure(b, "fig11") }
 
+// --- Skiplist extension figures: update churn and scan-heavy ranges ---
+
+func BenchmarkSklUpdateHeavy(b *testing.B) { benchFigure(b, "skl-update") }
+func BenchmarkSklScanHeavy(b *testing.B)   { benchFigure(b, "skl-scan") }
+
 // --- §2.1.2 read-cost analysis and §5.1 robustness ---
 
 func BenchmarkReadPathCostFigure(b *testing.B) { benchFigure(b, "readcost") }
@@ -154,6 +159,29 @@ func BenchmarkInsertDelete(b *testing.B) {
 				k := int64(i % 4096)
 				set.Insert(t, k)
 				set.Delete(t, k)
+			}
+		})
+	}
+}
+
+// BenchmarkSkipListRangeScan measures one span-100 ordered scan over a
+// 16K-key skiplist per policy: the per-hop reservation cost of each
+// scheme multiplied across a long traversal (the regime where POP's
+// cheap publication matters most).
+func BenchmarkSkipListRangeScan(b *testing.B) {
+	for _, p := range pop.Policies() {
+		b.Run(p.String(), func(b *testing.B) {
+			d := pop.NewDomain(p, 1, nil)
+			set := pop.NewSkipList(d)
+			t := d.RegisterThread()
+			for k := int64(0); k < 16384; k += 2 {
+				set.Insert(t, k)
+			}
+			buf := make([]int64, 0, 128)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lo := int64((i * 2654435761) % 16384)
+				buf = set.RangeCollect(t, lo, lo+99, buf)
 			}
 		})
 	}

@@ -1,7 +1,12 @@
-// Command popbench regenerates the paper's figures. Each figure id maps
-// to one experiment from the evaluation section (see DESIGN.md's
-// per-experiment index); the output is the same series the paper plots,
-// as an aligned table (default) or TSV (-tsv).
+// Command popbench regenerates the paper's figures and runs ad-hoc
+// sweeps. Each figure id maps to one experiment from the evaluation
+// section (see DESIGN.md's per-experiment index); the output is the same
+// series the paper plots, as an aligned table (default) or TSV (-tsv).
+//
+// With -ds, popbench instead runs a direct sweep of one data structure
+// across policies and thread counts; -rangepct carves range queries out
+// of the mix's contains share (requires a range-capable structure, i.e.
+// -ds skl) and -rangespan sets the scan width.
 //
 // Examples:
 //
@@ -9,6 +14,8 @@
 //	popbench -figure fig2a -duration 2s -threads 1,2,4,8,16
 //	popbench -figure all -scale 128 -duration 500ms -tsv > results.tsv
 //	popbench -figure fig4 -policies NR,EBR,NBR,HazardPtrPOP,EpochPOP
+//	popbench -ds skl -rangepct 10 -rangespan 200
+//	popbench -ds skl -mix scan-heavy -keyrange 100000
 //
 // The -scale flag divides the paper's structure sizes (defaults to 64 so
 // a laptop run finishes); -scale 1 runs the full-size structures.
@@ -24,6 +31,8 @@ import (
 
 	"pop/internal/core"
 	"pop/internal/figures"
+	"pop/internal/harness"
+	"pop/internal/workload"
 )
 
 func main() {
@@ -37,6 +46,12 @@ func main() {
 		policies = flag.String("policies", "", "comma-separated policy subset (default: the paper's set)")
 		tsv      = flag.Bool("tsv", false, "emit TSV instead of aligned tables")
 		quiet    = flag.Bool("quiet", false, "suppress progress messages")
+
+		dsName    = flag.String("ds", "", "direct sweep of one data structure (hml, ll, hmht, dgt, abt, skl) instead of a figure")
+		mixName   = flag.String("mix", "read-heavy", "direct sweep mix: read-heavy, update-heavy or scan-heavy")
+		rangePct  = flag.Int("rangepct", 0, "percent of operations that are range queries (taken from the mix's contains share)")
+		rangeSpan = flag.Int64("rangespan", workload.DefaultRangeSpan, "keys per range query")
+		keyRange  = flag.Int64("keyrange", 16384, "direct sweep key range")
 	)
 	flag.Parse()
 
@@ -46,8 +61,19 @@ func main() {
 		}
 		return
 	}
+	if *dsName != "" {
+		if err := directSweep(sweepOpts{
+			ds: *dsName, mix: *mixName, rangePct: *rangePct, rangeSpan: *rangeSpan,
+			keyRange: *keyRange, duration: *duration, threads: *threads,
+			seed: *seed, policies: *policies, tsv: *tsv, quiet: *quiet,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *figureID == "" {
-		fmt.Fprintln(os.Stderr, "popbench: -figure required (use -list to see ids)")
+		fmt.Fprintln(os.Stderr, "popbench: -figure or -ds required (use -list to see figure ids)")
 		os.Exit(2)
 	}
 
@@ -112,6 +138,117 @@ func main() {
 			}
 		}
 	}
+}
+
+// sweepOpts carries the -ds direct-sweep flag values.
+type sweepOpts struct {
+	ds, mix    string
+	rangePct   int
+	rangeSpan  int64
+	keyRange   int64
+	duration   time.Duration
+	threads    string
+	seed       uint64
+	policies   string
+	tsv, quiet bool
+}
+
+// directSweep runs one structure × all requested policies × the thread
+// sweep and prints throughput, range throughput (when the mix scans),
+// and end-of-run memory state.
+func directSweep(o sweepOpts) error {
+	var mix workload.Mix
+	switch o.mix {
+	case "read-heavy":
+		mix = workload.ReadHeavy
+	case "update-heavy":
+		mix = workload.UpdateHeavy
+	case "scan-heavy":
+		mix = workload.ScanHeavy
+	default:
+		return fmt.Errorf("unknown mix %q (want read-heavy, update-heavy or scan-heavy)", o.mix)
+	}
+	if o.rangePct > 0 {
+		// Carve the range share out of contains so the mix still sums to
+		// 100 (update rates are the sweep's control variable).
+		if o.rangePct > mix.ContainsPct {
+			return fmt.Errorf("-rangepct %d exceeds the %s mix's contains share (%d%%)", o.rangePct, o.mix, mix.ContainsPct)
+		}
+		mix.ContainsPct -= o.rangePct
+		mix.RangePct += o.rangePct
+	}
+	if o.rangeSpan <= 0 {
+		return fmt.Errorf("-rangespan must be positive, got %d", o.rangeSpan)
+	}
+
+	threadCounts, err := parseInts(o.threads)
+	if err != nil {
+		return fmt.Errorf("bad -threads: %w", err)
+	}
+	ps := core.Policies()
+	if o.policies != "" {
+		ps = ps[:0]
+		for _, name := range strings.Split(o.policies, ",") {
+			p, err := core.ParsePolicy(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			ps = append(ps, p)
+		}
+	}
+
+	title := fmt.Sprintf("%s %s (keyrange %d", o.ds, o.mix, o.keyRange)
+	if mix.RangePct > 0 {
+		title += fmt.Sprintf(", %d%% range queries, span %d", mix.RangePct, o.rangeSpan)
+	}
+	title += ")"
+	metrics := []figures.Metric{
+		{Name: "throughput (ops/s)", Get: func(r harness.Result) float64 { return r.Throughput }},
+		{Name: "range throughput (scans/s)", Get: func(r harness.Result) float64 { return r.RangeTput }},
+		{Name: "keys per scan", Get: func(r harness.Result) float64 {
+			if r.RangeOps == 0 {
+				return 0
+			}
+			return float64(r.RangeKeys) / float64(r.RangeOps)
+		}},
+		{Name: "unreclaimed at run end (nodes)", Get: func(r harness.Result) float64 { return float64(r.Unreclaimed) }},
+		{Name: "leaked after flush (nodes)", Get: func(r harness.Result) float64 { return float64(r.LeakedAfter) }},
+	}
+	if mix.RangePct == 0 {
+		metrics = append(metrics[:1], metrics[3:]...) // drop the range columns
+	}
+
+	ctx := figures.Ctx{
+		Duration: o.duration,
+		Threads:  threadCounts,
+		Seed:     o.seed,
+		Log:      func(string, ...any) {},
+	}
+	if !o.quiet {
+		ctx.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	series, err := figures.SweepThreads(ctx, title, harness.Config{
+		DS:        o.ds,
+		KeyRange:  o.keyRange,
+		Mix:       mix,
+		RangeSpan: o.rangeSpan,
+	}, ps, metrics)
+	if err != nil {
+		return err
+	}
+	for i := range series {
+		if o.tsv {
+			err = series[i].WriteTSV(os.Stdout)
+		} else {
+			err = series[i].WriteTable(os.Stdout)
+		}
+		if err != nil {
+			return fmt.Errorf("write: %w", err)
+		}
+	}
+	return nil
 }
 
 func parseInts(s string) ([]int, error) {

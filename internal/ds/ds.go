@@ -1,7 +1,8 @@
 // Package ds defines the common contract implemented by every concurrent
-// set in this repository (the five data structures of the paper's
-// evaluation: Harris-Michael list, lazy list, hash table, external BST,
-// (a,b)-tree).
+// set in this repository: the five data structures of the paper's
+// evaluation (Harris-Michael list, lazy list, hash table, external BST,
+// (a,b)-tree) plus the lock-free skiplist, which additionally supports
+// ordered range scans via RangeScanner.
 //
 // All operations take the calling thread's reclamation handle; keys are
 // restricted to the open interval (math.MinInt64, math.MaxInt64) because
@@ -29,4 +30,22 @@ type Set interface {
 type Sized interface {
 	// Size counts the keys currently in the set.
 	Size(t *core.Thread) int
+}
+
+// RangeScanner is implemented by ordered sets that support range
+// queries (currently the skiplist). A scan is one long operation — it
+// holds the calling thread's reservations across every hop — which
+// makes it the strongest traversal pressure the workload layer can put
+// on a reclamation policy's read path.
+//
+// Both methods are safe under concurrent updates. Results are sorted
+// and duplicate-free; every reported key was observed present at some
+// point during the scan, and a key continuously present (or absent) for
+// the scan's whole duration is always (never) reported.
+type RangeScanner interface {
+	// RangeCount counts the keys in [lo, hi].
+	RangeCount(t *core.Thread, lo, hi int64) int
+	// RangeCollect appends the keys in [lo, hi], ascending, to buf[:0]
+	// and returns the filled slice.
+	RangeCollect(t *core.Thread, lo, hi int64, buf []int64) []int64
 }

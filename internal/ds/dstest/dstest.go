@@ -9,7 +9,13 @@
 //     minus deletes equals final size);
 //   - reclamation pressure (tiny retire thresholds force constant
 //     reclaim/ping traffic while readers traverse);
-//   - a delayed-thread scenario that must not break safety.
+//   - a delayed-thread scenario that must not break safety;
+//   - for sets implementing ds.RangeScanner, range-query validation
+//     against a mutex-guarded reference model: exact equivalence
+//     sequentially and over per-thread key stripes under concurrent
+//     churn, plus global-scan invariants (sorted, duplicate-free,
+//     in-bounds, all permanently-present keys reported, no
+//     never-inserted key ever reported).
 //
 // Any use-after-free surfaces as a poisoned key, a failed invariant, or
 // an arena panic — the Go analogue of the segfault the paper's C++
@@ -19,6 +25,7 @@ package dstest
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -65,9 +72,11 @@ func (c Config) skip(p core.Policy) bool {
 	return false
 }
 
-// Run executes the full conformance suite.
+// Run executes the full conformance suite. Sets that implement
+// ds.RangeScanner get the range-query suites as well.
 func Run(t *testing.T, f Factory, cfg Config) {
 	cfg = cfg.withDefaults()
+	_, ranged := f(newDomain(core.NR, 1)).(ds.RangeScanner)
 	for _, p := range core.Policies() {
 		if cfg.skip(p) {
 			continue
@@ -79,6 +88,11 @@ func Run(t *testing.T, f Factory, cfg Config) {
 			t.Run("ConcurrentInvariant", func(t *testing.T) { concurrentInvariant(t, f, p, cfg) })
 			t.Run("ConcurrentDistinctKeys", func(t *testing.T) { concurrentDistinctKeys(t, f, p, cfg) })
 			t.Run("DelayedReader", func(t *testing.T) { delayedReader(t, f, p, cfg) })
+			if ranged {
+				t.Run("RangeSequentialVsRef", func(t *testing.T) { rangeSequentialVsRef(t, f, p, cfg) })
+				t.Run("RangeOwnedStripes", func(t *testing.T) { rangeOwnedStripes(t, f, p, cfg) })
+				t.Run("RangeChurnInvariants", func(t *testing.T) { rangeChurnInvariants(t, f, p, cfg) })
+			}
 		})
 	}
 }
@@ -371,6 +385,254 @@ func delayedReader(t *testing.T, f Factory, p core.Policy, cfg Config) {
 		t.Fatalf("robust policy %v freed nothing under a delayed reader (retires=%d)", p, st.Retires)
 	}
 	for _, th := range []*core.Thread{reader, w1, w2} {
+		th.Flush()
+	}
+}
+
+// ---------------------------------------------------------------------
+// Range-query suites (sets implementing ds.RangeScanner)
+// ---------------------------------------------------------------------
+
+// refSet is the mutex-guarded reference model range results are
+// validated against.
+type refSet struct {
+	mu   sync.Mutex
+	keys map[int64]bool
+}
+
+func newRefSet() *refSet { return &refSet{keys: make(map[int64]bool)} }
+
+func (r *refSet) insert(k int64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.keys[k] {
+		return false
+	}
+	r.keys[k] = true
+	return true
+}
+
+func (r *refSet) delete(k int64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.keys[k] {
+		return false
+	}
+	delete(r.keys, k)
+	return true
+}
+
+// sortedRange returns the model's keys in [lo, hi], ascending.
+func (r *refSet) sortedRange(lo, hi int64) []int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []int64
+	for k := range r.keys {
+		if k >= lo && k <= hi {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// checkScanShape verifies the structural guarantees every concurrent
+// scan must satisfy regardless of interleaving: sorted, duplicate-free,
+// within bounds.
+func checkScanShape(t *testing.T, got []int64, lo, hi int64) {
+	t.Helper()
+	for i, k := range got {
+		if k < lo || k > hi {
+			t.Fatalf("scan[%d] = %d outside [%d, %d]", i, k, lo, hi)
+		}
+		if i > 0 && got[i-1] >= k {
+			t.Fatalf("scan not strictly ascending at %d: %d then %d", i, got[i-1], k)
+		}
+	}
+}
+
+// rangeSequentialVsRef checks both range entry points for exact
+// equivalence with the reference model under a random single-threaded
+// history (every scan here is linearizable trivially).
+func rangeSequentialVsRef(t *testing.T, f Factory, p core.Policy, cfg Config) {
+	d := newDomain(p, 1)
+	s := f(d)
+	rs := s.(ds.RangeScanner)
+	th := d.RegisterThread()
+	ref := newRefSet()
+	r := rng.New(uint64(0x5ca9) ^ uint64(p)<<8)
+	var buf []int64
+
+	for i := 0; i < 3000; i++ {
+		k := r.Intn(cfg.KeyRange)
+		switch r.Intn(4) {
+		case 0:
+			if got, want := s.Insert(th, k), ref.insert(k); got != want {
+				t.Fatalf("op %d: Insert(%d) = %v, want %v", i, k, got, want)
+			}
+		case 1:
+			if got, want := s.Delete(th, k), ref.delete(k); got != want {
+				t.Fatalf("op %d: Delete(%d) = %v, want %v", i, k, got, want)
+			}
+		default:
+			lo := r.Intn(cfg.KeyRange)
+			hi := lo + r.Intn(cfg.KeyRange/8+1)
+			want := ref.sortedRange(lo, hi)
+			buf = rs.RangeCollect(th, lo, hi, buf)
+			checkScanShape(t, buf, lo, hi)
+			if len(buf) != len(want) {
+				t.Fatalf("op %d: RangeCollect(%d,%d) -> %d keys, want %d", i, lo, hi, len(buf), len(want))
+			}
+			for j := range want {
+				if buf[j] != want[j] {
+					t.Fatalf("op %d: RangeCollect(%d,%d)[%d] = %d, want %d", i, lo, hi, j, buf[j], want[j])
+				}
+			}
+			if got := rs.RangeCount(th, lo, hi); got != len(want) {
+				t.Fatalf("op %d: RangeCount(%d,%d) = %d, want %d", i, lo, hi, got, len(want))
+			}
+		}
+	}
+	th.Flush()
+}
+
+// rangeOwnedStripes gives each thread a private key stripe it both
+// mutates and scans: a scan over the thread's own stripe must match its
+// reference exactly even though neighbouring stripes churn concurrently
+// (scans traverse foreign nodes on the way, so snips, towers being
+// built, and reclamation all interleave with validation).
+func rangeOwnedStripes(t *testing.T, f Factory, p core.Policy, cfg Config) {
+	d := newDomain(p, cfg.Threads)
+	s := f(d)
+	rs := s.(ds.RangeScanner)
+	const stripe = 256
+	threads := make([]*core.Thread, cfg.Threads)
+	for i := range threads {
+		threads[i] = d.RegisterThread()
+	}
+	errs := make(chan error, cfg.Threads)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Threads; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := threads[id]
+			lo := int64(id) * stripe
+			hi := lo + stripe - 1
+			ref := newRefSet()
+			r := rng.New(uint64(id)*131 + uint64(p))
+			var buf []int64
+			for n := 0; n < cfg.ConcOps; n++ {
+				k := lo + r.Intn(stripe)
+				switch r.Intn(8) {
+				case 0, 1, 2:
+					if got, want := s.Insert(th, k), ref.insert(k); got != want {
+						errs <- fmt.Errorf("thread %d: Insert(%d) = %v, want %v", id, k, got, want)
+						return
+					}
+				case 3, 4, 5:
+					if got, want := s.Delete(th, k), ref.delete(k); got != want {
+						errs <- fmt.Errorf("thread %d: Delete(%d) = %v, want %v", id, k, got, want)
+						return
+					}
+				default:
+					want := ref.sortedRange(lo, hi)
+					buf = rs.RangeCollect(th, lo, hi, buf)
+					if len(buf) != len(want) {
+						errs <- fmt.Errorf("thread %d: scan [%d,%d] -> %d keys, want %d", id, lo, hi, len(buf), len(want))
+						return
+					}
+					for j := range want {
+						if buf[j] != want[j] {
+							errs <- fmt.Errorf("thread %d: scan [%d,%d][%d] = %d, want %d", id, lo, hi, j, buf[j], want[j])
+							return
+						}
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for _, th := range threads {
+		th.Flush()
+	}
+	if p != core.NR {
+		if u := d.Unreclaimed(); u != 0 {
+			t.Fatalf("%d unreclaimed nodes after quiescent flush", u)
+		}
+	}
+}
+
+// rangeChurnInvariants scans the whole structure while writers churn a
+// middle stripe. Keys are split mod 3: residue 0 is inserted up front
+// and never touched (every covering scan must report all of them),
+// residue 1 churns (a scanned key must at least be one the churners ever
+// insert), residue 2 is never inserted (must never appear).
+func rangeChurnInvariants(t *testing.T, f Factory, p core.Policy, cfg Config) {
+	d := newDomain(p, cfg.Threads+1)
+	s := f(d)
+	rs := s.(ds.RangeScanner)
+	scanner := d.RegisterThread()
+	writers := make([]*core.Thread, cfg.Threads)
+	for i := range writers {
+		writers[i] = d.RegisterThread()
+	}
+
+	permanent := make(map[int64]bool)
+	for k := int64(0); k < cfg.KeyRange; k += 3 {
+		s.Insert(scanner, k)
+		permanent[k] = true
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for i := range writers {
+		wg.Add(1)
+		go func(id int, th *core.Thread) {
+			defer wg.Done()
+			r := rng.New(uint64(id)*977 + uint64(p) + 5)
+			for !stop.Load() {
+				k := r.Intn(cfg.KeyRange/3)*3 + 1 // residue-1 stripe only
+				if r.Intn(2) == 0 {
+					s.Insert(th, k)
+				} else {
+					s.Delete(th, k)
+				}
+			}
+		}(i, writers[i])
+	}
+
+	r := rng.New(uint64(p) + 0xabc)
+	var buf []int64
+	for scan := 0; scan < 40; scan++ {
+		lo := r.Intn(cfg.KeyRange / 2)
+		hi := lo + r.Intn(cfg.KeyRange/2)
+		buf = rs.RangeCollect(scanner, lo, hi, buf)
+		checkScanShape(t, buf, lo, hi)
+		seen := make(map[int64]bool, len(buf))
+		for _, k := range buf {
+			seen[k] = true
+			switch k % 3 {
+			case 2:
+				t.Errorf("scan %d: key %d was never inserted", scan, k)
+			}
+		}
+		for k := lo; k <= hi && k < cfg.KeyRange; k++ {
+			if k%3 == 0 && permanent[k] && !seen[k] {
+				t.Errorf("scan %d: permanently present key %d missing from [%d,%d]", scan, k, lo, hi)
+			}
+		}
+		if t.Failed() {
+			break
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	for _, th := range append(writers, scanner) {
 		th.Flush()
 	}
 }

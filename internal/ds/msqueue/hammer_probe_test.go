@@ -1,0 +1,77 @@
+package msqueue_test
+
+import (
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pop/internal/core"
+	"pop/internal/ds/msqueue"
+	"pop/internal/rng"
+)
+
+// TestHammerProbe is the queue's cross-policy stress probe, mirroring
+// the sets' hammer tests: concurrent enqueues/dequeues under every
+// policy with a tiny reclaim threshold, then leak assertions — the
+// retire-per-dequeue pattern makes the queue the highest retire-rate
+// structure per operation, so reclamation bugs surface here fastest.
+// Enabled long via MSQUEUE_HAMMER=1; a few short rounds otherwise.
+func TestHammerProbe(t *testing.T) {
+	dur := 2 * time.Second
+	if os.Getenv("MSQUEUE_HAMMER") != "" {
+		dur = 90 * time.Second
+	}
+	const workers = 4
+	start := time.Now()
+	round := 0
+	for time.Since(start) < dur {
+		round++
+		for _, p := range core.Policies() {
+			d := core.NewDomain(p, workers, &core.Options{ReclaimThreshold: 48, EpochFreq: 16, BatchSize: 8})
+			q := msqueue.New(d)
+			var enq, deq atomic.Int64
+			var wg sync.WaitGroup
+			threads := make([]*core.Thread, workers)
+			for i := range threads {
+				threads[i] = d.RegisterThread()
+			}
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(id int, th *core.Thread) {
+					defer wg.Done()
+					r := rng.New(uint64(id)*41 + uint64(round)*13 + uint64(p))
+					for i := 0; i < 5000; i++ {
+						if r.Intn(2) == 0 {
+							q.Enqueue(th, int64(id)<<32|int64(i))
+							enq.Add(1)
+						} else if _, ok := q.Dequeue(th); ok {
+							deq.Add(1)
+						}
+					}
+				}(w, threads[w])
+			}
+			wg.Wait()
+			for _, th := range threads {
+				th.Flush()
+			}
+			// FIFO conservation: the queue holds exactly the un-dequeued
+			// residue.
+			if got, want := int64(q.Len(threads[0])), enq.Load()-deq.Load(); got != want {
+				t.Fatalf("%v round %d: Len = %d, want %d", p, round, got, want)
+			}
+			// Leak check: once quiescent, Outstanding is the linked nodes
+			// (residue + the dummy) plus anything the policy failed to
+			// free — which must be nothing except under NR.
+			if p != core.NR {
+				if u := d.Unreclaimed(); u != 0 {
+					t.Fatalf("%v round %d: %d unreclaimed nodes after flush", p, round, u)
+				}
+				if got, want := q.Outstanding(), enq.Load()-deq.Load()+1; got != want {
+					t.Fatalf("%v round %d: Outstanding = %d, want %d (residue+dummy)", p, round, got, want)
+				}
+			}
+		}
+	}
+}

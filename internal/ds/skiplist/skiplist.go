@@ -1,0 +1,551 @@
+// Package skiplist implements a lock-free skiplist set (SKL in the
+// harness) in the Fraser/Herlihy style: a sorted multi-level linked
+// list in which each node carries a tower of forward links, each level
+// is a Harris-Michael list in its own right (logical deletion by CAS
+// marking the level's next pointer, physical unlink by a second CAS),
+// and membership is defined by the bottom level alone. It is the
+// repository's only structure with ordered range scans, which makes it
+// the SMR-heaviest workload available: a scan is one long operation
+// that protects every hop, exactly the traversal pressure the paper's
+// §5.1.2 long-running-reads experiment puts on reservation publication.
+//
+// # Reservation discipline
+//
+// Traversals rotate three protection slots (pred/curr/next, Michael's
+// index-rotation trick, as in hmlist) and re-validate pred.next == curr
+// after every protect; descending a level keeps pred protected and
+// re-walks from it. Range scans extend the same rotation along level 0
+// and resume from the last emitted key when a hop fails validation, so
+// results stay sorted and duplicate-free without restarting the scan.
+//
+// # Retire protocol (why towers don't break reclamation)
+//
+// A skiplist node is reachable from many levels, so "unlinked at level
+// 0" does not mean unreachable — the retire contract every policy in
+// core depends on. Two rules make retirement exact:
+//
+//  1. Only the thread whose CAS marks level 0 (the deletion's
+//     linearization point) may retire the node, and only after a full
+//     by-pointer purge descent has confirmed the node is unlinked from
+//     every level. Helper traversals snip marked levels but never
+//     retire.
+//  2. The inserting thread announces tower construction in the node's
+//     state word (LINKING). A deleter that finds LINKING still set
+//     hands the retire off (RETIREREQ); whichever of the two clears its
+//     bit last performs the purge + retire. The inserter additionally
+//     keeps the node protected in a dedicated anchor slot from before
+//     publication until its operation ends, and un-links any level it
+//     raced a deleter on (link-then-mark interleavings) before
+//     releasing LINKING — so a retired node can never be re-linked, and
+//     a linked node can never be freed.
+//
+// Under NBR a neutralized inserter abandons the remaining tower levels
+// instead of restarting: the node is already in the set (level 0), a
+// short tower only costs balance, and the state protocol guarantees the
+// node outlives every access the inserter still performs (a node with
+// LINKING set is never retired, hence never freed).
+package skiplist
+
+import (
+	"math"
+	"sync/atomic"
+	"unsafe"
+
+	"pop/internal/arena"
+	"pop/internal/core"
+	"pop/internal/rng"
+)
+
+// MaxHeight is the tower-height cap. 2^20 keys at the expected one node
+// per two towers per level covers every structure size the harness runs.
+const MaxHeight = 20
+
+// state-word bits (node.state).
+const (
+	// stateLinking is set by the inserter before the node is published
+	// and cleared when tower construction (including undo of any
+	// link/mark race) is complete. A node with LINKING set is never
+	// retired.
+	stateLinking = uint32(1) << 0
+	// stateRetireReq is set by the deleter that won the level-0 mark
+	// after its purge descent. If LINKING was already clear, the deleter
+	// retires; otherwise the inserter does when it clears LINKING.
+	stateRetireReq = uint32(1) << 1
+)
+
+// node is a skiplist cell. Header must be first (reclamation contract).
+// The mark bit of next[lvl] tags *this* node as logically deleted at
+// that level; level 0's mark is the deletion's linearization point.
+type node struct {
+	core.Header
+	key    int64
+	height int32         // tower height, 1..MaxHeight; immutable once published
+	state  atomic.Uint32 // LINKING/RETIREREQ retire-handoff word
+	next   [MaxHeight]core.Atomic
+}
+
+// threadLocal is a thread's allocation cache plus its private
+// height-distribution generator.
+type threadLocal struct {
+	cache *arena.ThreadCache[node]
+	hrng  *rng.State
+}
+
+// List is a lock-free skiplist set of int64 keys.
+type List struct {
+	d      *core.Domain
+	typ    uint8
+	pool   *arena.Pool[node]
+	locals []*threadLocal // indexed by thread id, owner-only
+	head   *node          // full-height sentinel, key = MinInt64
+	tail   *node          // key = MaxInt64; terminates every level
+}
+
+// New creates an empty skiplist in domain d.
+func New(d *core.Domain) *List {
+	l := &List{
+		d:      d,
+		pool:   arena.NewPool[node](nil, nil),
+		locals: make([]*threadLocal, d.MaxThreads()),
+	}
+	l.typ = d.RegisterType(func(t *core.Thread, h *core.Header) {
+		l.localFor(t).cache.Put((*node)(unsafe.Pointer(h)))
+	})
+	// Sentinels come from the Go heap (never retired; Outstanding counts
+	// only real keys).
+	l.head = &node{key: math.MinInt64, height: MaxHeight}
+	l.tail = &node{key: math.MaxInt64, height: MaxHeight}
+	for i := 0; i < MaxHeight; i++ {
+		l.head.next[i].Raw(unsafe.Pointer(l.tail))
+	}
+	return l
+}
+
+// Outstanding reports pool-level live+retired nodes (memory metric).
+func (l *List) Outstanding() int64 { return l.pool.Outstanding() }
+
+// localFor returns t's thread-local state, creating it on first use. The
+// slot is only ever touched by t's goroutine.
+func (l *List) localFor(t *core.Thread) *threadLocal {
+	tl := l.locals[t.ID()]
+	if tl == nil {
+		tl = &threadLocal{
+			cache: l.pool.NewCache(),
+			hrng:  rng.New(0x5ee9_11f7<<16 ^ uint64(t.ID())*0x9e3779b97f4a7c15),
+		}
+		l.locals[t.ID()] = tl
+	}
+	return tl
+}
+
+// randomHeight draws a geometric(1/2) tower height in [1, MaxHeight].
+func randomHeight(r *rng.State) int32 {
+	h := int32(1)
+	for bits := r.Uint64(); bits&1 == 1 && h < MaxHeight; bits >>= 1 {
+		h++
+	}
+	return h
+}
+
+// Reservation slots: three rotating traversal slots plus a fixed anchor
+// the inserter uses to keep its node protected during tower linking.
+const (
+	slotPred   = 0
+	slotCurr   = 1
+	slotNext   = 2
+	slotAnchor = 3
+)
+
+// position is the result of a descent: the state of the walk at the
+// lowest level visited, with pred and curr protected in the recorded
+// slots (the hmlist discipline, per level).
+type position struct {
+	predCell *core.Atomic
+	pred     *node // protected in sPred; head sentinel at minimum
+	curr     *node // protected in sCurr; first node with key >= target key
+	next     *node // curr's successor (nil iff curr == tail)
+	sPred    int
+	sCurr    int
+	sNext    int
+}
+
+// descend walks from the head down to level lo and returns the position
+// there. At each level it stops before the first node with key > key;
+// nodes with key == key stop the walk unless target is non-nil, in which
+// case only target itself stops it (the retirer's by-pointer purge walks
+// past unmarked same-key reincarnations). Marked nodes encountered at
+// any level are snipped — but never retired; see the package comment.
+//
+// ok=false means the operation was neutralized (NBR) and the caller must
+// either restart from its entry point or abandon (tower building).
+// A completed descent with target != nil proves target was unlinked from
+// every level in [lo, MaxHeight): target is fully marked by then, so if
+// the walk met it, it snipped it, and if not, it wasn't in the chain.
+func (l *List) descend(t *core.Thread, key int64, lo int, target *node) (position, bool) {
+retry:
+	pos := position{pred: l.head, sPred: slotPred, sCurr: slotCurr, sNext: slotNext}
+	for lvl := MaxHeight - 1; ; lvl-- {
+		pos.predCell = &pos.pred.next[lvl]
+		craw, ok := t.Protect(pos.sCurr, pos.predCell)
+		if !ok {
+			return pos, false
+		}
+		if core.Marked(craw) {
+			// pred was logically deleted at this level under us; its
+			// links are no longer a valid walk origin.
+			goto retry
+		}
+		pos.curr = (*node)(craw)
+		for {
+			if pos.curr == l.tail {
+				pos.next = nil
+				break
+			}
+			nraw, ok := t.Protect(pos.sNext, &pos.curr.next[lvl])
+			if !ok {
+				return pos, false
+			}
+			// Validate the edge: pred must still point at curr, so curr
+			// was reachable (and next its successor) after the protect.
+			if pos.predCell.Load() != unsafe.Pointer(pos.curr) {
+				goto retry
+			}
+			if core.Marked(nraw) {
+				// curr is logically deleted at lvl: snip it. Retirement
+				// is the mark winner's job (see package comment), so a
+				// successful snip just drops the node from this level.
+				succ := core.Mask(nraw)
+				if !t.EnterWritePhase() {
+					return pos, false
+				}
+				if !pos.predCell.CompareAndSwap(unsafe.Pointer(pos.curr), succ) {
+					t.ExitWritePhase()
+					goto retry
+				}
+				t.ExitWritePhase()
+				pos.curr = (*node)(succ)
+				pos.sCurr, pos.sNext = pos.sNext, pos.sCurr
+				continue
+			}
+			if pos.curr.key > key || (pos.curr.key == key && (target == nil || pos.curr == target)) {
+				pos.next = (*node)(nraw)
+				break
+			}
+			// Advance along the level.
+			pos.pred = pos.curr
+			pos.predCell = &pos.curr.next[lvl]
+			pos.curr = (*node)(nraw)
+			pos.sPred, pos.sCurr, pos.sNext = pos.sCurr, pos.sNext, pos.sPred
+		}
+		if lvl == lo {
+			return pos, true
+		}
+		// Descend: pred keeps its protection and the next level's walk
+		// re-validates from it.
+	}
+}
+
+// Contains reports whether key is in the set.
+func (l *List) Contains(t *core.Thread, key int64) bool {
+	checkKey(key)
+	t.StartOp()
+	defer t.EndOp()
+	for {
+		pos, ok := l.descend(t, key, 0, nil)
+		if !ok {
+			continue // neutralized: restart
+		}
+		return pos.curr != l.tail && pos.curr.key == key
+	}
+}
+
+// Insert adds key; false if already present.
+func (l *List) Insert(t *core.Thread, key int64) bool {
+	checkKey(key)
+	t.StartOp()
+	defer t.EndOp()
+	tl := l.localFor(t)
+	var n *node
+	var anchor core.Atomic
+	for {
+		pos, ok := l.descend(t, key, 0, nil)
+		if !ok {
+			continue // neutralized: n (if any) is still private, retry
+		}
+		if pos.curr != l.tail && pos.curr.key == key {
+			if n != nil {
+				tl.cache.Put(n) // never published: straight back to the pool
+			}
+			return false
+		}
+		if n == nil {
+			n = tl.cache.Get()
+			n.key = key
+			n.height = randomHeight(tl.hrng)
+			n.state.Store(stateLinking)
+			for i := int32(0); i < n.height; i++ {
+				n.next[i].Raw(unsafe.Pointer(l.tail))
+			}
+			t.OnAlloc(&n.Header, l.typ)
+			anchor.Raw(unsafe.Pointer(n))
+		}
+		// Anchor n before publication: the reservation is taken while the
+		// node provably cannot be retired (it is still private) and held
+		// until EndOp, so the tower-building phase below may keep
+		// touching n under every policy.
+		if _, ok := t.Protect(slotAnchor, &anchor); !ok {
+			continue
+		}
+		n.next[0].Raw(unsafe.Pointer(pos.curr))
+		if !t.EnterWritePhase() {
+			continue
+		}
+		if pos.predCell.CompareAndSwap(unsafe.Pointer(pos.curr), unsafe.Pointer(n)) {
+			t.ExitWritePhase()
+			break // linearized: n is in the set
+		}
+		t.ExitWritePhase()
+	}
+	// Build the tower. Failures here never affect the insert's outcome.
+	for lvl := 1; lvl < int(n.height); lvl++ {
+		if !l.linkLevel(t, n, key, lvl) {
+			break
+		}
+	}
+	// Release LINKING; if a deleter finished while we were linking, the
+	// retire was handed to us.
+	if old := n.state.And(^stateLinking); old&stateRetireReq != 0 {
+		l.purge(t, n, key)
+		t.Retire(&n.Header)
+	}
+	return true
+}
+
+// linkLevel links n into level lvl. false means the tower is abandoned:
+// the node was deleted, another node owns the key, or the thread was
+// neutralized (NBR) — in every case the set's contents are unaffected.
+func (l *List) linkLevel(t *core.Thread, n *node, key int64, lvl int) bool {
+	for {
+		pos, ok := l.descend(t, key, lvl, nil)
+		if !ok {
+			return false
+		}
+		if pos.curr == n {
+			return true // already linked at this level
+		}
+		if pos.curr != l.tail && pos.curr.key == key {
+			// A different node owns the key at this level, which can only
+			// happen after n was marked at level 0: stop building.
+			return false
+		}
+		// Point n's level-lvl link at the successor, but only while the
+		// level is unmarked (a mark here means a deleter beat us).
+		for {
+			raw := n.next[lvl].Load()
+			if core.Marked(raw) {
+				return false
+			}
+			if raw == unsafe.Pointer(pos.curr) {
+				break
+			}
+			if !t.EnterWritePhase() {
+				return false
+			}
+			done := n.next[lvl].CompareAndSwap(raw, unsafe.Pointer(pos.curr))
+			t.ExitWritePhase()
+			if done {
+				break
+			}
+		}
+		if !t.EnterWritePhase() {
+			return false
+		}
+		if !pos.predCell.CompareAndSwap(unsafe.Pointer(pos.curr), unsafe.Pointer(n)) {
+			t.ExitWritePhase()
+			continue // position changed under us: re-walk this level
+		}
+		// Linked. If a deleter marked this level between the two CASes we
+		// just re-linked a logically dead node: undo before the state
+		// protocol can let anyone retire it.
+		if raw := n.next[lvl].Load(); core.Marked(raw) {
+			pos.predCell.CompareAndSwap(unsafe.Pointer(n), core.Mask(raw))
+			t.ExitWritePhase()
+			l.ensureUnlinked(t, n, key, lvl)
+			return false
+		}
+		t.ExitWritePhase()
+		return true
+	}
+}
+
+// ensureUnlinked walks levels [lvl, MaxHeight) until a descent completes
+// with n absent from each of them (n is fully marked by now, so any
+// encounter snips it). n cannot be retired while we are here: LINKING is
+// still set, so the descent may keep comparing against it safely.
+func (l *List) ensureUnlinked(t *core.Thread, n *node, key int64, lvl int) {
+	for {
+		if _, ok := l.descend(t, key, lvl, n); ok {
+			return
+		}
+	}
+}
+
+// purge makes n physically unreachable from every level. Callers hold
+// the retire right (mark winner with LINKING clear, or inserter with
+// RETIREREQ observed), which guarantees n stays allocated throughout.
+func (l *List) purge(t *core.Thread, n *node, key int64) {
+	for {
+		if _, ok := l.descend(t, key, 0, n); ok {
+			return
+		}
+	}
+}
+
+// Delete removes key; false if absent.
+func (l *List) Delete(t *core.Thread, key int64) bool {
+	checkKey(key)
+	t.StartOp()
+	defer t.EndOp()
+restart:
+	for {
+		pos, ok := l.descend(t, key, 0, nil)
+		if !ok {
+			continue
+		}
+		if pos.curr == l.tail || pos.curr.key != key {
+			return false
+		}
+		victim := pos.curr // protected in pos.sCurr
+		// Mark the upper levels top-down (idempotent; concurrent deleters
+		// may interleave here, the level-0 mark below decides the winner).
+		for lvl := int(victim.height) - 1; lvl >= 1; lvl-- {
+			for {
+				raw := victim.next[lvl].Load()
+				if core.Marked(raw) {
+					break
+				}
+				if !t.EnterWritePhase() {
+					goto restart
+				}
+				done := victim.next[lvl].CompareAndSwap(raw, core.WithMark(raw))
+				t.ExitWritePhase()
+				if done {
+					break
+				}
+			}
+		}
+		// Level 0: the winning CAS is the linearization point and carries
+		// the retire right.
+		for {
+			raw := victim.next[0].Load()
+			if core.Marked(raw) {
+				return false // another deleter linearized first
+			}
+			if !t.EnterWritePhase() {
+				goto restart
+			}
+			won := victim.next[0].CompareAndSwap(raw, core.WithMark(raw))
+			t.ExitWritePhase()
+			if !won {
+				continue
+			}
+			// From here victim cannot be freed even after our traversal
+			// slots are reused: it is not retired until the handoff below
+			// resolves, and only the handoff's winner retires it.
+			l.purge(t, victim, key)
+			if old := victim.state.Or(stateRetireReq); old&stateLinking == 0 {
+				t.Retire(&victim.Header)
+			}
+			return true
+		}
+	}
+}
+
+// RangeCount counts the keys in [lo, hi].
+func (l *List) RangeCount(t *core.Thread, lo, hi int64) int {
+	n := 0
+	l.scanRange(t, lo, hi, func(int64) { n++ })
+	return n
+}
+
+// RangeCollect appends the keys in [lo, hi], ascending, to buf[:0] and
+// returns the filled slice. The result is sorted and duplicate-free;
+// each reported key was observed present (unmarked and reachable) at
+// some point during the scan, and no key absent for the scan's whole
+// duration is reported.
+func (l *List) RangeCollect(t *core.Thread, lo, hi int64, buf []int64) []int64 {
+	buf = buf[:0]
+	l.scanRange(t, lo, hi, func(k int64) { buf = append(buf, k) })
+	return buf
+}
+
+// scanRange walks level 0 across [lo, hi] as one long operation,
+// emitting every key observed unmarked while validated reachable. When a
+// hop fails validation (or hits a marked node, whose links are not a
+// safe bridge), the scan re-descends to the first key not yet emitted —
+// keys already emitted are never revisited, keeping output sorted and
+// unique.
+func (l *List) scanRange(t *core.Thread, lo, hi int64, emit func(int64)) {
+	if lo > hi {
+		return
+	}
+	t.StartOp()
+	defer t.EndOp()
+	from := lo
+	for {
+		pos, ok := l.descend(t, from, 0, nil)
+		if !ok {
+			continue // neutralized: resume at `from`
+		}
+		predCell, curr := pos.predCell, pos.curr
+		// Full three-slot rotation, exactly as in descend: the node
+		// holding predCell must keep its reservation through the
+		// validation read below, so the slot reused for each new protect
+		// is the one two hops back, never the current predecessor's.
+		sPred, sCurr, sNext := pos.sPred, pos.sCurr, pos.sNext
+		for {
+			if curr == l.tail || curr.key > hi {
+				return
+			}
+			nraw, ok := t.Protect(sNext, &curr.next[0])
+			if !ok {
+				from = curr.key
+				break // neutralized: re-descend
+			}
+			if predCell.Load() != unsafe.Pointer(curr) {
+				from = curr.key
+				break // chain changed behind us: re-descend
+			}
+			if core.Marked(nraw) {
+				// curr was deleted under the scan: skip it, and restart
+				// past it (a marked node's links may already be stale).
+				from = curr.key + 1
+				break
+			}
+			emit(curr.key)
+			from = curr.key + 1
+			predCell = &curr.next[0]
+			curr = (*node)(nraw)
+			sPred, sCurr, sNext = sCurr, sNext, sPred
+		}
+	}
+}
+
+// Size counts unmarked bottom-level nodes. Quiescent use only.
+func (l *List) Size(t *core.Thread) int {
+	n := 0
+	for c := (*node)(core.Mask(l.head.next[0].Load())); c != l.tail; {
+		raw := c.next[0].Load()
+		if !core.Marked(raw) {
+			n++
+		}
+		c = (*node)(core.Mask(raw))
+	}
+	return n
+}
+
+func checkKey(key int64) {
+	if key == math.MinInt64 || key == math.MaxInt64 {
+		panic("skiplist: key collides with sentinel")
+	}
+}

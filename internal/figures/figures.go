@@ -1,6 +1,8 @@
 // Package figures encodes every experiment in the paper's evaluation —
 // Figures 1-11 plus the §2.1.2 read-cost analysis, the robustness
-// scenario, and ablations over the design parameters DESIGN.md calls out.
+// scenario, and ablations over the design parameters DESIGN.md calls out
+// — and this repository's extension experiments (the skiplist sweeps,
+// including the scan-heavy range-query workload).
 // Each figure knows its workload, data structure, sizes and thresholds,
 // runs the sweep through the harness, and returns the same series the
 // paper plots. cmd/popbench renders them; bench_test.go reuses the same
@@ -75,18 +77,21 @@ type Figure struct {
 	Run  func(Ctx) ([]report.Series, error)
 }
 
-// metric extracts one plotted value from a trial result.
-type metric struct {
-	name string
-	get  func(harness.Result) float64
+// Metric extracts one plotted value from a trial result. The standard
+// metrics below cover the paper's plots; cmd/popbench composes ad-hoc
+// ones for direct sweeps.
+type Metric struct {
+	Name string
+	Get  func(harness.Result) float64
 }
 
 var (
-	mThroughput  = metric{"throughput (ops/s)", func(r harness.Result) float64 { return r.Throughput }}
-	mReadTput    = metric{"read throughput (ops/s)", func(r harness.Result) float64 { return r.ReadTput }}
-	mMaxRetire   = metric{"max retireList size (nodes)", func(r harness.Result) float64 { return float64(r.MaxRetire) }}
-	mPeakRes     = metric{"peak resident nodes", func(r harness.Result) float64 { return float64(r.PeakResident) }}
-	mUnreclaimed = metric{"total unreclaimed nodes", func(r harness.Result) float64 { return float64(r.Unreclaimed) }}
+	mThroughput  = Metric{"throughput (ops/s)", func(r harness.Result) float64 { return r.Throughput }}
+	mReadTput    = Metric{"read throughput (ops/s)", func(r harness.Result) float64 { return r.ReadTput }}
+	mRangeTput   = Metric{"range throughput (scans/s)", func(r harness.Result) float64 { return r.RangeTput }}
+	mMaxRetire   = Metric{"max retireList size (nodes)", func(r harness.Result) float64 { return float64(r.MaxRetire) }}
+	mPeakRes     = Metric{"peak resident nodes", func(r harness.Result) float64 { return float64(r.PeakResident) }}
+	mUnreclaimed = Metric{"total unreclaimed nodes", func(r harness.Result) float64 { return float64(r.Unreclaimed) }}
 )
 
 // scaleSize divides a paper size by the context scale with a floor.
@@ -108,9 +113,10 @@ func scaleThreshold(c Ctx, paperThreshold int) int {
 	return t
 }
 
-// sweepThreads runs cfgBase for every (policy, thread-count) pair and
-// builds one series per metric.
-func sweepThreads(c Ctx, title string, cfgBase harness.Config, policies []core.Policy, metrics []metric) ([]report.Series, error) {
+// SweepThreads runs cfgBase for every (policy, thread-count) pair and
+// builds one series per metric. Callers fill Ctx completely (Run
+// functions do it via withDefaults; cmd/popbench from its flags).
+func SweepThreads(c Ctx, title string, cfgBase harness.Config, policies []core.Policy, metrics []Metric) ([]report.Series, error) {
 	names := make([]string, len(policies))
 	for i, p := range policies {
 		names[i] = p.String()
@@ -118,7 +124,7 @@ func sweepThreads(c Ctx, title string, cfgBase harness.Config, policies []core.P
 	out := make([]report.Series, len(metrics))
 	for i, m := range metrics {
 		out[i] = report.Series{
-			Title:  fmt.Sprintf("%s — %s", title, m.name),
+			Title:  fmt.Sprintf("%s — %s", title, m.Name),
 			XLabel: "threads",
 			Names:  names,
 		}
@@ -140,7 +146,7 @@ func sweepThreads(c Ctx, title string, cfgBase harness.Config, policies []core.P
 				return nil, fmt.Errorf("%s [threads=%d policy=%v]: %w", title, n, p, err)
 			}
 			for mi, m := range metrics {
-				cells[mi][pi] = m.get(res)
+				cells[mi][pi] = m.Get(res)
 			}
 		}
 		for mi := range metrics {
@@ -170,8 +176,8 @@ func throughputAndMemory(id, what, dsName string, paperSize int64, fixed bool, m
 				Mix:              mix,
 				ReclaimThreshold: threshold,
 			}
-			return sweepThreads(c, what, cfg, c.policySet(false),
-				[]metric{mThroughput, mMaxRetire})
+			return SweepThreads(c, what, cfg, c.policySet(false),
+				[]Metric{mThroughput, mMaxRetire})
 		},
 	}
 }
@@ -189,7 +195,7 @@ func throughputOnly(id, what, dsName string, paperSize int64, mix workload.Mix) 
 				Mix:              mix,
 				ReclaimThreshold: scaleThreshold(c, 24576),
 			}
-			return sweepThreads(c, what, cfg, c.policySet(false), []metric{mThroughput})
+			return SweepThreads(c, what, cfg, c.policySet(false), []Metric{mThroughput})
 		},
 	}
 }
@@ -222,9 +228,9 @@ func appendixFigure(id, what, dsName string, paperSize int64, fixed, withCrystal
 					Mix:              panel.mix,
 					ReclaimThreshold: threshold,
 				}
-				series, err := sweepThreads(c, fmt.Sprintf("%s (%s)", what, panel.name),
+				series, err := SweepThreads(c, fmt.Sprintf("%s (%s)", what, panel.name),
 					cfg, c.policySet(withCrystalline),
-					[]metric{mThroughput, mPeakRes, mUnreclaimed})
+					[]Metric{mThroughput, mPeakRes, mUnreclaimed})
 				if err != nil {
 					return nil, err
 				}
@@ -530,6 +536,30 @@ func ablateCMult() Figure {
 	}
 }
 
+// scanHeavyFigure sweeps the skiplist under the scan-heavy mix: half the
+// operations are multi-node ordered scans, each one long operation whose
+// reservations stay pinned across every hop. This is the structural
+// extreme of the paper's long-running-reads argument — the regime where
+// cheap reservation publication (POP) should matter most.
+func scanHeavyFigure() Figure {
+	return Figure{
+		ID:   "skl-scan",
+		Desc: "SKL (skiplist) 1M scan-heavy: range queries under churn, throughput + memory",
+		Run: func(c Ctx) ([]report.Series, error) {
+			c = c.withDefaults()
+			cfg := harness.Config{
+				DS:               harness.DSSkipList,
+				KeyRange:         scaleSize(c, 1_000_000),
+				Mix:              workload.ScanHeavy,
+				RangeSpan:        100,
+				ReclaimThreshold: scaleThreshold(c, 2048),
+			}
+			return SweepThreads(c, "SKL 1M scan-heavy", cfg, c.policySet(false),
+				[]Metric{mThroughput, mRangeTput, mMaxRetire, mUnreclaimed})
+		},
+	}
+}
+
 // All returns every figure in presentation order.
 func All() []Figure {
 	return []Figure{
@@ -548,6 +578,8 @@ func All() []Figure {
 		appendixFigure("fig9", "Fig 9: LL 2K (appendix D)", harness.DSLazyList, 2_000, true, false),
 		appendixFigure("fig10", "Fig 10: HML 2K + Crystalline (appendix E)", harness.DSHarrisMichaelList, 2_000, true, true),
 		appendixFigure("fig11", "Fig 11: HT 6M + Crystalline (appendix E)", harness.DSHashTable, 6_000_000, false, true),
+		throughputAndMemory("skl-update", "SKL (skiplist) 1M update-heavy", harness.DSSkipList, 1_000_000, false, workload.UpdateHeavy),
+		scanHeavyFigure(),
 		readCostFigure(),
 		stallFigure(),
 		ablateThreshold(),

@@ -4,7 +4,9 @@
 // then a timed execution phase of randomly mixed operations — and
 // collecting the metrics its figures plot: throughput, maximum
 // retire-list length, peak resident (outstanding) nodes, and unreclaimed
-// nodes at the end of the run.
+// nodes at the end of the run. Mixes with a RangePct component
+// additionally account range queries (ops, keys returned, throughput);
+// they require a structure implementing ds.RangeScanner (DSSkipList).
 //
 // Worker "threads" are goroutines; sweeping the thread count past
 // runtime.GOMAXPROCS reproduces the paper's oversubscription regime
@@ -24,21 +26,25 @@ import (
 	"pop/internal/ds/hashtable"
 	"pop/internal/ds/hmlist"
 	"pop/internal/ds/lazylist"
+	"pop/internal/ds/skiplist"
 	"pop/internal/workload"
 )
 
-// DS names accepted by Config.DS, matching the paper's abbreviations.
+// DS names accepted by Config.DS, matching the paper's abbreviations
+// (plus the skiplist, which is this repository's extension).
 const (
 	DSHarrisMichaelList = "hml"  // Harris-Michael list
 	DSLazyList          = "ll"   // lazy list
 	DSHashTable         = "hmht" // hash table over HML buckets
 	DSExternalBST       = "dgt"  // external BST (David-Guerraoui-Trigonakis)
 	DSABTree            = "abt"  // (a,b)-tree
+	DSSkipList          = "skl"  // lock-free skiplist (range queries)
 )
 
-// DSNames lists the supported data structures in the paper's order.
+// DSNames lists the supported data structures in the paper's order,
+// then the extensions.
 func DSNames() []string {
-	return []string{DSExternalBST, DSHashTable, DSABTree, DSHarrisMichaelList, DSLazyList}
+	return []string{DSExternalBST, DSHashTable, DSABTree, DSHarrisMichaelList, DSLazyList, DSSkipList}
 }
 
 // Config describes one trial.
@@ -51,6 +57,11 @@ type Config struct {
 	Mix      workload.Mix  // operation mixture
 	Seed     uint64        // trial seed (reproducible)
 	NoPrefil bool          // skip prefilling to KeyRange/2
+
+	// RangeSpan is the width of RangeQuery scans (keys per scan;
+	// default workload.DefaultRangeSpan). Only used when Mix.RangePct
+	// is nonzero, which requires a DS implementing ds.RangeScanner.
+	RangeSpan int64
 
 	// Reclamation tuning (0 = paper defaults; see core.Options).
 	ReclaimThreshold int
@@ -88,8 +99,14 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Mix == (workload.Mix{}) {
 		c.Mix = workload.UpdateHeavy
 	}
-	if !c.Mix.Valid() {
-		return c, fmt.Errorf("harness: invalid mix %+v", c.Mix)
+	// Validate the mix/key-range pair exactly the way workers will build
+	// their generators, so a bad config surfaces as an error here instead
+	// of a panic mid-sweep.
+	if _, err := workload.NewGeneratorErr(1, c.Mix, c.KeyRange); err != nil {
+		return c, fmt.Errorf("harness: %w", err)
+	}
+	if c.RangeSpan <= 0 {
+		c.RangeSpan = workload.DefaultRangeSpan
 	}
 	if c.SamplePeriod <= 0 {
 		c.SamplePeriod = 2 * time.Millisecond
@@ -106,8 +123,11 @@ type Result struct {
 
 	Ops        uint64  // operations completed in the execution phase
 	ReadOps    uint64  // contains operations completed
+	RangeOps   uint64  // range queries completed
+	RangeKeys  uint64  // keys returned across all range queries
 	Throughput float64 // Ops per second
 	ReadTput   float64 // ReadOps per second (Fig. 4's metric)
+	RangeTput  float64 // RangeOps per second
 
 	MaxRetire    int   // max retire-list length across threads (paper's memory plots)
 	PeakResident int64 // peak outstanding nodes (max resident memory analogue)
@@ -136,6 +156,8 @@ func build(cfg Config, d *core.Domain) (memSet, error) {
 		return extbst.New(d), nil
 	case DSABTree:
 		return abtree.New(d), nil
+	case DSSkipList:
+		return skiplist.New(d), nil
 	default:
 		return nil, fmt.Errorf("harness: unknown data structure %q", cfg.DS)
 	}
@@ -157,6 +179,11 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	if cfg.Mix.RangePct > 0 {
+		if _, ok := set.(ds.RangeScanner); !ok {
+			return Result{}, fmt.Errorf("harness: mix has RangePct=%d but %q does not support range queries", cfg.Mix.RangePct, cfg.DS)
+		}
+	}
 	threads := make([]*core.Thread, cfg.Threads)
 	for i := range threads {
 		threads[i] = d.RegisterThread()
@@ -174,6 +201,8 @@ func Run(cfg Config) (Result, error) {
 		finished  sync.WaitGroup // workers fully done (flushed)
 		opsBy     = make([]uint64, cfg.Threads)
 		readsBy   = make([]uint64, cfg.Threads)
+		rangesBy  = make([]uint64, cfg.Threads)
+		rkeysBy   = make([]uint64, cfg.Threads)
 	)
 	for i := 0; i < cfg.Threads; i++ {
 		loopsDone.Add(1)
@@ -182,7 +211,10 @@ func Run(cfg Config) (Result, error) {
 			defer finished.Done()
 			th := threads[id]
 			<-release
-			runWorker(cfg, set, th, id, &stop, &opsBy[id], &readsBy[id])
+			runWorker(cfg, set, th, id, &stop, &counters{
+				ops: &opsBy[id], reads: &readsBy[id],
+				ranges: &rangesBy[id], rangeKeys: &rkeysBy[id],
+			})
 			loopsDone.Done()
 			// Park quiescent until everyone stopped, then flush from the
 			// owner goroutine (Thread handles are not transferable).
@@ -219,17 +251,22 @@ func Run(cfg Config) (Result, error) {
 	close(flushGo)
 	finished.Wait()
 
-	var totalOps, totalReads uint64
+	var totalOps, totalReads, totalRanges, totalRKeys uint64
 	for i := range opsBy {
 		totalOps += opsBy[i]
 		totalReads += readsBy[i]
+		totalRanges += rangesBy[i]
+		totalRKeys += rkeysBy[i]
 	}
 	res := Result{
 		Config:       cfg,
 		Ops:          totalOps,
 		ReadOps:      totalReads,
+		RangeOps:     totalRanges,
+		RangeKeys:    totalRKeys,
 		Throughput:   float64(totalOps) / cfg.Duration.Seconds(),
 		ReadTput:     float64(totalReads) / cfg.Duration.Seconds(),
+		RangeTput:    float64(totalRanges) / cfg.Duration.Seconds(),
 		PeakResident: peak.Load(),
 		Unreclaimed:  unreclaimed,
 		LeakedAfter:  d.Unreclaimed(),
@@ -239,10 +276,16 @@ func Run(cfg Config) (Result, error) {
 	return res, nil
 }
 
+// counters receives one worker's operation tallies.
+type counters struct {
+	ops, reads, ranges, rangeKeys *uint64
+}
+
 // runWorker is one worker thread's execution phase.
-func runWorker(cfg Config, set ds.Set, th *core.Thread, id int, stop *atomic.Bool, ops, reads *uint64) {
+func runWorker(cfg Config, set ds.Set, th *core.Thread, id int, stop *atomic.Bool, c *counters) {
 	seed := cfg.Seed + uint64(id)*0x9e3779b97f4a7c15 + 1
 	mix, keyRange := cfg.Mix, cfg.KeyRange
+	scanner, _ := set.(ds.RangeScanner) // non-nil whenever mix.RangePct > 0
 
 	// Long-running-reads roles (§5.1.2): first half searches the full
 	// range; second half updates the lowest 5% ("near the head").
@@ -258,11 +301,12 @@ func runWorker(cfg Config, set ds.Set, th *core.Thread, id int, stop *atomic.Boo
 		}
 	}
 	gen := workload.NewGenerator(seed, mix, keyRange)
+	gen.SetRangeSpan(cfg.RangeSpan)
 
 	staller := cfg.StallEvery > 0 && cfg.StallLength > 0 && id == 0
 	nextStall := time.Now().Add(cfg.StallEvery)
 
-	n, r := uint64(0), uint64(0)
+	n, r, rq, rk := uint64(0), uint64(0), uint64(0), uint64(0)
 	for !stop.Load() {
 		if staller && time.Now().After(nextStall) {
 			// Busy delay inside an operation: the thread pins its epoch /
@@ -283,12 +327,15 @@ func runWorker(cfg Config, set ds.Set, th *core.Thread, id int, stop *atomic.Boo
 			r++
 		case workload.Insert:
 			set.Insert(th, key)
-		default:
+		case workload.Delete:
 			set.Delete(th, key)
+		default: // workload.RangeQuery
+			rk += uint64(scanner.RangeCount(th, key, key+gen.RangeSpan()-1))
+			rq++
 		}
 		n++
 	}
-	*ops, *reads = n, r
+	*c.ops, *c.reads, *c.ranges, *c.rangeKeys = n, r, rq, rk
 }
 
 // prefill inserts until the structure holds about KeyRange/2 keys

@@ -107,6 +107,57 @@ func TestStallInjection(t *testing.T) {
 	}
 }
 
+// TestSkipListRangeSweep is the acceptance probe for the range-query
+// dimension: a scan-bearing mix on the skiplist must complete, record
+// range operations and scanned keys, and leak nothing on robust
+// policies.
+func TestSkipListRangeSweep(t *testing.T) {
+	for _, p := range core.Policies() {
+		res, err := harness.Run(harness.Config{
+			DS:               harness.DSSkipList,
+			Policy:           p,
+			Threads:          3,
+			Duration:         40 * time.Millisecond,
+			KeyRange:         2048,
+			Mix:              workload.Mix{ContainsPct: 80, InsertPct: 5, DeletePct: 5, RangePct: 10},
+			RangeSpan:        64,
+			ReclaimThreshold: 128,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if res.RangeOps == 0 || res.RangeTput == 0 {
+			t.Fatalf("%v: no range queries recorded (ops=%d)", p, res.RangeOps)
+		}
+		if res.RangeKeys == 0 {
+			t.Fatalf("%v: scans returned no keys over a prefilled structure", p)
+		}
+		if res.Ops <= res.RangeOps {
+			t.Fatalf("%v: range ops %d not a subset of total %d", p, res.RangeOps, res.Ops)
+		}
+		if p != core.NR && res.LeakedAfter != 0 {
+			t.Fatalf("%v: %d nodes leaked after flush", p, res.LeakedAfter)
+		}
+	}
+}
+
+// TestRangeMixRequiresScanner: structures without range support must be
+// rejected up front, not crash mid-run.
+func TestRangeMixRequiresScanner(t *testing.T) {
+	for _, dsName := range []string{harness.DSHarrisMichaelList, harness.DSHashTable, harness.DSABTree} {
+		_, err := harness.Run(harness.Config{
+			DS:       dsName,
+			Policy:   core.EBR,
+			Threads:  1,
+			KeyRange: 128,
+			Mix:      workload.ScanHeavy,
+		})
+		if err == nil {
+			t.Fatalf("%s accepted a range-bearing mix", dsName)
+		}
+	}
+}
+
 func TestConfigValidation(t *testing.T) {
 	if _, err := harness.Run(harness.Config{DS: "hml", Threads: 0, KeyRange: 10}); err == nil {
 		t.Fatal("accepted zero threads")
@@ -120,5 +171,9 @@ func TestConfigValidation(t *testing.T) {
 	if _, err := harness.Run(harness.Config{DS: "hml", Threads: 1, KeyRange: 10,
 		Mix: workload.Mix{ContainsPct: 50, InsertPct: 10, DeletePct: 10}}); err == nil {
 		t.Fatal("accepted invalid mix")
+	}
+	if _, err := harness.Run(harness.Config{DS: "skl", Threads: 1, KeyRange: 10,
+		Mix: workload.Mix{ContainsPct: 50, InsertPct: 25, DeletePct: 25, RangePct: 25}}); err == nil {
+		t.Fatal("accepted mix summing past 100")
 	}
 }

@@ -3,10 +3,16 @@
 // range, chosen operation percentages, and the two standard mixes —
 // read-heavy (90% contains, 5% insert, 5% delete) and update-heavy
 // (50% insert, 50% delete) — plus the long-running-reads asymmetric
-// workload of §5.1.2.
+// workload of §5.1.2 and, beyond the paper, a range-query dimension
+// (RangePct/RangeSpan) with a scan-heavy mix that stresses reservation
+// publication with multi-node ordered scans.
 package workload
 
-import "pop/internal/rng"
+import (
+	"fmt"
+
+	"pop/internal/rng"
+)
 
 // Op is a data-structure operation kind.
 type Op uint8
@@ -16,6 +22,10 @@ const (
 	Contains Op = iota
 	Insert
 	Delete
+	// RangeQuery is an ordered scan over [key, key+span): one long
+	// operation whose reservations stay live across every hop. Only
+	// meaningful against sets implementing ds.RangeScanner.
+	RangeQuery
 )
 
 // Mix is an operation mixture in percent. Fields must sum to 100.
@@ -23,42 +33,79 @@ type Mix struct {
 	ContainsPct int
 	InsertPct   int
 	DeletePct   int
+	RangePct    int
 }
 
-// The paper's two standard mixes.
+// The standard mixes: the paper's two, plus the scan-heavy mix that
+// exercises the range-query dimension.
 var (
 	// ReadHeavy is 90% contains / 5% insert / 5% delete.
 	ReadHeavy = Mix{ContainsPct: 90, InsertPct: 5, DeletePct: 5}
 	// UpdateHeavy is 50% insert / 50% delete.
 	UpdateHeavy = Mix{ContainsPct: 0, InsertPct: 50, DeletePct: 50}
+	// ScanHeavy is 50% range queries / 40% contains / 5% insert /
+	// 5% delete: most time is spent inside long scans while updates
+	// churn the structure underneath them.
+	ScanHeavy = Mix{ContainsPct: 40, InsertPct: 5, DeletePct: 5, RangePct: 50}
 )
 
 // Valid reports whether the mix sums to 100 with no negatives.
 func (m Mix) Valid() bool {
-	return m.ContainsPct >= 0 && m.InsertPct >= 0 && m.DeletePct >= 0 &&
-		m.ContainsPct+m.InsertPct+m.DeletePct == 100
+	return m.ContainsPct >= 0 && m.InsertPct >= 0 && m.DeletePct >= 0 && m.RangePct >= 0 &&
+		m.ContainsPct+m.InsertPct+m.DeletePct+m.RangePct == 100
 }
+
+// DefaultRangeSpan is the scan width used when a mix draws range
+// queries and the caller did not choose one.
+const DefaultRangeSpan = 100
 
 // Generator draws (operation, key) pairs for one worker thread. Not safe
 // for concurrent use; create one per thread.
 type Generator struct {
-	r        *rng.State
-	mix      Mix
-	keyRange int64
+	r         *rng.State
+	mix       Mix
+	keyRange  int64
+	rangeSpan int64
 }
 
-// NewGenerator creates a generator over [0, keyRange) with the given mix.
-func NewGenerator(seed uint64, mix Mix, keyRange int64) *Generator {
+// NewGeneratorErr creates a generator over [0, keyRange) with the given
+// mix, reporting invalid configurations as errors (so harness-level
+// validation can surface them instead of crashing a sweep).
+func NewGeneratorErr(seed uint64, mix Mix, keyRange int64) (*Generator, error) {
 	if !mix.Valid() {
-		panic("workload: mix does not sum to 100")
+		return nil, fmt.Errorf("workload: mix %+v does not sum to 100", mix)
 	}
 	if keyRange <= 0 {
-		panic("workload: non-positive key range")
+		return nil, fmt.Errorf("workload: non-positive key range %d", keyRange)
 	}
-	return &Generator{r: rng.New(seed), mix: mix, keyRange: keyRange}
+	return &Generator{r: rng.New(seed), mix: mix, keyRange: keyRange, rangeSpan: DefaultRangeSpan}, nil
 }
 
-// Next returns the next operation and key.
+// NewGenerator creates a generator over [0, keyRange) with the given
+// mix. It panics on invalid input; use NewGeneratorErr to get an error
+// instead.
+func NewGenerator(seed uint64, mix Mix, keyRange int64) *Generator {
+	g, err := NewGeneratorErr(seed, mix, keyRange)
+	if err != nil {
+		panic(err.Error())
+	}
+	return g
+}
+
+// SetRangeSpan overrides the scan width drawn for RangeQuery operations
+// (default DefaultRangeSpan). span must be positive.
+func (g *Generator) SetRangeSpan(span int64) {
+	if span <= 0 {
+		panic("workload: non-positive range span")
+	}
+	g.rangeSpan = span
+}
+
+// RangeSpan returns the scan width for RangeQuery operations.
+func (g *Generator) RangeSpan() int64 { return g.rangeSpan }
+
+// Next returns the next operation and key. For RangeQuery the key is the
+// scan's lower bound; the upper bound is key+RangeSpan()-1.
 func (g *Generator) Next() (Op, int64) {
 	k := g.r.Intn(g.keyRange)
 	p := g.r.Pct()
@@ -67,8 +114,10 @@ func (g *Generator) Next() (Op, int64) {
 		return Contains, k
 	case p < g.mix.ContainsPct+g.mix.InsertPct:
 		return Insert, k
-	default:
+	case p < g.mix.ContainsPct+g.mix.InsertPct+g.mix.DeletePct:
 		return Delete, k
+	default:
+		return RangeQuery, k
 	}
 }
 

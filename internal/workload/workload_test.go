@@ -14,6 +14,9 @@ func TestStandardMixesValid(t *testing.T) {
 	if !workload.UpdateHeavy.Valid() {
 		t.Fatal("UpdateHeavy invalid")
 	}
+	if !workload.ScanHeavy.Valid() {
+		t.Fatal("ScanHeavy invalid")
+	}
 }
 
 func TestMixValidation(t *testing.T) {
@@ -26,6 +29,10 @@ func TestMixValidation(t *testing.T) {
 		{workload.Mix{ContainsPct: 50, InsertPct: 50, DeletePct: 50}, false},
 		{workload.Mix{ContainsPct: -10, InsertPct: 60, DeletePct: 50}, false},
 		{workload.Mix{}, false},
+		{workload.Mix{RangePct: 100}, true},
+		{workload.Mix{ContainsPct: 40, InsertPct: 5, DeletePct: 5, RangePct: 50}, true},
+		{workload.Mix{ContainsPct: 90, InsertPct: 5, DeletePct: 5, RangePct: 10}, false},
+		{workload.Mix{ContainsPct: 50, InsertPct: 30, DeletePct: 30, RangePct: -10}, false},
 	}
 	for _, c := range cases {
 		if got := c.mix.Valid(); got != c.ok {
@@ -72,6 +79,46 @@ func TestGeneratorDeterminism(t *testing.T) {
 		if opA != opB || kA != kB {
 			t.Fatalf("streams diverged at %d", i)
 		}
+	}
+}
+
+func TestScanHeavyHonoursRangePct(t *testing.T) {
+	const draws = 100_000
+	g := workload.NewGenerator(3, workload.ScanHeavy, 1000)
+	var counts [4]int
+	for i := 0; i < draws; i++ {
+		op, _ := g.Next()
+		counts[op]++
+	}
+	if c := float64(counts[workload.RangeQuery]) / draws * 100; c < 48.5 || c > 51.5 {
+		t.Fatalf("range fraction %.2f%%, want ~50%%", c)
+	}
+	if c := float64(counts[workload.Contains]) / draws * 100; c < 38.5 || c > 41.5 {
+		t.Fatalf("contains fraction %.2f%%, want ~40%%", c)
+	}
+}
+
+func TestRangeSpanDefaultsAndOverride(t *testing.T) {
+	g := workload.NewGenerator(4, workload.ScanHeavy, 1000)
+	if got := g.RangeSpan(); got != workload.DefaultRangeSpan {
+		t.Fatalf("default RangeSpan = %d, want %d", got, workload.DefaultRangeSpan)
+	}
+	g.SetRangeSpan(17)
+	if got := g.RangeSpan(); got != 17 {
+		t.Fatalf("RangeSpan after SetRangeSpan(17) = %d", got)
+	}
+}
+
+func TestNewGeneratorErr(t *testing.T) {
+	if _, err := workload.NewGeneratorErr(1, workload.Mix{ContainsPct: 1}, 10); err == nil {
+		t.Fatal("bad mix accepted")
+	}
+	if _, err := workload.NewGeneratorErr(1, workload.ReadHeavy, 0); err == nil {
+		t.Fatal("bad key range accepted")
+	}
+	g, err := workload.NewGeneratorErr(1, workload.ScanHeavy, 10)
+	if err != nil || g == nil {
+		t.Fatalf("valid config rejected: %v", err)
 	}
 }
 

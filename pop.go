@@ -7,9 +7,10 @@
 //
 // It provides the paper's three algorithms — HazardPtrPOP, HazardEraPOP
 // and EpochPOP — as drop-in replacements for hazard pointers, the eight
-// baseline schemes the paper evaluates against, and the five concurrent
-// set data structures of its evaluation, all integrated with a
-// type-stable arena so that "freeing" memory is meaningful inside a
+// baseline schemes the paper evaluates against, the five concurrent set
+// data structures of its evaluation, and a lock-free skiplist with
+// ordered range scans (RangeSet), all integrated with a type-stable
+// arena so that "freeing" memory is meaningful inside a
 // garbage-collected runtime.
 //
 // # Usage
@@ -37,6 +38,7 @@ import (
 	"pop/internal/ds/hmlist"
 	"pop/internal/ds/lazylist"
 	"pop/internal/ds/msqueue"
+	"pop/internal/ds/skiplist"
 )
 
 // Policy selects a reclamation algorithm (see the core package for the
@@ -95,8 +97,8 @@ func ParsePolicy(s string) (Policy, error) { return core.ParsePolicy(s) }
 func Policies() []Policy { return core.Policies() }
 
 // Set is a concurrent set of int64 keys bound to a reclamation domain.
-// All five constructors below return Sets that are linearizable and safe
-// for concurrent use by threads registered with the same domain.
+// Every set constructor below returns a Set that is linearizable and
+// safe for concurrent use by threads registered with the same domain.
 type Set interface {
 	// Insert adds key and reports whether it was absent.
 	Insert(t *Thread, key int64) bool
@@ -132,6 +134,28 @@ func NewExternalBST(d *Domain) Set { return extbst.New(d) }
 // NewABTree creates a concurrent leaf-oriented (a,b)-tree (after Brown
 // 2017; "ABT").
 func NewABTree(d *Domain) Set { return abtree.New(d) }
+
+// RangeSet is a Set that additionally supports ordered range scans.
+// Scans run concurrently with updates: results are sorted and
+// duplicate-free, and every reported key was observed present at some
+// point during the scan. A scan is one long operation — the calling
+// thread's reservations stay live across every hop — so scan-heavy
+// workloads are the strongest read-path pressure a reclamation policy
+// can face in this library.
+type RangeSet interface {
+	Set
+	// RangeCount counts the keys in [lo, hi].
+	RangeCount(t *Thread, lo, hi int64) int
+	// RangeCollect appends the keys in [lo, hi], ascending, to buf[:0]
+	// and returns the filled slice.
+	RangeCollect(t *Thread, lo, hi int64, buf []int64) []int64
+}
+
+// NewSkipList creates a lock-free skiplist set ("SKL") — the library's
+// only ordered structure with range queries. Updates are Fraser/Herlihy
+// style (per-level CAS marking); see internal/ds/skiplist for the
+// reclamation protocol that keeps tower nodes safe under every policy.
+func NewSkipList(d *Domain) RangeSet { return skiplist.New(d) }
 
 // Queue is a concurrent FIFO of int64 values bound to a reclamation
 // domain (the Michael-Scott queue — the original hazard-pointer showcase
