@@ -507,23 +507,27 @@ func (l *List) scanRange(t *core.Thread, lo, hi int64, emit func(int64)) {
 			if curr == l.tail || curr.key > hi {
 				return
 			}
+			// Snapshot the key while curr is still protected: a failed
+			// Protect below means we were neutralized and curr may be
+			// reclaimed before the !ok branch runs.
+			k := curr.key
 			nraw, ok := t.Protect(sNext, &curr.next[0])
 			if !ok {
-				from = curr.key
+				from = k
 				break // neutralized: re-descend
 			}
 			if predCell.Load() != unsafe.Pointer(curr) {
-				from = curr.key
+				from = k
 				break // chain changed behind us: re-descend
 			}
 			if core.Marked(nraw) {
 				// curr was deleted under the scan: skip it, and restart
 				// past it (a marked node's links may already be stale).
-				from = curr.key + 1
+				from = k + 1
 				break
 			}
-			emit(curr.key)
-			from = curr.key + 1
+			emit(k)
+			from = k + 1
 			predCell = &curr.next[0]
 			curr = (*node)(nraw)
 			sPred, sCurr, sNext = sCurr, sNext, sPred
