@@ -187,6 +187,30 @@ func BenchmarkSkipListRangeScan(b *testing.B) {
 	}
 }
 
+// BenchmarkABTreeRangeScan measures the same span-100 ordered scan on
+// the (a,b)-tree: the opposite reservation shape (a handful of
+// whole-leaf protections per scan instead of one reservation per node
+// hopped), so the pair of benchmarks separates reservation count from
+// reservation lifetime per policy.
+func BenchmarkABTreeRangeScan(b *testing.B) {
+	for _, p := range pop.Policies() {
+		b.Run(p.String(), func(b *testing.B) {
+			d := pop.NewDomain(p, 1, nil)
+			set := pop.NewABTree(d)
+			t := d.RegisterThread()
+			for k := int64(0); k < 16384; k += 2 {
+				set.Insert(t, k)
+			}
+			buf := make([]int64, 0, 128)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lo := int64((i * 2654435761) % 16384)
+				buf = set.RangeCollect(t, lo, lo+99, buf)
+			}
+		})
+	}
+}
+
 // BenchmarkABTreeMixed measures the (a,b)-tree under a 90/5/5 mix (the
 // paper's read-heavy regime) per policy.
 func BenchmarkABTreeMixed(b *testing.B) {

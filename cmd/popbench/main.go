@@ -1,12 +1,17 @@
 // Command popbench regenerates the paper's figures and runs ad-hoc
 // sweeps. Each figure id maps to one experiment from the evaluation
 // section (see DESIGN.md's per-experiment index); the output is the same
-// series the paper plots, as an aligned table (default) or TSV (-tsv).
+// series the paper plots, as an aligned table (default), TSV (-tsv) or
+// CSV (-csv).
 //
 // With -ds, popbench instead runs a direct sweep of one data structure
 // across policies and thread counts; -rangepct carves range queries out
-// of the mix's contains share (requires a range-capable structure, i.e.
-// -ds skl) and -rangespan sets the scan width.
+// of the mix's contains share (requires a range-capable structure: -ds
+// skl or -ds abt) and -rangespan sets the scan width. For range-capable
+// structures -rangepct defaults to 10 (pass -rangepct 0 to disable);
+// whenever the running mix contains scans, the sweep reports per-scan
+// latency quantiles (p50/p90/p99/max, from an HDR histogram merged
+// across workers) for every policy alongside throughput and memory.
 //
 // Examples:
 //
@@ -15,7 +20,8 @@
 //	popbench -figure all -scale 128 -duration 500ms -tsv > results.tsv
 //	popbench -figure fig4 -policies NR,EBR,NBR,HazardPtrPOP,EpochPOP
 //	popbench -ds skl -rangepct 10 -rangespan 200
-//	popbench -ds skl -mix scan-heavy -keyrange 100000
+//	popbench -ds abt -csv > abt-scan-latency.csv
+//	popbench -ds abt -mix scan-heavy -keyrange 100000
 //
 // The -scale flag divides the paper's structure sizes (defaults to 64 so
 // a laptop run finishes); -scale 1 runs the full-size structures.
@@ -32,6 +38,7 @@ import (
 	"pop/internal/core"
 	"pop/internal/figures"
 	"pop/internal/harness"
+	"pop/internal/report"
 	"pop/internal/workload"
 )
 
@@ -45,15 +52,24 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "trial seed")
 		policies = flag.String("policies", "", "comma-separated policy subset (default: the paper's set)")
 		tsv      = flag.Bool("tsv", false, "emit TSV instead of aligned tables")
+		csv      = flag.Bool("csv", false, "emit CSV (full precision) instead of aligned tables")
 		quiet    = flag.Bool("quiet", false, "suppress progress messages")
 
 		dsName    = flag.String("ds", "", "direct sweep of one data structure (hml, ll, hmht, dgt, abt, skl) instead of a figure")
 		mixName   = flag.String("mix", "read-heavy", "direct sweep mix: read-heavy, update-heavy or scan-heavy")
-		rangePct  = flag.Int("rangepct", 0, "percent of operations that are range queries (taken from the mix's contains share)")
+		rangePct  = flag.Int("rangepct", -1, "percent of operations that are range queries, taken from the mix's contains share (-1 = auto: 10 for range-capable structures, 0 otherwise)")
 		rangeSpan = flag.Int64("rangespan", workload.DefaultRangeSpan, "keys per range query")
 		keyRange  = flag.Int64("keyrange", 16384, "direct sweep key range")
 	)
 	flag.Parse()
+
+	render := func(s *report.Series) error { return s.WriteTable(os.Stdout) }
+	switch {
+	case *csv:
+		render = func(s *report.Series) error { return s.WriteCSV(os.Stdout) }
+	case *tsv:
+		render = func(s *report.Series) error { return s.WriteTSV(os.Stdout) }
+	}
 
 	if *list {
 		for _, f := range figures.All() {
@@ -65,7 +81,7 @@ func main() {
 		if err := directSweep(sweepOpts{
 			ds: *dsName, mix: *mixName, rangePct: *rangePct, rangeSpan: *rangeSpan,
 			keyRange: *keyRange, duration: *duration, threads: *threads,
-			seed: *seed, policies: *policies, tsv: *tsv, quiet: *quiet,
+			seed: *seed, policies: *policies, render: render, quiet: *quiet,
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
 			os.Exit(1)
@@ -127,12 +143,7 @@ func main() {
 			os.Exit(1)
 		}
 		for i := range series {
-			if *tsv {
-				err = series[i].WriteTSV(os.Stdout)
-			} else {
-				err = series[i].WriteTable(os.Stdout)
-			}
-			if err != nil {
+			if err := render(&series[i]); err != nil {
 				fmt.Fprintf(os.Stderr, "popbench: write: %v\n", err)
 				os.Exit(1)
 			}
@@ -142,20 +153,21 @@ func main() {
 
 // sweepOpts carries the -ds direct-sweep flag values.
 type sweepOpts struct {
-	ds, mix    string
-	rangePct   int
-	rangeSpan  int64
-	keyRange   int64
-	duration   time.Duration
-	threads    string
-	seed       uint64
-	policies   string
-	tsv, quiet bool
+	ds, mix   string
+	rangePct  int // -1 = auto
+	rangeSpan int64
+	keyRange  int64
+	duration  time.Duration
+	threads   string
+	seed      uint64
+	policies  string
+	render    func(*report.Series) error
+	quiet     bool
 }
 
 // directSweep runs one structure × all requested policies × the thread
-// sweep and prints throughput, range throughput (when the mix scans),
-// and end-of-run memory state.
+// sweep and prints throughput, range throughput and per-scan latency
+// quantiles (when the mix scans), and end-of-run memory state.
 func directSweep(o sweepOpts) error {
 	var mix workload.Mix
 	switch o.mix {
@@ -167,6 +179,16 @@ func directSweep(o sweepOpts) error {
 		mix = workload.ScanHeavy
 	default:
 		return fmt.Errorf("unknown mix %q (want read-heavy, update-heavy or scan-heavy)", o.mix)
+	}
+	if o.rangePct < 0 {
+		// Auto: range-capable structures get a 10% scan share by default
+		// (the range dimension is the point of sweeping them); everything
+		// else, and mixes that already scan or cannot give up 10% of
+		// contains, stays untouched.
+		o.rangePct = 0
+		if harness.RangeCapable(o.ds) && mix.RangePct == 0 && mix.ContainsPct >= 10 {
+			o.rangePct = 10
+		}
 	}
 	if o.rangePct > 0 {
 		// Carve the range share out of contains so the mix still sums to
@@ -204,19 +226,29 @@ func directSweep(o sweepOpts) error {
 	title += ")"
 	metrics := []figures.Metric{
 		{Name: "throughput (ops/s)", Get: func(r harness.Result) float64 { return r.Throughput }},
-		{Name: "range throughput (scans/s)", Get: func(r harness.Result) float64 { return r.RangeTput }},
-		{Name: "keys per scan", Get: func(r harness.Result) float64 {
-			if r.RangeOps == 0 {
-				return 0
-			}
-			return float64(r.RangeKeys) / float64(r.RangeOps)
-		}},
-		{Name: "unreclaimed at run end (nodes)", Get: func(r harness.Result) float64 { return float64(r.Unreclaimed) }},
-		{Name: "leaked after flush (nodes)", Get: func(r harness.Result) float64 { return float64(r.LeakedAfter) }},
 	}
-	if mix.RangePct == 0 {
-		metrics = append(metrics[:1], metrics[3:]...) // drop the range columns
+	if mix.RangePct > 0 {
+		metrics = append(metrics,
+			figures.Metric{Name: "range throughput (scans/s)", Get: func(r harness.Result) float64 { return r.RangeTput }},
+			figures.Metric{Name: "keys per scan", Get: func(r harness.Result) float64 {
+				if r.RangeOps == 0 {
+					return 0
+				}
+				return float64(r.RangeKeys) / float64(r.RangeOps)
+			}},
+			// The scan-latency tail per policy — the histogram popbench
+			// exists to expose: long reads hurt different schemes very
+			// differently (cf. the paper's §5.1.2).
+			figures.ScanLatencyMetric("scan latency p50 (µs)", 0.50),
+			figures.ScanLatencyMetric("scan latency p90 (µs)", 0.90),
+			figures.ScanLatencyMetric("scan latency p99 (µs)", 0.99),
+			figures.ScanLatencyMaxMetric("scan latency max (µs)"),
+		)
 	}
+	metrics = append(metrics,
+		figures.Metric{Name: "unreclaimed at run end (nodes)", Get: func(r harness.Result) float64 { return float64(r.Unreclaimed) }},
+		figures.Metric{Name: "leaked after flush (nodes)", Get: func(r harness.Result) float64 { return float64(r.LeakedAfter) }},
+	)
 
 	ctx := figures.Ctx{
 		Duration: o.duration,
@@ -239,12 +271,7 @@ func directSweep(o sweepOpts) error {
 		return err
 	}
 	for i := range series {
-		if o.tsv {
-			err = series[i].WriteTSV(os.Stdout)
-		} else {
-			err = series[i].WriteTable(os.Stdout)
-		}
-		if err != nil {
+		if err := o.render(&series[i]); err != nil {
 			return fmt.Errorf("write: %w", err)
 		}
 	}

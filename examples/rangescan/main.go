@@ -1,12 +1,17 @@
-// Rangescan: ordered range queries on the lock-free skiplist while
-// writers churn the structure underneath them.
+// Rangescan: ordered range queries on both range-capable structures —
+// the lock-free skiplist and the (a,b)-tree — while writers churn the
+// structures underneath them.
 //
-// Three writers insert and delete odd keys; the main goroutine keeps
-// scanning a window with pop.RangeSet. Every scan is one long operation
-// — its reservations stay live across every hop — so this is the
-// smallest demonstration of the workload regime the paper's §5.1.2
-// long-running-reads experiment probes: cheap reservation publication
-// (here EpochPOP) keeps reclamation flowing while scans are in flight.
+// Three writers per structure insert and delete odd keys; the main
+// goroutine keeps scanning a window with pop.RangeSet. Every scan is
+// one long operation — its reservations stay live across every hop —
+// so this is the smallest demonstration of the workload regime the
+// paper's §5.1.2 long-running-reads experiment probes: cheap
+// reservation publication (here EpochPOP) keeps reclamation flowing
+// while scans are in flight. The two structures protect their scans in
+// opposite ways (per-node reservation chains vs whole leaves), yet
+// both must deliver the same guarantee: every permanently present key
+// in the window, in order, every time.
 //
 //	go run ./examples/rangescan
 package main
@@ -24,60 +29,69 @@ func main() {
 		writers  = 3
 		keySpace = 100_000
 	)
-	domain := pop.NewDomain(pop.EpochPOP, writers+1, &pop.Options{ReclaimThreshold: 1024})
-	set := pop.NewSkipList(domain)
-
-	scanThread := domain.RegisterThread()
-	// Even keys are permanent; the writers churn odd keys around them.
-	for k := int64(0); k < keySpace; k += 2 {
-		set.Insert(scanThread, k)
+	structures := []struct {
+		name string
+		mk   func(d *pop.Domain) pop.RangeSet
+	}{
+		{"skiplist (per-node reservations)", pop.NewSkipList},
+		{"abtree   (whole-leaf reservations)", pop.NewABTree},
 	}
+	for _, s := range structures {
+		domain := pop.NewDomain(pop.EpochPOP, writers+1, &pop.Options{ReclaimThreshold: 1024})
+		set := s.mk(domain)
 
-	var stop atomic.Bool
-	var wg sync.WaitGroup
-	for w := 0; w < writers; w++ {
-		th := domain.RegisterThread()
-		wg.Add(1)
-		go func(w int, th *pop.Thread) {
-			defer wg.Done()
-			for i := 0; !stop.Load(); i++ {
-				// Consecutive iterations pair up: insert a key, then
-				// delete that same key — every pair retires a tower.
-				k := int64(((i/2)*2654435761+w*997)%(keySpace/2))*2 + 1
-				if i%2 == 0 {
-					set.Insert(th, k)
-				} else {
-					set.Delete(th, k)
+		scanThread := domain.RegisterThread()
+		// Even keys are permanent; the writers churn odd keys around them.
+		for k := int64(0); k < keySpace; k += 2 {
+			set.Insert(scanThread, k)
+		}
+
+		var stop atomic.Bool
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			th := domain.RegisterThread()
+			wg.Add(1)
+			go func(w int, th *pop.Thread) {
+				defer wg.Done()
+				for i := 0; !stop.Load(); i++ {
+					// Consecutive iterations pair up: insert a key, then
+					// delete that same key — every pair retires nodes.
+					k := int64(((i/2)*2654435761+w*997)%(keySpace/2))*2 + 1
+					if i%2 == 0 {
+						set.Insert(th, k)
+					} else {
+						set.Delete(th, k)
+					}
+				}
+			}(w, th)
+		}
+
+		var scans, keys int
+		var buf []int64
+		for scans = 0; scans < 2000; scans++ {
+			lo := int64(scans*61) % (keySpace - 1000)
+			buf = set.RangeCollect(scanThread, lo, lo+999, buf)
+			keys += len(buf)
+			// Every scan must see all 500 permanent even keys in its
+			// window, in order, whatever the writers are doing.
+			even := 0
+			for _, k := range buf {
+				if k%2 == 0 {
+					even++
 				}
 			}
-		}(w, th)
-	}
-
-	var scans, keys int
-	var buf []int64
-	for scans = 0; scans < 2000; scans++ {
-		lo := int64(scans*61) % (keySpace - 1000)
-		buf = set.RangeCollect(scanThread, lo, lo+999, buf)
-		keys += len(buf)
-		// Every scan must see all 500 permanent even keys in its window,
-		// in order, whatever the writers are doing.
-		even := 0
-		for _, k := range buf {
-			if k%2 == 0 {
-				even++
+			if even != 500 {
+				panic(fmt.Sprintf("%s: scan %d saw %d permanent keys, want 500", s.name, scans, even))
 			}
 		}
-		if even != 500 {
-			panic(fmt.Sprintf("scan %d saw %d permanent keys, want 500", scans, even))
-		}
-	}
-	stop.Store(true)
-	wg.Wait()
+		stop.Store(true)
+		wg.Wait()
 
-	st := domain.Stats()
-	fmt.Printf("%d scans over a churning skiplist, %d keys returned (avg %.1f/scan)\n",
-		scans, keys, float64(keys)/float64(scans))
-	fmt.Printf("every scan saw all 500 permanent keys in its window, in order\n")
-	fmt.Printf("retired: %d  freed: %d  epoch reclaims: %d  pop escalations: %d\n",
-		st.Retires, st.Frees, st.EpochReclaims, st.POPReclaims)
+		st := domain.Stats()
+		fmt.Printf("%s: %d scans under churn, %d keys returned (avg %.1f/scan)\n",
+			s.name, scans, keys, float64(keys)/float64(scans))
+		fmt.Printf("  every scan saw all 500 permanent keys in its window, in order\n")
+		fmt.Printf("  retired: %d  freed: %d  epoch reclaims: %d  pop escalations: %d\n",
+			st.Retires, st.Frees, st.EpochReclaims, st.POPReclaims)
+	}
 }

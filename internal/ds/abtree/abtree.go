@@ -23,6 +23,22 @@
 //     step) are repaired by the next traversal that passes through:
 //     "relaxed" rebalancing in the style of relaxed (a,b)-trees.
 //
+// # Range scans (ds.RangeScanner)
+//
+// The tree is the repository's second range-capable structure, with a
+// reservation shape opposite to the skiplist's: instead of a Protect
+// chain that pins one reservation per node along the bottom level, a
+// scan protects whole leaves — each validated descent pins the leaf and
+// its ancestors in three rotating slots, emits up to B keys from the
+// leaf's immutable key array, and re-descends to the leaf's exclusive
+// upper bound (the minimum right-hand separator on the path; leaves
+// carry no sibling links). Validation is the leaf's dead flag read
+// after the protecting descent: !dead proves the leaf was live — its
+// snapshot current for its whole interval — at that instant. A failed
+// validation or an NBR neutralization re-descends to the first key not
+// yet emitted, so results stay sorted and duplicate-free without
+// restarting the scan. See scanRange for the safety argument.
+//
 // The min-degree bound a is maintained lazily: leaves shrink until empty
 // and are then excised together with their separator (an (a,b)-tree with
 // a enforced by excision rather than merging). The paper's experiments
@@ -139,8 +155,12 @@ func (tr *Tree) cacheFor(t *core.Thread) *arena.ThreadCache[node] {
 
 // pos is a completed descent: l is the leaf; p its parent; gp its
 // grandparent (entry when shallow). All protected in rotating slots.
+// bound is the exclusive upper limit of l's key space — the minimum
+// right-hand separator passed on the way down (math.MaxInt64 on the
+// rightmost spine). Range scans use it to resume at the next leaf.
 type pos struct {
 	gp, p, l *node
+	bound    int64
 }
 
 // search descends to the leaf covering key. On the way it repairs any
@@ -150,6 +170,7 @@ func (tr *Tree) search(t *core.Thread, key int64) (pos, bool) {
 	for {
 		gp, p := tr.entry, tr.entry
 		sGP, sP, sL := 0, 1, 2
+		bound := int64(math.MaxInt64)
 		raw, ok := t.Protect(sL, &tr.entry.kids[0])
 		if !ok {
 			return pos{}, false
@@ -167,7 +188,11 @@ func (tr *Tree) search(t *core.Thread, key int64) (pos, bool) {
 			}
 			gp = p
 			p = cur
-			raw, ok = t.Protect(sGP, &cur.kids[cur.route(key)])
+			idx := cur.route(key)
+			if idx < cur.nkeys && cur.keys[idx] < bound {
+				bound = cur.keys[idx]
+			}
+			raw, ok = t.Protect(sGP, &cur.kids[idx])
 			if !ok {
 				return pos{}, false
 			}
@@ -188,7 +213,7 @@ func (tr *Tree) search(t *core.Thread, key int64) (pos, bool) {
 		if restart {
 			continue
 		}
-		return pos{gp: gp, p: p, l: cur}, true
+		return pos{gp: gp, p: p, l: cur, bound: bound}, true
 	}
 }
 
@@ -579,6 +604,76 @@ func (tr *Tree) deleteExcise(t *core.Thread, cache *arena.ThreadCache[node], ps 
 	t.Retire(&ps.l.Header)
 	t.ExitWritePhase()
 	return true, true
+}
+
+// RangeCount counts the keys in [lo, hi].
+func (tr *Tree) RangeCount(t *core.Thread, lo, hi int64) int {
+	n := 0
+	tr.scanRange(t, lo, hi, func(int64) { n++ })
+	return n
+}
+
+// RangeCollect appends the keys in [lo, hi], ascending, to buf[:0] and
+// returns the filled slice. The result is sorted and duplicate-free;
+// each reported key was observed present in a validated live leaf at
+// some point during the scan, and no key absent for the scan's whole
+// duration is reported.
+func (tr *Tree) RangeCollect(t *core.Thread, lo, hi int64, buf []int64) []int64 {
+	buf = buf[:0]
+	tr.scanRange(t, lo, hi, func(k int64) { buf = append(buf, k) })
+	return buf
+}
+
+// scanRange walks the leaves covering [lo, hi] in key order as one long
+// operation. The tree has no sibling links, so the scan is a sequence of
+// validated descents: each descent protects the whole leaf (plus its
+// ancestors, in the same three rotating slots every search uses) and
+// records the minimum right-hand separator on the path — the exclusive
+// upper bound of the leaf's key space and therefore the next descent's
+// target. This is a deliberately different reservation shape from the
+// skiplist's scan (a per-node Protect chain along level 0): here a
+// handful of reservations cover up to B keys at a time, so the per-key
+// protection cost is amortised while the operation as a whole still
+// pins its reservations across every hop.
+//
+// Validation is the leaf's dead flag, checked after the protecting
+// descent completes: leaves are immutable once published and dead is
+// set only after the replacement is linked, so !dead proves the
+// protected leaf was the live leaf for its interval at that moment, and
+// its key array is a consistent snapshot of [from, bound). Emission is
+// capped at bound; if the check fails (or NBR neutralizes a hop), the
+// scan re-descends to the first key not yet emitted — emitted keys are
+// never revisited, keeping output sorted and duplicate-free.
+func (tr *Tree) scanRange(t *core.Thread, lo, hi int64, emit func(int64)) {
+	if lo > hi {
+		return
+	}
+	t.StartOp()
+	defer t.EndOp()
+	from := lo
+	for {
+		ps, ok := tr.search(t, from)
+		if !ok {
+			continue // neutralized: resume at `from`
+		}
+		if ps.l.dead.Load() {
+			continue // leaf replaced under the descent: retry
+		}
+		// The leaf is protected and was live at the check above; its key
+		// array is immutable, so plain reads are a valid snapshot (under
+		// NBR the reclaimer waits for our ack, which we only give at the
+		// next Protect — after these reads are done).
+		for i := 0; i < ps.l.nkeys; i++ {
+			k := ps.l.keys[i]
+			if k >= from && k <= hi && k < ps.bound {
+				emit(k)
+			}
+		}
+		if ps.bound > hi || ps.bound == math.MaxInt64 {
+			return // past hi, or on the rightmost spine
+		}
+		from = ps.bound
+	}
 }
 
 // mergeKey returns the leaf's keys plus key, sorted.

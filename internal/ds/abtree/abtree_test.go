@@ -81,6 +81,74 @@ func TestGrowShrinkCycles(t *testing.T) {
 	}
 }
 
+// TestRangeScanAcrossLeaves drives scans whose windows straddle many
+// leaf boundaries: the scan has no sibling links to follow, so every
+// window exercises the bound-tracking re-descent (including after leaf
+// splits and excisions reshuffle the separators mid-history).
+func TestRangeScanAcrossLeaves(t *testing.T) {
+	d := core.NewDomain(core.HazardPtrPOP, 1, &core.Options{ReclaimThreshold: 64})
+	tr := abtree.New(d)
+	th := d.RegisterThread()
+
+	// Multiples of 3 in [0, 3000): forces ~80+ leaves at B=12.
+	const n = int64(1000)
+	for k := int64(0); k < n; k++ {
+		tr.Insert(th, k*3)
+	}
+	check := func(lo, hi int64) {
+		t.Helper()
+		var want []int64
+		for k := int64(0); k < n; k++ {
+			if k*3 >= lo && k*3 <= hi {
+				want = append(want, k*3)
+			}
+		}
+		got := tr.RangeCollect(th, lo, hi, nil)
+		if len(got) != len(want) {
+			t.Fatalf("RangeCollect(%d,%d) -> %d keys, want %d", lo, hi, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("RangeCollect(%d,%d)[%d] = %d, want %d", lo, hi, i, got[i], want[i])
+			}
+		}
+		if c := tr.RangeCount(th, lo, hi); c != len(want) {
+			t.Fatalf("RangeCount(%d,%d) = %d, want %d", lo, hi, c, len(want))
+		}
+	}
+	check(0, 3*n)      // whole structure
+	check(7, 8)        // empty window between keys
+	check(300, 1500)   // many leaves
+	check(2997, 1<<62) // tail, hi far past the last key
+	check(0, 0)        // single key at the left edge
+	check(5, 4)        // inverted: empty
+	check(-100, -1)    // entirely below the key space
+	check(0, 1<<62)    // near-max hi exercises the rightmost spine
+
+	// Excise most leaves (delete two of every three keys), then rescan:
+	// bounds collected from rebuilt parents must still partition the
+	// space.
+	for k := int64(0); k < n; k++ {
+		if k%3 != 0 {
+			tr.Delete(th, k*3)
+		}
+	}
+	var want []int64
+	for k := int64(0); k < n; k += 3 {
+		want = append(want, k*3)
+	}
+	got := tr.RangeCollect(th, 0, 3*n, nil)
+	if len(got) != len(want) {
+		t.Fatalf("post-excision scan -> %d keys, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("post-excision scan[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	th.Flush()
+}
+
 // TestDescendingAndAscendingOrders stresses split balance on adversarial
 // insertion orders.
 func TestDescendingAndAscendingOrders(t *testing.T) {

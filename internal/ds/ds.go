@@ -1,8 +1,12 @@
 // Package ds defines the common contract implemented by every concurrent
 // set in this repository: the five data structures of the paper's
 // evaluation (Harris-Michael list, lazy list, hash table, external BST,
-// (a,b)-tree) plus the lock-free skiplist, which additionally supports
-// ordered range scans via RangeScanner.
+// (a,b)-tree) plus the lock-free skiplist. The two ordered structures —
+// skiplist and (a,b)-tree — additionally support ordered range scans via
+// RangeScanner, with deliberately opposite reservation shapes (per-node
+// Protect chains versus whole-leaf protection; see each package's doc),
+// which turns the range-query dimension into a cross-structure axis of
+// the benchmark matrix.
 //
 // All operations take the calling thread's reclamation handle; keys are
 // restricted to the open interval (math.MinInt64, math.MaxInt64) because
@@ -33,10 +37,14 @@ type Sized interface {
 }
 
 // RangeScanner is implemented by ordered sets that support range
-// queries (currently the skiplist). A scan is one long operation — it
-// holds the calling thread's reservations across every hop — which
-// makes it the strongest traversal pressure the workload layer can put
-// on a reclamation policy's read path.
+// queries (the skiplist and the (a,b)-tree). A scan is one long
+// operation — it holds the calling thread's reservations across every
+// hop — which makes it the strongest traversal pressure the workload
+// layer can put on a reclamation policy's read path. The two
+// implementations protect differently (the skiplist reserves every
+// node it hops through; the tree reserves whole leaves and re-descends
+// between them), so comparing policies across both separates the cost
+// of reservation *count* from reservation *lifetime*.
 //
 // Both methods are safe under concurrent updates. Results are sorted
 // and duplicate-free; every reported key was observed present at some

@@ -1,8 +1,11 @@
 // Package figures encodes every experiment in the paper's evaluation —
 // Figures 1-11 plus the §2.1.2 read-cost analysis, the robustness
 // scenario, and ablations over the design parameters DESIGN.md calls out
-// — and this repository's extension experiments (the skiplist sweeps,
-// including the scan-heavy range-query workload).
+// — and this repository's extension experiments: the skiplist sweeps and
+// the scan-heavy range-query workloads on both ordered structures
+// (skl-scan, abt-scan), whose series include per-scan latency quantiles
+// (p50/p99 from the harness's HDR histogram) alongside throughput and
+// memory.
 // Each figure knows its workload, data structure, sizes and thresholds,
 // runs the sweep through the harness, and returns the same series the
 // paper plots. cmd/popbench renders them; bench_test.go reuses the same
@@ -92,7 +95,31 @@ var (
 	mMaxRetire   = Metric{"max retireList size (nodes)", func(r harness.Result) float64 { return float64(r.MaxRetire) }}
 	mPeakRes     = Metric{"peak resident nodes", func(r harness.Result) float64 { return float64(r.PeakResident) }}
 	mUnreclaimed = Metric{"total unreclaimed nodes", func(r harness.Result) float64 { return float64(r.Unreclaimed) }}
+	mScanP50     = ScanLatencyMetric("scan p50 (µs)", 0.50)
+	mScanP99     = ScanLatencyMetric("scan p99 (µs)", 0.99)
 )
+
+// ScanLatencyMetric builds a metric reading quantile q (in microseconds)
+// from a trial's scan-latency histogram; 0 when the mix had no scans.
+func ScanLatencyMetric(name string, q float64) Metric {
+	return Metric{Name: name, Get: func(r harness.Result) float64 {
+		if r.ScanLat == nil {
+			return 0
+		}
+		return r.ScanLat.Quantile(q) / 1e3
+	}}
+}
+
+// ScanLatencyMaxMetric builds a metric reading the worst observed scan
+// latency in microseconds.
+func ScanLatencyMaxMetric(name string) Metric {
+	return Metric{Name: name, Get: func(r harness.Result) float64 {
+		if r.ScanLat == nil {
+			return 0
+		}
+		return float64(r.ScanLat.Max()) / 1e3
+	}}
+}
 
 // scaleSize divides a paper size by the context scale with a floor.
 func scaleSize(c Ctx, paperSize int64) int64 {
@@ -536,26 +563,31 @@ func ablateCMult() Figure {
 	}
 }
 
-// scanHeavyFigure sweeps the skiplist under the scan-heavy mix: half the
-// operations are multi-node ordered scans, each one long operation whose
-// reservations stay pinned across every hop. This is the structural
-// extreme of the paper's long-running-reads argument — the regime where
-// cheap reservation publication (POP) should matter most.
-func scanHeavyFigure() Figure {
+// scanHeavyFigure sweeps one range-capable structure under the
+// scan-heavy mix: half the operations are multi-key ordered scans, each
+// one long operation whose reservations stay pinned across every hop.
+// This is the structural extreme of the paper's long-running-reads
+// argument — the regime where cheap reservation publication (POP)
+// should matter most. Running it on both the skiplist (per-node
+// reservation chains) and the (a,b)-tree (whole-leaf reservations)
+// separates reservation count from reservation lifetime; the series
+// include scan-latency quantiles so the per-policy tail is visible, not
+// just the mean.
+func scanHeavyFigure(id, what, dsName string, paperSize int64) Figure {
 	return Figure{
-		ID:   "skl-scan",
-		Desc: "SKL (skiplist) 1M scan-heavy: range queries under churn, throughput + memory",
+		ID:   id,
+		Desc: what,
 		Run: func(c Ctx) ([]report.Series, error) {
 			c = c.withDefaults()
 			cfg := harness.Config{
-				DS:               harness.DSSkipList,
-				KeyRange:         scaleSize(c, 1_000_000),
+				DS:               dsName,
+				KeyRange:         scaleSize(c, paperSize),
 				Mix:              workload.ScanHeavy,
 				RangeSpan:        100,
 				ReclaimThreshold: scaleThreshold(c, 2048),
 			}
-			return SweepThreads(c, "SKL 1M scan-heavy", cfg, c.policySet(false),
-				[]Metric{mThroughput, mRangeTput, mMaxRetire, mUnreclaimed})
+			return SweepThreads(c, what, cfg, c.policySet(false),
+				[]Metric{mThroughput, mRangeTput, mScanP50, mScanP99, mMaxRetire, mUnreclaimed})
 		},
 	}
 }
@@ -579,7 +611,8 @@ func All() []Figure {
 		appendixFigure("fig10", "Fig 10: HML 2K + Crystalline (appendix E)", harness.DSHarrisMichaelList, 2_000, true, true),
 		appendixFigure("fig11", "Fig 11: HT 6M + Crystalline (appendix E)", harness.DSHashTable, 6_000_000, false, true),
 		throughputAndMemory("skl-update", "SKL (skiplist) 1M update-heavy", harness.DSSkipList, 1_000_000, false, workload.UpdateHeavy),
-		scanHeavyFigure(),
+		scanHeavyFigure("skl-scan", "SKL (skiplist) 1M scan-heavy: range queries under churn, throughput + scan tail latency + memory", harness.DSSkipList, 1_000_000),
+		scanHeavyFigure("abt-scan", "ABT ((a,b)-tree) 1M scan-heavy: whole-leaf range scans under churn, throughput + scan tail latency + memory", harness.DSABTree, 1_000_000),
 		readCostFigure(),
 		stallFigure(),
 		ablateThreshold(),

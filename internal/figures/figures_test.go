@@ -111,3 +111,39 @@ func TestThroughputFigureShape(t *testing.T) {
 		}
 	}
 }
+
+// TestScanFiguresEmitLatencyQuantiles: both scan-heavy figures (one per
+// RangeScanner) must exist and carry positive p50/p99 scan-latency
+// series — the tail metric this repo adds on top of the paper's plots.
+func TestScanFiguresEmitLatencyQuantiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweeps are slow in -short mode")
+	}
+	for _, id := range []string{"skl-scan", "abt-scan"} {
+		f, ok := figures.Get(id)
+		if !ok {
+			t.Fatalf("figure %q not registered", id)
+		}
+		series, err := f.Run(fastCtx())
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := 0
+		for _, s := range series {
+			if !strings.Contains(s.Title, "scan p50") && !strings.Contains(s.Title, "scan p99") {
+				continue
+			}
+			found++
+			for _, r := range s.Rows {
+				for i, v := range r.Cells {
+					if v <= 0 {
+						t.Fatalf("%s: %q: non-positive latency for %s at threads=%s", id, s.Title, s.Names[i], r.X)
+					}
+				}
+			}
+		}
+		if found != 2 {
+			t.Fatalf("%s emitted %d latency series, want p50 and p99", id, found)
+		}
+	}
+}

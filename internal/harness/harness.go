@@ -4,9 +4,16 @@
 // then a timed execution phase of randomly mixed operations — and
 // collecting the metrics its figures plot: throughput, maximum
 // retire-list length, peak resident (outstanding) nodes, and unreclaimed
-// nodes at the end of the run. Mixes with a RangePct component
-// additionally account range queries (ops, keys returned, throughput);
-// they require a structure implementing ds.RangeScanner (DSSkipList).
+// nodes at the end of the run.
+//
+// Mixes with a RangePct component additionally account range queries
+// (ops, keys returned, throughput) and record every scan's latency into
+// an HDR-style histogram (Result.ScanLat: p50/p90/p99/max per trial),
+// the long-read tail metric the figures and popbench sweeps compare
+// across policies. Range-bearing mixes require a structure implementing
+// ds.RangeScanner — DSSkipList or DSABTree, whose scans stress
+// reservations in opposite ways (per-node chains vs whole leaves); use
+// RangeCapable to test by name.
 //
 // Worker "threads" are goroutines; sweeping the thread count past
 // runtime.GOMAXPROCS reproduces the paper's oversubscription regime
@@ -27,6 +34,7 @@ import (
 	"pop/internal/ds/hmlist"
 	"pop/internal/ds/lazylist"
 	"pop/internal/ds/skiplist"
+	"pop/internal/report"
 	"pop/internal/workload"
 )
 
@@ -134,6 +142,11 @@ type Result struct {
 	Unreclaimed  int64 // retired-but-unfreed nodes at measurement end (pre-flush)
 	LeakedAfter  int64 // unreclaimed after a quiescent flush (0 except NR)
 
+	// ScanLat holds every range scan's wall-clock latency (ns), merged
+	// across workers — the long-read tail metric (p50/p99) per policy.
+	// Nil when the mix has no RangePct component.
+	ScanLat *report.Histogram
+
 	Reclaim core.Stats // aggregated reclamation counters
 }
 
@@ -163,6 +176,38 @@ func build(cfg Config, d *core.Domain) (memSet, error) {
 	}
 }
 
+// RangeCapable reports whether the named data structure supports range
+// queries (implements ds.RangeScanner) and may therefore run mixes with
+// a RangePct component. It answers by building a throwaway instance, so
+// it stays in sync with build automatically.
+func RangeCapable(name string) bool {
+	s, err := build(Config{DS: name, KeyRange: 2}, core.NewDomain(core.NR, 1, nil))
+	if err != nil {
+		return false
+	}
+	_, ok := s.(ds.RangeScanner)
+	return ok
+}
+
+// workerRole resolves worker id's operation mix and key range. Under
+// LongReads (§5.1.2) the first half of the workers run contains-only
+// over the whole range and the second half run update-heavy over the
+// lowest 5% ("near the head of the list"); otherwise every worker runs
+// the configured mix.
+func workerRole(cfg Config, id int) (workload.Mix, int64) {
+	if !cfg.LongReads {
+		return cfg.Mix, cfg.KeyRange
+	}
+	if id < cfg.Threads/2 || cfg.Threads == 1 {
+		return workload.Mix{ContainsPct: 100}, cfg.KeyRange
+	}
+	keyRange := cfg.KeyRange / 20
+	if keyRange < 2 {
+		keyRange = 2
+	}
+	return workload.UpdateHeavy, keyRange
+}
+
 // Run executes one trial.
 func Run(cfg Config) (Result, error) {
 	cfg, err := cfg.withDefaults()
@@ -189,8 +234,34 @@ func Run(cfg Config) (Result, error) {
 		threads[i] = d.RegisterThread()
 	}
 
+	// Per-worker generators go through the error-returning constructor
+	// up front: a bad role-derived mix surfaces here as an error instead
+	// of panicking inside a worker goroutine mid-sweep.
+	gens := make([]*workload.Generator, cfg.Threads)
+	for i := range gens {
+		mix, keyRange := workerRole(cfg, i)
+		gen, err := workload.NewGeneratorErr(cfg.Seed+uint64(i)*0x9e3779b97f4a7c15+1, mix, keyRange)
+		if err != nil {
+			return Result{}, fmt.Errorf("harness: worker %d: %w", i, err)
+		}
+		gen.SetRangeSpan(cfg.RangeSpan)
+		gens[i] = gen
+	}
+
+	// Scan-latency histograms, one per worker (single-writer, merged at
+	// the end): only range-bearing mixes pay the two clock reads.
+	var scanLats []*report.Histogram
+	if cfg.Mix.RangePct > 0 {
+		scanLats = make([]*report.Histogram, cfg.Threads)
+		for i := range scanLats {
+			scanLats[i] = new(report.Histogram)
+		}
+	}
+
 	if !cfg.NoPrefil {
-		prefill(cfg, set, threads)
+		if err := prefill(cfg, set, threads); err != nil {
+			return Result{}, err
+		}
 	}
 
 	var (
@@ -210,10 +281,15 @@ func Run(cfg Config) (Result, error) {
 		go func(id int) {
 			defer finished.Done()
 			th := threads[id]
+			var hist *report.Histogram
+			if scanLats != nil {
+				hist = scanLats[id]
+			}
 			<-release
-			runWorker(cfg, set, th, id, &stop, &counters{
+			runWorker(cfg, set, th, gens[id], id, &stop, &counters{
 				ops: &opsBy[id], reads: &readsBy[id],
 				ranges: &rangesBy[id], rangeKeys: &rkeysBy[id],
+				scanLat: hist,
 			})
 			loopsDone.Done()
 			// Park quiescent until everyone stopped, then flush from the
@@ -273,35 +349,27 @@ func Run(cfg Config) (Result, error) {
 		Reclaim:      d.Stats(),
 	}
 	res.MaxRetire = res.Reclaim.MaxRetire
+	if scanLats != nil {
+		agg := new(report.Histogram)
+		for _, h := range scanLats {
+			agg.Merge(h)
+		}
+		res.ScanLat = agg
+	}
 	return res, nil
 }
 
-// counters receives one worker's operation tallies.
+// counters receives one worker's operation tallies. scanLat is nil when
+// the mix has no range component.
 type counters struct {
 	ops, reads, ranges, rangeKeys *uint64
+	scanLat                       *report.Histogram
 }
 
-// runWorker is one worker thread's execution phase.
-func runWorker(cfg Config, set ds.Set, th *core.Thread, id int, stop *atomic.Bool, c *counters) {
-	seed := cfg.Seed + uint64(id)*0x9e3779b97f4a7c15 + 1
-	mix, keyRange := cfg.Mix, cfg.KeyRange
+// runWorker is one worker thread's execution phase. gen is the worker's
+// private generator (already role-resolved, see workerRole).
+func runWorker(cfg Config, set ds.Set, th *core.Thread, gen *workload.Generator, id int, stop *atomic.Bool, c *counters) {
 	scanner, _ := set.(ds.RangeScanner) // non-nil whenever mix.RangePct > 0
-
-	// Long-running-reads roles (§5.1.2): first half searches the full
-	// range; second half updates the lowest 5% ("near the head").
-	if cfg.LongReads {
-		if id < cfg.Threads/2 || cfg.Threads == 1 {
-			mix = workload.Mix{ContainsPct: 100}
-		} else {
-			mix = workload.UpdateHeavy
-			keyRange = cfg.KeyRange / 20
-			if keyRange < 2 {
-				keyRange = 2
-			}
-		}
-	}
-	gen := workload.NewGenerator(seed, mix, keyRange)
-	gen.SetRangeSpan(cfg.RangeSpan)
 
 	staller := cfg.StallEvery > 0 && cfg.StallLength > 0 && id == 0
 	nextStall := time.Now().Add(cfg.StallEvery)
@@ -330,7 +398,11 @@ func runWorker(cfg Config, set ds.Set, th *core.Thread, id int, stop *atomic.Boo
 		case workload.Delete:
 			set.Delete(th, key)
 		default: // workload.RangeQuery
+			start := time.Now()
 			rk += uint64(scanner.RangeCount(th, key, key+gen.RangeSpan()-1))
+			if c.scanLat != nil {
+				c.scanLat.Record(time.Since(start).Nanoseconds())
+			}
 			rq++
 		}
 		n++
@@ -341,7 +413,7 @@ func runWorker(cfg Config, set ds.Set, th *core.Thread, id int, stop *atomic.Boo
 // prefill inserts until the structure holds about KeyRange/2 keys
 // (§5.0.2), splitting the work across all threads. Runs on the worker
 // threads'"own" goroutines to respect handle ownership.
-func prefill(cfg Config, set ds.Set, threads []*core.Thread) {
+func prefill(cfg Config, set ds.Set, threads []*core.Thread) error {
 	target := cfg.KeyRange / 2
 	per := target / int64(len(threads))
 	extra := target - per*int64(len(threads))
@@ -351,10 +423,13 @@ func prefill(cfg Config, set ds.Set, threads []*core.Thread) {
 		if i == 0 {
 			quota += extra
 		}
+		gen, err := workload.NewGeneratorErr(cfg.Seed^0xfeed+uint64(i), workload.UpdateHeavy, cfg.KeyRange)
+		if err != nil {
+			return fmt.Errorf("harness: prefill: %w", err)
+		}
 		wg.Add(1)
-		go func(id int, th *core.Thread, quota int64) {
+		go func(th *core.Thread, gen *workload.Generator, quota int64) {
 			defer wg.Done()
-			gen := workload.NewGenerator(cfg.Seed^0xfeed+uint64(id), workload.UpdateHeavy, cfg.KeyRange)
 			done := int64(0)
 			attempts := int64(0)
 			for done < quota {
@@ -368,7 +443,8 @@ func prefill(cfg Config, set ds.Set, threads []*core.Thread) {
 					return
 				}
 			}
-		}(i, th, quota)
+		}(th, gen, quota)
 	}
 	wg.Wait()
+	return nil
 }

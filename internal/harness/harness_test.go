@@ -107,44 +107,80 @@ func TestStallInjection(t *testing.T) {
 	}
 }
 
-// TestSkipListRangeSweep is the acceptance probe for the range-query
-// dimension: a scan-bearing mix on the skiplist must complete, record
-// range operations and scanned keys, and leak nothing on robust
-// policies.
-func TestSkipListRangeSweep(t *testing.T) {
-	for _, p := range core.Policies() {
-		res, err := harness.Run(harness.Config{
-			DS:               harness.DSSkipList,
-			Policy:           p,
-			Threads:          3,
-			Duration:         40 * time.Millisecond,
-			KeyRange:         2048,
-			Mix:              workload.Mix{ContainsPct: 80, InsertPct: 5, DeletePct: 5, RangePct: 10},
-			RangeSpan:        64,
-			ReclaimThreshold: 128,
-		})
-		if err != nil {
-			t.Fatalf("%v: %v", p, err)
-		}
-		if res.RangeOps == 0 || res.RangeTput == 0 {
-			t.Fatalf("%v: no range queries recorded (ops=%d)", p, res.RangeOps)
-		}
-		if res.RangeKeys == 0 {
-			t.Fatalf("%v: scans returned no keys over a prefilled structure", p)
-		}
-		if res.Ops <= res.RangeOps {
-			t.Fatalf("%v: range ops %d not a subset of total %d", p, res.RangeOps, res.Ops)
-		}
-		if p != core.NR && res.LeakedAfter != 0 {
-			t.Fatalf("%v: %d nodes leaked after flush", p, res.LeakedAfter)
+// TestRangeSweepBothScanners is the acceptance probe for the
+// cross-structure range-query dimension: a scan-bearing mix on each
+// RangeScanner (skiplist and (a,b)-tree) must complete under every
+// policy, record range operations, scanned keys and per-scan latencies,
+// and leak nothing on robust policies.
+func TestRangeSweepBothScanners(t *testing.T) {
+	for _, dsName := range []string{harness.DSSkipList, harness.DSABTree} {
+		for _, p := range core.Policies() {
+			res, err := harness.Run(harness.Config{
+				DS:               dsName,
+				Policy:           p,
+				Threads:          3,
+				Duration:         40 * time.Millisecond,
+				KeyRange:         2048,
+				Mix:              workload.Mix{ContainsPct: 80, InsertPct: 5, DeletePct: 5, RangePct: 10},
+				RangeSpan:        64,
+				ReclaimThreshold: 128,
+			})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", dsName, p, err)
+			}
+			if res.RangeOps == 0 || res.RangeTput == 0 {
+				t.Fatalf("%s/%v: no range queries recorded (ops=%d)", dsName, p, res.RangeOps)
+			}
+			if res.RangeKeys == 0 {
+				t.Fatalf("%s/%v: scans returned no keys over a prefilled structure", dsName, p)
+			}
+			if res.Ops <= res.RangeOps {
+				t.Fatalf("%s/%v: range ops %d not a subset of total %d", dsName, p, res.RangeOps, res.Ops)
+			}
+			if res.ScanLat == nil {
+				t.Fatalf("%s/%v: no scan-latency histogram for a range-bearing mix", dsName, p)
+			}
+			if res.ScanLat.Count() != res.RangeOps {
+				t.Fatalf("%s/%v: histogram holds %d scans, RangeOps = %d", dsName, p, res.ScanLat.Count(), res.RangeOps)
+			}
+			p50, p99 := res.ScanLat.Quantile(0.50), res.ScanLat.Quantile(0.99)
+			if p50 <= 0 || p99 < p50 || float64(res.ScanLat.Max()) < p99 {
+				t.Fatalf("%s/%v: implausible latency quantiles p50=%v p99=%v max=%d", dsName, p, p50, p99, res.ScanLat.Max())
+			}
+			if p != core.NR && res.LeakedAfter != 0 {
+				t.Fatalf("%s/%v: %d nodes leaked after flush", dsName, p, res.LeakedAfter)
+			}
 		}
 	}
 }
 
+// TestScanLatAbsentWithoutRanges: mixes without scans must not pay for
+// (or report) a histogram.
+func TestScanLatAbsentWithoutRanges(t *testing.T) {
+	res, err := harness.Run(harness.Config{
+		DS:       harness.DSSkipList,
+		Policy:   core.EBR,
+		Threads:  1,
+		Duration: 10 * time.Millisecond,
+		KeyRange: 256,
+		Mix:      workload.UpdateHeavy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ScanLat != nil {
+		t.Fatal("scan-latency histogram present for a mix without range queries")
+	}
+}
+
 // TestRangeMixRequiresScanner: structures without range support must be
-// rejected up front, not crash mid-run.
+// rejected up front, not crash mid-run — and RangeCapable must agree
+// with what Run accepts.
 func TestRangeMixRequiresScanner(t *testing.T) {
-	for _, dsName := range []string{harness.DSHarrisMichaelList, harness.DSHashTable, harness.DSABTree} {
+	for _, dsName := range []string{harness.DSHarrisMichaelList, harness.DSLazyList, harness.DSHashTable, harness.DSExternalBST} {
+		if harness.RangeCapable(dsName) {
+			t.Fatalf("RangeCapable(%s) = true", dsName)
+		}
 		_, err := harness.Run(harness.Config{
 			DS:       dsName,
 			Policy:   core.EBR,
@@ -155,6 +191,14 @@ func TestRangeMixRequiresScanner(t *testing.T) {
 		if err == nil {
 			t.Fatalf("%s accepted a range-bearing mix", dsName)
 		}
+	}
+	for _, dsName := range []string{harness.DSSkipList, harness.DSABTree} {
+		if !harness.RangeCapable(dsName) {
+			t.Fatalf("RangeCapable(%s) = false", dsName)
+		}
+	}
+	if harness.RangeCapable("nope") {
+		t.Fatal(`RangeCapable("nope") = true`)
 	}
 }
 

@@ -1,0 +1,123 @@
+package report
+
+import "math/bits"
+
+// Histogram is an HDR-style fixed-bucket latency histogram for
+// nanosecond durations. Buckets are laid out as power-of-two groups of
+// histSub linear sub-buckets, so the relative bucket width — and hence
+// the worst-case quantile error — is bounded by 1/histSub (6.25%) at
+// every magnitude from 1ns to ~2.4h. Record is a few shifts plus one
+// array increment: no allocation, no locks, safe for one writer on the
+// benchmark hot path. Per-thread histograms are combined with Merge
+// after the run.
+//
+// The zero value is an empty, ready-to-use histogram.
+type Histogram struct {
+	counts [histBuckets]uint64
+	total  uint64
+	max    int64
+}
+
+const (
+	// histSubBits sets the linear resolution within each power-of-two
+	// group: 2^histSubBits sub-buckets per octave.
+	histSubBits = 4
+	histSub     = 1 << histSubBits
+	// histGroups covers values up to ~2^43 ns (about 2.4 hours) — far
+	// past any scan this harness times; larger values clamp into the
+	// top bucket (Max still reports them exactly).
+	histGroups  = 40
+	histBuckets = histGroups * histSub
+)
+
+// bucketIndex maps a value to its bucket. Values below histSub map one
+// to one (exact); a value with its most significant bit at position m
+// (m >= histSubBits) lands in group m-histSubBits+1, sub-bucket given
+// by the histSubBits bits below the MSB.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < histSub {
+		return int(v)
+	}
+	shift := bits.Len64(uint64(v)) - 1 - histSubBits
+	idx := (shift+1)*histSub + int(uint64(v)>>uint(shift)) - histSub
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// bucketLow returns the smallest value mapping to bucket idx. The
+// half-open value range of bucket idx is [bucketLow(idx),
+// bucketLow(idx+1)).
+func bucketLow(idx int) int64 {
+	if idx < histSub {
+		return int64(idx)
+	}
+	shift := idx/histSub - 1
+	return int64(histSub+idx%histSub) << uint(shift)
+}
+
+// Record adds one observation (a duration in nanoseconds).
+func (h *Histogram) Record(v int64) {
+	h.counts[bucketIndex(v)]++
+	h.total++
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Merge folds o's observations into h (combining per-thread histograms;
+// neither histogram may be concurrently written during the call).
+func (h *Histogram) Merge(o *Histogram) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Max returns the largest recorded value exactly (0 when empty).
+func (h *Histogram) Max() int64 { return h.max }
+
+// Quantile returns the value at quantile q in [0, 1], linearly
+// interpolated within the containing bucket (so Quantile(0.5) on
+// {1, 3} reports 2-ish rather than snapping to an observation). The
+// result is clamped to Max; an empty histogram reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.total)
+	cum := 0.0
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= rank {
+			lo, width := bucketLow(i), float64(bucketLow(i+1)-bucketLow(i))
+			frac := (rank - cum) / float64(c)
+			v := float64(lo) + width*frac
+			if v > float64(h.max) {
+				v = float64(h.max)
+			}
+			return v
+		}
+		cum = next
+	}
+	return float64(h.max)
+}

@@ -1,0 +1,157 @@
+package report
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBucketBoundaries pins the index function to its contract: values
+// below histSub are exact; above, buckets are power-of-two groups of
+// histSub linear sub-buckets; bucketLow/bucketIndex are inverse at
+// every boundary.
+func TestBucketBoundaries(t *testing.T) {
+	// Exact region.
+	for v := int64(0); v < histSub; v++ {
+		if got := bucketIndex(v); got != int(v) {
+			t.Fatalf("bucketIndex(%d) = %d, want exact", v, got)
+		}
+	}
+	// First grouped bucket starts exactly at histSub with width 1.
+	if got := bucketIndex(histSub); got != histSub {
+		t.Fatalf("bucketIndex(histSub) = %d, want %d", got, histSub)
+	}
+	// Every bucket's low bound must map back to that bucket, and the
+	// value one below must map to the previous bucket.
+	for idx := 1; idx < histBuckets; idx++ {
+		lo := bucketLow(idx)
+		if got := bucketIndex(lo); got != idx {
+			t.Fatalf("bucketIndex(bucketLow(%d)=%d) = %d", idx, lo, got)
+		}
+		if got := bucketIndex(lo - 1); got != idx-1 {
+			t.Fatalf("bucketIndex(%d) = %d, want %d", lo-1, got, idx-1)
+		}
+	}
+	// Doubling the value past the linear region advances exactly one
+	// group (histSub buckets).
+	for _, v := range []int64{64, 1024, 1 << 20, 1 << 30} {
+		if got, want := bucketIndex(2*v), bucketIndex(v)+histSub; got != want {
+			t.Fatalf("bucketIndex(%d) = %d, want %d", 2*v, got, want)
+		}
+	}
+	// Relative bucket width is bounded by 1/histSub everywhere.
+	for idx := histSub; idx < histBuckets-1; idx++ {
+		lo, hi := bucketLow(idx), bucketLow(idx+1)
+		if float64(hi-lo)/float64(lo) > 1.0/histSub+1e-9 {
+			t.Fatalf("bucket %d: width %d at magnitude %d exceeds 1/%d relative error", idx, hi-lo, lo, histSub)
+		}
+	}
+	// Negative and huge values clamp instead of panicking.
+	if got := bucketIndex(-5); got != 0 {
+		t.Fatalf("bucketIndex(-5) = %d, want 0", got)
+	}
+	if got := bucketIndex(math.MaxInt64); got != histBuckets-1 {
+		t.Fatalf("bucketIndex(MaxInt64) = %d, want top bucket %d", got, histBuckets-1)
+	}
+}
+
+// TestQuantileInterpolation checks the quantile math on distributions
+// with known answers.
+func TestQuantileInterpolation(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram Quantile = %v, want 0", got)
+	}
+
+	// Uniform 1..1000: quantiles must track q*1000 within bucket error
+	// (6.25%) everywhere.
+	for v := int64(1); v <= 1000; v++ {
+		h.Record(v)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("Count = %d, want 1000", h.Count())
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("Max = %d, want 1000", h.Max())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		got, want := h.Quantile(q), q*1000
+		if math.Abs(got-want) > want/histSub+1 {
+			t.Fatalf("uniform Quantile(%v) = %v, want %v ± %v", q, got, want, want/histSub+1)
+		}
+	}
+	if got := h.Quantile(1); got != 1000 {
+		t.Fatalf("Quantile(1) = %v, want exact max 1000", got)
+	}
+	// Out-of-range q clamps.
+	if got := h.Quantile(2); got != 1000 {
+		t.Fatalf("Quantile(2) = %v, want 1000", got)
+	}
+	if got := h.Quantile(-1); got > 2 {
+		t.Fatalf("Quantile(-1) = %v, want ~min", got)
+	}
+
+	// Interpolation within one bucket: two observations in exact
+	// (width-1) buckets snap to their values; the median of {2, 4}
+	// falls between them.
+	var h2 Histogram
+	h2.Record(2)
+	h2.Record(4)
+	if got := h2.Quantile(0.5); got < 2 || got > 4 {
+		t.Fatalf("Quantile(0.5) of {2,4} = %v, want within [2,4]", got)
+	}
+	if got := h2.Quantile(1); got != 4 {
+		t.Fatalf("Quantile(1) of {2,4} = %v, want 4", got)
+	}
+
+	// A spike distribution: 99 fast ops at 100ns, 1 slow at ~1ms. p50
+	// must sit at the spike, p995+ at the tail.
+	var h3 Histogram
+	for i := 0; i < 99; i++ {
+		h3.Record(100)
+	}
+	h3.Record(1_000_000)
+	if got := h3.Quantile(0.5); math.Abs(got-100) > 100.0/histSub+1 {
+		t.Fatalf("spike Quantile(0.5) = %v, want ~100", got)
+	}
+	if got := h3.Quantile(0.995); got < 900_000 {
+		t.Fatalf("spike Quantile(0.995) = %v, want ~1e6", got)
+	}
+}
+
+// TestHistogramMerge: merging per-thread histograms must be equivalent
+// to recording everything into one.
+func TestHistogramMerge(t *testing.T) {
+	var whole, part1, part2 Histogram
+	for v := int64(1); v <= 3000; v++ {
+		whole.Record(v)
+		if v%2 == 0 {
+			part1.Record(v)
+		} else {
+			part2.Record(v)
+		}
+	}
+	var merged Histogram
+	merged.Merge(&part1)
+	merged.Merge(&part2)
+	if merged.Count() != whole.Count() {
+		t.Fatalf("merged Count = %d, want %d", merged.Count(), whole.Count())
+	}
+	if merged.Max() != whole.Max() {
+		t.Fatalf("merged Max = %d, want %d", merged.Max(), whole.Max())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if got, want := merged.Quantile(q), whole.Quantile(q); got != want {
+			t.Fatalf("merged Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+	if merged.counts != whole.counts {
+		t.Fatal("merged bucket counts differ from whole-history counts")
+	}
+	// Merging an empty histogram is a no-op.
+	var empty Histogram
+	before := merged.Count()
+	merged.Merge(&empty)
+	if merged.Count() != before {
+		t.Fatal("merging an empty histogram changed the count")
+	}
+}

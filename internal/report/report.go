@@ -1,12 +1,16 @@
 // Package report formats benchmark sweeps as the series the paper's
 // figures plot: one row per x-value (thread count, structure size), one
-// column per reclamation scheme. Output is either aligned text for
-// terminals or TSV for plotting tools.
+// column per reclamation scheme. Output is aligned text for terminals,
+// or TSV/CSV for plotting tools and spreadsheets. The package also
+// provides the HDR-style latency Histogram the harness uses for
+// per-scan tail-latency accounting (see histogram.go).
 package report
 
 import (
+	"encoding/csv"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 )
 
@@ -50,6 +54,33 @@ func (s *Series) WriteTSV(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// WriteCSV emits an RFC-4180 comma-separated table. The series title
+// travels in a leading `# title` comment line (matching WriteTSV) so
+// several series can share one stream.
+func (s *Series) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s\n", s.Title); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{s.XLabel}, s.Names...)); err != nil {
+		return err
+	}
+	row := make([]string, 0, len(s.Names)+1)
+	for _, r := range s.Rows {
+		row = append(row[:0], r.X)
+		for _, v := range r.Cells {
+			// Full precision, not the humanized table format: CSV is for
+			// machines.
+			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 // WriteTable emits an aligned human-readable table.

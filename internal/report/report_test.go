@@ -40,6 +40,29 @@ func TestWriteTSV(t *testing.T) {
 	}
 }
 
+func TestWriteCSV(t *testing.T) {
+	var sb strings.Builder
+	s := sample()
+	s.Names[0] = `HP, "classic"` // force quoting
+	if err := s.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV has %d lines, want 4:\n%s", len(lines), sb.String())
+	}
+	if !strings.HasPrefix(lines[0], "# demo") {
+		t.Fatalf("title comment = %q", lines[0])
+	}
+	if lines[1] != `threads,"HP, ""classic""",HazardPtrPOP` {
+		t.Fatalf("header = %q", lines[1])
+	}
+	// CSV carries full precision, not the humanized table format.
+	if lines[2] != "1,1.5e+06,3e+06" {
+		t.Fatalf("row = %q", lines[2])
+	}
+}
+
 func TestWriteTableAligned(t *testing.T) {
 	var sb strings.Builder
 	s := sample()

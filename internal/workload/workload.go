@@ -5,7 +5,14 @@
 // (50% insert, 50% delete) — plus the long-running-reads asymmetric
 // workload of §5.1.2 and, beyond the paper, a range-query dimension
 // (RangePct/RangeSpan) with a scan-heavy mix that stresses reservation
-// publication with multi-node ordered scans.
+// publication with long ordered scans. The range dimension is
+// cross-structure: any set implementing ds.RangeScanner (skiplist,
+// (a,b)-tree) can run a range-bearing mix, and the harness records
+// each scan's latency so tails are comparable across policies.
+//
+// Generators are built with NewGeneratorErr wherever a configuration
+// comes from user input (harness configs, popbench flags); the
+// panicking NewGenerator remains only as a convenience for tests.
 package workload
 
 import (

@@ -8,10 +8,10 @@
 // It provides the paper's three algorithms — HazardPtrPOP, HazardEraPOP
 // and EpochPOP — as drop-in replacements for hazard pointers, the eight
 // baseline schemes the paper evaluates against, the five concurrent set
-// data structures of its evaluation, and a lock-free skiplist with
-// ordered range scans (RangeSet), all integrated with a type-stable
-// arena so that "freeing" memory is meaningful inside a
-// garbage-collected runtime.
+// data structures of its evaluation, and two ordered structures with
+// range scans (RangeSet): a lock-free skiplist and the (a,b)-tree. All
+// of it is integrated with a type-stable arena so that "freeing" memory
+// is meaningful inside a garbage-collected runtime.
 //
 // # Usage
 //
@@ -132,8 +132,10 @@ func NewHashTable(d *Domain, expectedKeys int64, loadFactor int) Set {
 func NewExternalBST(d *Domain) Set { return extbst.New(d) }
 
 // NewABTree creates a concurrent leaf-oriented (a,b)-tree (after Brown
-// 2017; "ABT").
-func NewABTree(d *Domain) Set { return abtree.New(d) }
+// 2017; "ABT"). The tree is ordered and supports range scans: each scan
+// hop protects a whole leaf (up to B keys per reservation set) rather
+// than chaining per-node reservations the way the skiplist does.
+func NewABTree(d *Domain) RangeSet { return abtree.New(d) }
 
 // RangeSet is a Set that additionally supports ordered range scans.
 // Scans run concurrently with updates: results are sorted and
@@ -141,7 +143,9 @@ func NewABTree(d *Domain) Set { return abtree.New(d) }
 // point during the scan. A scan is one long operation — the calling
 // thread's reservations stay live across every hop — so scan-heavy
 // workloads are the strongest read-path pressure a reclamation policy
-// can face in this library.
+// can face in this library. Two structures implement it with opposite
+// reservation shapes: the skiplist (NewSkipList) pins one reservation
+// per node hopped, the (a,b)-tree (NewABTree) pins whole leaves.
 type RangeSet interface {
 	Set
 	// RangeCount counts the keys in [lo, hi].
@@ -151,10 +155,10 @@ type RangeSet interface {
 	RangeCollect(t *Thread, lo, hi int64, buf []int64) []int64
 }
 
-// NewSkipList creates a lock-free skiplist set ("SKL") — the library's
-// only ordered structure with range queries. Updates are Fraser/Herlihy
-// style (per-level CAS marking); see internal/ds/skiplist for the
-// reclamation protocol that keeps tower nodes safe under every policy.
+// NewSkipList creates a lock-free skiplist set ("SKL") with range
+// queries. Updates are Fraser/Herlihy style (per-level CAS marking);
+// see internal/ds/skiplist for the reclamation protocol that keeps
+// tower nodes safe under every policy.
 func NewSkipList(d *Domain) RangeSet { return skiplist.New(d) }
 
 // Queue is a concurrent FIFO of int64 values bound to a reclamation

@@ -15,7 +15,7 @@ func TestFacadeAllStructuresAllPolicies(t *testing.T) {
 		"LazyList":          pop.NewLazyList,
 		"HashTable":         func(d *pop.Domain) pop.Set { return pop.NewHashTable(d, 1024, 6) },
 		"ExternalBST":       pop.NewExternalBST,
-		"ABTree":            pop.NewABTree,
+		"ABTree":            func(d *pop.Domain) pop.Set { return pop.NewABTree(d) },
 		"SkipList":          func(d *pop.Domain) pop.Set { return pop.NewSkipList(d) },
 	}
 	for name, mk := range constructors {
@@ -58,57 +58,64 @@ func TestFacadeAllStructuresAllPolicies(t *testing.T) {
 	}
 }
 
-// TestSkipListRangeFacade exercises the public RangeSet surface: scans
-// concurrent with updates must stay sorted, unique and in-bounds, and a
-// quiescent scan must match the set exactly.
-func TestSkipListRangeFacade(t *testing.T) {
-	for _, p := range []pop.Policy{pop.HazardPtrPOP, pop.EpochPOP, pop.EBR, pop.NBR} {
-		p := p
-		t.Run(p.String(), func(t *testing.T) {
-			const workers = 3
-			d := pop.NewDomain(p, workers+1, &pop.Options{ReclaimThreshold: 64})
-			set := pop.NewSkipList(d)
-			scanTh := d.RegisterThread()
-			for k := int64(0); k < 1000; k += 2 {
-				set.Insert(scanTh, k)
-			}
-			var wg sync.WaitGroup
-			for w := 0; w < workers; w++ {
-				th := d.RegisterThread()
-				wg.Add(1)
-				go func(w int, th *pop.Thread) {
-					defer wg.Done()
-					for i := 0; i < 4000; i++ {
-						k := int64((i*31+w*7)%1000)*2 + 1 // odd keys only
-						if i%2 == 0 {
-							set.Insert(th, k)
-						} else {
-							set.Delete(th, k)
+// TestRangeSetFacade exercises the public RangeSet surface on both
+// range-capable structures: scans concurrent with updates must stay
+// sorted, unique and in-bounds, and a quiescent scan must match the set
+// exactly.
+func TestRangeSetFacade(t *testing.T) {
+	rangeSets := map[string]func(d *pop.Domain) pop.RangeSet{
+		"SkipList": pop.NewSkipList,
+		"ABTree":   pop.NewABTree,
+	}
+	for name, mk := range rangeSets {
+		for _, p := range []pop.Policy{pop.HazardPtrPOP, pop.EpochPOP, pop.EBR, pop.NBR} {
+			mk, p := mk, p
+			t.Run(name+"/"+p.String(), func(t *testing.T) {
+				const workers = 3
+				d := pop.NewDomain(p, workers+1, &pop.Options{ReclaimThreshold: 64})
+				set := mk(d)
+				scanTh := d.RegisterThread()
+				for k := int64(0); k < 1000; k += 2 {
+					set.Insert(scanTh, k)
+				}
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					th := d.RegisterThread()
+					wg.Add(1)
+					go func(w int, th *pop.Thread) {
+						defer wg.Done()
+						for i := 0; i < 4000; i++ {
+							k := int64((i*31+w*7)%1000)*2 + 1 // odd keys only
+							if i%2 == 0 {
+								set.Insert(th, k)
+							} else {
+								set.Delete(th, k)
+							}
+						}
+					}(w, th)
+				}
+				var buf []int64
+				for i := 0; i < 50; i++ {
+					buf = set.RangeCollect(scanTh, 100, 900, buf)
+					even := 0
+					for j, k := range buf {
+						if k < 100 || k > 900 || (j > 0 && buf[j-1] >= k) {
+							t.Fatalf("malformed scan: %v", buf)
+						}
+						if k%2 == 0 {
+							even++
 						}
 					}
-				}(w, th)
-			}
-			var buf []int64
-			for i := 0; i < 50; i++ {
-				buf = set.RangeCollect(scanTh, 100, 900, buf)
-				even := 0
-				for j, k := range buf {
-					if k < 100 || k > 900 || (j > 0 && buf[j-1] >= k) {
-						t.Fatalf("malformed scan: %v", buf)
-					}
-					if k%2 == 0 {
-						even++
+					if want := (900-100)/2 + 1; even != want {
+						t.Fatalf("scan saw %d permanent even keys, want %d", even, want)
 					}
 				}
-				if want := (900-100)/2 + 1; even != want {
-					t.Fatalf("scan saw %d permanent even keys, want %d", even, want)
+				wg.Wait()
+				if got, want := set.RangeCount(scanTh, 0, 2000), set.Size(scanTh); got != want {
+					t.Fatalf("quiescent RangeCount = %d, Size = %d", got, want)
 				}
-			}
-			wg.Wait()
-			if got, want := set.RangeCount(scanTh, 0, 2000), set.Size(scanTh); got != want {
-				t.Fatalf("quiescent RangeCount = %d, Size = %d", got, want)
-			}
-		})
+			})
+		}
 	}
 }
 
