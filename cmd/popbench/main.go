@@ -13,6 +13,13 @@
 // latency quantiles (p50/p90/p99/max, from an HDR histogram merged
 // across workers) for every policy alongside throughput and memory.
 //
+// Direct sweeps run with per-operation latency profiling on: every
+// policy's table includes p50/p99 per op class (get, put, overwrite,
+// delete), plus value-checksum failures (which must be 0 — a nonzero
+// count means a stale value was served). The kv mix (70% get / 10% put /
+// 15% overwrite / 5% delete) is the KV-serving workload; its overwrite
+// share retires a node per hit on the replace-node structures.
+//
 // Examples:
 //
 //	popbench -list
@@ -22,6 +29,8 @@
 //	popbench -ds skl -rangepct 10 -rangespan 200
 //	popbench -ds abt -csv > abt-scan-latency.csv
 //	popbench -ds abt -mix scan-heavy -keyrange 100000
+//	popbench -ds skl -mix kv -duration 1s -csv > skl-kv.csv
+//	popbench -ds hmht -mix kv -keyrange 1000000
 //
 // The -scale flag divides the paper's structure sizes (defaults to 64 so
 // a laptop run finishes); -scale 1 runs the full-size structures.
@@ -56,7 +65,7 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "suppress progress messages")
 
 		dsName    = flag.String("ds", "", "direct sweep of one data structure (hml, ll, hmht, dgt, abt, skl) instead of a figure")
-		mixName   = flag.String("mix", "read-heavy", "direct sweep mix: read-heavy, update-heavy or scan-heavy")
+		mixName   = flag.String("mix", "read-heavy", "direct sweep mix: read-heavy, update-heavy, scan-heavy or kv")
 		rangePct  = flag.Int("rangepct", -1, "percent of operations that are range queries, taken from the mix's contains share (-1 = auto: 10 for range-capable structures, 0 otherwise)")
 		rangeSpan = flag.Int64("rangespan", workload.DefaultRangeSpan, "keys per range query")
 		keyRange  = flag.Int64("keyrange", 16384, "direct sweep key range")
@@ -177,16 +186,21 @@ func directSweep(o sweepOpts) error {
 		mix = workload.UpdateHeavy
 	case "scan-heavy":
 		mix = workload.ScanHeavy
+	case "kv":
+		mix = workload.KVStore
 	default:
-		return fmt.Errorf("unknown mix %q (want read-heavy, update-heavy or scan-heavy)", o.mix)
+		return fmt.Errorf("unknown mix %q (want read-heavy, update-heavy, scan-heavy or kv)", o.mix)
 	}
 	if o.rangePct < 0 {
 		// Auto: range-capable structures get a 10% scan share by default
 		// (the range dimension is the point of sweeping them); everything
-		// else, and mixes that already scan or cannot give up 10% of
-		// contains, stays untouched.
+		// else stays untouched — mixes that already scan, mixes that
+		// cannot give up 10% of contains, and the kv mix (any overwrite
+		// share), whose advertised get/put/overwrite/delete split must
+		// stay comparable across structures. Pass -rangepct explicitly to
+		// add scans to a kv sweep.
 		o.rangePct = 0
-		if harness.RangeCapable(o.ds) && mix.RangePct == 0 && mix.ContainsPct >= 10 {
+		if harness.RangeCapable(o.ds) && mix.RangePct == 0 && mix.OverwritePct == 0 && mix.ContainsPct >= 10 {
 			o.rangePct = 10
 		}
 	}
@@ -227,6 +241,23 @@ func directSweep(o sweepOpts) error {
 	metrics := []figures.Metric{
 		{Name: "throughput (ops/s)", Get: func(r harness.Result) float64 { return r.Throughput }},
 	}
+	// Per-op-class tail latencies: direct sweeps always profile
+	// (harness.Config.OpLatency below), so the read/write split is
+	// visible per policy, not just the blended mean.
+	for _, cl := range []harness.OpClass{harness.OpGet, harness.OpPut, harness.OpOverwrite, harness.OpDelete} {
+		if cl.MixShare(mix) == 0 {
+			continue
+		}
+		cl := cl
+		metrics = append(metrics,
+			figures.OpLatencyMetric(fmt.Sprintf("%v latency p50 (µs)", cl), cl, 0.50),
+			figures.OpLatencyMetric(fmt.Sprintf("%v latency p99 (µs)", cl), cl, 0.99),
+		)
+	}
+	metrics = append(metrics, figures.Metric{
+		Name: "value checksum failures",
+		Get:  func(r harness.Result) float64 { return float64(r.ValueErrors) },
+	})
 	if mix.RangePct > 0 {
 		metrics = append(metrics,
 			figures.Metric{Name: "range throughput (scans/s)", Get: func(r harness.Result) float64 { return r.RangeTput }},
@@ -266,6 +297,7 @@ func directSweep(o sweepOpts) error {
 		KeyRange:  o.keyRange,
 		Mix:       mix,
 		RangeSpan: o.rangeSpan,
+		OpLatency: true,
 	}, ps, metrics)
 	if err != nil {
 		return err

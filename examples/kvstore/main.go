@@ -1,0 +1,90 @@
+// KV quickstart: the map contract on an ordered structure.
+//
+// Every structure in this library is a key→value map (int64 → uint64)
+// with last-writer-wins overwrite; this example runs a small KV-serving
+// workload — concurrent gets, puts, overwrites and deletes — on a
+// skiplist ordered map under EpochPOP, then uses a range scan to walk a
+// key window and read its values. The interesting part is invisible:
+// on the skiplist every overwrite replaces the node and retires the old
+// one, so the value churn below keeps the reclamation scheme busy even
+// though the key population barely changes. The printed counters show
+// it.
+//
+//	go run ./examples/kvstore
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"pop"
+)
+
+func main() {
+	const (
+		workers  = 4
+		keys     = 10_000
+		opsEach  = 100_000
+		hotRange = 512 // overwrites concentrate here: maximal node churn
+	)
+
+	domain := pop.NewDomain(pop.EpochPOP, workers, &pop.Options{
+		ReclaimThreshold: 1024,
+	})
+	kv := pop.NewSkipListMap(domain)
+
+	threads := make([]*pop.Thread, workers)
+	for i := range threads {
+		threads[i] = domain.RegisterThread()
+	}
+
+	// Seed the store: key k holds version 0 of its value.
+	version := func(k int64, v uint64) uint64 { return uint64(k)<<20 | v }
+	for k := int64(0); k < keys; k++ {
+		kv.Put(threads[0], k, version(k, 0))
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int, t *pop.Thread) {
+			defer wg.Done()
+			state := uint64(id)*2862933555777941757 + 3037000493
+			next := func(n uint64) uint64 {
+				state = state*6364136223846793005 + 1442695040888963407
+				return state % n
+			}
+			for i := 0; i < opsEach; i++ {
+				switch k := int64(next(keys)); next(10) {
+				case 0, 1, 2: // overwrite a hot key: replace-node + retire
+					hot := k % hotRange
+					kv.Put(t, hot, version(hot, uint64(i)))
+				case 3: // insert-if-absent keeps cold keys at version 0
+					kv.PutIfAbsent(t, k, version(k, 0))
+				case 4: // delete: the key stays gone until case 3 re-seeds it
+					kv.Delete(t, k)
+				default: // serve a read
+					kv.Get(t, k)
+				}
+			}
+		}(w, threads[w])
+	}
+	wg.Wait()
+
+	// Ordered-map bonus: walk a window and read the surviving values.
+	t := threads[0]
+	window := kv.RangeCollect(t, 100, 119, nil)
+	fmt.Printf("keys in [100,119]: %d\n", len(window))
+	for _, k := range window[:min(3, len(window))] {
+		v, _ := kv.Get(t, k)
+		fmt.Printf("  kv[%d] = key %d, version %d\n", k, v>>20, v&(1<<20-1))
+	}
+
+	for _, th := range threads {
+		th.Flush()
+	}
+	stats := domain.Stats()
+	fmt.Printf("size %d, outstanding nodes %d\n", kv.Size(t), kv.Outstanding())
+	fmt.Printf("retired %d nodes (every overwrite retires one), freed %d, pings %d\n",
+		stats.Retires, stats.Frees, stats.PingsSent)
+}

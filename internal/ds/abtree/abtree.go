@@ -45,6 +45,20 @@
 // measure SMR behaviour — throughput under traversal-protection cost and
 // retire-list churn — and both are preserved: every update retires 1-3
 // nodes through the same Retire path as the original.
+//
+// # Overwrite strategy: copy-on-write leaf replacement
+//
+// Leaves are immutable once published — the range-scan safety argument
+// depends on a protected leaf being a consistent snapshot — so values
+// are stored in an immutable array parallel to the keys, and Put on a
+// present key copies the leaf with one value slot changed, swings the
+// parent's child pointer under the parent's lock, and retires the old
+// leaf. This is the same CoW shape as every other (a,b)-tree update and
+// makes overwrites a second source of retirements: value churn alone
+// feeds the reclamation layer with whole leaves (contrast extbst's
+// in-place store, which retires nothing). The returned old value is
+// read from the immutable old leaf, so it is exactly the value the
+// overwrite replaced.
 package abtree
 
 import (
@@ -68,10 +82,11 @@ const (
 	maxKids = 3*B + 1
 )
 
-// node is a tree node. Header first (reclamation contract). keys (and,
-// for internal nodes, the key/child counts) are immutable once the node
-// is published; only the kids cells are mutated in place (child swings
-// under the node's lock).
+// node is a tree node. Header first (reclamation contract). keys and
+// vals (and, for internal nodes, the key/child counts) are immutable
+// once the node is published; only the kids cells are mutated in place
+// (child swings under the node's lock). vals parallels keys on leaves
+// and is unused on internal nodes.
 type node struct {
 	core.Header
 	leaf  bool
@@ -79,6 +94,7 @@ type node struct {
 	mu    sync.Mutex
 	nkeys int
 	keys  [maxKeys]int64
+	vals  [maxKeys]uint64
 	kids  [maxKids]core.Atomic // internal: nkeys+1 children
 }
 
@@ -219,6 +235,13 @@ func (tr *Tree) search(t *core.Thread, key int64) (pos, bool) {
 
 // Contains reports whether key is present.
 func (tr *Tree) Contains(t *core.Thread, key int64) bool {
+	_, ok := tr.Get(t, key)
+	return ok
+}
+
+// Get returns the value mapped to key. The leaf is protected and
+// immutable, so plain reads of its arrays are a consistent snapshot.
+func (tr *Tree) Get(t *core.Thread, key int64) (uint64, bool) {
 	t.StartOp()
 	defer t.EndOp()
 	for {
@@ -226,18 +249,22 @@ func (tr *Tree) Contains(t *core.Thread, key int64) bool {
 		if !ok {
 			continue
 		}
-		_, found := ps.l.findKey(key)
-		return found
+		i, found := ps.l.findKey(key)
+		if !found {
+			return 0, false
+		}
+		return ps.l.vals[i], true
 	}
 }
 
-// newLeaf builds an unpublished leaf from keys.
-func (tr *Tree) newLeaf(t *core.Thread, cache *arena.ThreadCache[node], keys []int64) *node {
+// newLeaf builds an unpublished leaf from parallel key/value slices.
+func (tr *Tree) newLeaf(t *core.Thread, cache *arena.ThreadCache[node], keys []int64, vals []uint64) *node {
 	n := cache.Get()
 	n.leaf = true
 	n.dead.Store(false)
 	n.nkeys = len(keys)
 	copy(n.keys[:], keys)
+	copy(n.vals[:], vals)
 	t.OnAlloc(&n.Header, tr.typ)
 	return n
 }
@@ -257,8 +284,27 @@ func (tr *Tree) newInternal(t *core.Thread, cache *arena.ThreadCache[node], keys
 	return n
 }
 
-// Insert adds key; false if already present.
+// Insert adds key with the zero value; false if already present.
 func (tr *Tree) Insert(t *core.Thread, key int64) bool {
+	return tr.PutIfAbsent(t, key, 0)
+}
+
+// PutIfAbsent maps key to val only if key is absent.
+func (tr *Tree) PutIfAbsent(t *core.Thread, key int64, val uint64) bool {
+	ok, _, _ := tr.put(t, key, val, false)
+	return ok
+}
+
+// Put maps key to val, overwriting; returns the previous value.
+func (tr *Tree) Put(t *core.Thread, key int64, val uint64) (uint64, bool) {
+	_, old, replaced := tr.put(t, key, val, true)
+	return old, replaced
+}
+
+// put is the shared insert/overwrite path. An overwrite copies the leaf
+// with one value slot changed and retires the original (see the package
+// comment); the old value is read from the immutable old leaf.
+func (tr *Tree) put(t *core.Thread, key int64, val uint64, overwrite bool) (inserted bool, old uint64, replaced bool) {
 	checkKey(key)
 	t.StartOp()
 	defer t.EndOp()
@@ -268,29 +314,62 @@ func (tr *Tree) Insert(t *core.Thread, key int64) bool {
 		if !ok {
 			continue
 		}
-		if _, found := ps.l.findKey(key); found {
-			return false
-		}
-		if ps.l.nkeys < B {
-			if tr.insertCoW(t, cache, ps, key) {
-				return true
+		if i, found := ps.l.findKey(key); found {
+			// Read the old value before the CoW retires the leaf: the
+			// leaf is immutable, so this is exactly the replaced value.
+			old = ps.l.vals[i]
+			if !overwrite {
+				return false, old, true
+			}
+			if tr.overwriteCoW(t, cache, ps, key, i, val) {
+				return false, old, true
 			}
 			continue
 		}
-		done, ok2 := tr.insertSplit(t, cache, ps, key)
+		if ps.l.nkeys < B {
+			if tr.insertCoW(t, cache, ps, key, val) {
+				return true, 0, false
+			}
+			continue
+		}
+		done, ok2 := tr.insertSplit(t, cache, ps, key, val)
 		if !ok2 {
 			continue // neutralized during write phase entry
 		}
 		if done {
-			return true
+			return true, 0, false
 		}
 	}
 }
 
+// overwriteCoW replaces the leaf with a copy whose i-th value is val.
+func (tr *Tree) overwriteCoW(t *core.Thread, cache *arena.ThreadCache[node], ps pos, key int64, i int, val uint64) bool {
+	nl := tr.newLeaf(t, cache, ps.l.keys[:ps.l.nkeys], ps.l.vals[:ps.l.nkeys])
+	nl.vals[i] = val
+	if !t.EnterWritePhase() {
+		cache.Put(nl)
+		return false
+	}
+	cell := &ps.p.kids[ps.p.route(key)]
+	ps.p.mu.Lock()
+	if (ps.p != tr.entry && ps.p.dead.Load()) || cell.Load() != unsafe.Pointer(ps.l) {
+		ps.p.mu.Unlock()
+		t.ExitWritePhase()
+		cache.Put(nl)
+		return false
+	}
+	cell.Store(unsafe.Pointer(nl))
+	ps.l.dead.Store(true)
+	ps.p.mu.Unlock()
+	t.Retire(&ps.l.Header)
+	t.ExitWritePhase()
+	return true
+}
+
 // insertCoW replaces the leaf with a copy containing key (no split).
-func (tr *Tree) insertCoW(t *core.Thread, cache *arena.ThreadCache[node], ps pos, key int64) bool {
-	merged := mergeKey(ps.l, key)
-	nl := tr.newLeaf(t, cache, merged)
+func (tr *Tree) insertCoW(t *core.Thread, cache *arena.ThreadCache[node], ps pos, key int64, val uint64) bool {
+	mk, mv := mergeKV(ps.l, key, val)
+	nl := tr.newLeaf(t, cache, mk, mv)
 	if !t.EnterWritePhase() {
 		cache.Put(nl)
 		return false
@@ -314,12 +393,12 @@ func (tr *Tree) insertCoW(t *core.Thread, cache *arena.ThreadCache[node], ps pos
 // insertSplit splits a full leaf into two and adds the separator to the
 // parent (rebuilt copy-on-write), or grows a new root when the parent is
 // the entry. Returns (done, !neutralized).
-func (tr *Tree) insertSplit(t *core.Thread, cache *arena.ThreadCache[node], ps pos, key int64) (bool, bool) {
-	merged := mergeKey(ps.l, key)
-	h := len(merged) / 2
-	l1 := tr.newLeaf(t, cache, merged[:h])
-	l2 := tr.newLeaf(t, cache, merged[h:])
-	sep := merged[h]
+func (tr *Tree) insertSplit(t *core.Thread, cache *arena.ThreadCache[node], ps pos, key int64, val uint64) (bool, bool) {
+	mk, mv := mergeKV(ps.l, key, val)
+	h := len(mk) / 2
+	l1 := tr.newLeaf(t, cache, mk[:h], mv[:h])
+	l2 := tr.newLeaf(t, cache, mk[h:], mv[h:])
+	sep := mk[h]
 	giveUp := func() {
 		cache.Put(l1)
 		cache.Put(l2)
@@ -483,10 +562,10 @@ func (tr *Tree) repairSplit(t *core.Thread, gp, p, cur *node) bool {
 	return true
 }
 
-// Delete removes key; false if absent. An emptied leaf is excised
-// together with its separator; a parent reduced to a single child is
-// replaced by that child.
-func (tr *Tree) Delete(t *core.Thread, key int64) bool {
+// Delete removes key and returns the value it removed. An emptied leaf
+// is excised together with its separator; a parent reduced to a single
+// child is replaced by that child.
+func (tr *Tree) Delete(t *core.Thread, key int64) (uint64, bool) {
 	checkKey(key)
 	t.StartOp()
 	defer t.EndOp()
@@ -496,13 +575,17 @@ func (tr *Tree) Delete(t *core.Thread, key int64) bool {
 		if !ok {
 			continue
 		}
-		if _, found := ps.l.findKey(key); !found {
-			return false
+		i, found := ps.l.findKey(key)
+		if !found {
+			return 0, false
 		}
+		// The old leaf is immutable and protected; its value array still
+		// holds the removed value after the CoW below retires it.
+		old := ps.l.vals[i]
 		if ps.l.nkeys > 1 || ps.p == tr.entry {
 			// CoW the leaf without it (the root leaf may become empty).
 			if tr.deleteCoW(t, cache, ps, key) {
-				return true
+				return old, true
 			}
 			continue
 		}
@@ -511,7 +594,7 @@ func (tr *Tree) Delete(t *core.Thread, key int64) bool {
 			continue
 		}
 		if done {
-			return true
+			return old, true
 		}
 	}
 }
@@ -519,12 +602,14 @@ func (tr *Tree) Delete(t *core.Thread, key int64) bool {
 // deleteCoW replaces the leaf with a copy lacking key.
 func (tr *Tree) deleteCoW(t *core.Thread, cache *arena.ThreadCache[node], ps pos, key int64) bool {
 	remaining := make([]int64, 0, ps.l.nkeys-1)
+	vals := make([]uint64, 0, ps.l.nkeys-1)
 	for i := 0; i < ps.l.nkeys; i++ {
 		if ps.l.keys[i] != key {
 			remaining = append(remaining, ps.l.keys[i])
+			vals = append(vals, ps.l.vals[i])
 		}
 	}
-	nl := tr.newLeaf(t, cache, remaining)
+	nl := tr.newLeaf(t, cache, remaining, vals)
 	if !t.EnterWritePhase() {
 		cache.Put(nl)
 		return false
@@ -676,21 +761,26 @@ func (tr *Tree) scanRange(t *core.Thread, lo, hi int64, emit func(int64)) {
 	}
 }
 
-// mergeKey returns the leaf's keys plus key, sorted.
-func mergeKey(l *node, key int64) []int64 {
-	out := make([]int64, 0, l.nkeys+1)
+// mergeKV returns the leaf's keys plus key (sorted) and the parallel
+// value slice with val in key's slot.
+func mergeKV(l *node, key int64, val uint64) ([]int64, []uint64) {
+	keys := make([]int64, 0, l.nkeys+1)
+	vals := make([]uint64, 0, l.nkeys+1)
 	placed := false
 	for i := 0; i < l.nkeys; i++ {
 		if !placed && key < l.keys[i] {
-			out = append(out, key)
+			keys = append(keys, key)
+			vals = append(vals, val)
 			placed = true
 		}
-		out = append(out, l.keys[i])
+		keys = append(keys, l.keys[i])
+		vals = append(vals, l.vals[i])
 	}
 	if !placed {
-		out = append(out, key)
+		keys = append(keys, key)
+		vals = append(vals, val)
 	}
-	return out
+	return keys, vals
 }
 
 // Size counts keys. Quiescent use only.

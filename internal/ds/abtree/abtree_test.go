@@ -11,7 +11,7 @@ import (
 )
 
 func TestConformance(t *testing.T) {
-	dstest.Run(t, func(d *core.Domain) ds.Set { return abtree.New(d) }, dstest.Config{
+	dstest.Run(t, func(d *core.Domain) ds.Map { return abtree.New(d) }, dstest.Config{
 		KeyRange: 4096, // force real tree depth and split/excise traffic
 	})
 }
@@ -32,7 +32,7 @@ func TestQuickSequentialEquivalence(t *testing.T) {
 				}
 				ref[k] = true
 			case 1:
-				if tr.Delete(th, k) != ref[k] {
+				if _, ok := tr.Delete(th, k); ok != ref[k] {
 					return false
 				}
 				delete(ref, k)
@@ -67,7 +67,7 @@ func TestGrowShrinkCycles(t *testing.T) {
 			t.Fatalf("cycle %d: Size = %d, want %d", cycle, got, n)
 		}
 		for k := int64(0); k < n; k++ {
-			if !tr.Delete(th, k) {
+			if _, ok := tr.Delete(th, k); !ok {
 				t.Fatalf("cycle %d: delete %d failed", cycle, k)
 			}
 		}

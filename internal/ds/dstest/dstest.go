@@ -1,21 +1,31 @@
-// Package dstest is the conformance suite every concurrent set in this
-// repository must pass, under every reclamation policy. Data-structure
-// packages call Run from their tests; the suite exercises:
+// Package dstest is the conformance suite every concurrent structure in
+// this repository must pass, under every reclamation policy. Data-
+// structure packages call Run from their tests; the suite exercises:
 //
-//   - sequential semantics (insert/delete/contains truth table, ordering,
-//     duplicates, sentinels);
-//   - randomized sequential equivalence against a reference map;
+//   - sequential set semantics (insert/delete/contains truth table,
+//     ordering, duplicates, sentinels) through the ds.Set adapter;
+//   - sequential map semantics (get-after-put, put-if-absent,
+//     last-writer-wins overwrite, delete returning the removed value);
+//   - randomized sequential equivalence against reference maps;
 //   - concurrent mixed workloads with a net-count invariant (inserts
 //     minus deletes equals final size);
+//   - a concurrent overwrite storm on a small shared key set: every
+//     thread writes globally unique values and the returned old values
+//     must chain perfectly (each written value is returned as "old"
+//     exactly once or survives as a final value) — the linearizability
+//     check for replace-node/in-place/CoW overwrite strategies;
+//   - per-thread key-stripe map workloads validated exactly against a
+//     reference map, including every returned old value, while
+//     neighbouring stripes churn;
 //   - reclamation pressure (tiny retire thresholds force constant
 //     reclaim/ping traffic while readers traverse);
 //   - a delayed-thread scenario that must not break safety;
-//   - for sets implementing ds.RangeScanner, range-query validation
-//     against a mutex-guarded reference model: exact equivalence
-//     sequentially and over per-thread key stripes under concurrent
-//     churn, plus global-scan invariants (sorted, duplicate-free,
-//     in-bounds, all permanently-present keys reported, no
-//     never-inserted key ever reported).
+//   - for structures implementing ds.RangeScanner, range-query
+//     validation against a mutex-guarded reference model: exact
+//     equivalence sequentially and over per-thread key stripes under
+//     concurrent churn, plus global-scan invariants (sorted,
+//     duplicate-free, in-bounds, all permanently-present keys reported,
+//     no never-inserted key ever reported).
 //
 // Any use-after-free surfaces as a poisoned key, a failed invariant, or
 // an arena panic — the Go analogue of the segfault the paper's C++
@@ -35,8 +45,8 @@ import (
 	"pop/internal/rng"
 )
 
-// Factory builds a fresh set instance over the given domain.
-type Factory func(d *core.Domain) ds.Set
+// Factory builds a fresh map instance over the given domain.
+type Factory func(d *core.Domain) ds.Map
 
 // Config tunes the suite for a data structure's cost profile.
 type Config struct {
@@ -72,8 +82,9 @@ func (c Config) skip(p core.Policy) bool {
 	return false
 }
 
-// Run executes the full conformance suite. Sets that implement
-// ds.RangeScanner get the range-query suites as well.
+// Run executes the full conformance suite: the set-contract suites
+// (via the ds.Set adapter), the map-contract suites, and — for
+// structures implementing ds.RangeScanner — the range-query suites.
 func Run(t *testing.T, f Factory, cfg Config) {
 	cfg = cfg.withDefaults()
 	_, ranged := f(newDomain(core.NR, 1)).(ds.RangeScanner)
@@ -88,6 +99,10 @@ func Run(t *testing.T, f Factory, cfg Config) {
 			t.Run("ConcurrentInvariant", func(t *testing.T) { concurrentInvariant(t, f, p, cfg) })
 			t.Run("ConcurrentDistinctKeys", func(t *testing.T) { concurrentDistinctKeys(t, f, p, cfg) })
 			t.Run("DelayedReader", func(t *testing.T) { delayedReader(t, f, p, cfg) })
+			t.Run("MapSequential", func(t *testing.T) { mapSequential(t, f, p) })
+			t.Run("MapRandomizedVsRef", func(t *testing.T) { mapRandomizedVsRef(t, f, p, cfg) })
+			t.Run("MapOverwriteStorm", func(t *testing.T) { mapOverwriteStorm(t, f, p, cfg) })
+			t.Run("MapOwnedStripes", func(t *testing.T) { mapOwnedStripes(t, f, p, cfg) })
 			if ranged {
 				t.Run("RangeSequentialVsRef", func(t *testing.T) { rangeSequentialVsRef(t, f, p, cfg) })
 				t.Run("RangeOwnedStripes", func(t *testing.T) { rangeOwnedStripes(t, f, p, cfg) })
@@ -110,7 +125,8 @@ func newDomain(p core.Policy, threads int) *core.Domain {
 
 func sequential(t *testing.T, f Factory, p core.Policy) {
 	d := newDomain(p, 1)
-	s := f(d)
+	m := f(d)
+	s := ds.AsSet(m)
 	th := d.RegisterThread()
 
 	if s.Contains(th, 10) {
@@ -160,7 +176,7 @@ func sequential(t *testing.T, f Factory, p core.Policy) {
 			t.Fatalf("missing %d", i)
 		}
 	}
-	if sized, ok := s.(ds.Sized); ok {
+	if sized, ok := m.(ds.Sized); ok {
 		if got := sized.Size(th); got != 128 {
 			t.Fatalf("Size = %d, want 128", got)
 		}
@@ -180,9 +196,325 @@ func sequential(t *testing.T, f Factory, p core.Policy) {
 	th.Flush()
 }
 
+// mapSequential is the single-threaded truth table for the map
+// contract: get-after-put visibility, put-if-absent semantics,
+// last-writer-wins overwrite with exact old values, and delete
+// returning the removed value.
+func mapSequential(t *testing.T, f Factory, p core.Policy) {
+	d := newDomain(p, 1)
+	m := f(d)
+	th := d.RegisterThread()
+
+	if _, ok := m.Get(th, 7); ok {
+		t.Fatal("empty map Get(7) reported a value")
+	}
+	if _, ok := m.Delete(th, 7); ok {
+		t.Fatal("empty map Delete(7) succeeded")
+	}
+	if old, replaced := m.Put(th, 7, 100); replaced || old != 0 {
+		t.Fatalf("Put(7) on empty map = (%d, %v), want (0, false)", old, replaced)
+	}
+	if v, ok := m.Get(th, 7); !ok || v != 100 {
+		t.Fatalf("Get(7) after Put = (%d, %v), want (100, true)", v, ok)
+	}
+	// Put-if-absent must not disturb a present key.
+	if m.PutIfAbsent(th, 7, 200) {
+		t.Fatal("PutIfAbsent(7) succeeded on a present key")
+	}
+	if v, _ := m.Get(th, 7); v != 100 {
+		t.Fatalf("PutIfAbsent overwrote: Get(7) = %d, want 100", v)
+	}
+	// Overwrite returns the exact replaced value, repeatedly.
+	for i, want := range []uint64{100, 300, 400} {
+		next := uint64(300 + 100*i)
+		if old, replaced := m.Put(th, 7, next); !replaced || old != want {
+			t.Fatalf("Put(7, %d) = (%d, %v), want (%d, true)", next, old, replaced, want)
+		}
+	}
+	if v, _ := m.Get(th, 7); v != 500 {
+		t.Fatalf("after overwrite chain Get(7) = %d, want 500", v)
+	}
+	// Neighbours carry their own values.
+	if !m.PutIfAbsent(th, 6, 60) || !m.PutIfAbsent(th, 8, 80) {
+		t.Fatal("PutIfAbsent on absent neighbours failed")
+	}
+	for k, want := range map[int64]uint64{6: 60, 7: 500, 8: 80} {
+		if v, ok := m.Get(th, k); !ok || v != want {
+			t.Fatalf("Get(%d) = (%d, %v), want (%d, true)", k, v, ok, want)
+		}
+	}
+	// Delete returns the removed value; the key is gone afterwards.
+	if v, ok := m.Delete(th, 7); !ok || v != 500 {
+		t.Fatalf("Delete(7) = (%d, %v), want (500, true)", v, ok)
+	}
+	if _, ok := m.Get(th, 7); ok {
+		t.Fatal("7 survived delete")
+	}
+	if v, ok := m.Delete(th, 6); !ok || v != 60 {
+		t.Fatalf("Delete(6) = (%d, %v), want (60, true)", v, ok)
+	}
+	// Re-insert after delete starts a fresh value history.
+	if old, replaced := m.Put(th, 7, 999); replaced || old != 0 {
+		t.Fatalf("Put(7) after delete = (%d, %v), want (0, false)", old, replaced)
+	}
+	if v, _ := m.Get(th, 7); v != 999 {
+		t.Fatalf("Get(7) after re-insert = %d, want 999", v)
+	}
+	th.Flush()
+}
+
+// mapRandomizedVsRef drives the map with a random single-threaded tape
+// and checks every result — including returned old values — against a
+// reference map.
+func mapRandomizedVsRef(t *testing.T, f Factory, p core.Policy, cfg Config) {
+	d := newDomain(p, 1)
+	m := f(d)
+	th := d.RegisterThread()
+	ref := make(map[int64]uint64)
+	r := rng.New(uint64(0xBEEF) ^ uint64(p)<<4)
+
+	for i := 0; i < 4000; i++ {
+		k := r.Intn(cfg.KeyRange)
+		v := r.Uint64()
+		switch r.Intn(4) {
+		case 0:
+			wantOld, wantReplaced := ref[k], false
+			if _, present := ref[k]; present {
+				wantReplaced = true
+			}
+			old, replaced := m.Put(th, k, v)
+			if replaced != wantReplaced || old != wantOld {
+				t.Fatalf("op %d: Put(%d) = (%d, %v), want (%d, %v)", i, k, old, replaced, wantOld, wantReplaced)
+			}
+			ref[k] = v
+		case 1:
+			_, present := ref[k]
+			if got := m.PutIfAbsent(th, k, v); got != !present {
+				t.Fatalf("op %d: PutIfAbsent(%d) = %v, want %v", i, k, got, !present)
+			}
+			if !present {
+				ref[k] = v
+			}
+		case 2:
+			wantV, wantOK := ref[k]
+			v, ok := m.Delete(th, k)
+			if ok != wantOK || v != wantV {
+				t.Fatalf("op %d: Delete(%d) = (%d, %v), want (%d, %v)", i, k, v, ok, wantV, wantOK)
+			}
+			delete(ref, k)
+		default:
+			wantV, wantOK := ref[k]
+			v, ok := m.Get(th, k)
+			if ok != wantOK || v != wantV {
+				t.Fatalf("op %d: Get(%d) = (%d, %v), want (%d, %v)", i, k, v, ok, wantV, wantOK)
+			}
+		}
+	}
+	if sized, ok := m.(ds.Sized); ok {
+		if got := sized.Size(th); got != len(ref) {
+			t.Fatalf("Size = %d, want %d", got, len(ref))
+		}
+	}
+	th.Flush()
+}
+
+// mapOverwriteStorm hammers a small shared key set with overwrites
+// only. Every thread writes globally unique values and records its own
+// writes and returned old values privately — nothing synchronizes the
+// storm but the map itself, so replace-CAS races (two replacers on one
+// victim, replace vs delete at level 0) actually happen. At the end,
+// for every key, the value chain must balance exactly: {initial value}
+// ∪ {written values} = {values returned as old} ∪ {final value}, each
+// exactly once. A lost update, a doubled old value, or a value from a
+// reclaimed node would unbalance the multiset — this is the
+// linearizability check for every overwrite strategy (replace-node,
+// in-place, CoW leaf).
+func mapOverwriteStorm(t *testing.T, f Factory, p core.Policy, cfg Config) {
+	const nkeys = 16
+	d := newDomain(p, cfg.Threads)
+	m := f(d)
+	threads := make([]*core.Thread, cfg.Threads)
+	for i := range threads {
+		threads[i] = d.RegisterThread()
+	}
+
+	// Prefill each key with a unique tagged value (tag 0, slot = key).
+	mkVal := func(writer, seq int) uint64 {
+		return uint64(writer+1)<<32 | uint64(seq)
+	}
+	written := make(map[int64][]uint64, nkeys)
+	for k := int64(0); k < nkeys; k++ {
+		v := mkVal(0, int(k))
+		if old, replaced := m.Put(threads[0], k, v); replaced || old != 0 {
+			t.Fatalf("prefill Put(%d) = (%d, %v)", k, old, replaced)
+		}
+		written[k] = append(written[k], v)
+	}
+
+	ops := cfg.ConcOps
+	wrote := make([]map[int64][]uint64, cfg.Threads)
+	returned := make([]map[int64][]uint64, cfg.Threads)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Threads; i++ {
+		wrote[i] = make(map[int64][]uint64)
+		returned[i] = make(map[int64][]uint64)
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := threads[id]
+			r := rng.New(uint64(id)*6364136223846793005 + uint64(p))
+			for n := 0; n < ops; n++ {
+				k := r.Intn(nkeys)
+				v := mkVal(id+1, n)
+				wrote[id][k] = append(wrote[id][k], v)
+				old, replaced := m.Put(th, k, v)
+				if !replaced {
+					t.Errorf("thread %d: Put(%d) found the key absent mid-storm", id, k)
+					return
+				}
+				returned[id][k] = append(returned[id][k], old)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for id := range wrote {
+		for k, vs := range wrote[id] {
+			written[k] = append(written[k], vs...)
+		}
+	}
+
+	// Balance the chains: per key, olds ∪ {final} must equal written.
+	for k := int64(0); k < nkeys; k++ {
+		final, ok := m.Get(threads[0], k)
+		if !ok {
+			t.Fatalf("key %d absent after storm", k)
+		}
+		seen := make(map[uint64]int, len(written[k]))
+		for _, v := range written[k] {
+			seen[v]++
+			if seen[v] > 1 {
+				t.Fatalf("key %d: duplicate written value %#x (test bug)", k, v)
+			}
+		}
+		consume := func(v uint64, what string) {
+			c, present := seen[v]
+			if !present {
+				t.Fatalf("key %d: %s value %#x was never written", k, what, v)
+			}
+			if c == 0 {
+				t.Fatalf("key %d: %s value %#x consumed twice (overwrite chain forked)", k, what, v)
+			}
+			seen[v] = 0
+		}
+		for id := range returned {
+			for _, old := range returned[id][k] {
+				consume(old, "returned-old")
+			}
+		}
+		consume(final, "final")
+		for v, c := range seen {
+			if c != 0 {
+				t.Fatalf("key %d: written value %#x neither returned as old nor final (lost update)", k, v)
+			}
+		}
+	}
+	for _, th := range threads {
+		th.Flush()
+	}
+	if p != core.NR {
+		if u := d.Unreclaimed(); u != 0 {
+			t.Fatalf("%d unreclaimed nodes after quiescent flush", u)
+		}
+	}
+}
+
+// mapOwnedStripes gives each thread a private key stripe and validates
+// every operation result — values, old values, removed values — exactly
+// against a per-thread reference map while the other stripes churn the
+// same structure (get-after-put visibility under full concurrency).
+func mapOwnedStripes(t *testing.T, f Factory, p core.Policy, cfg Config) {
+	const stripe = 256
+	d := newDomain(p, cfg.Threads)
+	m := f(d)
+	threads := make([]*core.Thread, cfg.Threads)
+	for i := range threads {
+		threads[i] = d.RegisterThread()
+	}
+	errs := make(chan error, cfg.Threads)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Threads; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := threads[id]
+			lo := int64(id) * stripe
+			ref := make(map[int64]uint64)
+			r := rng.New(uint64(id)*2862933555777941757 + uint64(p) + 11)
+			for n := 0; n < cfg.ConcOps; n++ {
+				k := lo + r.Intn(stripe)
+				v := r.Uint64()
+				switch r.Intn(8) {
+				case 0, 1:
+					wantOld, wantReplaced := ref[k], false
+					if _, present := ref[k]; present {
+						wantReplaced = true
+					}
+					old, replaced := m.Put(th, k, v)
+					if replaced != wantReplaced || old != wantOld {
+						errs <- fmt.Errorf("thread %d: Put(%d) = (%d, %v), want (%d, %v)", id, k, old, replaced, wantOld, wantReplaced)
+						return
+					}
+					ref[k] = v
+				case 2, 3:
+					_, present := ref[k]
+					if got := m.PutIfAbsent(th, k, v); got != !present {
+						errs <- fmt.Errorf("thread %d: PutIfAbsent(%d) = %v, want %v", id, k, got, !present)
+						return
+					}
+					if !present {
+						ref[k] = v
+					}
+				case 4, 5:
+					wantV, wantOK := ref[k]
+					got, ok := m.Delete(th, k)
+					if ok != wantOK || got != wantV {
+						errs <- fmt.Errorf("thread %d: Delete(%d) = (%d, %v), want (%d, %v)", id, k, got, ok, wantV, wantOK)
+						return
+					}
+					delete(ref, k)
+				default:
+					wantV, wantOK := ref[k]
+					got, ok := m.Get(th, k)
+					if ok != wantOK || got != wantV {
+						errs <- fmt.Errorf("thread %d: Get(%d) = (%d, %v), want (%d, %v) — stale read", id, k, got, ok, wantV, wantOK)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for _, th := range threads {
+		th.Flush()
+	}
+	if p != core.NR {
+		if u := d.Unreclaimed(); u != 0 {
+			t.Fatalf("%d unreclaimed nodes after quiescent flush", u)
+		}
+	}
+}
+
 func randomizedVsMap(t *testing.T, f Factory, p core.Policy, cfg Config) {
 	d := newDomain(p, 1)
-	s := f(d)
+	m := f(d)
+	s := ds.AsSet(m)
 	th := d.RegisterThread()
 	ref := make(map[int64]bool)
 	r := rng.New(uint64(0xC0FFEE) ^ uint64(p))
@@ -208,7 +540,7 @@ func randomizedVsMap(t *testing.T, f Factory, p core.Policy, cfg Config) {
 			}
 		}
 	}
-	if sized, ok := s.(ds.Sized); ok {
+	if sized, ok := m.(ds.Sized); ok {
 		if got := sized.Size(th); got != len(ref) {
 			t.Fatalf("Size = %d, want %d", got, len(ref))
 		}
@@ -220,7 +552,8 @@ func randomizedVsMap(t *testing.T, f Factory, p core.Policy, cfg Config) {
 // that successful inserts minus successful deletes equals the final size.
 func concurrentInvariant(t *testing.T, f Factory, p core.Policy, cfg Config) {
 	d := newDomain(p, cfg.Threads)
-	s := f(d)
+	m := f(d)
+	s := ds.AsSet(m)
 	var net atomic.Int64
 	var wg sync.WaitGroup
 	threads := make([]*core.Thread, cfg.Threads)
@@ -254,7 +587,7 @@ func concurrentInvariant(t *testing.T, f Factory, p core.Policy, cfg Config) {
 	}
 	wg.Wait()
 
-	if sized, ok := s.(ds.Sized); ok {
+	if sized, ok := m.(ds.Sized); ok {
 		if got := sized.Size(threads[0]); int64(got) != net.Load() {
 			t.Fatalf("net inserts %d != final size %d", net.Load(), got)
 		}
@@ -275,7 +608,8 @@ func concurrentInvariant(t *testing.T, f Factory, p core.Policy, cfg Config) {
 // every operation's outcome is deterministic even under concurrency.
 func concurrentDistinctKeys(t *testing.T, f Factory, p core.Policy, cfg Config) {
 	d := newDomain(p, cfg.Threads)
-	s := f(d)
+	m := f(d)
+	s := ds.AsSet(m)
 	var wg sync.WaitGroup
 	threads := make([]*core.Thread, cfg.Threads)
 	for i := range threads {
@@ -330,7 +664,8 @@ func concurrentDistinctKeys(t *testing.T, f Factory, p core.Policy, cfg Config) 
 // policies must keep reclaiming; all policies must stay safe.
 func delayedReader(t *testing.T, f Factory, p core.Policy, cfg Config) {
 	d := newDomain(p, 3)
-	s := f(d)
+	m := f(d)
+	s := ds.AsSet(m)
 	reader := d.RegisterThread()
 	w1 := d.RegisterThread()
 	w2 := d.RegisterThread()
@@ -390,7 +725,7 @@ func delayedReader(t *testing.T, f Factory, p core.Policy, cfg Config) {
 }
 
 // ---------------------------------------------------------------------
-// Range-query suites (sets implementing ds.RangeScanner)
+// Range-query suites (structures implementing ds.RangeScanner)
 // ---------------------------------------------------------------------
 
 // refSet is the mutex-guarded reference model range results are
@@ -456,8 +791,9 @@ func checkScanShape(t *testing.T, got []int64, lo, hi int64) {
 // history (every scan here is linearizable trivially).
 func rangeSequentialVsRef(t *testing.T, f Factory, p core.Policy, cfg Config) {
 	d := newDomain(p, 1)
-	s := f(d)
-	rs := s.(ds.RangeScanner)
+	m := f(d)
+	s := ds.AsSet(m)
+	rs := m.(ds.RangeScanner)
 	th := d.RegisterThread()
 	ref := newRefSet()
 	r := rng.New(uint64(0x5ca9) ^ uint64(p)<<8)
@@ -500,11 +836,14 @@ func rangeSequentialVsRef(t *testing.T, f Factory, p core.Policy, cfg Config) {
 // mutates and scans: a scan over the thread's own stripe must match its
 // reference exactly even though neighbouring stripes churn concurrently
 // (scans traverse foreign nodes on the way, so snips, towers being
-// built, and reclamation all interleave with validation).
+// built, and reclamation all interleave with validation). Mutations mix
+// set-style inserts with value overwrites so scans also cross nodes
+// being replaced (the overwrite retirement path).
 func rangeOwnedStripes(t *testing.T, f Factory, p core.Policy, cfg Config) {
 	d := newDomain(p, cfg.Threads)
-	s := f(d)
-	rs := s.(ds.RangeScanner)
+	m := f(d)
+	s := ds.AsSet(m)
+	rs := m.(ds.RangeScanner)
 	const stripe = 256
 	threads := make([]*core.Thread, cfg.Threads)
 	for i := range threads {
@@ -530,11 +869,15 @@ func rangeOwnedStripes(t *testing.T, f Factory, p core.Policy, cfg Config) {
 						errs <- fmt.Errorf("thread %d: Insert(%d) = %v, want %v", id, k, got, want)
 						return
 					}
-				case 3, 4, 5:
+				case 3, 4:
 					if got, want := s.Delete(th, k), ref.delete(k); got != want {
 						errs <- fmt.Errorf("thread %d: Delete(%d) = %v, want %v", id, k, got, want)
 						return
 					}
+				case 5:
+					// Overwrite: the key's presence must not change.
+					m.Put(th, k, uint64(n))
+					ref.insert(k)
 				default:
 					want := ref.sortedRange(lo, hi)
 					buf = rs.RangeCollect(th, lo, hi, buf)
@@ -571,11 +914,14 @@ func rangeOwnedStripes(t *testing.T, f Factory, p core.Policy, cfg Config) {
 // middle stripe. Keys are split mod 3: residue 0 is inserted up front
 // and never touched (every covering scan must report all of them),
 // residue 1 churns (a scanned key must at least be one the churners ever
-// insert), residue 2 is never inserted (must never appear).
+// insert), residue 2 is never inserted (must never appear). Half the
+// churn is overwrites, so scans constantly cross replaced nodes without
+// the key set changing.
 func rangeChurnInvariants(t *testing.T, f Factory, p core.Policy, cfg Config) {
 	d := newDomain(p, cfg.Threads+1)
-	s := f(d)
-	rs := s.(ds.RangeScanner)
+	m := f(d)
+	s := ds.AsSet(m)
+	rs := m.(ds.RangeScanner)
 	scanner := d.RegisterThread()
 	writers := make([]*core.Thread, cfg.Threads)
 	for i := range writers {
@@ -595,13 +941,18 @@ func rangeChurnInvariants(t *testing.T, f Factory, p core.Policy, cfg Config) {
 		go func(id int, th *core.Thread) {
 			defer wg.Done()
 			r := rng.New(uint64(id)*977 + uint64(p) + 5)
+			n := uint64(0)
 			for !stop.Load() {
 				k := r.Intn(cfg.KeyRange/3)*3 + 1 // residue-1 stripe only
-				if r.Intn(2) == 0 {
+				switch r.Intn(3) {
+				case 0:
 					s.Insert(th, k)
-				} else {
+				case 1:
 					s.Delete(th, k)
+				default:
+					m.Put(th, k, n) // overwrite (or insert): churns nodes, not keys
 				}
+				n++
 			}
 		}(i, writers[i])
 	}

@@ -11,11 +11,24 @@
 // sibling — so updates retire one or two nodes each, giving the SMR layer
 // a tree-shaped churn pattern with short reservations (3 slots:
 // grandparent, parent, leaf).
+//
+// # Overwrite strategy: atomic in-place store under the parent lock
+//
+// Values live in an atomic cell of the leaf; every value write first
+// locks the leaf's parent and validates that the parent is alive and
+// still points at the leaf — the same validation every structural
+// update performs, and the same lock Delete holds when it marks the
+// leaf dead. A leaf's value is therefore frozen from the moment it
+// dies, which keeps the optimistic read path (Get loads the value after
+// an unsynchronized descent) linearizable. Overwrites here retire
+// nothing; contrast hmlist/skiplist (replace-node-and-retire) and
+// abtree (copy-on-write leaf).
 package extbst
 
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 	"unsafe"
 
 	"pop/internal/arena"
@@ -23,10 +36,13 @@ import (
 )
 
 // node is either a router (isLeaf=false) or a leaf. Header first
-// (reclamation contract).
+// (reclamation contract). val is meaningful on leaves only; it is
+// written exclusively under the parent's lock with the leaf validated
+// live (see the package comment) and frozen once dead is set.
 type node struct {
 	core.Header
 	key    int64
+	val    atomic.Uint64
 	isLeaf bool
 	dead   core.Flag // set under lock when unlinked; validates optimism
 	mu     sync.Mutex
@@ -128,6 +144,14 @@ restart:
 
 // Contains reports whether key is present.
 func (tr *Tree) Contains(t *core.Thread, key int64) bool {
+	_, ok := tr.Get(t, key)
+	return ok
+}
+
+// Get returns the value mapped to key. The descent is unsynchronized;
+// the value load is safe because the leaf was reachable at protect time
+// and values are frozen once a leaf dies.
+func (tr *Tree) Get(t *core.Thread, key int64) (uint64, bool) {
 	t.StartOp()
 	defer t.EndOp()
 	for {
@@ -135,12 +159,35 @@ func (tr *Tree) Contains(t *core.Thread, key int64) bool {
 		if !ok {
 			continue
 		}
-		return ps.l.key == key
+		if ps.l.key != key {
+			return 0, false
+		}
+		return ps.l.val.Load(), true
 	}
 }
 
-// Insert adds key; false if already present.
+// Insert adds key with the zero value; false if already present.
 func (tr *Tree) Insert(t *core.Thread, key int64) bool {
+	return tr.PutIfAbsent(t, key, 0)
+}
+
+// PutIfAbsent maps key to val only if key is absent.
+func (tr *Tree) PutIfAbsent(t *core.Thread, key int64, val uint64) bool {
+	ok, _, _ := tr.put(t, key, val, false)
+	return ok
+}
+
+// Put maps key to val, overwriting; returns the previous value.
+func (tr *Tree) Put(t *core.Thread, key int64, val uint64) (uint64, bool) {
+	_, old, replaced := tr.put(t, key, val, true)
+	return old, replaced
+}
+
+// put is the shared insert/overwrite path. An overwrite stores into the
+// leaf's value cell under the parent's lock after validating the edge —
+// the validation that guarantees the leaf is live (a dead leaf always
+// has a dead parent or a swung edge; both are set under this lock).
+func (tr *Tree) put(t *core.Thread, key int64, val uint64, overwrite bool) (inserted bool, old uint64, replaced bool) {
 	checkKey(key)
 	t.StartOp()
 	defer t.EndOp()
@@ -152,11 +199,32 @@ func (tr *Tree) Insert(t *core.Thread, key int64) bool {
 			continue
 		}
 		if ps.l.key == key {
+			if !overwrite {
+				if newLeaf != nil {
+					cache.Put(newLeaf)
+					cache.Put(router)
+				}
+				return false, ps.l.val.Load(), true
+			}
+			if !t.EnterWritePhase() {
+				continue
+			}
+			cell := childCell(ps.p, key)
+			ps.p.mu.Lock()
+			if ps.p.dead.Load() || cell.Load() != unsafe.Pointer(ps.l) {
+				ps.p.mu.Unlock()
+				t.ExitWritePhase()
+				continue
+			}
+			old = ps.l.val.Load()
+			ps.l.val.Store(val)
+			ps.p.mu.Unlock()
+			t.ExitWritePhase()
 			if newLeaf != nil {
 				cache.Put(newLeaf)
 				cache.Put(router)
 			}
-			return false
+			return false, old, true
 		}
 		if newLeaf == nil {
 			newLeaf = cache.Get()
@@ -169,6 +237,7 @@ func (tr *Tree) Insert(t *core.Thread, key int64) bool {
 			router.dead.Store(false)
 			t.OnAlloc(&router.Header, tr.typ)
 		}
+		newLeaf.val.Store(val)
 		// Order the two leaves under the router: left < router.key ≤ right.
 		if key < ps.l.key {
 			router.key = ps.l.key
@@ -192,13 +261,13 @@ func (tr *Tree) Insert(t *core.Thread, key int64) bool {
 		cell.Store(unsafe.Pointer(router))
 		ps.p.mu.Unlock()
 		t.ExitWritePhase()
-		return true
+		return true, 0, false
 	}
 }
 
-// Delete removes key; false if absent. Unlinks the leaf and its parent
-// router, promoting the sibling subtree.
-func (tr *Tree) Delete(t *core.Thread, key int64) bool {
+// Delete removes key and returns the value it removed. Unlinks the leaf
+// and its parent router, promoting the sibling subtree.
+func (tr *Tree) Delete(t *core.Thread, key int64) (uint64, bool) {
 	checkKey(key)
 	t.StartOp()
 	defer t.EndOp()
@@ -208,7 +277,7 @@ func (tr *Tree) Delete(t *core.Thread, key int64) bool {
 			continue
 		}
 		if ps.l.key != key {
-			return false
+			return 0, false
 		}
 		if ps.p == tr.rootHolder {
 			// Only the sentinel leaf hangs directly off the root holder,
@@ -229,7 +298,10 @@ func (tr *Tree) Delete(t *core.Thread, key int64) bool {
 			t.ExitWritePhase()
 			continue
 		}
-		// Promote the sibling; the router and leaf leave the tree.
+		// Promote the sibling; the router and leaf leave the tree. The
+		// value is read under the locks that exclude overwriters, so it
+		// is exactly the value at the linearization point.
+		old := ps.l.val.Load()
 		var sibling unsafe.Pointer
 		if lCell == &ps.p.left {
 			sibling = ps.p.right.Load()
@@ -244,7 +316,7 @@ func (tr *Tree) Delete(t *core.Thread, key int64) bool {
 		t.Retire(&ps.p.Header)
 		t.Retire(&ps.l.Header)
 		t.ExitWritePhase()
-		return true
+		return old, true
 	}
 }
 

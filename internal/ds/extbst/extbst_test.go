@@ -11,7 +11,7 @@ import (
 )
 
 func TestConformance(t *testing.T) {
-	dstest.Run(t, func(d *core.Domain) ds.Set { return extbst.New(d) }, dstest.Config{
+	dstest.Run(t, func(d *core.Domain) ds.Map { return extbst.New(d) }, dstest.Config{
 		KeyRange: 1024,
 	})
 }
@@ -32,7 +32,7 @@ func TestQuickSequentialEquivalence(t *testing.T) {
 				}
 				ref[k] = true
 			case 1:
-				if tr.Delete(th, k) != ref[k] {
+				if _, ok := tr.Delete(th, k); ok != ref[k] {
 					return false
 				}
 				delete(ref, k)
@@ -81,7 +81,7 @@ func TestSortedDegenerateShape(t *testing.T) {
 		t.Fatalf("Size = %d, want %d", got, n)
 	}
 	for k := int64(n - 1); k >= 0; k-- {
-		if !tr.Delete(th, k) {
+		if _, ok := tr.Delete(th, k); !ok {
 			t.Fatalf("delete %d failed", k)
 		}
 	}

@@ -4,6 +4,10 @@
 // the data structure with the *least* traversal per operation — the
 // regime where per-read SMR overhead is proportionally largest and cache
 // behaviour dominates.
+//
+// The map contract (values, overwrite) is inherited from the buckets:
+// overwrites are replace-node-and-retire (see hmlist), so value churn on
+// a static key set still produces retirements in every bucket.
 package hashtable
 
 import (
@@ -11,7 +15,7 @@ import (
 	"pop/internal/ds/hmlist"
 )
 
-// Table is a fixed-bucket-count hash set of int64 keys.
+// Table is a fixed-bucket-count hash map of int64 keys to uint64 values.
 type Table struct {
 	shared  *hmlist.Shared
 	buckets []*hmlist.List
@@ -54,13 +58,28 @@ func (t *Table) bucket(key int64) *hmlist.List {
 	return t.buckets[x&t.mask]
 }
 
-// Insert adds key; false if already present.
+// Insert adds key with the zero value; false if already present.
 func (t *Table) Insert(th *core.Thread, key int64) bool {
 	return t.bucket(key).Insert(th, key)
 }
 
-// Delete removes key; false if absent.
-func (t *Table) Delete(th *core.Thread, key int64) bool {
+// PutIfAbsent maps key to val only if key is absent.
+func (t *Table) PutIfAbsent(th *core.Thread, key int64, val uint64) bool {
+	return t.bucket(key).PutIfAbsent(th, key, val)
+}
+
+// Put maps key to val, overwriting; returns the previous value.
+func (t *Table) Put(th *core.Thread, key int64, val uint64) (uint64, bool) {
+	return t.bucket(key).Put(th, key, val)
+}
+
+// Get returns the value mapped to key.
+func (t *Table) Get(th *core.Thread, key int64) (uint64, bool) {
+	return t.bucket(key).Get(th, key)
+}
+
+// Delete removes key and returns the value it removed.
+func (t *Table) Delete(th *core.Thread, key int64) (uint64, bool) {
 	return t.bucket(key).Delete(th, key)
 }
 

@@ -10,7 +10,7 @@ import (
 )
 
 func TestConformance(t *testing.T) {
-	dstest.Run(t, func(d *core.Domain) ds.Set {
+	dstest.Run(t, func(d *core.Domain) ds.Map {
 		return hashtable.New(d, 256, 6)
 	}, dstest.Config{KeyRange: 2048})
 }
@@ -30,7 +30,7 @@ func TestSingleBucketDegenerate(t *testing.T) {
 		t.Fatalf("Size = %d, want 200", got)
 	}
 	for k := int64(0); k < 200; k += 2 {
-		if !tab.Delete(th, k) {
+		if _, ok := tab.Delete(th, k); !ok {
 			t.Fatalf("delete %d failed", k)
 		}
 	}

@@ -1,5 +1,5 @@
-// Package hmlist implements the Harris-Michael lock-free linked-list set
-// (HML in the paper's plots; Michael [42], building on Harris [29]).
+// Package hmlist implements the Harris-Michael lock-free linked-list
+// map (HML in the paper's plots; Michael [42], building on Harris [29]).
 //
 // Nodes are sorted by key between two sentinels. Deletion is two-phase:
 // a CAS sets the mark bit in the victim's next field (logical delete),
@@ -8,6 +8,25 @@
 // every traversal a potential reclaimer interaction — the property that
 // makes this list the paper's most SMR-sensitive benchmark (per-read
 // protection cost is paid on every hop of every operation).
+//
+// # Overwrite strategy: replace-node-and-retire
+//
+// Node values are immutable once published. Storing a new value into a
+// live node looks tempting, but the node can be CAS-marked (logically
+// deleted) between the lookup and the store, and a concurrent Get could
+// then observe a value the map never held — the in-place path is not
+// linearizable on a lock-free list. Instead Put on a present key links
+// a fresh node carrying the new value directly behind the victim with
+// the very CAS that marks the victim:
+//
+//	victim.next: succ  ->  mark(new)     where new.next = succ
+//
+// A single CAS therefore (a) logically deletes the victim and (b) makes
+// the replacement the continuation of the chain, so traversals that snip
+// the marked victim land on a node with the same key and the new value —
+// the key is never absent. The victim retires through the ordinary
+// deletion path (unlink winner retires), which makes every overwrite a
+// retirement: value churn alone now exercises the reclamation layer.
 //
 // Reservation discipline (Michael's, adapted to the core API): three
 // rotating slots protect pred, curr and next; after protecting curr's
@@ -26,10 +45,13 @@ import (
 )
 
 // node is a list cell. Header must be first (reclamation contract).
-// The mark bit of next tags *this* node as logically deleted.
+// The mark bit of next tags *this* node as logically deleted. key and
+// val are immutable once the node is published (see the package comment
+// for why values are never stored in place).
 type node struct {
 	core.Header
 	key  int64
+	val  uint64
 	next core.Atomic
 }
 
@@ -70,7 +92,7 @@ func (s *Shared) cacheFor(t *core.Thread) *arena.ThreadCache[node] {
 	return c
 }
 
-// List is a Harris-Michael sorted-list set.
+// List is a Harris-Michael sorted-list map.
 type List struct {
 	s    *Shared
 	head *node
@@ -144,7 +166,9 @@ retry:
 			goto retry
 		}
 		if core.Marked(nraw) {
-			// curr is logically deleted: help unlink it.
+			// curr is logically deleted (or replaced): help unlink it. For
+			// a replaced node the masked successor is the same-key
+			// replacement, so the walk lands on the key's live node.
 			next := (*node)(core.Mask(nraw))
 			if !t.EnterWritePhase() {
 				return pos, false
@@ -174,8 +198,14 @@ retry:
 	}
 }
 
-// Contains reports whether key is in the set.
+// Contains reports whether key is in the map.
 func (l *List) Contains(t *core.Thread, key int64) bool {
+	_, ok := l.Get(t, key)
+	return ok
+}
+
+// Get returns the value mapped to key.
+func (l *List) Get(t *core.Thread, key int64) (uint64, bool) {
 	t.StartOp()
 	defer t.EndOp()
 	for {
@@ -183,12 +213,37 @@ func (l *List) Contains(t *core.Thread, key int64) bool {
 		if !ok {
 			continue // neutralized: restart
 		}
-		return pos.curr != l.tail && pos.curr.key == key
+		if pos.curr == l.tail || pos.curr.key != key {
+			return 0, false
+		}
+		// curr is protected and its value immutable: a plain read is the
+		// value the node was published with.
+		return pos.curr.val, true
 	}
 }
 
-// Insert adds key; false if already present.
+// Insert adds key with the zero value; false if already present.
 func (l *List) Insert(t *core.Thread, key int64) bool {
+	return l.PutIfAbsent(t, key, 0)
+}
+
+// PutIfAbsent maps key to val only if key is absent.
+func (l *List) PutIfAbsent(t *core.Thread, key int64, val uint64) bool {
+	ok, _, _ := l.put(t, key, val, false)
+	return ok
+}
+
+// Put maps key to val, overwriting; returns the previous value.
+func (l *List) Put(t *core.Thread, key int64, val uint64) (uint64, bool) {
+	_, old, replaced := l.put(t, key, val, true)
+	return old, replaced
+}
+
+// put is the shared insert/overwrite path. With overwrite=false it
+// reports whether it inserted; with overwrite=true it always installs
+// val and reports the value it replaced, using replace-node-and-retire
+// on a present key (see the package comment).
+func (l *List) put(t *core.Thread, key int64, val uint64, overwrite bool) (inserted bool, old uint64, replaced bool) {
 	checkKey(key)
 	t.StartOp()
 	defer t.EndOp()
@@ -200,15 +255,48 @@ func (l *List) Insert(t *core.Thread, key int64) bool {
 			continue
 		}
 		if pos.curr != l.tail && pos.curr.key == key {
-			if n != nil {
-				// Never published: return straight to the pool.
-				cache.Put(n)
+			if !overwrite {
+				if n != nil {
+					// Never published: return straight to the pool.
+					cache.Put(n)
+				}
+				return false, pos.curr.val, true
 			}
-			return false
+			// Overwrite: replace the victim. One CAS marks it and links
+			// the replacement behind it, so the key is never absent.
+			victim := pos.curr // protected in pos.sCurr
+			if n == nil {
+				n = cache.Get()
+				n.key = key
+				n.val = val
+				t.OnAlloc(&n.Header, l.s.typ)
+			}
+			n.next.Raw(unsafe.Pointer(pos.next))
+			// Snapshot the replaced value before the CAS: the victim is
+			// immutable, and once it is retired a neutralized thread (NBR)
+			// must not touch it again.
+			old = victim.val
+			if !t.EnterWritePhase() {
+				continue
+			}
+			if !victim.next.CompareAndSwap(unsafe.Pointer(pos.next), core.WithMark(unsafe.Pointer(n))) {
+				// Lost to a racing delete/overwrite: re-find. n stays
+				// private and is reused on the next attempt.
+				t.ExitWritePhase()
+				continue
+			}
+			// Linearized: n replaced victim. Physically unlink the victim;
+			// on failure some traversal will help (and retire it).
+			if pos.predCell.CompareAndSwap(unsafe.Pointer(victim), unsafe.Pointer(n)) {
+				t.Retire(&victim.Header)
+			}
+			t.ExitWritePhase()
+			return false, old, true
 		}
 		if n == nil {
 			n = cache.Get()
 			n.key = key
+			n.val = val
 			t.OnAlloc(&n.Header, l.s.typ)
 		}
 		n.next.Raw(unsafe.Pointer(pos.curr))
@@ -217,14 +305,14 @@ func (l *List) Insert(t *core.Thread, key int64) bool {
 		}
 		if pos.predCell.CompareAndSwap(unsafe.Pointer(pos.curr), unsafe.Pointer(n)) {
 			t.ExitWritePhase()
-			return true
+			return true, 0, false
 		}
 		t.ExitWritePhase()
 	}
 }
 
-// Delete removes key; false if absent.
-func (l *List) Delete(t *core.Thread, key int64) bool {
+// Delete removes key and returns the value it removed.
+func (l *List) Delete(t *core.Thread, key int64) (uint64, bool) {
 	checkKey(key)
 	t.StartOp()
 	defer t.EndOp()
@@ -234,8 +322,11 @@ func (l *List) Delete(t *core.Thread, key int64) bool {
 			continue
 		}
 		if pos.curr == l.tail || pos.curr.key != key {
-			return false
+			return 0, false
 		}
+		// Snapshot before the mark CAS: values are immutable, and after
+		// the retire a neutralized thread must not touch the node.
+		old := pos.curr.val
 		if !t.EnterWritePhase() {
 			continue
 		}
@@ -250,7 +341,7 @@ func (l *List) Delete(t *core.Thread, key int64) bool {
 			t.Retire(&pos.curr.Header)
 		}
 		t.ExitWritePhase()
-		return true
+		return old, true
 	}
 }
 

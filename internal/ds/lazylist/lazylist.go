@@ -1,19 +1,32 @@
 // Package lazylist implements the lazy list of Heller et al. [31]
-// (LL in the paper's plots): a sorted linked-list set with wait-free
+// (LL in the paper's plots): a sorted linked-list map with wait-free
 // unsynchronized traversals, per-node locks for updates, and a marked
 // flag for logical deletion.
 //
 // Where the Harris-Michael list helps unlink during traversal, the lazy
-// list's readers are pure: Contains walks the list with no writes at all,
-// validating only the final node. Updates lock pred and curr, validate
-// that both are unmarked and still adjacent, and then mutate. This gives
-// the paper a second list with a very different reader/writer balance:
-// traversal cost is dominated purely by the SMR read protocol.
+// list's readers are pure: Contains/Get walk the list with no writes at
+// all, validating only the final node. Updates lock pred and curr,
+// validate that both are unmarked and still adjacent, and then mutate.
+// This gives the paper a second list with a very different reader/writer
+// balance: traversal cost is dominated purely by the SMR read protocol.
+//
+// # Overwrite strategy: atomic in-place store under the node lock
+//
+// Values live in an atomic cell mutated only while holding the node's
+// lock with the node validated unmarked. Deletion marks the node under
+// that same lock, so an overwrite can never race a deletion of the same
+// node: a node's value is frozen from the moment it is marked. Readers
+// load the value optimistically after the unmarked check; the value they
+// see is either the current one or one that was current at some instant
+// between the check and the load, which is exactly the lazy list's usual
+// linearization argument extended to the value plane. Unlike the
+// lock-free structures, overwrites here retire nothing.
 package lazylist
 
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 	"unsafe"
 
 	"pop/internal/arena"
@@ -21,15 +34,18 @@ import (
 )
 
 // node is a list cell. Header must be first (reclamation contract).
+// val is written only under mu with marked validated false, and frozen
+// once marked is set.
 type node struct {
 	core.Header
 	key    int64
+	val    atomic.Uint64
 	marked core.Flag // logical deletion mark (distinct from link tags)
 	mu     sync.Mutex
 	next   core.Atomic
 }
 
-// List is a lazy-list set.
+// List is a lazy-list map.
 type List struct {
 	d     *core.Domain
 	typ   uint8
@@ -110,6 +126,14 @@ restart:
 // Contains is the lazy list's wait-free membership test: walk, then check
 // the final node's key and mark.
 func (l *List) Contains(t *core.Thread, key int64) bool {
+	_, ok := l.Get(t, key)
+	return ok
+}
+
+// Get returns the value mapped to key. The read is wait-free: the value
+// load happens after the unmarked check, and values are frozen once a
+// node is marked (see the package comment).
+func (l *List) Get(t *core.Thread, key int64) (uint64, bool) {
 	t.StartOp()
 	defer t.EndOp()
 	for {
@@ -117,7 +141,10 @@ func (l *List) Contains(t *core.Thread, key int64) bool {
 		if !ok {
 			continue
 		}
-		return curr.key == key && !curr.marked.Load()
+		if curr.key != key || curr.marked.Load() {
+			return 0, false
+		}
+		return curr.val.Load(), true
 	}
 }
 
@@ -130,8 +157,27 @@ func (l *List) validate(pred, curr *node) bool {
 
 func (l *List) nextOf(n *node) *node { return (*node)(n.next.Load()) }
 
-// Insert adds key; false if already present.
+// Insert adds key with the zero value; false if already present.
 func (l *List) Insert(t *core.Thread, key int64) bool {
+	return l.PutIfAbsent(t, key, 0)
+}
+
+// PutIfAbsent maps key to val only if key is absent.
+func (l *List) PutIfAbsent(t *core.Thread, key int64, val uint64) bool {
+	ok, _, _ := l.put(t, key, val, false)
+	return ok
+}
+
+// Put maps key to val, overwriting; returns the previous value.
+func (l *List) Put(t *core.Thread, key int64, val uint64) (uint64, bool) {
+	_, old, replaced := l.put(t, key, val, true)
+	return old, replaced
+}
+
+// put is the shared insert/overwrite path. Overwrites store in place
+// under curr's lock with curr validated unmarked — deletion takes the
+// same lock before marking, so the store cannot land in a dead node.
+func (l *List) put(t *core.Thread, key int64, val uint64, overwrite bool) (inserted bool, old uint64, replaced bool) {
 	checkKey(key)
 	t.StartOp()
 	defer t.EndOp()
@@ -143,10 +189,29 @@ func (l *List) Insert(t *core.Thread, key int64) bool {
 			continue
 		}
 		if curr.key == key && !curr.marked.Load() {
-			if n != nil {
-				cache.Put(n) // never published
+			if !overwrite {
+				if n != nil {
+					cache.Put(n) // never published
+				}
+				return false, curr.val.Load(), true
 			}
-			return false
+			if !t.EnterWritePhase() {
+				continue
+			}
+			curr.mu.Lock()
+			if curr.marked.Load() {
+				curr.mu.Unlock()
+				t.ExitWritePhase()
+				continue // deleted under us: re-search (may re-insert)
+			}
+			old = curr.val.Load()
+			curr.val.Store(val)
+			curr.mu.Unlock()
+			t.ExitWritePhase()
+			if n != nil {
+				cache.Put(n)
+			}
+			return false, old, true
 		}
 		// Write phase: reservations for pred/curr are already in slots.
 		if !t.EnterWritePhase() {
@@ -162,14 +227,19 @@ func (l *List) Insert(t *core.Thread, key int64) bool {
 		}
 		if curr.key == key {
 			// An unmarked duplicate appeared (or curr was the match all
-			// along and a racing delete lost).
+			// along and a racing delete lost). Both locks are held and
+			// curr validated live, so an overwrite can finish in place.
+			old = curr.val.Load()
+			if overwrite {
+				curr.val.Store(val)
+			}
 			curr.mu.Unlock()
 			pred.mu.Unlock()
 			t.ExitWritePhase()
 			if n != nil {
 				cache.Put(n)
 			}
-			return false
+			return false, old, true
 		}
 		if n == nil {
 			n = cache.Get()
@@ -177,17 +247,18 @@ func (l *List) Insert(t *core.Thread, key int64) bool {
 			n.marked.Store(false)
 			t.OnAlloc(&n.Header, l.typ)
 		}
+		n.val.Store(val)
 		n.next.Raw(unsafe.Pointer(curr))
 		pred.next.Store(unsafe.Pointer(n))
 		curr.mu.Unlock()
 		pred.mu.Unlock()
 		t.ExitWritePhase()
-		return true
+		return true, 0, false
 	}
 }
 
-// Delete removes key; false if absent.
-func (l *List) Delete(t *core.Thread, key int64) bool {
+// Delete removes key and returns the value it removed.
+func (l *List) Delete(t *core.Thread, key int64) (uint64, bool) {
 	checkKey(key)
 	t.StartOp()
 	defer t.EndOp()
@@ -197,7 +268,7 @@ func (l *List) Delete(t *core.Thread, key int64) bool {
 			continue
 		}
 		if curr.key != key || curr.marked.Load() {
-			return false
+			return 0, false
 		}
 		if !t.EnterWritePhase() {
 			continue
@@ -210,13 +281,14 @@ func (l *List) Delete(t *core.Thread, key int64) bool {
 			t.ExitWritePhase()
 			continue
 		}
+		old := curr.val.Load()           // value at the linearization point
 		curr.marked.Store(true)          // logical delete (linearization point)
 		pred.next.Store(l.rawNext(curr)) // physical unlink
 		curr.mu.Unlock()
 		pred.mu.Unlock()
 		t.Retire(&curr.Header)
 		t.ExitWritePhase()
-		return true
+		return old, true
 	}
 }
 

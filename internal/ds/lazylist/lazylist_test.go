@@ -11,7 +11,7 @@ import (
 )
 
 func TestConformance(t *testing.T) {
-	dstest.Run(t, func(d *core.Domain) ds.Set { return lazylist.New(d) }, dstest.Config{
+	dstest.Run(t, func(d *core.Domain) ds.Map { return lazylist.New(d) }, dstest.Config{
 		KeyRange: 256,
 	})
 }
@@ -33,7 +33,7 @@ func TestQuickSequentialEquivalence(t *testing.T) {
 				}
 				ref[k] = true
 			case 1:
-				if l.Delete(th, k) != ref[k] {
+				if _, ok := l.Delete(th, k); ok != ref[k] {
 					return false
 				}
 				delete(ref, k)

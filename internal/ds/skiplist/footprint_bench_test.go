@@ -1,0 +1,94 @@
+package skiplist
+
+import (
+	"testing"
+	"unsafe"
+
+	"pop/internal/core"
+)
+
+// BenchmarkTowerFootprint measures link-cell memory per key with the
+// variable-height tower layout and reports it against the fixed-tower
+// baseline this layout replaced (every node carrying a full
+// MaxHeight-cell array, the ROADMAP item). The benchmark inserts N
+// distinct keys and derives bytes/key from the arena pools' slab
+// counts, so it reflects what the allocator actually reserved —
+// including pooled extTowers for the ~6.25% of towers taller than
+// inlineLevels.
+//
+// Reported metrics:
+//
+//	node-B/key   bytes of node slab per key (includes the inline tower)
+//	ext-B/key    bytes of extension slab per key
+//	fixed-B/key  what the same key count cost with fixed 20-level towers
+func BenchmarkTowerFootprint(b *testing.B) {
+	const keys = 200_000
+	nodeSize := int64(unsafe.Sizeof(node{}))
+	extSize := int64(unsafe.Sizeof(extTower{}))
+	// The pre-refactor node: the current layout minus the ext pointer
+	// and inline array, plus a full MaxHeight tower.
+	fixedNodeSize := nodeSize - int64(unsafe.Sizeof([inlineLevels]core.Atomic{})) -
+		int64(unsafe.Sizeof((*extTower)(nil))) + int64(unsafe.Sizeof([MaxHeight]core.Atomic{}))
+
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := core.NewDomain(core.EBR, 1, nil)
+		l := New(d)
+		th := d.RegisterThread()
+		for k := int64(0); k < keys; k++ {
+			l.PutIfAbsent(th, k, uint64(k))
+		}
+		nodes := l.pool.Outstanding()
+		exts := l.extPool.Outstanding()
+		if nodes != keys {
+			b.Fatalf("outstanding nodes = %d, want %d", nodes, keys)
+		}
+		b.ReportMetric(float64(nodes*nodeSize)/keys, "node-B/key")
+		b.ReportMetric(float64(exts*extSize)/keys, "ext-B/key")
+		b.ReportMetric(float64(nodes*fixedNodeSize)/keys, "fixed-B/key")
+	}
+}
+
+// TestExtTowerAccounting pins the variable-height invariant: only
+// towers taller than inlineLevels hold an extension, and extensions are
+// recycled when their nodes are reclaimed.
+func TestExtTowerAccounting(t *testing.T) {
+	d := core.NewDomain(core.EBR, 1, &core.Options{ReclaimThreshold: 64})
+	l := New(d)
+	th := d.RegisterThread()
+	const keys = 20_000
+	for k := int64(0); k < keys; k++ {
+		l.PutIfAbsent(th, k, 0)
+	}
+	tall := int64(0)
+	for c := (*node)(core.Mask(l.head.link(0).Load())); c != l.tail; c = (*node)(core.Mask(c.link(0).Load())) {
+		if c.height > inlineLevels {
+			if c.ext == nil {
+				t.Fatalf("height-%d node without extension", c.height)
+			}
+			tall++
+		} else if c.ext != nil {
+			t.Fatalf("height-%d node holds an extension", c.height)
+		}
+	}
+	exts := l.extPool.Outstanding()
+	if exts != tall {
+		t.Fatalf("ext pool outstanding = %d, want %d (tall towers)", exts, tall)
+	}
+	// Geometric(1/2) heights: P(h > 4) = 1/16. Allow generous slack.
+	if lo, hi := keys/32, keys/8; tall < int64(lo) || tall > int64(hi) {
+		t.Fatalf("tall towers = %d of %d, outside sane geometric bounds [%d, %d]", tall, keys, lo, hi)
+	}
+	// Deleting everything must return every extension to its pool once
+	// reclamation has run.
+	for k := int64(0); k < keys; k++ {
+		l.Delete(th, k)
+	}
+	th.Flush()
+	if got := l.extPool.Outstanding(); got != 0 {
+		t.Fatalf("ext pool outstanding = %d after full delete+flush, want 0", got)
+	}
+	if got := l.pool.Outstanding(); got != 0 {
+		t.Fatalf("node pool outstanding = %d after full delete+flush, want 0", got)
+	}
+}

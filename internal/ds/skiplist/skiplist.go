@@ -1,13 +1,26 @@
-// Package skiplist implements a lock-free skiplist set (SKL in the
+// Package skiplist implements a lock-free skiplist map (SKL in the
 // harness) in the Fraser/Herlihy style: a sorted multi-level linked
 // list in which each node carries a tower of forward links, each level
 // is a Harris-Michael list in its own right (logical deletion by CAS
 // marking the level's next pointer, physical unlink by a second CAS),
-// and membership is defined by the bottom level alone. It is the
-// repository's only structure with ordered range scans, which makes it
+// and membership is defined by the bottom level alone. It is one of the
+// repository's two structures with ordered range scans, which makes it
 // the SMR-heaviest workload available: a scan is one long operation
 // that protects every hop, exactly the traversal pressure the paper's
 // §5.1.2 long-running-reads experiment puts on reservation publication.
+//
+// # Variable-height towers
+//
+// Tower heights are geometric(1/2), so 93.75% of nodes are at most
+// inlineLevels (4) tall. Each node inlines only those four link cells;
+// taller towers attach a pooled extension (extTower) holding the
+// remaining MaxHeight-4 levels. The extension comes from its own
+// type-stable arena pool, is attached before the node is published and
+// detached only when the node is freed (after its grace period), so a
+// protected node's links are always dereferenceable. Expected tower
+// footprint drops from MaxHeight (20) cells per node to 4 + 16/16 = 5,
+// a ~4x cut in link memory — see BenchmarkTowerFootprint for the
+// measured bytes/key.
 //
 // # Reservation discipline
 //
@@ -18,17 +31,37 @@
 // and resume from the last emitted key when a hop fails validation, so
 // results stay sorted and duplicate-free without restarting the scan.
 //
+// # Overwrite strategy: replace-node-and-retire
+//
+// Node values are immutable once published: storing into a live node is
+// not linearizable on a lock-free list (the node can be CAS-marked
+// between lookup and store, letting a Get observe a value the map never
+// held). Put on a present key instead builds a fresh node with the new
+// value and links it directly *behind* the victim at level 0 with the
+// very CAS that marks the victim:
+//
+//	victim.level0: succ  ->  mark(new)     where new.level0 = succ
+//
+// One CAS both logically deletes the victim and makes the same-key
+// replacement the continuation of the chain, so the key is never
+// absent; traversals that snip the marked victim land on the new node.
+// The victim's upper levels are marked top-down beforehand (exactly as
+// in Delete) and the victim retires through the ordinary mark-winner
+// purge/handoff path below, so every overwrite is a retirement — a new
+// tower is allocated and an old one reclaimed even when the key set is
+// static.
+//
 // # Retire protocol (why towers don't break reclamation)
 //
 // A skiplist node is reachable from many levels, so "unlinked at level
 // 0" does not mean unreachable — the retire contract every policy in
 // core depends on. Two rules make retirement exact:
 //
-//  1. Only the thread whose CAS marks level 0 (the deletion's
-//     linearization point) may retire the node, and only after a full
-//     by-pointer purge descent has confirmed the node is unlinked from
-//     every level. Helper traversals snip marked levels but never
-//     retire.
+//  1. Only the thread whose CAS marks level 0 (the deletion's or
+//     replacement's linearization point) may retire the node, and only
+//     after a full by-pointer purge descent has confirmed the node is
+//     unlinked from every level. Helper traversals snip marked levels
+//     but never retire.
 //  2. The inserting thread announces tower construction in the node's
 //     state word (LINKING). A deleter that finds LINKING still set
 //     hands the retire off (RETIREREQ); whichever of the two clears its
@@ -60,6 +93,18 @@ import (
 // per two towers per level covers every structure size the harness runs.
 const MaxHeight = 20
 
+// inlineLevels is the number of link cells stored inside the node
+// itself. Geometric(1/2) heights make towers taller than this a 1/16
+// event; those attach a pooled extTower for the remaining levels.
+const inlineLevels = 4
+
+// extTower is the pooled link extension for towers taller than
+// inlineLevels. It is attached before the node is published and
+// detached only on free, so it shares the node's lifetime exactly.
+type extTower struct {
+	cells [MaxHeight - inlineLevels]core.Atomic
+}
+
 // state-word bits (node.state).
 const (
 	// stateLinking is set by the inserter before the node is published
@@ -74,49 +119,71 @@ const (
 )
 
 // node is a skiplist cell. Header must be first (reclamation contract).
-// The mark bit of next[lvl] tags *this* node as logically deleted at
-// that level; level 0's mark is the deletion's linearization point.
+// The mark bit of link(lvl) tags *this* node as logically deleted at
+// that level; level 0's mark is the deletion's (or replacement's)
+// linearization point. key and val are immutable once published.
 type node struct {
 	core.Header
 	key    int64
+	val    uint64
 	height int32         // tower height, 1..MaxHeight; immutable once published
 	state  atomic.Uint32 // LINKING/RETIREREQ retire-handoff word
-	next   [MaxHeight]core.Atomic
+	ext    *extTower     // levels inlineLevels..height-1; nil for short towers
+	low    [inlineLevels]core.Atomic
 }
 
-// threadLocal is a thread's allocation cache plus its private
+// link returns the node's forward cell for level lvl. Callers only ever
+// name levels below the node's height, so ext is non-nil whenever the
+// branch takes it.
+func (n *node) link(lvl int) *core.Atomic {
+	if lvl < inlineLevels {
+		return &n.low[lvl]
+	}
+	return &n.ext.cells[lvl-inlineLevels]
+}
+
+// threadLocal is a thread's allocation caches plus its private
 // height-distribution generator.
 type threadLocal struct {
 	cache *arena.ThreadCache[node]
+	extc  *arena.ThreadCache[extTower]
 	hrng  *rng.State
 }
 
-// List is a lock-free skiplist set of int64 keys.
+// List is a lock-free skiplist map of int64 keys to uint64 values.
 type List struct {
-	d      *core.Domain
-	typ    uint8
-	pool   *arena.Pool[node]
-	locals []*threadLocal // indexed by thread id, owner-only
-	head   *node          // full-height sentinel, key = MinInt64
-	tail   *node          // key = MaxInt64; terminates every level
+	d       *core.Domain
+	typ     uint8
+	pool    *arena.Pool[node]
+	extPool *arena.Pool[extTower]
+	locals  []*threadLocal // indexed by thread id, owner-only
+	head    *node          // full-height sentinel, key = MinInt64
+	tail    *node          // key = MaxInt64; terminates every level
 }
 
 // New creates an empty skiplist in domain d.
 func New(d *core.Domain) *List {
 	l := &List{
-		d:      d,
-		pool:   arena.NewPool[node](nil, nil),
-		locals: make([]*threadLocal, d.MaxThreads()),
+		d:       d,
+		pool:    arena.NewPool[node](nil, nil),
+		extPool: arena.NewPool[extTower](nil, nil),
+		locals:  make([]*threadLocal, d.MaxThreads()),
 	}
 	l.typ = d.RegisterType(func(t *core.Thread, h *core.Header) {
-		l.localFor(t).cache.Put((*node)(unsafe.Pointer(h)))
+		n := (*node)(unsafe.Pointer(h))
+		tl := l.localFor(t)
+		if n.ext != nil {
+			tl.extc.Put(n.ext)
+			n.ext = nil
+		}
+		tl.cache.Put(n)
 	})
 	// Sentinels come from the Go heap (never retired; Outstanding counts
-	// only real keys).
-	l.head = &node{key: math.MinInt64, height: MaxHeight}
-	l.tail = &node{key: math.MaxInt64, height: MaxHeight}
+	// only real keys). Their extensions do too.
+	l.head = &node{key: math.MinInt64, height: MaxHeight, ext: &extTower{}}
+	l.tail = &node{key: math.MaxInt64, height: MaxHeight, ext: &extTower{}}
 	for i := 0; i < MaxHeight; i++ {
-		l.head.next[i].Raw(unsafe.Pointer(l.tail))
+		l.head.link(i).Raw(unsafe.Pointer(l.tail))
 	}
 	return l
 }
@@ -131,6 +198,7 @@ func (l *List) localFor(t *core.Thread) *threadLocal {
 	if tl == nil {
 		tl = &threadLocal{
 			cache: l.pool.NewCache(),
+			extc:  l.extPool.NewCache(),
 			hrng:  rng.New(0x5ee9_11f7<<16 ^ uint64(t.ID())*0x9e3779b97f4a7c15),
 		}
 		l.locals[t.ID()] = tl
@@ -145,6 +213,30 @@ func randomHeight(r *rng.State) int32 {
 		h++
 	}
 	return h
+}
+
+// newNode allocates and initialises an unpublished node: links point at
+// the tail, the extension matches the sampled height (attached for tall
+// towers, returned to its pool when a recycled node no longer needs one).
+func (l *List) newNode(t *core.Thread, tl *threadLocal, key int64, val uint64) *node {
+	n := tl.cache.Get()
+	n.key = key
+	n.val = val
+	n.height = randomHeight(tl.hrng)
+	n.state.Store(stateLinking)
+	if n.height > inlineLevels {
+		if n.ext == nil {
+			n.ext = tl.extc.Get()
+		}
+	} else if n.ext != nil {
+		tl.extc.Put(n.ext)
+		n.ext = nil
+	}
+	for i := 0; i < int(n.height); i++ {
+		n.link(i).Raw(unsafe.Pointer(l.tail))
+	}
+	t.OnAlloc(&n.Header, l.typ)
+	return n
 }
 
 // Reservation slots: three rotating traversal slots plus a fixed anchor
@@ -185,7 +277,7 @@ func (l *List) descend(t *core.Thread, key int64, lo int, target *node) (positio
 retry:
 	pos := position{pred: l.head, sPred: slotPred, sCurr: slotCurr, sNext: slotNext}
 	for lvl := MaxHeight - 1; ; lvl-- {
-		pos.predCell = &pos.pred.next[lvl]
+		pos.predCell = pos.pred.link(lvl)
 		craw, ok := t.Protect(pos.sCurr, pos.predCell)
 		if !ok {
 			return pos, false
@@ -201,7 +293,7 @@ retry:
 				pos.next = nil
 				break
 			}
-			nraw, ok := t.Protect(pos.sNext, &pos.curr.next[lvl])
+			nraw, ok := t.Protect(pos.sNext, pos.curr.link(lvl))
 			if !ok {
 				return pos, false
 			}
@@ -211,9 +303,12 @@ retry:
 				goto retry
 			}
 			if core.Marked(nraw) {
-				// curr is logically deleted at lvl: snip it. Retirement
-				// is the mark winner's job (see package comment), so a
-				// successful snip just drops the node from this level.
+				// curr is logically deleted at lvl: snip it. (For a
+				// replaced node at level 0 the masked successor is the
+				// same-key replacement, so the walk lands on the key's
+				// live node.) Retirement is the mark winner's job (see
+				// package comment), so a successful snip just drops the
+				// node from this level.
 				succ := core.Mask(nraw)
 				if !t.EnterWritePhase() {
 					return pos, false
@@ -233,7 +328,7 @@ retry:
 			}
 			// Advance along the level.
 			pos.pred = pos.curr
-			pos.predCell = &pos.curr.next[lvl]
+			pos.predCell = pos.curr.link(lvl)
 			pos.curr = (*node)(nraw)
 			pos.sPred, pos.sCurr, pos.sNext = pos.sCurr, pos.sNext, pos.sPred
 		}
@@ -245,8 +340,16 @@ retry:
 	}
 }
 
-// Contains reports whether key is in the set.
+// Contains reports whether key is in the map.
 func (l *List) Contains(t *core.Thread, key int64) bool {
+	_, ok := l.Get(t, key)
+	return ok
+}
+
+// Get returns the value mapped to key. Values are immutable per node,
+// so a plain read of the protected node is the value it was published
+// with.
+func (l *List) Get(t *core.Thread, key int64) (uint64, bool) {
 	checkKey(key)
 	t.StartOp()
 	defer t.EndOp()
@@ -255,12 +358,36 @@ func (l *List) Contains(t *core.Thread, key int64) bool {
 		if !ok {
 			continue // neutralized: restart
 		}
-		return pos.curr != l.tail && pos.curr.key == key
+		if pos.curr == l.tail || pos.curr.key != key {
+			return 0, false
+		}
+		return pos.curr.val, true
 	}
 }
 
-// Insert adds key; false if already present.
+// Insert adds key with the zero value; false if already present.
 func (l *List) Insert(t *core.Thread, key int64) bool {
+	return l.PutIfAbsent(t, key, 0)
+}
+
+// PutIfAbsent maps key to val only if key is absent.
+func (l *List) PutIfAbsent(t *core.Thread, key int64, val uint64) bool {
+	ok, _, _ := l.put(t, key, val, false)
+	return ok
+}
+
+// Put maps key to val, overwriting; returns the previous value.
+func (l *List) Put(t *core.Thread, key int64, val uint64) (uint64, bool) {
+	_, old, replaced := l.put(t, key, val, true)
+	return old, replaced
+}
+
+// put is the shared insert/overwrite path. A present key under
+// overwrite is replaced by a fresh node linked behind it with the CAS
+// that marks it (see the package comment); the victim then retires
+// through the same purge/handoff path a deletion uses, and the
+// replacement builds its own tower exactly like an insert.
+func (l *List) put(t *core.Thread, key int64, val uint64, overwrite bool) (inserted bool, old uint64, replaced bool) {
 	checkKey(key)
 	t.StartOp()
 	defer t.EndOp()
@@ -273,20 +400,48 @@ func (l *List) Insert(t *core.Thread, key int64) bool {
 			continue // neutralized: n (if any) is still private, retry
 		}
 		if pos.curr != l.tail && pos.curr.key == key {
-			if n != nil {
-				tl.cache.Put(n) // never published: straight back to the pool
+			victim := pos.curr // protected in pos.sCurr
+			// Snapshot the value now: no poll point has intervened since
+			// the descent, and the victim may retire below.
+			vold := victim.val
+			if !overwrite {
+				if n != nil {
+					tl.cache.Put(n) // never published: straight back to the pool
+				}
+				return false, vold, true
 			}
-			return false
+			if n == nil {
+				n = l.newNode(t, tl, key, val)
+				anchor.Raw(unsafe.Pointer(n))
+			}
+			// Anchor n before publication, exactly as in the insert path.
+			if _, ok := t.Protect(slotAnchor, &anchor); !ok {
+				continue
+			}
+			// Mark the victim's upper levels top-down (idempotent, shared
+			// with concurrent deleters; the level-0 CAS below decides who
+			// linearizes).
+			if !l.markUpper(t, victim) {
+				continue // neutralized: restart
+			}
+			won, ok := l.replaceAt0(t, victim, n)
+			if !ok {
+				continue // neutralized
+			}
+			if !won {
+				continue // a deleter or another replacer linearized first: re-find
+			}
+			// Linearized: n replaced victim atomically. The victim is ours
+			// to purge and retire (we won its level-0 mark).
+			l.purge(t, victim, key)
+			if st := victim.state.Or(stateRetireReq); st&stateLinking == 0 {
+				t.Retire(&victim.Header)
+			}
+			old, replaced = vold, true
+			break // build n's tower
 		}
 		if n == nil {
-			n = tl.cache.Get()
-			n.key = key
-			n.height = randomHeight(tl.hrng)
-			n.state.Store(stateLinking)
-			for i := int32(0); i < n.height; i++ {
-				n.next[i].Raw(unsafe.Pointer(l.tail))
-			}
-			t.OnAlloc(&n.Header, l.typ)
+			n = l.newNode(t, tl, key, val)
 			anchor.Raw(unsafe.Pointer(n))
 		}
 		// Anchor n before publication: the reservation is taken while the
@@ -296,17 +451,18 @@ func (l *List) Insert(t *core.Thread, key int64) bool {
 		if _, ok := t.Protect(slotAnchor, &anchor); !ok {
 			continue
 		}
-		n.next[0].Raw(unsafe.Pointer(pos.curr))
+		n.link(0).Raw(unsafe.Pointer(pos.curr))
 		if !t.EnterWritePhase() {
 			continue
 		}
 		if pos.predCell.CompareAndSwap(unsafe.Pointer(pos.curr), unsafe.Pointer(n)) {
 			t.ExitWritePhase()
-			break // linearized: n is in the set
+			inserted = true
+			break // linearized: n is in the map
 		}
 		t.ExitWritePhase()
 	}
-	// Build the tower. Failures here never affect the insert's outcome.
+	// Build the tower. Failures here never affect the put's outcome.
 	for lvl := 1; lvl < int(n.height); lvl++ {
 		if !l.linkLevel(t, n, key, lvl) {
 			break
@@ -314,16 +470,63 @@ func (l *List) Insert(t *core.Thread, key int64) bool {
 	}
 	// Release LINKING; if a deleter finished while we were linking, the
 	// retire was handed to us.
-	if old := n.state.And(^stateLinking); old&stateRetireReq != 0 {
+	if st := n.state.And(^stateLinking); st&stateRetireReq != 0 {
 		l.purge(t, n, key)
 		t.Retire(&n.Header)
+	}
+	return inserted, old, replaced
+}
+
+// markUpper marks victim's levels [1, height) top-down, the shared
+// first phase of deletion and replacement. false: neutralized.
+func (l *List) markUpper(t *core.Thread, victim *node) bool {
+	for lvl := int(victim.height) - 1; lvl >= 1; lvl-- {
+		for {
+			raw := victim.link(lvl).Load()
+			if core.Marked(raw) {
+				break
+			}
+			if !t.EnterWritePhase() {
+				return false
+			}
+			done := victim.link(lvl).CompareAndSwap(raw, core.WithMark(raw))
+			t.ExitWritePhase()
+			if done {
+				break
+			}
+		}
 	}
 	return true
 }
 
+// replaceAt0 attempts the replacement's linearization: one CAS that
+// marks victim at level 0 *and* links n (same key, new value) as the
+// masked continuation, so the key is never absent. won=false means a
+// deleter or another replacer marked level 0 first; ok=false means
+// neutralized.
+func (l *List) replaceAt0(t *core.Thread, victim, n *node) (won, ok bool) {
+	for {
+		raw := victim.link(0).Load()
+		if core.Marked(raw) {
+			return false, true
+		}
+		n.link(0).Raw(raw) // n continues to victim's successor
+		if !t.EnterWritePhase() {
+			return false, false
+		}
+		done := victim.link(0).CompareAndSwap(raw, core.WithMark(unsafe.Pointer(n)))
+		t.ExitWritePhase()
+		if done {
+			return true, true
+		}
+		// Successor changed under us (an insert landed right behind the
+		// victim): reload and retry the CAS.
+	}
+}
+
 // linkLevel links n into level lvl. false means the tower is abandoned:
 // the node was deleted, another node owns the key, or the thread was
-// neutralized (NBR) — in every case the set's contents are unaffected.
+// neutralized (NBR) — in every case the map's contents are unaffected.
 func (l *List) linkLevel(t *core.Thread, n *node, key int64, lvl int) bool {
 	for {
 		pos, ok := l.descend(t, key, lvl, nil)
@@ -341,7 +544,7 @@ func (l *List) linkLevel(t *core.Thread, n *node, key int64, lvl int) bool {
 		// Point n's level-lvl link at the successor, but only while the
 		// level is unmarked (a mark here means a deleter beat us).
 		for {
-			raw := n.next[lvl].Load()
+			raw := n.link(lvl).Load()
 			if core.Marked(raw) {
 				return false
 			}
@@ -351,7 +554,7 @@ func (l *List) linkLevel(t *core.Thread, n *node, key int64, lvl int) bool {
 			if !t.EnterWritePhase() {
 				return false
 			}
-			done := n.next[lvl].CompareAndSwap(raw, unsafe.Pointer(pos.curr))
+			done := n.link(lvl).CompareAndSwap(raw, unsafe.Pointer(pos.curr))
 			t.ExitWritePhase()
 			if done {
 				break
@@ -367,7 +570,7 @@ func (l *List) linkLevel(t *core.Thread, n *node, key int64, lvl int) bool {
 		// Linked. If a deleter marked this level between the two CASes we
 		// just re-linked a logically dead node: undo before the state
 		// protocol can let anyone retire it.
-		if raw := n.next[lvl].Load(); core.Marked(raw) {
+		if raw := n.link(lvl).Load(); core.Marked(raw) {
 			pos.predCell.CompareAndSwap(unsafe.Pointer(n), core.Mask(raw))
 			t.ExitWritePhase()
 			l.ensureUnlinked(t, n, key, lvl)
@@ -401,8 +604,8 @@ func (l *List) purge(t *core.Thread, n *node, key int64) {
 	}
 }
 
-// Delete removes key; false if absent.
-func (l *List) Delete(t *core.Thread, key int64) bool {
+// Delete removes key and returns the value it removed.
+func (l *List) Delete(t *core.Thread, key int64) (uint64, bool) {
 	checkKey(key)
 	t.StartOp()
 	defer t.EndOp()
@@ -413,38 +616,33 @@ restart:
 			continue
 		}
 		if pos.curr == l.tail || pos.curr.key != key {
-			return false
+			return 0, false
 		}
 		victim := pos.curr // protected in pos.sCurr
+		// Snapshot the value before any poll point: once the retire
+		// handoff resolves the node may be reclaimed.
+		old := victim.val
 		// Mark the upper levels top-down (idempotent; concurrent deleters
-		// may interleave here, the level-0 mark below decides the winner).
-		for lvl := int(victim.height) - 1; lvl >= 1; lvl-- {
-			for {
-				raw := victim.next[lvl].Load()
-				if core.Marked(raw) {
-					break
-				}
-				if !t.EnterWritePhase() {
-					goto restart
-				}
-				done := victim.next[lvl].CompareAndSwap(raw, core.WithMark(raw))
-				t.ExitWritePhase()
-				if done {
-					break
-				}
-			}
+		// and replacers may interleave here, the level-0 mark below
+		// decides the winner).
+		if !l.markUpper(t, victim) {
+			goto restart
 		}
 		// Level 0: the winning CAS is the linearization point and carries
 		// the retire right.
 		for {
-			raw := victim.next[0].Load()
+			raw := victim.link(0).Load()
 			if core.Marked(raw) {
-				return false // another deleter linearized first
+				// Another deleter or a replacer linearized first. Either
+				// way this operation did not remove the key: re-find (a
+				// replacement or reincarnation is deletable; a completed
+				// delete returns absent).
+				goto restart
 			}
 			if !t.EnterWritePhase() {
 				goto restart
 			}
-			won := victim.next[0].CompareAndSwap(raw, core.WithMark(raw))
+			won := victim.link(0).CompareAndSwap(raw, core.WithMark(raw))
 			t.ExitWritePhase()
 			if !won {
 				continue
@@ -453,10 +651,10 @@ restart:
 			// slots are reused: it is not retired until the handoff below
 			// resolves, and only the handoff's winner retires it.
 			l.purge(t, victim, key)
-			if old := victim.state.Or(stateRetireReq); old&stateLinking == 0 {
+			if st := victim.state.Or(stateRetireReq); st&stateLinking == 0 {
 				t.Retire(&victim.Header)
 			}
-			return true
+			return old, true
 		}
 	}
 }
@@ -511,7 +709,7 @@ func (l *List) scanRange(t *core.Thread, lo, hi int64, emit func(int64)) {
 			// Protect below means we were neutralized and curr may be
 			// reclaimed before the !ok branch runs.
 			k := curr.key
-			nraw, ok := t.Protect(sNext, &curr.next[0])
+			nraw, ok := t.Protect(sNext, curr.link(0))
 			if !ok {
 				from = k
 				break // neutralized: re-descend
@@ -521,14 +719,16 @@ func (l *List) scanRange(t *core.Thread, lo, hi int64, emit func(int64)) {
 				break // chain changed behind us: re-descend
 			}
 			if core.Marked(nraw) {
-				// curr was deleted under the scan: skip it, and restart
-				// past it (a marked node's links may already be stale).
-				from = k + 1
+				// curr was deleted or replaced under the scan: restart at
+				// its key (a marked node's links may already be stale; the
+				// re-descent finds the replacement if there is one, whose
+				// key has not been emitted yet).
+				from = k
 				break
 			}
 			emit(k)
 			from = k + 1
-			predCell = &curr.next[0]
+			predCell = curr.link(0)
 			curr = (*node)(nraw)
 			sPred, sCurr, sNext = sCurr, sNext, sPred
 		}
@@ -538,8 +738,8 @@ func (l *List) scanRange(t *core.Thread, lo, hi int64, emit func(int64)) {
 // Size counts unmarked bottom-level nodes. Quiescent use only.
 func (l *List) Size(t *core.Thread) int {
 	n := 0
-	for c := (*node)(core.Mask(l.head.next[0].Load())); c != l.tail; {
-		raw := c.next[0].Load()
+	for c := (*node)(core.Mask(l.head.link(0).Load())); c != l.tail; {
+		raw := c.link(0).Load()
 		if !core.Marked(raw) {
 			n++
 		}

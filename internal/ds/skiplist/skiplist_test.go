@@ -10,7 +10,7 @@ import (
 )
 
 func TestConformance(t *testing.T) {
-	dstest.Run(t, func(d *core.Domain) ds.Set { return skiplist.New(d) }, dstest.Config{})
+	dstest.Run(t, func(d *core.Domain) ds.Map { return skiplist.New(d) }, dstest.Config{})
 }
 
 // TestRangeEdges exercises degenerate bounds. (Randomized range

@@ -1,11 +1,13 @@
 // Package figures encodes every experiment in the paper's evaluation —
 // Figures 1-11 plus the §2.1.2 read-cost analysis, the robustness
 // scenario, and ablations over the design parameters DESIGN.md calls out
-// — and this repository's extension experiments: the skiplist sweeps and
+// — and this repository's extension experiments: the skiplist sweeps,
 // the scan-heavy range-query workloads on both ordered structures
 // (skl-scan, abt-scan), whose series include per-scan latency quantiles
 // (p50/p99 from the harness's HDR histogram) alongside throughput and
-// memory.
+// memory, and the KV-serving sweeps (skl-kv, hmht-kv) that run the
+// get/put/overwrite/delete map workload with per-op-class tail
+// latencies.
 // Each figure knows its workload, data structure, sizes and thresholds,
 // runs the sweep through the harness, and returns the same series the
 // paper plots. cmd/popbench renders them; bench_test.go reuses the same
@@ -107,6 +109,19 @@ func ScanLatencyMetric(name string, q float64) Metric {
 			return 0
 		}
 		return r.ScanLat.Quantile(q) / 1e3
+	}}
+}
+
+// OpLatencyMetric builds a metric reading quantile q (in microseconds)
+// of one operation class's latency histogram; 0 when the class was not
+// profiled (requires harness.Config.OpLatency).
+func OpLatencyMetric(name string, class harness.OpClass, q float64) Metric {
+	return Metric{Name: name, Get: func(r harness.Result) float64 {
+		h := r.OpLat[class]
+		if h == nil {
+			return 0
+		}
+		return h.Quantile(q) / 1e3
 	}}
 }
 
@@ -592,6 +607,39 @@ func scanHeavyFigure(id, what, dsName string, paperSize int64) Figure {
 	}
 }
 
+// kvFigure sweeps one structure under the KV-serving mix (70% get /
+// 10% put / 15% overwrite / 5% delete) with per-operation latency
+// profiling on: the series report KV throughput plus the read and
+// write tails (p50/p99 per op class). Overwrites replace values on
+// present keys — a retirement per overwrite on the replace-node
+// structures — so this is the reclamation pressure a value-serving
+// workload adds on top of the paper's key-only churn.
+func kvFigure(id, what, dsName string, paperSize int64) Figure {
+	return Figure{
+		ID:   id,
+		Desc: what,
+		Run: func(c Ctx) ([]report.Series, error) {
+			c = c.withDefaults()
+			cfg := harness.Config{
+				DS:               dsName,
+				KeyRange:         scaleSize(c, paperSize),
+				Mix:              workload.KVStore,
+				OpLatency:        true,
+				ReclaimThreshold: scaleThreshold(c, 24576),
+			}
+			return SweepThreads(c, what, cfg, c.policySet(false), []Metric{
+				mThroughput,
+				OpLatencyMetric("get p50 (µs)", harness.OpGet, 0.50),
+				OpLatencyMetric("get p99 (µs)", harness.OpGet, 0.99),
+				OpLatencyMetric("put p99 (µs)", harness.OpPut, 0.99),
+				OpLatencyMetric("overwrite p99 (µs)", harness.OpOverwrite, 0.99),
+				OpLatencyMetric("delete p99 (µs)", harness.OpDelete, 0.99),
+				mMaxRetire,
+			})
+		},
+	}
+}
+
 // All returns every figure in presentation order.
 func All() []Figure {
 	return []Figure{
@@ -613,6 +661,8 @@ func All() []Figure {
 		throughputAndMemory("skl-update", "SKL (skiplist) 1M update-heavy", harness.DSSkipList, 1_000_000, false, workload.UpdateHeavy),
 		scanHeavyFigure("skl-scan", "SKL (skiplist) 1M scan-heavy: range queries under churn, throughput + scan tail latency + memory", harness.DSSkipList, 1_000_000),
 		scanHeavyFigure("abt-scan", "ABT ((a,b)-tree) 1M scan-heavy: whole-leaf range scans under churn, throughput + scan tail latency + memory", harness.DSABTree, 1_000_000),
+		kvFigure("skl-kv", "SKL (skiplist) 1M KV-serving mix: get/put/overwrite/delete with per-op-class tail latency", harness.DSSkipList, 1_000_000),
+		kvFigure("hmht-kv", "HMHT (hash table) 6M KV-serving mix: get/put/overwrite/delete with per-op-class tail latency", harness.DSHashTable, 6_000_000),
 		readCostFigure(),
 		stallFigure(),
 		ablateThreshold(),

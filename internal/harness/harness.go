@@ -6,11 +6,25 @@
 // retire-list length, peak resident (outstanding) nodes, and unreclaimed
 // nodes at the end of the run.
 //
+// The data structures implement the ds.Map contract, so every trial is
+// a KV trial: reads are Gets whose returned values are verified against
+// the workload layer's checksum (Result.ValueErrors — a nonzero count
+// is the value-plane symptom of a use-after-free), inserts carry
+// encoded payloads, and mixes with an OverwritePct component issue
+// upsert Puts that replace values on present keys (retiring nodes on
+// the replace-node structures). Counters split per operation class
+// (get/put/overwrite/delete/scan), and with Config.OpLatency set each
+// worker records every operation's wall-clock latency into a per-class
+// report.Histogram (merged across workers into Result.OpLat via one
+// shared helper), so p50/p99 read and write tails are comparable across
+// policies — the update-path tails where NBR restart storms and HP
+// fence costs live.
+//
 // Mixes with a RangePct component additionally account range queries
-// (ops, keys returned, throughput) and record every scan's latency into
-// an HDR-style histogram (Result.ScanLat: p50/p90/p99/max per trial),
-// the long-read tail metric the figures and popbench sweeps compare
-// across policies. Range-bearing mixes require a structure implementing
+// (ops, keys returned, throughput) and always record every scan's
+// latency (Result.ScanLat, an alias of the scan class in OpLat), the
+// long-read tail metric the figures and popbench sweeps compare across
+// policies. Range-bearing mixes require a structure implementing
 // ds.RangeScanner — DSSkipList or DSABTree, whose scans stress
 // reservations in opposite ways (per-node chains vs whole leaves); use
 // RangeCapable to test by name.
@@ -55,6 +69,63 @@ func DSNames() []string {
 	return []string{DSExternalBST, DSHashTable, DSABTree, DSHarrisMichaelList, DSLazyList, DSSkipList}
 }
 
+// OpClass is one operation class for counters and latency histograms.
+type OpClass int
+
+// The operation classes, in reporting order.
+const (
+	OpGet OpClass = iota
+	OpPut
+	OpOverwrite
+	OpDelete
+	OpScan
+	NumOpClasses
+)
+
+var opClassNames = [NumOpClasses]string{"get", "put", "overwrite", "delete", "scan"}
+
+// String returns the class's reporting name.
+func (c OpClass) String() string {
+	if c >= 0 && c < NumOpClasses {
+		return opClassNames[c]
+	}
+	return fmt.Sprintf("OpClass(%d)", int(c))
+}
+
+// MixShare returns the class's percentage share of a mix — the one
+// OpClass↔Mix mapping, used by reporting layers to decide which
+// latency columns a mix can populate.
+func (c OpClass) MixShare(m workload.Mix) int {
+	switch c {
+	case OpGet:
+		return m.ContainsPct
+	case OpPut:
+		return m.InsertPct
+	case OpOverwrite:
+		return m.OverwritePct
+	case OpDelete:
+		return m.DeletePct
+	default:
+		return m.RangePct
+	}
+}
+
+// classOf maps a workload operation to its reporting class.
+func classOf(op workload.Op) OpClass {
+	switch op {
+	case workload.Contains:
+		return OpGet
+	case workload.Insert:
+		return OpPut
+	case workload.Overwrite:
+		return OpOverwrite
+	case workload.Delete:
+		return OpDelete
+	default:
+		return OpScan
+	}
+}
+
 // Config describes one trial.
 type Config struct {
 	DS       string        // data structure (DS* constants)
@@ -70,6 +141,13 @@ type Config struct {
 	// default workload.DefaultRangeSpan). Only used when Mix.RangePct
 	// is nonzero, which requires a DS implementing ds.RangeScanner.
 	RangeSpan int64
+
+	// OpLatency enables per-operation latency histograms for the
+	// get/put/overwrite/delete classes (two clock reads per operation —
+	// measurable on sub-100ns operations, so figure reproductions leave
+	// it off; popbench direct sweeps and the KV figures turn it on).
+	// Scan latency is always recorded when the mix scans.
+	OpLatency bool
 
 	// Reclamation tuning (0 = paper defaults; see core.Options).
 	ReclaimThreshold int
@@ -130,34 +208,49 @@ type Result struct {
 	Config Config
 
 	Ops        uint64  // operations completed in the execution phase
-	ReadOps    uint64  // contains operations completed
-	RangeOps   uint64  // range queries completed
+	ReadOps    uint64  // get/contains operations completed (== OpCounts[OpGet])
+	RangeOps   uint64  // range queries completed (== OpCounts[OpScan])
 	RangeKeys  uint64  // keys returned across all range queries
 	Throughput float64 // Ops per second
 	ReadTput   float64 // ReadOps per second (Fig. 4's metric)
 	RangeTput  float64 // RangeOps per second
+
+	// OpCounts splits Ops by operation class (get/put/overwrite/
+	// delete/scan) — the KV serving view of the trial.
+	OpCounts [NumOpClasses]uint64
+
+	// ValueErrors counts Get results whose value failed the workload
+	// checksum. Nonzero means a stale or corrupt value was served —
+	// the value-plane symptom of a reclamation bug.
+	ValueErrors uint64
 
 	MaxRetire    int   // max retire-list length across threads (paper's memory plots)
 	PeakResident int64 // peak outstanding nodes (max resident memory analogue)
 	Unreclaimed  int64 // retired-but-unfreed nodes at measurement end (pre-flush)
 	LeakedAfter  int64 // unreclaimed after a quiescent flush (0 except NR)
 
-	// ScanLat holds every range scan's wall-clock latency (ns), merged
-	// across workers — the long-read tail metric (p50/p99) per policy.
-	// Nil when the mix has no RangePct component.
+	// OpLat holds per-class latency histograms (ns), merged across
+	// workers. The scan class is populated whenever the mix scans; the
+	// other classes only when Config.OpLatency is set. Absent classes
+	// are nil.
+	OpLat [NumOpClasses]*report.Histogram
+
+	// ScanLat aliases OpLat[OpScan]: every range scan's wall-clock
+	// latency, the long-read tail metric (p50/p99) per policy. Nil when
+	// the mix has no RangePct component.
 	ScanLat *report.Histogram
 
 	Reclaim core.Stats // aggregated reclamation counters
 }
 
-// memSet is a Set that can report pool occupancy.
-type memSet interface {
-	ds.Set
+// memMap is a Map that can report pool occupancy.
+type memMap interface {
+	ds.Map
 	Outstanding() int64
 }
 
 // build instantiates the data structure named in cfg.
-func build(cfg Config, d *core.Domain) (memSet, error) {
+func build(cfg Config, d *core.Domain) (memMap, error) {
 	switch cfg.DS {
 	case DSHarrisMichaelList:
 		return hmlist.New(d), nil
@@ -181,11 +274,11 @@ func build(cfg Config, d *core.Domain) (memSet, error) {
 // a RangePct component. It answers by building a throwaway instance, so
 // it stays in sync with build automatically.
 func RangeCapable(name string) bool {
-	s, err := build(Config{DS: name, KeyRange: 2}, core.NewDomain(core.NR, 1, nil))
+	m, err := build(Config{DS: name, KeyRange: 2}, core.NewDomain(core.NR, 1, nil))
 	if err != nil {
 		return false
 	}
-	_, ok := s.(ds.RangeScanner)
+	_, ok := m.(ds.RangeScanner)
 	return ok
 }
 
@@ -208,6 +301,17 @@ func workerRole(cfg Config, id int) (workload.Mix, int64) {
 	return workload.UpdateHeavy, keyRange
 }
 
+// workerCounters receives one worker's tallies: total ops, per-class
+// ops, range keys, value-checksum failures, and the per-class latency
+// histograms (nil when that class is not profiled).
+type workerCounters struct {
+	ops       uint64
+	byClass   [NumOpClasses]uint64
+	rangeKeys uint64
+	valueErrs uint64
+	lats      [NumOpClasses]*report.Histogram
+}
+
 // Run executes one trial.
 func Run(cfg Config) (Result, error) {
 	cfg, err := cfg.withDefaults()
@@ -220,12 +324,12 @@ func Run(cfg Config) (Result, error) {
 		CMult:            cfg.CMult,
 		BatchSize:        cfg.BatchSize,
 	})
-	set, err := build(cfg, d)
+	m, err := build(cfg, d)
 	if err != nil {
 		return Result{}, err
 	}
 	if cfg.Mix.RangePct > 0 {
-		if _, ok := set.(ds.RangeScanner); !ok {
+		if _, ok := m.(ds.RangeScanner); !ok {
 			return Result{}, fmt.Errorf("harness: mix has RangePct=%d but %q does not support range queries", cfg.Mix.RangePct, cfg.DS)
 		}
 	}
@@ -248,18 +352,24 @@ func Run(cfg Config) (Result, error) {
 		gens[i] = gen
 	}
 
-	// Scan-latency histograms, one per worker (single-writer, merged at
-	// the end): only range-bearing mixes pay the two clock reads.
-	var scanLats []*report.Histogram
-	if cfg.Mix.RangePct > 0 {
-		scanLats = make([]*report.Histogram, cfg.Threads)
-		for i := range scanLats {
-			scanLats[i] = new(report.Histogram)
+	// Per-worker counters and latency histograms (single-writer, merged
+	// after the run): scans are always timed when the mix scans; the
+	// other classes only under OpLatency, so figure reproductions don't
+	// pay the clock reads.
+	workers := make([]workerCounters, cfg.Threads)
+	for i := range workers {
+		if cfg.Mix.RangePct > 0 {
+			workers[i].lats[OpScan] = new(report.Histogram)
+		}
+		if cfg.OpLatency {
+			for _, c := range []OpClass{OpGet, OpPut, OpOverwrite, OpDelete} {
+				workers[i].lats[c] = new(report.Histogram)
+			}
 		}
 	}
 
 	if !cfg.NoPrefil {
-		if err := prefill(cfg, set, threads); err != nil {
+		if err := prefill(cfg, m, threads); err != nil {
 			return Result{}, err
 		}
 	}
@@ -270,10 +380,6 @@ func Run(cfg Config) (Result, error) {
 		flushGo   = make(chan struct{})
 		loopsDone sync.WaitGroup // workers out of their op loops (quiescent)
 		finished  sync.WaitGroup // workers fully done (flushed)
-		opsBy     = make([]uint64, cfg.Threads)
-		readsBy   = make([]uint64, cfg.Threads)
-		rangesBy  = make([]uint64, cfg.Threads)
-		rkeysBy   = make([]uint64, cfg.Threads)
 	)
 	for i := 0; i < cfg.Threads; i++ {
 		loopsDone.Add(1)
@@ -281,16 +387,8 @@ func Run(cfg Config) (Result, error) {
 		go func(id int) {
 			defer finished.Done()
 			th := threads[id]
-			var hist *report.Histogram
-			if scanLats != nil {
-				hist = scanLats[id]
-			}
 			<-release
-			runWorker(cfg, set, th, gens[id], id, &stop, &counters{
-				ops: &opsBy[id], reads: &readsBy[id],
-				ranges: &rangesBy[id], rangeKeys: &rkeysBy[id],
-				scanLat: hist,
-			})
+			runWorker(cfg, m, th, gens[id], id, &stop, &workers[id])
 			loopsDone.Done()
 			// Park quiescent until everyone stopped, then flush from the
 			// owner goroutine (Thread handles are not transferable).
@@ -305,7 +403,7 @@ func Run(cfg Config) (Result, error) {
 	go func() {
 		defer close(samplerDone)
 		for !stop.Load() {
-			if v := set.Outstanding(); v > peak.Load() {
+			if v := m.Outstanding(); v > peak.Load() {
 				peak.Store(v)
 			}
 			time.Sleep(cfg.SamplePeriod)
@@ -319,7 +417,7 @@ func Run(cfg Config) (Result, error) {
 	<-samplerDone
 
 	// End-of-run memory state, before any flush reclaims the backlog.
-	if v := set.Outstanding(); v > peak.Load() {
+	if v := m.Outstanding(); v > peak.Load() {
 		peak.Store(v)
 	}
 	unreclaimed := d.Unreclaimed()
@@ -327,54 +425,59 @@ func Run(cfg Config) (Result, error) {
 	close(flushGo)
 	finished.Wait()
 
-	var totalOps, totalReads, totalRanges, totalRKeys uint64
-	for i := range opsBy {
-		totalOps += opsBy[i]
-		totalReads += readsBy[i]
-		totalRanges += rangesBy[i]
-		totalRKeys += rkeysBy[i]
-	}
 	res := Result{
 		Config:       cfg,
-		Ops:          totalOps,
-		ReadOps:      totalReads,
-		RangeOps:     totalRanges,
-		RangeKeys:    totalRKeys,
-		Throughput:   float64(totalOps) / cfg.Duration.Seconds(),
-		ReadTput:     float64(totalReads) / cfg.Duration.Seconds(),
-		RangeTput:    float64(totalRanges) / cfg.Duration.Seconds(),
 		PeakResident: peak.Load(),
 		Unreclaimed:  unreclaimed,
 		LeakedAfter:  d.Unreclaimed(),
 		Reclaim:      d.Stats(),
 	}
-	res.MaxRetire = res.Reclaim.MaxRetire
-	if scanLats != nil {
-		agg := new(report.Histogram)
-		for _, h := range scanLats {
-			agg.Merge(h)
+	for i := range workers {
+		res.Ops += workers[i].ops
+		res.RangeKeys += workers[i].rangeKeys
+		res.ValueErrors += workers[i].valueErrs
+		for c := OpClass(0); c < NumOpClasses; c++ {
+			res.OpCounts[c] += workers[i].byClass[c]
 		}
-		res.ScanLat = agg
 	}
+	res.ReadOps = res.OpCounts[OpGet]
+	res.RangeOps = res.OpCounts[OpScan]
+	res.Throughput = float64(res.Ops) / cfg.Duration.Seconds()
+	res.ReadTput = float64(res.ReadOps) / cfg.Duration.Seconds()
+	res.RangeTput = float64(res.RangeOps) / cfg.Duration.Seconds()
+	res.MaxRetire = res.Reclaim.MaxRetire
+	// One merge path for every histogram class (the scan class and the
+	// per-op classes alike): collect each class across workers and fold.
+	for c := OpClass(0); c < NumOpClasses; c++ {
+		per := make([]*report.Histogram, len(workers))
+		for i := range workers {
+			per[i] = workers[i].lats[c]
+		}
+		res.OpLat[c] = report.MergeAll(per...)
+	}
+	res.ScanLat = res.OpLat[OpScan]
 	return res, nil
 }
 
-// counters receives one worker's operation tallies. scanLat is nil when
-// the mix has no range component.
-type counters struct {
-	ops, reads, ranges, rangeKeys *uint64
-	scanLat                       *report.Histogram
-}
-
 // runWorker is one worker thread's execution phase. gen is the worker's
-// private generator (already role-resolved, see workerRole).
-func runWorker(cfg Config, set ds.Set, th *core.Thread, gen *workload.Generator, id int, stop *atomic.Bool, c *counters) {
-	scanner, _ := set.(ds.RangeScanner) // non-nil whenever mix.RangePct > 0
+// private generator (already role-resolved, see workerRole). Counters
+// accumulate in stack locals and flush into c once after the loop: the
+// workers slice is contiguous, so per-op stores there would false-share
+// cache lines between adjacent workers on the harness's hottest path.
+// (The histograms are separate heap allocations, so recording into them
+// does not share lines across workers.)
+func runWorker(cfg Config, m memMap, th *core.Thread, gen *workload.Generator, id int, stop *atomic.Bool, c *workerCounters) {
+	scanner, _ := m.(ds.RangeScanner) // non-nil whenever mix.RangePct > 0
 
 	staller := cfg.StallEvery > 0 && cfg.StallLength > 0 && id == 0
 	nextStall := time.Now().Add(cfg.StallEvery)
 
-	n, r, rq, rk := uint64(0), uint64(0), uint64(0), uint64(0)
+	var (
+		ops       uint64
+		byClass   [NumOpClasses]uint64
+		rangeKeys uint64
+		valueErrs uint64
+	)
 	for !stop.Load() {
 		if staller && time.Now().After(nextStall) {
 			// Busy delay inside an operation: the thread pins its epoch /
@@ -389,31 +492,40 @@ func runWorker(cfg Config, set ds.Set, th *core.Thread, gen *workload.Generator,
 			nextStall = time.Now().Add(cfg.StallEvery)
 		}
 		op, key := gen.Next()
-		switch op {
-		case workload.Contains:
-			set.Contains(th, key)
-			r++
-		case workload.Insert:
-			set.Insert(th, key)
-		case workload.Delete:
-			set.Delete(th, key)
-		default: // workload.RangeQuery
-			start := time.Now()
-			rk += uint64(scanner.RangeCount(th, key, key+gen.RangeSpan()-1))
-			if c.scanLat != nil {
-				c.scanLat.Record(time.Since(start).Nanoseconds())
-			}
-			rq++
+		class := classOf(op)
+		hist := c.lats[class]
+		var start time.Time
+		if hist != nil {
+			start = time.Now()
 		}
-		n++
+		switch op {
+		case workload.Contains: // Get: verify the served value's checksum
+			if v, ok := m.Get(th, key); ok && !workload.ValueValid(key, v) {
+				valueErrs++
+			}
+		case workload.Insert: // Put-if-absent with an encoded payload
+			m.PutIfAbsent(th, key, gen.Value(key))
+		case workload.Overwrite: // upsert Put: replaces values on present keys
+			m.Put(th, key, gen.Value(key))
+		case workload.Delete:
+			m.Delete(th, key)
+		default: // workload.RangeQuery
+			rangeKeys += uint64(scanner.RangeCount(th, key, key+gen.RangeSpan()-1))
+		}
+		if hist != nil {
+			hist.Record(time.Since(start).Nanoseconds())
+		}
+		byClass[class]++
+		ops++
 	}
-	*c.ops, *c.reads, *c.ranges, *c.rangeKeys = n, r, rq, rk
+	c.ops, c.byClass, c.rangeKeys, c.valueErrs = ops, byClass, rangeKeys, valueErrs
 }
 
 // prefill inserts until the structure holds about KeyRange/2 keys
 // (§5.0.2), splitting the work across all threads. Runs on the worker
-// threads'"own" goroutines to respect handle ownership.
-func prefill(cfg Config, set ds.Set, threads []*core.Thread) error {
+// threads'"own" goroutines to respect handle ownership. Prefilled keys
+// carry encoded values so execution-phase Gets verify from the start.
+func prefill(cfg Config, m memMap, threads []*core.Thread) error {
 	target := cfg.KeyRange / 2
 	per := target / int64(len(threads))
 	extra := target - per*int64(len(threads))
@@ -433,7 +545,8 @@ func prefill(cfg Config, set ds.Set, threads []*core.Thread) error {
 			done := int64(0)
 			attempts := int64(0)
 			for done < quota {
-				if set.Insert(th, gen.Key()) {
+				k := gen.Key()
+				if m.PutIfAbsent(th, k, gen.Value(k)) {
 					done++
 				}
 				attempts++

@@ -221,3 +221,114 @@ func TestConfigValidation(t *testing.T) {
 		t.Fatal("accepted mix summing past 100")
 	}
 }
+
+// TestKVMixAllStructures is the acceptance probe for the map contract:
+// the KV-serving mix (get/put/overwrite/delete) must run on every
+// structure, split its counters per op class, verify every served
+// value's checksum (zero failures), and populate per-op-class latency
+// histograms whose counts match the class counters.
+func TestKVMixAllStructures(t *testing.T) {
+	for _, dsName := range harness.DSNames() {
+		for _, p := range []core.Policy{core.EBR, core.HP, core.NBR, core.EpochPOP} {
+			res, err := harness.Run(harness.Config{
+				DS:               dsName,
+				Policy:           p,
+				Threads:          3,
+				Duration:         40 * time.Millisecond,
+				KeyRange:         1024,
+				Mix:              workload.KVStore,
+				OpLatency:        true,
+				ReclaimThreshold: 64,
+			})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", dsName, p, err)
+			}
+			if res.ValueErrors != 0 {
+				t.Fatalf("%s/%v: %d value checksum failures (stale values served)", dsName, p, res.ValueErrors)
+			}
+			var sum uint64
+			for c := harness.OpClass(0); c < harness.NumOpClasses; c++ {
+				sum += res.OpCounts[c]
+			}
+			if sum != res.Ops {
+				t.Fatalf("%s/%v: per-class counts sum to %d, Ops = %d", dsName, p, sum, res.Ops)
+			}
+			if res.OpCounts[harness.OpScan] != 0 {
+				t.Fatalf("%s/%v: kv mix recorded scans", dsName, p)
+			}
+			for _, c := range []harness.OpClass{harness.OpGet, harness.OpPut, harness.OpOverwrite, harness.OpDelete} {
+				if res.OpCounts[c] == 0 {
+					t.Fatalf("%s/%v: no %v operations in a kv run", dsName, p, c)
+				}
+				h := res.OpLat[c]
+				if h == nil {
+					t.Fatalf("%s/%v: no %v latency histogram with OpLatency set", dsName, p, c)
+				}
+				if h.Count() != res.OpCounts[c] {
+					t.Fatalf("%s/%v: %v histogram holds %d ops, counter says %d", dsName, p, c, h.Count(), res.OpCounts[c])
+				}
+				if p50, p99 := h.Quantile(0.50), h.Quantile(0.99); p50 <= 0 || p99 < p50 {
+					t.Fatalf("%s/%v: implausible %v quantiles p50=%v p99=%v", dsName, p, c, p50, p99)
+				}
+			}
+			if p != core.NR && res.LeakedAfter != 0 {
+				t.Fatalf("%s/%v: %d nodes leaked after flush", dsName, p, res.LeakedAfter)
+			}
+		}
+	}
+}
+
+// TestOverwritesRetireOnReplaceNodeStructures pins the overwrite
+// strategies' reclamation signature: an overwrite-only run on a
+// replace-node structure must retire roughly one node per overwrite,
+// while the in-place structures retire none.
+func TestOverwritesRetireOnReplaceNodeStructures(t *testing.T) {
+	run := func(dsName string) harness.Result {
+		res, err := harness.Run(harness.Config{
+			DS:               dsName,
+			Policy:           core.EBR,
+			Threads:          2,
+			Duration:         30 * time.Millisecond,
+			KeyRange:         64, // saturated after prefill: almost every Put overwrites
+			Mix:              workload.Mix{ContainsPct: 0, OverwritePct: 100},
+			ReclaimThreshold: 64,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", dsName, err)
+		}
+		return res
+	}
+	for _, dsName := range []string{harness.DSHarrisMichaelList, harness.DSSkipList, harness.DSABTree, harness.DSHashTable} {
+		res := run(dsName)
+		if ow := res.OpCounts[harness.OpOverwrite]; res.Reclaim.Retires < uint64(ow/2) {
+			t.Fatalf("%s: %d retires for %d overwrites — replace-node strategy not retiring", dsName, res.Reclaim.Retires, ow)
+		}
+	}
+	for _, dsName := range []string{harness.DSLazyList, harness.DSExternalBST} {
+		res := run(dsName)
+		if ow := res.OpCounts[harness.OpOverwrite]; res.Reclaim.Retires > uint64(ow/10) {
+			t.Fatalf("%s: %d retires for %d overwrites — in-place strategy should retire ~none", dsName, res.Reclaim.Retires, ow)
+		}
+	}
+}
+
+// TestOpLatAbsentByDefault: without OpLatency the per-op histograms
+// must stay nil (figure reproductions must not pay the clock reads).
+func TestOpLatAbsentByDefault(t *testing.T) {
+	res, err := harness.Run(harness.Config{
+		DS:       harness.DSHarrisMichaelList,
+		Policy:   core.EBR,
+		Threads:  1,
+		Duration: 10 * time.Millisecond,
+		KeyRange: 256,
+		Mix:      workload.KVStore,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := harness.OpClass(0); c < harness.NumOpClasses; c++ {
+		if res.OpLat[c] != nil {
+			t.Fatalf("%v histogram present without OpLatency", c)
+		}
+	}
+}

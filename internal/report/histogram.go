@@ -81,6 +81,25 @@ func (h *Histogram) Merge(o *Histogram) {
 	}
 }
 
+// MergeAll returns a fresh histogram holding the union of hs,
+// skipping nil entries. It returns nil when every input is nil, so a
+// metric that was never recorded stays absent after aggregation. This
+// is the one merge path for every per-worker histogram the harness
+// collects (scan latency, per-op-class latency).
+func MergeAll(hs ...*Histogram) *Histogram {
+	var out *Histogram
+	for _, h := range hs {
+		if h == nil {
+			continue
+		}
+		if out == nil {
+			out = new(Histogram)
+		}
+		out.Merge(h)
+	}
+	return out
+}
+
 // Count returns the number of recorded observations.
 func (h *Histogram) Count() uint64 { return h.total }
 

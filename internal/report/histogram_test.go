@@ -155,3 +155,28 @@ func TestHistogramMerge(t *testing.T) {
 		t.Fatal("merging an empty histogram changed the count")
 	}
 }
+
+func TestMergeAll(t *testing.T) {
+	if got := MergeAll(nil, nil); got != nil {
+		t.Fatal("MergeAll of all-nil inputs must be nil")
+	}
+	a, b := new(Histogram), new(Histogram)
+	a.Record(10)
+	a.Record(20)
+	b.Record(30)
+	m := MergeAll(a, nil, b)
+	if m == nil || m.Count() != 3 {
+		t.Fatalf("MergeAll count = %v, want 3", m.Count())
+	}
+	if m.Max() != 30 {
+		t.Fatalf("MergeAll max = %d, want 30", m.Max())
+	}
+	// Inputs must be untouched and the result independent.
+	if a.Count() != 2 || b.Count() != 1 {
+		t.Fatal("MergeAll mutated its inputs")
+	}
+	m.Record(40)
+	if a.Max() == 40 || b.Max() == 40 {
+		t.Fatal("MergeAll result aliases an input")
+	}
+}

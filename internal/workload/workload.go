@@ -3,12 +3,24 @@
 // range, chosen operation percentages, and the two standard mixes —
 // read-heavy (90% contains, 5% insert, 5% delete) and update-heavy
 // (50% insert, 50% delete) — plus the long-running-reads asymmetric
-// workload of §5.1.2 and, beyond the paper, a range-query dimension
-// (RangePct/RangeSpan) with a scan-heavy mix that stresses reservation
-// publication with long ordered scans. The range dimension is
-// cross-structure: any set implementing ds.RangeScanner (skiplist,
-// (a,b)-tree) can run a range-bearing mix, and the harness records
-// each scan's latency so tails are comparable across policies.
+// workload of §5.1.2 and, beyond the paper, two extension dimensions:
+//
+//   - a range-query dimension (RangePct/RangeSpan) with a scan-heavy mix
+//     that stresses reservation publication with long ordered scans
+//     (requires a ds.RangeScanner);
+//   - a key→value dimension (OverwritePct, the KVStore mix) for the map
+//     contract: Contains doubles as Get, Insert as Put-if-absent, and
+//     Overwrite is an upsert Put that replaces a present key's value —
+//     on the lock-free structures that is a replace-node-and-retire, so
+//     overwrite share directly dials retirement pressure without
+//     changing the key population.
+//
+// Value payloads are derived from the key stream and are checksum-
+// verifiable: EncodeValue packs a write tag with a checksum over
+// (key, tag), and ValueValid rejects any value that was not produced by
+// EncodeValue for that key. A torn, stale or cross-key value — the
+// value-plane symptom of a use-after-free — fails verification, so the
+// harness can assert correctness while benchmarking.
 //
 // Generators are built with NewGeneratorErr wherever a configuration
 // comes from user input (harness configs, popbench flags); the
@@ -24,27 +36,44 @@ import (
 // Op is a data-structure operation kind.
 type Op uint8
 
-// Operation kinds.
+// Operation kinds. The map-facing names Get and Put alias Contains and
+// Insert: the harness issues Get/PutIfAbsent for them against the map
+// contract, which preserves set semantics exactly (an insert never
+// disturbs a present key's value).
 const (
 	Contains Op = iota
 	Insert
 	Delete
 	// RangeQuery is an ordered scan over [key, key+span): one long
 	// operation whose reservations stay live across every hop. Only
-	// meaningful against sets implementing ds.RangeScanner.
+	// meaningful against structures implementing ds.RangeScanner.
 	RangeQuery
+	// Overwrite is an upsert Put: it installs a fresh value whether or
+	// not the key is present. On a present key the structures either
+	// replace the node (hmlist, skiplist, abtree leaves) or store in
+	// place under a lock (lazylist, extbst) — see each package's
+	// overwrite-strategy doc.
+	Overwrite
+)
+
+// Map-contract aliases for the KV naming of the same operations.
+const (
+	Get = Contains
+	Put = Insert
 )
 
 // Mix is an operation mixture in percent. Fields must sum to 100.
 type Mix struct {
-	ContainsPct int
-	InsertPct   int
-	DeletePct   int
-	RangePct    int
+	ContainsPct  int
+	InsertPct    int
+	DeletePct    int
+	RangePct     int
+	OverwritePct int
 }
 
 // The standard mixes: the paper's two, plus the scan-heavy mix that
-// exercises the range-query dimension.
+// exercises the range-query dimension and the KV-serving mix that
+// exercises the value dimension.
 var (
 	// ReadHeavy is 90% contains / 5% insert / 5% delete.
 	ReadHeavy = Mix{ContainsPct: 90, InsertPct: 5, DeletePct: 5}
@@ -54,17 +83,51 @@ var (
 	// 5% delete: most time is spent inside long scans while updates
 	// churn the structure underneath them.
 	ScanHeavy = Mix{ContainsPct: 40, InsertPct: 5, DeletePct: 5, RangePct: 50}
+	// KVStore is the KV-serving mix: 70% get / 10% put / 15% overwrite /
+	// 5% delete. Reads dominate (cache-style serving), but the overwrite
+	// share keeps a steady stream of value replacements — and therefore
+	// retirements on the replace-node structures — flowing through a
+	// mostly stable key population.
+	KVStore = Mix{ContainsPct: 70, InsertPct: 10, DeletePct: 5, OverwritePct: 15}
 )
 
 // Valid reports whether the mix sums to 100 with no negatives.
 func (m Mix) Valid() bool {
-	return m.ContainsPct >= 0 && m.InsertPct >= 0 && m.DeletePct >= 0 && m.RangePct >= 0 &&
-		m.ContainsPct+m.InsertPct+m.DeletePct+m.RangePct == 100
+	return m.ContainsPct >= 0 && m.InsertPct >= 0 && m.DeletePct >= 0 &&
+		m.RangePct >= 0 && m.OverwritePct >= 0 &&
+		m.ContainsPct+m.InsertPct+m.DeletePct+m.RangePct+m.OverwritePct == 100
 }
 
 // DefaultRangeSpan is the scan width used when a mix draws range
 // queries and the caller did not choose one.
 const DefaultRangeSpan = 100
+
+// EncodeValue packs a verifiable value for key: the write tag in the
+// upper half, a checksum over (key, tag) in the lower. Distinct tags
+// yield distinct values for the same key, so overwrite streams are
+// last-writer-wins distinguishable while staying verifiable.
+func EncodeValue(key int64, tag uint32) uint64 {
+	return uint64(tag)<<32 | uint64(checksum32(key, tag))
+}
+
+// ValueValid reports whether v is a value EncodeValue could have
+// produced for key. A value read from the wrong node, a torn value, or
+// bytes from a recycled node fail this check with probability
+// 1 - 2^-32.
+func ValueValid(key int64, v uint64) bool {
+	return uint32(v) == checksum32(key, uint32(v>>32))
+}
+
+// checksum32 mixes key and tag through a SplitMix-style finisher.
+func checksum32(key int64, tag uint32) uint32 {
+	x := uint64(key)*0x9e3779b97f4a7c15 + uint64(tag)*0xff51afd7ed558ccd + 1
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return uint32(x)
+}
 
 // Generator draws (operation, key) pairs for one worker thread. Not safe
 // for concurrent use; create one per thread.
@@ -73,6 +136,7 @@ type Generator struct {
 	mix       Mix
 	keyRange  int64
 	rangeSpan int64
+	vtag      uint32
 }
 
 // NewGeneratorErr creates a generator over [0, keyRange) with the given
@@ -85,7 +149,10 @@ func NewGeneratorErr(seed uint64, mix Mix, keyRange int64) (*Generator, error) {
 	if keyRange <= 0 {
 		return nil, fmt.Errorf("workload: non-positive key range %d", keyRange)
 	}
-	return &Generator{r: rng.New(seed), mix: mix, keyRange: keyRange, rangeSpan: DefaultRangeSpan}, nil
+	return &Generator{
+		r: rng.New(seed), mix: mix, keyRange: keyRange,
+		rangeSpan: DefaultRangeSpan, vtag: uint32(seed),
+	}, nil
 }
 
 // NewGenerator creates a generator over [0, keyRange) with the given
@@ -123,9 +190,18 @@ func (g *Generator) Next() (Op, int64) {
 		return Insert, k
 	case p < g.mix.ContainsPct+g.mix.InsertPct+g.mix.DeletePct:
 		return Delete, k
+	case p < g.mix.ContainsPct+g.mix.InsertPct+g.mix.DeletePct+g.mix.OverwritePct:
+		return Overwrite, k
 	default:
 		return RangeQuery, k
 	}
+}
+
+// Value returns the next verifiable value payload for key: a fresh tag
+// from the generator's private counter, encoded with EncodeValue.
+func (g *Generator) Value(key int64) uint64 {
+	g.vtag++
+	return EncodeValue(key, g.vtag)
 }
 
 // Key returns a uniform key in [0, keyRange) (prefill use).

@@ -7,20 +7,40 @@
 //
 // It provides the paper's three algorithms — HazardPtrPOP, HazardEraPOP
 // and EpochPOP — as drop-in replacements for hazard pointers, the eight
-// baseline schemes the paper evaluates against, the five concurrent set
-// data structures of its evaluation, and two ordered structures with
-// range scans (RangeSet): a lock-free skiplist and the (a,b)-tree. All
-// of it is integrated with a type-stable arena so that "freeing" memory
-// is meaningful inside a garbage-collected runtime.
+// baseline schemes the paper evaluates against, and six concurrent data
+// structures integrated with them. Every structure is a key→value Map
+// (int64 keys, uint64 values) with last-writer-wins overwrite; the two
+// ordered structures — a lock-free skiplist and an (a,b)-tree — are
+// OrderedMaps with range scans. Key-only Set views of the same
+// structures remain available for the paper's benchmarks. All of it is
+// integrated with a type-stable arena so that "freeing" memory is
+// meaningful inside a garbage-collected runtime.
 //
-// # Usage
+// # KV quickstart
 //
 // Create a Domain with a Policy and a thread capacity, register one
 // Thread per worker goroutine, and pass the Thread to every operation:
 //
 //	d := pop.NewDomain(pop.EpochPOP, 8, nil)
+//	kv := pop.NewSkipListMap(d)          // ordered map with range scans
+//	t := d.RegisterThread()              // one per goroutine, not shareable
+//	kv.Put(t, 42, 1000)                  // insert
+//	old, _ := kv.Put(t, 42, 2000)        // overwrite: old == 1000
+//	v, ok := kv.Get(t, 42)               // v == 2000
+//	removed, ok := kv.Delete(t, 42)      // removed == 2000
+//	n := kv.RangeCount(t, 0, 99)         // ordered scan
+//
+// Overwrites are a first-class reclamation event: on the lock-free
+// structures (NewHarrisMichaelListMap, NewSkipListMap, and the hash
+// table's buckets) a Put on a present key replaces the node and retires
+// the old one, and on the (a,b)-tree it copy-on-writes the leaf — so
+// value churn exercises the SMR layer even when the key set is static.
+// See internal/ds's package doc for each structure's overwrite
+// strategy.
+//
+// The key-only view is unchanged:
+//
 //	set := pop.NewHashTable(d, 1_000_000, 6)
-//	t := d.RegisterThread()      // one per goroutine, not shareable
 //	set.Insert(t, 42)
 //	set.Contains(t, 42)
 //	set.Delete(t, 42)
@@ -96,9 +116,77 @@ func ParsePolicy(s string) (Policy, error) { return core.ParsePolicy(s) }
 // Policies returns all policies in the paper's plot order.
 func Policies() []Policy { return core.Policies() }
 
-// Set is a concurrent set of int64 keys bound to a reclamation domain.
-// Every set constructor below returns a Set that is linearizable and
-// safe for concurrent use by threads registered with the same domain.
+// Map is a concurrent map from int64 keys to uint64 values bound to a
+// reclamation domain. Every constructor below returns a linearizable
+// Map safe for concurrent use by threads registered with the same
+// domain. Overwrites are last-writer-wins: Put's returned old value is
+// exactly the value it replaced.
+type Map interface {
+	// Put maps key to val (inserting or overwriting) and returns the
+	// previous value; replaced reports whether the key was present.
+	Put(t *Thread, key int64, val uint64) (old uint64, replaced bool)
+	// PutIfAbsent maps key to val only if key is absent and reports
+	// whether it did (a present key keeps its value).
+	PutIfAbsent(t *Thread, key int64, val uint64) bool
+	// Get returns the value mapped to key.
+	Get(t *Thread, key int64) (uint64, bool)
+	// Delete removes key and returns the value it removed.
+	Delete(t *Thread, key int64) (uint64, bool)
+	// Size counts the keys (quiescent use only: no concurrent updates).
+	Size(t *Thread) int
+	// Outstanding reports live+retired node-pool occupancy (a memory
+	// metric: allocations minus frees).
+	Outstanding() int64
+}
+
+// OrderedMap is a Map over ordered keys that additionally supports
+// range scans (see RangeSet for the scan semantics; scans report keys —
+// use Get for the values).
+type OrderedMap interface {
+	Map
+	// RangeCount counts the keys in [lo, hi].
+	RangeCount(t *Thread, lo, hi int64) int
+	// RangeCollect appends the keys in [lo, hi], ascending, to buf[:0]
+	// and returns the filled slice.
+	RangeCollect(t *Thread, lo, hi int64, buf []int64) []int64
+}
+
+// NewHarrisMichaelListMap creates a lock-free sorted linked-list map
+// (Michael 2004; "HML"). Overwrites replace the node and retire the old
+// one.
+func NewHarrisMichaelListMap(d *Domain) Map { return hmlist.New(d) }
+
+// NewLazyListMap creates a lazy-list map (Heller et al. 2005; "LL").
+// Overwrites store in place under the node's lock.
+func NewLazyListMap(d *Domain) Map { return lazylist.New(d) }
+
+// NewHashTableMap creates a fixed-size hash map with Harris-Michael-
+// list buckets ("HMHT"), sized for expectedKeys at the given load
+// factor (keys per bucket; the paper uses 6). Overwrites replace the
+// bucket node and retire the old one.
+func NewHashTableMap(d *Domain, expectedKeys int64, loadFactor int) Map {
+	return hashtable.New(d, expectedKeys, loadFactor)
+}
+
+// NewExternalBSTMap creates a lock-based external binary search tree
+// map (David, Guerraoui & Trigonakis 2015; "DGT"). Overwrites store in
+// place under the parent's lock.
+func NewExternalBSTMap(d *Domain) Map { return extbst.New(d) }
+
+// NewSkipListMap creates a lock-free skiplist ordered map ("SKL") with
+// range scans. Overwrites replace the node (tower and all) and retire
+// the old one; see internal/ds/skiplist for the reclamation protocol.
+func NewSkipListMap(d *Domain) OrderedMap { return skiplist.New(d) }
+
+// NewABTreeMap creates a concurrent leaf-oriented (a,b)-tree ordered
+// map (after Brown 2017; "ABT") with range scans. Overwrites
+// copy-on-write the leaf and retire the old one.
+func NewABTreeMap(d *Domain) OrderedMap { return abtree.New(d) }
+
+// Set is the key-only view of a concurrent map: the contract the
+// paper's benchmarks use. Every Set constructor below is a thin adapter
+// over the corresponding Map constructor (inserted keys carry the zero
+// value).
 type Set interface {
 	// Insert adds key and reports whether it was absent.
 	Insert(t *Thread, key int64) bool
@@ -113,29 +201,35 @@ type Set interface {
 	Outstanding() int64
 }
 
+// setView adapts a Map to the key-only Set interface.
+type setView struct{ m Map }
+
+func (s setView) Insert(t *Thread, key int64) bool { return s.m.PutIfAbsent(t, key, 0) }
+func (s setView) Delete(t *Thread, key int64) bool { _, ok := s.m.Delete(t, key); return ok }
+func (s setView) Contains(t *Thread, key int64) bool {
+	_, ok := s.m.Get(t, key)
+	return ok
+}
+func (s setView) Size(t *Thread) int { return s.m.Size(t) }
+func (s setView) Outstanding() int64 { return s.m.Outstanding() }
+
 // NewHarrisMichaelList creates a lock-free sorted linked-list set
 // (Michael 2004; "HML" in the paper).
-func NewHarrisMichaelList(d *Domain) Set { return hmlist.New(d) }
+func NewHarrisMichaelList(d *Domain) Set { return setView{hmlist.New(d)} }
 
 // NewLazyList creates a lazy-list set (Heller et al. 2005; "LL").
-func NewLazyList(d *Domain) Set { return lazylist.New(d) }
+func NewLazyList(d *Domain) Set { return setView{lazylist.New(d)} }
 
 // NewHashTable creates a fixed-size hash set with Harris-Michael-list
 // buckets ("HMHT"), sized for expectedKeys at the given load factor
 // (keys per bucket; the paper uses 6).
 func NewHashTable(d *Domain, expectedKeys int64, loadFactor int) Set {
-	return hashtable.New(d, expectedKeys, loadFactor)
+	return setView{hashtable.New(d, expectedKeys, loadFactor)}
 }
 
 // NewExternalBST creates a lock-based external binary search tree
 // (David, Guerraoui & Trigonakis 2015; "DGT").
-func NewExternalBST(d *Domain) Set { return extbst.New(d) }
-
-// NewABTree creates a concurrent leaf-oriented (a,b)-tree (after Brown
-// 2017; "ABT"). The tree is ordered and supports range scans: each scan
-// hop protects a whole leaf (up to B keys per reservation set) rather
-// than chaining per-node reservations the way the skiplist does.
-func NewABTree(d *Domain) RangeSet { return abtree.New(d) }
+func NewExternalBST(d *Domain) Set { return setView{extbst.New(d)} }
 
 // RangeSet is a Set that additionally supports ordered range scans.
 // Scans run concurrently with updates: results are sorted and
@@ -155,11 +249,35 @@ type RangeSet interface {
 	RangeCollect(t *Thread, lo, hi int64, buf []int64) []int64
 }
 
+// rangeSetView adapts an OrderedMap to RangeSet.
+type rangeSetView struct {
+	setView
+	om OrderedMap
+}
+
+func (r rangeSetView) RangeCount(t *Thread, lo, hi int64) int {
+	return r.om.RangeCount(t, lo, hi)
+}
+func (r rangeSetView) RangeCollect(t *Thread, lo, hi int64, buf []int64) []int64 {
+	return r.om.RangeCollect(t, lo, hi, buf)
+}
+
+// newRangeSet wraps an OrderedMap in the key-only RangeSet view.
+func newRangeSet(om OrderedMap) RangeSet {
+	return rangeSetView{setView: setView{om}, om: om}
+}
+
 // NewSkipList creates a lock-free skiplist set ("SKL") with range
 // queries. Updates are Fraser/Herlihy style (per-level CAS marking);
 // see internal/ds/skiplist for the reclamation protocol that keeps
 // tower nodes safe under every policy.
-func NewSkipList(d *Domain) RangeSet { return skiplist.New(d) }
+func NewSkipList(d *Domain) RangeSet { return newRangeSet(skiplist.New(d)) }
+
+// NewABTree creates a concurrent leaf-oriented (a,b)-tree (after Brown
+// 2017; "ABT"). The tree is ordered and supports range scans: each scan
+// hop protects a whole leaf (up to B keys per reservation set) rather
+// than chaining per-node reservations the way the skiplist does.
+func NewABTree(d *Domain) RangeSet { return newRangeSet(abtree.New(d)) }
 
 // Queue is a concurrent FIFO of int64 values bound to a reclamation
 // domain (the Michael-Scott queue — the original hazard-pointer showcase
