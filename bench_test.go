@@ -112,6 +112,8 @@ func BenchmarkFig11HTCrystalline(b *testing.B)  { benchFigure(b, "fig11") }
 
 func BenchmarkSklUpdateHeavy(b *testing.B) { benchFigure(b, "skl-update") }
 func BenchmarkSklScanHeavy(b *testing.B)   { benchFigure(b, "skl-scan") }
+func BenchmarkStoreServe(b *testing.B)     { benchFigure(b, "store-serve") }
+func BenchmarkNBROverwrite(b *testing.B)   { benchFigure(b, "nbr-overwrite") }
 
 // --- §2.1.2 read-cost analysis and §5.1 robustness ---
 

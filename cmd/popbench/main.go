@@ -20,6 +20,14 @@
 // 15% overwrite / 5% delete) is the KV-serving workload; its overwrite
 // share retires a node per hit on the replace-node structures.
 //
+// With -store, popbench sweeps the KV-serving front (internal/store)
+// instead: shard counts × policies × multi-get batch sizes under the
+// serving mix (get/put/mget/scan/delete over string keys), reporting
+// throughput, per-class latency tails and the stale-value-read count —
+// how often a value read lost to an overwrite's reclamation — per
+// policy. -dist zipf switches key popularity to scrambled Zipfian
+// (s=0.99) in both store sweeps and -ds direct sweeps.
+//
 // Examples:
 //
 //	popbench -list
@@ -30,7 +38,9 @@
 //	popbench -ds abt -csv > abt-scan-latency.csv
 //	popbench -ds abt -mix scan-heavy -keyrange 100000
 //	popbench -ds skl -mix kv -duration 1s -csv > skl-kv.csv
-//	popbench -ds hmht -mix kv -keyrange 1000000
+//	popbench -ds hmht -mix kv -keyrange 1000000 -dist zipf
+//	popbench -store -shards 1,4,16 -batch 8,64 -dist zipf
+//	popbench -store -backing hmht -keyrange 1000000 -csv > store.csv
 //
 // The -scale flag divides the paper's structure sizes (defaults to 64 so
 // a laptop run finishes); -scale 1 runs the full-size structures.
@@ -48,6 +58,7 @@ import (
 	"pop/internal/figures"
 	"pop/internal/harness"
 	"pop/internal/report"
+	"pop/internal/store"
 	"pop/internal/workload"
 )
 
@@ -68,7 +79,13 @@ func main() {
 		mixName   = flag.String("mix", "read-heavy", "direct sweep mix: read-heavy, update-heavy, scan-heavy or kv")
 		rangePct  = flag.Int("rangepct", -1, "percent of operations that are range queries, taken from the mix's contains share (-1 = auto: 10 for range-capable structures, 0 otherwise)")
 		rangeSpan = flag.Int64("rangespan", workload.DefaultRangeSpan, "keys per range query")
-		keyRange  = flag.Int64("keyrange", 16384, "direct sweep key range")
+		keyRange  = flag.Int64("keyrange", 16384, "direct sweep / store key population")
+		distName  = flag.String("dist", "uniform", "key-popularity distribution: uniform or zipf (s=0.99)")
+
+		storeMode = flag.Bool("store", false, "store sweep: the sharded string-key KV front across shards × policies × batch sizes")
+		backing   = flag.String("backing", "skl", "store backing structure (skl, hmht, hml, abt, ll, dgt)")
+		shardsCSV = flag.String("shards", "8", "store sweep: comma-separated shard counts")
+		batchCSV  = flag.String("batch", "16", "store sweep: comma-separated multi-get batch sizes")
 	)
 	flag.Parse()
 
@@ -86,10 +103,26 @@ func main() {
 		}
 		return
 	}
+	dist, err := workload.ParseDist(*distName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
+		os.Exit(2)
+	}
+	if *storeMode {
+		if err := storeSweep(storeSweepOpts{
+			backing: *backing, shards: *shardsCSV, batches: *batchCSV,
+			keys: *keyRange, dist: dist, duration: *duration, threads: *threads,
+			seed: *seed, policies: *policies, render: render, quiet: *quiet,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *dsName != "" {
 		if err := directSweep(sweepOpts{
 			ds: *dsName, mix: *mixName, rangePct: *rangePct, rangeSpan: *rangeSpan,
-			keyRange: *keyRange, duration: *duration, threads: *threads,
+			keyRange: *keyRange, dist: dist, duration: *duration, threads: *threads,
 			seed: *seed, policies: *policies, render: render, quiet: *quiet,
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
@@ -112,7 +145,6 @@ func main() {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
-	var err error
 	if ctx.Threads, err = parseInts(*threads); err != nil {
 		fmt.Fprintf(os.Stderr, "popbench: bad -threads: %v\n", err)
 		os.Exit(2)
@@ -166,12 +198,145 @@ type sweepOpts struct {
 	rangePct  int // -1 = auto
 	rangeSpan int64
 	keyRange  int64
+	dist      workload.Dist
 	duration  time.Duration
 	threads   string
 	seed      uint64
 	policies  string
 	render    func(*report.Series) error
 	quiet     bool
+}
+
+// storeSweepOpts carries the -store sweep flag values.
+type storeSweepOpts struct {
+	backing  string
+	shards   string // csv shard counts
+	batches  string // csv batch sizes
+	keys     int64
+	dist     workload.Dist
+	duration time.Duration
+	threads  string
+	seed     uint64
+	policies string
+	render   func(*report.Series) error
+	quiet    bool
+}
+
+// storeSweep runs the KV front across shards × policies × batch sizes
+// at the highest requested thread count: one row per (shards, batch)
+// combination, one column per policy, one table per metric. This is
+// the capacity-planning view of the store — how shard count and batch
+// width trade against each policy's serving tails.
+func storeSweep(o storeSweepOpts) error {
+	shardList, err := parseInts(o.shards)
+	if err != nil {
+		return fmt.Errorf("bad -shards: %w", err)
+	}
+	batchList, err := parseInts(o.batches)
+	if err != nil {
+		return fmt.Errorf("bad -batch: %w", err)
+	}
+	threadCounts, err := parseInts(o.threads)
+	if err != nil {
+		return fmt.Errorf("bad -threads: %w", err)
+	}
+	threads := threadCounts[len(threadCounts)-1]
+	ps := core.Policies()
+	if o.policies != "" {
+		ps = ps[:0]
+		for _, name := range strings.Split(o.policies, ",") {
+			p, err := core.ParsePolicy(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			ps = append(ps, p)
+		}
+	}
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.String()
+	}
+
+	metrics := []figures.StoreMetric{
+		{Name: "throughput (ops/s)", Get: func(r harness.StoreResult) float64 { return r.Throughput }},
+		{Name: "served keys/s", Get: func(r harness.StoreResult) float64 { return r.KeyTput }},
+		figures.StoreOpLatencyMetric("get latency p50 (µs)", harness.SOpGet, 0.50),
+		figures.StoreOpLatencyMetric("get latency p99 (µs)", harness.SOpGet, 0.99),
+		figures.StoreOpLatencyMetric("mget latency p99 (µs)", harness.SOpMGet, 0.99),
+		figures.StoreOpLatencyMetric("put latency p99 (µs)", harness.SOpPut, 0.99),
+		{Name: "stale value reads", Get: func(r harness.StoreResult) float64 { return float64(r.Stale) }},
+		{Name: "value checksum failures", Get: func(r harness.StoreResult) float64 { return float64(r.ValueErrors) }},
+		{Name: "unreclaimed at run end (nodes)", Get: func(r harness.StoreResult) float64 { return float64(r.Unreclaimed) }},
+		{Name: "leaked after flush (nodes)", Get: func(r harness.StoreResult) float64 { return float64(r.LeakedAfter) }},
+	}
+	// Ask the store layer itself whether the backing scans (a throwaway
+	// probe, the harness.RangeCapable pattern) — this also surfaces an
+	// unknown -backing as an error before the sweep starts.
+	probe, err := store.New(core.NewDomain(core.NR, 1, nil), store.Config{Shards: 1, Backing: o.backing})
+	if err != nil {
+		return err
+	}
+	mix := workload.StoreServe
+	if probe.Ordered() {
+		metrics = append(metrics, figures.StoreOpLatencyMetric("scan latency p99 (µs)", harness.SOpScan, 0.99))
+	} else {
+		// Unordered backings cannot scan: fold the scan share into gets.
+		mix.GetPct += mix.ScanPct
+		mix.ScanPct = 0
+	}
+
+	title := fmt.Sprintf("store %s (serve mix, %d keys, %v dist, %d threads)", o.backing, o.keys, o.dist, threads)
+	series := make([]report.Series, len(metrics))
+	for i, m := range metrics {
+		series[i] = report.Series{
+			Title:  fmt.Sprintf("%s — %s", title, m.Name),
+			XLabel: "shards×batch",
+			Names:  names,
+		}
+	}
+	log := func(string, ...any) {}
+	if !o.quiet {
+		log = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	}
+	for _, nshards := range shardList {
+		for _, nbatch := range batchList {
+			cells := make([][]float64, len(metrics))
+			for i := range cells {
+				cells[i] = make([]float64, len(ps))
+			}
+			for pi, p := range ps {
+				log("  store: shards=%d batch=%d policy=%v", nshards, nbatch, p)
+				res, err := harness.RunStore(harness.StoreConfig{
+					Policy:    p,
+					Threads:   threads,
+					Duration:  o.duration,
+					Keys:      o.keys,
+					Shards:    nshards,
+					Backing:   o.backing,
+					Mix:       mix,
+					Dist:      o.dist,
+					BatchSize: nbatch,
+					OpLatency: true,
+					Seed:      o.seed,
+				})
+				if err != nil {
+					return fmt.Errorf("store [shards=%d batch=%d policy=%v]: %w", nshards, nbatch, p, err)
+				}
+				for mi, m := range metrics {
+					cells[mi][pi] = m.Get(res)
+				}
+			}
+			for mi := range series {
+				series[mi].AddRow(fmt.Sprintf("%dx%d", nshards, nbatch), cells[mi])
+			}
+		}
+	}
+	for i := range series {
+		if err := o.render(&series[i]); err != nil {
+			return fmt.Errorf("write: %w", err)
+		}
+	}
+	return nil
 }
 
 // directSweep runs one structure × all requested policies × the thread
@@ -297,6 +462,7 @@ func directSweep(o sweepOpts) error {
 		KeyRange:  o.keyRange,
 		Mix:       mix,
 		RangeSpan: o.rangeSpan,
+		Dist:      o.dist,
 		OpLatency: true,
 	}, ps, metrics)
 	if err != nil {

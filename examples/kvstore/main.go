@@ -1,14 +1,19 @@
-// KV quickstart: the map contract on an ordered structure.
+// KV quickstart: the same data served at two layers of the stack.
 //
-// Every structure in this library is a key→value map (int64 → uint64)
-// with last-writer-wins overwrite; this example runs a small KV-serving
-// workload — concurrent gets, puts, overwrites and deletes — on a
-// skiplist ordered map under EpochPOP, then uses a range scan to walk a
-// key window and read its values. The interesting part is invisible:
-// on the skiplist every overwrite replaces the node and retires the old
-// one, so the value churn below keeps the reclamation scheme busy even
-// though the key population barely changes. The printed counters show
-// it.
+// Layer 1 is the raw map contract — int64 keys, uint64 values — on a
+// skiplist ordered map: the paper's benchmark dialect with values
+// added. Layer 2 is the serving front built on top of maps like it:
+// pop.NewStore shards string keys over skiplists, keeps byte-slice
+// payloads in a value arena, and retires replaced payloads through the
+// same reclamation policy as the nodes. Both layers run here, on the
+// same EpochPOP domain shape, so the APIs stay documented side by side
+// by running code.
+//
+// The interesting part is invisible: on the skiplist every overwrite
+// replaces the node and retires the old one, and in the store every
+// overwrite additionally retires the old *value* — so the churn below
+// keeps the reclamation scheme busy even though the key population
+// barely changes. The printed counters show it.
 //
 //	go run ./examples/kvstore
 package main
@@ -21,10 +26,11 @@ import (
 )
 
 func main() {
+	// ----- Layer 1: the raw int64→uint64 map ------------------------
 	const (
 		workers  = 4
 		keys     = 10_000
-		opsEach  = 100_000
+		opsEach  = 50_000
 		hotRange = 512 // overwrites concentrate here: maximal node churn
 	)
 
@@ -38,7 +44,6 @@ func main() {
 		threads[i] = domain.RegisterThread()
 	}
 
-	// Seed the store: key k holds version 0 of its value.
 	version := func(k int64, v uint64) uint64 { return uint64(k)<<20 | v }
 	for k := int64(0); k < keys; k++ {
 		kv.Put(threads[0], k, version(k, 0))
@@ -59,11 +64,11 @@ func main() {
 				case 0, 1, 2: // overwrite a hot key: replace-node + retire
 					hot := k % hotRange
 					kv.Put(t, hot, version(hot, uint64(i)))
-				case 3: // insert-if-absent keeps cold keys at version 0
+				case 3:
 					kv.PutIfAbsent(t, k, version(k, 0))
-				case 4: // delete: the key stays gone until case 3 re-seeds it
+				case 4:
 					kv.Delete(t, k)
-				default: // serve a read
+				default:
 					kv.Get(t, k)
 				}
 			}
@@ -71,20 +76,54 @@ func main() {
 	}
 	wg.Wait()
 
-	// Ordered-map bonus: walk a window and read the surviving values.
 	t := threads[0]
 	window := kv.RangeCollect(t, 100, 119, nil)
-	fmt.Printf("keys in [100,119]: %d\n", len(window))
-	for _, k := range window[:min(3, len(window))] {
-		v, _ := kv.Get(t, k)
-		fmt.Printf("  kv[%d] = key %d, version %d\n", k, v>>20, v&(1<<20-1))
+	fmt.Printf("map: keys in [100,119]: %d, size %d, outstanding nodes %d\n",
+		len(window), kv.Size(t), kv.Outstanding())
+
+	// ----- Layer 2: the string-key serving front --------------------
+	// Same domain, same policy, same reclamation counters — but string
+	// keys, byte values, batches and value-returning scans.
+	store, err := pop.NewStore(domain, &pop.StoreOptions{Shards: 4})
+	if err != nil {
+		panic(err)
 	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("user:%04d", i)
+		store.Put(t, key, []byte(fmt.Sprintf("profile-v0-of-%s", key)))
+	}
+	// Overwrite a hot subset: each hit retires a node AND a value slot.
+	for i := 0; i < 5000; i++ {
+		key := fmt.Sprintf("user:%04d", i%100)
+		store.Put(t, key, []byte(fmt.Sprintf("profile-v%d-of-%s", i, key)))
+	}
+	if v, ok := store.Get(t, "user:0042", nil); ok {
+		fmt.Printf("store: user:0042 -> %q\n", v)
+	}
+	// Batched multi-get: one protected operation per shard per batch.
+	var batch pop.StoreBatch
+	reqs := []string{"user:0001", "user:0500", "user:9999", "user:0042"}
+	store.GetBatch(t, reqs, &batch)
+	hits := 0
+	for i := range reqs {
+		if batch.OK[i] {
+			hits++
+		}
+	}
+	fmt.Printf("store: batch of %d -> %d hits\n", len(reqs), hits)
+	// Value-returning scan over the hashed key space.
+	pairs := 0
+	store.Scan(t, -1<<62, 1<<62, func(int64, []byte) bool { pairs++; return true })
+	fmt.Printf("store: scanned %d of %d pairs in the middle half of the hash space\n",
+		pairs, store.Size(t))
 
 	for _, th := range threads {
 		th.Flush()
 	}
+	st := store.Stats()
 	stats := domain.Stats()
-	fmt.Printf("size %d, outstanding nodes %d\n", kv.Size(t), kv.Outstanding())
-	fmt.Printf("retired %d nodes (every overwrite retires one), freed %d, pings %d\n",
+	fmt.Printf("store: %d puts (%d overwrites -> value retirements), %d stale-read retries\n",
+		st.Puts, st.Overwrites, st.StaleReads)
+	fmt.Printf("domain: retired %d nodes+values, freed %d, pings %d\n",
 		stats.Retires, stats.Frees, stats.PingsSent)
 }

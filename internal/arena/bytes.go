@@ -1,0 +1,369 @@
+package arena
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"pop/internal/padded"
+)
+
+// Bytes is the variable-size value arena underneath the store layer: a
+// size-class slab pool for byte payloads whose allocations are named by
+// opaque uint64 Handles rather than pointers, so a data structure can
+// hold a value in the uint64 slot it already has.
+//
+// Like Pool, Bytes simulates manual memory in a garbage-collected
+// runtime: slabs are never returned to the Go heap while the arena
+// lives, and every slot carries a lifetime sequence number (even while
+// free, odd while allocated) whose low 32 bits are baked into the
+// Handle. The seqlock discipline makes a stale read *deterministically
+// detectable* instead of a crash:
+//
+//   - Alloc copies the payload into the slot with atomic word stores and
+//     only then publishes the new (odd) sequence number;
+//   - Free bumps the sequence (odd -> even) before the slot can be
+//     handed out again;
+//   - Read loads the sequence, copies the payload with atomic word
+//     loads, and loads the sequence again — if either load disagrees
+//     with the Handle's sequence the slot was freed (and possibly
+//     recycled) under the reader, and Read reports !ok instead of
+//     returning torn or recycled bytes.
+//
+// All slot accesses are atomic at word granularity, so a reader racing a
+// recycler is well-defined under the Go memory model (and clean under
+// -race) — the race is resolved by the sequence validation, exactly the
+// role the node pools' Seq/Check discipline plays for pointers.
+//
+// Payloads are length-prefixed inside the slot; the usable capacity of
+// class c is 16<<c − 8 bytes, up to MaxValueLen.
+
+// bytesClasses is the number of size classes: 16 B .. 2048 B slots.
+const bytesClasses = 8
+
+// bytesSlabSlots is the number of slots allocated per slab (per class).
+const bytesSlabSlots = 1024
+
+// bytesBatch is the number of slot indices moved between a thread cache
+// and a class's global free list in one transfer.
+const bytesBatch = 64
+
+// bytesMaxCache is the per-thread, per-class cache size above which
+// frees overflow to the global list.
+const bytesMaxCache = 4 * bytesBatch
+
+// MaxValueLen is the largest payload Bytes can hold: the top class's
+// slot minus the 8-byte length prefix.
+const MaxValueLen = (16 << (bytesClasses - 1)) - 8
+
+// Handle names one allocated value: the slot's class and global index
+// plus the low 32 bits of the slot's (odd) allocation sequence. The
+// zero Handle is never produced by Alloc, so 0 can mean "no value" in
+// the structures that store handles.
+//
+// Layout: seq32 << 32 | class4 << 28 | idx28.
+type Handle uint64
+
+func makeHandle(seq uint64, class, idx uint32) Handle {
+	return Handle(seq<<32 | uint64(class)<<28 | uint64(idx))
+}
+
+func (h Handle) seq() uint32   { return uint32(uint64(h) >> 32) }
+func (h Handle) class() uint32 { return uint32(h) >> 28 }
+func (h Handle) idx() uint32   { return uint32(h) & (1<<28 - 1) }
+
+// SameSlot reports whether two handles name the same arena slot,
+// ignoring the lifetime sequence — true for a handle and the handle of
+// a later value recycled into its slot. Test/debug use.
+func (h Handle) SameSlot(o Handle) bool {
+	return h.class() == o.class() && h.idx() == o.idx()
+}
+
+// bslab is one slab of a size class: the payload words and the parallel
+// per-slot sequence numbers. Both slices are fixed-length once created;
+// all element accesses are atomic.
+type bslab struct {
+	words []uint64 // bytesSlabSlots * wordsPerSlot(class)
+	seqs  []uint64 // bytesSlabSlots lifetime counters
+}
+
+// bclass is one size class: a mutex-protected global free list plus a
+// copy-on-grow slab directory readers can index without the lock.
+type bclass struct {
+	mu    sync.Mutex
+	free  []uint32 // free slot indices (global overflow)
+	slabs atomic.Pointer[[]*bslab]
+}
+
+// wordsPerSlot returns the slot width of class c in 8-byte words
+// (length word included).
+func wordsPerSlot(c uint32) uint32 { return (16 << c) / 8 }
+
+// classCap returns the payload capacity of class c in bytes.
+func classCap(c uint32) int { return (16 << int(c)) - 8 }
+
+// classFor returns the smallest class whose capacity holds n bytes.
+func classFor(n int) uint32 {
+	for c := uint32(0); c < bytesClasses; c++ {
+		if classCap(c) >= n {
+			return c
+		}
+	}
+	panic(fmt.Sprintf("arena: value of %d bytes exceeds MaxValueLen (%d)", n, MaxValueLen))
+}
+
+// Bytes is the value arena. Alloc/Free go through per-thread
+// BytesCaches; Read and CheckHandle are safe from any goroutine.
+type Bytes struct {
+	classes [bytesClasses]bclass
+
+	allocs padded.Uint64
+	frees  padded.Uint64
+}
+
+// NewBytes returns an empty value arena.
+func NewBytes() *Bytes { return &Bytes{} }
+
+// BytesCache is a per-thread allocation cache over a Bytes arena. Not
+// safe for concurrent use (one per worker thread, by construction).
+type BytesCache struct {
+	b    *Bytes
+	free [bytesClasses][]uint32
+}
+
+// NewCache returns a thread cache bound to the arena.
+func (b *Bytes) NewCache() *BytesCache { return &BytesCache{b: b} }
+
+// grow allocates one slab for class c and pushes its slot indices on the
+// class free list. Caller holds the class mutex.
+func (b *Bytes) grow(c uint32) {
+	cl := &b.classes[c]
+	old := cl.slabs.Load()
+	var slabs []*bslab
+	if old != nil {
+		slabs = append(slabs, *old...)
+	}
+	slab := &bslab{
+		words: make([]uint64, bytesSlabSlots*int(wordsPerSlot(c))),
+		seqs:  make([]uint64, bytesSlabSlots),
+	}
+	base := uint32(len(slabs)) * bytesSlabSlots
+	slabs = append(slabs, slab)
+	cl.slabs.Store(&slabs)
+	for i := uint32(0); i < bytesSlabSlots; i++ {
+		cl.free = append(cl.free, base+i)
+	}
+}
+
+// refill moves up to bytesBatch slot indices from the class's global
+// list into the cache.
+func (c *BytesCache) refill(class uint32) {
+	cl := &c.b.classes[class]
+	cl.mu.Lock()
+	if len(cl.free) == 0 {
+		c.b.grow(class)
+	}
+	n := bytesBatch
+	if n > len(cl.free) {
+		n = len(cl.free)
+	}
+	c.free[class] = append(c.free[class], cl.free[len(cl.free)-n:]...)
+	cl.free = cl.free[:len(cl.free)-n]
+	cl.mu.Unlock()
+}
+
+// slotOf resolves a (class, idx) pair to its slab, sequence cell and
+// first payload word. ok=false means idx names a slab that was never
+// allocated — only possible for a corrupted handle.
+func (b *Bytes) slotOf(class, idx uint32) (slab *bslab, slot, base uint32, ok bool) {
+	slabs := b.classes[class].slabs.Load()
+	si := idx / bytesSlabSlots
+	if slabs == nil || si >= uint32(len(*slabs)) {
+		return nil, 0, 0, false
+	}
+	slab = (*slabs)[si]
+	slot = idx % bytesSlabSlots
+	base = slot * wordsPerSlot(class)
+	return slab, slot, base, true
+}
+
+// Alloc copies v into a fresh slot and returns its Handle. The returned
+// handle is valid until Free. Values longer than MaxValueLen panic.
+func (c *BytesCache) Alloc(v []byte) Handle {
+	class := classFor(len(v))
+	if len(c.free[class]) == 0 {
+		c.refill(class)
+	}
+	idx := c.free[class][len(c.free[class])-1]
+	c.free[class] = c.free[class][:len(c.free[class])-1]
+	slab, slot, base, ok := c.b.slotOf(class, idx)
+	if !ok {
+		panic("arena: cached slot index names no slab")
+	}
+	// The slot is free (even seq) and owned by this thread until the seq
+	// publish below, but readers chasing a stale handle may race these
+	// stores, so they stay atomic.
+	atomic.StoreUint64(&slab.words[base], uint64(len(v)))
+	w := base + 1
+	for len(v) >= 8 {
+		atomic.StoreUint64(&slab.words[w], leWord(v))
+		v = v[8:]
+		w++
+	}
+	if len(v) > 0 {
+		var last [8]byte
+		copy(last[:], v)
+		atomic.StoreUint64(&slab.words[w], leWord(last[:]))
+	}
+	seq := atomic.LoadUint64(&slab.seqs[slot]) + 1 // even -> odd: allocated
+	atomic.StoreUint64(&slab.seqs[slot], seq)
+	c.b.allocs.Add(1)
+	return makeHandle(seq, class, idx)
+}
+
+// Free returns h's slot to the pool. Freeing a handle that is not the
+// slot's current allocation (stale or double free) panics: frees flow
+// through the reclamation layer exactly once per retirement.
+func (c *BytesCache) Free(h Handle) {
+	class, idx := h.class(), h.idx()
+	slab, slot, _, ok := c.b.slotOf(class, idx)
+	if !ok {
+		panic("arena: Free of handle naming no slab")
+	}
+	seq := atomic.LoadUint64(&slab.seqs[slot])
+	if seq%2 == 0 || uint32(seq) != h.seq() {
+		panic(fmt.Sprintf("arena: double or stale free of value slot (seq=%d, handle seq=%d)", seq, h.seq()))
+	}
+	atomic.StoreUint64(&slab.seqs[slot], seq+1) // odd -> even: free
+	c.b.frees.Add(1)
+	c.free[class] = append(c.free[class], idx)
+	if len(c.free[class]) >= bytesMaxCache {
+		cl := &c.b.classes[class]
+		cl.mu.Lock()
+		cl.free = append(cl.free, c.free[class][len(c.free[class])-bytesBatch:]...)
+		cl.mu.Unlock()
+		c.free[class] = c.free[class][:len(c.free[class])-bytesBatch]
+	}
+}
+
+// Read copies h's payload into buf (growing it as needed) and returns
+// the filled slice. ok=false means the handle is stale — the slot was
+// freed (and possibly reallocated) after h was issued — in which case
+// no bytes are returned: the seqlock validation brackets the copy, so a
+// caller never observes torn or recycled data. Safe from any goroutine.
+func (b *Bytes) Read(h Handle, buf []byte) ([]byte, bool) {
+	class, idx := h.class(), h.idx()
+	if class >= bytesClasses {
+		return buf[:0], false
+	}
+	slab, slot, base, ok := b.slotOf(class, idx)
+	if !ok {
+		return buf[:0], false
+	}
+	seq := atomic.LoadUint64(&slab.seqs[slot])
+	if seq%2 == 0 || uint32(seq) != h.seq() {
+		return buf[:0], false
+	}
+	n := atomic.LoadUint64(&slab.words[base])
+	if n > uint64(classCap(class)) {
+		return buf[:0], false // recycled mid-read; the re-check would fail too
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	w := base + 1
+	out := buf
+	for len(out) >= 8 {
+		putLeWord(out, atomic.LoadUint64(&slab.words[w]))
+		out = out[8:]
+		w++
+	}
+	if len(out) > 0 {
+		var last [8]byte
+		putLeWord(last[:], atomic.LoadUint64(&slab.words[w]))
+		copy(out, last[:len(out)])
+	}
+	// Validate: if the slot was freed or recycled during the copy the
+	// sequence moved and the bytes above are garbage.
+	if atomic.LoadUint64(&slab.seqs[slot]) != seq {
+		return buf[:0], false
+	}
+	return buf, true
+}
+
+// CheckHandle reports whether h still names a live allocation: the
+// slot's sequence is odd and matches the handle. A false result is the
+// deterministic stale-value detection the store's tests assert on —
+// the analogue of Check for pointer arenas, minus the panic (stale
+// value handles are an expected event for readers that outlive an
+// overwrite, not a bug).
+func (b *Bytes) CheckHandle(h Handle) bool {
+	slab, slot, _, ok := b.slotOf(h.class(), h.idx())
+	if !ok {
+		return false
+	}
+	seq := atomic.LoadUint64(&slab.seqs[slot])
+	return seq%2 == 1 && uint32(seq) == h.seq()
+}
+
+// Len returns the payload length recorded for h, without copying.
+// ok=false under the same conditions as Read.
+func (b *Bytes) Len(h Handle) (int, bool) {
+	slab, slot, base, ok := b.slotOf(h.class(), h.idx())
+	if !ok {
+		return 0, false
+	}
+	seq := atomic.LoadUint64(&slab.seqs[slot])
+	if seq%2 == 0 || uint32(seq) != h.seq() {
+		return 0, false
+	}
+	n := atomic.LoadUint64(&slab.words[base])
+	if n > uint64(classCap(h.class())) || atomic.LoadUint64(&slab.seqs[slot]) != seq {
+		return 0, false
+	}
+	return int(n), true
+}
+
+// Outstanding returns Allocs-Frees (live + retired-but-unfreed values).
+func (b *Bytes) Outstanding() int64 {
+	return int64(b.allocs.Load()) - int64(b.frees.Load())
+}
+
+// BytesStats is a snapshot of value-arena counters.
+type BytesStats struct {
+	Allocs      uint64 // total Alloc calls
+	Frees       uint64 // total Free calls
+	Outstanding int64  // Allocs - Frees
+	Slabs       int    // slabs ever allocated, all classes
+}
+
+// Stats returns a snapshot of the arena counters.
+func (b *Bytes) Stats() BytesStats {
+	a, f := b.allocs.Load(), b.frees.Load()
+	slabs := 0
+	for c := range b.classes {
+		if s := b.classes[c].slabs.Load(); s != nil {
+			slabs += len(*s)
+		}
+	}
+	return BytesStats{Allocs: a, Frees: f, Outstanding: int64(a) - int64(f), Slabs: slabs}
+}
+
+// leWord packs b[0:8] little-endian into a word.
+func leWord(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// putLeWord unpacks w little-endian into b[0:8].
+func putLeWord(b []byte, w uint64) {
+	b[0] = byte(w)
+	b[1] = byte(w >> 8)
+	b[2] = byte(w >> 16)
+	b[3] = byte(w >> 24)
+	b[4] = byte(w >> 32)
+	b[5] = byte(w >> 40)
+	b[6] = byte(w >> 48)
+	b[7] = byte(w >> 56)
+}

@@ -1,0 +1,167 @@
+package arena
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestBytesRoundTrip(t *testing.T) {
+	b := NewBytes()
+	c := b.NewCache()
+	sizes := []int{0, 1, 7, 8, 9, 16, 100, 1024, MaxValueLen}
+	for _, n := range sizes {
+		v := make([]byte, n)
+		for i := range v {
+			v[i] = byte(i*7 + n)
+		}
+		h := c.Alloc(v)
+		if h == 0 {
+			t.Fatalf("size %d: zero handle", n)
+		}
+		if got, ok := b.Len(h); !ok || got != n {
+			t.Fatalf("size %d: Len = %d, %v", n, got, ok)
+		}
+		got, ok := b.Read(h, nil)
+		if !ok || !bytes.Equal(got, v) {
+			t.Fatalf("size %d: Read mismatch (ok=%v, len=%d)", n, ok, len(got))
+		}
+		if !b.CheckHandle(h) {
+			t.Fatalf("size %d: CheckHandle false on live handle", n)
+		}
+		c.Free(h)
+		if b.CheckHandle(h) {
+			t.Fatalf("size %d: CheckHandle true after free", n)
+		}
+		if _, ok := b.Read(h, nil); ok {
+			t.Fatalf("size %d: Read succeeded after free", n)
+		}
+	}
+	if out := b.Outstanding(); out != 0 {
+		t.Fatalf("outstanding = %d after balanced alloc/free", out)
+	}
+}
+
+func TestBytesClassFor(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		want uint32
+	}{{0, 0}, {8, 0}, {9, 1}, {24, 1}, {25, 2}, {1024, 7}, {MaxValueLen, 7}} {
+		if got := classFor(tc.n); got != tc.want {
+			t.Errorf("classFor(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestBytesStaleHandleAfterRecycle(t *testing.T) {
+	b := NewBytes()
+	c := b.NewCache()
+	h := c.Alloc([]byte("original payload"))
+	c.Free(h)
+	// Drain the cache until the same slot is reallocated: the new
+	// allocation must not be readable through the old handle.
+	var reused Handle
+	var live []Handle
+	for i := 0; i < 10*bytesMaxCache; i++ {
+		nh := c.Alloc([]byte("recycled payload"))
+		if nh.class() == h.class() && nh.idx() == h.idx() {
+			reused = nh
+			break
+		}
+		live = append(live, nh)
+	}
+	if reused == 0 {
+		t.Fatal("slot never recycled")
+	}
+	if _, ok := b.Read(h, nil); ok {
+		t.Fatal("stale handle read the recycled slot")
+	}
+	if b.CheckHandle(h) {
+		t.Fatal("stale handle passed CheckHandle after recycle")
+	}
+	if got, ok := b.Read(reused, nil); !ok || string(got) != "recycled payload" {
+		t.Fatalf("fresh handle unreadable: %q, %v", got, ok)
+	}
+	for _, lh := range live {
+		c.Free(lh)
+	}
+	c.Free(reused)
+}
+
+func TestBytesDoubleFreePanics(t *testing.T) {
+	b := NewBytes()
+	c := b.NewCache()
+	h := c.Alloc([]byte("x"))
+	c.Free(h)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	c.Free(h)
+}
+
+// TestBytesConcurrentChurn hammers the arena from several goroutines:
+// each owns a cache and continuously allocates, reads back (must match
+// exactly — live handles are never torn), frees, and probes other
+// goroutines' published handles (which may be stale by the time they
+// are read: Read must then either return the exact published payload or
+// report !ok, never garbage). Run under -race this also proves the
+// word-atomic slot protocol is data-race-free.
+func TestBytesConcurrentChurn(t *testing.T) {
+	const (
+		workers = 4
+		rounds  = 2000
+	)
+	b := NewBytes()
+	var published [workers]atomic.Uint64 // handle currently readable (racy by design)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := b.NewCache()
+			var buf []byte
+			for i := 0; i < rounds; i++ {
+				n := (id*31 + i*17) % 512
+				v := make([]byte, n)
+				for j := range v {
+					v[j] = byte(id ^ j ^ i)
+				}
+				h := c.Alloc(v)
+				var ok bool
+				if buf, ok = b.Read(h, buf); !ok || !bytes.Equal(buf, v) {
+					errs <- fmt.Errorf("worker %d round %d: own live handle misread", id, i)
+					return
+				}
+				published[id].Store(uint64(h))
+				// Probe a neighbour's latest handle: may already be stale.
+				if ph := Handle(published[(id+1)%workers].Load()); ph != 0 {
+					if pv, ok := b.Read(ph, nil); ok {
+						// A successful read must be internally consistent:
+						// every payload byte was written by one Alloc, so the
+						// first byte determines the rest.
+						for j := range pv {
+							if pv[j]^byte(j) != pv[0] {
+								errs <- fmt.Errorf("worker %d round %d: torn foreign read", id, i)
+								return
+							}
+						}
+					}
+				}
+				c.Free(h)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if out := b.Outstanding(); out != 0 {
+		t.Fatalf("outstanding = %d after balanced churn", out)
+	}
+}

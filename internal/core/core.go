@@ -59,8 +59,11 @@ import (
 // grandparent, parent, leaf and a sibling.
 const MaxSlots = 8
 
-// maxTypes is the number of distinct node types a domain can free.
-const maxTypes = 8
+// maxTypes is the number of distinct node types a domain can free. The
+// store layer registers one type per shard (each shard is its own
+// structure instance) plus one for value-retire tickets, so the budget
+// accommodates the store's 32-shard cap with room for side structures.
+const maxTypes = 64
 
 // eraNone is the "no reservation" era value (eras start at 1).
 const eraNone = 0

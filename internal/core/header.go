@@ -46,9 +46,16 @@ func (a *Atomic) CompareAndSwap(old, new unsafe.Pointer) bool {
 	return atomic.CompareAndSwapPointer(&a.p, old, new)
 }
 
-// Raw initialises the cell without atomicity. Only valid before the cell
-// is published to other threads (node initialisation).
-func (a *Atomic) Raw(p unsafe.Pointer) { a.p = p }
+// Raw initialises the cell with a plain store (no fence). Only valid
+// while the cell is unpublished (node initialisation) — but note that a
+// *recycled* node's cells can still be loaded by an NBR-neutralized
+// thread that held the node before it was freed: that thread's read
+// value is discarded at its restart (EnterWritePhase/Protect gate every
+// use), and a word-sized aligned store cannot tear, so the pairing is
+// sound. It is still formally a data race, so race builds substitute an
+// atomic store via storeRelaxed (the same shim HPAsym's publication
+// uses; see relaxed.go).
+func (a *Atomic) Raw(p unsafe.Pointer) { storeRelaxed(&a.p, p) }
 
 // Marked reports whether the low-order tag bit is set (Harris-Michael's
 // logical-deletion mark).

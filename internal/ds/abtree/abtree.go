@@ -694,7 +694,7 @@ func (tr *Tree) deleteExcise(t *core.Thread, cache *arena.ThreadCache[node], ps 
 // RangeCount counts the keys in [lo, hi].
 func (tr *Tree) RangeCount(t *core.Thread, lo, hi int64) int {
 	n := 0
-	tr.scanRange(t, lo, hi, func(int64) { n++ })
+	tr.scanRange(t, lo, hi, func(int64, uint64) bool { n++; return true })
 	return n
 }
 
@@ -705,8 +705,22 @@ func (tr *Tree) RangeCount(t *core.Thread, lo, hi int64) int {
 // duration is reported.
 func (tr *Tree) RangeCollect(t *core.Thread, lo, hi int64, buf []int64) []int64 {
 	buf = buf[:0]
-	tr.scanRange(t, lo, hi, func(k int64) { buf = append(buf, k) })
+	tr.scanRange(t, lo, hi, func(k int64, _ uint64) bool { buf = append(buf, k); return true })
 	return buf
+}
+
+// RangeCollectKV appends up to max (key, value) pairs from [lo, hi],
+// ascending, to keys[:0]/vals[:0] (max <= 0 = unlimited). Leaves are
+// immutable once published — an overwrite replaces the whole leaf — so
+// each emitted pair comes from one consistent leaf snapshot.
+func (tr *Tree) RangeCollectKV(t *core.Thread, lo, hi int64, max int, keys []int64, vals []uint64) ([]int64, []uint64) {
+	keys, vals = keys[:0], vals[:0]
+	tr.scanRange(t, lo, hi, func(k int64, v uint64) bool {
+		keys = append(keys, k)
+		vals = append(vals, v)
+		return max <= 0 || len(keys) < max
+	})
+	return keys, vals
 }
 
 // scanRange walks the leaves covering [lo, hi] in key order as one long
@@ -728,8 +742,10 @@ func (tr *Tree) RangeCollect(t *core.Thread, lo, hi int64, buf []int64) []int64 
 // its key array is a consistent snapshot of [from, bound). Emission is
 // capped at bound; if the check fails (or NBR neutralizes a hop), the
 // scan re-descends to the first key not yet emitted — emitted keys are
-// never revisited, keeping output sorted and duplicate-free.
-func (tr *Tree) scanRange(t *core.Thread, lo, hi int64, emit func(int64)) {
+// never revisited, keeping output sorted and duplicate-free. emit
+// receives each key with the value its (immutable) leaf snapshot holds
+// for it; returning false stops the scan (the KV collector's limit).
+func (tr *Tree) scanRange(t *core.Thread, lo, hi int64, emit func(int64, uint64) bool) {
 	if lo > hi {
 		return
 	}
@@ -751,7 +767,9 @@ func (tr *Tree) scanRange(t *core.Thread, lo, hi int64, emit func(int64)) {
 		for i := 0; i < ps.l.nkeys; i++ {
 			k := ps.l.keys[i]
 			if k >= from && k <= hi && k < ps.bound {
-				emit(k)
+				if !emit(k, ps.l.vals[i]) {
+					return
+				}
 			}
 		}
 		if ps.bound > hi || ps.bound == math.MaxInt64 {

@@ -121,7 +121,7 @@ type Sized interface {
 // between them), so comparing policies across both separates the cost
 // of reservation *count* from reservation *lifetime*.
 //
-// Both methods are safe under concurrent updates. Results are sorted
+// All methods are safe under concurrent updates. Results are sorted
 // and duplicate-free; every reported key was observed present at some
 // point during the scan, and a key continuously present (or absent) for
 // the scan's whole duration is always (never) reported.
@@ -131,4 +131,26 @@ type RangeScanner interface {
 	// RangeCollect appends the keys in [lo, hi], ascending, to buf[:0]
 	// and returns the filled slice.
 	RangeCollect(t *core.Thread, lo, hi int64, buf []int64) []int64
+	// RangeCollectKV appends up to max (key, value) pairs from [lo, hi],
+	// ascending by key, to keys[:0]/vals[:0] and returns the filled
+	// parallel slices (max <= 0 means no limit). Each value is the one
+	// its key was observed holding when the key was emitted — on the
+	// replace-node and CoW structures values are immutable per node, so
+	// the pair is atomic. This is the value-returning scan the store
+	// layer's iterators are built on; the limit bounds the length of one
+	// protected operation so a large scan can be chunked into several.
+	RangeCollectKV(t *core.Thread, lo, hi int64, max int, keys []int64, vals []uint64) ([]int64, []uint64)
+}
+
+// BatchGetter is implemented by structures with an amortized multi-get:
+// one protected operation (one StartOp/EndOp, one reservation epoch)
+// answers every key in the batch, instead of paying the entry/exit
+// protocol per key. Implementations answer keys in the order given;
+// callers that sort keys ascending additionally get warm upper-level
+// paths on the tree-shaped structures. The store layer's GetBatch
+// groups keys per shard and issues one call per shard.
+type BatchGetter interface {
+	// GetBatch looks every keys[i] up and records the result in vals[i]
+	// and present[i]. The three slices must have equal length.
+	GetBatch(t *core.Thread, keys []int64, vals []uint64, present []bool)
 }

@@ -20,12 +20,16 @@
 //   - reclamation pressure (tiny retire thresholds force constant
 //     reclaim/ping traffic while readers traverse);
 //   - a delayed-thread scenario that must not break safety;
+//   - for structures implementing ds.BatchGetter, batch-vs-loop
+//     equivalence: quiescent exactness (hits, misses, duplicates) and
+//     per-thread owned-stripe validation under concurrent churn;
 //   - for structures implementing ds.RangeScanner, range-query
 //     validation against a mutex-guarded reference model: exact
 //     equivalence sequentially and over per-thread key stripes under
 //     concurrent churn, plus global-scan invariants (sorted,
 //     duplicate-free, in-bounds, all permanently-present keys reported,
-//     no never-inserted key ever reported).
+//     no never-inserted key ever reported) and value-returning scans
+//     (RangeCollectKV) checked pair-exactly, limits included.
 //
 // Any use-after-free surfaces as a poisoned key, a failed invariant, or
 // an arena panic — the Go analogue of the segfault the paper's C++
@@ -87,7 +91,9 @@ func (c Config) skip(p core.Policy) bool {
 // structures implementing ds.RangeScanner — the range-query suites.
 func Run(t *testing.T, f Factory, cfg Config) {
 	cfg = cfg.withDefaults()
-	_, ranged := f(newDomain(core.NR, 1)).(ds.RangeScanner)
+	probe := f(newDomain(core.NR, 1))
+	_, ranged := probe.(ds.RangeScanner)
+	_, batched := probe.(ds.BatchGetter)
 	for _, p := range core.Policies() {
 		if cfg.skip(p) {
 			continue
@@ -103,8 +109,12 @@ func Run(t *testing.T, f Factory, cfg Config) {
 			t.Run("MapRandomizedVsRef", func(t *testing.T) { mapRandomizedVsRef(t, f, p, cfg) })
 			t.Run("MapOverwriteStorm", func(t *testing.T) { mapOverwriteStorm(t, f, p, cfg) })
 			t.Run("MapOwnedStripes", func(t *testing.T) { mapOwnedStripes(t, f, p, cfg) })
+			if batched {
+				t.Run("MapBatchGet", func(t *testing.T) { mapBatchGet(t, f, p, cfg) })
+			}
 			if ranged {
 				t.Run("RangeSequentialVsRef", func(t *testing.T) { rangeSequentialVsRef(t, f, p, cfg) })
+				t.Run("RangeKVVsRef", func(t *testing.T) { rangeKVVsRef(t, f, p, cfg) })
 				t.Run("RangeOwnedStripes", func(t *testing.T) { rangeOwnedStripes(t, f, p, cfg) })
 				t.Run("RangeChurnInvariants", func(t *testing.T) { rangeChurnInvariants(t, f, p, cfg) })
 			}
@@ -986,4 +996,164 @@ func rangeChurnInvariants(t *testing.T, f Factory, p core.Policy, cfg Config) {
 	for _, th := range append(writers, scanner) {
 		th.Flush()
 	}
+}
+
+// mapBatchGet exercises the ds.BatchGetter contract: a batch answered
+// inside one protected operation must agree with per-key Gets. The
+// sequential half checks exact equivalence on a quiescent map (hits,
+// misses, duplicate keys, unsorted order). The concurrent half gives
+// each thread an owned stripe it puts and batch-gets — owned keys have
+// deterministic values even while the other stripes churn, so every
+// batch slot is validated exactly.
+func mapBatchGet(t *testing.T, f Factory, p core.Policy, cfg Config) {
+	d := newDomain(p, cfg.Threads)
+	m := f(d)
+	bg := m.(ds.BatchGetter)
+	threads := make([]*core.Thread, cfg.Threads)
+	for i := range threads {
+		threads[i] = d.RegisterThread()
+	}
+
+	// Sequential equivalence on a quiescent prefix of the key space.
+	th := threads[0]
+	r := rng.New(uint64(p)*2654435761 + 99)
+	for i := int64(0); i < cfg.KeyRange; i += 2 {
+		m.Put(th, i, uint64(i)*3+1)
+	}
+	const batch = 64
+	keys := make([]int64, batch)
+	vals := make([]uint64, batch)
+	present := make([]bool, batch)
+	for round := 0; round < 20; round++ {
+		for i := range keys {
+			keys[i] = r.Intn(cfg.KeyRange)
+		}
+		if round == 0 {
+			keys[1] = keys[0] // duplicate keys must both be answered
+		}
+		bg.GetBatch(th, keys, vals, present)
+		for i, k := range keys {
+			wv, wok := m.Get(th, k)
+			if present[i] != wok || vals[i] != wv {
+				t.Fatalf("round %d: GetBatch[%d] key %d = (%d, %v), Get = (%d, %v)",
+					round, i, k, vals[i], present[i], wv, wok)
+			}
+		}
+	}
+
+	// Concurrent: each thread owns stripe [id*stripe, id*stripe+stripe)
+	// and validates batches over it against its private reference while
+	// all other stripes churn through the same structure.
+	const stripe = 256
+	errs := make(chan error, cfg.Threads)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Threads; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := threads[id]
+			base := cfg.KeyRange + int64(id)*stripe // clear of the prefix above
+			ref := make(map[int64]uint64, stripe)
+			r := rng.New(uint64(id)*7919 + uint64(p))
+			keys := make([]int64, batch)
+			vals := make([]uint64, batch)
+			present := make([]bool, batch)
+			for n := 0; n < cfg.ConcOps/batch+1; n++ {
+				// Mutate a few owned keys.
+				for j := 0; j < 8; j++ {
+					k := base + r.Intn(stripe)
+					if r.Intn(4) == 0 {
+						m.Delete(th, k)
+						delete(ref, k)
+					} else {
+						v := uint64(id)<<32 | uint64(n)<<8 | uint64(j)
+						m.Put(th, k, v)
+						ref[k] = v
+					}
+				}
+				for j := range keys {
+					keys[j] = base + r.Intn(stripe)
+				}
+				bg.GetBatch(th, keys, vals, present)
+				for j, k := range keys {
+					wv, wok := ref[k]
+					if present[j] != wok || (wok && vals[j] != wv) {
+						errs <- fmt.Errorf("thread %d: GetBatch[%d] key %d = (%d, %v), ref = (%d, %v)",
+							id, j, k, vals[j], present[j], wv, wok)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for _, th := range threads {
+		th.Flush()
+	}
+}
+
+// rangeKVVsRef checks the value-returning scan against a reference map
+// under a random single-threaded history: RangeCollectKV must return
+// exactly the reference's (key, value) pairs in order, and the pair
+// limit must truncate to a prefix.
+func rangeKVVsRef(t *testing.T, f Factory, p core.Policy, cfg Config) {
+	d := newDomain(p, 1)
+	m := f(d)
+	rs := m.(ds.RangeScanner)
+	th := d.RegisterThread()
+	ref := make(map[int64]uint64)
+	r := rng.New(0x6b76 ^ uint64(p)<<8)
+	var keys []int64
+	var vals []uint64
+
+	for i := 0; i < 3000; i++ {
+		k := r.Intn(cfg.KeyRange)
+		switch r.Intn(4) {
+		case 0:
+			v := uint64(i)<<16 | uint64(k)
+			m.Put(th, k, v)
+			ref[k] = v
+		case 1:
+			m.Delete(th, k)
+			delete(ref, k)
+		default:
+			lo := r.Intn(cfg.KeyRange)
+			hi := lo + r.Intn(cfg.KeyRange/8+1)
+			var want []int64
+			for rk := range ref {
+				if rk >= lo && rk <= hi {
+					want = append(want, rk)
+				}
+			}
+			sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+			keys, vals = rs.RangeCollectKV(th, lo, hi, 0, keys, vals)
+			if len(keys) != len(vals) || len(keys) != len(want) {
+				t.Fatalf("op %d: RangeCollectKV(%d,%d) -> %d/%d pairs, want %d", i, lo, hi, len(keys), len(vals), len(want))
+			}
+			for j := range want {
+				if keys[j] != want[j] || vals[j] != ref[want[j]] {
+					t.Fatalf("op %d: RangeCollectKV(%d,%d)[%d] = (%d,%d), want (%d,%d)",
+						i, lo, hi, j, keys[j], vals[j], want[j], ref[want[j]])
+				}
+			}
+			if len(want) > 1 {
+				max := 1 + int(r.Intn(int64(len(want))))
+				keys, vals = rs.RangeCollectKV(th, lo, hi, max, keys, vals)
+				if len(keys) != max {
+					t.Fatalf("op %d: limited RangeCollectKV returned %d pairs, want %d", i, len(keys), max)
+				}
+				for j := 0; j < max; j++ {
+					if keys[j] != want[j] || vals[j] != ref[want[j]] {
+						t.Fatalf("op %d: limited scan[%d] = (%d,%d), want (%d,%d)",
+							i, j, keys[j], vals[j], want[j], ref[want[j]])
+					}
+				}
+			}
+		}
+	}
+	th.Flush()
 }

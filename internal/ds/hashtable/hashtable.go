@@ -83,6 +83,18 @@ func (t *Table) Delete(th *core.Thread, key int64) (uint64, bool) {
 	return t.bucket(key).Delete(th, key)
 }
 
+// GetBatch looks up every keys[i] inside one protected operation —
+// bucket chains are short (load factor ~6), so the per-operation
+// entry/exit protocol is a large share of a single Get's cost here and
+// the batch amortization is proportionally strongest.
+func (t *Table) GetBatch(th *core.Thread, keys []int64, vals []uint64, present []bool) {
+	th.StartOp()
+	defer th.EndOp()
+	for i, key := range keys {
+		vals[i], present[i] = t.bucket(key).GetInOp(th, key)
+	}
+}
+
 // Contains reports whether key is present.
 func (t *Table) Contains(th *core.Thread, key int64) bool {
 	return t.bucket(key).Contains(th, key)

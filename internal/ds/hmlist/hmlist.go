@@ -208,10 +208,18 @@ func (l *List) Contains(t *core.Thread, key int64) bool {
 func (l *List) Get(t *core.Thread, key int64) (uint64, bool) {
 	t.StartOp()
 	defer t.EndOp()
+	return l.GetInOp(t, key)
+}
+
+// GetInOp is Get's body without the StartOp/EndOp bracket: the caller
+// must already be inside an operation on t. It exists for batch
+// wrappers (GetBatch here, the hash table's cross-bucket batch) that
+// amortize one protected entry/exit over many lookups.
+func (l *List) GetInOp(t *core.Thread, key int64) (uint64, bool) {
 	for {
 		pos, ok := l.find(t, key)
 		if !ok {
-			continue // neutralized: restart
+			continue // neutralized: retry within the operation
 		}
 		if pos.curr == l.tail || pos.curr.key != key {
 			return 0, false
@@ -219,6 +227,17 @@ func (l *List) Get(t *core.Thread, key int64) (uint64, bool) {
 		// curr is protected and its value immutable: a plain read is the
 		// value the node was published with.
 		return pos.curr.val, true
+	}
+}
+
+// GetBatch looks up every keys[i] inside one protected operation,
+// recording results in vals[i] and present[i] (the ds.BatchGetter
+// contract).
+func (l *List) GetBatch(t *core.Thread, keys []int64, vals []uint64, present []bool) {
+	t.StartOp()
+	defer t.EndOp()
+	for i, key := range keys {
+		vals[i], present[i] = l.GetInOp(t, key)
 	}
 }
 

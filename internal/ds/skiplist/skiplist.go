@@ -274,9 +274,21 @@ type position struct {
 // every level in [lo, MaxHeight): target is fully marked by then, so if
 // the walk met it, it snipped it, and if not, it wasn't in the chain.
 func (l *List) descend(t *core.Thread, key int64, lo int, target *node) (position, bool) {
+	return l.descendFrom(t, key, lo, MaxHeight-1, target)
+}
+
+// descendFrom is descend with an explicit start level. Starting below
+// MaxHeight-1 is always safe — every node is reachable through level 0
+// and the upper levels are only shortcuts — it just walks more at the
+// start level if towers above it exist. GetBatch exploits this: one
+// effective-height probe amortized over the whole batch skips the empty
+// top levels every descent would otherwise pay for. Purge descents
+// (target != nil) must use the full height: their contract is proving
+// target unlinked from every level.
+func (l *List) descendFrom(t *core.Thread, key int64, lo, top int, target *node) (position, bool) {
 retry:
 	pos := position{pred: l.head, sPred: slotPred, sCurr: slotCurr, sNext: slotNext}
-	for lvl := MaxHeight - 1; ; lvl-- {
+	for lvl := top; ; lvl-- {
 		pos.predCell = pos.pred.link(lvl)
 		craw, ok := t.Protect(pos.sCurr, pos.predCell)
 		if !ok {
@@ -662,7 +674,7 @@ restart:
 // RangeCount counts the keys in [lo, hi].
 func (l *List) RangeCount(t *core.Thread, lo, hi int64) int {
 	n := 0
-	l.scanRange(t, lo, hi, func(int64) { n++ })
+	l.scanRange(t, lo, hi, func(int64, uint64) bool { n++; return true })
 	return n
 }
 
@@ -673,17 +685,67 @@ func (l *List) RangeCount(t *core.Thread, lo, hi int64) int {
 // duration is reported.
 func (l *List) RangeCollect(t *core.Thread, lo, hi int64, buf []int64) []int64 {
 	buf = buf[:0]
-	l.scanRange(t, lo, hi, func(k int64) { buf = append(buf, k) })
+	l.scanRange(t, lo, hi, func(k int64, _ uint64) bool { buf = append(buf, k); return true })
 	return buf
 }
 
+// RangeCollectKV appends up to max (key, value) pairs from [lo, hi],
+// ascending, to keys[:0]/vals[:0] (max <= 0 = unlimited). Values are
+// immutable per node and snapshotted while the node is protected, so
+// each pair is one the map actually held while the scan ran.
+func (l *List) RangeCollectKV(t *core.Thread, lo, hi int64, max int, keys []int64, vals []uint64) ([]int64, []uint64) {
+	keys, vals = keys[:0], vals[:0]
+	l.scanRange(t, lo, hi, func(k int64, v uint64) bool {
+		keys = append(keys, k)
+		vals = append(vals, v)
+		return max <= 0 || len(keys) < max
+	})
+	return keys, vals
+}
+
+// GetBatch looks up every keys[i] inside one protected operation (one
+// StartOp/EndOp instead of one per key), recording results in vals[i]
+// and present[i]. Two amortizations pay for the batch: the operation
+// entry/exit protocol runs once, and one effective-height probe lets
+// every descent start just above the tallest live tower instead of at
+// MaxHeight-1 (safe at any start level — upper levels are only
+// shortcuts; a tower raised above the probe after it ran is still found
+// through the levels below). Each lookup is an ordinary validated
+// descent; under NBR a neutralization retries only the key it
+// interrupted. Ascending key order gives consecutive descents warm
+// upper-level paths.
+func (l *List) GetBatch(t *core.Thread, keys []int64, vals []uint64, present []bool) {
+	t.StartOp()
+	defer t.EndOp()
+	top := MaxHeight - 1
+	for top > 0 && l.head.link(top).Load() == unsafe.Pointer(l.tail) {
+		top--
+	}
+	for i, key := range keys {
+		checkKey(key)
+		for {
+			pos, ok := l.descendFrom(t, key, 0, top, nil)
+			if !ok {
+				continue // neutralized: retry this key
+			}
+			if pos.curr == l.tail || pos.curr.key != key {
+				vals[i], present[i] = 0, false
+			} else {
+				vals[i], present[i] = pos.curr.val, true
+			}
+			break
+		}
+	}
+}
+
 // scanRange walks level 0 across [lo, hi] as one long operation,
-// emitting every key observed unmarked while validated reachable. When a
-// hop fails validation (or hits a marked node, whose links are not a
-// safe bridge), the scan re-descends to the first key not yet emitted —
-// keys already emitted are never revisited, keeping output sorted and
-// unique.
-func (l *List) scanRange(t *core.Thread, lo, hi int64, emit func(int64)) {
+// emitting every (key, value) pair observed unmarked while validated
+// reachable; emit returning false stops the scan (the KV collector's
+// pair limit). When a hop fails validation (or hits a marked node,
+// whose links are not a safe bridge), the scan re-descends to the first
+// key not yet emitted — keys already emitted are never revisited,
+// keeping output sorted and unique.
+func (l *List) scanRange(t *core.Thread, lo, hi int64, emit func(int64, uint64) bool) {
 	if lo > hi {
 		return
 	}
@@ -705,10 +767,10 @@ func (l *List) scanRange(t *core.Thread, lo, hi int64, emit func(int64)) {
 			if curr == l.tail || curr.key > hi {
 				return
 			}
-			// Snapshot the key while curr is still protected: a failed
-			// Protect below means we were neutralized and curr may be
-			// reclaimed before the !ok branch runs.
-			k := curr.key
+			// Snapshot the key and value while curr is still protected: a
+			// failed Protect below means we were neutralized and curr may
+			// be reclaimed before the !ok branch runs.
+			k, v := curr.key, curr.val
 			nraw, ok := t.Protect(sNext, curr.link(0))
 			if !ok {
 				from = k
@@ -726,7 +788,9 @@ func (l *List) scanRange(t *core.Thread, lo, hi int64, emit func(int64)) {
 				from = k
 				break
 			}
-			emit(k)
+			if !emit(k, v) {
+				return
+			}
 			from = k + 1
 			predCell = curr.link(0)
 			curr = (*node)(nraw)

@@ -640,6 +640,179 @@ func kvFigure(id, what, dsName string, paperSize int64) Figure {
 	}
 }
 
+// StoreMetric extracts one plotted value from a store trial result.
+type StoreMetric struct {
+	Name string
+	Get  func(harness.StoreResult) float64
+}
+
+// StoreOpLatencyMetric builds a metric reading quantile q (in
+// microseconds) of one store operation class's latency histogram; 0
+// when the class was not profiled.
+func StoreOpLatencyMetric(name string, class harness.StoreOpClass, q float64) StoreMetric {
+	return StoreMetric{Name: name, Get: func(r harness.StoreResult) float64 {
+		h := r.OpLat[class]
+		if h == nil {
+			return 0
+		}
+		return h.Quantile(q) / 1e3
+	}}
+}
+
+// SweepStoreThreads runs cfgBase for every (policy, thread-count) pair
+// and builds one series per metric — SweepThreads for store trials.
+func SweepStoreThreads(c Ctx, title string, cfgBase harness.StoreConfig, policies []core.Policy, metrics []StoreMetric) ([]report.Series, error) {
+	names := make([]string, len(policies))
+	for i, p := range policies {
+		names[i] = p.String()
+	}
+	out := make([]report.Series, len(metrics))
+	for i, m := range metrics {
+		out[i] = report.Series{
+			Title:  fmt.Sprintf("%s — %s", title, m.Name),
+			XLabel: "threads",
+			Names:  names,
+		}
+	}
+	for _, n := range c.Threads {
+		cells := make([][]float64, len(metrics))
+		for i := range cells {
+			cells[i] = make([]float64, len(policies))
+		}
+		for pi, p := range policies {
+			cfg := cfgBase
+			cfg.Policy = p
+			cfg.Threads = n
+			cfg.Duration = c.Duration
+			cfg.Seed = c.Seed
+			c.Log("  %s: threads=%d policy=%v", title, n, p)
+			res, err := harness.RunStore(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s [threads=%d policy=%v]: %w", title, n, p, err)
+			}
+			for mi, m := range metrics {
+				cells[mi][pi] = m.Get(res)
+			}
+		}
+		for mi := range metrics {
+			out[mi].AddRow(fmt.Sprintf("%d", n), cells[mi])
+		}
+	}
+	return out, nil
+}
+
+// storeServeFigure sweeps the KV-serving front: an 8-shard skiplist
+// store under the StoreServe mix with Zipfian key popularity — single
+// gets, batched multi-gets (one protected operation per shard per
+// batch), value-returning scans, and 16–256 B payload writes whose
+// replaced values retire through the core reclamation path. The series
+// report the serving tails per policy plus the stale-read count: how
+// often a value read lost to an overwrite's reclamation and retried,
+// the read-side signature of each policy's retire-to-free latency.
+func storeServeFigure() Figure {
+	return Figure{
+		ID:   "store-serve",
+		Desc: "Store: 8-shard skiplist KV front, zipf(0.99) serving mix; throughput, per-class tails, stale reads",
+		Run: func(c Ctx) ([]report.Series, error) {
+			c = c.withDefaults()
+			cfg := harness.StoreConfig{
+				Keys:             scaleSize(c, 4_000_000),
+				Shards:           8,
+				Dist:             workload.Zipf,
+				OpLatency:        true,
+				ReclaimThreshold: scaleThreshold(c, 24576),
+			}
+			return SweepStoreThreads(c, "Store serve (skl ×8 shards, zipf)", cfg, c.policySet(false), []StoreMetric{
+				{Name: "throughput (ops/s)", Get: func(r harness.StoreResult) float64 { return r.Throughput }},
+				{Name: "served keys/s", Get: func(r harness.StoreResult) float64 { return r.KeyTput }},
+				StoreOpLatencyMetric("get p50 (µs)", harness.SOpGet, 0.50),
+				StoreOpLatencyMetric("get p99 (µs)", harness.SOpGet, 0.99),
+				StoreOpLatencyMetric("mget p99 (µs)", harness.SOpMGet, 0.99),
+				StoreOpLatencyMetric("scan p99 (µs)", harness.SOpScan, 0.99),
+				StoreOpLatencyMetric("put p99 (µs)", harness.SOpPut, 0.99),
+				{Name: "stale value reads", Get: func(r harness.StoreResult) float64 { return float64(r.Stale) }},
+				{Name: "value checksum failures", Get: func(r harness.StoreResult) float64 { return float64(r.ValueErrors) }},
+				{Name: "unreclaimed at run end (nodes)", Get: func(r harness.StoreResult) float64 { return float64(r.Unreclaimed) }},
+			})
+		},
+	}
+}
+
+// nbrOverwriteFigure is the NBR overwrite-tail ablation the per-op
+// histograms motivated: overwrites are where NBR restart storms live,
+// because an overwrite's write phase (mark + link CAS) can be
+// neutralized and restarted arbitrarily often under reclamation
+// pressure. The sweep holds the structure and key range fixed and
+// dials only OverwritePct: each row reports throughput, the overwrite
+// p99, NBR's neutralization-induced restarts, and publish-handler runs
+// (the ack side of neutralization), so the restart storm's onset and
+// cost are directly comparable against the restart-free schemes.
+func nbrOverwriteFigure() Figure {
+	return Figure{
+		ID:   "nbr-overwrite",
+		Desc: "Ablation: OverwritePct ∈ {0,5,15,30,50} on HML — overwrite p99, NBR restarts/neutralizations vs restart-free schemes",
+		Run: func(c Ctx) ([]report.Series, error) {
+			c = c.withDefaults()
+			threads := c.Threads[len(c.Threads)-1]
+			if threads < 2 {
+				threads = 2
+			}
+			policies := []core.Policy{core.EBR, core.NBR, core.HazardPtrPOP, core.EpochPOP}
+			if c.Policies != nil {
+				policies = c.Policies
+			}
+			names := make([]string, len(policies))
+			for i, p := range policies {
+				names[i] = p.String()
+			}
+			mk := func(metric string) report.Series {
+				return report.Series{
+					Title:  fmt.Sprintf("NBR overwrite ablation (HML, %d threads) — %s", threads, metric),
+					XLabel: "overwritePct",
+					Names:  names,
+				}
+			}
+			thr, p99 := mk("throughput (ops/s)"), mk("overwrite p99 (µs)")
+			restarts, pubs := mk("NBR restarts"), mk("publish-handler runs")
+			for _, pct := range []int{0, 5, 15, 30, 50} {
+				cells := [4][]float64{}
+				for i := range cells {
+					cells[i] = make([]float64, len(policies))
+				}
+				for pi, p := range policies {
+					c.Log("  nbr-overwrite: pct=%d policy=%v", pct, p)
+					res, err := harness.Run(harness.Config{
+						DS:               harness.DSHarrisMichaelList,
+						Policy:           p,
+						Threads:          threads,
+						Duration:         c.Duration,
+						KeyRange:         2048,
+						Mix:              workload.Mix{ContainsPct: 100 - pct, OverwritePct: pct},
+						OpLatency:        true,
+						ReclaimThreshold: scaleThreshold(c, 2048),
+						Seed:             c.Seed,
+					})
+					if err != nil {
+						return nil, err
+					}
+					cells[0][pi] = res.Throughput
+					if h := res.OpLat[harness.OpOverwrite]; h != nil {
+						cells[1][pi] = h.Quantile(0.99) / 1e3
+					}
+					cells[2][pi] = float64(res.Reclaim.Restarts)
+					cells[3][pi] = float64(res.Reclaim.Publishes)
+				}
+				x := fmt.Sprintf("%d", pct)
+				thr.AddRow(x, cells[0])
+				p99.AddRow(x, cells[1])
+				restarts.AddRow(x, cells[2])
+				pubs.AddRow(x, cells[3])
+			}
+			return []report.Series{thr, p99, restarts, pubs}, nil
+		},
+	}
+}
+
 // All returns every figure in presentation order.
 func All() []Figure {
 	return []Figure{
@@ -663,6 +836,8 @@ func All() []Figure {
 		scanHeavyFigure("abt-scan", "ABT ((a,b)-tree) 1M scan-heavy: whole-leaf range scans under churn, throughput + scan tail latency + memory", harness.DSABTree, 1_000_000),
 		kvFigure("skl-kv", "SKL (skiplist) 1M KV-serving mix: get/put/overwrite/delete with per-op-class tail latency", harness.DSSkipList, 1_000_000),
 		kvFigure("hmht-kv", "HMHT (hash table) 6M KV-serving mix: get/put/overwrite/delete with per-op-class tail latency", harness.DSHashTable, 6_000_000),
+		storeServeFigure(),
+		nbrOverwriteFigure(),
 		readCostFigure(),
 		stallFigure(),
 		ablateThreshold(),

@@ -142,6 +142,12 @@ type Config struct {
 	// is nonzero, which requires a DS implementing ds.RangeScanner.
 	RangeSpan int64
 
+	// Dist selects the key-popularity distribution (uniform by
+	// default; workload.Zipf with ZipfS skew models skewed serving
+	// traffic). LongReads role mixes keep their uniform draws.
+	Dist  workload.Dist
+	ZipfS float64
+
 	// OpLatency enables per-operation latency histograms for the
 	// get/put/overwrite/delete classes (two clock reads per operation —
 	// measurable on sub-100ns operations, so figure reproductions leave
@@ -349,6 +355,11 @@ func Run(cfg Config) (Result, error) {
 			return Result{}, fmt.Errorf("harness: worker %d: %w", i, err)
 		}
 		gen.SetRangeSpan(cfg.RangeSpan)
+		if cfg.Dist != workload.Uniform && !cfg.LongReads {
+			if err := gen.SetDist(cfg.Dist, cfg.ZipfS); err != nil {
+				return Result{}, fmt.Errorf("harness: worker %d: %w", i, err)
+			}
+		}
 		gens[i] = gen
 	}
 

@@ -1,0 +1,492 @@
+// Store mode: one trial of the KV-serving front (internal/store) — a
+// sharded string-key store × a reclamation policy × a store mix ×
+// a thread count — with the same per-op-class latency-histogram
+// machinery the map trials use. Where a map trial measures the paper's
+// dialect (one key, one protected operation), a store trial measures
+// serving shapes: single gets, batched multi-gets (one protected
+// operation per shard per batch), value-returning scans, and
+// variable-size payload writes, under uniform or Zipfian key
+// popularity.
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pop/internal/arena"
+	"pop/internal/core"
+	"pop/internal/report"
+	"pop/internal/rng"
+	"pop/internal/store"
+	"pop/internal/workload"
+)
+
+// StoreOpClass is one store operation class for counters and latency
+// histograms.
+type StoreOpClass int
+
+// The store operation classes, in reporting order.
+const (
+	SOpGet StoreOpClass = iota
+	SOpPut
+	SOpMGet
+	SOpScan
+	SOpDelete
+	NumStoreOpClasses
+)
+
+var storeOpClassNames = [NumStoreOpClasses]string{"get", "put", "mget", "scan", "delete"}
+
+// String returns the class's reporting name.
+func (c StoreOpClass) String() string {
+	if c >= 0 && c < NumStoreOpClasses {
+		return storeOpClassNames[c]
+	}
+	return fmt.Sprintf("StoreOpClass(%d)", int(c))
+}
+
+// MixShare returns the class's percentage share of a store mix.
+func (c StoreOpClass) MixShare(m workload.StoreMix) int {
+	switch c {
+	case SOpGet:
+		return m.GetPct
+	case SOpPut:
+		return m.PutPct
+	case SOpMGet:
+		return m.MGetPct
+	case SOpScan:
+		return m.ScanPct
+	default:
+		return m.DeletePct
+	}
+}
+
+// classOfStore maps a store op to its reporting class.
+func classOfStore(op workload.StoreOp) StoreOpClass {
+	switch op {
+	case workload.StoreGet:
+		return SOpGet
+	case workload.StorePut:
+		return SOpPut
+	case workload.StoreMGet:
+		return SOpMGet
+	case workload.StoreScan:
+		return SOpScan
+	default:
+		return SOpDelete
+	}
+}
+
+// StoreConfig describes one store trial.
+type StoreConfig struct {
+	Policy   core.Policy   // reclamation scheme
+	Threads  int           // worker count
+	Duration time.Duration // execution-phase length
+	Keys     int64         // key population (ranks 0..Keys-1)
+	Shards   int           // store shard count (power of two; default 8)
+	Backing  string        // per-shard structure (store.Backing*; default skl)
+	Seed     uint64        // trial seed (reproducible)
+
+	Mix workload.StoreMix // op mixture (default workload.StoreServe)
+
+	// Dist is the key-popularity distribution (uniform or zipf) with
+	// ZipfS skew (<= 0 = workload.DefaultZipfS).
+	Dist  workload.Dist
+	ZipfS float64
+
+	// BatchSize is the multi-get batch width (default 16).
+	BatchSize int
+	// ScanSpan is the expected number of pairs per scan (default 32);
+	// the hashed-key window width is derived from it and the key
+	// population.
+	ScanSpan int
+	// ValueMin/ValueMax bound the (uniformly drawn) payload sizes
+	// (defaults 16 and 256; the issue's serving shape is 16–1024 B).
+	ValueMin, ValueMax int
+
+	// OpLatency enables per-class latency histograms (on in sweeps).
+	OpLatency bool
+
+	// Reclamation tuning (0 = paper defaults; see core.Options).
+	ReclaimThreshold int
+	EpochFreq        int
+	CMult            int
+	BatchNodes       int // Crystalline batch size (core.Options.BatchSize)
+
+	// SamplePeriod is the memory-sampling interval (default 2ms).
+	SamplePeriod time.Duration
+}
+
+func (c StoreConfig) withDefaults() (StoreConfig, error) {
+	if c.Threads <= 0 {
+		return c, fmt.Errorf("harness: store Threads must be positive")
+	}
+	if c.Keys <= 1 {
+		return c, fmt.Errorf("harness: store Keys must exceed 1")
+	}
+	if c.Duration <= 0 {
+		c.Duration = 100 * time.Millisecond
+	}
+	if c.Mix == (workload.StoreMix{}) {
+		c.Mix = workload.StoreServe
+	}
+	if !c.Mix.Valid() {
+		return c, fmt.Errorf("harness: store mix %+v does not sum to 100", c.Mix)
+	}
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.Backing == "" {
+		c.Backing = store.BackingSkipList
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 16
+	}
+	if c.ScanSpan <= 0 {
+		c.ScanSpan = 32
+	}
+	if c.ValueMin <= 0 {
+		c.ValueMin = 16
+	}
+	if c.ValueMax <= 0 {
+		// Default 256, but never below an explicitly chosen ValueMin:
+		// {ValueMin: 512} alone means fixed 512-byte payloads.
+		c.ValueMax = 256
+		if c.ValueMax < c.ValueMin {
+			c.ValueMax = c.ValueMin
+		}
+	}
+	if c.ValueMax < c.ValueMin {
+		return c, fmt.Errorf("harness: ValueMax %d below ValueMin %d", c.ValueMax, c.ValueMin)
+	}
+	if c.ValueMax > arena.MaxValueLen {
+		return c, fmt.Errorf("harness: ValueMax %d exceeds the value arena's %d-byte cap", c.ValueMax, arena.MaxValueLen)
+	}
+	if c.SamplePeriod <= 0 {
+		c.SamplePeriod = 2 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x5707e_cafe
+	}
+	return c, nil
+}
+
+// StoreResult is the outcome of one store trial.
+type StoreResult struct {
+	Config StoreConfig
+
+	Ops        uint64  // operations completed (a batch or scan counts once)
+	Throughput float64 // Ops per second
+	ServedKeys uint64  // keys served: gets + batch keys + scan pairs
+	KeyTput    float64 // ServedKeys per second
+
+	// OpCounts splits Ops by class (get/put/mget/scan/delete).
+	OpCounts [NumStoreOpClasses]uint64
+
+	// ValueErrors counts served values that failed the workload
+	// checksum — the value-plane symptom of a reclamation bug; must be
+	// zero.
+	ValueErrors uint64
+
+	// Stale counts value reads that lost to a concurrent overwrite's
+	// reclamation and retried (store.Stats.StaleReads): the read-side
+	// cost of eager value reclamation, a per-policy signature.
+	Stale uint64
+
+	MaxRetire    int   // max retire-list length across threads
+	PeakResident int64 // peak outstanding nodes+values+tickets
+	Unreclaimed  int64 // retired-but-unfreed at measurement end
+	LeakedAfter  int64 // unreclaimed after a quiescent flush
+
+	// OpLat holds per-class latency histograms (ns), merged across
+	// workers; nil unless Config.OpLatency.
+	OpLat [NumStoreOpClasses]*report.Histogram
+
+	Store   store.Stats // store-level counters (shard-aggregated)
+	Reclaim core.Stats  // reclamation counters
+}
+
+// storeWorkerCounters receives one worker's tallies.
+type storeWorkerCounters struct {
+	ops       uint64
+	byClass   [NumStoreOpClasses]uint64
+	served    uint64
+	valueErrs uint64
+	lats      [NumStoreOpClasses]*report.Histogram
+}
+
+// RunStore executes one store trial.
+func RunStore(cfg StoreConfig) (StoreResult, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return StoreResult{}, err
+	}
+	d := core.NewDomain(cfg.Policy, cfg.Threads, &core.Options{
+		ReclaimThreshold: cfg.ReclaimThreshold,
+		EpochFreq:        cfg.EpochFreq,
+		CMult:            cfg.CMult,
+		BatchSize:        cfg.BatchNodes,
+	})
+	s, err := store.New(d, store.Config{
+		Shards:               cfg.Shards,
+		Backing:              cfg.Backing,
+		ExpectedKeysPerShard: cfg.Keys/int64(cfg.Shards) + 1,
+	})
+	if err != nil {
+		return StoreResult{}, err
+	}
+	if cfg.Mix.ScanPct > 0 && !s.Ordered() {
+		return StoreResult{}, fmt.Errorf("harness: mix has ScanPct=%d but backing %q is unordered", cfg.Mix.ScanPct, cfg.Backing)
+	}
+	threads := make([]*core.Thread, cfg.Threads)
+	for i := range threads {
+		threads[i] = d.RegisterThread()
+	}
+
+	// The key table: rank -> string key and its store hash (for value
+	// checksums). Built once; the hot loop only indexes it.
+	keyTab := make([]string, cfg.Keys)
+	hkTab := make([]int64, cfg.Keys)
+	for i := range keyTab {
+		keyTab[i] = workload.KeyString(int64(i))
+		hkTab[i] = store.KeyHash(keyTab[i])
+	}
+
+	// Per-worker key samplers (zipf state is per-sampler, so build them
+	// up front where errors can surface).
+	samplers := make([]*workload.Sampler, cfg.Threads)
+	for i := range samplers {
+		sm, err := workload.NewSampler(cfg.Seed+uint64(i)*0x9e3779b97f4a7c15+1, cfg.Keys, cfg.Dist, cfg.ZipfS)
+		if err != nil {
+			return StoreResult{}, fmt.Errorf("harness: worker %d: %w", i, err)
+		}
+		samplers[i] = sm
+	}
+
+	workers := make([]storeWorkerCounters, cfg.Threads)
+	if cfg.OpLatency {
+		for i := range workers {
+			for c := StoreOpClass(0); c < NumStoreOpClasses; c++ {
+				workers[i].lats[c] = new(report.Histogram)
+			}
+		}
+	}
+
+	// Prefill to half the key population, split across workers (the
+	// §5.0.2 shape, transplanted to the store).
+	if err := storePrefill(cfg, s, threads, keyTab, hkTab); err != nil {
+		return StoreResult{}, err
+	}
+
+	var (
+		stop      atomic.Bool
+		release   = make(chan struct{})
+		flushGo   = make(chan struct{})
+		loopsDone sync.WaitGroup
+		finished  sync.WaitGroup
+	)
+	for i := 0; i < cfg.Threads; i++ {
+		loopsDone.Add(1)
+		finished.Add(1)
+		go func(id int) {
+			defer finished.Done()
+			<-release
+			runStoreWorker(cfg, s, threads[id], samplers[id], id, keyTab, hkTab, &stop, &workers[id])
+			loopsDone.Done()
+			<-flushGo
+			threads[id].Flush()
+		}(i)
+	}
+
+	var peak atomic.Int64
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		for !stop.Load() {
+			if v := s.Outstanding(); v > peak.Load() {
+				peak.Store(v)
+			}
+			time.Sleep(cfg.SamplePeriod)
+		}
+	}()
+
+	close(release)
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	loopsDone.Wait()
+	<-samplerDone
+
+	if v := s.Outstanding(); v > peak.Load() {
+		peak.Store(v)
+	}
+	unreclaimed := d.Unreclaimed()
+	close(flushGo)
+	finished.Wait()
+
+	res := StoreResult{
+		Config:       cfg,
+		PeakResident: peak.Load(),
+		Unreclaimed:  unreclaimed,
+		LeakedAfter:  d.Unreclaimed(),
+		Store:        s.Stats(),
+		Reclaim:      d.Stats(),
+	}
+	for i := range workers {
+		res.Ops += workers[i].ops
+		res.ServedKeys += workers[i].served
+		res.ValueErrors += workers[i].valueErrs
+		for c := StoreOpClass(0); c < NumStoreOpClasses; c++ {
+			res.OpCounts[c] += workers[i].byClass[c]
+		}
+	}
+	res.Throughput = float64(res.Ops) / cfg.Duration.Seconds()
+	res.KeyTput = float64(res.ServedKeys) / cfg.Duration.Seconds()
+	res.MaxRetire = res.Reclaim.MaxRetire
+	res.Stale = res.Store.StaleReads
+	for c := StoreOpClass(0); c < NumStoreOpClasses; c++ {
+		per := make([]*report.Histogram, len(workers))
+		for i := range workers {
+			per[i] = workers[i].lats[c]
+		}
+		res.OpLat[c] = report.MergeAll(per...)
+	}
+	return res, nil
+}
+
+// scanWidth returns the hashed-key window width whose expected pair
+// count (keys uniform over the hash space, half the population live) is
+// about span.
+func scanWidth(keys int64, span int) uint64 {
+	live := uint64(keys) / 2
+	if live == 0 {
+		live = 1
+	}
+	w := (^uint64(0) / live) * uint64(span)
+	if w == 0 {
+		w = 1
+	}
+	return w
+}
+
+// runStoreWorker is one worker's execution phase.
+func runStoreWorker(cfg StoreConfig, s *store.Store, th *core.Thread, keys *workload.Sampler,
+	id int, keyTab []string, hkTab []int64, stop *atomic.Bool, c *storeWorkerCounters) {
+	r := rng.New(cfg.Seed ^ (uint64(id)*0xff51afd7ed558ccd + 7))
+	var (
+		vbuf  []byte
+		gbuf  []byte
+		batch store.Batch
+		kb    = make([]string, cfg.BatchSize)
+		ranks = make([]int64, cfg.BatchSize)
+		tag   = uint32(id) << 24
+	)
+	width := scanWidth(cfg.Keys, cfg.ScanSpan)
+	var (
+		ops       uint64
+		byClass   [NumStoreOpClasses]uint64
+		served    uint64
+		valueErrs uint64
+	)
+	for !stop.Load() {
+		op := cfg.Mix.NextStore(r)
+		class := classOfStore(op)
+		hist := c.lats[class]
+		var start time.Time
+		if hist != nil {
+			start = time.Now()
+		}
+		switch op {
+		case workload.StoreGet:
+			rank := keys.Next()
+			var ok bool
+			gbuf, ok = s.Get(th, keyTab[rank], gbuf)
+			if ok {
+				served++
+				if !workload.ValueBytesValid(hkTab[rank], gbuf) {
+					valueErrs++
+				}
+			}
+		case workload.StorePut:
+			rank := keys.Next()
+			tag++
+			size := cfg.ValueMin + int(r.Intn(int64(cfg.ValueMax-cfg.ValueMin+1)))
+			vbuf = workload.AppendValueBytes(vbuf[:0], hkTab[rank], tag, size)
+			s.Put(th, keyTab[rank], vbuf)
+		case workload.StoreMGet:
+			for i := range kb {
+				ranks[i] = keys.Next()
+				kb[i] = keyTab[ranks[i]]
+			}
+			s.GetBatch(th, kb, &batch)
+			for i := range kb {
+				if batch.OK[i] {
+					served++
+					if !workload.ValueBytesValid(hkTab[ranks[i]], batch.Vals[i]) {
+						valueErrs++
+					}
+				}
+			}
+		case workload.StoreScan:
+			lo := int64(r.Uint64()) // uniform over the hashed-key space
+			hi := lo + int64(width)
+			if hi < lo {
+				hi = 1<<63 - 2 // clamp at the sentinel-free top
+			}
+			n := s.Scan(th, lo, hi, func(hk int64, v []byte) bool {
+				if !workload.ValueBytesValid(hk, v) {
+					valueErrs++
+				}
+				return true
+			})
+			served += uint64(n)
+		default: // workload.StoreDelete
+			s.Delete(th, keyTab[keys.Next()])
+		}
+		if hist != nil {
+			hist.Record(time.Since(start).Nanoseconds())
+		}
+		byClass[class]++
+		ops++
+	}
+	c.ops, c.byClass, c.served, c.valueErrs = ops, byClass, served, valueErrs
+}
+
+// storePrefill inserts ranks until the store holds about Keys/2
+// entries, split across all threads on their own goroutines.
+func storePrefill(cfg StoreConfig, s *store.Store, threads []*core.Thread, keyTab []string, hkTab []int64) error {
+	target := cfg.Keys / 2
+	per := target / int64(len(threads))
+	extra := target - per*int64(len(threads))
+	var wg sync.WaitGroup
+	for i, th := range threads {
+		quota := per
+		if i == 0 {
+			quota += extra
+		}
+		wg.Add(1)
+		go func(id int, th *core.Thread, quota int64) {
+			defer wg.Done()
+			r := rng.New(cfg.Seed ^ 0xfeed ^ uint64(id))
+			var vbuf []byte
+			done, attempts := int64(0), int64(0)
+			tag := uint32(id)<<24 | 0x800000
+			for done < quota {
+				rank := r.Intn(cfg.Keys)
+				size := cfg.ValueMin + int(r.Intn(int64(cfg.ValueMax-cfg.ValueMin+1)))
+				tag++
+				vbuf = workload.AppendValueBytes(vbuf[:0], hkTab[rank], tag, size)
+				if s.PutIfAbsent(th, keyTab[rank], vbuf) {
+					done++
+				}
+				attempts++
+				if attempts > 50*quota+1000 {
+					return // saturated; good enough for a prefill
+				}
+			}
+		}(i, th, quota)
+	}
+	wg.Wait()
+	return nil
+}

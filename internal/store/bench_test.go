@@ -1,0 +1,103 @@
+package store
+
+import (
+	"testing"
+
+	"pop/internal/core"
+	"pop/internal/rng"
+	"pop/internal/workload"
+)
+
+// benchStore builds an 8-shard skiplist store under EpochPOP prefilled
+// with keys, plus a ready batch of batchKeys lookups.
+func benchStore(b *testing.B, keys int64, batchKeys int) (*Store, *core.Thread, []string) {
+	b.Helper()
+	d := core.NewDomain(core.EpochPOP, 1, nil)
+	s, err := New(d, Config{Shards: 8, Backing: BackingSkipList})
+	if err != nil {
+		b.Fatal(err)
+	}
+	th := d.RegisterThread()
+	var vbuf []byte
+	for i := int64(0); i < keys; i++ {
+		key := workload.KeyString(i)
+		vbuf = workload.AppendValueBytes(vbuf[:0], KeyHash(key), uint32(i), 64)
+		s.Put(th, key, vbuf)
+	}
+	r := rng.New(0xba7c)
+	kb := make([]string, batchKeys)
+	for i := range kb {
+		kb[i] = workload.KeyString(r.Intn(keys))
+	}
+	return s, th, kb
+}
+
+// BenchmarkStoreBatchGet serves 64 keys per iteration through the
+// batched multi-get: the batch is sorted by (shard, hashed key) and
+// each shard's group runs in ONE protected operation (ds.BatchGetter),
+// so the per-operation entry/exit protocol and the per-key dispatch are
+// amortized across the group. Compare ns/op with
+// BenchmarkStoreSequentialGet64, which serves the same 64 keys as 64
+// independent Gets.
+func BenchmarkStoreBatchGet(b *testing.B) {
+	s, th, kb := benchStore(b, 1<<16, 64)
+	var batch Batch
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.GetBatch(th, kb, &batch)
+	}
+	b.StopTimer()
+	if got := s.Stats().GetMisses; got != 0 {
+		b.Fatalf("%d misses on a fully prefilled store", got)
+	}
+	th.Flush()
+}
+
+// BenchmarkStoreSequentialGet64 is BenchmarkStoreBatchGet's baseline:
+// the identical 64 keys served one protected operation each.
+func BenchmarkStoreSequentialGet64(b *testing.B) {
+	s, th, kb := benchStore(b, 1<<16, 64)
+	var buf []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, key := range kb {
+			v, ok := s.Get(th, key, buf)
+			if !ok {
+				b.Fatal("miss on a fully prefilled store")
+			}
+			buf = v[:0]
+		}
+	}
+	b.StopTimer()
+	th.Flush()
+}
+
+// BenchmarkStoreGet is the single-key serve path (hash, shard, lookup,
+// stale-checked value copy).
+func BenchmarkStoreGet(b *testing.B) {
+	s, th, kb := benchStore(b, 1<<16, 64)
+	var buf []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, _ := s.Get(th, kb[i&63], buf)
+		buf = v[:0]
+	}
+	b.StopTimer()
+	th.Flush()
+}
+
+// BenchmarkStorePut is the upsert path on a hot key set: every
+// iteration replaces a value, so it measures alloc + map put + value
+// retirement end to end.
+func BenchmarkStorePut(b *testing.B) {
+	s, th, kb := benchStore(b, 1<<10, 64)
+	var vbuf []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := kb[i&63]
+		vbuf = workload.AppendValueBytes(vbuf[:0], KeyHash(key), uint32(i), 64)
+		s.Put(th, key, vbuf)
+	}
+	b.StopTimer()
+	th.Flush()
+}

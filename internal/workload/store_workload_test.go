@@ -1,0 +1,216 @@
+package workload
+
+import (
+	"testing"
+
+	"pop/internal/rng"
+)
+
+func TestZipfTailMass(t *testing.T) {
+	const (
+		n     = 10_000
+		draws = 200_000
+		skew  = 0.99
+	)
+	s, err := NewSampler(7, n, Zipf, skew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[s.Rank()]++
+	}
+	// Theoretical head mass: P(rank 0) = 1/zetan. For n=10^4, s=0.99,
+	// zetan ≈ 10.75, so ~9.3% of draws hit the hottest rank.
+	z := newZipfState(n, skew)
+	want0 := 1 / z.zetan
+	got0 := float64(counts[0]) / draws
+	if got0 < want0*0.9 || got0 > want0*1.1 {
+		t.Errorf("rank-0 mass = %.4f, want ≈ %.4f (±10%%)", got0, want0)
+	}
+	// Head-vs-tail shape: the hottest 100 ranks (1%) must carry the
+	// majority of the mass, and the coldest half only a sliver — the
+	// defining property a uniform sampler lacks.
+	head, tail := 0, 0
+	for r, c := range counts {
+		if r < 100 {
+			head += c
+		}
+		if r >= n/2 {
+			tail += c
+		}
+	}
+	if hm := float64(head) / draws; hm < 0.5 {
+		t.Errorf("top-1%% mass = %.3f, want > 0.5", hm)
+	}
+	if tm := float64(tail) / draws; tm > 0.1 {
+		t.Errorf("coldest-half mass = %.3f, want < 0.1", tm)
+	}
+	// Monotone head: rank 0 strictly hotter than ranks 10 and 100.
+	if !(counts[0] > counts[10] && counts[10] > counts[100]) {
+		t.Errorf("head not monotone: c0=%d c10=%d c100=%d", counts[0], counts[10], counts[100])
+	}
+}
+
+func TestZipfScrambleCoversSpace(t *testing.T) {
+	const n = 1024
+	s, err := NewSampler(11, n, Zipf, 0) // default skew
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lowHalf int
+	const draws = 10_000
+	for i := 0; i < draws; i++ {
+		k := s.Next()
+		if k < 0 || k >= n {
+			t.Fatalf("Next() = %d outside [0,%d)", k, n)
+		}
+		if k < n/2 {
+			lowHalf++
+		}
+	}
+	// Scrambling spreads the hot ranks: the low half of the key space
+	// must not hold almost all draws (it would without the scramble,
+	// since low ranks are hottest).
+	if frac := float64(lowHalf) / draws; frac > 0.75 || frac < 0.25 {
+		t.Errorf("low-half fraction = %.3f, want scrambled (0.25..0.75)", frac)
+	}
+}
+
+func TestParseDist(t *testing.T) {
+	if d, err := ParseDist("uniform"); err != nil || d != Uniform {
+		t.Errorf("ParseDist(uniform) = %v, %v", d, err)
+	}
+	if d, err := ParseDist("zipf"); err != nil || d != Zipf {
+		t.Errorf("ParseDist(zipf) = %v, %v", d, err)
+	}
+	if _, err := ParseDist("pareto"); err == nil {
+		t.Error("ParseDist(pareto) succeeded")
+	}
+}
+
+func TestGeneratorSetDist(t *testing.T) {
+	g, err := NewGeneratorErr(3, ReadHeavy, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetDist(Zipf, 0.99); err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[int64]int)
+	for i := 0; i < 50_000; i++ {
+		_, k := g.Next()
+		counts[k]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	// Under uniform the max bucket of 50k draws over 4k keys is ~30;
+	// under zipf(0.99) the hottest key draws several thousand.
+	if max < 1000 {
+		t.Errorf("hottest key drew %d of 50000, want zipf-like (>1000)", max)
+	}
+	if err := g.SetDist(Zipf, 1.5); err == nil {
+		t.Error("SetDist accepted skew >= 1")
+	}
+}
+
+// TestSetDistPreservesOpSequence pins the comparability property: two
+// same-seed generators differing only in key distribution must draw
+// the exact same operation sequence (only the keys differ), so uniform
+// and zipf sweeps compare distributions, not accidental op tapes.
+func TestSetDistPreservesOpSequence(t *testing.T) {
+	gu, err := NewGeneratorErr(99, KVStore, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gz, err := NewGeneratorErr(99, KVStore, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.SetDist(Zipf, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10_000; i++ {
+		opU, _ := gu.Next()
+		opZ, _ := gz.Next()
+		if opU != opZ {
+			t.Fatalf("draw %d: op %v (uniform) != %v (zipf)", i, opU, opZ)
+		}
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	if got := KeyString(0); got != "k0000000000000000" {
+		t.Errorf("KeyString(0) = %q", got)
+	}
+	if got := KeyString(0xdeadbeef); got != "k00000000deadbeef" {
+		t.Errorf("KeyString(0xdeadbeef) = %q", got)
+	}
+	seen := make(map[string]bool)
+	for i := int64(0); i < 1000; i++ {
+		s := KeyString(i)
+		if len(s) != 17 || seen[s] {
+			t.Fatalf("KeyString(%d) = %q (len %d, dup %v)", i, s, len(s), seen[s])
+		}
+		seen[s] = true
+	}
+}
+
+func TestValueBytesRoundTrip(t *testing.T) {
+	for _, size := range []int{8, 16, 17, 100, 1024} {
+		v := AppendValueBytes(nil, 42, 7, size)
+		if len(v) != size {
+			t.Fatalf("size %d: got %d bytes", size, len(v))
+		}
+		if !ValueBytesValid(42, v) {
+			t.Fatalf("size %d: fresh payload invalid", size)
+		}
+		if ValueBytesValid(43, v) {
+			t.Fatalf("size %d: cross-key payload accepted", size)
+		}
+		v[size-1] ^= 1
+		if ValueBytesValid(42, v) {
+			t.Fatalf("size %d: corrupted tail accepted", size)
+		}
+		v[size-1] ^= 1
+		v[3] ^= 0x80
+		if ValueBytesValid(42, v) {
+			t.Fatalf("size %d: corrupted head accepted", size)
+		}
+	}
+	if ValueBytesValid(1, []byte{1, 2, 3}) {
+		t.Error("short payload accepted")
+	}
+	// Undersized requests are padded up to the checksum head.
+	if v := AppendValueBytes(nil, 5, 1, 3); len(v) != MinValueLen || !ValueBytesValid(5, v) {
+		t.Errorf("padded payload: len=%d valid=%v", len(v), ValueBytesValid(5, v))
+	}
+}
+
+func TestStoreMix(t *testing.T) {
+	if !StoreServe.Valid() {
+		t.Error("StoreServe mix invalid")
+	}
+	if (StoreMix{GetPct: 50}).Valid() {
+		t.Error("partial mix accepted")
+	}
+	r := rng.New(1)
+	var counts [5]int
+	for i := 0; i < 100_000; i++ {
+		counts[StoreServe.NextStore(r)]++
+	}
+	for op, want := range map[StoreOp]int{
+		StoreGet: StoreServe.GetPct, StorePut: StoreServe.PutPct,
+		StoreMGet: StoreServe.MGetPct, StoreScan: StoreServe.ScanPct,
+		StoreDelete: StoreServe.DeletePct,
+	} {
+		got := float64(counts[op]) / 1000 // percent
+		if got < float64(want)-1.5 || got > float64(want)+1.5 {
+			t.Errorf("op %d share = %.2f%%, want ≈ %d%%", op, got, want)
+		}
+	}
+}

@@ -25,10 +25,19 @@
 // Generators are built with NewGeneratorErr wherever a configuration
 // comes from user input (harness configs, popbench flags); the
 // panicking NewGenerator remains only as a convenience for tests.
+//
+// Beyond the paper's uniform draws, keys can follow a scrambled
+// Zipfian distribution (Dist/Sampler; s≈0.99, the YCSB shape for
+// skewed serving traffic). The store layer's dialect also lives here:
+// StoreMix/StoreOp (get/put/mget/scan/delete), KeyString (canonical
+// string keys), and byte-payload analogues of the checksummed values
+// (AppendValueBytes/ValueBytesValid) so the harness can verify every
+// served byte slice the way it verifies every served uint64.
 package workload
 
 import (
 	"fmt"
+	"math"
 
 	"pop/internal/rng"
 )
@@ -129,10 +138,143 @@ func checksum32(key int64, tag uint32) uint32 {
 	return uint32(x)
 }
 
+// Dist selects a key distribution.
+type Dist uint8
+
+// The key distributions: uniform over [0, keyRange) (the paper's
+// §5.0.2 methodology) and scrambled Zipfian (YCSB-style, skew s≈0.99),
+// the standard model for skewed serving traffic — a few hot keys absorb
+// most operations while the tail stays warm.
+const (
+	Uniform Dist = iota
+	Zipf
+)
+
+// DefaultZipfS is the Zipfian skew used when none is chosen — YCSB's
+// 0.99, under which the hottest of 10^6 keys draws ~7% of traffic.
+const DefaultZipfS = 0.99
+
+// ParseDist resolves a distribution name ("uniform", "zipf").
+func ParseDist(s string) (Dist, error) {
+	switch s {
+	case "uniform":
+		return Uniform, nil
+	case "zipf":
+		return Zipf, nil
+	}
+	return 0, fmt.Errorf("workload: unknown key distribution %q (want uniform or zipf)", s)
+}
+
+// String returns the distribution's flag name.
+func (d Dist) String() string {
+	if d == Zipf {
+		return "zipf"
+	}
+	return "uniform"
+}
+
+// Sampler draws keys in [0, n) under a distribution. Not safe for
+// concurrent use; create one per thread.
+type Sampler struct {
+	r *rng.State
+	n int64
+	z *zipfState // nil for Uniform
+}
+
+// NewSampler creates a key sampler. skew is the Zipfian s parameter
+// (<= 0 means DefaultZipfS); it is ignored for Uniform.
+func NewSampler(seed uint64, n int64, dist Dist, skew float64) (*Sampler, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: non-positive key range %d", n)
+	}
+	s := &Sampler{r: rng.New(seed), n: n}
+	if dist == Zipf {
+		if skew <= 0 {
+			skew = DefaultZipfS
+		}
+		if skew >= 1 {
+			return nil, fmt.Errorf("workload: zipf skew %v out of range (0, 1)", skew)
+		}
+		s.z = newZipfState(n, skew)
+	}
+	return s, nil
+}
+
+// Next draws the next key. Zipfian ranks are scrambled through a
+// Fibonacci mix so the hot keys are spread across the key space (and
+// therefore across store shards) instead of clustering at 0, the
+// YCSB ScrambledZipfian behaviour.
+func (s *Sampler) Next() int64 {
+	if s.z == nil {
+		return s.r.Intn(s.n)
+	}
+	rank := s.z.next(s.r)
+	x := uint64(rank) * 0x9e3779b97f4a7c15
+	x ^= x >> 29
+	return int64(x % uint64(s.n))
+}
+
+// Rank draws an unscrambled Zipfian rank (0 = hottest); uniform for a
+// Uniform sampler. Exposed so the sampler's distribution is directly
+// testable.
+func (s *Sampler) Rank() int64 {
+	if s.z == nil {
+		return s.r.Intn(s.n)
+	}
+	return s.z.next(s.r)
+}
+
+// zipfState is the YCSB-style Zipfian generator (Gray et al.'s
+// "Quickly generating billion-record synthetic databases" method): one
+// O(n) zeta computation at construction, then O(1) per draw.
+type zipfState struct {
+	n          int64
+	theta      float64
+	zetan      float64
+	alpha, eta float64
+}
+
+func newZipfState(n int64, theta float64) *zipfState {
+	z := &zipfState{n: n, theta: theta}
+	zeta2 := 0.0
+	for i := int64(1); i <= n; i++ {
+		v := 1 / math.Pow(float64(i), theta)
+		z.zetan += v
+		if i == 2 {
+			zeta2 = z.zetan
+		}
+		if n < 2 {
+			zeta2 = z.zetan
+		}
+	}
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/z.zetan)
+	return z
+}
+
+// next draws a rank in [0, n), rank 0 being the hottest.
+func (z *zipfState) next(r *rng.State) int64 {
+	u := float64(r.Uint64()>>11) / (1 << 53) // uniform in [0, 1)
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	rank := int64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if rank >= z.n {
+		rank = z.n - 1
+	}
+	return rank
+}
+
 // Generator draws (operation, key) pairs for one worker thread. Not safe
 // for concurrent use; create one per thread.
 type Generator struct {
 	r         *rng.State
+	seed      uint64 // construction seed (SetDist derives from it)
+	keys      *Sampler
 	mix       Mix
 	keyRange  int64
 	rangeSpan int64
@@ -149,10 +291,29 @@ func NewGeneratorErr(seed uint64, mix Mix, keyRange int64) (*Generator, error) {
 	if keyRange <= 0 {
 		return nil, fmt.Errorf("workload: non-positive key range %d", keyRange)
 	}
+	keys, err := NewSampler(seed^0x6b65795f73747265, keyRange, Uniform, 0)
+	if err != nil {
+		return nil, err
+	}
 	return &Generator{
-		r: rng.New(seed), mix: mix, keyRange: keyRange,
+		r: rng.New(seed), seed: seed, keys: keys, mix: mix, keyRange: keyRange,
 		rangeSpan: DefaultRangeSpan, vtag: uint32(seed),
 	}, nil
+}
+
+// SetDist switches the generator's key distribution (default Uniform).
+// skew is the Zipfian s (<= 0 means DefaultZipfS). The op mix and the
+// key stream use independent random streams seeded from the stored
+// construction seed — SetDist never draws from the op-mix stream — so
+// two same-seed runs differing only in distribution execute the exact
+// same operation sequence over different keys.
+func (g *Generator) SetDist(dist Dist, skew float64) error {
+	keys, err := NewSampler(g.seed^0x64697374_7a697066, g.keyRange, dist, skew)
+	if err != nil {
+		return err
+	}
+	g.keys = keys
+	return nil
 }
 
 // NewGenerator creates a generator over [0, keyRange) with the given
@@ -181,7 +342,7 @@ func (g *Generator) RangeSpan() int64 { return g.rangeSpan }
 // Next returns the next operation and key. For RangeQuery the key is the
 // scan's lower bound; the upper bound is key+RangeSpan()-1.
 func (g *Generator) Next() (Op, int64) {
-	k := g.r.Intn(g.keyRange)
+	k := g.keys.Next()
 	p := g.r.Pct()
 	switch {
 	case p < g.mix.ContainsPct:
@@ -204,8 +365,150 @@ func (g *Generator) Value(key int64) uint64 {
 	return EncodeValue(key, g.vtag)
 }
 
-// Key returns a uniform key in [0, keyRange) (prefill use).
-func (g *Generator) Key() int64 { return g.r.Intn(g.keyRange) }
+// Key returns a key in [0, keyRange) under the generator's distribution
+// (prefill use).
+func (g *Generator) Key() int64 { return g.keys.Next() }
 
 // KeyIn returns a uniform key in [0, n).
 func (g *Generator) KeyIn(n int64) int64 { return g.r.Intn(n) }
+
+// ---------------------------------------------------------------------
+// Store-workload dialect: string keys, byte values, serving mixes.
+// ---------------------------------------------------------------------
+
+// StoreOp is a store-level operation kind (string keys, byte values).
+type StoreOp uint8
+
+// The store operation kinds.
+const (
+	// StoreGet serves one key's value.
+	StoreGet StoreOp = iota
+	// StorePut upserts one key with a fresh payload.
+	StorePut
+	// StoreMGet serves a batch of keys through the store's batched
+	// multi-get (one protected entry/exit per shard per batch).
+	StoreMGet
+	// StoreScan walks a hashed-key window, returning value copies.
+	StoreScan
+	// StoreDelete removes one key.
+	StoreDelete
+)
+
+// StoreMix is a store operation mixture in percent; fields must sum to
+// 100.
+type StoreMix struct {
+	GetPct    int
+	PutPct    int
+	MGetPct   int
+	ScanPct   int
+	DeletePct int
+}
+
+// StoreServe is the standard KV-serving mix for store sweeps: 65% get /
+// 15% put / 10% multi-get / 5% scan / 5% delete — read-dominated like a
+// cache front, with enough writes that value retirement runs
+// continuously.
+var StoreServe = StoreMix{GetPct: 65, PutPct: 15, MGetPct: 10, ScanPct: 5, DeletePct: 5}
+
+// Valid reports whether the mix sums to 100 with no negatives.
+func (m StoreMix) Valid() bool {
+	return m.GetPct >= 0 && m.PutPct >= 0 && m.MGetPct >= 0 && m.ScanPct >= 0 &&
+		m.DeletePct >= 0 && m.GetPct+m.PutPct+m.MGetPct+m.ScanPct+m.DeletePct == 100
+}
+
+// NextStore draws the next store operation kind from m using r.
+func (m StoreMix) NextStore(r *rng.State) StoreOp {
+	p := r.Pct()
+	switch {
+	case p < m.GetPct:
+		return StoreGet
+	case p < m.GetPct+m.PutPct:
+		return StorePut
+	case p < m.GetPct+m.PutPct+m.MGetPct:
+		return StoreMGet
+	case p < m.GetPct+m.PutPct+m.MGetPct+m.ScanPct:
+		return StoreScan
+	default:
+		return StoreDelete
+	}
+}
+
+const hexDigits = "0123456789abcdef"
+
+// KeyString renders rank i as the canonical store benchmark key
+// ("k" + 16 hex digits): fixed-length, allocation-exact, and unique per
+// rank. The harness pregenerates a table of these so the hot loop never
+// formats.
+func KeyString(i int64) string {
+	var b [17]byte
+	b[0] = 'k'
+	x := uint64(i)
+	for j := 16; j >= 1; j-- {
+		b[j] = hexDigits[x&0xf]
+		x >>= 4
+	}
+	return string(b[:])
+}
+
+// MinValueLen is the smallest verifiable byte payload: the 8-byte
+// checksum head.
+const MinValueLen = 8
+
+// AppendValueBytes appends a verifiable payload of exactly size bytes
+// (>= MinValueLen) for key to buf and returns the result. The head is
+// EncodeValue(key, tag) — the same (tag, checksum) word the uint64 value
+// plane uses — and the body is a splitmix stream seeded by that head,
+// so any torn, truncated, cross-key or stale-slot payload fails
+// ValueBytesValid with overwhelming probability.
+func AppendValueBytes(buf []byte, key int64, tag uint32, size int) []byte {
+	if size < MinValueLen {
+		size = MinValueLen
+	}
+	head := EncodeValue(key, tag)
+	for i := 0; i < 8; i++ {
+		buf = append(buf, byte(head>>(8*i)))
+	}
+	x := head
+	for n := size - 8; n > 0; n -= 8 {
+		w := splitmix(&x)
+		for i := 0; i < 8 && i < n; i++ {
+			buf = append(buf, byte(w>>(8*i)))
+		}
+	}
+	return buf
+}
+
+// ValueBytesValid reports whether v is a payload AppendValueBytes could
+// have produced for key: the head word passes ValueValid and the body
+// matches the head-seeded stream exactly.
+func ValueBytesValid(key int64, v []byte) bool {
+	if len(v) < MinValueLen {
+		return false
+	}
+	var head uint64
+	for i := 0; i < 8; i++ {
+		head |= uint64(v[i]) << (8 * i)
+	}
+	if !ValueValid(key, head) {
+		return false
+	}
+	x := head
+	for off := 8; off < len(v); off += 8 {
+		w := splitmix(&x)
+		for i := 0; i < 8 && off+i < len(v); i++ {
+			if v[off+i] != byte(w>>(8*i)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// splitmix is the SplitMix64 step used for value-body streams.
+func splitmix(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

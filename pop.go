@@ -11,9 +11,11 @@
 // structures integrated with them. Every structure is a key→value Map
 // (int64 keys, uint64 values) with last-writer-wins overwrite; the two
 // ordered structures — a lock-free skiplist and an (a,b)-tree — are
-// OrderedMaps with range scans. Key-only Set views of the same
+// OrderedMaps with range scans. Above the maps sits Store, a sharded
+// string-key KV-serving front with arena-backed byte values, batched
+// multi-get and value-returning scans. Key-only Set views of the same
 // structures remain available for the paper's benchmarks. All of it is
-// integrated with a type-stable arena so that "freeing" memory is
+// integrated with type-stable arenas so that "freeing" memory is
 // meaningful inside a garbage-collected runtime.
 //
 // # KV quickstart
@@ -59,6 +61,7 @@ import (
 	"pop/internal/ds/lazylist"
 	"pop/internal/ds/msqueue"
 	"pop/internal/ds/skiplist"
+	"pop/internal/store"
 )
 
 // Policy selects a reclamation algorithm (see the core package for the
@@ -278,6 +281,54 @@ func NewSkipList(d *Domain) RangeSet { return newRangeSet(skiplist.New(d)) }
 // hop protects a whole leaf (up to B keys per reservation set) rather
 // than chaining per-node reservations the way the skiplist does.
 func NewABTree(d *Domain) RangeSet { return newRangeSet(abtree.New(d)) }
+
+// Store is the KV-serving front: a sharded map from string keys to
+// byte-slice values, layered on the Map structures above. Keys hash to
+// a shard plus an int64 in-shard key; values live out of line in a
+// size-class arena and retire through the same reclamation path as
+// nodes, so an overwrite's replaced payload is freed exactly when the
+// domain's policy says it is safe — and a reader that raced that
+// reclamation detects it deterministically (the arena's sequence
+// discipline) and retries, never observing torn or recycled bytes.
+//
+//	d := pop.NewDomain(pop.EpochPOP, 8, nil)
+//	s, _ := pop.NewStore(d, nil)            // 8 shards over skiplists
+//	t := d.RegisterThread()
+//	s.Put(t, "user:42", []byte("payload"))
+//	v, ok := s.Get(t, "user:42", nil)       // v is a private copy
+//	s.GetBatch(t, keys, &batch)             // one protected op per shard
+//	s.Scan(t, lo, hi, func(hk int64, v []byte) bool { ... })
+//
+// GetBatch answers a whole batch with one protected operation per
+// shard (sorted by shard and in-shard key), which measurably beats
+// per-key Gets — see BenchmarkStoreBatchGet in internal/store. Scan
+// yields (hashed key, value copy) pairs over ordered backings.
+type Store = store.Store
+
+// StoreOptions tunes a Store (shard count, backing structure, value
+// size cap); see the field docs. The zero value — 8 shards over
+// skiplists — serves scans, batches and single keys.
+type StoreOptions = store.Config
+
+// StoreStats is a snapshot of store counters, aggregated over shards.
+type StoreStats = store.Stats
+
+// StoreBatch carries one GetBatch's keys' results and its reusable
+// scratch; allocate one per serving goroutine and pass it to every
+// GetBatch call.
+type StoreBatch = store.Batch
+
+// NewStore creates a sharded string-key KV store in domain d. opts may
+// be nil for the defaults (8 shards, skiplist backing — ordered, so
+// Scan works). Shard structures register node types with the domain,
+// so create the store before the domain's type table fills up.
+func NewStore(d *Domain, opts *StoreOptions) (*Store, error) {
+	var cfg store.Config
+	if opts != nil {
+		cfg = *opts
+	}
+	return store.New(d, cfg)
+}
 
 // Queue is a concurrent FIFO of int64 values bound to a reclamation
 // domain (the Michael-Scott queue — the original hazard-pointer showcase

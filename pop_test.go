@@ -184,3 +184,38 @@ func TestSharedDomainAcrossStructures(t *testing.T) {
 		})
 	}
 }
+
+func TestStoreFacade(t *testing.T) {
+	d := pop.NewDomain(pop.EpochPOP, 2, nil)
+	s, err := pop.NewStore(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := d.RegisterThread()
+	s.Put(th, "facade:key", []byte("facade-value"))
+	if v, ok := s.Get(th, "facade:key", nil); !ok || string(v) != "facade-value" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	var b pop.StoreBatch
+	s.GetBatch(th, []string{"facade:key", "absent"}, &b)
+	if !b.OK[0] || string(b.Vals[0]) != "facade-value" || b.OK[1] {
+		t.Fatalf("GetBatch = %q/%v, %v", b.Vals[0], b.OK[0], b.OK[1])
+	}
+	pairs := 0
+	s.Scan(th, -1<<63+1, 1<<63-2, func(int64, []byte) bool { pairs++; return true })
+	if pairs != 1 {
+		t.Fatalf("Scan visited %d pairs, want 1", pairs)
+	}
+	if !s.Delete(th, "facade:key") {
+		t.Fatal("Delete failed")
+	}
+	if st := s.Stats(); st.Puts != 1 || st.Deletes != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	th.Flush()
+
+	// Options plumb through (and invalid ones surface as errors).
+	if _, err := pop.NewStore(d, &pop.StoreOptions{Backing: "nope"}); err == nil {
+		t.Fatal("invalid backing accepted")
+	}
+}
