@@ -28,6 +28,14 @@
 // policy. -dist zipf switches key popularity to scrambled Zipfian
 // (s=0.99) in both store sweeps and -ds direct sweeps.
 //
+// With -churn N, sweeps run in the elastic mode: every worker releases
+// its thread handle after N operations (donating its unreclaimed
+// retire list to the domain's orphan queue) and respawns as a fresh
+// goroutine re-leasing a slot. Churned sweeps add the lifecycle
+// columns — thread releases and orphan nodes adopted — so reclamation
+// tails under thread turnover are explainable; the `churn` figure runs
+// the canonical turnover sweep.
+//
 // Examples:
 //
 //	popbench -list
@@ -39,7 +47,10 @@
 //	popbench -ds abt -mix scan-heavy -keyrange 100000
 //	popbench -ds skl -mix kv -duration 1s -csv > skl-kv.csv
 //	popbench -ds hmht -mix kv -keyrange 1000000 -dist zipf
+//	popbench -ds skl -mix kv -churn 5000
+//	popbench -figure churn -duration 1s
 //	popbench -store -shards 1,4,16 -batch 8,64 -dist zipf
+//	popbench -store -churn 2000 -shards 8
 //	popbench -store -backing hmht -keyrange 1000000 -csv > store.csv
 //
 // The -scale flag divides the paper's structure sizes (defaults to 64 so
@@ -81,6 +92,7 @@ func main() {
 		rangeSpan = flag.Int64("rangespan", workload.DefaultRangeSpan, "keys per range query")
 		keyRange  = flag.Int64("keyrange", 16384, "direct sweep / store key population")
 		distName  = flag.String("dist", "uniform", "key-popularity distribution: uniform or zipf (s=0.99)")
+		churnOps  = flag.Uint64("churn", 0, "elastic mode: operations per worker incarnation before it releases its thread handle and respawns (0 = no churn); applies to -ds and -store sweeps")
 
 		storeMode = flag.Bool("store", false, "store sweep: the sharded string-key KV front across shards × policies × batch sizes")
 		backing   = flag.String("backing", "skl", "store backing structure (skl, hmht, hml, abt, ll, dgt)")
@@ -113,6 +125,7 @@ func main() {
 			backing: *backing, shards: *shardsCSV, batches: *batchCSV,
 			keys: *keyRange, dist: dist, duration: *duration, threads: *threads,
 			seed: *seed, policies: *policies, render: render, quiet: *quiet,
+			churn: workload.Churn{AfterOps: *churnOps},
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
 			os.Exit(1)
@@ -124,6 +137,7 @@ func main() {
 			ds: *dsName, mix: *mixName, rangePct: *rangePct, rangeSpan: *rangeSpan,
 			keyRange: *keyRange, dist: dist, duration: *duration, threads: *threads,
 			seed: *seed, policies: *policies, render: render, quiet: *quiet,
+			churn: workload.Churn{AfterOps: *churnOps},
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
 			os.Exit(1)
@@ -199,6 +213,7 @@ type sweepOpts struct {
 	rangeSpan int64
 	keyRange  int64
 	dist      workload.Dist
+	churn     workload.Churn
 	duration  time.Duration
 	threads   string
 	seed      uint64
@@ -214,6 +229,7 @@ type storeSweepOpts struct {
 	batches  string // csv batch sizes
 	keys     int64
 	dist     workload.Dist
+	churn    workload.Churn
 	duration time.Duration
 	threads  string
 	seed     uint64
@@ -269,6 +285,14 @@ func storeSweep(o storeSweepOpts) error {
 		{Name: "unreclaimed at run end (nodes)", Get: func(r harness.StoreResult) float64 { return float64(r.Unreclaimed) }},
 		{Name: "leaked after flush (nodes)", Get: func(r harness.StoreResult) float64 { return float64(r.LeakedAfter) }},
 	}
+	if o.churn.Enabled() {
+		// Elastic sweeps report the turnover they generated, so tails
+		// and garbage are explainable per lease rate.
+		metrics = append(metrics,
+			figures.StoreMetric{Name: "thread releases", Get: func(r harness.StoreResult) float64 { return float64(r.Lifecycle.Releases) }},
+			figures.StoreMetric{Name: "orphan nodes adopted", Get: func(r harness.StoreResult) float64 { return float64(r.Lifecycle.OrphansAdopted) }},
+		)
+	}
 	// Ask the store layer itself whether the backing scans (a throwaway
 	// probe, the harness.RangeCapable pattern) — this also surfaces an
 	// unknown -backing as an error before the sweep starts.
@@ -286,6 +310,9 @@ func storeSweep(o storeSweepOpts) error {
 	}
 
 	title := fmt.Sprintf("store %s (serve mix, %d keys, %v dist, %d threads)", o.backing, o.keys, o.dist, threads)
+	if o.churn.Enabled() {
+		title += fmt.Sprintf(" churn=%d", o.churn.AfterOps)
+	}
 	series := make([]report.Series, len(metrics))
 	for i, m := range metrics {
 		series[i] = report.Series{
@@ -315,6 +342,7 @@ func storeSweep(o storeSweepOpts) error {
 					Backing:   o.backing,
 					Mix:       mix,
 					Dist:      o.dist,
+					Churn:     o.churn,
 					BatchSize: nbatch,
 					OpLatency: true,
 					Seed:      o.seed,
@@ -402,6 +430,9 @@ func directSweep(o sweepOpts) error {
 	if mix.RangePct > 0 {
 		title += fmt.Sprintf(", %d%% range queries, span %d", mix.RangePct, o.rangeSpan)
 	}
+	if o.churn.Enabled() {
+		title += fmt.Sprintf(", churn %d ops/lease", o.churn.AfterOps)
+	}
 	title += ")"
 	metrics := []figures.Metric{
 		{Name: "throughput (ops/s)", Get: func(r harness.Result) float64 { return r.Throughput }},
@@ -445,6 +476,12 @@ func directSweep(o sweepOpts) error {
 		figures.Metric{Name: "unreclaimed at run end (nodes)", Get: func(r harness.Result) float64 { return float64(r.Unreclaimed) }},
 		figures.Metric{Name: "leaked after flush (nodes)", Get: func(r harness.Result) float64 { return float64(r.LeakedAfter) }},
 	)
+	if o.churn.Enabled() {
+		metrics = append(metrics,
+			figures.Metric{Name: "thread releases", Get: func(r harness.Result) float64 { return float64(r.Lifecycle.Releases) }},
+			figures.Metric{Name: "orphan nodes adopted", Get: func(r harness.Result) float64 { return float64(r.Lifecycle.OrphansAdopted) }},
+		)
+	}
 
 	ctx := figures.Ctx{
 		Duration: o.duration,
@@ -463,6 +500,7 @@ func directSweep(o sweepOpts) error {
 		Mix:       mix,
 		RangeSpan: o.rangeSpan,
 		Dist:      o.dist,
+		Churn:     o.churn,
 		OpLatency: true,
 	}, ps, metrics)
 	if err != nil {

@@ -5,7 +5,12 @@ import "unsafe"
 // algorithm is the per-policy behaviour behind a Thread's public API.
 // One stateless instance per Domain; all mutable state lives on Thread.
 type algorithm interface {
-	// initThread runs once when a thread registers.
+	// initThread runs on every lease of a slot — first registration AND
+	// re-lease after a Release. Implementations must tolerate
+	// re-initialization of a reused slot: by then finishRelease has
+	// drained the slot's retire list and sealed batches into the orphan
+	// queue, so replacing per-slot state (as crystalline does with a
+	// fresh batchState) discards nothing.
 	initThread(t *Thread)
 	// startOp runs at operation start (after opSeq goes odd).
 	startOp(t *Thread)

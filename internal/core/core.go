@@ -177,9 +177,18 @@ func (o *Options) withDefaults() Options {
 	return out
 }
 
-// Domain is one reclamation domain: a policy, a global epoch, and a fixed
-// set of registered threads. All threads operating on a data structure
-// must share its domain.
+// Domain is one reclamation domain: a policy, a global epoch, and a set
+// of thread slots. All threads operating on a data structure must share
+// its domain.
+//
+// Thread identity is a leasable resource, not a birth-to-death property:
+// RegisterThread / TryRegisterThread lease a slot (reusing released
+// slots before growing toward maxThreads), and Thread.Release returns
+// it. A releasing thread donates its unreclaimed retire list to the
+// domain's orphan queue; live threads adopt the queue at the start of
+// their next reclamation pass (every policy's reclaim and flush call
+// Thread.adoptOrphans), so no retired node is stranded by a departed
+// thread.
 type Domain struct {
 	policy Policy
 	opts   Options
@@ -192,6 +201,24 @@ type Domain struct {
 	mu         sync.Mutex
 	threads    []*Thread
 	maxThreads int
+
+	// Slot lifecycle (mu-guarded). freeSlots is a LIFO of released slot
+	// indices; re-leasing prefers it over growing threads so the dense
+	// tid space (which ds-layer per-thread caches index by) stays small.
+	freeSlots   []int
+	leasedCount int
+	peakLeased  int
+	releases    uint64
+
+	// Orphanage (mu-guarded except orphanLen): retire lists donated by
+	// departed threads, awaiting adoption by a live thread's next
+	// reclamation pass. orphanBatches holds Crystalline's sealed batches
+	// (only a Crystalline domain ever donates them).
+	orphanNodes    []*Header
+	orphanBatches  []cbatch
+	orphansDonated uint64
+	orphansAdopted uint64
+	orphanLen      padded.Int64 // nodes awaiting adoption (incl. batched)
 
 	freeFns [maxTypes]func(*Thread, *Header)
 	ntypes  int
@@ -243,13 +270,35 @@ func (d *Domain) RegisterType(free func(*Thread, *Header)) uint8 {
 	return id
 }
 
-// RegisterThread creates and registers a new thread handle. It panics if
-// the domain is full. Thread handles must not be shared across goroutines.
+// RegisterThread leases a thread handle, panicking when the domain is
+// full (the original, compatibility API; prefer TryRegisterThread where
+// capacity exhaustion should be an error, not a crash). A Thread must
+// only be used by the goroutine that leased it, until Release.
 func (d *Domain) RegisterThread() *Thread {
+	t, err := d.TryRegisterThread()
+	if err != nil {
+		panic(err.Error())
+	}
+	return t
+}
+
+// TryRegisterThread leases a thread handle: a released slot is re-leased
+// first (same dense tid, bumped incarnation); otherwise a new slot is
+// created, and an error is returned once maxThreads slots are all
+// leased. The handle belongs to the calling goroutine until
+// Thread.Release; the lease/release pair is the ownership-transfer edge
+// that makes slot (and per-tid cache) reuse safe across goroutines.
+func (d *Domain) TryRegisterThread() (*Thread, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if n := len(d.freeSlots); n > 0 {
+		t := d.threads[d.freeSlots[n-1]]
+		d.freeSlots = d.freeSlots[:n-1]
+		d.leaseLocked(t)
+		return t, nil
+	}
 	if len(d.threads) >= d.maxThreads {
-		panic("core: thread capacity exhausted")
+		return nil, fmt.Errorf("core: thread capacity exhausted (%d slots leased, none released)", d.maxThreads)
 	}
 	t := &Thread{
 		d:      d,
@@ -268,11 +317,97 @@ func (d *Domain) RegisterThread() *Thread {
 	}
 	t.retired = make([]*Header, 0, capHint)
 	d.threads = append(d.threads, t)
-	d.algo.initThread(t)
-	return t
+	d.leaseLocked(t)
+	return t, nil
 }
 
-// Threads returns a snapshot of the registered thread handles.
+// leaseLocked marks slot t leased (d.mu held). The incarnation bump is
+// what distinguishes tenants of a reused slot; the SWMR words scanners
+// read (opSeq, pubCount) stay monotone across reuse, so reclaimers
+// in-flight during a release+re-lease observe ordinary operation
+// boundaries, never a counter reset.
+func (d *Domain) leaseLocked(t *Thread) {
+	t.leased = true
+	t.incarnation.Add(1)
+	d.leasedCount++
+	if d.leasedCount > d.peakLeased {
+		d.peakLeased = d.leasedCount
+	}
+	d.algo.initThread(t)
+}
+
+// beginRelease claims the end of t's lease: a double Release panics
+// here, BEFORE Thread.Release touches the slot's state, and the slot is
+// not re-leasable (not on freeSlots) until finishRelease — so no new
+// tenant can appear while the SWMR wipe is in progress.
+func (d *Domain) beginRelease(t *Thread) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !t.leased {
+		panic("core: Release of a thread handle that is not leased (double release?)")
+	}
+	t.leased = false
+}
+
+// finishRelease completes a release begun by beginRelease: donate the
+// unreclaimed retire list (and any sealed Crystalline batches) to the
+// orphan queue and make the slot re-leasable.
+func (d *Domain) finishRelease(t *Thread) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	donated := int64(len(t.retired))
+	if donated > 0 {
+		d.orphanNodes = append(d.orphanNodes, t.retired...)
+		t.retired = t.retired[:0]
+	}
+	if bs := t.batches; bs != nil && len(bs.full) > 0 {
+		d.orphanBatches = append(d.orphanBatches, bs.full...)
+		donated += int64(bs.pending)
+		bs.full = nil
+		bs.pending = 0
+	}
+	if donated > 0 {
+		d.orphansDonated += uint64(donated)
+		d.orphanLen.Add(donated)
+	}
+	t.retiredLen.Store(0)
+	t.batchedLen.Store(0)
+	d.freeSlots = append(d.freeSlots, t.tid)
+	d.leasedCount--
+	d.releases++
+}
+
+// LifecycleStats counts thread-slot lifecycle events: how elastic the
+// domain's thread population has been and how much garbage changed
+// hands when threads departed.
+type LifecycleStats struct {
+	Slots          int    // slots ever created (high-water of distinct tids)
+	Leased         int    // currently leased slots
+	Peak           int    // maximum concurrently leased slots
+	Releases       uint64 // cumulative Thread.Release calls
+	OrphanNodes    int64  // nodes currently awaiting adoption
+	OrphansDonated uint64 // nodes ever donated by departing threads
+	OrphansAdopted uint64 // nodes ever adopted by live threads
+}
+
+// Lifecycle snapshots the domain's thread-lifecycle counters.
+func (d *Domain) Lifecycle() LifecycleStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return LifecycleStats{
+		Slots:          len(d.threads),
+		Leased:         d.leasedCount,
+		Peak:           d.peakLeased,
+		Releases:       d.releases,
+		OrphanNodes:    d.orphanLen.Load(),
+		OrphansDonated: d.orphansDonated,
+		OrphansAdopted: d.orphansAdopted,
+	}
+}
+
+// Threads returns a snapshot of every thread slot ever created,
+// including released (unleased) ones — released slots read as quiescent
+// and reservation-free, exactly how reclaimer scans see them.
 func (d *Domain) Threads() []*Thread {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -307,10 +442,11 @@ func (d *Domain) free(t *Thread, h *Header) {
 func (d *Domain) MaxThreads() int { return d.maxThreads }
 
 // Unreclaimed returns the number of retired-but-unfreed nodes across all
-// threads plus nodes leaked by NR. It is exact when the domain is
-// quiescent and approximate otherwise.
+// threads — orphaned retire lists awaiting adoption included — plus
+// nodes leaked by NR. It is exact when the domain is quiescent and
+// approximate otherwise.
 func (d *Domain) Unreclaimed() int64 {
-	total := d.leaked.Load()
+	total := d.leaked.Load() + d.orphanLen.Load()
 	for _, t := range d.threadList() {
 		total += int64(t.retiredLen.Load()) + t.batchedLen.Load()
 	}

@@ -87,8 +87,15 @@ func (a *crystAlgo) retireHook(t *Thread) {
 	}
 }
 
+// reclaim frees whole batches whose aggregate lifespan intersects no
+// reserved interval. Released slots read [eraMax, eraMax] (quiescent to
+// intervalReserved); a departing thread donates its sealed batches and
+// its open tail to the orphan queue, and adoption moves sealed batches
+// wholesale into the adopter's batch list (lo/hi eras travel with the
+// batch, so the free test is unchanged by the handoff).
 func (a *crystAlgo) reclaim(t *Thread) {
 	t.stats.Reclaims++
+	t.adoptOrphans()
 	ts := t.d.threadList()
 	los := grow(t.scCounts, len(ts))
 	his := grow(t.scSeqs, len(ts))
@@ -114,6 +121,9 @@ func (a *crystAlgo) reclaim(t *Thread) {
 }
 
 func (a *crystAlgo) flush(t *Thread) {
+	// Adopt before sealing: donated open-tail nodes land in t.retired
+	// and must make it into a batch, or this flush would strand them.
+	t.adoptOrphans()
 	// Seal the open tail so everything is batch-resident, then reclaim.
 	if len(t.retired) > 0 {
 		b := cbatch{nodes: make([]*Header, len(t.retired)), lo: eraMax, hi: 0}

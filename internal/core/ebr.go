@@ -33,8 +33,12 @@ func (a *ebrAlgo) retireHook(t *Thread) {
 	a.reclaim(t)
 }
 
+// reclaim frees everything retired before the minimum announced epoch.
+// Released slots announce eraMax (Thread.Release), identical to
+// quiescence, so they never pin the minimum.
 func (a *ebrAlgo) reclaim(t *Thread) {
 	t.stats.Reclaims++
+	t.adoptOrphans()
 	t.freeBeforeEpoch(t.minAnnouncedEpoch())
 }
 

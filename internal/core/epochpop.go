@@ -48,9 +48,14 @@ func (a *epochPOPAlgo) retireHook(t *Thread) {
 		return
 	}
 	t.sinceReclaim = 0
-	// Fast path (Alg. 3 lines 24-25): EBR-style reclamation.
+	// Fast path (Alg. 3 lines 24-25): EBR-style reclamation. Released
+	// slots announce eraMax and never pin the minimum epoch; the
+	// escalation path inherits hppop.go's slot-lifecycle audit (released
+	// slots skip as quiescent, boundary-crossing detection is monotone
+	// across slot reuse).
 	t.stats.Reclaims++
 	t.stats.EpochReclaims++
+	t.adoptOrphans()
 	t.freeBeforeEpoch(t.minAnnouncedEpoch())
 	// Escalation (lines 26-30): if the list is still ≥ C×threshold, some
 	// thread is pinning an old epoch — ping everyone and free with the
@@ -67,6 +72,7 @@ func (a *epochPOPAlgo) flush(t *Thread) {
 	a.d.epoch.Add(1)
 	t.stats.Reclaims++
 	t.stats.EpochReclaims++
+	t.adoptOrphans()
 	t.freeBeforeEpoch(t.minAnnouncedEpoch())
 	if len(t.retired) > 0 {
 		t.stats.POPReclaims++

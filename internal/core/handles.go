@@ -1,0 +1,106 @@
+package core
+
+import "sync"
+
+// Handles is a goroutine-affine pool of Thread handles over a Domain:
+// serving layers size their domain for the peak worker count and let
+// the live worker set breathe inside it. Acquire leases a handle
+// (re-leasing released slots before growing toward the domain cap) and
+// binds it to the calling goroutine; Release returns it, after which
+// any goroutine may acquire the same slot. The pool is just the
+// domain's slot lifecycle behind a concurrency-safe facade — the
+// ownership-transfer (happens-before) edge is the domain's, so
+// tid-indexed caches in the ds and store layers hand over with the
+// slot.
+//
+// A handle acquired here obeys the same affinity rule as one from
+// RegisterThread: between Acquire and Release it must only be used by
+// the goroutine that acquired it.
+type Handles struct {
+	d *Domain
+
+	mu       sync.Mutex
+	inUse    int
+	peak     int
+	acquires uint64
+}
+
+// NewHandles creates a handle pool over d. Multiple pools may share a
+// domain (they draw from the same slot space); handles from
+// RegisterThread and from pools coexist freely.
+func NewHandles(d *Domain) *Handles {
+	return &Handles{d: d}
+}
+
+// Domain returns the pool's domain.
+func (p *Handles) Domain() *Domain { return p.d }
+
+// Acquire leases a thread handle for the calling goroutine. It fails
+// only when every one of the domain's slots is currently leased.
+func (p *Handles) Acquire() (*Thread, error) {
+	t, err := p.d.TryRegisterThread()
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.inUse++
+	p.acquires++
+	if p.inUse > p.peak {
+		p.peak = p.inUse
+	}
+	p.mu.Unlock()
+	return t, nil
+}
+
+// Release returns a handle to the domain (Thread.Release: the slot's
+// reservations read empty to scanners, unreclaimed retires are donated
+// for adoption, and the slot becomes re-leasable). Must be called by
+// the goroutine that acquired t; t must not be used afterwards.
+func (p *Handles) Release(t *Thread) {
+	// Bookkeeping before the slot is actually freed: once t.Release
+	// returns, a concurrent Acquire can succeed, and counting ourselves
+	// out afterwards would let InUse/Peak overshoot the domain's true
+	// concurrency. The brief under-count in the other order is the safe
+	// direction for a peak statistic.
+	p.mu.Lock()
+	p.inUse--
+	p.mu.Unlock()
+	t.Release()
+}
+
+// Do acquires a handle, runs fn with it, and releases it — the
+// lease-scoped convenience for short-lived workers.
+func (p *Handles) Do(fn func(*Thread) error) error {
+	t, err := p.Acquire()
+	if err != nil {
+		return err
+	}
+	defer p.Release(t)
+	return fn(t)
+}
+
+// InUse returns the number of handles currently acquired through this
+// pool.
+func (p *Handles) InUse() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.inUse
+}
+
+// Peak returns the maximum concurrently acquired handles this pool has
+// seen.
+func (p *Handles) Peak() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.peak
+}
+
+// Acquires returns the cumulative Acquire count (lease churn).
+func (p *Handles) Acquires() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.acquires
+}
+
+// Cap returns the domain's slot capacity.
+func (p *Handles) Cap() int { return p.d.MaxThreads() }

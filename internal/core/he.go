@@ -49,8 +49,13 @@ func (a *heAlgo) retireHook(t *Thread) {
 	a.reclaim(t)
 }
 
+// reclaim gathers reserved eras from every slot. Released slots read
+// eraNone in every era slot (Thread.Release), contributing nothing to
+// the lifespan test; a re-leased slot shows only eras its new tenant
+// published.
 func (a *heAlgo) reclaim(t *Thread) {
 	t.stats.Reclaims++
+	t.adoptOrphans()
 	eras := t.collectEraList(nil)
 	t.freeOutsideEras(eras)
 }

@@ -41,8 +41,12 @@ func (a *hePOPAlgo) retireHook(t *Thread) {
 	a.reclaim(t)
 }
 
+// reclaim: see hppop.go's slot-lifecycle audit — identical here, with
+// era reservations in place of pointers (released slots read eraNone in
+// every era slot and are skipped as quiescent by pingAllAndWait).
 func (a *hePOPAlgo) reclaim(t *Thread) {
 	t.stats.Reclaims++
+	t.adoptOrphans()
 	skip := t.pingAllAndWait((*Thread).publishEras)
 	eras := t.collectEraList(skip)
 	t.freeOutsideEras(eras)

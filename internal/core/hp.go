@@ -40,8 +40,13 @@ func (a *hpAlgo) retireHook(t *Thread) {
 	a.reclaim(t)
 }
 
+// reclaim scans every slot's shared reservations. Released slots read
+// all-nil (Thread.Release wipes them after EndOp already did), so a
+// departed tenant's reservations can never pin a node, and a reused
+// slot's visible reservations are always the current tenant's.
 func (a *hpAlgo) reclaim(t *Thread) {
 	t.stats.Reclaims++
+	t.adoptOrphans()
 	set := t.collectPtrSet(nil) // eager publishing: shared slots are current
 	t.freeUnreserved(set)
 }

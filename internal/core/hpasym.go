@@ -50,8 +50,12 @@ func (a *hpAsymAlgo) retireHook(t *Thread) {
 	a.reclaim(t)
 }
 
+// reclaim: as in HP, released slots' shared arrays read all-nil, so
+// slot churn only ever removes reservations from the scan, never adds
+// stale ones.
 func (a *hpAsymAlgo) reclaim(t *Thread) {
 	t.stats.Reclaims++
+	t.adoptOrphans()
 	// The membarrier substitution: fence ourselves, then give every other
 	// CPU's store buffer time to drain so the readers' plain stores are
 	// visible to the scan below.

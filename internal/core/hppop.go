@@ -42,9 +42,15 @@ func (a *hpPOPAlgo) retireHook(t *Thread) {
 }
 
 // reclaim is Alg. 1 lines 19-22: collect publish counters, ping all,
-// wait for all to publish, then free everything unreserved.
+// wait for all to publish, then free everything unreserved. Slot
+// lifecycle audit: released slots are quiescent (even opSeq), so
+// pingAllAndWait skips them published-empty; a slot released (and even
+// re-leased) mid-wait crossed an operation boundary — opSeq moved, both
+// counters being monotone across reuse — so the wait loop skips it
+// rather than reading the new tenant's publishes as the old tenant's.
 func (a *hpPOPAlgo) reclaim(t *Thread) {
 	t.stats.Reclaims++
+	t.adoptOrphans()
 	skip := t.pingAllAndWait((*Thread).publishPtrs)
 	set := t.collectPtrSet(skip)
 	t.freeUnreserved(set)

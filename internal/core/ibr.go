@@ -53,8 +53,12 @@ func (a *ibrAlgo) retireHook(t *Thread) {
 	a.reclaim(t)
 }
 
+// reclaim gathers reserved intervals from every slot. Released slots
+// read [eraMax, eraMax] (Thread.Release), which intervalReserved treats
+// as quiescent, so a departed tenant's interval never pins a lifespan.
 func (a *ibrAlgo) reclaim(t *Thread) {
 	t.stats.Reclaims++
+	t.adoptOrphans()
 	ts := t.d.threadList()
 	// Gather reserved intervals.
 	los := grow(t.scCounts, len(ts))

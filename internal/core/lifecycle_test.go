@@ -1,0 +1,294 @@
+package core_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"unsafe"
+
+	"pop/internal/core"
+)
+
+func TestTryRegisterThreadCapacityError(t *testing.T) {
+	d := core.NewDomain(core.EBR, 2, nil)
+	if _, err := d.TryRegisterThread(); err != nil {
+		t.Fatalf("first lease: %v", err)
+	}
+	b, err := d.TryRegisterThread()
+	if err != nil {
+		t.Fatalf("second lease: %v", err)
+	}
+	if _, err := d.TryRegisterThread(); err == nil {
+		t.Fatal("third lease at capacity 2 did not error")
+	} else if !strings.Contains(err.Error(), "capacity") {
+		t.Fatalf("unhelpful capacity error: %v", err)
+	}
+	// A release makes the capacity error go away without growing slots.
+	b.Release()
+	if _, err := d.TryRegisterThread(); err != nil {
+		t.Fatalf("lease after release: %v", err)
+	}
+}
+
+func TestSlotReuse(t *testing.T) {
+	d := core.NewDomain(core.HazardPtrPOP, 2, nil)
+	a := d.RegisterThread()
+	b := d.RegisterThread()
+	if a.Incarnation() != 1 || b.Incarnation() != 1 {
+		t.Fatalf("fresh incarnations = %d, %d, want 1, 1", a.Incarnation(), b.Incarnation())
+	}
+	bid := b.ID()
+	b.Release()
+	c := d.RegisterThread() // must re-lease b's slot, not grow
+	if c.ID() != bid {
+		t.Fatalf("re-lease got slot %d, want released slot %d", c.ID(), bid)
+	}
+	if c.Incarnation() != 2 {
+		t.Fatalf("re-leased incarnation = %d, want 2", c.Incarnation())
+	}
+	lc := d.Lifecycle()
+	if lc.Slots != 2 || lc.Leased != 2 || lc.Peak != 2 || lc.Releases != 1 {
+		t.Fatalf("lifecycle = %+v", lc)
+	}
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	d := core.NewDomain(core.EBR, 1, nil)
+	th := d.RegisterThread()
+	th.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Release did not panic")
+		}
+	}()
+	th.Release()
+}
+
+func TestReleaseInsideOpPanics(t *testing.T) {
+	d := core.NewDomain(core.EBR, 1, nil)
+	th := d.RegisterThread()
+	th.StartOp()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release inside an operation did not panic")
+		}
+	}()
+	th.Release()
+}
+
+// TestOrphanAdoption checks, for every reclaiming policy, that a
+// departing thread's unreclaimed retire list is donated to the domain
+// and fully freed by a surviving thread's flush — no nodes stranded.
+func TestOrphanAdoption(t *testing.T) {
+	for _, p := range core.Policies() {
+		if p == core.NR {
+			continue // NR leaks by design and never holds a retire list
+		}
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			// Threshold high enough that the departing thread never
+			// reclaims on its own; small Crystalline batches so sealed
+			// batches are part of the donation.
+			e := newEnv(t, p, 2, &core.Options{ReclaimThreshold: 1 << 20, BatchSize: 8})
+			survivor := e.d.RegisterThread()
+			departing := e.d.RegisterThread()
+			cache := e.pool.NewCache()
+
+			const rounds = 100
+			for i := 0; i < rounds; i++ {
+				departing.StartOp()
+				n := e.alloc(departing, cache, int64(i))
+				departing.Retire(&n.Header)
+				departing.EndOp()
+			}
+			departing.Release()
+
+			lc := e.d.Lifecycle()
+			if lc.OrphanNodes != rounds || lc.OrphansDonated != rounds {
+				t.Fatalf("after release: lifecycle = %+v, want %d donated", lc, rounds)
+			}
+			if got := e.d.Unreclaimed(); got != rounds {
+				t.Fatalf("Unreclaimed = %d, want %d (orphans must be counted)", got, rounds)
+			}
+
+			survivor.Flush()
+			lc = e.d.Lifecycle()
+			if lc.OrphanNodes != 0 || lc.OrphansAdopted != rounds {
+				t.Fatalf("after flush: lifecycle = %+v, want %d adopted", lc, rounds)
+			}
+			if got := e.d.Unreclaimed(); got != 0 {
+				t.Fatalf("flush left %d unreclaimed orphan nodes", got)
+			}
+			if got := e.pool.Outstanding(); got != 0 {
+				t.Fatalf("pool outstanding = %d after adoption flush", got)
+			}
+		})
+	}
+}
+
+// TestReleasedSlotInvisibleToScanners releases a thread that had
+// protected a node and checks another thread can then free it: the
+// released slot's reservations must read empty.
+func TestReleasedSlotInvisibleToScanners(t *testing.T) {
+	for _, p := range []core.Policy{core.HP, core.HPAsym, core.HE, core.HazardPtrPOP, core.HazardEraPOP} {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			e := newEnv(t, p, 2, &core.Options{ReclaimThreshold: 2})
+			reader := e.d.RegisterThread()
+			reclaimer := e.d.RegisterThread()
+			cache := e.pool.NewCache()
+
+			reclaimer.StartOp()
+			n := e.alloc(reclaimer, cache, 7)
+			var cell core.Atomic
+			cell.Store(unsafe.Pointer(n))
+
+			reader.StartOp()
+			reader.Protect(0, &cell)
+			reader.EndOp()
+			reader.Release()
+
+			cell.Store(nil)
+			reclaimer.Retire(&n.Header)
+			for i := 0; i < 4; i++ {
+				f := e.alloc(reclaimer, cache, int64(i))
+				reclaimer.Retire(&f.Header)
+			}
+			reclaimer.EndOp()
+			reclaimer.Flush()
+			if n.Header.Retired() {
+				t.Fatal("node still retired: released slot's reservation pinned it")
+			}
+		})
+	}
+}
+
+// TestHandlesPool exercises the acquire/release facade: growth to cap,
+// exhaustion error, reuse after release, Do, and the counters.
+func TestHandlesPool(t *testing.T) {
+	d := core.NewDomain(core.EpochPOP, 3, nil)
+	pool := core.NewHandles(d)
+	if pool.Cap() != 3 || pool.Domain() != d {
+		t.Fatalf("Cap/Domain wiring: cap=%d", pool.Cap())
+	}
+	a, err := pool.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pool.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := pool.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Acquire(); err == nil {
+		t.Fatal("Acquire past cap did not error")
+	}
+	if pool.InUse() != 3 || pool.Peak() != 3 {
+		t.Fatalf("InUse=%d Peak=%d, want 3, 3", pool.InUse(), pool.Peak())
+	}
+	pool.Release(b)
+	if pool.InUse() != 2 {
+		t.Fatalf("InUse after release = %d", pool.InUse())
+	}
+	if err := pool.Do(func(th *core.Thread) error {
+		th.StartOp()
+		th.EndOp()
+		if th.ID() != b.ID() {
+			t.Fatalf("Do leased slot %d, want released slot %d", th.ID(), b.ID())
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if pool.InUse() != 2 || pool.Acquires() != 4 {
+		t.Fatalf("InUse=%d Acquires=%d after Do", pool.InUse(), pool.Acquires())
+	}
+	pool.Release(a)
+	pool.Release(c)
+	if pool.InUse() != 0 {
+		t.Fatalf("InUse = %d after releasing all", pool.InUse())
+	}
+}
+
+// TestLeaseChurnAllPolicies hammers lease → protected retires → release
+// from many goroutines for every policy, then verifies a final flush
+// leaves nothing unreclaimed (except NR's accounted leak).
+func TestLeaseChurnAllPolicies(t *testing.T) {
+	for _, p := range core.Policies() {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			const (
+				churners = 4
+				legs     = 16
+				opsPer   = 32
+			)
+			e := newEnv(t, p, churners+1, &core.Options{ReclaimThreshold: 64, EpochFreq: 8, BatchSize: 8})
+			pool := core.NewHandles(e.d)
+			var wg sync.WaitGroup
+			var retires int64
+			var mu sync.Mutex
+			for g := 0; g < churners; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					local := int64(0)
+					for leg := 0; leg < legs; leg++ {
+						th, err := pool.Acquire()
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						cache := e.cacheFor(th)
+						var cell core.Atomic
+						for i := 0; i < opsPer; i++ {
+							th.StartOp()
+							n := e.alloc(th, cache, int64(i))
+							cell.Store(unsafe.Pointer(n))
+							// An NBR-neutralized Protect (ok=false) changes
+							// nothing here: the node is ours alone, so we
+							// unlink and retire it either way.
+							th.Protect(0, &cell)
+							cell.Store(nil)
+							th.Retire(&n.Header)
+							local++
+							th.EndOp()
+						}
+						pool.Release(th)
+					}
+					mu.Lock()
+					retires += local
+					mu.Unlock()
+				}()
+			}
+			wg.Wait()
+			collector, err := pool.Acquire()
+			if err != nil {
+				t.Fatal(err)
+			}
+			collector.Flush()
+			pool.Release(collector)
+			want := int64(0)
+			if p == core.NR {
+				want = retires // the accounted leak
+			}
+			if got := e.d.Unreclaimed(); got != want {
+				t.Fatalf("Unreclaimed = %d after churn flush, want %d (lifecycle %+v)", got, want, e.d.Lifecycle())
+			}
+			if p != core.NR {
+				if got := e.pool.Outstanding(); got != 0 {
+					t.Fatalf("pool outstanding = %d after churn flush", got)
+				}
+			}
+			lc := e.d.Lifecycle()
+			if lc.Releases != churners*legs+1 {
+				t.Fatalf("releases = %d, want %d", lc.Releases, churners*legs+1)
+			}
+			if lc.Slots > churners+1 {
+				t.Fatalf("slots grew to %d despite reuse (cap %d)", lc.Slots, churners+1)
+			}
+		})
+	}
+}

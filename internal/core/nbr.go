@@ -118,8 +118,17 @@ func (a *nbrAlgo) retireHook(t *Thread) {
 	a.reclaim(t)
 }
 
+// reclaim neutralizes everyone and frees around published write-phase
+// reservations. Slot lifecycle audit: a released slot reads phase 0, so
+// the wait loop below never blocks on it; a neutralization ping that
+// lands on a slot as (or after) its tenant departs is inert — the next
+// tenant's startOp acks it before anything has been read, so the ack
+// can neither discard progress nor attribute a restart to the wrong
+// tenant; and a released slot's shared reservations read all-nil, so
+// departed tenants never pin nodes.
 func (a *nbrAlgo) reclaim(t *Thread) {
 	t.stats.Reclaims++
+	t.adoptOrphans()
 	ts := t.d.threadList()
 	counts := grow(t.scCounts, len(ts))
 	for i, o := range ts {

@@ -19,7 +19,13 @@ const publishWaitLimit = 30 * time.Second
 
 // Thread is a per-worker handle into a Domain. All data-structure
 // operations happen through a Thread; a Thread must only ever be used by
-// the goroutine that owns it.
+// the goroutine that owns it — and ownership is a lease, not a life
+// sentence: Release returns the slot to the domain (donating any
+// unreclaimed retires to the orphan queue), after which a different
+// goroutine may lease the same slot through TryRegisterThread. The
+// domain mutex in the release/lease pair is the happens-before edge
+// that hands the slot's private state (and any tid-indexed caches in
+// higher layers) from the old tenant to the new one.
 //
 // The first block of fields is the thread's SWMR (single-writer
 // multi-reader) surface: the words reclaimers read. Each is cache-line
@@ -58,6 +64,10 @@ type Thread struct {
 	retiredLen padded.Uint32
 	// batchedLen mirrors the Crystalline-lite sealed-batch population.
 	batchedLen padded.Int64
+	// incarnation counts leases of this slot (monotone, bumped by the
+	// domain on each lease): tenant k+1 of a reused slot is
+	// distinguishable from tenant k even though tid is identical.
+	incarnation padded.Uint64
 
 	_          [padded.CacheLine]byte
 	sharedPtrs [MaxSlots]unsafe.Pointer // published pointer reservations
@@ -83,6 +93,11 @@ type Thread struct {
 	// crystalline-lite batching state
 	batches *batchState
 
+	// leased is the slot's lease state. Guarded by d.mu (never read on
+	// hot paths; reclaimer scans rely on the cleared SWMR surface, not
+	// on this bit).
+	leased bool
+
 	// scratch buffers reused across reclamation passes
 	scCounts []uint64
 	scSeqs   []uint64
@@ -93,11 +108,115 @@ type Thread struct {
 	stats Stats
 }
 
-// ID returns the thread's dense index within its domain.
+// ID returns the thread's dense index within its domain. IDs are slot
+// indices: a released slot's ID is reused by its next tenant, so
+// tid-indexed caches in higher layers transfer with the lease.
 func (t *Thread) ID() int { return t.tid }
+
+// Incarnation returns the slot's lease count: 1 for a slot's first
+// tenant, bumped every time the slot is re-leased after a Release.
+func (t *Thread) Incarnation() uint64 { return t.incarnation.Load() }
 
 // Domain returns the owning domain.
 func (t *Thread) Domain() *Domain { return t.d }
+
+// Release returns the thread's slot to the domain. It must be called by
+// the owner goroutine, outside any operation (after EndOp); the handle
+// must not be used afterwards. The slot becomes re-leasable by any
+// goroutine via TryRegisterThread.
+//
+// Departure is made invisible to reclaimers in two steps:
+//
+//  1. The SWMR surface is wiped to its quiescent-empty state (shared
+//     reservations nil/eraNone, announced epochs and IBR intervals
+//     eraMax, NBR phase 0), so any scan — HP/HPAsym/HE pointer or era
+//     scans, IBR/Crystalline interval scans, EBR's minimum epoch, the
+//     POP pingAllAndWait skip logic — sees exactly what it sees for a
+//     quiescent thread. Wiping is idempotent: EndOp already cleared
+//     everything a policy publishes, so no reclaimer can be relying on
+//     these words at release time.
+//  2. The unreclaimed retire list (and Crystalline's sealed batches)
+//     is donated to the domain's orphan queue, adopted by a live
+//     thread's next reclamation pass — departing threads strand no
+//     garbage.
+//
+// Monotone counters (opSeq, pubCount, incarnation) are deliberately NOT
+// reset: a reclaimer that pinged this slot's old tenant and is still
+// waiting observes an operation-boundary crossing (opSeq moved) and
+// skips the slot, never attributing a stale reservation — or a stale
+// publish count — to the new tenant. A ping word left set by such a
+// reclaimer is inert: the next tenant's poll answers it with a publish
+// of its own (empty or current) reservations, which is always safe, and
+// under NBR with a restart-free ack (startOp acks before anything is
+// read).
+func (t *Thread) Release() {
+	if t.opSeq.Load()%2 == 1 {
+		panic("core: Thread.Release inside an operation (call EndOp first)")
+	}
+	// Claim the lease end first: a double Release panics before the
+	// wipe below can disturb anything, and the slot stays off the free
+	// list until finishRelease, so no tenant can lease it mid-wipe.
+	// (A stale Release issued after the slot was already released AND
+	// re-leased is the same contract violation as any other use of a
+	// released handle, and is equally undetectable — a handle must
+	// never be touched after Release returns.)
+	t.d.beginRelease(t)
+	for i := 0; i < MaxSlots; i++ {
+		atomic.StorePointer(&t.sharedPtrs[i], nil)
+		atomic.StoreUint64(&t.sharedEras[i], eraNone)
+		t.localPtrs[i] = nil
+		t.localEras[i] = eraNone
+		t.heCache[i] = eraNone
+	}
+	t.resEpoch.Store(eraMax)
+	t.ibrLo.Store(eraMax)
+	t.ibrHi.Store(eraMax)
+	t.phase.Store(0)
+	t.ping.Store(0) // best effort; a ping landing after this is inert (see above)
+	t.hiSlot = -1
+	t.ibrHiCache = 0
+	t.inWrite = false
+	t.neutral = false
+	t.sinceReclaim = 0
+	t.d.finishRelease(t)
+}
+
+// adoptOrphans transfers retire lists donated by departed threads to t.
+// Every policy calls it at the start of its reclamation pass and flush,
+// so orphaned garbage is reclaimed by whichever live thread reclaims
+// next. Adopted nodes are indistinguishable from t's own retires: their
+// headers carry birth/retire eras and the retired flag, which is all
+// any policy's free test reads.
+func (t *Thread) adoptOrphans() {
+	d := t.d
+	if d.orphanLen.Load() == 0 {
+		return // racy fast path: a missed donation is caught next pass
+	}
+	d.mu.Lock()
+	nodes, batches := d.orphanNodes, d.orphanBatches
+	adopted := d.orphanLen.Load()
+	d.orphanNodes, d.orphanBatches = nil, nil
+	d.orphanLen.Store(0)
+	d.orphansAdopted += uint64(adopted)
+	d.mu.Unlock()
+	if len(nodes) > 0 {
+		t.retired = append(t.retired, nodes...)
+		if len(t.retired) > t.maxRetire {
+			t.maxRetire = len(t.retired)
+		}
+		t.retiredLen.Store(uint32(len(t.retired)))
+	}
+	if len(batches) > 0 {
+		// Sealed batches adopt wholesale; only a Crystalline domain
+		// donates them, so t.batches is non-nil here.
+		bs := t.batches
+		for _, b := range batches {
+			bs.pending += len(b.nodes)
+		}
+		bs.full = append(bs.full, batches...)
+		t.batchedLen.Store(int64(bs.pending))
+	}
+}
 
 // StatsSnapshot returns the thread's counters. Only meaningful from the
 // owner goroutine or after the owner has stopped.
@@ -335,6 +454,12 @@ func (t *Thread) collectPtrSet(skip []bool) map[unsafe.Pointer]struct{} {
 				}
 				continue
 			}
+			if i >= len(skip) {
+				// A slot created after pingAllAndWait snapshotted the
+				// list: every reservation it holds was made after our
+				// victims were unlinked, so the POP skip rule applies.
+				continue
+			}
 			if skip[i] {
 				continue
 			}
@@ -362,6 +487,9 @@ func (t *Thread) collectEraList(skip []bool) []uint64 {
 					}
 				}
 				continue
+			}
+			if i >= len(skip) {
+				continue // slot created after the ping snapshot (see collectPtrSet)
 			}
 			if skip[i] {
 				continue

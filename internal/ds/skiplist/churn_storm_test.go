@@ -1,0 +1,137 @@
+package skiplist_test
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"pop/internal/core"
+	"pop/internal/ds/skiplist"
+	"pop/internal/rng"
+)
+
+// TestChurnStorm is the thread-lifecycle acceptance storm: goroutines
+// continuously lease a handle from the domain's pool, perform protected
+// map operations that retire nodes (overwrites and deletes), and
+// release the handle mid-stream — donating their unreclaimed retire
+// lists — while long-lived scanner threads run range scans over the
+// same structure (reservations live across every churn event). After
+// the storm a flush must return live nodes to baseline: Outstanding
+// (allocations minus frees) equal to the surviving key count, i.e. no
+// node stranded on a departed thread's retire list and no node freed
+// out from under a scanner via stale-reservation attribution across
+// slot reuse.
+func TestChurnStorm(t *testing.T) {
+	legs := 12
+	if os.Getenv("SKIPLIST_HAMMER") != "" {
+		legs = 120
+	}
+	for _, p := range core.Policies() {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			churnStorm(t, p, 4, 2, legs, 400)
+		})
+	}
+}
+
+// churnStorm runs one policy's storm: churners × legs leases, each leg
+// doing ops mixed operations, against scanners running range scans.
+func churnStorm(t *testing.T, p core.Policy, churners, scanners, legs, ops int) {
+	const keyRange = 512
+	d := core.NewDomain(p, churners+scanners+1, &core.Options{
+		ReclaimThreshold: 64,
+		EpochFreq:        16,
+		BatchSize:        16,
+	})
+	pool := core.NewHandles(d)
+	l := skiplist.New(d)
+
+	// Prefill so scans see a populated structure from the start.
+	seed, err := pool.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(0); k < keyRange; k += 2 {
+		l.PutIfAbsent(seed, k, uint64(k))
+	}
+
+	var (
+		churnWG sync.WaitGroup
+		scanWG  sync.WaitGroup
+		stop    = make(chan struct{})
+	)
+	for s := 0; s < scanners; s++ {
+		th, err := pool.Acquire()
+		if err != nil {
+			t.Fatal(err)
+		}
+		scanWG.Add(1)
+		go func(id int, th *core.Thread) {
+			defer scanWG.Done()
+			r := rng.New(uint64(id)*0x9e3779b97f4a7c15 + 0x5ca9)
+			for {
+				select {
+				case <-stop:
+					th.Flush()
+					pool.Release(th)
+					return
+				default:
+				}
+				lo := r.Intn(keyRange)
+				l.RangeCount(th, lo, lo+64)
+			}
+		}(s, th)
+	}
+
+	for c := 0; c < churners; c++ {
+		churnWG.Add(1)
+		go func(id int) {
+			defer churnWG.Done()
+			r := rng.New(uint64(id)*0xff51afd7ed558ccd + 0xc0a1)
+			for leg := 0; leg < legs; leg++ {
+				th, err := pool.Acquire()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for i := 0; i < ops; i++ {
+					k := r.Intn(keyRange)
+					switch r.Intn(4) {
+					case 0:
+						l.PutIfAbsent(th, k, uint64(k))
+					case 1:
+						l.Put(th, k, uint64(leg)<<32|uint64(i)) // overwrite: retires
+					case 2:
+						l.Delete(th, k)
+					default:
+						l.Get(th, k)
+					}
+				}
+				// Depart mid-stream: the retire list this leg accumulated
+				// is donated for adoption, the slot becomes re-leasable.
+				pool.Release(th)
+			}
+		}(c)
+	}
+	churnWG.Wait()
+	close(stop)
+	scanWG.Wait()
+
+	// Final drain: the surviving seed thread adopts all orphans and
+	// flushes; live nodes must be back to baseline.
+	seed.Flush()
+	size := int64(l.Size(seed))
+	out := l.Outstanding()
+	lc := d.Lifecycle()
+	if lc.Releases == 0 || lc.OrphanNodes != 0 {
+		t.Fatalf("lifecycle after storm: %+v (want releases > 0, no orphans left)", lc)
+	}
+	if p == core.NR {
+		return // leaky baseline: Outstanding legitimately exceeds Size
+	}
+	if out != size {
+		t.Fatalf("LiveNodes not at baseline after churn storm: Outstanding=%d Size=%d (lifecycle %+v)",
+			out, size, lc)
+	}
+	pool.Release(seed)
+}

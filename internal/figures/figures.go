@@ -813,6 +813,91 @@ func nbrOverwriteFigure() Figure {
 	}
 }
 
+// churnFigure sweeps worker turnover: the KV-serving mix on the
+// skiplist with the elastic harness mode, dialing how many operations
+// each thread incarnation performs before releasing its slot (and
+// donating its retire list) — from no churn down to a lease every 1K
+// ops. The series show what thread turnover costs each policy: the
+// read and overwrite tails (a release wipes no published work, but
+// orphan adoption batches garbage onto whichever thread reclaims
+// next), end-of-run garbage, and the lifecycle counters (releases,
+// orphan nodes donated/adopted) that make the churn explainable.
+func churnFigure() Figure {
+	return Figure{
+		ID:   "churn",
+		Desc: "Elastic serving: worker churn (release/respawn) on SKL KV mix — tails, orphan adoption, memory under turnover",
+		Run: func(c Ctx) ([]report.Series, error) {
+			c = c.withDefaults()
+			threads := c.Threads[len(c.Threads)-1]
+			if threads < 2 {
+				threads = 2
+			}
+			policies := c.policySet(false)
+			names := make([]string, len(policies))
+			for i, p := range policies {
+				names[i] = p.String()
+			}
+			mk := func(metric string) report.Series {
+				return report.Series{
+					Title:  fmt.Sprintf("Worker churn (SKL kv, %d threads) — %s", threads, metric),
+					XLabel: "opsPerLease",
+					Names:  names,
+				}
+			}
+			series := []report.Series{
+				mk("throughput (ops/s)"),
+				mk("get latency p99 (µs)"),
+				mk("overwrite latency p99 (µs)"),
+				mk("unreclaimed at run end (nodes)"),
+				mk("thread releases"),
+				mk("orphan nodes adopted"),
+			}
+			for _, afterOps := range []uint64{0, 20000, 5000, 1000} {
+				cells := make([][]float64, len(series))
+				for i := range cells {
+					cells[i] = make([]float64, len(policies))
+				}
+				for pi, p := range policies {
+					c.Log("  churn: opsPerLease=%d policy=%v", afterOps, p)
+					res, err := harness.Run(harness.Config{
+						DS:               harness.DSSkipList,
+						Policy:           p,
+						Threads:          threads,
+						Duration:         c.Duration,
+						KeyRange:         scaleSize(c, 1_000_000),
+						Mix:              workload.KVStore,
+						Churn:            workload.Churn{AfterOps: afterOps},
+						OpLatency:        true,
+						ReclaimThreshold: scaleThreshold(c, 24576),
+						Seed:             c.Seed,
+					})
+					if err != nil {
+						return nil, err
+					}
+					cells[0][pi] = res.Throughput
+					if h := res.OpLat[harness.OpGet]; h != nil {
+						cells[1][pi] = h.Quantile(0.99) / 1e3
+					}
+					if h := res.OpLat[harness.OpOverwrite]; h != nil {
+						cells[2][pi] = h.Quantile(0.99) / 1e3
+					}
+					cells[3][pi] = float64(res.Unreclaimed)
+					cells[4][pi] = float64(res.Lifecycle.Releases)
+					cells[5][pi] = float64(res.Lifecycle.OrphansAdopted)
+				}
+				x := "none"
+				if afterOps > 0 {
+					x = fmt.Sprintf("%d", afterOps)
+				}
+				for i := range series {
+					series[i].AddRow(x, cells[i])
+				}
+			}
+			return series, nil
+		},
+	}
+}
+
 // All returns every figure in presentation order.
 func All() []Figure {
 	return []Figure{
@@ -838,6 +923,7 @@ func All() []Figure {
 		kvFigure("hmht-kv", "HMHT (hash table) 6M KV-serving mix: get/put/overwrite/delete with per-op-class tail latency", harness.DSHashTable, 6_000_000),
 		storeServeFigure(),
 		nbrOverwriteFigure(),
+		churnFigure(),
 		readCostFigure(),
 		stallFigure(),
 		ablateThreshold(),

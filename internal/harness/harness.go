@@ -148,6 +148,13 @@ type Config struct {
 	Dist  workload.Dist
 	ZipfS float64
 
+	// Churn enables the elastic mode: each worker releases its thread
+	// handle after Churn.AfterOps operations (donating unreclaimed
+	// retires to the domain's orphan queue) and respawns as a fresh
+	// goroutine re-leasing a slot. Result.Lifecycle reports the
+	// turnover the run generated.
+	Churn workload.Churn
+
 	// OpLatency enables per-operation latency histograms for the
 	// get/put/overwrite/delete classes (two clock reads per operation —
 	// measurable on sub-100ns operations, so figure reproductions leave
@@ -247,6 +254,11 @@ type Result struct {
 	ScanLat *report.Histogram
 
 	Reclaim core.Stats // aggregated reclamation counters
+
+	// Lifecycle reports thread-slot turnover: releases, peak leases and
+	// orphan donation/adoption volumes — the explainability counters
+	// for churn (elastic-mode) trials.
+	Lifecycle core.LifecycleStats
 }
 
 // memMap is a Map that can report pool occupancy.
@@ -339,9 +351,18 @@ func Run(cfg Config) (Result, error) {
 			return Result{}, fmt.Errorf("harness: mix has RangePct=%d but %q does not support range queries", cfg.Mix.RangePct, cfg.DS)
 		}
 	}
+	// All handles flow through the domain's pool: workers lease their
+	// slot (error-returning path, so a misconfigured sweep fails with a
+	// message instead of a stack trace) and, in churn mode, release and
+	// re-lease it mid-measurement.
+	pool := core.NewHandles(d)
 	threads := make([]*core.Thread, cfg.Threads)
 	for i := range threads {
-		threads[i] = d.RegisterThread()
+		th, err := pool.Acquire()
+		if err != nil {
+			return Result{}, fmt.Errorf("harness: worker %d: %w", i, err)
+		}
+		threads[i] = th
 	}
 
 	// Per-worker generators go through the error-returning constructor
@@ -392,19 +413,40 @@ func Run(cfg Config) (Result, error) {
 		loopsDone sync.WaitGroup // workers out of their op loops (quiescent)
 		finished  sync.WaitGroup // workers fully done (flushed)
 	)
+	// Each worker is a chain of "legs": a leg runs the op loop until
+	// stop (or, in churn mode, for Churn.AfterOps operations), and a
+	// churned leg releases its handle and spawns a fresh goroutine that
+	// re-leases a slot and continues — worker identity survives, thread
+	// identity does not. The terminal leg keeps its handle, parks until
+	// everyone stopped, and flushes (adopting any orphans its departed
+	// predecessors donated).
+	var runLeg func(id int, th *core.Thread)
+	runLeg = func(id int, th *core.Thread) {
+		runWorker(cfg, m, th, gens[id], id, &stop, &workers[id])
+		if cfg.Churn.Enabled() && !stop.Load() {
+			pool.Release(th)
+			nth, err := pool.Acquire()
+			if err != nil {
+				// Unreachable: every chain holds at most one handle, so a
+				// slot is always free for the successor.
+				panic(fmt.Sprintf("harness: churn re-lease: %v", err))
+			}
+			go runLeg(id, nth)
+			return
+		}
+		loopsDone.Done()
+		// Park quiescent until everyone stopped, then flush from the
+		// owner goroutine (a leased handle is not transferable).
+		<-flushGo
+		th.Flush()
+		finished.Done()
+	}
 	for i := 0; i < cfg.Threads; i++ {
 		loopsDone.Add(1)
 		finished.Add(1)
 		go func(id int) {
-			defer finished.Done()
-			th := threads[id]
 			<-release
-			runWorker(cfg, m, th, gens[id], id, &stop, &workers[id])
-			loopsDone.Done()
-			// Park quiescent until everyone stopped, then flush from the
-			// owner goroutine (Thread handles are not transferable).
-			<-flushGo
-			th.Flush()
+			runLeg(id, threads[id])
 		}(i)
 	}
 
@@ -442,6 +484,7 @@ func Run(cfg Config) (Result, error) {
 		Unreclaimed:  unreclaimed,
 		LeakedAfter:  d.Unreclaimed(),
 		Reclaim:      d.Stats(),
+		Lifecycle:    d.Lifecycle(),
 	}
 	for i := range workers {
 		res.Ops += workers[i].ops
@@ -470,26 +513,30 @@ func Run(cfg Config) (Result, error) {
 	return res, nil
 }
 
-// runWorker is one worker thread's execution phase. gen is the worker's
-// private generator (already role-resolved, see workerRole). Counters
-// accumulate in stack locals and flush into c once after the loop: the
-// workers slice is contiguous, so per-op stores there would false-share
-// cache lines between adjacent workers on the harness's hottest path.
-// (The histograms are separate heap allocations, so recording into them
-// does not share lines across workers.)
+// runWorker is one worker leg's execution phase. gen is the worker's
+// private generator (already role-resolved, see workerRole; it rides
+// the whole leg chain, so churn changes thread identity but not the op
+// stream). Counters accumulate in stack locals and fold into c once
+// after the loop: the workers slice is contiguous, so per-op stores
+// there would false-share cache lines between adjacent workers on the
+// harness's hottest path. (The histograms are separate heap
+// allocations, so recording into them does not share lines across
+// workers.) In churn mode the loop additionally ends after
+// cfg.Churn.AfterOps operations so the caller can rotate the handle.
 func runWorker(cfg Config, m memMap, th *core.Thread, gen *workload.Generator, id int, stop *atomic.Bool, c *workerCounters) {
 	scanner, _ := m.(ds.RangeScanner) // non-nil whenever mix.RangePct > 0
 
 	staller := cfg.StallEvery > 0 && cfg.StallLength > 0 && id == 0
 	nextStall := time.Now().Add(cfg.StallEvery)
 
+	quota := cfg.Churn.AfterOps // 0 = no churn: run until stop
 	var (
 		ops       uint64
 		byClass   [NumOpClasses]uint64
 		rangeKeys uint64
 		valueErrs uint64
 	)
-	for !stop.Load() {
+	for !stop.Load() && (quota == 0 || ops < quota) {
 		if staller && time.Now().After(nextStall) {
 			// Busy delay inside an operation: the thread pins its epoch /
 			// read position but keeps answering pings, exactly the
@@ -529,7 +576,14 @@ func runWorker(cfg Config, m memMap, th *core.Thread, gen *workload.Generator, i
 		byClass[class]++
 		ops++
 	}
-	c.ops, c.byClass, c.rangeKeys, c.valueErrs = ops, byClass, rangeKeys, valueErrs
+	// Accumulate (don't overwrite): a churned worker's counters span
+	// many legs.
+	c.ops += ops
+	c.rangeKeys += rangeKeys
+	c.valueErrs += valueErrs
+	for i := range byClass {
+		c.byClass[i] += byClass[i]
+	}
 }
 
 // prefill inserts until the structure holds about KeyRange/2 keys

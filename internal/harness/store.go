@@ -96,6 +96,13 @@ type StoreConfig struct {
 	Dist  workload.Dist
 	ZipfS float64
 
+	// Churn enables the elastic serving mode: each worker returns its
+	// handle to the store's pool after Churn.AfterOps operations and
+	// respawns as a fresh goroutine re-leasing a slot —
+	// resize-under-load, measured. StoreResult.Lifecycle reports the
+	// turnover.
+	Churn workload.Churn
+
 	// BatchSize is the multi-get batch width (default 16).
 	BatchSize int
 	// ScanSpan is the expected number of pairs per scan (default 32);
@@ -206,6 +213,10 @@ type StoreResult struct {
 
 	Store   store.Stats // store-level counters (shard-aggregated)
 	Reclaim core.Stats  // reclamation counters
+
+	// Lifecycle reports thread-slot turnover (releases, peak leases,
+	// orphan donation/adoption) — the churn-mode explainability view.
+	Lifecycle core.LifecycleStats
 }
 
 // storeWorkerCounters receives one worker's tallies.
@@ -240,9 +251,16 @@ func RunStore(cfg StoreConfig) (StoreResult, error) {
 	if cfg.Mix.ScanPct > 0 && !s.Ordered() {
 		return StoreResult{}, fmt.Errorf("harness: mix has ScanPct=%d but backing %q is unordered", cfg.Mix.ScanPct, cfg.Backing)
 	}
+	// Serving handles come from the store's own pool (the error path,
+	// so capacity misconfigurations fail with a message); churn legs
+	// rotate them through the same pool.
 	threads := make([]*core.Thread, cfg.Threads)
 	for i := range threads {
-		threads[i] = d.RegisterThread()
+		th, err := s.AcquireThread()
+		if err != nil {
+			return StoreResult{}, fmt.Errorf("harness: store worker %d: %w", i, err)
+		}
+		threads[i] = th
 	}
 
 	// The key table: rank -> string key and its store hash (for value
@@ -287,16 +305,32 @@ func RunStore(cfg StoreConfig) (StoreResult, error) {
 		loopsDone sync.WaitGroup
 		finished  sync.WaitGroup
 	)
+	// Leg chains as in Run: a churned leg returns its handle to the
+	// store's pool and a fresh goroutine re-leases a slot; the terminal
+	// leg keeps its handle and flushes (adopting donated orphans).
+	var runLeg func(id int, th *core.Thread)
+	runLeg = func(id int, th *core.Thread) {
+		runStoreWorker(cfg, s, th, samplers[id], id, keyTab, hkTab, &stop, &workers[id])
+		if cfg.Churn.Enabled() && !stop.Load() {
+			s.ReleaseThread(th)
+			nth, err := s.AcquireThread()
+			if err != nil {
+				panic(fmt.Sprintf("harness: store churn re-lease: %v", err))
+			}
+			go runLeg(id, nth)
+			return
+		}
+		loopsDone.Done()
+		<-flushGo
+		th.Flush()
+		finished.Done()
+	}
 	for i := 0; i < cfg.Threads; i++ {
 		loopsDone.Add(1)
 		finished.Add(1)
 		go func(id int) {
-			defer finished.Done()
 			<-release
-			runStoreWorker(cfg, s, threads[id], samplers[id], id, keyTab, hkTab, &stop, &workers[id])
-			loopsDone.Done()
-			<-flushGo
-			threads[id].Flush()
+			runLeg(id, threads[id])
 		}(i)
 	}
 
@@ -332,6 +366,7 @@ func RunStore(cfg StoreConfig) (StoreResult, error) {
 		LeakedAfter:  d.Unreclaimed(),
 		Store:        s.Stats(),
 		Reclaim:      d.Stats(),
+		Lifecycle:    d.Lifecycle(),
 	}
 	for i := range workers {
 		res.Ops += workers[i].ops
@@ -373,23 +408,26 @@ func scanWidth(keys int64, span int) uint64 {
 // runStoreWorker is one worker's execution phase.
 func runStoreWorker(cfg StoreConfig, s *store.Store, th *core.Thread, keys *workload.Sampler,
 	id int, keyTab []string, hkTab []int64, stop *atomic.Bool, c *storeWorkerCounters) {
-	r := rng.New(cfg.Seed ^ (uint64(id)*0xff51afd7ed558ccd + 7))
+	// The incarnation term keeps churn legs from replaying one leg's op
+	// sequence: each lease of the slot draws a distinct stream.
+	r := rng.New(cfg.Seed ^ (uint64(id)*0xff51afd7ed558ccd + 7) ^ (th.Incarnation() * 0x9e3779b97f4a7c15))
 	var (
 		vbuf  []byte
 		gbuf  []byte
 		batch store.Batch
 		kb    = make([]string, cfg.BatchSize)
 		ranks = make([]int64, cfg.BatchSize)
-		tag   = uint32(id) << 24
+		tag   = uint32(id)<<24 ^ uint32(th.Incarnation())<<12
 	)
 	width := scanWidth(cfg.Keys, cfg.ScanSpan)
+	quota := cfg.Churn.AfterOps // 0 = no churn: run until stop
 	var (
 		ops       uint64
 		byClass   [NumStoreOpClasses]uint64
 		served    uint64
 		valueErrs uint64
 	)
-	for !stop.Load() {
+	for !stop.Load() && (quota == 0 || ops < quota) {
 		op := cfg.Mix.NextStore(r)
 		class := classOfStore(op)
 		hist := c.lats[class]
@@ -450,7 +488,13 @@ func runStoreWorker(cfg StoreConfig, s *store.Store, th *core.Thread, keys *work
 		byClass[class]++
 		ops++
 	}
-	c.ops, c.byClass, c.served, c.valueErrs = ops, byClass, served, valueErrs
+	// Accumulate across churn legs.
+	c.ops += ops
+	c.served += served
+	c.valueErrs += valueErrs
+	for i := range byClass {
+		c.byClass[i] += byClass[i]
+	}
 }
 
 // storePrefill inserts ranks until the store holds about Keys/2

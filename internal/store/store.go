@@ -40,6 +40,19 @@
 // reclamation, and it varies by policy exactly the way retire-to-free
 // latency does.
 //
+// # Elastic serving
+//
+// Serving pools resize mid-run: Store.AcquireThread / ReleaseThread
+// (a core.Handles pool over the store's domain) lease thread slots to
+// serving goroutines and return them, so the live worker set can grow
+// and shrink inside the domain's capacity instead of pinning one
+// goroutine per pre-sized slot for the store's lifetime. A departing
+// worker's unreclaimed retires — shard nodes and value tickets alike —
+// are donated to the domain's orphan queue and adopted by live
+// threads' next reclamation pass; its tid-keyed caches (value arena,
+// tickets, scan scratch) transfer to the slot's next tenant through
+// the lease's happens-before edge.
+//
 // # Batched multi-get
 //
 // GetBatch sorts the batch by (shard, hashed key) and answers each
@@ -170,8 +183,13 @@ type vticket struct {
 	h arena.Handle
 }
 
-// storeLocal is one thread's allocation state: its value-arena cache,
-// its ticket cache, and reusable scratch for batches and scans.
+// storeLocal is one thread slot's allocation state: its value-arena
+// cache, its ticket cache, and reusable scratch for batches and scans.
+// State is keyed by thread ID — a slot index — so when a serving
+// goroutine releases its handle and another goroutine re-leases the
+// slot (the elastic-pool lifecycle), the caches transfer with it: the
+// domain's lease/release mutex is the happens-before edge, and the new
+// tenant simply continues filling the previous tenant's caches.
 type storeLocal struct {
 	vc      *arena.BytesCache
 	tickets *arena.ThreadCache[vticket]
@@ -193,7 +211,8 @@ type Store struct {
 	vals      *arena.Bytes
 	ticketTyp uint8
 	tickets   *arena.Pool[vticket]
-	locals    []*storeLocal // indexed by thread id, owner-only
+	locals    []*storeLocal // indexed by thread id (slot), owner-only
+	pool      *core.Handles // serving-handle pool (elastic worker sets)
 
 	batches padded.Uint64 // GetBatch calls
 	scans   padded.Uint64 // Scan calls
@@ -213,6 +232,7 @@ func New(d *core.Domain, cfg Config) (*Store, error) {
 		vals:    arena.NewBytes(),
 		tickets: arena.NewPool[vticket](nil, nil),
 		locals:  make([]*storeLocal, d.MaxThreads()),
+		pool:    core.NewHandles(d),
 	}
 	s.ticketTyp = d.RegisterType(func(t *core.Thread, h *core.Header) {
 		tk := (*vticket)(unsafe.Pointer(h))
@@ -245,6 +265,22 @@ func New(d *core.Domain, cfg Config) (*Store, error) {
 
 // Shards returns the shard count.
 func (s *Store) Shards() int { return len(s.shards) }
+
+// Handles returns the store's serving-handle pool: a goroutine-affine
+// acquire/release facade over the domain's thread slots, so serving
+// pools can resize mid-run — a departing worker's handle (and its
+// tid-keyed caches) is re-leased to the next worker, and its
+// unreclaimed value tickets are adopted by live threads.
+func (s *Store) Handles() *core.Handles { return s.pool }
+
+// AcquireThread leases a serving handle from the store's pool. The
+// handle belongs to the calling goroutine until ReleaseThread.
+func (s *Store) AcquireThread() (*core.Thread, error) { return s.pool.Acquire() }
+
+// ReleaseThread returns a serving handle to the pool; the worker's
+// unreclaimed retires (nodes and value tickets) are donated to the
+// domain for adoption, and the slot becomes re-leasable.
+func (s *Store) ReleaseThread(t *core.Thread) { s.pool.Release(t) }
 
 // Ordered reports whether the backing supports hashed-key Scan.
 func (s *Store) Ordered() bool { return s.shards[0].scanner != nil }

@@ -111,6 +111,23 @@ func (m Mix) Valid() bool {
 // queries and the caller did not choose one.
 const DefaultRangeSpan = 100
 
+// Churn is the worker-turnover knob for elastic serving experiments:
+// with AfterOps set, a harness worker releases its thread handle after
+// that many operations — donating its unreclaimed retire list to the
+// domain's orphan queue — and a fresh goroutine re-leases a slot and
+// continues the measurement. Churn dials thread-lifecycle pressure the
+// way OverwritePct dials retirement pressure: the op stream is
+// unchanged; only how long each thread identity lives varies.
+type Churn struct {
+	// AfterOps is the number of operations one worker incarnation
+	// performs before releasing its handle and respawning (0 = no
+	// churn: workers keep one handle for the whole run).
+	AfterOps uint64
+}
+
+// Enabled reports whether the knob is set.
+func (c Churn) Enabled() bool { return c.AfterOps > 0 }
+
 // EncodeValue packs a verifiable value for key: the write tag in the
 // upper half, a checksum over (key, tag) in the lower. Distinct tags
 // yield distinct values for the same key, so overwrite streams are

@@ -20,17 +20,37 @@
 //
 // # KV quickstart
 //
-// Create a Domain with a Policy and a thread capacity, register one
+// Create a Domain with a Policy and a thread capacity, lease one
 // Thread per worker goroutine, and pass the Thread to every operation:
 //
 //	d := pop.NewDomain(pop.EpochPOP, 8, nil)
 //	kv := pop.NewSkipListMap(d)          // ordered map with range scans
-//	t := d.RegisterThread()              // one per goroutine, not shareable
+//	t := d.RegisterThread()              // leased to this goroutine
 //	kv.Put(t, 42, 1000)                  // insert
 //	old, _ := kv.Put(t, 42, 2000)        // overwrite: old == 1000
 //	v, ok := kv.Get(t, 42)               // v == 2000
 //	removed, ok := kv.Delete(t, 42)      // removed == 2000
 //	n := kv.RangeCount(t, 0, 99)         // ordered scan
+//	t.Release()                          // slot becomes re-leasable
+//
+// # Thread lifecycle
+//
+// A Thread is a lease on one of the domain's slots, not a lifetime
+// commitment: while held it must only be used by the goroutine that
+// leased it, and Release (outside any operation) returns the slot —
+// any unreclaimed retires are donated to the domain and adopted by
+// live threads, and a different goroutine may then lease the same
+// slot. Domain.TryRegisterThread is the error-returning lease (the
+// panicking RegisterThread remains for compatibility), and Handles
+// wraps the lifecycle in a concurrency-safe acquire/release pool for
+// elastic worker sets:
+//
+//	pool := pop.NewHandles(d)
+//	go func() {                          // a short-lived worker
+//		t, err := pool.Acquire()
+//		...
+//		pool.Release(t)
+//	}()
 //
 // Overwrites are a first-class reclamation event: on the lock-free
 // structures (NewHarrisMichaelListMap, NewSkipListMap, and the hash
@@ -47,9 +67,9 @@
 //	set.Contains(t, 42)
 //	set.Delete(t, 42)
 //
-// A Thread must only ever be used by the goroutine that registered it.
-// Domains are cheap; use one per data structure (or share one domain
-// across structures that should reclaim together).
+// A Thread must only ever be used by the goroutine currently holding
+// its lease. Domains are cheap; use one per data structure (or share
+// one domain across structures that should reclaim together).
 package pop
 
 import (
@@ -94,12 +114,20 @@ const (
 	Crystalline = core.Crystalline
 )
 
-// Domain is a reclamation domain: one policy plus the threads and node
-// types registered with it.
+// Domain is a reclamation domain: one policy plus the thread slots and
+// node types registered with it. Thread slots are leasable —
+// RegisterThread / TryRegisterThread lease, Thread.Release returns —
+// so worker populations can resize inside the domain's capacity.
 type Domain = core.Domain
 
-// Thread is a per-goroutine handle used for every operation.
+// Thread is a per-goroutine handle used for every operation: a lease
+// on one of the domain's slots, returned with Release.
 type Thread = core.Thread
+
+// Handles is a goroutine-affine acquire/release pool of Thread handles
+// over a Domain — the lifecycle facade elastic serving pools use
+// (Store exposes one per store as Store.Handles).
+type Handles = core.Handles
 
 // Options tunes a domain (retire-list threshold, epoch frequency, ...).
 type Options = core.Options
@@ -107,11 +135,19 @@ type Options = core.Options
 // Stats aggregates reclamation counters.
 type Stats = core.Stats
 
+// LifecycleStats counts thread-slot lifecycle events: current/peak
+// leases, releases, and orphan retire-list donation/adoption volumes
+// (Domain.Lifecycle).
+type LifecycleStats = core.LifecycleStats
+
 // NewDomain creates a reclamation domain for at most maxThreads
 // concurrent threads. opts may be nil for the paper's defaults.
 func NewDomain(p Policy, maxThreads int, opts *Options) *Domain {
 	return core.NewDomain(p, maxThreads, opts)
 }
+
+// NewHandles creates a handle pool over d (see Handles).
+func NewHandles(d *Domain) *Handles { return core.NewHandles(d) }
 
 // ParsePolicy resolves a policy name ("HazardPtrPOP", "EBR", ...).
 func ParsePolicy(s string) (Policy, error) { return core.ParsePolicy(s) }
@@ -303,6 +339,10 @@ func NewABTree(d *Domain) RangeSet { return newRangeSet(abtree.New(d)) }
 // shard (sorted by shard and in-shard key), which measurably beats
 // per-key Gets — see BenchmarkStoreBatchGet in internal/store. Scan
 // yields (hashed key, value copy) pairs over ordered backings.
+//
+// Serving pools resize live: Store.AcquireThread / ReleaseThread lease
+// handles from the store's Handles pool, so workers can be scaled up
+// and down against a loaded store (see examples/webcache).
 type Store = store.Store
 
 // StoreOptions tunes a Store (shard count, backing structure, value

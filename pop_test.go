@@ -219,3 +219,56 @@ func TestStoreFacade(t *testing.T) {
 		t.Fatal("invalid backing accepted")
 	}
 }
+
+// TestHandlePoolFacade exercises the exported thread-lifecycle surface:
+// an elastic worker set over one map, handles leased and released
+// through pop.Handles, with orphan adoption draining everything.
+func TestHandlePoolFacade(t *testing.T) {
+	d := pop.NewDomain(pop.EpochPOP, 4, &pop.Options{ReclaimThreshold: 64})
+	kv := pop.NewSkipListMap(d)
+	pool := pop.NewHandles(d)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ { // 8 workers over 4 slots, in two batches
+		if w == 4 {
+			wg.Wait() // first batch released its leases
+		}
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if err := pool.Do(func(th *pop.Thread) error {
+				base := int64(id * 1000)
+				for k := base; k < base+200; k++ {
+					kv.Put(th, k, uint64(k))
+					if k%2 == 0 {
+						kv.Delete(th, k)
+					}
+				}
+				return nil
+			}); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	collector, err := d.TryRegisterThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	collector.Flush()
+	lc := d.Lifecycle()
+	if lc.Releases != 8 {
+		t.Fatalf("releases = %d, want 8", lc.Releases)
+	}
+	if lc.Slots > 4 {
+		t.Fatalf("slots grew to %d despite the 4-slot cap", lc.Slots)
+	}
+	if lc.OrphanNodes != 0 {
+		t.Fatalf("orphans left after flush: %+v", lc)
+	}
+	if got, want := kv.Outstanding(), int64(kv.Size(collector)); got != want {
+		t.Fatalf("outstanding %d != live keys %d after elastic run", got, want)
+	}
+	collector.Release()
+}
