@@ -98,6 +98,13 @@ func main() {
 		backing   = flag.String("backing", "skl", "store backing structure (skl, hmht, hml, abt, ll, dgt)")
 		shardsCSV = flag.String("shards", "8", "store sweep: comma-separated shard counts")
 		batchCSV  = flag.String("batch", "16", "store sweep: comma-separated multi-get batch sizes")
+
+		serveMode = flag.Bool("serve", false, "serve sweep: live TCP memcached-text server across connection counts × policies")
+		connsCSV  = flag.String("conns", "8,32", "serve sweep: comma-separated client connection counts")
+		slots     = flag.Int("slots", 8, "serve sweep: admission slots (connections executing at once)")
+		window    = flag.Duration("window", 50*time.Microsecond, "serve sweep: get-coalescing window")
+		openRate  = flag.Float64("openrate", 0, "serve sweep: open-loop total ops/s target (0 = closed loop)")
+		getPct    = flag.Int("getpct", 90, "serve sweep: get share of the op mix (rest are sets)")
 	)
 	flag.Parse()
 
@@ -119,6 +126,18 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
 		os.Exit(2)
+	}
+	if *serveMode {
+		if err := serveSweep(serveSweepOpts{
+			backing: *backing, conns: *connsCSV, slots: *slots, window: *window,
+			openRate: *openRate, getPct: *getPct, keys: *keyRange, dist: dist,
+			duration: *duration, seed: *seed, policies: *policies,
+			render: render, quiet: *quiet,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *storeMode {
 		if err := storeSweep(storeSweepOpts{
@@ -236,6 +255,79 @@ type storeSweepOpts struct {
 	policies string
 	render   func(*report.Series) error
 	quiet    bool
+}
+
+// serveSweepOpts carries the -serve sweep flag values.
+type serveSweepOpts struct {
+	backing  string
+	conns    string // csv connection counts
+	slots    int
+	window   time.Duration
+	openRate float64
+	getPct   int
+	keys     int64
+	dist     workload.Dist
+	duration time.Duration
+	seed     uint64
+	policies string
+	render   func(*report.Series) error
+	quiet    bool
+}
+
+// serveSweep runs the live TCP serving front across connection counts ×
+// policies: one row per connection count, one column per policy, one
+// table per metric. Rows where conns exceed -slots are the admission
+// story — clients queue for thread leases instead of being refused, and
+// the wait shows up in the client-observed tails and the admission-wait
+// distribution.
+func serveSweep(o serveSweepOpts) error {
+	connList, err := parseInts(o.conns)
+	if err != nil {
+		return fmt.Errorf("bad -conns: %w", err)
+	}
+	ps := core.Policies()
+	if o.policies != "" {
+		ps = ps[:0]
+		for _, name := range strings.Split(o.policies, ",") {
+			p, err := core.ParsePolicy(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			ps = append(ps, p)
+		}
+	}
+	loop := "closed loop"
+	if o.openRate > 0 {
+		loop = fmt.Sprintf("open loop %.0f op/s", o.openRate)
+	}
+	title := fmt.Sprintf("serve %s (%d slots, %d keys, %v dist, %d%% gets, %s)",
+		o.backing, o.slots, o.keys, o.dist, o.getPct, loop)
+	ctx := figures.Ctx{
+		Duration: o.duration,
+		Seed:     o.seed,
+		Log:      func(string, ...any) {},
+	}
+	if !o.quiet {
+		ctx.Log = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	}
+	series, err := figures.SweepServeConns(ctx, title, harness.ServeConfig{
+		Slots:    o.slots,
+		Keys:     o.keys,
+		Backing:  o.backing,
+		Window:   o.window,
+		GetPct:   o.getPct,
+		OpenRate: o.openRate,
+		Dist:     o.dist,
+	}, connList, ps, figures.ServeMetrics())
+	if err != nil {
+		return err
+	}
+	for i := range series {
+		if err := o.render(&series[i]); err != nil {
+			return fmt.Errorf("write: %w", err)
+		}
+	}
+	return nil
 }
 
 // storeSweep runs the KV front across shards × policies × batch sizes

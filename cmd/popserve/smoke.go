@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+
+	"pop/internal/server"
+)
+
+// smokeTest drives one scripted client session against the live server
+// and checks every reply — the CI self-test behind -smoke.
+func smokeTest(s *server.Server) error {
+	nc, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		return err
+	}
+	defer nc.Close()
+	r := bufio.NewReader(nc)
+	send := func(cmd string) error {
+		_, err := io.WriteString(nc, cmd)
+		return err
+	}
+	expect := func(want string) error {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return fmt.Errorf("reading reply: %w", err)
+		}
+		if got := strings.TrimRight(line, "\r\n"); got != want {
+			return fmt.Errorf("got %q, want %q", got, want)
+		}
+		return nil
+	}
+	steps := []struct{ send, want string }{
+		{"set greet 0 0 5\r\nhello\r\n", "STORED"},
+		{"add greet 0 0 2\r\nno\r\n", "NOT_STORED"},
+		{"get greet\r\n", "VALUE greet 0 5"},
+		{"", "hello"},
+		{"", "END"},
+		{"gets greet missing\r\n", "VALUE greet 0 5 0"},
+		{"", "hello"},
+		{"", "END"},
+		{"delete greet\r\n", "DELETED"},
+		{"delete greet\r\n", "NOT_FOUND"},
+		{"bogus\r\n", "ERROR"},
+	}
+	for i, st := range steps {
+		if st.send != "" {
+			if err := send(st.send); err != nil {
+				return fmt.Errorf("step %d: %w", i, err)
+			}
+		}
+		if err := expect(st.want); err != nil {
+			return fmt.Errorf("step %d: %w", i, err)
+		}
+	}
+	// The stats surface must be present and well-formed.
+	if err := send("stats\r\n"); err != nil {
+		return err
+	}
+	saw := 0
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return fmt.Errorf("reading stats: %w", err)
+		}
+		l := strings.TrimRight(line, "\r\n")
+		if l == "END" {
+			break
+		}
+		if !strings.HasPrefix(l, "STAT ") {
+			return fmt.Errorf("bad stats line %q", l)
+		}
+		saw++
+	}
+	if saw < 10 {
+		return fmt.Errorf("stats emitted only %d lines", saw)
+	}
+	if err := send("quit\r\n"); err != nil {
+		return err
+	}
+	if _, err := r.ReadByte(); err != io.EOF {
+		return fmt.Errorf("connection alive after quit: %v", err)
+	}
+	return nil
+}

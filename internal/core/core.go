@@ -46,6 +46,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -53,6 +54,13 @@ import (
 
 	"pop/internal/padded"
 )
+
+// ErrNoSlots is the typed exhaustion error: every one of a domain's
+// thread slots is currently leased. Domain.TryRegisterThread and
+// Handles.Acquire return errors wrapping it (test with errors.Is), and
+// Handles.AcquireWait turns it into queueing — the admission-control
+// path serving layers block on instead of failing the client.
+var ErrNoSlots = errors.New("thread capacity exhausted (all slots leased)")
 
 // MaxSlots is the number of reservation slots per thread (the paper's
 // MAX_HP). The deepest consumer is the (a,b)-tree, which protects
@@ -298,7 +306,7 @@ func (d *Domain) TryRegisterThread() (*Thread, error) {
 		return t, nil
 	}
 	if len(d.threads) >= d.maxThreads {
-		return nil, fmt.Errorf("core: thread capacity exhausted (%d slots leased, none released)", d.maxThreads)
+		return nil, fmt.Errorf("core: %d-slot domain: %w", d.maxThreads, ErrNoSlots)
 	}
 	t := &Thread{
 		d:      d,
@@ -388,12 +396,22 @@ type LifecycleStats struct {
 	OrphanNodes    int64  // nodes currently awaiting adoption
 	OrphansDonated uint64 // nodes ever donated by departing threads
 	OrphansAdopted uint64 // nodes ever adopted by live threads
+
+	// SlotLeases[i] is slot i's cumulative lease count (its current
+	// incarnation): the per-slot view of how lease traffic spreads over
+	// the dense tid space — per-tenant accounting's ground truth, since
+	// tenant k of slot i is exactly (slot i, incarnation k).
+	SlotLeases []uint64
 }
 
 // Lifecycle snapshots the domain's thread-lifecycle counters.
 func (d *Domain) Lifecycle() LifecycleStats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	leases := make([]uint64, len(d.threads))
+	for i, t := range d.threads {
+		leases[i] = t.incarnation.Load()
+	}
 	return LifecycleStats{
 		Slots:          len(d.threads),
 		Leased:         d.leasedCount,
@@ -402,6 +420,7 @@ func (d *Domain) Lifecycle() LifecycleStats {
 		OrphanNodes:    d.orphanLen.Load(),
 		OrphansDonated: d.orphansDonated,
 		OrphansAdopted: d.orphansAdopted,
+		SlotLeases:     leases,
 	}
 }
 

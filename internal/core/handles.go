@@ -1,6 +1,10 @@
 package core
 
-import "sync"
+import (
+	"context"
+	"errors"
+	"sync"
+)
 
 // Handles is a goroutine-affine pool of Thread handles over a Domain:
 // serving layers size their domain for the peak worker count and let
@@ -13,6 +17,13 @@ import "sync"
 // tid-indexed caches in the ds and store layers hand over with the
 // slot.
 //
+// AcquireWait is the admission-control variant: instead of returning
+// ErrNoSlots when the domain is full, the caller queues (FIFO) until a
+// handle released through THIS pool frees a slot or its context
+// expires. A serving front places it in the accept path, so the
+// connection population can exceed the slot population and excess
+// connections wait their turn instead of being refused.
+//
 // A handle acquired here obeys the same affinity rule as one from
 // RegisterThread: between Acquire and Release it must only be used by
 // the goroutine that acquired it.
@@ -23,11 +34,16 @@ type Handles struct {
 	inUse    int
 	peak     int
 	acquires uint64
+	waits    uint64          // AcquireWait calls that had to queue
+	waiters  []chan struct{} // FIFO admission queue (buffered-1 wakeup tokens)
 }
 
 // NewHandles creates a handle pool over d. Multiple pools may share a
 // domain (they draw from the same slot space); handles from
-// RegisterThread and from pools coexist freely.
+// RegisterThread and from pools coexist freely. Note that AcquireWait
+// waiters are woken only by Release calls on their own pool: a domain
+// shared between pools can starve one pool's waiters if the other pool
+// holds every slot.
 func NewHandles(d *Domain) *Handles {
 	return &Handles{d: d}
 }
@@ -35,8 +51,9 @@ func NewHandles(d *Domain) *Handles {
 // Domain returns the pool's domain.
 func (p *Handles) Domain() *Domain { return p.d }
 
-// Acquire leases a thread handle for the calling goroutine. It fails
-// only when every one of the domain's slots is currently leased.
+// Acquire leases a thread handle for the calling goroutine. When every
+// one of the domain's slots is currently leased it fails with an error
+// wrapping ErrNoSlots.
 func (p *Handles) Acquire() (*Thread, error) {
 	t, err := p.d.TryRegisterThread()
 	if err != nil {
@@ -52,10 +69,89 @@ func (p *Handles) Acquire() (*Thread, error) {
 	return t, nil
 }
 
+// AcquireWait leases a thread handle, blocking while the domain is
+// saturated: callers queue FIFO and are woken as handles are released
+// through this pool. It returns ctx.Err() if ctx expires first. This is
+// the admission-control primitive — a caller population larger than the
+// slot population queues for slots instead of erroring — so the only
+// error a healthy (deadline-free) caller can see is its own context's.
+//
+// Wakeups are handed to waiters in queue order, but a woken waiter
+// re-runs Acquire and can lose the slot to a concurrent non-waiting
+// Acquire; it then re-queues at the tail. Admission is therefore
+// eventually fair under queued load, not strictly FIFO against
+// line-jumpers.
+func (p *Handles) AcquireWait(ctx context.Context) (*Thread, error) {
+	for {
+		t, err := p.Acquire()
+		if err == nil {
+			return t, nil
+		}
+		if !errors.Is(err, ErrNoSlots) {
+			return nil, err
+		}
+		w := make(chan struct{}, 1)
+		p.mu.Lock()
+		p.waiters = append(p.waiters, w)
+		p.waits++
+		p.mu.Unlock()
+		// Re-try after enqueueing: a Release between the failed Acquire
+		// above and the enqueue would have seen an empty queue and woken
+		// nobody; this second look closes that window.
+		if t, err := p.Acquire(); err == nil {
+			p.abandonWait(w)
+			return t, nil
+		} else if !errors.Is(err, ErrNoSlots) {
+			p.abandonWait(w)
+			return nil, err
+		}
+		select {
+		case <-w:
+			// Woken by a Release: loop and contend for the freed slot.
+		case <-ctx.Done():
+			p.abandonWait(w)
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// abandonWait removes w from the admission queue. If w was already
+// popped and signalled, the wakeup token is forwarded to the next
+// waiter so a cancelled waiter never swallows an admission.
+func (p *Handles) abandonWait(w chan struct{}) {
+	p.mu.Lock()
+	for i, x := range p.waiters {
+		if x == w {
+			p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
+			p.mu.Unlock()
+			return
+		}
+	}
+	p.mu.Unlock()
+	// Not queued ⇒ signalLocked already sent w its token (the send
+	// happens under the lock we just held), so this receive cannot block.
+	<-w
+	p.mu.Lock()
+	p.signalLocked()
+	p.mu.Unlock()
+}
+
+// signalLocked pops the head waiter and hands it a wakeup token
+// (p.mu held; the channels are buffered so the send never blocks).
+func (p *Handles) signalLocked() {
+	if len(p.waiters) == 0 {
+		return
+	}
+	w := p.waiters[0]
+	p.waiters = p.waiters[1:]
+	w <- struct{}{}
+}
+
 // Release returns a handle to the domain (Thread.Release: the slot's
 // reservations read empty to scanners, unreclaimed retires are donated
-// for adoption, and the slot becomes re-leasable). Must be called by
-// the goroutine that acquired t; t must not be used afterwards.
+// for adoption, and the slot becomes re-leasable) and wakes the head
+// AcquireWait waiter, if any. Must be called by the goroutine that
+// acquired t; t must not be used afterwards.
 func (p *Handles) Release(t *Thread) {
 	// Bookkeeping before the slot is actually freed: once t.Release
 	// returns, a concurrent Acquire can succeed, and counting ourselves
@@ -66,6 +162,11 @@ func (p *Handles) Release(t *Thread) {
 	p.inUse--
 	p.mu.Unlock()
 	t.Release()
+	// Wake after the slot is genuinely free, so the woken waiter's
+	// Acquire can succeed immediately.
+	p.mu.Lock()
+	p.signalLocked()
+	p.mu.Unlock()
 }
 
 // Do acquires a handle, runs fn with it, and releases it — the
@@ -100,6 +201,22 @@ func (p *Handles) Acquires() uint64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.acquires
+}
+
+// Waits returns how many AcquireWait calls found the domain saturated
+// and queued (each re-queue after losing a woken race counts again): the
+// admission-queue pressure statistic.
+func (p *Handles) Waits() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.waits
+}
+
+// Waiting returns the current admission-queue length.
+func (p *Handles) Waiting() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.waiters)
 }
 
 // Cap returns the domain's slot capacity.

@@ -1,9 +1,12 @@
 package core_test
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 	"unsafe"
 
 	"pop/internal/core"
@@ -20,6 +23,8 @@ func TestTryRegisterThreadCapacityError(t *testing.T) {
 	}
 	if _, err := d.TryRegisterThread(); err == nil {
 		t.Fatal("third lease at capacity 2 did not error")
+	} else if !errors.Is(err, core.ErrNoSlots) {
+		t.Fatalf("exhaustion error is not ErrNoSlots: %v", err)
 	} else if !strings.Contains(err.Error(), "capacity") {
 		t.Fatalf("unhelpful capacity error: %v", err)
 	}
@@ -185,6 +190,8 @@ func TestHandlesPool(t *testing.T) {
 	}
 	if _, err := pool.Acquire(); err == nil {
 		t.Fatal("Acquire past cap did not error")
+	} else if !errors.Is(err, core.ErrNoSlots) {
+		t.Fatalf("Acquire exhaustion error is not ErrNoSlots: %v", err)
 	}
 	if pool.InUse() != 3 || pool.Peak() != 3 {
 		t.Fatalf("InUse=%d Peak=%d, want 3, 3", pool.InUse(), pool.Peak())
@@ -290,5 +297,149 @@ func TestLeaseChurnAllPolicies(t *testing.T) {
 				t.Fatalf("slots grew to %d despite reuse (cap %d)", lc.Slots, churners+1)
 			}
 		})
+	}
+}
+
+// TestSlotLeaseCounts checks Lifecycle's per-slot acquire counts: every
+// lease of a slot shows up as that slot's incarnation.
+func TestSlotLeaseCounts(t *testing.T) {
+	d := core.NewDomain(core.EBR, 2, nil)
+	a := d.RegisterThread()
+	b := d.RegisterThread()
+	bid := b.ID()
+	b.Release()
+	d.RegisterThread() // re-leases b's slot: its count goes to 2
+	lc := d.Lifecycle()
+	if len(lc.SlotLeases) != 2 {
+		t.Fatalf("SlotLeases length = %d, want 2", len(lc.SlotLeases))
+	}
+	if lc.SlotLeases[a.ID()] != 1 || lc.SlotLeases[bid] != 2 {
+		t.Fatalf("SlotLeases = %v, want slot %d at 1 and slot %d at 2", lc.SlotLeases, a.ID(), bid)
+	}
+	var total uint64
+	for _, n := range lc.SlotLeases {
+		total += n
+	}
+	if want := lc.Releases + uint64(lc.Leased); total != want {
+		t.Fatalf("SlotLeases sum = %d, want releases+leased = %d", total, want)
+	}
+}
+
+// TestAcquireWaitBlocksUntilRelease saturates a one-slot pool, parks an
+// AcquireWait behind it, and checks the waiter is admitted exactly when
+// the holder releases.
+func TestAcquireWaitBlocksUntilRelease(t *testing.T) {
+	d := core.NewDomain(core.HazardPtrPOP, 1, nil)
+	pool := core.NewHandles(d)
+	holder, err := pool.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	admitted := make(chan *core.Thread)
+	go func() {
+		th, err := pool.AcquireWait(context.Background())
+		if err != nil {
+			t.Errorf("AcquireWait: %v", err)
+			close(admitted)
+			return
+		}
+		admitted <- th
+	}()
+	// The waiter must be parked, not admitted: give it time to enqueue.
+	select {
+	case <-admitted:
+		t.Fatal("AcquireWait admitted past a saturated domain")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if pool.Waiting() != 1 {
+		t.Fatalf("Waiting = %d, want 1", pool.Waiting())
+	}
+	pool.Release(holder)
+	select {
+	case th := <-admitted:
+		if th == nil {
+			t.Fatal("AcquireWait errored after release")
+		}
+		if th.ID() != holder.ID() {
+			t.Fatalf("waiter admitted to slot %d, want released slot %d", th.ID(), holder.ID())
+		}
+		pool.Release(th)
+	case <-time.After(5 * time.Second):
+		t.Fatal("AcquireWait still parked after Release")
+	}
+	if pool.Waits() == 0 {
+		t.Fatal("Waits counter did not record the queued acquire")
+	}
+}
+
+// TestAcquireWaitContextTimeout checks a parked waiter is unparked with
+// its context's error, leaves the queue, and does not leak a wakeup.
+func TestAcquireWaitContextTimeout(t *testing.T) {
+	d := core.NewDomain(core.EBR, 1, nil)
+	pool := core.NewHandles(d)
+	holder, err := pool.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := pool.AcquireWait(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("AcquireWait under saturation = %v, want DeadlineExceeded", err)
+	}
+	if pool.Waiting() != 0 {
+		t.Fatalf("timed-out waiter still queued (Waiting = %d)", pool.Waiting())
+	}
+	// The slot must still be cleanly admittable afterwards.
+	pool.Release(holder)
+	th, err := pool.AcquireWait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Release(th)
+}
+
+// TestAcquireWaitStorm floods a tiny pool with far more waiters than
+// slots and checks every one is eventually admitted, does work, and
+// that the pool drains to zero without leaking leases.
+func TestAcquireWaitStorm(t *testing.T) {
+	const (
+		slots   = 2
+		workers = 16
+		legs    = 25
+	)
+	d := core.NewDomain(core.EpochPOP, slots, nil)
+	pool := core.NewHandles(d)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < legs; i++ {
+				th, err := pool.AcquireWait(ctx)
+				if err != nil {
+					t.Errorf("AcquireWait: %v", err)
+					return
+				}
+				th.StartOp()
+				th.EndOp()
+				pool.Release(th)
+			}
+		}()
+	}
+	wg.Wait()
+	if pool.InUse() != 0 || pool.Waiting() != 0 {
+		t.Fatalf("after storm: InUse=%d Waiting=%d, want 0, 0", pool.InUse(), pool.Waiting())
+	}
+	lc := d.Lifecycle()
+	if lc.Leased != 0 {
+		t.Fatalf("leaked leases: %+v", lc)
+	}
+	if lc.Slots > slots {
+		t.Fatalf("slots grew to %d past the cap %d", lc.Slots, slots)
+	}
+	if lc.Releases != workers*legs {
+		t.Fatalf("releases = %d, want %d", lc.Releases, workers*legs)
 	}
 }

@@ -738,6 +738,122 @@ func storeServeFigure() Figure {
 	}
 }
 
+// ServeMetric extracts one plotted value from a serve trial result.
+type ServeMetric struct {
+	Name string
+	Get  func(harness.ServeResult) float64
+}
+
+// ServeLatencyMetric builds a metric reading quantile q (µs) of a
+// client-observed latency histogram chosen by pick.
+func ServeLatencyMetric(name string, pick func(harness.ServeResult) *report.Histogram, q float64) ServeMetric {
+	return ServeMetric{Name: name, Get: func(r harness.ServeResult) float64 {
+		h := pick(r)
+		if h == nil {
+			return 0
+		}
+		return h.Quantile(q) / 1e3
+	}}
+}
+
+// SweepServeConns runs cfgBase for every (policy, connection-count)
+// pair — the serving front's capacity view: how client-observed tails
+// and admission waits move as connections overcommit the slot budget.
+func SweepServeConns(c Ctx, title string, cfgBase harness.ServeConfig, conns []int, policies []core.Policy, metrics []ServeMetric) ([]report.Series, error) {
+	names := make([]string, len(policies))
+	for i, p := range policies {
+		names[i] = p.String()
+	}
+	out := make([]report.Series, len(metrics))
+	for i, m := range metrics {
+		out[i] = report.Series{
+			Title:  fmt.Sprintf("%s — %s", title, m.Name),
+			XLabel: "conns",
+			Names:  names,
+		}
+	}
+	for _, n := range conns {
+		cells := make([][]float64, len(metrics))
+		for i := range cells {
+			cells[i] = make([]float64, len(policies))
+		}
+		for pi, p := range policies {
+			cfg := cfgBase
+			cfg.Policy = p
+			cfg.Conns = n
+			cfg.Duration = c.Duration
+			cfg.Seed = c.Seed
+			c.Log("  %s: conns=%d policy=%v", title, n, p)
+			res, err := harness.RunServe(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s [conns=%d policy=%v]: %w", title, n, p, err)
+			}
+			for mi, m := range metrics {
+				cells[mi][pi] = m.Get(res)
+			}
+		}
+		for mi := range metrics {
+			out[mi].AddRow(fmt.Sprintf("%d", n), cells[mi])
+		}
+	}
+	return out, nil
+}
+
+// serveMetrics is the canonical serve-trial metric set: throughput,
+// client-observed get/set tails, the admission-queue wait distribution,
+// the coalescing counters, and the correctness columns (checksum
+// failures and leaked leases, both of which must be zero).
+func ServeMetrics() []ServeMetric {
+	getH := func(r harness.ServeResult) *report.Histogram { return r.GetLat }
+	setH := func(r harness.ServeResult) *report.Histogram { return r.SetLat }
+	admH := func(r harness.ServeResult) *report.Histogram { return r.AdmWait }
+	return []ServeMetric{
+		{Name: "throughput (ops/s)", Get: func(r harness.ServeResult) float64 { return r.Throughput }},
+		ServeLatencyMetric("get latency p50 (µs)", getH, 0.50),
+		ServeLatencyMetric("get latency p99 (µs)", getH, 0.99),
+		{Name: "get latency max (µs)", Get: func(r harness.ServeResult) float64 {
+			if r.GetLat == nil {
+				return 0
+			}
+			return float64(r.GetLat.Max()) / 1e3
+		}},
+		ServeLatencyMetric("set latency p50 (µs)", setH, 0.50),
+		ServeLatencyMetric("set latency p99 (µs)", setH, 0.99),
+		ServeLatencyMetric("admission wait p50 (µs)", admH, 0.50),
+		ServeLatencyMetric("admission wait p99 (µs)", admH, 0.99),
+		{Name: "admission waits (queued bursts)", Get: func(r harness.ServeResult) float64 { return float64(r.Server.AdmissionWaits) }},
+		{Name: "coalesced gets", Get: func(r harness.ServeResult) float64 { return float64(r.Server.CoalescedGets) }},
+		{Name: "coalesced batches", Get: func(r harness.ServeResult) float64 { return float64(r.Server.CoalescedBatches) }},
+		{Name: "value checksum failures", Get: func(r harness.ServeResult) float64 { return float64(r.ValueErrors) }},
+		{Name: "leaked leases after shutdown", Get: func(r harness.ServeResult) float64 { return float64(r.Lifecycle.Leased) }},
+	}
+}
+
+// serveFigure sweeps the wire-protocol serving front: a live popserve
+// instance with 4 admission slots, swept from slot-parity up to 8×
+// overcommitted connections under a zipf get/set mix. Client-observed
+// tails include protocol framing, burst admission queueing, and the
+// coalescing window — the end-to-end serving cost of each reclamation
+// policy, not just its in-process op latency.
+func serveFigure() Figure {
+	return Figure{
+		ID:   "serve",
+		Desc: "Serving front: live TCP memcached-text server, conns ≫ slots; client tails, admission waits, coalescing",
+		Run: func(c Ctx) ([]report.Series, error) {
+			c = c.withDefaults()
+			const slots = 4
+			cfg := harness.ServeConfig{
+				Slots:  slots,
+				Keys:   scaleSize(c, 1_000_000),
+				Shards: 4,
+				Dist:   workload.Zipf,
+			}
+			return SweepServeConns(c, fmt.Sprintf("Serve (skl ×4 shards, %d slots, zipf)", slots),
+				cfg, []int{slots, 4 * slots, 8 * slots}, c.policySet(false), ServeMetrics())
+		},
+	}
+}
+
 // nbrOverwriteFigure is the NBR overwrite-tail ablation the per-op
 // histograms motivated: overwrites are where NBR restart storms live,
 // because an overwrite's write phase (mark + link CAS) can be
@@ -922,6 +1038,7 @@ func All() []Figure {
 		kvFigure("skl-kv", "SKL (skiplist) 1M KV-serving mix: get/put/overwrite/delete with per-op-class tail latency", harness.DSSkipList, 1_000_000),
 		kvFigure("hmht-kv", "HMHT (hash table) 6M KV-serving mix: get/put/overwrite/delete with per-op-class tail latency", harness.DSHashTable, 6_000_000),
 		storeServeFigure(),
+		serveFigure(),
 		nbrOverwriteFigure(),
 		churnFigure(),
 		readCostFigure(),

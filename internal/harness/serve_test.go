@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"pop/internal/core"
+	"pop/internal/workload"
+)
+
+// TestRunServeClosedLoop smoke-runs the wire-protocol serve trial with
+// more connections than admission slots under a POP policy and the
+// plain baseline.
+func TestRunServeClosedLoop(t *testing.T) {
+	for _, p := range []core.Policy{core.EpochPOP, core.EBR} {
+		t.Run(p.String(), func(t *testing.T) {
+			res, err := RunServe(ServeConfig{
+				Policy:   p,
+				Slots:    2,
+				Conns:    8,
+				Duration: 80 * time.Millisecond,
+				Keys:     256,
+				Shards:   2,
+				Seed:     7,
+			})
+			if err != nil {
+				t.Fatalf("RunServe: %v", err)
+			}
+			if res.Ops == 0 || res.Gets == 0 || res.Sets == 0 {
+				t.Fatalf("no load flowed: %+v", res)
+			}
+			if res.ValueErrors != 0 {
+				t.Fatalf("ValueErrors = %d", res.ValueErrors)
+			}
+			if res.Hits == 0 {
+				t.Fatalf("no get hits against a prefilled store")
+			}
+			if res.Server.ExecutorGets == 0 {
+				t.Fatalf("gets bypassed the coalescing executors")
+			}
+			if res.GetLat == nil || res.GetLat.Count() == 0 {
+				t.Fatalf("no get latencies recorded")
+			}
+			if res.Lifecycle.Leased != 0 {
+				t.Fatalf("leaked leases: %d", res.Lifecycle.Leased)
+			}
+		})
+	}
+}
+
+// TestRunServeOpenLoop drives the paced arrival mode with zipf keys.
+func TestRunServeOpenLoop(t *testing.T) {
+	res, err := RunServe(ServeConfig{
+		Policy:   core.HazardPtrPOP,
+		Slots:    2,
+		Conns:    4,
+		Duration: 80 * time.Millisecond,
+		Keys:     256,
+		Shards:   2,
+		Dist:     workload.Zipf,
+		OpenRate: 8000,
+		Seed:     11,
+	})
+	if err != nil {
+		t.Fatalf("RunServe: %v", err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("no ops in open-loop mode")
+	}
+	// Paced arrivals must not exceed the requested rate by much.
+	if res.Throughput > 2*8000 {
+		t.Fatalf("open-loop throughput %.0f far above the %d op/s target", res.Throughput, 8000)
+	}
+	if res.ValueErrors != 0 {
+		t.Fatalf("ValueErrors = %d", res.ValueErrors)
+	}
+}

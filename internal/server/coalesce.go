@@ -1,0 +1,135 @@
+package server
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"pop/internal/core"
+	"pop/internal/store"
+)
+
+// getReq is one connection's single-key get, queued to its shard's
+// coalescer. buf is the connection's scratch: the executor appends the
+// value into it and hands it back through out, so a hit costs no
+// allocation once the connection's buffer has grown.
+type getReq struct {
+	key string
+	buf []byte
+	out chan<- getResult
+}
+
+// getResult answers a getReq. val aliases the request's buf (the
+// connection owns it again once the result is received); ok=false means
+// the key is absent.
+type getResult struct {
+	val []byte
+	ok  bool
+}
+
+// coalescer merges concurrent single-key gets bound for one shard into
+// batched protected operations. One executor goroutine per shard owns a
+// dedicated thread handle (leased at server start, outside the
+// connection-admission pool, so get service can never deadlock against
+// admission): it takes the first queued get, keeps collecting gets that
+// arrive within the coalescing window (up to maxBatch), and answers the
+// whole set with one Store.GetBatch — one StartOp/EndOp per shard per
+// window instead of per connection. Independent clients thereby share
+// protected operations: the reclamation cost of a read scales with
+// batch windows, not with connection count.
+//
+// A window of zero degrades to opportunistic draining: whatever is
+// already queued is batched, and a lone get is served immediately with
+// no added latency.
+type coalescer struct {
+	st       *store.Store
+	window   time.Duration
+	maxBatch int
+	reqs     chan getReq
+
+	gets      atomic.Uint64 // gets served through this coalescer
+	batches   atomic.Uint64 // GetBatch calls issued
+	coalesced atomic.Uint64 // gets that shared a batch with >= 1 other
+	maxSeen   atomic.Uint64 // widest batch observed
+}
+
+func newCoalescer(st *store.Store, window time.Duration, maxBatch int) *coalescer {
+	if maxBatch < 2 {
+		maxBatch = 2
+	}
+	return &coalescer{
+		st:       st,
+		window:   window,
+		maxBatch: maxBatch,
+		// Buffer one full batch per slot of backlog: submit only blocks
+		// when the executor is more than a window behind.
+		reqs: make(chan getReq, 4*maxBatch),
+	}
+}
+
+// submit queues one get; the caller then blocks on its result channel.
+func (c *coalescer) submit(r getReq) { c.reqs <- r }
+
+// run is the shard executor: it owns th (leased by this goroutine at
+// server start) until the request channel closes at shutdown, then
+// releases it. close(ready) signals that the thread lease exists — the
+// server counts these slots out of the connection-admission budget.
+func (c *coalescer) run(th *core.Thread, ready chan<- struct{}) {
+	close(ready)
+	keys := make([]string, 0, c.maxBatch)
+	outs := make([]chan<- getResult, 0, c.maxBatch)
+	bufs := make([][]byte, 0, c.maxBatch)
+	var b store.Batch
+	for first := range c.reqs {
+		keys = append(keys[:0], first.key)
+		outs = append(outs[:0], first.out)
+		bufs = append(bufs[:0], first.buf)
+
+		// Collect the window's arrivals, polling with Gosched rather
+		// than a runtime timer: the window is tens of microseconds, well
+		// under the timer wakeup granularity of an otherwise idle
+		// process, and a lone lightly-loaded get must not pay a
+		// millisecond for a 50µs window. With a zero window this only
+		// drains what is already queued.
+		deadline := time.Now().Add(c.window)
+	collect:
+		for len(keys) < c.maxBatch {
+			select {
+			case r, ok := <-c.reqs:
+				if !ok {
+					break collect // shutdown: serve what we hold
+				}
+				keys = append(keys, r.key)
+				outs = append(outs, r.out)
+				bufs = append(bufs, r.buf)
+			default:
+				if c.window <= 0 || !time.Now().Before(deadline) {
+					break collect
+				}
+				runtime.Gosched()
+			}
+		}
+
+		c.st.GetBatch(th, keys, &b)
+		for i := range outs {
+			var res getResult
+			if b.OK[i] {
+				res = getResult{val: append(bufs[i][:0], b.Vals[i]...), ok: true}
+			} else {
+				res = getResult{val: bufs[i][:0]}
+			}
+			outs[i] <- res
+		}
+
+		n := uint64(len(keys))
+		c.gets.Add(n)
+		c.batches.Add(1)
+		if n > 1 {
+			c.coalesced.Add(n)
+		}
+		if n > c.maxSeen.Load() {
+			c.maxSeen.Store(n)
+		}
+	}
+	th.Release()
+}

@@ -1,0 +1,372 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pop/internal/core"
+	"pop/internal/store"
+)
+
+// testClient is a minimal memcached-text client for driving a live
+// server over loopback TCP.
+type testClient struct {
+	t  *testing.T
+	nc net.Conn
+	r  *bufio.Reader
+}
+
+func dialServer(t *testing.T, s *Server) *testClient {
+	t.Helper()
+	nc, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	return &testClient{t: t, nc: nc, r: bufio.NewReader(nc)}
+}
+
+func (c *testClient) close() { c.nc.Close() }
+
+func (c *testClient) send(s string) {
+	c.t.Helper()
+	if _, err := io.WriteString(c.nc, s); err != nil {
+		c.t.Fatalf("send %q: %v", s, err)
+	}
+}
+
+func (c *testClient) line() string {
+	c.t.Helper()
+	l, err := c.r.ReadString('\n')
+	if err != nil {
+		c.t.Fatalf("read line: %v", err)
+	}
+	return strings.TrimRight(l, "\r\n")
+}
+
+// set stores key=val and checks the reply.
+func (c *testClient) set(key, val string) {
+	c.t.Helper()
+	c.send(fmt.Sprintf("set %s 0 0 %d\r\n%s\r\n", key, len(val), val))
+	if got := c.line(); got != "STORED" {
+		c.t.Fatalf("set %s: got %q, want STORED", key, got)
+	}
+}
+
+// get fetches the keys and returns the VALUE blocks as a map.
+func (c *testClient) get(keys ...string) map[string]string {
+	c.t.Helper()
+	c.send("get " + strings.Join(keys, " ") + "\r\n")
+	return c.readValues()
+}
+
+func (c *testClient) readValues() map[string]string {
+	c.t.Helper()
+	out := map[string]string{}
+	for {
+		l := c.line()
+		if l == "END" {
+			return out
+		}
+		f := strings.Fields(l)
+		if len(f) < 4 || f[0] != "VALUE" {
+			c.t.Fatalf("unexpected get reply line %q", l)
+		}
+		n, err := strconv.Atoi(f[3])
+		if err != nil {
+			c.t.Fatalf("bad bytes in %q", l)
+		}
+		buf := make([]byte, n+2)
+		if _, err := io.ReadFull(c.r, buf); err != nil {
+			c.t.Fatalf("read payload: %v", err)
+		}
+		out[f[1]] = string(buf[:n])
+	}
+}
+
+// stats issues "stats [arg]" and returns the STAT map.
+func (c *testClient) stats(arg string) map[string]string {
+	c.t.Helper()
+	cmd := "stats"
+	if arg != "" {
+		cmd += " " + arg
+	}
+	c.send(cmd + "\r\n")
+	out := map[string]string{}
+	for {
+		l := c.line()
+		if l == "END" {
+			return out
+		}
+		f := strings.SplitN(l, " ", 3)
+		if len(f) != 3 || f[0] != "STAT" {
+			c.t.Fatalf("unexpected stats line %q", l)
+		}
+		out[f[1]] = f[2]
+	}
+}
+
+func startServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	return s
+}
+
+// closeClean shuts the server down and asserts no thread lease leaked.
+func closeClean(t *testing.T, s *Server) {
+	t.Helper()
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if lc := s.Domain().Lifecycle(); lc.Leased != 0 {
+		t.Fatalf("leaked %d thread leases after Close", lc.Leased)
+	}
+}
+
+// TestServerProtocolE2E drives the full command surface over a real TCP
+// connection against one live server.
+func TestServerProtocolE2E(t *testing.T) {
+	s := startServer(t, Config{
+		Policy: core.EpochPOP,
+		Slots:  2,
+		Store:  store.Config{Shards: 2, MaxValueLen: 64},
+	})
+	defer closeClean(t, s)
+	c := dialServer(t, s)
+	defer c.close()
+
+	c.set("alpha", "one")
+	c.set("beta", "two two")
+
+	if got := c.get("alpha"); got["alpha"] != "one" {
+		t.Fatalf("get alpha = %q", got)
+	}
+	// Multi-get: both present keys plus a miss.
+	got := c.get("alpha", "missing", "beta")
+	if len(got) != 2 || got["alpha"] != "one" || got["beta"] != "two two" {
+		t.Fatalf("multi-get = %q", got)
+	}
+
+	// gets: VALUE lines carry a cas column (served as 0).
+	c.send("gets alpha\r\n")
+	if l := c.line(); l != "VALUE alpha 0 3 0" {
+		t.Fatalf("gets VALUE line = %q", l)
+	}
+	buf := make([]byte, 5)
+	io.ReadFull(c.r, buf)
+	if l := c.line(); l != "END" {
+		t.Fatalf("gets trailer = %q", l)
+	}
+
+	// add: NOT_STORED on an existing key, STORED on a fresh one.
+	c.send("add alpha 0 0 1\r\nX\r\n")
+	if l := c.line(); l != "NOT_STORED" {
+		t.Fatalf("add existing = %q", l)
+	}
+	c.send("add gamma 0 0 1\r\nG\r\n")
+	if l := c.line(); l != "STORED" {
+		t.Fatalf("add fresh = %q", l)
+	}
+
+	// delete: DELETED then NOT_FOUND.
+	c.send("delete gamma\r\n")
+	if l := c.line(); l != "DELETED" {
+		t.Fatalf("delete = %q", l)
+	}
+	c.send("delete gamma\r\n")
+	if l := c.line(); l != "NOT_FOUND" {
+		t.Fatalf("re-delete = %q", l)
+	}
+
+	// noreply set is silent; the following get observes it.
+	c.send("set quiet 0 0 2 noreply\r\nqq\r\nget quiet\r\n")
+	if got := c.readValues(); got["quiet"] != "qq" {
+		t.Fatalf("noreply set not applied: %q", got)
+	}
+
+	// Protocol errors keep the connection serviceable.
+	c.send("bogus\r\n")
+	if l := c.line(); l != "ERROR" {
+		t.Fatalf("unknown command = %q", l)
+	}
+	c.send("get\r\n")
+	if l := c.line(); !strings.HasPrefix(l, "CLIENT_ERROR") {
+		t.Fatalf("keyless get = %q", l)
+	}
+	c.send("set big 0 0 100\r\n" + strings.Repeat("x", 100) + "\r\n")
+	if l := c.line(); !strings.HasPrefix(l, "SERVER_ERROR") {
+		t.Fatalf("oversized set = %q", l)
+	}
+	if got := c.get("alpha"); got["alpha"] != "one" {
+		t.Fatalf("connection unusable after protocol errors: %q", got)
+	}
+
+	// version, then the stats surface.
+	c.send("version\r\n")
+	if l := c.line(); !strings.HasPrefix(l, "VERSION") {
+		t.Fatalf("version = %q", l)
+	}
+	st := c.stats("")
+	for _, k := range []string{"cmd_get", "cmd_set", "get_hits", "slots",
+		"admission_wait_p99_us", "coalesced_batches", "lifecycle_leased", "policy"} {
+		if _, ok := st[k]; !ok {
+			t.Errorf("stats missing %q", k)
+		}
+	}
+	if st["protocol_errors"] == "0" {
+		t.Errorf("protocol_errors = 0 after forced errors")
+	}
+	cs := c.stats("conns")
+	if _, ok := cs["conn.1.ops"]; !ok {
+		t.Errorf("stats conns missing conn.1.ops: %v", cs)
+	}
+	ss := c.stats("slots")
+	if _, ok := ss["slot.0.leases"]; !ok {
+		t.Errorf("stats slots missing slot.0.leases: %v", ss)
+	}
+	if l := func() string { c.send("stats wat\r\n"); return c.line() }(); !strings.HasPrefix(l, "CLIENT_ERROR") {
+		t.Fatalf("stats wat = %q", l)
+	}
+
+	// quit closes the peer side.
+	c.send("quit\r\n")
+	if _, err := c.r.ReadByte(); err != io.EOF {
+		t.Fatalf("after quit: %v, want EOF", err)
+	}
+}
+
+// TestServerAdmissionStorm is the storm suite: 4× more connections than
+// admission slots hammering get/set through a live server under every
+// policy. Every connection must complete its legs (eventual admission),
+// and shutdown must drain every lease.
+func TestServerAdmissionStorm(t *testing.T) {
+	const (
+		slots = 2
+		conns = 4 * slots
+		legs  = 40
+		keys  = 64
+	)
+	for _, p := range core.Policies() {
+		t.Run(p.String(), func(t *testing.T) {
+			t.Parallel()
+			s := startServer(t, Config{
+				Policy: p,
+				Slots:  slots,
+				Store:  store.Config{Shards: 2, MaxValueLen: 128},
+				// A visible window so concurrent single-key gets coalesce.
+				Window:         200 * time.Microsecond,
+				AcquireTimeout: 30 * time.Second,
+			})
+			var wg sync.WaitGroup
+			for i := 0; i < conns; i++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					c := dialServer(t, s)
+					defer c.close()
+					for leg := 0; leg < legs; leg++ {
+						k := fmt.Sprintf("k%03d", (id*legs+leg)%keys)
+						v := fmt.Sprintf("v-%d-%d", id, leg)
+						c.set(k, v)
+						if got, ok := c.get(k)[k]; ok && !strings.HasPrefix(got, "v-") {
+							t.Errorf("conn %d: get %s = %q", id, k, got)
+						}
+						// Multi-key gets force the burst to lease a thread, so
+						// admission contention is real: conns > slots must queue.
+						c.get(k, fmt.Sprintf("k%03d", (id*legs+leg+1)%keys))
+					}
+				}(i)
+			}
+			wg.Wait()
+
+			st := s.Stats()
+			if want := uint64(conns * legs); st.CmdSet != want {
+				t.Errorf("CmdSet = %d, want %d", st.CmdSet, want)
+			}
+			if st.AdmissionTimeouts != 0 {
+				t.Errorf("AdmissionTimeouts = %d, want 0", st.AdmissionTimeouts)
+			}
+			if st.ExecutorGets == 0 {
+				t.Errorf("no gets flowed through the coalescing executors")
+			}
+			if s.Pool().InUse() != 0 {
+				t.Errorf("InUse = %d after clients done", s.Pool().InUse())
+			}
+			closeClean(t, s)
+			// Slot leases must account for every burst admission.
+			lc := s.Domain().Lifecycle()
+			var leases uint64
+			for _, n := range lc.SlotLeases {
+				leases += n
+			}
+			if leases == 0 {
+				t.Errorf("SlotLeases all zero after storm")
+			}
+		})
+	}
+}
+
+// TestServerCoalescedGets pins the cross-connection coalescing claim:
+// many connections issuing simultaneous single-key gets inside one
+// window must share batches (CoalescedGets > 0, CoalesceWidest > 1).
+func TestServerCoalescedGets(t *testing.T) {
+	s := startServer(t, Config{
+		Policy: core.EpochPOP,
+		Slots:  2,
+		Store:  store.Config{Shards: 1, MaxValueLen: 64},
+		Window: 2 * time.Millisecond,
+	})
+	defer closeClean(t, s)
+
+	seed := dialServer(t, s)
+	seed.set("hotkey", "hot")
+	seed.close()
+
+	const clients = 8
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := dialServer(t, s)
+			defer c.close()
+			<-start
+			for j := 0; j < 20; j++ {
+				if got := c.get("hotkey"); got["hotkey"] != "hot" {
+					t.Errorf("get hotkey = %q", got)
+					return
+				}
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	st := s.Stats()
+	if st.CoalescedGets == 0 {
+		t.Fatalf("CoalescedGets = 0 across %d concurrent clients (batches=%d gets=%d)",
+			clients, st.CoalescedBatches, st.ExecutorGets)
+	}
+	if st.CoalesceWidest < 2 {
+		t.Fatalf("CoalesceWidest = %d, want >= 2", st.CoalesceWidest)
+	}
+	if st.CoalescedBatches >= st.ExecutorGets {
+		t.Fatalf("batches (%d) not amortized over gets (%d)", st.CoalescedBatches, st.ExecutorGets)
+	}
+}

@@ -300,6 +300,14 @@ func (s *Store) localFor(t *core.Thread) *storeLocal {
 // against in the harness.
 func KeyHash(key string) int64 { return ikeyOf(hash64(key)) }
 
+// ShardIndex returns the shard key routes to — the partition a serving
+// layer's per-shard machinery (e.g. a get-coalescing window) must queue
+// it on.
+func (s *Store) ShardIndex(key string) int { return int(hash64(key) & s.mask) }
+
+// MaxValueLen returns the store's configured payload cap.
+func (s *Store) MaxValueLen() int { return s.cfg.MaxValueLen }
+
 // hash64 is FNV-1a over the key bytes with a SplitMix finisher for
 // avalanche (FNV alone is weak in the low bits the shard mask reads).
 func hash64(key string) uint64 {
