@@ -28,6 +28,28 @@
 // policy. -dist zipf switches key popularity to scrambled Zipfian
 // (s=0.99) in both store sweeps and -ds direct sweeps.
 //
+// With -ycsb A..F, store and serve sweeps run the named YCSB core
+// workload instead of the default mix: A (50/50 read/update, zipf),
+// B (95/5, zipf), C (read-only, zipf), D (95/5 read/insert, latest),
+// E (95/5 scan/insert, zipf), F (50/50 read/rmw, zipf). The serve path
+// supports A–D (the wire protocol has no scan or rmw command); E needs
+// an ordered -backing.
+//
+// With -trace FILE, the store path replays a recorded trace instead of
+// drawing from a synthetic mix. Traces are text lines of
+// `op,key,size,offset_us` (op: get, put/set, delete/del, scan, rmw;
+// `#` comments and blank lines ignored). The trace drains exactly once
+// per trial across all workers; -tracepaced honors the recorded
+// offsets as an open-loop arrival schedule instead of replaying
+// flat-out.
+//
+// With -chaos, sweeps run under the standard fault-injector bundle
+// (internal/chaos): stalled readers holding protected operations
+// across reclamation windows, forced-GC pressure, thread-lease churn,
+// and a shard-hotspot flipper — with injector activity reported as
+// extra columns. Chaos perturbs schedules only; every injector write
+// is checksum-valid, so the value-checksum column must stay zero.
+//
 // With -churn N, sweeps run in the elastic mode: every worker releases
 // its thread handle after N operations (donating its unreclaimed
 // retire list to the domain's orphan queue) and respawns as a fresh
@@ -52,6 +74,11 @@
 //	popbench -store -shards 1,4,16 -batch 8,64 -dist zipf
 //	popbench -store -churn 2000 -shards 8
 //	popbench -store -backing hmht -keyrange 1000000 -csv > store.csv
+//	popbench -ycsb B -threads 8
+//	popbench -ycsb D -serve -conns 32
+//	popbench -trace ops.trace -tracepaced
+//	popbench -ycsb A -chaos
+//	popbench -figure ycsb -duration 1s
 //
 // The -scale flag divides the paper's structure sizes (defaults to 64 so
 // a laptop run finishes); -scale 1 runs the full-size structures.
@@ -65,6 +92,7 @@ import (
 	"strings"
 	"time"
 
+	"pop/internal/chaos"
 	"pop/internal/core"
 	"pop/internal/figures"
 	"pop/internal/harness"
@@ -91,8 +119,13 @@ func main() {
 		rangePct  = flag.Int("rangepct", -1, "percent of operations that are range queries, taken from the mix's contains share (-1 = auto: 10 for range-capable structures, 0 otherwise)")
 		rangeSpan = flag.Int64("rangespan", workload.DefaultRangeSpan, "keys per range query")
 		keyRange  = flag.Int64("keyrange", 16384, "direct sweep / store key population")
-		distName  = flag.String("dist", "uniform", "key-popularity distribution: uniform or zipf (s=0.99)")
+		distName  = flag.String("dist", "uniform", "key-popularity distribution: uniform, zipf (s=0.99) or latest (popularity follows the insert frontier)")
 		churnOps  = flag.Uint64("churn", 0, "elastic mode: operations per worker incarnation before it releases its thread handle and respawns (0 = no churn); applies to -ds and -store sweeps")
+
+		ycsbName   = flag.String("ycsb", "", "YCSB core workload (A..F): run the store sweep (or, with -serve, the serving front) under the named mix and key distribution")
+		traceFile  = flag.String("trace", "", "replay a recorded op trace (op,key,size,offset_us lines) through the store instead of a synthetic mix")
+		tracePaced = flag.Bool("tracepaced", false, "honor the trace's recorded offsets as an open-loop arrival schedule (default: replay flat-out)")
+		chaosOn    = flag.Bool("chaos", false, "run the standard fault-injector bundle (stalled readers, GC pressure, lease churn, shard hotspot) alongside store and serve sweeps")
 
 		storeMode = flag.Bool("store", false, "store sweep: the sharded string-key KV front across shards × policies × batch sizes")
 		backing   = flag.String("backing", "skl", "store backing structure (skl, hmht, hml, abt, ll, dgt)")
@@ -127,11 +160,51 @@ func main() {
 		fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
 		os.Exit(2)
 	}
+	if *ycsbName != "" && *dsName != "" {
+		fmt.Fprintln(os.Stderr, "popbench: -ycsb applies to the -store and -serve paths, not -ds")
+		os.Exit(2)
+	}
+	if *traceFile != "" && (*serveMode || *dsName != "") {
+		fmt.Fprintln(os.Stderr, "popbench: -trace replays through the store path only")
+		os.Exit(2)
+	}
+	if *traceFile != "" && *ycsbName != "" {
+		fmt.Fprintln(os.Stderr, "popbench: -trace and -ycsb are mutually exclusive (a trace is the workload)")
+		os.Exit(2)
+	}
+	var trace []workload.TraceOp
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
+			os.Exit(2)
+		}
+		trace, err = workload.ParseTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	// -ycsb and -trace imply the store sweep unless -serve picked the
+	// wire-protocol front.
+	if (*ycsbName != "" || *traceFile != "") && !*serveMode {
+		*storeMode = true
+	}
+	var chaosCfg chaos.Config
+	if *chaosOn {
+		if !*storeMode && !*serveMode {
+			fmt.Fprintln(os.Stderr, "popbench: -chaos applies to the -store and -serve paths")
+			os.Exit(2)
+		}
+		chaosCfg = chaos.Default()
+	}
 	if *serveMode {
 		if err := serveSweep(serveSweepOpts{
 			backing: *backing, conns: *connsCSV, slots: *slots, window: *window,
 			openRate: *openRate, getPct: *getPct, keys: *keyRange, dist: dist,
 			duration: *duration, seed: *seed, policies: *policies,
+			ycsb: *ycsbName, chaos: chaosCfg,
 			render: render, quiet: *quiet,
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
@@ -145,6 +218,8 @@ func main() {
 			keys: *keyRange, dist: dist, duration: *duration, threads: *threads,
 			seed: *seed, policies: *policies, render: render, quiet: *quiet,
 			churn: workload.Churn{AfterOps: *churnOps},
+			ycsb:  *ycsbName, chaos: chaosCfg,
+			trace: trace, traceName: *traceFile, tracePaced: *tracePaced,
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
 			os.Exit(1)
@@ -243,18 +318,23 @@ type sweepOpts struct {
 
 // storeSweepOpts carries the -store sweep flag values.
 type storeSweepOpts struct {
-	backing  string
-	shards   string // csv shard counts
-	batches  string // csv batch sizes
-	keys     int64
-	dist     workload.Dist
-	churn    workload.Churn
-	duration time.Duration
-	threads  string
-	seed     uint64
-	policies string
-	render   func(*report.Series) error
-	quiet    bool
+	backing    string
+	shards     string // csv shard counts
+	batches    string // csv batch sizes
+	keys       int64
+	dist       workload.Dist
+	churn      workload.Churn
+	ycsb       string // YCSB workload name ("" = serve mix)
+	trace      []workload.TraceOp
+	traceName  string
+	tracePaced bool
+	chaos      chaos.Config
+	duration   time.Duration
+	threads    string
+	seed       uint64
+	policies   string
+	render     func(*report.Series) error
+	quiet      bool
 }
 
 // serveSweepOpts carries the -serve sweep flag values.
@@ -267,6 +347,8 @@ type serveSweepOpts struct {
 	getPct   int
 	keys     int64
 	dist     workload.Dist
+	ycsb     string // YCSB workload name ("" = plain get/set mix)
+	chaos    chaos.Config
 	duration time.Duration
 	seed     uint64
 	policies string
@@ -296,12 +378,31 @@ func serveSweep(o serveSweepOpts) error {
 			ps = append(ps, p)
 		}
 	}
+	label := ""
+	if o.ycsb != "" {
+		// The wire protocol speaks get/set/delete: A–D map onto it
+		// (their mixes are reads plus writes); E scans and F needs
+		// read-modify-write, which have no wire command.
+		w, err := workload.ParseYCSB(o.ycsb)
+		if err != nil {
+			return err
+		}
+		if w.Mix.ScanPct > 0 || w.Mix.RMWPct > 0 {
+			return fmt.Errorf("YCSB %s needs scan/rmw; the serving front supports A-D", w.Name)
+		}
+		o.getPct = w.Mix.GetPct
+		o.dist = w.Dist
+		label = fmt.Sprintf("YCSB %s, ", w.Name)
+	}
 	loop := "closed loop"
 	if o.openRate > 0 {
 		loop = fmt.Sprintf("open loop %.0f op/s", o.openRate)
 	}
-	title := fmt.Sprintf("serve %s (%d slots, %d keys, %v dist, %d%% gets, %s)",
-		o.backing, o.slots, o.keys, o.dist, o.getPct, loop)
+	if o.chaos.Enabled() {
+		loop += ", chaos"
+	}
+	title := fmt.Sprintf("serve %s (%s%d slots, %d keys, %v dist, %d%% gets, %s)",
+		o.backing, label, o.slots, o.keys, o.dist, o.getPct, loop)
 	ctx := figures.Ctx{
 		Duration: o.duration,
 		Seed:     o.seed,
@@ -309,6 +410,14 @@ func serveSweep(o serveSweepOpts) error {
 	}
 	if !o.quiet {
 		ctx.Log = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	}
+	metrics := figures.ServeMetrics()
+	if o.chaos.Enabled() {
+		metrics = append(metrics,
+			figures.ServeMetric{Name: "chaos injector ops", Get: func(r harness.ServeResult) float64 { return float64(r.Chaos.Ops) }},
+			figures.ServeMetric{Name: "chaos stall windows", Get: func(r harness.ServeResult) float64 { return float64(r.Chaos.Stalls) }},
+			figures.ServeMetric{Name: "chaos lease cycles", Get: func(r harness.ServeResult) float64 { return float64(r.Chaos.Leases) }},
+		)
 	}
 	series, err := figures.SweepServeConns(ctx, title, harness.ServeConfig{
 		Slots:    o.slots,
@@ -318,7 +427,8 @@ func serveSweep(o serveSweepOpts) error {
 		GetPct:   o.getPct,
 		OpenRate: o.openRate,
 		Dist:     o.dist,
-	}, connList, ps, figures.ServeMetrics())
+		Chaos:    o.chaos,
+	}, connList, ps, metrics)
 	if err != nil {
 		return err
 	}
@@ -392,18 +502,53 @@ func storeSweep(o storeSweepOpts) error {
 	if err != nil {
 		return err
 	}
+	traceMode := len(o.trace) > 0
 	mix := workload.StoreServe
-	if probe.Ordered() {
+	mixLabel := "serve mix"
+	if o.ycsb != "" {
+		w, err := workload.ParseYCSB(o.ycsb)
+		if err != nil {
+			return err
+		}
+		mix = w.Mix
+		o.dist = w.Dist
+		mixLabel = "YCSB " + w.Name
+	}
+	if traceMode {
+		mixLabel = fmt.Sprintf("trace %s, %d ops", o.traceName, len(o.trace))
+		if o.tracePaced {
+			mixLabel += ", paced"
+		}
+	}
+	switch {
+	case probe.Ordered():
 		metrics = append(metrics, figures.StoreOpLatencyMetric("scan latency p99 (µs)", harness.SOpScan, 0.99))
-	} else {
+	case o.ycsb != "" && mix.ScanPct > 0:
+		// A scanning YCSB workload on an unordered backing would not be
+		// that workload anymore; scan traces are rejected by the harness.
+		return fmt.Errorf("YCSB %s scans but backing %q is unordered (pick skl, abt, hml, ll or dgt)", o.ycsb, o.backing)
+	default:
 		// Unordered backings cannot scan: fold the scan share into gets.
 		mix.GetPct += mix.ScanPct
 		mix.ScanPct = 0
 	}
+	if mix.RMWPct > 0 || traceMode {
+		metrics = append(metrics, figures.StoreOpLatencyMetric("rmw latency p99 (µs)", harness.SOpRMW, 0.99))
+	}
+	if o.chaos.Enabled() {
+		metrics = append(metrics,
+			figures.StoreMetric{Name: "chaos injector ops", Get: func(r harness.StoreResult) float64 { return float64(r.Chaos.Ops) }},
+			figures.StoreMetric{Name: "chaos stall windows", Get: func(r harness.StoreResult) float64 { return float64(r.Chaos.Stalls) }},
+			figures.StoreMetric{Name: "chaos lease cycles", Get: func(r harness.StoreResult) float64 { return float64(r.Chaos.Leases) }},
+		)
+	}
 
-	title := fmt.Sprintf("store %s (serve mix, %d keys, %v dist, %d threads)", o.backing, o.keys, o.dist, threads)
+	title := fmt.Sprintf("store %s (%s, %d keys, %v dist, %d threads)", o.backing, mixLabel, o.keys, o.dist, threads)
 	if o.churn.Enabled() {
 		title += fmt.Sprintf(" churn=%d", o.churn.AfterOps)
+	}
+	if o.chaos.Enabled() {
+		title += " chaos"
 	}
 	series := make([]report.Series, len(metrics))
 	for i, m := range metrics {
@@ -426,18 +571,21 @@ func storeSweep(o storeSweepOpts) error {
 			for pi, p := range ps {
 				log("  store: shards=%d batch=%d policy=%v", nshards, nbatch, p)
 				res, err := harness.RunStore(harness.StoreConfig{
-					Policy:    p,
-					Threads:   threads,
-					Duration:  o.duration,
-					Keys:      o.keys,
-					Shards:    nshards,
-					Backing:   o.backing,
-					Mix:       mix,
-					Dist:      o.dist,
-					Churn:     o.churn,
-					BatchSize: nbatch,
-					OpLatency: true,
-					Seed:      o.seed,
+					Policy:     p,
+					Threads:    threads,
+					Duration:   o.duration,
+					Keys:       o.keys,
+					Shards:     nshards,
+					Backing:    o.backing,
+					Mix:        mix,
+					Dist:       o.dist,
+					Churn:      o.churn,
+					Trace:      o.trace,
+					TracePaced: o.tracePaced,
+					Chaos:      o.chaos,
+					BatchSize:  nbatch,
+					OpLatency:  true,
+					Seed:       o.seed,
 				})
 				if err != nil {
 					return fmt.Errorf("store [shards=%d batch=%d policy=%v]: %w", nshards, nbatch, p, err)

@@ -1,23 +1,32 @@
 // Command popstress is the torture-test driver: it runs high-churn
 // workloads with deliberately tiny reclamation thresholds (maximal
-// ping/reclaim traffic), optional thread-delay injection, and verifies
-// the reclamation invariants after every trial:
+// ping/reclaim traffic), optional fault injection, and verifies the
+// shared reclamation invariants (internal/chaos.Invariants) after
+// every trial:
 //
 //   - a quiescent flush drains every retire list (except NR, which leaks
 //     by design);
-//   - allocation and free counters balance with the structure's final
-//     population;
-//   - robust policies made reclamation progress despite delays.
+//   - reclamation counters stay sane: frees never exceed retires, and a
+//     run that retired plenty made progress;
+//   - under -store, served values pass their checksums and the
+//     thread-slot lease ledger balances.
 //
 // A use-after-free in any scheme surfaces here as a double-free panic,
 // an arena sequence panic, or an invariant failure. Exit status 0 means
 // every trial passed.
+//
+// Two modes:
+//
+//	popstress            # map matrix: every structure × policy, update-heavy
+//	popstress -store     # KV front under the chaos bundle: stalled readers,
+//	                     # GC pressure, lease churn, shard hotspot — per policy
 //
 // Usage:
 //
 //	popstress                          # full matrix, quick
 //	popstress -duration 2s -threads 8  # heavier
 //	popstress -ds hml -policy EpochPOP -stall
+//	popstress -store -duration 1s
 package main
 
 import (
@@ -26,6 +35,7 @@ import (
 	"os"
 	"time"
 
+	"pop/internal/chaos"
 	"pop/internal/core"
 	"pop/internal/harness"
 	"pop/internal/workload"
@@ -38,15 +48,12 @@ func main() {
 		threads    = flag.Int("threads", 4, "worker threads per trial")
 		duration   = flag.Duration("duration", 300*time.Millisecond, "per-trial duration")
 		keyRange   = flag.Int64("keys", 1024, "key range")
-		stall      = flag.Bool("stall", false, "inject a periodically delayed thread")
+		stall      = flag.Bool("stall", false, "matrix mode: inject a periodically delayed thread")
+		storeMode  = flag.Bool("store", false, "store chaos mode: the KV front under the full injector bundle instead of the map matrix")
 		seed       = flag.Uint64("seed", uint64(time.Now().UnixNano()), "trial seed")
 	)
 	flag.Parse()
 
-	structures := harness.DSNames()
-	if *dsFlag != "" {
-		structures = []string{*dsFlag}
-	}
 	policies := core.Policies()
 	if *policyFlag != "" {
 		p, err := core.ParsePolicy(*policyFlag)
@@ -57,40 +64,15 @@ func main() {
 		policies = []core.Policy{p}
 	}
 
-	failures := 0
-	for _, dsName := range structures {
-		for _, p := range policies {
-			cfg := harness.Config{
-				DS:               dsName,
-				Policy:           p,
-				Threads:          *threads,
-				Duration:         *duration,
-				KeyRange:         *keyRange,
-				Mix:              workload.UpdateHeavy,
-				ReclaimThreshold: 48, // tiny: constant reclamation pressure
-				EpochFreq:        8,
-				BatchSize:        8,
-				Seed:             *seed,
-			}
-			if *stall {
-				cfg.StallEvery = 2 * time.Millisecond
-				cfg.StallLength = *duration / 5
-			}
-			res, err := harness.Run(cfg)
-			if err != nil {
-				fmt.Printf("FAIL %-5s %-13v run error: %v\n", dsName, p, err)
-				failures++
-				continue
-			}
-			if msg := check(res); msg != "" {
-				fmt.Printf("FAIL %-5s %-13v %s\n", dsName, p, msg)
-				failures++
-				continue
-			}
-			fmt.Printf("ok   %-5s %-13v ops=%-9d retires=%-8d frees=%-8d pings=%-6d maxRetire=%d\n",
-				dsName, p, res.Ops, res.Reclaim.Retires, res.Reclaim.Frees,
-				res.Reclaim.PingsSent, res.MaxRetire)
+	var failures int
+	if *storeMode {
+		failures = storeChaos(policies, *threads, *duration, *keyRange, *seed)
+	} else {
+		structures := harness.DSNames()
+		if *dsFlag != "" {
+			structures = []string{*dsFlag}
 		}
+		failures = matrix(structures, policies, *threads, *duration, *keyRange, *stall, *seed)
 	}
 	if failures > 0 {
 		fmt.Printf("popstress: %d failures\n", failures)
@@ -99,26 +81,103 @@ func main() {
 	fmt.Println("popstress: all trials passed")
 }
 
-// check validates post-trial invariants.
-func check(res harness.Result) string {
-	p := res.Config.Policy
-	if res.Ops == 0 {
-		return "zero operations completed"
-	}
-	if p == core.NR {
-		if res.Reclaim.Frees != 0 {
-			return fmt.Sprintf("NR freed %d nodes", res.Reclaim.Frees)
+// matrix runs every structure × policy under the update-heavy mix with
+// tiny thresholds and checks the shared invariants.
+func matrix(structures []string, policies []core.Policy, threads int, duration time.Duration, keyRange int64, stall bool, seed uint64) int {
+	failures := 0
+	for _, dsName := range structures {
+		for _, p := range policies {
+			cfg := harness.Config{
+				DS:               dsName,
+				Policy:           p,
+				Threads:          threads,
+				Duration:         duration,
+				KeyRange:         keyRange,
+				Mix:              workload.UpdateHeavy,
+				ReclaimThreshold: 48, // tiny: constant reclamation pressure
+				EpochFreq:        8,
+				BatchSize:        8,
+				Seed:             seed,
+			}
+			if stall {
+				cfg.StallEvery = 2 * time.Millisecond
+				cfg.StallLength = duration / 5
+			}
+			res, err := harness.Run(cfg)
+			if err != nil {
+				fmt.Printf("FAIL %-5s %-13v run error: %v\n", dsName, p, err)
+				failures++
+				continue
+			}
+			if err := check(res); err != nil {
+				fmt.Printf("FAIL %-5s %-13v %v\n", dsName, p, err)
+				failures++
+				continue
+			}
+			fmt.Printf("ok   %-5s %-13v ops=%-9d retires=%-8d frees=%-8d pings=%-6d maxRetire=%d\n",
+				dsName, p, res.Ops, res.Reclaim.Retires, res.Reclaim.Frees,
+				res.Reclaim.PingsSent, res.MaxRetire)
 		}
-		return ""
 	}
-	if res.LeakedAfter != 0 {
-		return fmt.Sprintf("%d nodes unreclaimed after quiescent flush", res.LeakedAfter)
+	return failures
+}
+
+// storeChaos runs the KV front under the full injector bundle for each
+// policy and checks every shared invariant, including the value plane
+// and the thread-slot lease ledger.
+func storeChaos(policies []core.Policy, threads int, duration time.Duration, keyRange int64, seed uint64) int {
+	failures := 0
+	for _, p := range policies {
+		res, err := harness.RunStore(harness.StoreConfig{
+			Policy:           p,
+			Threads:          threads,
+			Duration:         duration,
+			Keys:             keyRange,
+			Shards:           4,
+			Seed:             seed,
+			ReclaimThreshold: 48,
+			EpochFreq:        8,
+			BatchSize:        8,
+			Chaos:            chaos.Default(),
+		})
+		if err != nil {
+			fmt.Printf("FAIL store %-13v run error: %v\n", p, err)
+			failures++
+			continue
+		}
+		iv := chaos.Invariants{Policy: p}
+		var vs []chaos.Violation
+		vs = append(vs, iv.CheckValueErrors(res.ValueErrors)...)
+		vs = append(vs, iv.CheckLeaked(res.LeakedAfter)...)
+		vs = append(vs, iv.CheckCounters(res.Reclaim)...)
+		// The trial's workers still hold their handles at snapshot time;
+		// the injectors must have released theirs.
+		vs = append(vs, iv.CheckLifecycle(res.Lifecycle, threads)...)
+		if err := chaos.Errs(vs); err != nil {
+			fmt.Printf("FAIL store %-13v %v\n", p, err)
+			failures++
+			continue
+		}
+		if res.Chaos.Ops == 0 {
+			fmt.Printf("FAIL store %-13v chaos injectors were idle: %+v\n", p, res.Chaos)
+			failures++
+			continue
+		}
+		fmt.Printf("ok   store %-13v ops=%-9d chaosOps=%-7d stalls=%-4d leases=%-4d flips=%-4d retires=%-8d frees=%d\n",
+			p, res.Ops, res.Chaos.Ops, res.Chaos.Stalls, res.Chaos.Leases, res.Chaos.Flips,
+			res.Reclaim.Retires, res.Reclaim.Frees)
 	}
-	if res.Reclaim.Retires > 1000 && res.Reclaim.Frees == 0 {
-		return fmt.Sprintf("no frees despite %d retires", res.Reclaim.Retires)
+	return failures
+}
+
+// check validates post-trial invariants through the shared checker.
+func check(res harness.Result) error {
+	if res.Ops == 0 {
+		return fmt.Errorf("zero operations completed")
 	}
-	if res.Reclaim.Frees > res.Reclaim.Retires {
-		return fmt.Sprintf("frees (%d) exceed retires (%d)", res.Reclaim.Frees, res.Reclaim.Retires)
-	}
-	return ""
+	iv := chaos.Invariants{Policy: res.Config.Policy}
+	var vs []chaos.Violation
+	vs = append(vs, iv.CheckLeaked(res.LeakedAfter)...)
+	vs = append(vs, iv.CheckCounters(res.Reclaim)...)
+	return chaos.Errs(vs)
 }

@@ -1,0 +1,192 @@
+package chaos
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pop/internal/core"
+	"pop/internal/rng"
+	"pop/internal/store"
+	"pop/internal/workload"
+)
+
+// storm builds a store, runs verified workers alongside the full
+// injector bundle, and checks every invariant at the end.
+func storm(t *testing.T, p core.Policy) {
+	const (
+		workers = 2
+		nKeys   = 2048
+		runFor  = 80 * time.Millisecond
+	)
+	cfg := Config{
+		Stalls:     1,
+		StallHold:  500 * time.Microsecond,
+		GCPressure: true,
+		GCEvery:    2 * time.Millisecond,
+		Churners:   1,
+		ChurnOps:   64,
+		Hotspot:    true,
+		FlipEvery:  time.Millisecond,
+		Seed:       uint64(p) + 1,
+	}
+	// Workers + injectors + the post-run checker thread.
+	d := core.NewDomain(p, workers+cfg.Slots()+1, &core.Options{ReclaimThreshold: 128})
+	s, err := store.New(d, store.Config{Shards: 4, ExpectedKeysPerShard: nKeys/4 + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyTab := make([]string, nKeys)
+	hkTab := make([]int64, nKeys)
+	for i := range keyTab {
+		keyTab[i] = workload.KeyString(int64(i))
+		hkTab[i] = store.KeyHash(keyTab[i])
+	}
+
+	// Prefill half the population with valid values.
+	seedTh, err := s.AcquireThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vbuf []byte
+	for i := 0; i < nKeys/2; i++ {
+		vbuf = workload.AppendValueBytes(vbuf[:0], hkTab[i], uint32(i)+1, 32)
+		s.Put(seedTh, keyTab[i], vbuf)
+	}
+	s.ReleaseThread(seedTh)
+
+	r, err := Start(cfg, s, keyTab)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Verified workers: every served value must pass its checksum even
+	// while the injectors stall, churn, flip and force GCs.
+	var (
+		stop      atomic.Bool
+		valueErrs atomic.Uint64
+		wg        sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		th, err := s.AcquireThread()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(id int, th *core.Thread) {
+			defer wg.Done()
+			rg := rng.New(uint64(id)*0x9e3779b97f4a7c15 + uint64(p) + 3)
+			var gbuf, wbuf []byte
+			tag := uint32(id) << 20
+			for !stop.Load() {
+				idx := rg.Intn(nKeys)
+				if rg.Pct() < 60 {
+					if v, ok := s.Get(th, keyTab[idx], gbuf); ok {
+						gbuf = v
+						if !workload.ValueBytesValid(hkTab[idx], v) {
+							valueErrs.Add(1)
+						}
+					}
+				} else {
+					tag++
+					wbuf = workload.AppendValueBytes(wbuf[:0], hkTab[idx], tag, 48)
+					s.Put(th, keyTab[idx], wbuf)
+				}
+			}
+			th.Flush()
+			s.ReleaseThread(th)
+		}(w, th)
+	}
+
+	time.Sleep(runFor)
+	stop.Store(true)
+	wg.Wait()
+	st := r.Stop()
+
+	// The injectors must actually have injected; an idle injector would
+	// silently weaken every storm built on this package.
+	if st.Stalls == 0 {
+		t.Error("stalled-reader injector completed no stall windows")
+	}
+	if st.GCCycles == 0 {
+		t.Error("GC-pressure injector forced no GC cycles")
+	}
+	if st.Leases == 0 {
+		t.Error("churn injector completed no lease cycles")
+	}
+	if st.Flips == 0 {
+		t.Error("hotspot injector flipped no shards")
+	}
+	if st.Ops == 0 {
+		t.Error("injectors issued no store ops")
+	}
+
+	iv := Invariants{Policy: p}
+	checker, err := s.AcquireThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vs []Violation
+	vs = append(vs, iv.CheckValueErrors(valueErrs.Load())...)
+	vs = append(vs, iv.CheckValues(checker, s, keyTab)...)
+	// Flush until quiescent (the first pass adopts donated orphans).
+	for i := 0; i < 3; i++ {
+		checker.Flush()
+		if d.Unreclaimed() == 0 {
+			break
+		}
+	}
+	vs = append(vs, iv.CheckDrained(d)...)
+	vs = append(vs, iv.CheckCounters(d.Stats())...)
+	vs = append(vs, iv.CheckLifecycle(d.Lifecycle(), 1)...) // checker still leased
+	for _, v := range vs {
+		t.Errorf("invariant violated: %s", v)
+	}
+	s.ReleaseThread(checker)
+}
+
+// TestChaosStorm runs the full injector bundle against every policy —
+// the CI -race chaos suite.
+func TestChaosStorm(t *testing.T) {
+	for _, p := range core.Policies() {
+		p := p
+		t.Run(p.String(), func(t *testing.T) { storm(t, p) })
+	}
+}
+
+func TestConfigSlotsAndEnabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Error("zero Config reports Enabled")
+	}
+	if got := (Config{}).Slots(); got != 0 {
+		t.Errorf("zero Config Slots = %d", got)
+	}
+	c := Default()
+	if !c.Enabled() {
+		t.Error("Default not Enabled")
+	}
+	if got := c.Slots(); got != 3 { // 1 stall + 1 churner + hotspot
+		t.Errorf("Default Slots = %d, want 3", got)
+	}
+}
+
+// TestStartFailsWithoutCapacity: a domain too small for the injectors
+// must fail Start cleanly, releasing any partially leased handles.
+func TestStartFailsWithoutCapacity(t *testing.T) {
+	d := core.NewDomain(core.EBR, 1, nil)
+	s, err := store.New(d, store.Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{workload.KeyString(0), workload.KeyString(1)}
+	if _, err := Start(Config{Stalls: 1, Hotspot: true}, s, keys); err == nil {
+		t.Fatal("Start succeeded with 1 slot for 2 injectors")
+	}
+	// The partial lease must have been returned.
+	th, err := s.AcquireThread()
+	if err != nil {
+		t.Fatalf("slot not returned after failed Start: %v", err)
+	}
+	s.ReleaseThread(th)
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"pop/internal/chaos"
 	"pop/internal/core"
 	"pop/internal/ds/skiplist"
 	"pop/internal/rng"
@@ -118,20 +119,22 @@ func churnStorm(t *testing.T, p core.Policy, churners, scanners, legs, ops int) 
 	scanWG.Wait()
 
 	// Final drain: the surviving seed thread adopts all orphans and
-	// flushes; live nodes must be back to baseline.
+	// flushes; then the shared invariant checker takes over (the
+	// scenario-specific assertion that churn actually happened stays
+	// local).
 	seed.Flush()
-	size := int64(l.Size(seed))
-	out := l.Outstanding()
 	lc := d.Lifecycle()
-	if lc.Releases == 0 || lc.OrphanNodes != 0 {
-		t.Fatalf("lifecycle after storm: %+v (want releases > 0, no orphans left)", lc)
+	if lc.Releases == 0 {
+		t.Fatalf("lifecycle after storm: %+v (no thread ever released — storm vacuous)", lc)
 	}
-	if p == core.NR {
-		return // leaky baseline: Outstanding legitimately exceeds Size
-	}
-	if out != size {
-		t.Fatalf("LiveNodes not at baseline after churn storm: Outstanding=%d Size=%d (lifecycle %+v)",
-			out, size, lc)
+	iv := chaos.Invariants{Policy: p}
+	var vs []chaos.Violation
+	vs = append(vs, iv.CheckLifecycle(lc, 1)...) // seed still leased
+	vs = append(vs, iv.CheckBalance(l.Outstanding(), int64(l.Size(seed)))...)
+	vs = append(vs, iv.CheckDrained(d)...)
+	vs = append(vs, iv.CheckCounters(d.Stats())...)
+	for _, v := range vs {
+		t.Errorf("invariant violated: %s", v)
 	}
 	pool.Release(seed)
 }

@@ -738,6 +738,78 @@ func storeServeFigure() Figure {
 	}
 }
 
+// ycsbFigure runs the six YCSB core workloads (Cooper et al., SoCC'10)
+// against the KV front at the sweep's top thread count: one row per
+// workload A–F, one column per policy. The mixes move the reclamation
+// pressure around — A/F are overwrite- and RMW-heavy (a retirement per
+// hit), B/C/D nearly read-only, D shifts popularity to the insert
+// frontier (latest), E holds scans open across churn — so the figure
+// shows which schedules separate the policies, not just how hard one
+// mix can be pushed.
+func ycsbFigure() Figure {
+	return Figure{
+		ID:   "ycsb",
+		Desc: "YCSB A–F on the 8-shard skiplist store: throughput and per-class tails per policy across the six core mixes",
+		Run: func(c Ctx) ([]report.Series, error) {
+			c = c.withDefaults()
+			threads := c.Threads[len(c.Threads)-1]
+			policies := c.policySet(false)
+			names := make([]string, len(policies))
+			for i, p := range policies {
+				names[i] = p.String()
+			}
+			metrics := []StoreMetric{
+				{Name: "throughput (ops/s)", Get: func(r harness.StoreResult) float64 { return r.Throughput }},
+				StoreOpLatencyMetric("get p99 (µs)", harness.SOpGet, 0.99),
+				StoreOpLatencyMetric("put p99 (µs)", harness.SOpPut, 0.99),
+				StoreOpLatencyMetric("rmw p99 (µs)", harness.SOpRMW, 0.99),
+				StoreOpLatencyMetric("scan p99 (µs)", harness.SOpScan, 0.99),
+				{Name: "value checksum failures", Get: func(r harness.StoreResult) float64 { return float64(r.ValueErrors) }},
+				{Name: "unreclaimed at run end (nodes)", Get: func(r harness.StoreResult) float64 { return float64(r.Unreclaimed) }},
+			}
+			out := make([]report.Series, len(metrics))
+			for i, m := range metrics {
+				out[i] = report.Series{
+					Title:  fmt.Sprintf("YCSB A–F (skl ×8 shards, %d threads) — %s", threads, m.Name),
+					XLabel: "workload",
+					Names:  names,
+				}
+			}
+			for _, w := range workload.YCSBWorkloads() {
+				cells := make([][]float64, len(metrics))
+				for i := range cells {
+					cells[i] = make([]float64, len(policies))
+				}
+				for pi, p := range policies {
+					c.Log("  ycsb: workload=%s policy=%v", w.Name, p)
+					res, err := harness.RunStore(harness.StoreConfig{
+						Policy:           p,
+						Threads:          threads,
+						Duration:         c.Duration,
+						Keys:             scaleSize(c, 4_000_000),
+						Shards:           8,
+						Mix:              w.Mix,
+						Dist:             w.Dist,
+						OpLatency:        true,
+						ReclaimThreshold: scaleThreshold(c, 24576),
+						Seed:             c.Seed,
+					})
+					if err != nil {
+						return nil, fmt.Errorf("ycsb [%s policy=%v]: %w", w.Name, p, err)
+					}
+					for mi, m := range metrics {
+						cells[mi][pi] = m.Get(res)
+					}
+				}
+				for mi := range metrics {
+					out[mi].AddRow(w.Name, cells[mi])
+				}
+			}
+			return out, nil
+		},
+	}
+}
+
 // ServeMetric extracts one plotted value from a serve trial result.
 type ServeMetric struct {
 	Name string
@@ -1038,6 +1110,7 @@ func All() []Figure {
 		kvFigure("skl-kv", "SKL (skiplist) 1M KV-serving mix: get/put/overwrite/delete with per-op-class tail latency", harness.DSSkipList, 1_000_000),
 		kvFigure("hmht-kv", "HMHT (hash table) 6M KV-serving mix: get/put/overwrite/delete with per-op-class tail latency", harness.DSHashTable, 6_000_000),
 		storeServeFigure(),
+		ycsbFigure(),
 		serveFigure(),
 		nbrOverwriteFigure(),
 		churnFigure(),

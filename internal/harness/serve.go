@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pop/internal/chaos"
 	"pop/internal/core"
 	"pop/internal/report"
 	"pop/internal/rng"
@@ -62,6 +63,12 @@ type ServeConfig struct {
 
 	// ValueMin/ValueMax bound set payload sizes (defaults 16, 256).
 	ValueMin, ValueMax int
+
+	// Chaos runs the fault-injector bundle against the server's store
+	// (not over the wire) for the trial's length: the server's domain is
+	// sized with Chaos.Slots() extra thread slots and the injectors
+	// lease them before any client connects.
+	Chaos chaos.Config
 }
 
 func (c ServeConfig) withDefaults() (ServeConfig, error) {
@@ -136,6 +143,7 @@ type ServeResult struct {
 
 	Server    server.Stats        // serving-front counters (coalescing, admissions)
 	Lifecycle core.LifecycleStats // after shutdown: Leased counts leaks (must be 0)
+	Chaos     chaos.Stats         // what the injectors did (zero when Chaos disabled)
 }
 
 // serveClient is one load-generating connection.
@@ -242,8 +250,9 @@ func RunServe(cfg ServeConfig) (ServeResult, error) {
 			Backing:              cfg.Backing,
 			ExpectedKeysPerShard: cfg.Keys/int64(cfg.Shards) + 1,
 		},
-		Window:   cfg.Window,
-		MaxBatch: cfg.MaxBatch,
+		Window:     cfg.Window,
+		MaxBatch:   cfg.MaxBatch,
+		ExtraSlots: cfg.Chaos.Slots(),
 	})
 	if err != nil {
 		return ServeResult{}, err
@@ -266,9 +275,18 @@ func RunServe(cfg ServeConfig) (ServeResult, error) {
 		return ServeResult{}, err
 	}
 
+	// The injectors lease their ExtraSlots now, before any client
+	// connects, so the admission budget the clients see stays Slots.
+	chaosRun, err := chaos.Start(cfg.Chaos, srv.Store(), keyTab)
+	if err != nil {
+		srv.Close()
+		return ServeResult{}, err
+	}
+
 	clients := make([]*serveClient, cfg.Conns)
 	for i := range clients {
 		if clients[i], err = dialServe(addr); err != nil {
+			chaosRun.Stop()
 			srv.Close()
 			return ServeResult{}, fmt.Errorf("harness: client %d: %w", i, err)
 		}
@@ -277,6 +295,7 @@ func RunServe(cfg ServeConfig) (ServeResult, error) {
 	for i := range samplers {
 		sm, err := workload.NewSampler(cfg.Seed+uint64(i)*0x9e3779b97f4a7c15+1, cfg.Keys, cfg.Dist, cfg.ZipfS)
 		if err != nil {
+			chaosRun.Stop()
 			srv.Close()
 			return ServeResult{}, fmt.Errorf("harness: client %d: %w", i, err)
 		}
@@ -312,6 +331,9 @@ func RunServe(cfg ServeConfig) (ServeResult, error) {
 	}
 
 	res := ServeResult{Config: cfg, Server: srv.Stats(), AdmWait: srv.AdmissionWait()}
+	// Injectors stop (flush + release their leases) before Close, so the
+	// post-shutdown lifecycle check below counts only real leaks.
+	res.Chaos = chaosRun.Stop()
 	if err := srv.Close(); err != nil {
 		return res, err
 	}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"pop/internal/arena"
+	"pop/internal/chaos"
 	"pop/internal/core"
 	"pop/internal/report"
 	"pop/internal/rng"
@@ -34,10 +35,11 @@ const (
 	SOpMGet
 	SOpScan
 	SOpDelete
+	SOpRMW
 	NumStoreOpClasses
 )
 
-var storeOpClassNames = [NumStoreOpClasses]string{"get", "put", "mget", "scan", "delete"}
+var storeOpClassNames = [NumStoreOpClasses]string{"get", "put", "mget", "scan", "delete", "rmw"}
 
 // String returns the class's reporting name.
 func (c StoreOpClass) String() string {
@@ -58,6 +60,8 @@ func (c StoreOpClass) MixShare(m workload.StoreMix) int {
 		return m.MGetPct
 	case SOpScan:
 		return m.ScanPct
+	case SOpRMW:
+		return m.RMWPct
 	default:
 		return m.DeletePct
 	}
@@ -74,6 +78,8 @@ func classOfStore(op workload.StoreOp) StoreOpClass {
 		return SOpMGet
 	case workload.StoreScan:
 		return SOpScan
+	case workload.StoreRMW:
+		return SOpRMW
 	default:
 		return SOpDelete
 	}
@@ -91,10 +97,29 @@ type StoreConfig struct {
 
 	Mix workload.StoreMix // op mixture (default workload.StoreServe)
 
-	// Dist is the key-popularity distribution (uniform or zipf) with
-	// ZipfS skew (<= 0 = workload.DefaultZipfS).
+	// Dist is the key-popularity distribution (uniform, zipf or
+	// latest) with ZipfS skew (<= 0 = workload.DefaultZipfS). Under
+	// latest, puts land on the advancing insert frontier (YCSB D's
+	// read-the-records-just-inserted shape).
 	Dist  workload.Dist
 	ZipfS float64
+
+	// Trace replaces the synthetic mix with a recorded op stream
+	// (workload.ParseTrace): workers drain the trace exactly once
+	// through a shared cursor, and the trial ends when it is
+	// exhausted (Duration is ignored). Every distinct trace key is
+	// prefilled with a verifiable value so reads hit. Trace mode is
+	// incompatible with Churn; Mix/Dist are ignored.
+	Trace []workload.TraceOp
+	// TracePaced honours each op's Offset (open-loop replay: no op
+	// fires before trace-start + Offset). Default: as fast as
+	// possible.
+	TracePaced bool
+
+	// Chaos runs fault injectors (internal/chaos) alongside the
+	// workload: the domain is sized with Chaos.Slots() extra thread
+	// slots and StoreResult.Chaos reports what the injectors did.
+	Chaos chaos.Config
 
 	// Churn enables the elastic serving mode: each worker returns its
 	// handle to the store's pool after Churn.AfterOps operations and
@@ -135,6 +160,9 @@ func (c StoreConfig) withDefaults() (StoreConfig, error) {
 	}
 	if c.Duration <= 0 {
 		c.Duration = 100 * time.Millisecond
+	}
+	if len(c.Trace) > 0 && c.Churn.Enabled() {
+		return c, fmt.Errorf("harness: trace replay is incompatible with churn")
 	}
 	if c.Mix == (workload.StoreMix{}) {
 		c.Mix = workload.StoreServe
@@ -217,6 +245,15 @@ type StoreResult struct {
 	// Lifecycle reports thread-slot turnover (releases, peak leases,
 	// orphan donation/adoption) — the churn-mode explainability view.
 	Lifecycle core.LifecycleStats
+
+	// Chaos reports injector activity when Config.Chaos was enabled
+	// (zero otherwise); storms assert these are nonzero so an idle
+	// injector fails instead of silently weakening the run.
+	Chaos chaos.Stats
+
+	// Elapsed is the measured execution-phase length: Config.Duration
+	// for mix runs, the actual replay time for trace runs.
+	Elapsed time.Duration
 }
 
 // storeWorkerCounters receives one worker's tallies.
@@ -234,7 +271,12 @@ func RunStore(cfg StoreConfig) (StoreResult, error) {
 	if err != nil {
 		return StoreResult{}, err
 	}
-	d := core.NewDomain(cfg.Policy, cfg.Threads, &core.Options{
+	traceMode := len(cfg.Trace) > 0
+	chaosSlots := 0
+	if cfg.Chaos.Enabled() {
+		chaosSlots = cfg.Chaos.Slots()
+	}
+	d := core.NewDomain(cfg.Policy, cfg.Threads+chaosSlots, &core.Options{
 		ReclaimThreshold: cfg.ReclaimThreshold,
 		EpochFreq:        cfg.EpochFreq,
 		CMult:            cfg.CMult,
@@ -248,8 +290,15 @@ func RunStore(cfg StoreConfig) (StoreResult, error) {
 	if err != nil {
 		return StoreResult{}, err
 	}
-	if cfg.Mix.ScanPct > 0 && !s.Ordered() {
+	if !traceMode && cfg.Mix.ScanPct > 0 && !s.Ordered() {
 		return StoreResult{}, fmt.Errorf("harness: mix has ScanPct=%d but backing %q is unordered", cfg.Mix.ScanPct, cfg.Backing)
+	}
+	if traceMode && !s.Ordered() {
+		for i := range cfg.Trace {
+			if cfg.Trace[i].Op == workload.StoreScan {
+				return StoreResult{}, fmt.Errorf("harness: trace has scans but backing %q is unordered", cfg.Backing)
+			}
+		}
 	}
 	// Serving handles come from the store's own pool (the error path,
 	// so capacity misconfigurations fail with a message); churn legs
@@ -273,14 +322,16 @@ func RunStore(cfg StoreConfig) (StoreResult, error) {
 	}
 
 	// Per-worker key samplers (zipf state is per-sampler, so build them
-	// up front where errors can surface).
+	// up front where errors can surface). Trace replay draws no keys.
 	samplers := make([]*workload.Sampler, cfg.Threads)
-	for i := range samplers {
-		sm, err := workload.NewSampler(cfg.Seed+uint64(i)*0x9e3779b97f4a7c15+1, cfg.Keys, cfg.Dist, cfg.ZipfS)
-		if err != nil {
-			return StoreResult{}, fmt.Errorf("harness: worker %d: %w", i, err)
+	if !traceMode {
+		for i := range samplers {
+			sm, err := workload.NewSampler(cfg.Seed+uint64(i)*0x9e3779b97f4a7c15+1, cfg.Keys, cfg.Dist, cfg.ZipfS)
+			if err != nil {
+				return StoreResult{}, fmt.Errorf("harness: worker %d: %w", i, err)
+			}
+			samplers[i] = sm
 		}
-		samplers[i] = sm
 	}
 
 	workers := make([]storeWorkerCounters, cfg.Threads)
@@ -292,10 +343,23 @@ func RunStore(cfg StoreConfig) (StoreResult, error) {
 		}
 	}
 
-	// Prefill to half the key population, split across workers (the
-	// §5.0.2 shape, transplanted to the store).
-	if err := storePrefill(cfg, s, threads, keyTab, hkTab); err != nil {
+	// Prefill: mix runs load half the rank population (the §5.0.2
+	// shape, transplanted to the store); trace runs load every distinct
+	// trace key so reads hit.
+	if traceMode {
+		tracePrefill(cfg, s, threads)
+	} else if err := storePrefill(cfg, s, threads, keyTab, hkTab); err != nil {
 		return StoreResult{}, err
+	}
+
+	// Launch fault injectors after the prefill so they perturb the
+	// measured phase, not the load phase.
+	var chaosRun *chaos.Runner
+	if cfg.Chaos.Enabled() {
+		chaosRun, err = chaos.Start(cfg.Chaos, s, keyTab)
+		if err != nil {
+			return StoreResult{}, err
+		}
 	}
 
 	var (
@@ -304,13 +368,26 @@ func RunStore(cfg StoreConfig) (StoreResult, error) {
 		flushGo   = make(chan struct{})
 		loopsDone sync.WaitGroup
 		finished  sync.WaitGroup
+		cursor    atomic.Int64 // shared trace cursor
+		start     time.Time    // set just before release; read after <-release
 	)
+	var traceHK []int64 // trace[i].Key prehashed (checksum verification)
+	if traceMode {
+		traceHK = make([]int64, len(cfg.Trace))
+		for i := range cfg.Trace {
+			traceHK[i] = store.KeyHash(cfg.Trace[i].Key)
+		}
+	}
 	// Leg chains as in Run: a churned leg returns its handle to the
 	// store's pool and a fresh goroutine re-leases a slot; the terminal
 	// leg keeps its handle and flushes (adopting donated orphans).
 	var runLeg func(id int, th *core.Thread)
 	runLeg = func(id int, th *core.Thread) {
-		runStoreWorker(cfg, s, th, samplers[id], id, keyTab, hkTab, &stop, &workers[id])
+		if traceMode {
+			runStoreTraceWorker(cfg, s, th, start, traceHK, &cursor, &workers[id])
+		} else {
+			runStoreWorker(cfg, s, th, samplers[id], id, keyTab, hkTab, &stop, &workers[id])
+		}
 		if cfg.Churn.Enabled() && !stop.Load() {
 			s.ReleaseThread(th)
 			nth, err := s.AcquireThread()
@@ -346,11 +423,31 @@ func RunStore(cfg StoreConfig) (StoreResult, error) {
 		}
 	}()
 
+	start = time.Now()
 	close(release)
-	time.Sleep(cfg.Duration)
-	stop.Store(true)
-	loopsDone.Wait()
+	if traceMode {
+		// The trace drains exactly once; the trial is over when the
+		// last op completes, however long that takes.
+		loopsDone.Wait()
+		stop.Store(true)
+	} else {
+		time.Sleep(cfg.Duration)
+		stop.Store(true)
+		loopsDone.Wait()
+	}
+	elapsed := time.Since(start)
+	if elapsed <= 0 {
+		elapsed = time.Nanosecond
+	}
 	<-samplerDone
+
+	// Stop the injectors before the drain accounting: their threads
+	// flush and release, donating any leftover retires for the final
+	// worker flushes to adopt.
+	var chaosStats chaos.Stats
+	if chaosRun != nil {
+		chaosStats = chaosRun.Stop()
+	}
 
 	if v := s.Outstanding(); v > peak.Load() {
 		peak.Store(v)
@@ -367,6 +464,8 @@ func RunStore(cfg StoreConfig) (StoreResult, error) {
 		Store:        s.Stats(),
 		Reclaim:      d.Stats(),
 		Lifecycle:    d.Lifecycle(),
+		Chaos:        chaosStats,
+		Elapsed:      elapsed,
 	}
 	for i := range workers {
 		res.Ops += workers[i].ops
@@ -376,8 +475,8 @@ func RunStore(cfg StoreConfig) (StoreResult, error) {
 			res.OpCounts[c] += workers[i].byClass[c]
 		}
 	}
-	res.Throughput = float64(res.Ops) / cfg.Duration.Seconds()
-	res.KeyTput = float64(res.ServedKeys) / cfg.Duration.Seconds()
+	res.Throughput = float64(res.Ops) / elapsed.Seconds()
+	res.KeyTput = float64(res.ServedKeys) / elapsed.Seconds()
 	res.MaxRetire = res.Reclaim.MaxRetire
 	res.Stale = res.Store.StaleReads
 	for c := StoreOpClass(0); c < NumStoreOpClasses; c++ {
@@ -447,7 +546,9 @@ func runStoreWorker(cfg StoreConfig, s *store.Store, th *core.Thread, keys *work
 				}
 			}
 		case workload.StorePut:
-			rank := keys.Next()
+			// NextInsert == Next for uniform/zipf; under latest it
+			// advances the insert frontier the reads chase.
+			rank := keys.NextInsert()
 			tag++
 			size := cfg.ValueMin + int(r.Intn(int64(cfg.ValueMax-cfg.ValueMin+1)))
 			vbuf = workload.AppendValueBytes(vbuf[:0], hkTab[rank], tag, size)
@@ -479,6 +580,23 @@ func runStoreWorker(cfg StoreConfig, s *store.Store, th *core.Thread, keys *work
 				return true
 			})
 			served += uint64(n)
+		case workload.StoreRMW:
+			// Read-modify-write (YCSB F): read the key, then put a
+			// fresh payload back — two protected ops, like a cache's
+			// read-update cycle.
+			rank := keys.Next()
+			var ok bool
+			gbuf, ok = s.Get(th, keyTab[rank], gbuf)
+			if ok {
+				served++
+				if !workload.ValueBytesValid(hkTab[rank], gbuf) {
+					valueErrs++
+				}
+			}
+			tag++
+			size := cfg.ValueMin + int(r.Intn(int64(cfg.ValueMax-cfg.ValueMin+1)))
+			vbuf = workload.AppendValueBytes(vbuf[:0], hkTab[rank], tag, size)
+			s.Put(th, keyTab[rank], vbuf)
 		default: // workload.StoreDelete
 			s.Delete(th, keyTab[keys.Next()])
 		}
@@ -495,6 +613,144 @@ func runStoreWorker(cfg StoreConfig, s *store.Store, th *core.Thread, keys *work
 	for i := range byClass {
 		c.byClass[i] += byClass[i]
 	}
+}
+
+// runStoreTraceWorker replays trace ops pulled from the shared cursor
+// until the trace is exhausted. Every derived quantity (put sizes,
+// value tags, scan windows) is a pure function of the op's trace
+// index, so two same-config replays execute identical work regardless
+// of how ops land on workers.
+func runStoreTraceWorker(cfg StoreConfig, s *store.Store, th *core.Thread,
+	start time.Time, traceHK []int64, cursor *atomic.Int64, c *storeWorkerCounters) {
+	var (
+		vbuf []byte
+		gbuf []byte
+	)
+	width := scanWidth(cfg.Keys, cfg.ScanSpan)
+	for {
+		i := cursor.Add(1) - 1
+		if i >= int64(len(cfg.Trace)) {
+			return
+		}
+		op := cfg.Trace[i]
+		hk := traceHK[i]
+		if cfg.TracePaced {
+			if wait := time.Until(start.Add(op.Offset)); wait > 0 {
+				time.Sleep(wait)
+			}
+		}
+		class := classOfStore(op.Op)
+		hist := c.lats[class]
+		var t0 time.Time
+		if hist != nil {
+			t0 = time.Now()
+		}
+		switch op.Op {
+		case workload.StoreGet:
+			var ok bool
+			gbuf, ok = s.Get(th, op.Key, gbuf)
+			if ok {
+				c.served++
+				if !workload.ValueBytesValid(hk, gbuf) {
+					c.valueErrs++
+				}
+			}
+		case workload.StorePut:
+			vbuf = workload.AppendValueBytes(vbuf[:0], hk, traceTag(i), traceSize(cfg, op, i))
+			s.Put(th, op.Key, vbuf)
+		case workload.StoreScan:
+			span := op.Size
+			if span <= 0 {
+				span = cfg.ScanSpan
+			}
+			w := width
+			if op.Size > 0 {
+				w = scanWidth(cfg.Keys, span)
+			}
+			lo := hk
+			hi := lo + int64(w)
+			if hi < lo {
+				hi = 1<<63 - 2
+			}
+			n := s.Scan(th, lo, hi, func(shk int64, v []byte) bool {
+				if !workload.ValueBytesValid(shk, v) {
+					c.valueErrs++
+				}
+				return true
+			})
+			c.served += uint64(n)
+		case workload.StoreRMW:
+			var ok bool
+			gbuf, ok = s.Get(th, op.Key, gbuf)
+			if ok {
+				c.served++
+				if !workload.ValueBytesValid(hk, gbuf) {
+					c.valueErrs++
+				}
+			}
+			vbuf = workload.AppendValueBytes(vbuf[:0], hk, traceTag(i), traceSize(cfg, op, i))
+			s.Put(th, op.Key, vbuf)
+		default: // workload.StoreDelete
+			s.Delete(th, op.Key)
+		}
+		if hist != nil {
+			hist.Record(time.Since(t0).Nanoseconds())
+		}
+		c.byClass[class]++
+		c.ops++
+	}
+}
+
+// traceTag derives a write tag from a trace index: distinct per op,
+// identical across replays.
+func traceTag(i int64) uint32 { return uint32(i)*2654435761 + 1 }
+
+// traceSize resolves a trace put's payload size: the recorded size,
+// clamped to the arena's bounds, or an index-derived draw from the
+// configured range when the trace does not say.
+func traceSize(cfg StoreConfig, op workload.TraceOp, i int64) int {
+	if op.Size > 0 {
+		size := op.Size
+		if size < workload.MinValueLen {
+			size = workload.MinValueLen
+		}
+		if size > cfg.ValueMax {
+			size = cfg.ValueMax
+		}
+		return size
+	}
+	span := int64(cfg.ValueMax - cfg.ValueMin + 1)
+	return cfg.ValueMin + int((uint64(i)*0x9e3779b97f4a7c15>>33)%uint64(span))
+}
+
+// tracePrefill loads every distinct trace key with a verifiable value,
+// split across threads, so replayed reads hit like they did against
+// the traced system.
+func tracePrefill(cfg StoreConfig, s *store.Store, threads []*core.Thread) {
+	keys := workload.TraceKeys(cfg.Trace)
+	var wg sync.WaitGroup
+	per := (len(keys) + len(threads) - 1) / len(threads)
+	for i, th := range threads {
+		lo := i * per
+		if lo >= len(keys) {
+			break
+		}
+		hi := lo + per
+		if hi > len(keys) {
+			hi = len(keys)
+		}
+		wg.Add(1)
+		go func(th *core.Thread, chunk []string, base int) {
+			defer wg.Done()
+			var vbuf []byte
+			for j, k := range chunk {
+				hk := store.KeyHash(k)
+				vbuf = workload.AppendValueBytes(vbuf[:0], hk, uint32(base+j)|0x01000000, cfg.ValueMin)
+				s.Put(th, k, vbuf)
+			}
+		}(th, keys[lo:hi], lo)
+	}
+	wg.Wait()
 }
 
 // storePrefill inserts ranks until the store holds about Keys/2

@@ -44,6 +44,14 @@ type Config struct {
 	// (default 10s); a timed-out command answers SERVER_ERROR and the
 	// connection stays up.
 	AcquireTimeout time.Duration
+	// ExtraSlots reserves additional domain thread slots for tenants
+	// outside the serving path — fault injectors running against
+	// Store() directly. The extra capacity is visible to the admission
+	// pool too (pools share the domain's slot space), so the Slots
+	// budget is only exact while the out-of-band tenants hold their
+	// leases; harnesses that use this start injectors before admitting
+	// clients.
+	ExtraSlots int
 	// Opts tunes reclamation (nil = paper defaults).
 	Opts *core.Options
 }
@@ -123,7 +131,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	cfg.Store.Shards = shards
 
-	d := core.NewDomain(cfg.Policy, cfg.Slots+shards, cfg.Opts)
+	d := core.NewDomain(cfg.Policy, cfg.Slots+shards+cfg.ExtraSlots, cfg.Opts)
 	st, err := store.New(d, cfg.Store)
 	if err != nil {
 		return nil, err

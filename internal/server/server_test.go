@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"pop/internal/chaos"
 	"pop/internal/core"
 	"pop/internal/store"
 )
@@ -127,15 +128,32 @@ func startServer(t *testing.T, cfg Config) *Server {
 	return s
 }
 
-// closeClean shuts the server down and asserts no thread lease leaked.
+// closeClean shuts the server down and asserts, through the shared
+// chaos invariant checker, that shutdown drained cleanly: a checker
+// thread adopts whatever the departing executors and connections
+// donated, then the lease ledger and retire lists must balance.
 func closeClean(t *testing.T, s *Server) {
 	t.Helper()
 	if err := s.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
-	if lc := s.Domain().Lifecycle(); lc.Leased != 0 {
-		t.Fatalf("leaked %d thread leases after Close", lc.Leased)
+	th, err := s.Pool().Acquire()
+	if err != nil {
+		t.Fatalf("post-close checker lease: %v", err)
 	}
+	// A few flushes adopt donated orphans and reclaim them (a policy
+	// may free at most a batch per pass).
+	for i := 0; i < 3 && s.Domain().Unreclaimed() != 0; i++ {
+		th.Flush()
+	}
+	iv := chaos.Invariants{Policy: s.Domain().Policy()}
+	var vs []chaos.Violation
+	vs = append(vs, iv.CheckDrained(s.Domain())...)
+	vs = append(vs, iv.CheckLifecycle(s.Domain().Lifecycle(), 1)...) // checker still leased
+	for _, v := range vs {
+		t.Errorf("invariant violated after Close: %s", v)
+	}
+	s.Pool().Release(th)
 }
 
 // TestServerProtocolE2E drives the full command surface over a real TCP

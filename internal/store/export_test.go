@@ -1,0 +1,31 @@
+package store
+
+import (
+	"pop/internal/arena"
+	"pop/internal/core"
+)
+
+// Test-only exports for the external storm tests (package store_test),
+// which live outside the package so they can import internal/chaos
+// without a cycle (chaos imports store).
+
+// RawHandle fetches the arena handle a key's map entry currently holds
+// — the store-internal view a misbehaving reader would capture and sit
+// on.
+func (s *Store) RawHandle(t *core.Thread, key string) (arena.Handle, bool) {
+	sh, ik := s.locate(key)
+	hv, ok := sh.m.Get(t, ik)
+	return arena.Handle(hv), ok
+}
+
+// ReadRaw dereferences a captured handle directly against the value
+// arena, bypassing the map — the unsafe access pattern the arena's
+// sequence discipline must detect once the slot is retired.
+func (s *Store) ReadRaw(h arena.Handle, buf []byte) ([]byte, bool) {
+	return s.vals.Read(h, buf)
+}
+
+// CheckRawHandle reports whether h still names a live arena slot.
+func (s *Store) CheckRawHandle(h arena.Handle) bool {
+	return s.vals.CheckHandle(h)
+}

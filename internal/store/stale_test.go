@@ -1,4 +1,9 @@
-package store
+// The stale-value storm lives in an external test package so it can
+// assert through the shared chaos.Invariants checker (internal/chaos
+// imports store, so an in-package test would cycle). Store internals it
+// needs — raw handle capture and direct arena reads — are exported via
+// export_test.go.
+package store_test
 
 import (
 	"fmt"
@@ -8,18 +13,27 @@ import (
 	"testing"
 
 	"pop/internal/arena"
+	"pop/internal/chaos"
 	"pop/internal/core"
 	"pop/internal/rng"
+	"pop/internal/store"
 	"pop/internal/workload"
 )
 
-// rawHandle fetches the arena handle a key's map entry currently holds
-// — the store-internal view a misbehaving reader would capture and sit
-// on.
-func (s *Store) rawHandle(t *core.Thread, key string) (arena.Handle, bool) {
-	sh, ik := s.locate(key)
-	hv, ok := sh.m.Get(t, ik)
-	return arena.Handle(hv), ok
+// stormDomain mirrors the in-package test domains: thresholds small
+// enough that reclamation genuinely runs during the storm.
+func stormDomain(p core.Policy, threads int) *core.Domain {
+	return core.NewDomain(p, threads, &core.Options{
+		ReclaimThreshold: 32,
+		EpochFreq:        8,
+		BatchSize:        8,
+		Debug:            true,
+	})
+}
+
+// stormVal builds the canonical checksummed payload for key.
+func stormVal(buf []byte, key string, tag uint32, size int) []byte {
+	return workload.AppendValueBytes(buf[:0], store.KeyHash(key), tag, size)
 }
 
 // TestStoreStaleValueDetection is the value-retirement coverage storm:
@@ -44,8 +58,8 @@ func TestStoreStaleValueDetection(t *testing.T) {
 	)
 	for _, p := range core.Policies() {
 		t.Run(p.String(), func(t *testing.T) {
-			d := newDomain(p, threads+1)
-			s, err := New(d, Config{Shards: 4})
+			d := stormDomain(p, threads+1)
+			s, err := store.New(d, store.Config{Shards: 4})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -58,8 +72,8 @@ func TestStoreStaleValueDetection(t *testing.T) {
 			var vbuf []byte
 			for i := range keyTab {
 				keyTab[i] = workload.KeyString(int64(i))
-				hkTab[i] = KeyHash(keyTab[i])
-				vbuf = valFor(vbuf, keyTab[i], uint32(i), 48)
+				hkTab[i] = store.KeyHash(keyTab[i])
+				vbuf = stormVal(vbuf, keyTab[i], uint32(i), 48)
 				s.Put(ths[0], keyTab[i], vbuf)
 			}
 
@@ -82,7 +96,7 @@ func TestStoreStaleValueDetection(t *testing.T) {
 					for !stop.Load() {
 						i := int(r.Intn(hotKeys))
 						tag++
-						vb = valFor(vb, keyTab[i], tag, 16+int(r.Intn(500)))
+						vb = stormVal(vb, keyTab[i], tag, 16+int(r.Intn(500)))
 						s.Put(th, keyTab[i], vb)
 						overwrites[i].Add(1)
 					}
@@ -104,7 +118,7 @@ func TestStoreStaleValueDetection(t *testing.T) {
 					var rb []byte
 					for n := 0; n < rounds; n++ {
 						i := int(r.Intn(hotKeys))
-						h, ok := s.rawHandle(th, keyTab[i])
+						h, ok := s.RawHandle(th, keyTab[i])
 						if !ok {
 							continue
 						}
@@ -117,7 +131,7 @@ func TestStoreStaleValueDetection(t *testing.T) {
 							runtime.Gosched()
 						}
 						var rok bool
-						rb, rok = s.vals.Read(h, rb)
+						rb, rok = s.ReadRaw(h, rb)
 						switch {
 						case !rok:
 							detected.Add(1)
@@ -148,8 +162,9 @@ func TestStoreStaleValueDetection(t *testing.T) {
 			stop.Store(true)
 			wg.Wait()
 
-			if n := undetected.Load(); n != 0 {
-				t.Fatalf("%d undetected stale value reads under %v", n, p)
+			iv := chaos.Invariants{Policy: p}
+			if vs := iv.CheckValueErrors(undetected.Load()); len(vs) != 0 {
+				t.Fatalf("invariant violated under %v: %v", p, chaos.Errs(vs))
 			}
 
 			// Deterministic completeness: capture every key's current
@@ -159,13 +174,13 @@ func TestStoreStaleValueDetection(t *testing.T) {
 			th := ths[0]
 			held := make([]arena.Handle, 0, hotKeys)
 			for _, key := range keyTab {
-				if h, ok := s.rawHandle(th, key); ok {
+				if h, ok := s.RawHandle(th, key); ok {
 					held = append(held, h)
 				}
 			}
 			var vb []byte
 			for i, key := range keyTab {
-				vb = valFor(vb, key, 0xfff0+uint32(i), 64)
+				vb = stormVal(vb, key, 0xfff0+uint32(i), 64)
 				s.Put(th, key, vb)
 			}
 			for _, th := range ths {
@@ -173,15 +188,22 @@ func TestStoreStaleValueDetection(t *testing.T) {
 			}
 			if d.Unreclaimed() == 0 {
 				for _, h := range held {
-					if s.vals.CheckHandle(h) {
+					if s.CheckRawHandle(h) {
 						t.Fatalf("handle %x still live after its retirement was reclaimed", uint64(h))
 					}
-					if _, ok := s.vals.Read(h, nil); ok {
+					if _, ok := s.ReadRaw(h, nil); ok {
 						t.Fatalf("handle %x readable after reclamation", uint64(h))
 					}
 				}
 			} else if p != core.NR && p != core.Crystalline {
 				t.Logf("%v: %d retired nodes survived flush (allowed, detection still verified)", p, d.Unreclaimed())
+			}
+			// Value-plane sweep and counter sanity via the shared checker.
+			var vs []chaos.Violation
+			vs = append(vs, iv.CheckValues(th, s, keyTab)...)
+			vs = append(vs, iv.CheckCounters(d.Stats())...)
+			for _, v := range vs {
+				t.Errorf("invariant violated: %s", v)
 			}
 			t.Logf("%v: %d stale dereferences detected during the storm", p, detected.Load())
 		})
@@ -192,14 +214,14 @@ func TestStoreStaleValueDetection(t *testing.T) {
 // handle held across free *and reallocation to another key* must not
 // read the new key's bytes through the old handle.
 func TestStoreStaleHandleNeverServesNewKeyData(t *testing.T) {
-	d := newDomain(core.EBR, 1)
-	s, err := New(d, Config{Shards: 2})
+	d := stormDomain(core.EBR, 1)
+	s, err := store.New(d, store.Config{Shards: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	th := d.RegisterThread()
 	s.Put(th, "victim", []byte("victim-value-000"))
-	h, ok := s.rawHandle(th, "victim")
+	h, ok := s.RawHandle(th, "victim")
 	if !ok {
 		t.Fatal("no handle")
 	}
@@ -210,17 +232,17 @@ func TestStoreStaleHandleNeverServesNewKeyData(t *testing.T) {
 	for i := 0; i < 5000 && !reused; i++ {
 		key := fmt.Sprintf("other-%d", i)
 		s.Put(th, key, []byte("other-value-0000"))
-		if nh, ok := s.rawHandle(th, key); ok && nh.SameSlot(h) {
+		if nh, ok := s.RawHandle(th, key); ok && nh.SameSlot(h) {
 			reused = true
 		}
 	}
 	if !reused {
 		t.Skip("slot not recycled within budget (cache order changed?)")
 	}
-	if _, ok := s.vals.Read(h, nil); ok {
+	if _, ok := s.ReadRaw(h, nil); ok {
 		t.Fatal("stale handle read another key's slot")
 	}
-	if s.vals.CheckHandle(h) {
+	if s.CheckRawHandle(h) {
 		t.Fatal("stale handle passed CheckHandle")
 	}
 }

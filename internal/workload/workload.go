@@ -159,33 +159,42 @@ func checksum32(key int64, tag uint32) uint32 {
 type Dist uint8
 
 // The key distributions: uniform over [0, keyRange) (the paper's
-// §5.0.2 methodology) and scrambled Zipfian (YCSB-style, skew s≈0.99),
+// §5.0.2 methodology), scrambled Zipfian (YCSB-style, skew s≈0.99),
 // the standard model for skewed serving traffic — a few hot keys absorb
-// most operations while the tail stays warm.
+// most operations while the tail stays warm — and Latest (YCSB
+// workload D): reads favour the most recently inserted keys, with the
+// insert frontier advancing as writers call NextInsert.
 const (
 	Uniform Dist = iota
 	Zipf
+	Latest
 )
 
 // DefaultZipfS is the Zipfian skew used when none is chosen — YCSB's
 // 0.99, under which the hottest of 10^6 keys draws ~7% of traffic.
 const DefaultZipfS = 0.99
 
-// ParseDist resolves a distribution name ("uniform", "zipf").
+// ParseDist resolves a distribution name ("uniform", "zipf",
+// "latest").
 func ParseDist(s string) (Dist, error) {
 	switch s {
 	case "uniform":
 		return Uniform, nil
 	case "zipf":
 		return Zipf, nil
+	case "latest":
+		return Latest, nil
 	}
-	return 0, fmt.Errorf("workload: unknown key distribution %q (want uniform or zipf)", s)
+	return 0, fmt.Errorf("workload: unknown key distribution %q (want uniform, zipf or latest)", s)
 }
 
 // String returns the distribution's flag name.
 func (d Dist) String() string {
-	if d == Zipf {
+	switch d {
+	case Zipf:
 		return "zipf"
+	case Latest:
+		return "latest"
 	}
 	return "uniform"
 }
@@ -193,19 +202,28 @@ func (d Dist) String() string {
 // Sampler draws keys in [0, n) under a distribution. Not safe for
 // concurrent use; create one per thread.
 type Sampler struct {
-	r *rng.State
-	n int64
-	z *zipfState // nil for Uniform
+	r        *rng.State
+	n        int64
+	z        *zipfState // nil for Uniform
+	latest   bool
+	frontier int64 // Latest only: next rank NextInsert hands out
 }
 
 // NewSampler creates a key sampler. skew is the Zipfian s parameter
 // (<= 0 means DefaultZipfS); it is ignored for Uniform.
+//
+// For Latest, ranks model insertion order: the frontier starts at n/2
+// (matching the harness's half-population prefill) and advances on
+// NextInsert; Next draws a Zipfian recency offset behind it, so reads
+// chase the most recently inserted keys. The frontier is per-sampler —
+// a deliberate simplification of YCSB's shared insert counter that
+// keeps samplers contention- and coordination-free.
 func NewSampler(seed uint64, n int64, dist Dist, skew float64) (*Sampler, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("workload: non-positive key range %d", n)
 	}
 	s := &Sampler{r: rng.New(seed), n: n}
-	if dist == Zipf {
+	if dist == Zipf || dist == Latest {
 		if skew <= 0 {
 			skew = DefaultZipfS
 		}
@@ -213,6 +231,10 @@ func NewSampler(seed uint64, n int64, dist Dist, skew float64) (*Sampler, error)
 			return nil, fmt.Errorf("workload: zipf skew %v out of range (0, 1)", skew)
 		}
 		s.z = newZipfState(n, skew)
+		if dist == Latest {
+			s.latest = true
+			s.frontier = n / 2
+		}
 	}
 	return s, nil
 }
@@ -220,16 +242,44 @@ func NewSampler(seed uint64, n int64, dist Dist, skew float64) (*Sampler, error)
 // Next draws the next key. Zipfian ranks are scrambled through a
 // Fibonacci mix so the hot keys are spread across the key space (and
 // therefore across store shards) instead of clustering at 0, the
-// YCSB ScrambledZipfian behaviour.
+// YCSB ScrambledZipfian behaviour. Latest ranks are not scrambled:
+// recency order is the point, so the draw lands a Zipfian offset
+// behind the insert frontier (rank frontier-1 is the hottest).
 func (s *Sampler) Next() int64 {
 	if s.z == nil {
 		return s.r.Intn(s.n)
 	}
 	rank := s.z.next(s.r)
+	if s.latest {
+		k := s.frontier - 1 - rank
+		for k < 0 {
+			k += s.n
+		}
+		return k
+	}
 	x := uint64(rank) * 0x9e3779b97f4a7c15
 	x ^= x >> 29
 	return int64(x % uint64(s.n))
 }
+
+// NextInsert draws the key for an insert/put. Under Latest it returns
+// the frontier rank and advances it (wrapping at n, so long runs
+// recycle the oldest keys); under Uniform/Zipf it is exactly Next(),
+// keeping the draw stream of existing workloads unchanged.
+func (s *Sampler) NextInsert() int64 {
+	if !s.latest {
+		return s.Next()
+	}
+	k := s.frontier
+	s.frontier++
+	if s.frontier >= s.n {
+		s.frontier = 0
+	}
+	return k
+}
+
+// Frontier returns the Latest insert frontier (0 otherwise).
+func (s *Sampler) Frontier() int64 { return s.frontier }
 
 // Rank draws an unscrambled Zipfian rank (0 = hottest); uniform for a
 // Uniform sampler. Exposed so the sampler's distribution is directly
@@ -409,6 +459,11 @@ const (
 	StoreScan
 	// StoreDelete removes one key.
 	StoreDelete
+	// StoreRMW is a read-modify-write: read one key's value, then put
+	// a fresh payload back under the same key (YCSB workload F's op
+	// class). The read and the write are separate protected ops, like
+	// a cache's read-update cycle.
+	StoreRMW
 )
 
 // StoreMix is a store operation mixture in percent; fields must sum to
@@ -419,6 +474,7 @@ type StoreMix struct {
 	MGetPct   int
 	ScanPct   int
 	DeletePct int
+	RMWPct    int
 }
 
 // StoreServe is the standard KV-serving mix for store sweeps: 65% get /
@@ -430,10 +486,13 @@ var StoreServe = StoreMix{GetPct: 65, PutPct: 15, MGetPct: 10, ScanPct: 5, Delet
 // Valid reports whether the mix sums to 100 with no negatives.
 func (m StoreMix) Valid() bool {
 	return m.GetPct >= 0 && m.PutPct >= 0 && m.MGetPct >= 0 && m.ScanPct >= 0 &&
-		m.DeletePct >= 0 && m.GetPct+m.PutPct+m.MGetPct+m.ScanPct+m.DeletePct == 100
+		m.DeletePct >= 0 && m.RMWPct >= 0 &&
+		m.GetPct+m.PutPct+m.MGetPct+m.ScanPct+m.DeletePct+m.RMWPct == 100
 }
 
-// NextStore draws the next store operation kind from m using r.
+// NextStore draws the next store operation kind from m using r. RMW is
+// drawn last so mixes without it consume the exact same random stream
+// they did before the class existed.
 func (m StoreMix) NextStore(r *rng.State) StoreOp {
 	p := r.Pct()
 	switch {
@@ -445,8 +504,10 @@ func (m StoreMix) NextStore(r *rng.State) StoreOp {
 		return StoreMGet
 	case p < m.GetPct+m.PutPct+m.MGetPct+m.ScanPct:
 		return StoreScan
-	default:
+	case p < m.GetPct+m.PutPct+m.MGetPct+m.ScanPct+m.DeletePct:
 		return StoreDelete
+	default:
+		return StoreRMW
 	}
 }
 
