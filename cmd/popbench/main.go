@@ -85,6 +85,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -121,6 +122,7 @@ func main() {
 		keyRange  = flag.Int64("keyrange", 16384, "direct sweep / store key population")
 		distName  = flag.String("dist", "uniform", "key-popularity distribution: uniform, zipf (s=0.99) or latest (popularity follows the insert frontier)")
 		churnOps  = flag.Uint64("churn", 0, "elastic mode: operations per worker incarnation before it releases its thread handle and respawns (0 = no churn); applies to -ds and -store sweeps")
+		rthresh   = flag.Int("rthresh", 0, "retire-list length that triggers a reclamation pass (0 = the paper's 24576); lower it to observe per-pass ping/scan fan-out in short runs; applies to -ds and -store sweeps")
 
 		ycsbName   = flag.String("ycsb", "", "YCSB core workload (A..F): run the store sweep (or, with -serve, the serving front) under the named mix and key distribution")
 		traceFile  = flag.String("trace", "", "replay a recorded op trace (op,key,size,offset_us lines) through the store instead of a synthetic mix")
@@ -130,7 +132,10 @@ func main() {
 		storeMode = flag.Bool("store", false, "store sweep: the sharded string-key KV front across shards × policies × batch sizes")
 		backing   = flag.String("backing", "skl", "store backing structure (skl, hmht, hml, abt, ll, dgt)")
 		shardsCSV = flag.String("shards", "8", "store sweep: comma-separated shard counts")
-		batchCSV  = flag.String("batch", "16", "store sweep: comma-separated multi-get batch sizes")
+		batchCSV  = flag.String("batch", "16", "store sweep: comma-separated multi-get/multi-put batch sizes")
+		groupsCSV = flag.String("groups", "1", "store sweep: comma-separated reclamation-domain member counts the shards split across (powers of two, capped at the shard count)")
+		mputPct   = flag.Int("mputpct", 0, "store sweep: percent of ops that are batched multi-puts (PutBatch), carved from the mix's put share")
+		jsonOut   = flag.String("json", "", "store sweep: also append one JSON record per (shards, groups, batch, policy) cell to this file (e.g. BENCH_store.json)")
 
 		serveMode = flag.Bool("serve", false, "serve sweep: live TCP memcached-text server across connection counts × policies")
 		connsCSV  = flag.String("conns", "8,32", "serve sweep: comma-separated client connection counts")
@@ -215,10 +220,11 @@ func main() {
 	if *storeMode {
 		if err := storeSweep(storeSweepOpts{
 			backing: *backing, shards: *shardsCSV, batches: *batchCSV,
+			groups: *groupsCSV, mputPct: *mputPct, jsonPath: *jsonOut,
 			keys: *keyRange, dist: dist, duration: *duration, threads: *threads,
 			seed: *seed, policies: *policies, render: render, quiet: *quiet,
-			churn: workload.Churn{AfterOps: *churnOps},
-			ycsb:  *ycsbName, chaos: chaosCfg,
+			churn: workload.Churn{AfterOps: *churnOps}, rthresh: *rthresh,
+			ycsb: *ycsbName, chaos: chaosCfg,
 			trace: trace, traceName: *traceFile, tracePaced: *tracePaced,
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
@@ -231,7 +237,7 @@ func main() {
 			ds: *dsName, mix: *mixName, rangePct: *rangePct, rangeSpan: *rangeSpan,
 			keyRange: *keyRange, dist: dist, duration: *duration, threads: *threads,
 			seed: *seed, policies: *policies, render: render, quiet: *quiet,
-			churn: workload.Churn{AfterOps: *churnOps},
+			churn: workload.Churn{AfterOps: *churnOps}, rthresh: *rthresh,
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
 			os.Exit(1)
@@ -308,6 +314,7 @@ type sweepOpts struct {
 	keyRange  int64
 	dist      workload.Dist
 	churn     workload.Churn
+	rthresh   int
 	duration  time.Duration
 	threads   string
 	seed      uint64
@@ -321,9 +328,13 @@ type storeSweepOpts struct {
 	backing    string
 	shards     string // csv shard counts
 	batches    string // csv batch sizes
+	groups     string // csv domain-group member counts
+	mputPct    int    // PutBatch share carved from the put share
+	jsonPath   string // JSON records sink ("" = none)
 	keys       int64
 	dist       workload.Dist
 	churn      workload.Churn
+	rthresh    int    // per-slot reclamation threshold (0 = paper default)
 	ycsb       string // YCSB workload name ("" = serve mix)
 	trace      []workload.TraceOp
 	traceName  string
@@ -454,6 +465,13 @@ func storeSweep(o storeSweepOpts) error {
 	if err != nil {
 		return fmt.Errorf("bad -batch: %w", err)
 	}
+	groupList, err := parseInts(o.groups)
+	if err != nil {
+		return fmt.Errorf("bad -groups: %w", err)
+	}
+	if o.groups == "" {
+		groupList = []int{1}
+	}
 	threadCounts, err := parseInts(o.threads)
 	if err != nil {
 		return fmt.Errorf("bad -threads: %w", err)
@@ -486,6 +504,11 @@ func storeSweep(o storeSweepOpts) error {
 		{Name: "value checksum failures", Get: func(r harness.StoreResult) float64 { return float64(r.ValueErrors) }},
 		{Name: "unreclaimed at run end (nodes)", Get: func(r harness.StoreResult) float64 { return float64(r.Unreclaimed) }},
 		{Name: "leaked after flush (nodes)", Get: func(r harness.StoreResult) float64 { return float64(r.LeakedAfter) }},
+		// The fan-out view (satellite of the domain-group work): how many
+		// thread-list entries a reclamation pass walks, and how many pings
+		// it sends — the quantity grouping divides by the member count.
+		{Name: "reclaim pings per pass", Get: func(r harness.StoreResult) float64 { return r.ReclaimDetail.PingsPerPass }},
+		{Name: "reclaim threads scanned per pass", Get: func(r harness.StoreResult) float64 { return r.ReclaimDetail.ScannedPerPass }},
 	}
 	if o.churn.Enabled() {
 		// Elastic sweeps report the turnover they generated, so tails
@@ -498,7 +521,7 @@ func storeSweep(o storeSweepOpts) error {
 	// Ask the store layer itself whether the backing scans (a throwaway
 	// probe, the harness.RangeCapable pattern) — this also surfaces an
 	// unknown -backing as an error before the sweep starts.
-	probe, err := store.New(core.NewDomain(core.NR, 1, nil), store.Config{Shards: 1, Backing: o.backing})
+	probe, err := store.New(core.NewDomainGroup(core.NR, 1, 1, nil), store.Config{Shards: 1, Backing: o.backing})
 	if err != nil {
 		return err
 	}
@@ -532,8 +555,23 @@ func storeSweep(o storeSweepOpts) error {
 		mix.GetPct += mix.ScanPct
 		mix.ScanPct = 0
 	}
+	if o.mputPct > 0 {
+		// Carve the batched-put share out of puts so the overall write
+		// rate stays the control variable.
+		if traceMode {
+			return fmt.Errorf("-mputpct does not apply to trace replay (the trace is the workload)")
+		}
+		if o.mputPct > mix.PutPct {
+			return fmt.Errorf("-mputpct %d exceeds the mix's put share (%d%%)", o.mputPct, mix.PutPct)
+		}
+		mix.PutPct -= o.mputPct
+		mix.MPutPct += o.mputPct
+	}
 	if mix.RMWPct > 0 || traceMode {
 		metrics = append(metrics, figures.StoreOpLatencyMetric("rmw latency p99 (µs)", harness.SOpRMW, 0.99))
+	}
+	if mix.MPutPct > 0 {
+		metrics = append(metrics, figures.StoreOpLatencyMetric("mput latency p99 (µs)", harness.SOpMPut, 0.99))
 	}
 	if o.chaos.Enabled() {
 		metrics = append(metrics,
@@ -562,40 +600,63 @@ func storeSweep(o storeSweepOpts) error {
 	if !o.quiet {
 		log = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
 	}
+	var jsonRecs []storeJSONRecord
 	for _, nshards := range shardList {
-		for _, nbatch := range batchList {
-			cells := make([][]float64, len(metrics))
-			for i := range cells {
-				cells[i] = make([]float64, len(ps))
-			}
-			for pi, p := range ps {
-				log("  store: shards=%d batch=%d policy=%v", nshards, nbatch, p)
-				res, err := harness.RunStore(harness.StoreConfig{
-					Policy:     p,
-					Threads:    threads,
-					Duration:   o.duration,
-					Keys:       o.keys,
-					Shards:     nshards,
-					Backing:    o.backing,
-					Mix:        mix,
-					Dist:       o.dist,
-					Churn:      o.churn,
-					Trace:      o.trace,
-					TracePaced: o.tracePaced,
-					Chaos:      o.chaos,
-					BatchSize:  nbatch,
-					OpLatency:  true,
-					Seed:       o.seed,
-				})
-				if err != nil {
-					return fmt.Errorf("store [shards=%d batch=%d policy=%v]: %w", nshards, nbatch, p, err)
+		for _, ngroups := range groupList {
+			for _, nbatch := range batchList {
+				cells := make([][]float64, len(metrics))
+				for i := range cells {
+					cells[i] = make([]float64, len(ps))
 				}
-				for mi, m := range metrics {
-					cells[mi][pi] = m.Get(res)
+				for pi, p := range ps {
+					log("  store: shards=%d groups=%d batch=%d policy=%v", nshards, ngroups, nbatch, p)
+					res, err := harness.RunStore(harness.StoreConfig{
+						Policy:           p,
+						Threads:          threads,
+						Duration:         o.duration,
+						Keys:             o.keys,
+						Shards:           nshards,
+						Groups:           ngroups,
+						Backing:          o.backing,
+						Mix:              mix,
+						Dist:             o.dist,
+						Churn:            o.churn,
+						Trace:            o.trace,
+						TracePaced:       o.tracePaced,
+						Chaos:            o.chaos,
+						BatchSize:        nbatch,
+						OpLatency:        true,
+						ReclaimThreshold: o.rthresh,
+						Seed:             o.seed,
+					})
+					if err != nil {
+						return fmt.Errorf("store [shards=%d groups=%d batch=%d policy=%v]: %w", nshards, ngroups, nbatch, p, err)
+					}
+					for mi, m := range metrics {
+						cells[mi][pi] = m.Get(res)
+					}
+					if o.jsonPath != "" {
+						rec := storeJSONRecord{
+							Backing: o.backing, Policy: p.String(),
+							Shards: nshards, Groups: ngroups, Batch: nbatch,
+							Threads: threads, Metrics: map[string]float64{},
+						}
+						for mi, m := range metrics {
+							rec.Metrics[m.Name] = cells[mi][pi]
+						}
+						jsonRecs = append(jsonRecs, rec)
+					}
 				}
-			}
-			for mi := range series {
-				series[mi].AddRow(fmt.Sprintf("%dx%d", nshards, nbatch), cells[mi])
+				// Keep the ungrouped label bit-identical to the pre-group
+				// sweeps ("8x32"), appending the member count only when it
+				// actually differs from one domain.
+				label := fmt.Sprintf("%dx%d", nshards, nbatch)
+				if ngroups != 1 {
+					label += fmt.Sprintf("g%d", ngroups)
+				}
+				for mi := range series {
+					series[mi].AddRow(label, cells[mi])
+				}
 			}
 		}
 	}
@@ -604,7 +665,42 @@ func storeSweep(o storeSweepOpts) error {
 			return fmt.Errorf("write: %w", err)
 		}
 	}
+	if o.jsonPath != "" {
+		if err := writeStoreJSON(o.jsonPath, jsonRecs); err != nil {
+			return fmt.Errorf("write %s: %w", o.jsonPath, err)
+		}
+	}
 	return nil
+}
+
+// storeJSONRecord is one (shards, groups, batch, policy) cell of a
+// store sweep, flattened for machine consumption (CI's BENCH_store.json
+// trajectory).
+type storeJSONRecord struct {
+	Backing string             `json:"backing"`
+	Policy  string             `json:"policy"`
+	Shards  int                `json:"shards"`
+	Groups  int                `json:"groups"`
+	Batch   int                `json:"batch"`
+	Threads int                `json:"threads"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// writeStoreJSON appends records to path as JSON lines, so repeated
+// sweep invocations (CI runs several) accumulate one trajectory file.
+func writeStoreJSON(path string, recs []storeJSONRecord) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	for _, r := range recs {
+		if err := enc.Encode(r); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
 }
 
 // directSweep runs one structure × all requested policies × the thread
@@ -735,13 +831,14 @@ func directSweep(o sweepOpts) error {
 		}
 	}
 	series, err := figures.SweepThreads(ctx, title, harness.Config{
-		DS:        o.ds,
-		KeyRange:  o.keyRange,
-		Mix:       mix,
-		RangeSpan: o.rangeSpan,
-		Dist:      o.dist,
-		Churn:     o.churn,
-		OpLatency: true,
+		DS:               o.ds,
+		KeyRange:         o.keyRange,
+		Mix:              mix,
+		RangeSpan:        o.rangeSpan,
+		Dist:             o.dist,
+		Churn:            o.churn,
+		ReclaimThreshold: o.rthresh,
+		OpLatency:        true,
 	}, ps, metrics)
 	if err != nil {
 		return err

@@ -35,6 +35,7 @@ func main() {
 		policy   = flag.String("policy", "EpochPOP", "reclamation policy (see popbench -list for names)")
 		slots    = flag.Int("slots", 8, "admission slots: connections executing at once")
 		shards   = flag.Int("shards", 8, "store shard count (power of two)")
+		groups   = flag.Int("groups", 1, "reclamation domain members the shards split across (power of two, <= shards)")
 		backing  = flag.String("backing", "skl", "per-shard structure (skl, hmht, hml, abt, ll, dgt)")
 		window   = flag.Duration("window", 50*time.Microsecond, "get-coalescing window (negative disables the wait)")
 		maxBatch = flag.Int("maxbatch", 64, "coalesced batch cap")
@@ -53,6 +54,7 @@ func main() {
 		Addr:   *addr,
 		Policy: p,
 		Slots:  *slots,
+		Groups: *groups,
 		Store: store.Config{
 			Shards:      *shards,
 			Backing:     *backing,
@@ -87,8 +89,8 @@ func main() {
 		fmt.Println("popserve: smoke OK")
 		return
 	}
-	fmt.Printf("popserve: %v policy, %d slots, %d×%s shards, listening on %s\n",
-		p, *slots, *shards, *backing, s.Addr())
+	fmt.Printf("popserve: %v policy, %d slots, %d×%s shards over %d domain members, listening on %s\n",
+		p, *slots, *shards, *backing, s.Group().Members(), s.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -107,7 +109,7 @@ func shutdown(s *server.Server) error {
 	if err := s.Close(); err != nil {
 		return err
 	}
-	lc := s.Domain().Lifecycle()
+	lc := s.Group().Lifecycle()
 	adm := s.AdmissionWait()
 	fmt.Printf("popserve: served %d gets (%d hits), %d sets, %d deletes over %d connections\n",
 		st.CmdGet, st.GetHits, st.CmdSet, st.CmdDelete, st.Accepted)

@@ -82,28 +82,39 @@ func main() {
 		len(window), kv.Size(t), kv.Outstanding())
 
 	// ----- Layer 2: the string-key serving front --------------------
-	// Same domain, same policy, same reclamation counters — but string
-	// keys, byte values, batches and value-returning scans.
-	store, err := pop.NewStore(domain, &pop.StoreOptions{Shards: 4})
+	// Same policy, same reclamation counters — but string keys, byte
+	// values, batches and value-returning scans. The store rides a
+	// domain *group*: 2 member domains split the 4 shards, and a leased
+	// group handle only registers with a member once an op touches one
+	// of its shards — so reclamation pings fan out per member, not
+	// across every serving goroutine.
+	group := pop.NewDomainGroup(pop.EpochPOP, 2, workers, &pop.Options{
+		ReclaimThreshold: 1024,
+	})
+	store, err := pop.NewStore(group, &pop.StoreOptions{Shards: 4})
+	if err != nil {
+		panic(err)
+	}
+	h, err := store.Acquire()
 	if err != nil {
 		panic(err)
 	}
 	for i := 0; i < 1000; i++ {
 		key := fmt.Sprintf("user:%04d", i)
-		store.Put(t, key, []byte(fmt.Sprintf("profile-v0-of-%s", key)))
+		store.Put(h, key, []byte(fmt.Sprintf("profile-v0-of-%s", key)))
 	}
 	// Overwrite a hot subset: each hit retires a node AND a value slot.
 	for i := 0; i < 5000; i++ {
 		key := fmt.Sprintf("user:%04d", i%100)
-		store.Put(t, key, []byte(fmt.Sprintf("profile-v%d-of-%s", i, key)))
+		store.Put(h, key, []byte(fmt.Sprintf("profile-v%d-of-%s", i, key)))
 	}
-	if v, ok := store.Get(t, "user:0042", nil); ok {
+	if v, ok := store.Get(h, "user:0042", nil); ok {
 		fmt.Printf("store: user:0042 -> %q\n", v)
 	}
 	// Batched multi-get: one protected operation per shard per batch.
 	var batch pop.StoreBatch
 	reqs := []string{"user:0001", "user:0500", "user:9999", "user:0042"}
-	store.GetBatch(t, reqs, &batch)
+	store.GetBatch(h, reqs, &batch)
 	hits := 0
 	for i := range reqs {
 		if batch.OK[i] {
@@ -111,19 +122,32 @@ func main() {
 		}
 	}
 	fmt.Printf("store: batch of %d -> %d hits\n", len(reqs), hits)
+	// Batched multi-put: one protected operation and one arena publish
+	// sequence per shard group.
+	mput := []string{"user:0001", "user:0042", "user:2000"}
+	vals := [][]byte{[]byte("bulk-a"), []byte("bulk-b"), []byte("bulk-c")}
+	store.PutBatch(h, mput, vals, &batch)
+	fmt.Printf("store: mput of %d (replaced %v %v %v)\n",
+		len(mput), batch.OK[0], batch.OK[1], batch.OK[2])
 	// Value-returning scan over the hashed key space.
 	pairs := 0
-	store.Scan(t, -1<<62, 1<<62, func(int64, []byte) bool { pairs++; return true })
+	store.Scan(h, -1<<62, 1<<62, func(int64, []byte) bool { pairs++; return true })
 	fmt.Printf("store: scanned %d of %d pairs in the middle half of the hash space\n",
-		pairs, store.Size(t))
+		pairs, store.Size(h))
 
 	for _, th := range threads {
 		th.Flush()
 	}
+	h.Flush()
+	store.Release(h)
 	st := store.Stats()
 	stats := domain.Stats()
-	fmt.Printf("store: %d puts (%d overwrites -> value retirements), %d stale-read retries\n",
-		st.Puts, st.Overwrites, st.StaleReads)
-	fmt.Printf("domain: retired %d nodes+values, freed %d, pings %d\n",
+	gstats := group.Stats()
+	rs := group.ReclaimStats()
+	fmt.Printf("store: %d puts (%d overwrites -> value retirements), %d batched puts, %d stale-read retries\n",
+		st.Puts, st.Overwrites, st.PutBatches, st.StaleReads)
+	fmt.Printf("domain: retired %d nodes, freed %d, pings %d\n",
 		stats.Retires, stats.Frees, stats.PingsSent)
+	fmt.Printf("group:  retired %d nodes+values across %d members, freed %d, %.1f threads scanned per pass\n",
+		gstats.Retires, group.Members(), gstats.Frees, rs.ScannedPerPass)
 }

@@ -12,12 +12,14 @@
 // "warmer" iterates the whole cache with a value-returning scan.
 //
 // The pool scales while the cache stays loaded: traffic arrives in
-// three waves (2 → 6 → 2 workers), and every worker leases its thread
-// handle from the store's pool (Store.AcquireThread / ReleaseThread)
-// only for its wave — departing workers donate any unreclaimed retires
-// to the domain for adoption, and scale-up re-leases the same slots.
-// The final lifecycle line shows the turnover: more acquires than
-// slots, peak leases well under the total worker count.
+// three waves (2 → 6 → 2 workers), and every worker leases its group
+// handle from the store's domain group (Store.Acquire / Release) only
+// for its wave — departing workers donate any unreclaimed retires to
+// the member domains for adoption, and scale-up re-leases the same
+// slots. The cache's 8 shards split across 2 member domains, so a
+// reclamation pass pings only the workers that actually touched its
+// member's shards. The final lifecycle line shows the turnover: more
+// acquires than slots, peak leases well under the total worker count.
 //
 //	go run ./examples/webcache
 package main
@@ -44,14 +46,15 @@ func render(key string, version uint64) []byte {
 	return []byte(fmt.Sprintf("<html><!-- %s v%d -->%s</html>", key, version, key))
 }
 
-// serve answers one worker's worth of requests, leasing a thread
-// handle from the cache's pool for exactly this worker's lifetime.
+// serve answers one worker's worth of requests, leasing a group
+// handle from the cache's domain group for exactly this worker's
+// lifetime.
 func serve(cache *pop.Store, id int, hits, misses, invalidations *atomic.Uint64) {
-	t, err := cache.AcquireThread()
+	h, err := cache.Acquire()
 	if err != nil {
-		panic(err) // pool sized for the peak wave; cannot happen
+		panic(err) // group sized for the peak wave; cannot happen
 	}
-	defer cache.ReleaseThread(t)
+	defer cache.Release(h)
 
 	// Zipf-ish skew via repeated halving: rank r served with
 	// probability ~2^-r over buckets of the page space.
@@ -74,39 +77,39 @@ func serve(cache *pop.Store, id int, hits, misses, invalidations *atomic.Uint64)
 		switch next() % 16 {
 		case 0: // invalidation: overwrite a hot page (value retires)
 			k := pageKey(skewed() % 64)
-			cache.Put(t, k, render(k, uint64(i)))
+			cache.Put(h, k, render(k, uint64(i)))
 			invalidations.Add(1)
 		case 1: // composite page: batch-fetch its assets
 			for a := range keys {
 				keys[a] = pageKey(skewed() + uint64(a))
 			}
-			cache.GetBatch(t, keys, &batch)
+			cache.GetBatch(h, keys, &batch)
 			for a := range keys {
 				if batch.OK[a] {
 					hits.Add(1)
 				} else {
 					misses.Add(1)
-					cache.Put(t, keys[a], render(keys[a], 0))
+					cache.Put(h, keys[a], render(keys[a], 0))
 				}
 			}
 		default: // plain page hit
 			k := pageKey(skewed())
 			var ok bool
-			if buf, ok = cache.Get(t, k, buf); ok {
+			if buf, ok = cache.Get(h, k, buf); ok {
 				hits.Add(1)
 			} else {
 				misses.Add(1)
-				cache.Put(t, k, render(k, 0))
+				cache.Put(h, k, render(k, 0))
 			}
 		}
 	}
 }
 
 func main() {
-	domain := pop.NewDomain(pop.EpochPOP, maxWorkers+1, &pop.Options{
+	group := pop.NewDomainGroup(pop.EpochPOP, 2, maxWorkers+1, &pop.Options{
 		ReclaimThreshold: 2048,
 	})
-	cache, err := pop.NewStore(domain, &pop.StoreOptions{Shards: 8})
+	cache, err := pop.NewStore(group, &pop.StoreOptions{Shards: 8})
 	if err != nil {
 		panic(err)
 	}
@@ -116,7 +119,7 @@ func main() {
 	// Cache warmer: a long-lived thread running value-returning scans
 	// across the whole hashed key space while the pool resizes around
 	// it — its scan reservations must survive every lease turnover.
-	warmer, err := cache.AcquireThread()
+	warmer, err := cache.Acquire()
 	if err != nil {
 		panic(err)
 	}
@@ -127,7 +130,7 @@ func main() {
 		defer close(warmerDone)
 		defer func() {
 			warmer.Flush()
-			cache.ReleaseThread(warmer)
+			cache.Release(warmer)
 		}()
 		for round := 0; ; round++ {
 			// Let the serving side make progress between sweeps (and
@@ -161,7 +164,7 @@ func main() {
 			}(w)
 		}
 		wg.Wait()
-		lc := domain.Lifecycle()
+		lc := group.Lifecycle()
 		fmt.Printf("wave %d (%d workers): %d slots leased now, peak %d, %d releases so far\n",
 			wave+1, workers, lc.Leased, lc.Peak, lc.Releases)
 	}
@@ -170,15 +173,16 @@ func main() {
 
 	// Final drain from a fresh lease: adopts whatever departed workers
 	// donated.
-	collector, err := cache.AcquireThread()
+	collector, err := cache.Acquire()
 	if err != nil {
 		panic(err)
 	}
 	collector.Flush()
 
 	st := cache.Stats()
-	ds := domain.Stats()
-	lc := domain.Lifecycle()
+	ds := group.Stats()
+	rs := group.ReclaimStats()
+	lc := group.Lifecycle()
 	total := hits.Load() + misses.Load()
 	fmt.Printf("served %d lookups: %.1f%% hit rate (%d invalidation overwrites)\n",
 		total, 100*float64(hits.Load())/float64(total), invalidations.Load())
@@ -186,9 +190,9 @@ func main() {
 		cache.Size(collector), st.Batches, st.Scans, st.ScanPairs, warmed.Load(), st.StaleReads)
 	fmt.Printf("values: %d allocated, %d freed, %d live\n",
 		st.Values.Allocs, st.Values.Frees, st.Values.Outstanding)
-	fmt.Printf("reclamation: %d retires (nodes+values), %d frees, %d pings\n",
-		ds.Retires, ds.Frees, ds.PingsSent)
+	fmt.Printf("reclamation: %d retires (nodes+values), %d frees, %d pings (%.1f threads scanned per pass across %d members)\n",
+		ds.Retires, ds.Frees, ds.PingsSent, rs.ScannedPerPass, group.Members())
 	fmt.Printf("lifecycle: %d slots served %d leases (peak %d concurrent), %d orphan nodes donated, %d adopted\n",
 		lc.Slots, lc.Releases+uint64(lc.Leased), lc.Peak, lc.OrphansDonated, lc.OrphansAdopted)
-	cache.ReleaseThread(collector)
+	cache.Release(collector)
 }

@@ -10,9 +10,10 @@
 //     schedule that separates robust policies from epoch-style ones;
 //   - GCPressure: forced Go GC cycles plus allocation ballast, so
 //     reclamation races the runtime's own stop-the-world machinery;
-//   - thread churn: injectors that lease and release thread slots in a
-//     tight loop through the store's handle pool, driving the orphan
-//     donation/adoption paths of the slot lifecycle;
+//   - thread churn: injectors that lease and release group slots in a
+//     tight loop through the store's domain group, driving the orphan
+//     donation/adoption paths of the slot lifecycle in every member
+//     domain the departing tenant had touched;
 //   - HotspotFlip: a writer that concentrates overwrites on one
 //     shard's keys and flips shards on a timer, moving retirement
 //     pressure around the store.
@@ -142,9 +143,10 @@ type Runner struct {
 
 // Start launches the configured injectors against s. keys is the
 // key population injectors draw from (typically the harness's key
-// table). Stalled readers and the hotspot flipper lease their handles
-// from s.Handles() up front — size the domain with cfg.Slots() spare
-// slots — and churners cycle leases for the run's whole length.
+// table). Stalled readers and the hotspot flipper lease their group
+// handles from the store's domain group up front — size the group with
+// cfg.Slots() spare slots — and churners cycle leases for the run's
+// whole length.
 func Start(cfg Config, s *store.Store, keys []string) (*Runner, error) {
 	cfg = cfg.withDefaults()
 	if len(keys) == 0 && cfg.Enabled() {
@@ -161,42 +163,42 @@ func Start(cfg Config, s *store.Store, keys []string) (*Runner, error) {
 	// so capacity misconfiguration fails here — with all partial leases
 	// returned — rather than mid-run with goroutines already holding
 	// handles.
-	var held []*core.Thread
-	lease := func() (*core.Thread, error) {
-		th, err := s.AcquireThread()
+	var held []*core.GroupHandle
+	lease := func() (*core.GroupHandle, error) {
+		h, err := s.Acquire()
 		if err != nil {
-			for _, h := range held {
-				s.ReleaseThread(h)
+			for _, hh := range held {
+				s.Release(hh)
 			}
 			return nil, fmt.Errorf("chaos: injector lease: %w", err)
 		}
-		held = append(held, th)
-		return th, nil
+		held = append(held, h)
+		return h, nil
 	}
-	stallThs := make([]*core.Thread, cfg.Stalls)
-	for i := range stallThs {
-		th, err := lease()
+	stallHs := make([]*core.GroupHandle, cfg.Stalls)
+	for i := range stallHs {
+		h, err := lease()
 		if err != nil {
 			return nil, err
 		}
-		stallThs[i] = th
+		stallHs[i] = h
 	}
-	var hotTh *core.Thread
+	var hotH *core.GroupHandle
 	if cfg.Hotspot {
-		th, err := lease()
+		h, err := lease()
 		if err != nil {
 			return nil, err
 		}
-		hotTh = th
+		hotH = h
 	}
 
-	for i, th := range stallThs {
+	for i, h := range stallHs {
 		r.wg.Add(1)
-		go r.stalledReader(th, cfg.Seed+uint64(i)*0x9e3779b97f4a7c15)
+		go r.stalledReader(h, cfg.Seed+uint64(i)*0x9e3779b97f4a7c15)
 	}
-	if hotTh != nil {
+	if hotH != nil {
 		r.wg.Add(1)
-		go r.hotspotFlipper(hotTh, cfg.Seed^0xf11b)
+		go r.hotspotFlipper(hotH, cfg.Seed^0xf11b)
 	}
 	for i := 0; i < cfg.Churners; i++ {
 		r.wg.Add(1)
@@ -229,8 +231,11 @@ func (r *Runner) Stop() Stats {
 // stalledReader holds a protected operation for StallHold at a time,
 // polling throughout so ping-based policies (POP, NBR) get their
 // answers while the reservation pins memory — the §5.1.2 schedule as a
-// rolling background condition.
-func (r *Runner) stalledReader(th *core.Thread, seed uint64) {
+// rolling background condition. On a grouped store the stall pins the
+// member domain of the key it just read (the member whose shard the
+// key hashes to), so reclamation stalls stay member-local exactly as a
+// real long read would.
+func (r *Runner) stalledReader(h *core.GroupHandle, seed uint64) {
 	defer r.wg.Done()
 	rg := rng.New(seed)
 	var buf []byte
@@ -238,10 +243,12 @@ func (r *Runner) stalledReader(th *core.Thread, seed uint64) {
 		// A real read between stalls keeps the injector's reservation
 		// pattern honest.
 		idx := rg.Intn(int64(len(r.keys)))
-		if v, ok := r.s.Get(th, r.keys[idx], buf); ok {
+		key := r.keys[idx]
+		if v, ok := r.s.Get(h, key, buf); ok {
 			buf = v
 		}
 		r.ops.Add(1)
+		th := h.Member(r.s.MemberIndex(r.s.ShardIndex(key)))
 		th.StartOp()
 		deadline := time.Now().Add(r.cfg.StallHold)
 		for time.Now().Before(deadline) && !r.stop.Load() {
@@ -251,8 +258,8 @@ func (r *Runner) stalledReader(th *core.Thread, seed uint64) {
 		th.EndOp()
 		r.stalls.Add(1)
 	}
-	th.Flush()
-	r.s.ReleaseThread(th)
+	h.Flush()
+	r.s.Release(h)
 }
 
 // gcLoop forces a GC cycle every GCEvery with a rotating allocation
@@ -282,7 +289,7 @@ func (r *Runner) churner(seed uint64) {
 	var vbuf, gbuf []byte
 	tag := uint32(seed) | 0x40000000
 	for !r.stop.Load() {
-		th, err := r.s.Handles().AcquireWait(r.ctx)
+		h, err := r.s.AcquireWait(r.ctx)
 		if err != nil {
 			return // context cancelled by Stop
 		}
@@ -291,26 +298,26 @@ func (r *Runner) churner(seed uint64) {
 			idx := rg.Intn(int64(len(r.keys)))
 			switch p := rg.Pct(); {
 			case p < 50:
-				if v, ok := r.s.Get(th, r.keys[idx], gbuf); ok {
+				if v, ok := r.s.Get(h, r.keys[idx], gbuf); ok {
 					gbuf = v
 				}
 			case p < 90:
 				tag++
 				vbuf = workload.AppendValueBytes(vbuf[:0], r.hkeys[idx], tag, 32)
-				r.s.Put(th, r.keys[idx], vbuf)
+				r.s.Put(h, r.keys[idx], vbuf)
 			default:
-				r.s.Delete(th, r.keys[idx])
+				r.s.Delete(h, r.keys[idx])
 			}
 			r.ops.Add(1)
 		}
-		r.s.ReleaseThread(th)
+		r.s.Release(h)
 	}
 }
 
 // hotspotFlipper concentrates overwrites on one shard's keys, flipping
 // the target shard every FlipEvery — retirement pressure that moves
 // around the store instead of spreading evenly.
-func (r *Runner) hotspotFlipper(th *core.Thread, seed uint64) {
+func (r *Runner) hotspotFlipper(h *core.GroupHandle, seed uint64) {
 	defer r.wg.Done()
 	rg := rng.New(seed)
 	// Bucket the key population by shard once.
@@ -332,11 +339,11 @@ func (r *Runner) hotspotFlipper(th *core.Thread, seed uint64) {
 			idx := int(hot[rg.Intn(int64(len(hot)))])
 			tag++
 			vbuf = workload.AppendValueBytes(vbuf[:0], r.hkeys[idx], tag, 48)
-			r.s.Put(th, r.keys[idx], vbuf)
+			r.s.Put(h, r.keys[idx], vbuf)
 			r.ops.Add(1)
 		}
 		r.flips.Add(1)
 	}
-	th.Flush()
-	r.s.ReleaseThread(th)
+	h.Flush()
+	r.s.Release(h)
 }

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -12,11 +13,15 @@ import (
 	"pop/internal/workload"
 )
 
-// storm builds a store, runs verified workers alongside the full
-// injector bundle, and checks every invariant at the end.
-func storm(t *testing.T, p core.Policy) {
+// storm builds a store over a domain group with the given member
+// count, runs verified workers alongside the full injector bundle, and
+// checks every invariant at the end. members=1 is the ungrouped
+// degenerate case; members=shards is fully grouped (one reclamation
+// domain per shard).
+func storm(t *testing.T, p core.Policy, members int) {
 	const (
 		workers = 2
+		shards  = 4
 		nKeys   = 2048
 		runFor  = 80 * time.Millisecond
 	)
@@ -31,9 +36,9 @@ func storm(t *testing.T, p core.Policy) {
 		FlipEvery:  time.Millisecond,
 		Seed:       uint64(p) + 1,
 	}
-	// Workers + injectors + the post-run checker thread.
-	d := core.NewDomain(p, workers+cfg.Slots()+1, &core.Options{ReclaimThreshold: 128})
-	s, err := store.New(d, store.Config{Shards: 4, ExpectedKeysPerShard: nKeys/4 + 1})
+	// Workers + injectors + the post-run checker slot.
+	g := core.NewDomainGroup(p, members, workers+cfg.Slots()+1, &core.Options{ReclaimThreshold: 128})
+	s, err := store.New(g, store.Config{Shards: shards, ExpectedKeysPerShard: nKeys/shards + 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,16 +50,16 @@ func storm(t *testing.T, p core.Policy) {
 	}
 
 	// Prefill half the population with valid values.
-	seedTh, err := s.AcquireThread()
+	seedH, err := s.Acquire()
 	if err != nil {
 		t.Fatal(err)
 	}
 	var vbuf []byte
 	for i := 0; i < nKeys/2; i++ {
 		vbuf = workload.AppendValueBytes(vbuf[:0], hkTab[i], uint32(i)+1, 32)
-		s.Put(seedTh, keyTab[i], vbuf)
+		s.Put(seedH, keyTab[i], vbuf)
 	}
-	s.ReleaseThread(seedTh)
+	s.Release(seedH)
 
 	r, err := Start(cfg, s, keyTab)
 	if err != nil {
@@ -62,19 +67,23 @@ func storm(t *testing.T, p core.Policy) {
 	}
 
 	// Verified workers: every served value must pass its checksum even
-	// while the injectors stall, churn, flip and force GCs.
+	// while the injectors stall, churn, flip and force GCs. Workers hit
+	// keys across all shards, so on a grouped store each worker's handle
+	// leases into several members and its ops cross member boundaries —
+	// and the churn injector's release/re-lease cycles donate and adopt
+	// orphans across every member the departing tenant had touched.
 	var (
 		stop      atomic.Bool
 		valueErrs atomic.Uint64
 		wg        sync.WaitGroup
 	)
 	for w := 0; w < workers; w++ {
-		th, err := s.AcquireThread()
+		h, err := s.Acquire()
 		if err != nil {
 			t.Fatal(err)
 		}
 		wg.Add(1)
-		go func(id int, th *core.Thread) {
+		go func(id int, h *core.GroupHandle) {
 			defer wg.Done()
 			rg := rng.New(uint64(id)*0x9e3779b97f4a7c15 + uint64(p) + 3)
 			var gbuf, wbuf []byte
@@ -82,7 +91,7 @@ func storm(t *testing.T, p core.Policy) {
 			for !stop.Load() {
 				idx := rg.Intn(nKeys)
 				if rg.Pct() < 60 {
-					if v, ok := s.Get(th, keyTab[idx], gbuf); ok {
+					if v, ok := s.Get(h, keyTab[idx], gbuf); ok {
 						gbuf = v
 						if !workload.ValueBytesValid(hkTab[idx], v) {
 							valueErrs.Add(1)
@@ -91,12 +100,12 @@ func storm(t *testing.T, p core.Policy) {
 				} else {
 					tag++
 					wbuf = workload.AppendValueBytes(wbuf[:0], hkTab[idx], tag, 48)
-					s.Put(th, keyTab[idx], wbuf)
+					s.Put(h, keyTab[idx], wbuf)
 				}
 			}
-			th.Flush()
-			s.ReleaseThread(th)
-		}(w, th)
+			h.Flush()
+			s.Release(h)
+		}(w, h)
 	}
 
 	time.Sleep(runFor)
@@ -123,35 +132,54 @@ func storm(t *testing.T, p core.Policy) {
 	}
 
 	iv := Invariants{Policy: p}
-	checker, err := s.AcquireThread()
+	checker, err := s.Acquire()
 	if err != nil {
 		t.Fatal(err)
 	}
 	var vs []Violation
 	vs = append(vs, iv.CheckValueErrors(valueErrs.Load())...)
 	vs = append(vs, iv.CheckValues(checker, s, keyTab)...)
-	// Flush until quiescent (the first pass adopts donated orphans).
+	// Drain until quiescent (the first pass adopts donated orphans in
+	// every member, including members the checker's walk never leased).
 	for i := 0; i < 3; i++ {
-		checker.Flush()
-		if d.Unreclaimed() == 0 {
+		checker.Drain()
+		if g.Unreclaimed() == 0 {
 			break
 		}
 	}
-	vs = append(vs, iv.CheckDrained(d)...)
-	vs = append(vs, iv.CheckCounters(d.Stats())...)
-	vs = append(vs, iv.CheckLifecycle(d.Lifecycle(), 1)...) // checker still leased
+	vs = append(vs, iv.CheckDrained(g)...)
+	vs = append(vs, iv.CheckCounters(g.Stats())...)
+	// Drain leased the checker into every member, so the aggregated
+	// leased count is one thread per member.
+	vs = append(vs, iv.CheckLifecycle(g.Lifecycle(), g.Members())...)
 	for _, v := range vs {
 		t.Errorf("invariant violated: %s", v)
 	}
-	s.ReleaseThread(checker)
+	s.Release(checker)
 }
 
-// TestChaosStorm runs the full injector bundle against every policy —
-// the CI -race chaos suite.
+// TestChaosStorm runs the full injector bundle against every policy on
+// a grouped store (4 shards over 2 member domains) — the CI -race
+// chaos suite for domain groups.
 func TestChaosStorm(t *testing.T) {
 	for _, p := range core.Policies() {
 		p := p
-		t.Run(p.String(), func(t *testing.T) { storm(t, p) })
+		t.Run(p.String(), func(t *testing.T) { storm(t, p, 2) })
+	}
+}
+
+// TestChaosStormGroupFactors sweeps the grouping factor — ungrouped,
+// and fully grouped (one member per shard) — under the POP policies the
+// fan-out argument targets, so cross-group release/re-lease is
+// exercised at both extremes.
+func TestChaosStormGroupFactors(t *testing.T) {
+	for _, p := range []core.Policy{core.EpochPOP, core.HazardPtrPOP} {
+		for _, members := range []int{1, 4} {
+			p, members := p, members
+			t.Run(fmt.Sprintf("%v/members=%d", p, members), func(t *testing.T) {
+				storm(t, p, members)
+			})
+		}
 	}
 }
 
@@ -171,11 +199,11 @@ func TestConfigSlotsAndEnabled(t *testing.T) {
 	}
 }
 
-// TestStartFailsWithoutCapacity: a domain too small for the injectors
+// TestStartFailsWithoutCapacity: a group too small for the injectors
 // must fail Start cleanly, releasing any partially leased handles.
 func TestStartFailsWithoutCapacity(t *testing.T) {
-	d := core.NewDomain(core.EBR, 1, nil)
-	s, err := store.New(d, store.Config{Shards: 2})
+	g := core.NewDomainGroup(core.EBR, 1, 1, nil)
+	s, err := store.New(g, store.Config{Shards: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,9 +212,9 @@ func TestStartFailsWithoutCapacity(t *testing.T) {
 		t.Fatal("Start succeeded with 1 slot for 2 injectors")
 	}
 	// The partial lease must have been returned.
-	th, err := s.AcquireThread()
+	h, err := s.Acquire()
 	if err != nil {
 		t.Fatalf("slot not returned after failed Start: %v", err)
 	}
-	s.ReleaseThread(th)
+	s.Release(h)
 }

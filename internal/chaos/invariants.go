@@ -37,13 +37,13 @@ func violate(vs []Violation, invariant, format string, args ...any) []Violation 
 // CheckValues walks keys through the store and verifies every present
 // value against its key's checksum ("value-checksum"): a stale, torn
 // or cross-key value — the value-plane symptom of a use-after-free —
-// fails. The walk runs on th as an ordinary reader.
-func (iv Invariants) CheckValues(th *core.Thread, s *store.Store, keys []string) []Violation {
+// fails. The walk runs on h as an ordinary reader.
+func (iv Invariants) CheckValues(h *core.GroupHandle, s *store.Store, keys []string) []Violation {
 	var vs []Violation
 	var buf []byte
 	bad := 0
 	for _, k := range keys {
-		v, ok := s.Get(th, k, buf)
+		v, ok := s.Get(h, k, buf)
 		if !ok {
 			continue
 		}
@@ -81,8 +81,9 @@ func (iv Invariants) CheckLeaked(unreclaimed int64) []Violation {
 	return violate(nil, "drain", "%d nodes retired but unreclaimed after quiescent flush (want 0)", unreclaimed)
 }
 
-// CheckDrained is CheckLeaked against the domain's live counter.
-func (iv Invariants) CheckDrained(d *core.Domain) []Violation {
+// CheckDrained is CheckLeaked against a live counter — a *core.Domain
+// or a *core.DomainGroup (which sums its members).
+func (iv Invariants) CheckDrained(d interface{ Unreclaimed() int64 }) []Violation {
 	return iv.CheckLeaked(d.Unreclaimed())
 }
 

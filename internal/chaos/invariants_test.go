@@ -27,30 +27,30 @@ func hasInvariant(vs []Violation, name string) bool {
 // TestSeededChecksumCorruption: a deliberately garbage value must trip
 // "value-checksum"; the uncorrupted store must not.
 func TestSeededChecksumCorruption(t *testing.T) {
-	d := core.NewDomain(core.EBR, 2, nil)
-	s, err := store.New(d, store.Config{Shards: 2})
+	g := core.NewDomainGroup(core.EBR, 2, 2, nil)
+	s, err := store.New(g, store.Config{Shards: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	th, err := s.AcquireThread()
+	h, err := s.Acquire()
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer s.ReleaseThread(th)
+	defer s.Release(h)
 	keys := make([]string, 64)
 	var vbuf []byte
 	for i := range keys {
 		keys[i] = workload.KeyString(int64(i))
 		vbuf = workload.AppendValueBytes(vbuf[:0], store.KeyHash(keys[i]), uint32(i)+1, 24)
-		s.Put(th, keys[i], vbuf)
+		s.Put(h, keys[i], vbuf)
 	}
 	iv := Invariants{Policy: core.EBR}
-	if vs := iv.CheckValues(th, s, keys); len(vs) != 0 {
+	if vs := iv.CheckValues(h, s, keys); len(vs) != 0 {
 		t.Fatalf("control: clean store reported %v", vs)
 	}
 	// Seed the fault: a payload AppendValueBytes never produced.
-	s.Put(th, keys[17], []byte("garbage value, no checksum!!"))
-	vs := iv.CheckValues(th, s, keys)
+	s.Put(h, keys[17], []byte("garbage value, no checksum!!"))
+	vs := iv.CheckValues(h, s, keys)
 	if !hasInvariant(vs, "value-checksum") {
 		t.Fatalf("corrupted value not detected: %v", vs)
 	}

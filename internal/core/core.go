@@ -483,6 +483,7 @@ func (d *Domain) Stats() Stats {
 		agg.EpochReclaims += s.EpochReclaims
 		agg.POPReclaims += s.POPReclaims
 		agg.PingsSent += s.PingsSent
+		agg.ThreadsScanned += s.ThreadsScanned
 		agg.Publishes += s.Publishes
 		agg.Restarts += s.Restarts
 		if s.MaxRetire > agg.MaxRetire {
@@ -501,9 +502,45 @@ type Stats struct {
 	EpochReclaims uint64 // EpochPOP: passes served by the EBR mode
 	POPReclaims   uint64 // EpochPOP: passes that escalated to publish-on-ping
 	PingsSent     uint64 // ping words set by this thread's reclamation passes
-	Publishes     uint64 // publish-handler executions on this thread
-	Restarts      uint64 // NBR: neutralization-induced operation restarts
-	MaxRetire     int    // maximum retire-list length observed
+	// ThreadsScanned counts thread slots examined by reclaim-time scans
+	// (ping sweeps, reservation gathers, epoch minima): each full
+	// iteration of the domain's thread list adds its length. Divided by
+	// Reclaims it is the per-pass fan-out — the quantity domain groups
+	// shrink from O(total threads) to O(readers-of-member).
+	ThreadsScanned uint64
+	Publishes      uint64 // publish-handler executions on this thread
+	Restarts       uint64 // NBR: neutralization-induced operation restarts
+	MaxRetire      int    // maximum retire-list length observed
+}
+
+// ReclaimStats is the reclaimer fan-out view of Stats: how many passes
+// ran, how many pings they sent, and how many thread slots they
+// examined, with per-pass averages precomputed for reporting. A pass
+// may scan the thread list more than once (a POP pass pings, then
+// gathers), so ScannedPerPass is a small multiple of the thread count
+// in an ungrouped domain — the point of comparison for grouped runs.
+type ReclaimStats struct {
+	Passes  uint64 // reclamation passes (= Stats.Reclaims)
+	Pings   uint64 // ping words set (= Stats.PingsSent)
+	Scanned uint64 // thread slots examined (= Stats.ThreadsScanned)
+
+	PingsPerPass   float64 // Pings / Passes (0 when no pass ran)
+	ScannedPerPass float64 // Scanned / Passes (0 when no pass ran)
+}
+
+func (r *ReclaimStats) fillAverages() {
+	if r.Passes > 0 {
+		r.PingsPerPass = float64(r.Pings) / float64(r.Passes)
+		r.ScannedPerPass = float64(r.Scanned) / float64(r.Passes)
+	}
+}
+
+// ReclaimStats snapshots the domain's ping/scan fan-out counters.
+func (d *Domain) ReclaimStats() ReclaimStats {
+	s := d.Stats()
+	r := ReclaimStats{Passes: s.Reclaims, Pings: s.PingsSent, Scanned: s.ThreadsScanned}
+	r.fillAverages()
+	return r
 }
 
 // Mask clears the tag bits of a (possibly marked) node pointer. Data

@@ -97,6 +97,7 @@ func (a *crystAlgo) reclaim(t *Thread) {
 	t.stats.Reclaims++
 	t.adoptOrphans()
 	ts := t.d.threadList()
+	t.stats.ThreadsScanned += uint64(len(ts))
 	los := grow(t.scCounts, len(ts))
 	his := grow(t.scSeqs, len(ts))
 	for i, o := range ts {

@@ -1,0 +1,321 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"pop/internal/core"
+)
+
+// TestGroupFacadeSemantics pins the lease facade: slot identity, LIFO
+// reuse, incarnation counting, and the usage counters.
+func TestGroupFacadeSemantics(t *testing.T) {
+	g := core.NewDomainGroup(core.EBR, 2, 3, nil)
+	if g.Members() != 2 || g.Cap() != 3 || g.Policy() != core.EBR {
+		t.Fatalf("group shape: members=%d cap=%d policy=%v", g.Members(), g.Cap(), g.Policy())
+	}
+	h1, err := g.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := g.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h3, err := g.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Acquire(); !errors.Is(err, core.ErrNoSlots) {
+		t.Fatalf("4th acquire on a 3-slot group: %v, want ErrNoSlots", err)
+	}
+	if g.InUse() != 3 || g.Peak() != 3 {
+		t.Fatalf("InUse=%d Peak=%d, want 3/3", g.InUse(), g.Peak())
+	}
+	slots := map[int]bool{h1.Slot(): true, h2.Slot(): true, h3.Slot(): true}
+	if len(slots) != 3 {
+		t.Fatalf("slots not distinct: %d %d %d", h1.Slot(), h2.Slot(), h3.Slot())
+	}
+	// LIFO reuse: the most recently released slot is handed out next,
+	// with a bumped incarnation.
+	slot, inc := h2.Slot(), h2.Incarnation()
+	g.Release(h2)
+	h2b, err := g.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2b.Slot() != slot {
+		t.Fatalf("re-lease got slot %d, want the just-freed %d", h2b.Slot(), slot)
+	}
+	if h2b.Incarnation() != inc+1 {
+		t.Fatalf("incarnation = %d, want %d", h2b.Incarnation(), inc+1)
+	}
+	g.Release(h1)
+	g.Release(h2b)
+	g.Release(h3)
+	if g.InUse() != 0 {
+		t.Fatalf("InUse=%d after releasing everything", g.InUse())
+	}
+	if g.Acquires() != 4 || g.Releases() != 4 {
+		t.Fatalf("acquires=%d releases=%d, want 4/4", g.Acquires(), g.Releases())
+	}
+	// Do wraps an acquire/release pair.
+	if err := g.Do(func(h *core.GroupHandle) error {
+		_ = h.Member(0)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if g.InUse() != 0 {
+		t.Fatalf("Do leaked a slot: InUse=%d", g.InUse())
+	}
+}
+
+// TestGroupLazyMemberLease pins the fan-out mechanism itself: a handle
+// appears in a member's thread list only after first touching that
+// member, and release returns every member thread it did lease.
+func TestGroupLazyMemberLease(t *testing.T) {
+	g := core.NewDomainGroup(core.EpochPOP, 4, 8, nil)
+	h, err := g.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if h.MemberLeased(i) != nil {
+			t.Fatalf("member %d leased before use", i)
+		}
+		if got := g.Member(i).Lifecycle().Leased; got != 0 {
+			t.Fatalf("member %d shows %d leases before use", i, got)
+		}
+	}
+	th := h.Member(2)
+	if th == nil || h.MemberLeased(2) != th {
+		t.Fatal("Member(2) did not lease and cache a thread")
+	}
+	if h.Member(2) != th {
+		t.Fatal("second Member(2) re-leased instead of reusing")
+	}
+	for i := 0; i < 4; i++ {
+		want := 0
+		if i == 2 {
+			want = 1
+		}
+		if got := g.Member(i).Lifecycle().Leased; got != want {
+			t.Fatalf("member %d leased=%d, want %d", i, got, want)
+		}
+	}
+	g.Release(h)
+	if got := g.Member(2).Lifecycle().Leased; got != 0 {
+		t.Fatalf("member 2 still shows %d leases after group release", got)
+	}
+}
+
+// TestGroupFanoutReduction is the tentpole's measurable claim at the
+// core layer: with T handles spread evenly over M members, a member
+// reclaimer's per-pass thread scan covers T/M slots, not T. Runs the
+// same retire/flush schedule against an ungrouped and a 4-member group
+// and asserts the per-pass fan-out shrank by at least the group factor
+// (with slack for the final-flush passes).
+func TestGroupFanoutReduction(t *testing.T) {
+	const (
+		handles = 8
+		members = 4
+		retires = 2048
+	)
+	run := func(m int) core.ReclaimStats {
+		g := core.NewDomainGroup(core.EBR, m, handles, &core.Options{ReclaimThreshold: 64})
+		typs := make([]uint8, m)
+		for i := 0; i < m; i++ {
+			typs[i] = g.Member(i).RegisterType(func(*core.Thread, *core.Header) {})
+		}
+		// Register every handle's member thread up front so scan fan-out
+		// reflects the full registered population even if the goroutines
+		// end up serialized by the scheduler (released slots are LIFO-
+		// reused, so sequential lease/release would keep the list at 1).
+		hs := make([]*core.GroupHandle, handles)
+		for i := range hs {
+			h, err := g.Acquire()
+			if err != nil {
+				t.Fatal(err)
+			}
+			h.Member(i % m)
+			hs[i] = h
+		}
+		var wg sync.WaitGroup
+		for i, h := range hs {
+			wg.Add(1)
+			go func(i int, h *core.GroupHandle) {
+				defer wg.Done()
+				mi := i % m
+				th := h.Member(mi)
+				for n := 0; n < retires; n++ {
+					th.StartOp()
+					hd := new(core.Header)
+					th.OnAlloc(hd, typs[mi])
+					th.Retire(hd)
+					th.EndOp()
+				}
+				th.Flush()
+			}(i, h)
+		}
+		wg.Wait()
+		for _, h := range hs {
+			g.Release(h)
+		}
+		return g.ReclaimStats()
+	}
+	flat := run(1)
+	grouped := run(members)
+	if flat.Passes == 0 || grouped.Passes == 0 {
+		t.Fatalf("no reclamation passes ran: flat=%+v grouped=%+v", flat, grouped)
+	}
+	// Every handle is registered in the flat domain, so a pass there
+	// scans ~handles slots; in the grouped run each member holds only
+	// handles/members threads.
+	factor := flat.ScannedPerPass / grouped.ScannedPerPass
+	if factor < float64(members)*0.75 {
+		t.Fatalf("fan-out reduction %.2fx < group factor %d (flat %.1f/pass, grouped %.1f/pass)",
+			factor, members, flat.ScannedPerPass, grouped.ScannedPerPass)
+	}
+}
+
+// TestGroupAcquireWait covers the blocking admission path: a saturated
+// group queues waiters FIFO, a release admits the head, and context
+// cancellation dequeues cleanly.
+func TestGroupAcquireWait(t *testing.T) {
+	g := core.NewDomainGroup(core.HP, 1, 1, nil)
+	h, err := g.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	admitted := make(chan *core.GroupHandle)
+	go func() {
+		h2, err := g.AcquireWait(context.Background())
+		if err != nil {
+			t.Error(err)
+		}
+		admitted <- h2
+	}()
+	// The waiter must be queued, not admitted, while h is held.
+	deadline := time.After(time.Second)
+	for g.Waiting() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("AcquireWait never queued")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	select {
+	case <-admitted:
+		t.Fatal("waiter admitted while the only slot was held")
+	default:
+	}
+	g.Release(h)
+	h2 := <-admitted
+	if h2 == nil {
+		t.Fatal("woken waiter got nil handle")
+	}
+	if g.Waits() == 0 {
+		t.Fatal("Waits counter did not record the queued acquire")
+	}
+
+	// Cancellation: a second waiter gives up when its context expires.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := g.AcquireWait(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cancelled AcquireWait: %v, want DeadlineExceeded", err)
+	}
+	if g.Waiting() != 0 {
+		t.Fatalf("cancelled waiter still queued (%d)", g.Waiting())
+	}
+	g.Release(h2)
+}
+
+// TestGroupDrainAdoptsForeignOrphans: Drain must adopt orphans donated
+// to members the draining handle never touched — the end-of-run
+// guarantee harnesses rely on.
+func TestGroupDrainAdoptsForeignOrphans(t *testing.T) {
+	g := core.NewDomainGroup(core.EBR, 2, 2, &core.Options{ReclaimThreshold: 1 << 20})
+	typ0 := g.Member(0).RegisterType(func(*core.Thread, *core.Header) {})
+
+	// A departing tenant retires into member 0 only, then releases —
+	// donating to member 0's orphanage.
+	h, err := g.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := h.Member(0)
+	th.StartOp()
+	for i := 0; i < 16; i++ {
+		hd := new(core.Header)
+		th.OnAlloc(hd, typ0)
+		th.Retire(hd)
+	}
+	th.EndOp()
+	g.Release(h)
+	if g.Unreclaimed() == 0 {
+		t.Fatal("release donated nothing to the orphanage")
+	}
+
+	// A successor that has only ever touched member 1 must still drain
+	// member 0's orphans.
+	h2, err := g.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = h2.Member(1)
+	h2.Flush() // lazy flush: member 0 untouched, orphans must survive
+	if g.Unreclaimed() == 0 {
+		t.Fatal("Flush adopted orphans from an unleased member (laziness broken)")
+	}
+	h2.Drain()
+	if u := g.Unreclaimed(); u != 0 {
+		t.Fatalf("%d unreclaimed after Drain", u)
+	}
+	if lc := g.Lifecycle(); lc.OrphanNodes != 0 || lc.OrphansAdopted != lc.OrphansDonated {
+		t.Fatalf("orphan ledger unbalanced after Drain: %+v", lc)
+	}
+	g.Release(h2)
+}
+
+// TestGroupDoubleReleasePanics: releasing a handle twice is a caller
+// bug and must fail loudly.
+func TestGroupDoubleReleasePanics(t *testing.T) {
+	g := core.NewDomainGroup(core.EBR, 1, 1, nil)
+	h, err := g.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Release(h)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	g.Release(h)
+}
+
+// TestGroupConstructionPanics: invalid shapes fail at construction.
+func TestGroupConstructionPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name           string
+		members, slots int
+	}{
+		{"zero members", 0, 4},
+		{"non-power-of-two members", 3, 4},
+		{"zero slots", 2, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewDomainGroup(%d members, %d slots) did not panic", tc.members, tc.slots)
+				}
+			}()
+			core.NewDomainGroup(core.EBR, tc.members, tc.slots, nil)
+		})
+	}
+}

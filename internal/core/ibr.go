@@ -60,6 +60,7 @@ func (a *ibrAlgo) reclaim(t *Thread) {
 	t.stats.Reclaims++
 	t.adoptOrphans()
 	ts := t.d.threadList()
+	t.stats.ThreadsScanned += uint64(len(ts))
 	// Gather reserved intervals.
 	los := grow(t.scCounts, len(ts))
 	his := grow(t.scSeqs, len(ts))

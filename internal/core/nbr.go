@@ -130,6 +130,7 @@ func (a *nbrAlgo) reclaim(t *Thread) {
 	t.stats.Reclaims++
 	t.adoptOrphans()
 	ts := t.d.threadList()
+	t.stats.ThreadsScanned += uint64(len(ts))
 	counts := grow(t.scCounts, len(ts))
 	for i, o := range ts {
 		if o == t {

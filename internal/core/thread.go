@@ -385,6 +385,7 @@ func (t *Thread) pingAllAndWait(selfPublish func(*Thread)) []bool {
 	t.scSeqs = grow(t.scSeqs, n)
 	t.scSkip = growBool(t.scSkip, n)
 	counts, seqs, skip := t.scCounts, t.scSeqs, t.scSkip
+	t.stats.ThreadsScanned += uint64(n)
 
 	// Collect counters and operation states.
 	for i, o := range ts {
@@ -444,6 +445,7 @@ func (t *Thread) collectPtrSet(skip []bool) map[unsafe.Pointer]struct{} {
 	set := t.scPtrs
 	clear(set)
 	ts := t.d.threadList()
+	t.stats.ThreadsScanned += uint64(len(ts))
 	for i, o := range ts {
 		if skip != nil {
 			if o == t {
@@ -478,6 +480,7 @@ func (t *Thread) collectPtrSet(skip []bool) map[unsafe.Pointer]struct{} {
 func (t *Thread) collectEraList(skip []bool) []uint64 {
 	eras := t.scEras[:0]
 	ts := t.d.threadList()
+	t.stats.ThreadsScanned += uint64(len(ts))
 	for i, o := range ts {
 		if skip != nil {
 			if o == t {
@@ -578,7 +581,9 @@ func (t *Thread) freeBeforeEpoch(min uint64) int {
 // quiescent) and returns the minimum.
 func (t *Thread) minAnnouncedEpoch() uint64 {
 	min := uint64(eraMax)
-	for _, o := range t.d.threadList() {
+	ts := t.d.threadList()
+	t.stats.ThreadsScanned += uint64(len(ts))
+	for _, o := range ts {
 		if e := o.resEpoch.Load(); e < min {
 			min = e
 		}

@@ -154,3 +154,17 @@ type BatchGetter interface {
 	// and present[i]. The three slices must have equal length.
 	GetBatch(t *core.Thread, keys []int64, vals []uint64, present []bool)
 }
+
+// BatchPutter is the write-side analogue of BatchGetter: one protected
+// operation upserts every key in the batch, amortizing the entry/exit
+// protocol — and, on the replace-node structures, the per-operation
+// retire bookkeeping — across the group. Callers that sort keys
+// ascending get warm descent paths on tree-shaped structures, exactly
+// as with GetBatch. The store layer's PutBatch groups keys per shard
+// and issues one call per shard.
+type BatchPutter interface {
+	// PutBatch upserts every keys[i] to vals[i], recording the value it
+	// replaced in old[i] and whether the key was present in replaced[i].
+	// The four slices must have equal length.
+	PutBatch(t *core.Thread, keys []int64, vals []uint64, old []uint64, replaced []bool)
+}

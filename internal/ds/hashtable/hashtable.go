@@ -95,6 +95,18 @@ func (t *Table) GetBatch(th *core.Thread, keys []int64, vals []uint64, present [
 	}
 }
 
+// PutBatch upserts every keys[i] inside one protected operation (the
+// ds.BatchPutter contract). The same short-chain argument as GetBatch
+// applies, and more strongly: an upsert pays entry/exit plus the
+// write-phase bracket per operation, so batching folds both into one.
+func (t *Table) PutBatch(th *core.Thread, keys []int64, vals []uint64, old []uint64, replaced []bool) {
+	th.StartOp()
+	defer th.EndOp()
+	for i, key := range keys {
+		old[i], replaced[i] = t.bucket(key).PutInOp(th, key, vals[i])
+	}
+}
+
 // Contains reports whether key is present.
 func (t *Table) Contains(th *core.Thread, key int64) bool {
 	return t.bucket(key).Contains(th, key)

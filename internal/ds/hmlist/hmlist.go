@@ -258,14 +258,41 @@ func (l *List) Put(t *core.Thread, key int64, val uint64) (uint64, bool) {
 	return old, replaced
 }
 
+// PutInOp is Put's body without the StartOp/EndOp bracket: the caller
+// must already be inside an operation on t. It exists for batch
+// wrappers (PutBatch here, the hash table's cross-bucket batch) that
+// amortize one protected entry/exit over many upserts.
+func (l *List) PutInOp(t *core.Thread, key int64, val uint64) (uint64, bool) {
+	_, old, replaced := l.putInOp(t, key, val, true)
+	return old, replaced
+}
+
+// PutBatch upserts every keys[i] inside one protected operation,
+// recording the replaced values in old[i]/replaced[i] (the
+// ds.BatchPutter contract).
+func (l *List) PutBatch(t *core.Thread, keys []int64, vals []uint64, old []uint64, replaced []bool) {
+	t.StartOp()
+	defer t.EndOp()
+	for i, key := range keys {
+		old[i], replaced[i] = l.PutInOp(t, key, vals[i])
+	}
+}
+
 // put is the shared insert/overwrite path. With overwrite=false it
 // reports whether it inserted; with overwrite=true it always installs
 // val and reports the value it replaced, using replace-node-and-retire
 // on a present key (see the package comment).
 func (l *List) put(t *core.Thread, key int64, val uint64, overwrite bool) (inserted bool, old uint64, replaced bool) {
-	checkKey(key)
 	t.StartOp()
 	defer t.EndOp()
+	return l.putInOp(t, key, val, overwrite)
+}
+
+// putInOp is put inside an already-open operation. An NBR
+// neutralization restarts the find loop within the operation, matching
+// GetInOp's discipline.
+func (l *List) putInOp(t *core.Thread, key int64, val uint64, overwrite bool) (inserted bool, old uint64, replaced bool) {
+	checkKey(key)
 	cache := l.s.cacheFor(t)
 	var n *node
 	for {

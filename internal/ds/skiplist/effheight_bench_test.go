@@ -1,0 +1,73 @@
+package skiplist
+
+import (
+	"testing"
+
+	"pop/internal/core"
+)
+
+// Effective-height microbenchmarks: the single-op descents (Get, Put)
+// start at the probed highest live level instead of MaxHeight-1, so a
+// small store pays ~log2(keys) link hops per descent instead of a fixed
+// 20. The *FullHeight variants drive the same in-op bodies pinned to the
+// pre-change start level — the before/after pair for the probe's win.
+// At 1K keys the effective top is ~10 levels, so roughly half of every
+// pre-change descent was hops along empty head→tail levels.
+
+const effKeys = 1 << 10
+
+func prefill(b *testing.B) (*core.Domain, *List, *core.Thread) {
+	b.Helper()
+	d := core.NewDomain(core.EBR, 1, nil)
+	l := New(d)
+	th := d.RegisterThread()
+	for k := int64(0); k < effKeys; k++ {
+		l.PutIfAbsent(th, k, uint64(k))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	return d, l, th
+}
+
+func BenchmarkGetEffectiveHeight(b *testing.B) {
+	_, l, th := prefill(b)
+	for i := 0; i < b.N; i++ {
+		if _, ok := l.Get(th, int64(i)%effKeys); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+// BenchmarkGetFullHeight is the pre-change Get: same protected descent,
+// start level pinned to MaxHeight-1.
+func BenchmarkGetFullHeight(b *testing.B) {
+	_, l, th := prefill(b)
+	for i := 0; i < b.N; i++ {
+		key := int64(i) % effKeys
+		th.StartOp()
+		pos, ok := l.descendFrom(th, key, 0, MaxHeight-1, nil)
+		if !ok || pos.curr == l.tail || pos.curr.key != key {
+			th.EndOp()
+			b.Fatal("miss")
+		}
+		th.EndOp()
+	}
+}
+
+func BenchmarkPutEffectiveHeight(b *testing.B) {
+	_, l, th := prefill(b)
+	for i := 0; i < b.N; i++ {
+		l.Put(th, int64(i)%effKeys, uint64(i))
+	}
+}
+
+// BenchmarkPutFullHeight is the pre-change Put: the shared upsert body
+// with its find descents pinned to MaxHeight-1.
+func BenchmarkPutFullHeight(b *testing.B) {
+	_, l, th := prefill(b)
+	for i := 0; i < b.N; i++ {
+		th.StartOp()
+		l.putInOp(th, int64(i)%effKeys, uint64(i), true, MaxHeight-1)
+		th.EndOp()
+	}
+}

@@ -358,15 +358,34 @@ func (l *List) Contains(t *core.Thread, key int64) bool {
 	return ok
 }
 
+// effectiveTop probes the highest level with any live tower: the level
+// single and batched descents start from instead of MaxHeight-1, so a
+// store holding 2^h keys pays ~h link hops per descent, not MaxHeight.
+// Starting below MaxHeight-1 is always safe (upper levels are only
+// shortcuts; a tower raised above the probe after it ran is still found
+// through the levels below), which is why the probe needs no protection
+// — the head sentinel is never retired. Purge descents must NOT use it:
+// their contract is proving a node unlinked from every level.
+func (l *List) effectiveTop() int {
+	top := MaxHeight - 1
+	for top > 0 && l.head.link(top).Load() == unsafe.Pointer(l.tail) {
+		top--
+	}
+	return top
+}
+
 // Get returns the value mapped to key. Values are immutable per node,
 // so a plain read of the protected node is the value it was published
-// with.
+// with. The descent starts at the probed effective height (see
+// effectiveTop) — the batch path's amortization applied to the single
+// lookup, where the empty top levels were pure overhead per call.
 func (l *List) Get(t *core.Thread, key int64) (uint64, bool) {
 	checkKey(key)
 	t.StartOp()
 	defer t.EndOp()
+	top := l.effectiveTop()
 	for {
-		pos, ok := l.descend(t, key, 0, nil)
+		pos, ok := l.descendFrom(t, key, 0, top, nil)
 		if !ok {
 			continue // neutralized: restart
 		}
@@ -403,11 +422,39 @@ func (l *List) put(t *core.Thread, key int64, val uint64, overwrite bool) (inser
 	checkKey(key)
 	t.StartOp()
 	defer t.EndOp()
+	// Find descents start at the probed effective height (safe at any
+	// start level; see effectiveTop). The purge and ensureUnlinked
+	// descents inside keep the full height — their unlink proof needs it.
+	return l.putInOp(t, key, val, overwrite, l.effectiveTop())
+}
+
+// PutBatch upserts every keys[i] inside one protected operation,
+// recording replaced values in old[i]/replaced[i] (the ds.BatchPutter
+// contract). The batch amortizes the entry/exit protocol and one
+// effective-height probe across the group, exactly like GetBatch; each
+// upsert is an ordinary validated put body, so under NBR a
+// neutralization retries only the key it interrupted.
+func (l *List) PutBatch(t *core.Thread, keys []int64, vals []uint64, old []uint64, replaced []bool) {
+	t.StartOp()
+	defer t.EndOp()
+	top := l.effectiveTop()
+	for i, key := range keys {
+		checkKey(key)
+		_, old[i], replaced[i] = l.putInOp(t, key, vals[i], true, top)
+	}
+}
+
+// putInOp is put's body inside an already-open operation, descending
+// from start level top. The anchor reservation it takes in slotAnchor
+// is held only while this upsert still touches its node — a following
+// batch entry may re-use the slot, by which point the previous node is
+// published and no longer touched.
+func (l *List) putInOp(t *core.Thread, key int64, val uint64, overwrite bool, top int) (inserted bool, old uint64, replaced bool) {
 	tl := l.localFor(t)
 	var n *node
 	var anchor core.Atomic
 	for {
-		pos, ok := l.descend(t, key, 0, nil)
+		pos, ok := l.descendFrom(t, key, 0, top, nil)
 		if !ok {
 			continue // neutralized: n (if any) is still private, retry
 		}
@@ -717,10 +764,7 @@ func (l *List) RangeCollectKV(t *core.Thread, lo, hi int64, max int, keys []int6
 func (l *List) GetBatch(t *core.Thread, keys []int64, vals []uint64, present []bool) {
 	t.StartOp()
 	defer t.EndOp()
-	top := MaxHeight - 1
-	for top > 0 && l.head.link(top).Load() == unsafe.Pointer(l.tail) {
-		top--
-	}
+	top := l.effectiveTop()
 	for i, key := range keys {
 		checkKey(key)
 		for {

@@ -738,6 +738,103 @@ func storeServeFigure() Figure {
 	}
 }
 
+// pingFanoutFigure is the domain-group scaling experiment: the same
+// 32-shard store swept over grouping factors g ∈ {1, shards/4, shards}
+// at thread counts up to 64+, under the POP policies whose reclaimers
+// ping. With one flat domain (g=1) every reclamation pass pings and
+// scans all T registered threads; with g members a pass covers only the
+// threads leased into that member — O(readers-per-shard-group), not
+// O(total threads). The series plot throughput, the write tail (puts
+// absorb reclamation pauses), and the measured per-pass ping/scan
+// fan-out, so the claimed reduction is read directly off the figure
+// rather than inferred.
+func pingFanoutFigure() Figure {
+	return Figure{
+		ID:   "pingfanout",
+		Desc: "Domain groups: 32-shard store, groups ∈ {1,8,32}, threads to 64+ — throughput, put p99, per-pass ping/scan fan-out",
+		Run: func(c Ctx) ([]report.Series, error) {
+			c = c.withDefaults()
+			// The fan-out claim is about many threads; make sure the sweep
+			// reaches 64 even under the default thread list.
+			threads := append([]int(nil), c.Threads...)
+			if threads[len(threads)-1] < 64 {
+				threads = append(threads, 64)
+			}
+			const shards = 32
+			groups := []int{1, shards / 4, shards}
+			policies := []core.Policy{core.EpochPOP, core.HazardPtrPOP}
+			if c.Policies != nil {
+				policies = c.Policies
+			}
+			type variant struct {
+				p core.Policy
+				g int
+			}
+			var vs []variant
+			names := make([]string, 0, len(policies)*len(groups))
+			for _, p := range policies {
+				for _, g := range groups {
+					vs = append(vs, variant{p, g})
+					names = append(names, fmt.Sprintf("%v g=%d", p, g))
+				}
+			}
+			metrics := []StoreMetric{
+				{Name: "throughput (ops/s)", Get: func(r harness.StoreResult) float64 { return r.Throughput }},
+				StoreOpLatencyMetric("get p99 (µs)", harness.SOpGet, 0.99),
+				StoreOpLatencyMetric("put p99 (µs)", harness.SOpPut, 0.99),
+				{Name: "reclaim pings per pass", Get: func(r harness.StoreResult) float64 { return r.ReclaimDetail.PingsPerPass }},
+				{Name: "reclaim threads scanned per pass", Get: func(r harness.StoreResult) float64 { return r.ReclaimDetail.ScannedPerPass }},
+				{Name: "unreclaimed at run end (nodes)", Get: func(r harness.StoreResult) float64 { return float64(r.Unreclaimed) }},
+			}
+			out := make([]report.Series, len(metrics))
+			for i, m := range metrics {
+				out[i] = report.Series{
+					Title:  fmt.Sprintf("Ping fan-out (skl ×%d shards, zipf) — %s", shards, m.Name),
+					XLabel: "threads",
+					Names:  names,
+				}
+			}
+			for _, n := range threads {
+				cells := make([][]float64, len(metrics))
+				for i := range cells {
+					cells[i] = make([]float64, len(vs))
+				}
+				for vi, v := range vs {
+					c.Log("  pingfanout: threads=%d policy=%v groups=%d", n, v.p, v.g)
+					res, err := harness.RunStore(harness.StoreConfig{
+						Policy:   v.p,
+						Threads:  n,
+						Duration: c.Duration,
+						Keys:     scaleSize(c, 4_000_000),
+						Shards:   shards,
+						Groups:   v.g,
+						// Scan-free serving mix: a scan visits every shard and
+						// leases its worker into every member, which would
+						// flatten the per-member fan-out this figure measures.
+						// The batched-put share exercises PutBatch's
+						// one-protected-op-per-shard-group write path.
+						Mix:              workload.StoreMix{GetPct: 60, PutPct: 15, MGetPct: 10, MPutPct: 10, DeletePct: 5},
+						Dist:             workload.Zipf,
+						OpLatency:        true,
+						ReclaimThreshold: scaleThreshold(c, 24576),
+						Seed:             c.Seed,
+					})
+					if err != nil {
+						return nil, fmt.Errorf("pingfanout [threads=%d policy=%v groups=%d]: %w", n, v.p, v.g, err)
+					}
+					for mi, m := range metrics {
+						cells[mi][vi] = m.Get(res)
+					}
+				}
+				for mi := range metrics {
+					out[mi].AddRow(fmt.Sprintf("%d", n), cells[mi])
+				}
+			}
+			return out, nil
+		},
+	}
+}
+
 // ycsbFigure runs the six YCSB core workloads (Cooper et al., SoCC'10)
 // against the KV front at the sweep's top thread count: one row per
 // workload A–F, one column per policy. The mixes move the reclamation
@@ -1110,6 +1207,7 @@ func All() []Figure {
 		kvFigure("skl-kv", "SKL (skiplist) 1M KV-serving mix: get/put/overwrite/delete with per-op-class tail latency", harness.DSSkipList, 1_000_000),
 		kvFigure("hmht-kv", "HMHT (hash table) 6M KV-serving mix: get/put/overwrite/delete with per-op-class tail latency", harness.DSHashTable, 6_000_000),
 		storeServeFigure(),
+		pingFanoutFigure(),
 		ycsbFigure(),
 		serveFigure(),
 		nbrOverwriteFigure(),

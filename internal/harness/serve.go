@@ -337,7 +337,7 @@ func RunServe(cfg ServeConfig) (ServeResult, error) {
 	if err := srv.Close(); err != nil {
 		return res, err
 	}
-	res.Lifecycle = srv.Domain().Lifecycle()
+	res.Lifecycle = srv.Group().Lifecycle()
 	getLats := make([]*report.Histogram, cfg.Conns)
 	setLats := make([]*report.Histogram, cfg.Conns)
 	for i := range counters {

@@ -36,10 +36,11 @@ const (
 	SOpScan
 	SOpDelete
 	SOpRMW
+	SOpMPut
 	NumStoreOpClasses
 )
 
-var storeOpClassNames = [NumStoreOpClasses]string{"get", "put", "mget", "scan", "delete", "rmw"}
+var storeOpClassNames = [NumStoreOpClasses]string{"get", "put", "mget", "scan", "delete", "rmw", "mput"}
 
 // String returns the class's reporting name.
 func (c StoreOpClass) String() string {
@@ -62,6 +63,8 @@ func (c StoreOpClass) MixShare(m workload.StoreMix) int {
 		return m.ScanPct
 	case SOpRMW:
 		return m.RMWPct
+	case SOpMPut:
+		return m.MPutPct
 	default:
 		return m.DeletePct
 	}
@@ -80,6 +83,8 @@ func classOfStore(op workload.StoreOp) StoreOpClass {
 		return SOpScan
 	case workload.StoreRMW:
 		return SOpRMW
+	case workload.StoreMPut:
+		return SOpMPut
 	default:
 		return SOpDelete
 	}
@@ -92,6 +97,7 @@ type StoreConfig struct {
 	Duration time.Duration // execution-phase length
 	Keys     int64         // key population (ranks 0..Keys-1)
 	Shards   int           // store shard count (power of two; default 8)
+	Groups   int           // member reclamation domains (power of two, <= Shards; default 1)
 	Backing  string        // per-shard structure (store.Backing*; default skl)
 	Seed     uint64        // trial seed (reproducible)
 
@@ -173,6 +179,23 @@ func (c StoreConfig) withDefaults() (StoreConfig, error) {
 	if c.Shards <= 0 {
 		c.Shards = 8
 	}
+	if c.Groups <= 0 {
+		c.Groups = 1
+	}
+	// Round the group count up to a power of two and cap it at the
+	// (equally rounded) shard count — the store's members<=shards rule.
+	n := 1
+	for n < c.Groups {
+		n <<= 1
+	}
+	c.Groups = n
+	n = 1
+	for n < c.Shards {
+		n <<= 1
+	}
+	if c.Groups > n {
+		c.Groups = n
+	}
 	if c.Backing == "" {
 		c.Backing = store.BackingSkipList
 	}
@@ -240,7 +263,12 @@ type StoreResult struct {
 	OpLat [NumStoreOpClasses]*report.Histogram
 
 	Store   store.Stats // store-level counters (shard-aggregated)
-	Reclaim core.Stats  // reclamation counters
+	Reclaim core.Stats  // reclamation counters (summed across member domains)
+
+	// ReclaimDetail is the per-pass fan-out view (pings sent and
+	// threads scanned per reclaim pass, averaged across the whole
+	// group) — the quantity domain groups shrink.
+	ReclaimDetail core.ReclaimStats
 
 	// Lifecycle reports thread-slot turnover (releases, peak leases,
 	// orphan donation/adoption) — the churn-mode explainability view.
@@ -276,13 +304,13 @@ func RunStore(cfg StoreConfig) (StoreResult, error) {
 	if cfg.Chaos.Enabled() {
 		chaosSlots = cfg.Chaos.Slots()
 	}
-	d := core.NewDomain(cfg.Policy, cfg.Threads+chaosSlots, &core.Options{
+	g := core.NewDomainGroup(cfg.Policy, cfg.Groups, cfg.Threads+chaosSlots, &core.Options{
 		ReclaimThreshold: cfg.ReclaimThreshold,
 		EpochFreq:        cfg.EpochFreq,
 		CMult:            cfg.CMult,
 		BatchSize:        cfg.BatchNodes,
 	})
-	s, err := store.New(d, store.Config{
+	s, err := store.New(g, store.Config{
 		Shards:               cfg.Shards,
 		Backing:              cfg.Backing,
 		ExpectedKeysPerShard: cfg.Keys/int64(cfg.Shards) + 1,
@@ -300,16 +328,16 @@ func RunStore(cfg StoreConfig) (StoreResult, error) {
 			}
 		}
 	}
-	// Serving handles come from the store's own pool (the error path,
-	// so capacity misconfigurations fail with a message); churn legs
-	// rotate them through the same pool.
-	threads := make([]*core.Thread, cfg.Threads)
+	// Serving handles come from the store's group facade (the error
+	// path, so capacity misconfigurations fail with a message); churn
+	// legs rotate them through the same group.
+	threads := make([]*core.GroupHandle, cfg.Threads)
 	for i := range threads {
-		th, err := s.AcquireThread()
+		h, err := s.Acquire()
 		if err != nil {
 			return StoreResult{}, fmt.Errorf("harness: store worker %d: %w", i, err)
 		}
-		threads[i] = th
+		threads[i] = h
 	}
 
 	// The key table: rank -> string key and its store hash (for value
@@ -321,12 +349,47 @@ func RunStore(cfg StoreConfig) (StoreResult, error) {
 		hkTab[i] = store.KeyHash(keyTab[i])
 	}
 
+	// Worker→member affinity: with more than one member domain, worker
+	// id is pinned to member (id mod members) and draws keys only from
+	// the ranks whose shard group that member owns. This routing is what
+	// the grouped fan-out numbers measure: a member's registrant list
+	// then holds only its own workers, so a reclamation pass pings
+	// O(threads/groups) peers instead of every worker in the trial.
+	// Scans are the exception — Store.Scan visits every shard, so one
+	// scan leases the scanning worker into every member; mixes with a
+	// scan share therefore report flat (ungrouped) fan-out.
+	members := s.Group().Members()
+	var memberRanks [][]int64
+	if !traceMode && members > 1 {
+		memberRanks = make([][]int64, members)
+		for rank := int64(0); rank < cfg.Keys; rank++ {
+			m := s.MemberIndex(s.ShardIndex(keyTab[rank]))
+			memberRanks[m] = append(memberRanks[m], rank)
+		}
+	}
+	workerRanks := func(id int) []int64 {
+		if memberRanks == nil {
+			return nil
+		}
+		if t := memberRanks[id%members]; len(t) > 1 {
+			return t
+		}
+		return nil // degenerate split (tiny key table): this worker draws globally
+	}
+
 	// Per-worker key samplers (zipf state is per-sampler, so build them
 	// up front where errors can surface). Trace replay draws no keys.
+	// Affinity workers sample a dense [0, len(memberRanks)) space that
+	// the hot loop maps through the rank table, preserving the skew
+	// shape within the member's key subset.
 	samplers := make([]*workload.Sampler, cfg.Threads)
 	if !traceMode {
 		for i := range samplers {
-			sm, err := workload.NewSampler(cfg.Seed+uint64(i)*0x9e3779b97f4a7c15+1, cfg.Keys, cfg.Dist, cfg.ZipfS)
+			n := cfg.Keys
+			if t := workerRanks(i); t != nil {
+				n = int64(len(t))
+			}
+			sm, err := workload.NewSampler(cfg.Seed+uint64(i)*0x9e3779b97f4a7c15+1, n, cfg.Dist, cfg.ZipfS)
 			if err != nil {
 				return StoreResult{}, fmt.Errorf("harness: worker %d: %w", i, err)
 			}
@@ -348,7 +411,7 @@ func RunStore(cfg StoreConfig) (StoreResult, error) {
 	// trace key so reads hit.
 	if traceMode {
 		tracePrefill(cfg, s, threads)
-	} else if err := storePrefill(cfg, s, threads, keyTab, hkTab); err != nil {
+	} else if err := storePrefill(cfg, s, threads, keyTab, hkTab, workerRanks); err != nil {
 		return StoreResult{}, err
 	}
 
@@ -379,27 +442,31 @@ func RunStore(cfg StoreConfig) (StoreResult, error) {
 		}
 	}
 	// Leg chains as in Run: a churned leg returns its handle to the
-	// store's pool and a fresh goroutine re-leases a slot; the terminal
-	// leg keeps its handle and flushes (adopting donated orphans).
-	var runLeg func(id int, th *core.Thread)
-	runLeg = func(id int, th *core.Thread) {
+	// store's group and a fresh goroutine re-leases a slot (releasing
+	// donates the leg's unreclaimed retires member by member); the
+	// terminal leg keeps its handle and flushes (adopting donated
+	// orphans).
+	var runLeg func(id int, h *core.GroupHandle)
+	runLeg = func(id int, h *core.GroupHandle) {
 		if traceMode {
-			runStoreTraceWorker(cfg, s, th, start, traceHK, &cursor, &workers[id])
+			runStoreTraceWorker(cfg, s, h, start, traceHK, &cursor, &workers[id])
 		} else {
-			runStoreWorker(cfg, s, th, samplers[id], id, keyTab, hkTab, &stop, &workers[id])
+			runStoreWorker(cfg, s, h, samplers[id], id, keyTab, hkTab, workerRanks(id), &stop, &workers[id])
 		}
 		if cfg.Churn.Enabled() && !stop.Load() {
-			s.ReleaseThread(th)
-			nth, err := s.AcquireThread()
+			s.Release(h)
+			nh, err := s.Acquire()
 			if err != nil {
 				panic(fmt.Sprintf("harness: store churn re-lease: %v", err))
 			}
-			go runLeg(id, nth)
+			go runLeg(id, nh)
 			return
 		}
 		loopsDone.Done()
 		<-flushGo
-		th.Flush()
+		// Drain, not Flush: churned predecessors may have donated
+		// orphans to members this terminal leg never touched.
+		h.Drain()
 		finished.Done()
 	}
 	for i := 0; i < cfg.Threads; i++ {
@@ -452,20 +519,25 @@ func RunStore(cfg StoreConfig) (StoreResult, error) {
 	if v := s.Outstanding(); v > peak.Load() {
 		peak.Store(v)
 	}
-	unreclaimed := d.Unreclaimed()
+	unreclaimed := g.Unreclaimed()
+	// Per-pass fan-out is a measured-phase statistic: snapshot it before
+	// the terminal drains, which lease every handle into every member
+	// and would re-average scanned-per-pass toward the flat number.
+	reclaimDetail := g.ReclaimStats()
 	close(flushGo)
 	finished.Wait()
 
 	res := StoreResult{
-		Config:       cfg,
-		PeakResident: peak.Load(),
-		Unreclaimed:  unreclaimed,
-		LeakedAfter:  d.Unreclaimed(),
-		Store:        s.Stats(),
-		Reclaim:      d.Stats(),
-		Lifecycle:    d.Lifecycle(),
-		Chaos:        chaosStats,
-		Elapsed:      elapsed,
+		Config:        cfg,
+		PeakResident:  peak.Load(),
+		Unreclaimed:   unreclaimed,
+		LeakedAfter:   g.Unreclaimed(),
+		Store:         s.Stats(),
+		Reclaim:       g.Stats(),
+		ReclaimDetail: reclaimDetail,
+		Lifecycle:     g.Lifecycle(),
+		Chaos:         chaosStats,
+		Elapsed:       elapsed,
 	}
 	for i := range workers {
 		res.Ops += workers[i].ops
@@ -504,19 +576,28 @@ func scanWidth(keys int64, span int) uint64 {
 	return w
 }
 
-// runStoreWorker is one worker's execution phase.
-func runStoreWorker(cfg StoreConfig, s *store.Store, th *core.Thread, keys *workload.Sampler,
-	id int, keyTab []string, hkTab []int64, stop *atomic.Bool, c *storeWorkerCounters) {
+// runStoreWorker is one worker's execution phase. rankTab, when
+// non-nil, maps the sampler's dense rank space onto the worker's
+// member-owned ranks (worker→member affinity).
+func runStoreWorker(cfg StoreConfig, s *store.Store, h *core.GroupHandle, keys *workload.Sampler,
+	id int, keyTab []string, hkTab []int64, rankTab []int64, stop *atomic.Bool, c *storeWorkerCounters) {
 	// The incarnation term keeps churn legs from replaying one leg's op
 	// sequence: each lease of the slot draws a distinct stream.
-	r := rng.New(cfg.Seed ^ (uint64(id)*0xff51afd7ed558ccd + 7) ^ (th.Incarnation() * 0x9e3779b97f4a7c15))
+	r := rng.New(cfg.Seed ^ (uint64(id)*0xff51afd7ed558ccd + 7) ^ (h.Incarnation() * 0x9e3779b97f4a7c15))
+	pick := func(rank int64) int64 {
+		if rankTab != nil {
+			return rankTab[rank]
+		}
+		return rank
+	}
 	var (
 		vbuf  []byte
 		gbuf  []byte
 		batch store.Batch
 		kb    = make([]string, cfg.BatchSize)
 		ranks = make([]int64, cfg.BatchSize)
-		tag   = uint32(id)<<24 ^ uint32(th.Incarnation())<<12
+		pvals [][]byte // StoreMPut payloads (lazily sized)
+		tag   = uint32(id)<<24 ^ uint32(h.Incarnation())<<12
 	)
 	width := scanWidth(cfg.Keys, cfg.ScanSpan)
 	quota := cfg.Churn.AfterOps // 0 = no churn: run until stop
@@ -536,9 +617,9 @@ func runStoreWorker(cfg StoreConfig, s *store.Store, th *core.Thread, keys *work
 		}
 		switch op {
 		case workload.StoreGet:
-			rank := keys.Next()
+			rank := pick(keys.Next())
 			var ok bool
-			gbuf, ok = s.Get(th, keyTab[rank], gbuf)
+			gbuf, ok = s.Get(h, keyTab[rank], gbuf)
 			if ok {
 				served++
 				if !workload.ValueBytesValid(hkTab[rank], gbuf) {
@@ -548,17 +629,17 @@ func runStoreWorker(cfg StoreConfig, s *store.Store, th *core.Thread, keys *work
 		case workload.StorePut:
 			// NextInsert == Next for uniform/zipf; under latest it
 			// advances the insert frontier the reads chase.
-			rank := keys.NextInsert()
+			rank := pick(keys.NextInsert())
 			tag++
 			size := cfg.ValueMin + int(r.Intn(int64(cfg.ValueMax-cfg.ValueMin+1)))
 			vbuf = workload.AppendValueBytes(vbuf[:0], hkTab[rank], tag, size)
-			s.Put(th, keyTab[rank], vbuf)
+			s.Put(h, keyTab[rank], vbuf)
 		case workload.StoreMGet:
 			for i := range kb {
-				ranks[i] = keys.Next()
+				ranks[i] = pick(keys.Next())
 				kb[i] = keyTab[ranks[i]]
 			}
-			s.GetBatch(th, kb, &batch)
+			s.GetBatch(h, kb, &batch)
 			for i := range kb {
 				if batch.OK[i] {
 					served++
@@ -573,7 +654,7 @@ func runStoreWorker(cfg StoreConfig, s *store.Store, th *core.Thread, keys *work
 			if hi < lo {
 				hi = 1<<63 - 2 // clamp at the sentinel-free top
 			}
-			n := s.Scan(th, lo, hi, func(hk int64, v []byte) bool {
+			n := s.Scan(h, lo, hi, func(hk int64, v []byte) bool {
 				if !workload.ValueBytesValid(hk, v) {
 					valueErrs++
 				}
@@ -584,9 +665,9 @@ func runStoreWorker(cfg StoreConfig, s *store.Store, th *core.Thread, keys *work
 			// Read-modify-write (YCSB F): read the key, then put a
 			// fresh payload back — two protected ops, like a cache's
 			// read-update cycle.
-			rank := keys.Next()
+			rank := pick(keys.Next())
 			var ok bool
-			gbuf, ok = s.Get(th, keyTab[rank], gbuf)
+			gbuf, ok = s.Get(h, keyTab[rank], gbuf)
 			if ok {
 				served++
 				if !workload.ValueBytesValid(hkTab[rank], gbuf) {
@@ -596,9 +677,23 @@ func runStoreWorker(cfg StoreConfig, s *store.Store, th *core.Thread, keys *work
 			tag++
 			size := cfg.ValueMin + int(r.Intn(int64(cfg.ValueMax-cfg.ValueMin+1)))
 			vbuf = workload.AppendValueBytes(vbuf[:0], hkTab[rank], tag, size)
-			s.Put(th, keyTab[rank], vbuf)
+			s.Put(h, keyTab[rank], vbuf)
+		case workload.StoreMPut:
+			// Batched upsert: one protected op per shard group and one
+			// arena publish sequence per group instead of per key.
+			if pvals == nil {
+				pvals = make([][]byte, cfg.BatchSize)
+			}
+			for i := range kb {
+				ranks[i] = pick(keys.NextInsert())
+				kb[i] = keyTab[ranks[i]]
+				tag++
+				size := cfg.ValueMin + int(r.Intn(int64(cfg.ValueMax-cfg.ValueMin+1)))
+				pvals[i] = workload.AppendValueBytes(pvals[i][:0], hkTab[ranks[i]], tag, size)
+			}
+			s.PutBatch(h, kb, pvals, &batch)
 		default: // workload.StoreDelete
-			s.Delete(th, keyTab[keys.Next()])
+			s.Delete(h, keyTab[pick(keys.Next())])
 		}
 		if hist != nil {
 			hist.Record(time.Since(start).Nanoseconds())
@@ -620,7 +715,7 @@ func runStoreWorker(cfg StoreConfig, s *store.Store, th *core.Thread, keys *work
 // value tags, scan windows) is a pure function of the op's trace
 // index, so two same-config replays execute identical work regardless
 // of how ops land on workers.
-func runStoreTraceWorker(cfg StoreConfig, s *store.Store, th *core.Thread,
+func runStoreTraceWorker(cfg StoreConfig, s *store.Store, h *core.GroupHandle,
 	start time.Time, traceHK []int64, cursor *atomic.Int64, c *storeWorkerCounters) {
 	var (
 		vbuf []byte
@@ -648,7 +743,7 @@ func runStoreTraceWorker(cfg StoreConfig, s *store.Store, th *core.Thread,
 		switch op.Op {
 		case workload.StoreGet:
 			var ok bool
-			gbuf, ok = s.Get(th, op.Key, gbuf)
+			gbuf, ok = s.Get(h, op.Key, gbuf)
 			if ok {
 				c.served++
 				if !workload.ValueBytesValid(hk, gbuf) {
@@ -657,7 +752,7 @@ func runStoreTraceWorker(cfg StoreConfig, s *store.Store, th *core.Thread,
 			}
 		case workload.StorePut:
 			vbuf = workload.AppendValueBytes(vbuf[:0], hk, traceTag(i), traceSize(cfg, op, i))
-			s.Put(th, op.Key, vbuf)
+			s.Put(h, op.Key, vbuf)
 		case workload.StoreScan:
 			span := op.Size
 			if span <= 0 {
@@ -672,7 +767,7 @@ func runStoreTraceWorker(cfg StoreConfig, s *store.Store, th *core.Thread,
 			if hi < lo {
 				hi = 1<<63 - 2
 			}
-			n := s.Scan(th, lo, hi, func(shk int64, v []byte) bool {
+			n := s.Scan(h, lo, hi, func(shk int64, v []byte) bool {
 				if !workload.ValueBytesValid(shk, v) {
 					c.valueErrs++
 				}
@@ -681,7 +776,7 @@ func runStoreTraceWorker(cfg StoreConfig, s *store.Store, th *core.Thread,
 			c.served += uint64(n)
 		case workload.StoreRMW:
 			var ok bool
-			gbuf, ok = s.Get(th, op.Key, gbuf)
+			gbuf, ok = s.Get(h, op.Key, gbuf)
 			if ok {
 				c.served++
 				if !workload.ValueBytesValid(hk, gbuf) {
@@ -689,9 +784,9 @@ func runStoreTraceWorker(cfg StoreConfig, s *store.Store, th *core.Thread,
 				}
 			}
 			vbuf = workload.AppendValueBytes(vbuf[:0], hk, traceTag(i), traceSize(cfg, op, i))
-			s.Put(th, op.Key, vbuf)
+			s.Put(h, op.Key, vbuf)
 		default: // workload.StoreDelete
-			s.Delete(th, op.Key)
+			s.Delete(h, op.Key)
 		}
 		if hist != nil {
 			hist.Record(time.Since(t0).Nanoseconds())
@@ -726,11 +821,11 @@ func traceSize(cfg StoreConfig, op workload.TraceOp, i int64) int {
 // tracePrefill loads every distinct trace key with a verifiable value,
 // split across threads, so replayed reads hit like they did against
 // the traced system.
-func tracePrefill(cfg StoreConfig, s *store.Store, threads []*core.Thread) {
+func tracePrefill(cfg StoreConfig, s *store.Store, handles []*core.GroupHandle) {
 	keys := workload.TraceKeys(cfg.Trace)
 	var wg sync.WaitGroup
-	per := (len(keys) + len(threads) - 1) / len(threads)
-	for i, th := range threads {
+	per := (len(keys) + len(handles) - 1) / len(handles)
+	for i, h := range handles {
 		lo := i * per
 		if lo >= len(keys) {
 			break
@@ -740,44 +835,59 @@ func tracePrefill(cfg StoreConfig, s *store.Store, threads []*core.Thread) {
 			hi = len(keys)
 		}
 		wg.Add(1)
-		go func(th *core.Thread, chunk []string, base int) {
+		go func(h *core.GroupHandle, chunk []string, base int) {
 			defer wg.Done()
 			var vbuf []byte
 			for j, k := range chunk {
 				hk := store.KeyHash(k)
 				vbuf = workload.AppendValueBytes(vbuf[:0], hk, uint32(base+j)|0x01000000, cfg.ValueMin)
-				s.Put(th, k, vbuf)
+				s.Put(h, k, vbuf)
 			}
-		}(th, keys[lo:hi], lo)
+		}(h, keys[lo:hi], lo)
 	}
 	wg.Wait()
 }
 
 // storePrefill inserts ranks until the store holds about Keys/2
 // entries, split across all threads on their own goroutines.
-func storePrefill(cfg StoreConfig, s *store.Store, threads []*core.Thread, keyTab []string, hkTab []int64) error {
-	target := cfg.Keys / 2
-	per := target / int64(len(threads))
-	extra := target - per*int64(len(threads))
+func storePrefill(cfg StoreConfig, s *store.Store, handles []*core.GroupHandle, keyTab []string, hkTab []int64, workerRanks func(int) []int64) error {
+	members := s.Group().Members()
 	var wg sync.WaitGroup
-	for i, th := range threads {
-		quota := per
-		if i == 0 {
-			quota += extra
+	for i, h := range handles {
+		// Affinity handles prefill only ranks their own member owns, so
+		// the load phase doesn't lease every handle into every member
+		// before the measured phase starts. Each member's half-full
+		// target is split among the handles pinned to it.
+		tab := workerRanks(i)
+		pop := cfg.Keys
+		peers := int64(len(handles))
+		first := i == 0
+		if tab != nil {
+			pop = int64(len(tab))
+			peers = int64((len(handles)-1-i%members)/members + 1)
+			first = i < members
+		}
+		target := pop / 2
+		quota := target / peers
+		if first {
+			quota += target - quota*peers
 		}
 		wg.Add(1)
-		go func(id int, th *core.Thread, quota int64) {
+		go func(id int, h *core.GroupHandle, tab []int64, pop, quota int64) {
 			defer wg.Done()
 			r := rng.New(cfg.Seed ^ 0xfeed ^ uint64(id))
 			var vbuf []byte
 			done, attempts := int64(0), int64(0)
 			tag := uint32(id)<<24 | 0x800000
 			for done < quota {
-				rank := r.Intn(cfg.Keys)
+				rank := r.Intn(pop)
+				if tab != nil {
+					rank = tab[rank]
+				}
 				size := cfg.ValueMin + int(r.Intn(int64(cfg.ValueMax-cfg.ValueMin+1)))
 				tag++
 				vbuf = workload.AppendValueBytes(vbuf[:0], hkTab[rank], tag, size)
-				if s.PutIfAbsent(th, keyTab[rank], vbuf) {
+				if s.PutIfAbsent(h, keyTab[rank], vbuf) {
 					done++
 				}
 				attempts++
@@ -785,7 +895,7 @@ func storePrefill(cfg StoreConfig, s *store.Store, threads []*core.Thread, keyTa
 					return // saturated; good enough for a prefill
 				}
 			}
-		}(i, th, quota)
+		}(i, h, tab, pop, quota)
 	}
 	wg.Wait()
 	return nil

@@ -29,9 +29,9 @@ type getResult struct {
 
 // coalescer merges concurrent single-key gets bound for one shard into
 // batched protected operations. One executor goroutine per shard owns a
-// dedicated thread handle (leased at server start, outside the
-// connection-admission pool, so get service can never deadlock against
-// admission): it takes the first queued get, keeps collecting gets that
+// dedicated group handle (leased at server start, outside the
+// connection-admission budget, so get service can never deadlock
+// against admission): it takes the first queued get, keeps collecting gets that
 // arrive within the coalescing window (up to maxBatch), and answers the
 // whole set with one Store.GetBatch — one StartOp/EndOp per shard per
 // window instead of per connection. Independent clients thereby share
@@ -70,11 +70,13 @@ func newCoalescer(st *store.Store, window time.Duration, maxBatch int) *coalesce
 // submit queues one get; the caller then blocks on its result channel.
 func (c *coalescer) submit(r getReq) { c.reqs <- r }
 
-// run is the shard executor: it owns th (leased by this goroutine at
-// server start) until the request channel closes at shutdown, then
-// releases it. close(ready) signals that the thread lease exists — the
-// server counts these slots out of the connection-admission budget.
-func (c *coalescer) run(th *core.Thread, ready chan<- struct{}) {
+// run is the shard executor: it owns h (a group handle leased by this
+// goroutine at server start) until the request channel closes at
+// shutdown, then releases it. close(ready) signals that the lease
+// exists — the server counts these slots out of the
+// connection-admission budget. Serving one shard only, the handle
+// lazily leases exactly that shard's member domain thread.
+func (c *coalescer) run(h *core.GroupHandle, ready chan<- struct{}) {
 	close(ready)
 	keys := make([]string, 0, c.maxBatch)
 	outs := make([]chan<- getResult, 0, c.maxBatch)
@@ -110,7 +112,7 @@ func (c *coalescer) run(th *core.Thread, ready chan<- struct{}) {
 			}
 		}
 
-		c.st.GetBatch(th, keys, &b)
+		c.st.GetBatch(h, keys, &b)
 		for i := range outs {
 			var res getResult
 			if b.OK[i] {
@@ -131,5 +133,5 @@ func (c *coalescer) run(th *core.Thread, ready chan<- struct{}) {
 			c.maxSeen.Store(n)
 		}
 	}
-	th.Release()
+	c.st.Release(h)
 }

@@ -27,10 +27,18 @@ type Config struct {
 	// paper's headline serving policy).
 	Policy core.Policy
 	// Slots is the connection-admission budget: how many connections
-	// may hold a thread lease at once (default 8). The domain is sized
-	// at Slots plus one dedicated slot per shard for the coalescing
-	// executors, so get service never competes with admission.
+	// may hold a thread lease at once (default 8). The domain group is
+	// sized at Slots plus one dedicated slot per shard for the
+	// coalescing executors, so get service never competes with
+	// admission.
 	Slots int
+	// Groups is the number of member reclamation domains the store's
+	// shards are partitioned into (default 1 = the classic single
+	// domain; rounded up to a power of two, capped at the shard count).
+	// More groups shrink reclamation fan-out: a reclaim pass inside one
+	// member pings only the connections mid-operation in that member's
+	// shards.
+	Groups int
 	// Store configures the sharded KV store underneath.
 	Store store.Config
 	// Window is the get-coalescing window: single-key gets arriving at
@@ -82,9 +90,8 @@ func (c Config) withDefaults() Config {
 // New, start with Start, stop with Close.
 type Server struct {
 	cfg  Config
-	d    *core.Domain
+	g    *core.DomainGroup
 	st   *store.Store
-	pool *core.Handles
 	coal []*coalescer
 
 	ln      net.Listener
@@ -110,13 +117,13 @@ type Server struct {
 	protoErrs atomic.Uint64 // CLIENT_ERROR/ERROR responses
 }
 
-// New builds the domain, store, and shard executors. The executors'
-// thread leases are taken before Start returns control to connections,
-// so the admission pool's effective budget is exactly cfg.Slots.
+// New builds the domain group, store, and shard executors. The
+// executors' group-slot leases are taken before Start returns control
+// to connections, so the admission budget is exactly cfg.Slots.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	// Resolve the shard count the way the store will (power of two,
-	// default 8): the domain must hold Slots + shards thread slots.
+	// default 8): the group must hold Slots + shards slots.
 	shards := cfg.Store.Shards
 	if shards <= 0 {
 		shards = 8
@@ -130,23 +137,36 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: %d shards exceeds store.MaxShards (%d)", shards, store.MaxShards)
 	}
 	cfg.Store.Shards = shards
+	groups := cfg.Groups
+	if groups <= 0 {
+		groups = 1
+	}
+	n = 1
+	for n < groups {
+		n <<= 1
+	}
+	groups = n
+	if groups > shards {
+		groups = shards
+	}
 
-	d := core.NewDomain(cfg.Policy, cfg.Slots+shards+cfg.ExtraSlots, cfg.Opts)
-	st, err := store.New(d, cfg.Store)
+	g := core.NewDomainGroup(cfg.Policy, groups, cfg.Slots+shards+cfg.ExtraSlots, cfg.Opts)
+	st, err := store.New(g, cfg.Store)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
 		cfg:   cfg,
-		d:     d,
+		g:     g,
 		st:    st,
-		pool:  core.NewHandles(d),
 		coal:  make([]*coalescer, shards),
 		conns: make(map[uint64]*conn),
 	}
-	// Spin up one executor per shard. Each leases its own thread on its
-	// own goroutine (thread handles are goroutine-affine) and holds it
-	// until Close.
+	// Spin up one executor per shard. Each leases its own group handle
+	// on its own goroutine (handles are goroutine-affine) and holds it
+	// until Close; serving only its shard, it only ever leases that
+	// shard's member domain thread, so an executor never widens another
+	// member's ping fan-out.
 	errs := make(chan error, shards)
 	for i := range s.coal {
 		s.coal[i] = newCoalescer(st, cfg.Window, cfg.MaxBatch)
@@ -154,14 +174,14 @@ func New(cfg Config) (*Server, error) {
 		s.coalWG.Add(1)
 		go func(c *coalescer) {
 			defer s.coalWG.Done()
-			th, err := d.TryRegisterThread()
+			h, err := g.Acquire()
 			if err != nil {
 				errs <- err
 				close(ready)
 				return
 			}
 			errs <- nil
-			c.run(th, ready)
+			c.run(h, ready)
 		}(s.coal[i])
 		<-ready
 		if err := <-errs; err != nil {
@@ -173,14 +193,13 @@ func New(cfg Config) (*Server, error) {
 }
 
 // Store exposes the store underneath (prefill, direct inspection).
-// Callers need their own thread lease; see Pool.
+// Callers need their own group-handle lease; see Group.
 func (s *Server) Store() *store.Store { return s.st }
 
-// Domain exposes the reclamation domain (lifecycle accounting).
-func (s *Server) Domain() *core.Domain { return s.d }
-
-// Pool exposes the connection-admission handle pool.
-func (s *Server) Pool() *core.Handles { return s.pool }
+// Group exposes the domain group: reclamation and lifecycle accounting,
+// and the lease facade out-of-band tenants (prefill, fault injectors)
+// acquire handles from.
+func (s *Server) Group() *core.DomainGroup { return s.g }
 
 // Start begins listening and accepting connections.
 func (s *Server) Start() error {
@@ -303,7 +322,7 @@ func (s *Server) Stats() Stats {
 		CmdDelete:         s.cmdDelete.Load(),
 		GetKeys:           s.getKeys.Load(),
 		GetHits:           s.getHits.Load(),
-		AdmissionWaits:    s.pool.Waits(),
+		AdmissionWaits:    s.g.Waits(),
 		AdmissionTimeouts: s.admTimeos.Load(),
 		ProtocolErrors:    s.protoErrs.Load(),
 	}
@@ -340,7 +359,7 @@ type conn struct {
 	gbuf []byte // coalesced-get value scratch
 	res  chan getResult
 
-	th *core.Thread // held only inside a burst
+	th *core.GroupHandle // held only inside a burst
 
 	// Counters read by stats from other goroutines.
 	ops       atomic.Uint64
@@ -474,17 +493,17 @@ func (c *conn) dispatch() bool {
 	}
 }
 
-// needThread leases the burst's thread, queueing for admission if the
-// domain is saturated. nil with ok=true only on timeout (the command
-// answers SERVER_ERROR and the connection lives on).
-func (c *conn) needThread() (*core.Thread, bool) {
+// needThread leases the burst's group handle, queueing for admission
+// if the group is saturated. nil with ok=true only on timeout (the
+// command answers SERVER_ERROR and the connection lives on).
+func (c *conn) needThread() (*core.GroupHandle, bool) {
 	if c.th != nil {
 		return c.th, true
 	}
 	s := c.srv
 	start := time.Now()
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.AcquireTimeout)
-	th, err := s.pool.AcquireWait(ctx)
+	th, err := s.g.AcquireWait(ctx)
 	cancel()
 	wait := time.Since(start)
 	s.recordAdmission(wait)
@@ -501,7 +520,7 @@ func (c *conn) needThread() (*core.Thread, bool) {
 // dropThread ends the burst, returning the lease to the admission pool.
 func (c *conn) dropThread() {
 	if c.th != nil {
-		c.srv.pool.Release(c.th)
+		c.srv.g.Release(c.th)
 		c.th = nil
 	}
 }
@@ -626,8 +645,9 @@ func (c *conn) doStats(arg string) bool {
 	switch arg {
 	case "":
 		st := s.Stats()
-		lc := s.d.Lifecycle()
+		lc := s.g.Lifecycle()
 		ss := s.st.Stats()
+		rs := s.g.ReclaimStats()
 		adm := s.AdmissionWait()
 		emit("uptime_s", "%.1f", time.Since(s.started).Seconds())
 		emit("curr_connections", "%d", st.Conns)
@@ -644,9 +664,9 @@ func (c *conn) doStats(arg string) bool {
 		emit("coalesce_widest", "%d", st.CoalesceWidest)
 		emit("executor_gets", "%d", st.ExecutorGets)
 		emit("slots", "%d", s.cfg.Slots)
-		emit("slots_inuse", "%d", s.pool.InUse())
-		emit("slots_peak", "%d", s.pool.Peak())
-		emit("admission_queue", "%d", s.pool.Waiting())
+		emit("slots_inuse", "%d", s.g.InUse())
+		emit("slots_peak", "%d", s.g.Peak())
+		emit("admission_queue", "%d", s.g.Waiting())
 		emit("admission_waits", "%d", st.AdmissionWaits)
 		emit("admission_timeouts", "%d", st.AdmissionTimeouts)
 		emit("admission_wait_p50_us", "%.1f", adm.Quantile(0.50)/1e3)
@@ -657,8 +677,12 @@ func (c *conn) doStats(arg string) bool {
 		emit("store_overwrites", "%d", ss.Overwrites)
 		emit("store_batches", "%d", ss.Batches)
 		emit("store_stale_reads", "%d", ss.StaleReads)
-		emit("policy", "%v", s.d.Policy())
-		emit("unreclaimed", "%d", s.d.Unreclaimed())
+		emit("policy", "%v", s.g.Policy())
+		emit("domain_groups", "%d", s.g.Members())
+		emit("unreclaimed", "%d", s.g.Unreclaimed())
+		emit("reclaim_passes", "%d", rs.Passes)
+		emit("reclaim_pings_per_pass", "%.1f", rs.PingsPerPass)
+		emit("reclaim_scanned_per_pass", "%.1f", rs.ScannedPerPass)
 		emit("lifecycle_slots", "%d", lc.Slots)
 		emit("lifecycle_leased", "%d", lc.Leased)
 		emit("lifecycle_peak", "%d", lc.Peak)
@@ -687,7 +711,7 @@ func (c *conn) doStats(arg string) bool {
 			emit(p+"admission_wait_us", "%d", cc.admNanos.Load()/1e3)
 		}
 	case "slots":
-		lc := s.d.Lifecycle()
+		lc := s.g.Lifecycle()
 		for i, n := range lc.SlotLeases {
 			emit(fmt.Sprintf("slot.%d.leases", i), "%d", n)
 		}

@@ -8,28 +8,32 @@ import (
 	"pop/internal/workload"
 )
 
-// benchStore builds an 8-shard skiplist store under EpochPOP prefilled
-// with keys, plus a ready batch of batchKeys lookups.
-func benchStore(b *testing.B, keys int64, batchKeys int) (*Store, *core.Thread, []string) {
+// benchStore builds an 8-shard skiplist store under EpochPOP (one
+// member domain, so batch-vs-sequential numbers isolate the batching)
+// prefilled with keys, plus a ready batch of batchKeys lookups.
+func benchStore(b *testing.B, keys int64, batchKeys int) (*Store, *core.GroupHandle, []string) {
 	b.Helper()
-	d := core.NewDomain(core.EpochPOP, 1, nil)
-	s, err := New(d, Config{Shards: 8, Backing: BackingSkipList})
+	g := core.NewDomainGroup(core.EpochPOP, 1, 1, nil)
+	s, err := New(g, Config{Shards: 8, Backing: BackingSkipList})
 	if err != nil {
 		b.Fatal(err)
 	}
-	th := d.RegisterThread()
+	h, err := s.Acquire()
+	if err != nil {
+		b.Fatal(err)
+	}
 	var vbuf []byte
 	for i := int64(0); i < keys; i++ {
 		key := workload.KeyString(i)
 		vbuf = workload.AppendValueBytes(vbuf[:0], KeyHash(key), uint32(i), 64)
-		s.Put(th, key, vbuf)
+		s.Put(h, key, vbuf)
 	}
 	r := rng.New(0xba7c)
 	kb := make([]string, batchKeys)
 	for i := range kb {
 		kb[i] = workload.KeyString(r.Intn(keys))
 	}
-	return s, th, kb
+	return s, h, kb
 }
 
 // BenchmarkStoreBatchGet serves 64 keys per iteration through the
@@ -40,28 +44,28 @@ func benchStore(b *testing.B, keys int64, batchKeys int) (*Store, *core.Thread, 
 // BenchmarkStoreSequentialGet64, which serves the same 64 keys as 64
 // independent Gets.
 func BenchmarkStoreBatchGet(b *testing.B) {
-	s, th, kb := benchStore(b, 1<<16, 64)
+	s, h, kb := benchStore(b, 1<<16, 64)
 	var batch Batch
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.GetBatch(th, kb, &batch)
+		s.GetBatch(h, kb, &batch)
 	}
 	b.StopTimer()
 	if got := s.Stats().GetMisses; got != 0 {
 		b.Fatalf("%d misses on a fully prefilled store", got)
 	}
-	th.Flush()
+	h.Flush()
 }
 
 // BenchmarkStoreSequentialGet64 is BenchmarkStoreBatchGet's baseline:
 // the identical 64 keys served one protected operation each.
 func BenchmarkStoreSequentialGet64(b *testing.B) {
-	s, th, kb := benchStore(b, 1<<16, 64)
+	s, h, kb := benchStore(b, 1<<16, 64)
 	var buf []byte
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, key := range kb {
-			v, ok := s.Get(th, key, buf)
+			v, ok := s.Get(h, key, buf)
 			if !ok {
 				b.Fatal("miss on a fully prefilled store")
 			}
@@ -69,35 +73,74 @@ func BenchmarkStoreSequentialGet64(b *testing.B) {
 		}
 	}
 	b.StopTimer()
-	th.Flush()
+	h.Flush()
 }
 
 // BenchmarkStoreGet is the single-key serve path (hash, shard, lookup,
 // stale-checked value copy).
 func BenchmarkStoreGet(b *testing.B) {
-	s, th, kb := benchStore(b, 1<<16, 64)
+	s, h, kb := benchStore(b, 1<<16, 64)
 	var buf []byte
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		v, _ := s.Get(th, kb[i&63], buf)
+		v, _ := s.Get(h, kb[i&63], buf)
 		buf = v[:0]
 	}
 	b.StopTimer()
-	th.Flush()
+	h.Flush()
 }
 
 // BenchmarkStorePut is the upsert path on a hot key set: every
 // iteration replaces a value, so it measures alloc + map put + value
 // retirement end to end.
 func BenchmarkStorePut(b *testing.B) {
-	s, th, kb := benchStore(b, 1<<10, 64)
+	s, h, kb := benchStore(b, 1<<10, 64)
 	var vbuf []byte
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		key := kb[i&63]
 		vbuf = workload.AppendValueBytes(vbuf[:0], KeyHash(key), uint32(i), 64)
-		s.Put(th, key, vbuf)
+		s.Put(h, key, vbuf)
 	}
 	b.StopTimer()
-	th.Flush()
+	h.Flush()
+}
+
+// BenchmarkStorePutBatch upserts 64 keys per iteration through the
+// batched multi-put: one counting sort, one arena reservation pass and
+// ONE protected operation per shard group (ds.BatchPutter), with
+// replaced values retired in bulk. Every key is prefilled, so each
+// iteration does 64 overwrite+retire cycles — compare ns/op with
+// BenchmarkStoreSequentialPut64, the identical work as 64 Puts.
+func BenchmarkStorePutBatch(b *testing.B) {
+	s, h, kb := benchStore(b, 1<<10, 64)
+	vals := make([][]byte, len(kb))
+	for i, key := range kb {
+		vals[i] = workload.AppendValueBytes(nil, KeyHash(key), uint32(i), 64)
+	}
+	var batch Batch
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.PutBatch(h, kb, vals, &batch)
+	}
+	b.StopTimer()
+	h.Flush()
+}
+
+// BenchmarkStoreSequentialPut64 is BenchmarkStorePutBatch's baseline:
+// the identical 64 overwrites served one protected operation each.
+func BenchmarkStoreSequentialPut64(b *testing.B) {
+	s, h, kb := benchStore(b, 1<<10, 64)
+	vals := make([][]byte, len(kb))
+	for i, key := range kb {
+		vals[i] = workload.AppendValueBytes(nil, KeyHash(key), uint32(i), 64)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, key := range kb {
+			s.Put(h, key, vals[j])
+		}
+	}
+	b.StopTimer()
+	h.Flush()
 }

@@ -12,9 +12,9 @@ import (
 // RawHandle fetches the arena handle a key's map entry currently holds
 // — the store-internal view a misbehaving reader would capture and sit
 // on.
-func (s *Store) RawHandle(t *core.Thread, key string) (arena.Handle, bool) {
-	sh, ik := s.locate(key)
-	hv, ok := sh.m.Get(t, ik)
+func (s *Store) RawHandle(h *core.GroupHandle, key string) (arena.Handle, bool) {
+	si, ik := s.locate(key)
+	hv, ok := s.shards[si].m.Get(s.threadFor(h, si), ik)
 	return arena.Handle(hv), ok
 }
 

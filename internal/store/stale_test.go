@@ -20,10 +20,10 @@ import (
 	"pop/internal/workload"
 )
 
-// stormDomain mirrors the in-package test domains: thresholds small
+// stormGroup mirrors the in-package test groups: thresholds small
 // enough that reclamation genuinely runs during the storm.
-func stormDomain(p core.Policy, threads int) *core.Domain {
-	return core.NewDomain(p, threads, &core.Options{
+func stormGroup(p core.Policy, members, slots int) *core.DomainGroup {
+	return core.NewDomainGroup(p, members, slots, &core.Options{
 		ReclaimThreshold: 32,
 		EpochFreq:        8,
 		BatchSize:        8,
@@ -49,7 +49,8 @@ func stormVal(buf []byte, key string, tag uint32, size int) []byte {
 // The storm phase races detection against real reclamation; the
 // deterministic phase then proves completeness: after every thread
 // flushes, policies that drained their retire lists must flag *every*
-// held handle as stale.
+// held handle as stale. The store is grouped (4 shards over 2 member
+// domains), so value retirement also crosses the member mapping.
 func TestStoreStaleValueDetection(t *testing.T) {
 	const (
 		threads = 4 // writers + handle-holding readers
@@ -58,14 +59,16 @@ func TestStoreStaleValueDetection(t *testing.T) {
 	)
 	for _, p := range core.Policies() {
 		t.Run(p.String(), func(t *testing.T) {
-			d := stormDomain(p, threads+1)
-			s, err := store.New(d, store.Config{Shards: 4})
+			g := stormGroup(p, 2, threads+1)
+			s, err := store.New(g, store.Config{Shards: 4})
 			if err != nil {
 				t.Fatal(err)
 			}
-			ths := make([]*core.Thread, threads+1)
-			for i := range ths {
-				ths[i] = d.RegisterThread()
+			hs := make([]*core.GroupHandle, threads+1)
+			for i := range hs {
+				if hs[i], err = s.Acquire(); err != nil {
+					t.Fatal(err)
+				}
 			}
 			keyTab := make([]string, hotKeys)
 			hkTab := make([]int64, hotKeys)
@@ -74,7 +77,7 @@ func TestStoreStaleValueDetection(t *testing.T) {
 				keyTab[i] = workload.KeyString(int64(i))
 				hkTab[i] = store.KeyHash(keyTab[i])
 				vbuf = stormVal(vbuf, keyTab[i], uint32(i), 48)
-				s.Put(ths[0], keyTab[i], vbuf)
+				s.Put(hs[0], keyTab[i], vbuf)
 			}
 
 			var (
@@ -89,7 +92,7 @@ func TestStoreStaleValueDetection(t *testing.T) {
 				wg.Add(1)
 				go func(id int) {
 					defer wg.Done()
-					th := ths[id]
+					h := hs[id]
 					r := rng.New(uint64(id)*131 + uint64(p))
 					var vb []byte
 					tag := uint32(id) << 24
@@ -97,7 +100,7 @@ func TestStoreStaleValueDetection(t *testing.T) {
 						i := int(r.Intn(hotKeys))
 						tag++
 						vb = stormVal(vb, keyTab[i], tag, 16+int(r.Intn(500)))
-						s.Put(th, keyTab[i], vb)
+						s.Put(h, keyTab[i], vb)
 						overwrites[i].Add(1)
 					}
 				}(w)
@@ -113,12 +116,12 @@ func TestStoreStaleValueDetection(t *testing.T) {
 				go func(id int) {
 					defer wg.Done()
 					defer holders.Done()
-					th := ths[id]
+					h := hs[id]
 					r := rng.New(uint64(id)*997 + uint64(p))
 					var rb []byte
 					for n := 0; n < rounds; n++ {
 						i := int(r.Intn(hotKeys))
-						h, ok := s.RawHandle(th, keyTab[i])
+						rh, ok := s.RawHandle(h, keyTab[i])
 						if !ok {
 							continue
 						}
@@ -127,11 +130,11 @@ func TestStoreStaleValueDetection(t *testing.T) {
 						// the writers make the progress being waited on). One
 						// overwrite past the capture retires the held handle.
 						for overwrites[i].Load() < gen+1 {
-							th.Poll()
+							h.Poll()
 							runtime.Gosched()
 						}
 						var rok bool
-						rb, rok = s.ReadRaw(h, rb)
+						rb, rok = s.ReadRaw(rh, rb)
 						switch {
 						case !rok:
 							detected.Add(1)
@@ -146,13 +149,13 @@ func TestStoreStaleValueDetection(t *testing.T) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				th := ths[threads]
+				h := hs[threads]
 				r := rng.New(uint64(p) + 17)
 				var gb []byte
 				for !stop.Load() {
 					i := int(r.Intn(hotKeys))
 					var ok bool
-					gb, ok = s.Get(th, keyTab[i], gb)
+					gb, ok = s.Get(h, keyTab[i], gb)
 					if ok && !workload.ValueBytesValid(hkTab[i], gb) {
 						undetected.Add(1)
 					}
@@ -171,37 +174,37 @@ func TestStoreStaleValueDetection(t *testing.T) {
 			// handle, overwrite every key once (retiring those handles),
 			// and flush. If the policy drained its retire lists, every
 			// captured handle must now be flagged stale.
-			th := ths[0]
+			h := hs[0]
 			held := make([]arena.Handle, 0, hotKeys)
 			for _, key := range keyTab {
-				if h, ok := s.RawHandle(th, key); ok {
-					held = append(held, h)
+				if rh, ok := s.RawHandle(h, key); ok {
+					held = append(held, rh)
 				}
 			}
 			var vb []byte
 			for i, key := range keyTab {
 				vb = stormVal(vb, key, 0xfff0+uint32(i), 64)
-				s.Put(th, key, vb)
+				s.Put(h, key, vb)
 			}
-			for _, th := range ths {
-				th.Flush()
+			for _, hh := range hs {
+				hh.Flush()
 			}
-			if d.Unreclaimed() == 0 {
-				for _, h := range held {
-					if s.CheckRawHandle(h) {
-						t.Fatalf("handle %x still live after its retirement was reclaimed", uint64(h))
+			if g.Unreclaimed() == 0 {
+				for _, rh := range held {
+					if s.CheckRawHandle(rh) {
+						t.Fatalf("handle %x still live after its retirement was reclaimed", uint64(rh))
 					}
-					if _, ok := s.ReadRaw(h, nil); ok {
-						t.Fatalf("handle %x readable after reclamation", uint64(h))
+					if _, ok := s.ReadRaw(rh, nil); ok {
+						t.Fatalf("handle %x readable after reclamation", uint64(rh))
 					}
 				}
 			} else if p != core.NR && p != core.Crystalline {
-				t.Logf("%v: %d retired nodes survived flush (allowed, detection still verified)", p, d.Unreclaimed())
+				t.Logf("%v: %d retired nodes survived flush (allowed, detection still verified)", p, g.Unreclaimed())
 			}
 			// Value-plane sweep and counter sanity via the shared checker.
 			var vs []chaos.Violation
-			vs = append(vs, iv.CheckValues(th, s, keyTab)...)
-			vs = append(vs, iv.CheckCounters(d.Stats())...)
+			vs = append(vs, iv.CheckValues(h, s, keyTab)...)
+			vs = append(vs, iv.CheckCounters(g.Stats())...)
 			for _, v := range vs {
 				t.Errorf("invariant violated: %s", v)
 			}
@@ -214,12 +217,15 @@ func TestStoreStaleValueDetection(t *testing.T) {
 // handle held across free *and reallocation to another key* must not
 // read the new key's bytes through the old handle.
 func TestStoreStaleHandleNeverServesNewKeyData(t *testing.T) {
-	d := stormDomain(core.EBR, 1)
-	s, err := store.New(d, store.Config{Shards: 2})
+	g := stormGroup(core.EBR, 1, 1)
+	s, err := store.New(g, store.Config{Shards: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	th := d.RegisterThread()
+	th, err := s.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
 	s.Put(th, "victim", []byte("victim-value-000"))
 	h, ok := s.RawHandle(th, "victim")
 	if !ok {

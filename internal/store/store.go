@@ -1,6 +1,6 @@
 // Package store is the KV-serving front of this repository: a sharded,
 // string-keyed key→value store layered on the ds.Map structures, with
-// arena-backed byte-slice values, a batched multi-get, and
+// arena-backed byte-slice values, batched multi-get and multi-put, and
 // value-returning scans over ordered backings. It is the layer the
 // ROADMAP's north star asks for — the paper's benchmark dialect (int64
 // keys, uint64 values, one protected operation per access) turned into
@@ -9,14 +9,34 @@
 //
 // # Sharding and keys
 //
-// A Store is N shards (N a power of two), each an independent ds.Map
-// over the same reclamation domain. A string key is hashed once to 64
-// bits: the low bits select the shard and the whole hash is the int64
-// key stored in the shard's map ("string-key layer hashing to int64").
-// Keys are therefore identified by their hash — two strings colliding
-// in all 64 bits alias one entry, a once-per-two-billion-billion event
-// accepted by this layer's serving semantics. Shard statistics are
-// cache-line padded so per-shard counters never false-share.
+// A Store is N shards (N a power of two), each an independent ds.Map.
+// A string key is hashed once to 64 bits: the low bits select the shard
+// and the whole hash is the int64 key stored in the shard's map
+// ("string-key layer hashing to int64"). Keys are therefore identified
+// by their hash — two strings colliding in all 64 bits alias one entry,
+// a once-per-two-billion-billion event accepted by this layer's serving
+// semantics. Shard statistics are cache-line padded so per-shard
+// counters never false-share.
+//
+// # Domain groups: reclamation fan-out bounded per shard
+//
+// The store is built over a core.DomainGroup rather than a single
+// domain: shards map onto the group's member domains (a contiguous
+// block of shards per member), and each shard's structure lives in its
+// shard's member. A reclamation pass inside member m therefore pings
+// and scans only m's registrants — O(readers-of-member), not O(total
+// threads) — which removes the fan-out multiplier that flattens POP's
+// high-thread-count curves when one domain backs every shard.
+//
+// Serving goroutines hold one core.GroupHandle each (Store.Acquire /
+// Release, the group's Handles-style facade); the handle leases a
+// member Thread lazily on the first operation that touches that
+// member's shards. The membership invariant the group's safety
+// argument needs — a thread's protected operation only touches
+// structures of its member domain — holds by construction here: every
+// operation resolves the shard first and runs on that shard's member
+// thread, and the batched operations visit shards sequentially, one
+// member operation at a time.
 //
 // # Values: arena handles, retirement, and stale detection
 //
@@ -24,10 +44,13 @@
 // shard's map stores is the value's arena.Handle. An overwrite or
 // delete retires the replaced handle through the *same core retire
 // path as nodes* — a small ticket node carrying the handle flows
-// through Thread.Retire, and the policy's reclamation pass frees the
-// payload slot when it frees the ticket — so value lifetime is
-// policy-visible: EBR holds overwritten values until the epoch drains,
-// HP frees them at the next scan, NR leaks them.
+// through Thread.Retire in the shard's member domain, and the policy's
+// reclamation pass frees the payload slot when it frees the ticket —
+// so value lifetime is policy-visible: EBR holds overwritten values
+// until the epoch drains, HP frees them at the next scan, NR leaks
+// them. Orphan donation and adoption stay member-local, so the
+// per-member Unreclaimed bounds the robust policies guarantee are
+// preserved under grouping.
 //
 // What makes this safe is the arena's sequence discipline, not reader
 // reservations: a value read happens after the map lookup's protected
@@ -42,35 +65,40 @@
 //
 // # Elastic serving
 //
-// Serving pools resize mid-run: Store.AcquireThread / ReleaseThread
-// (a core.Handles pool over the store's domain) lease thread slots to
-// serving goroutines and return them, so the live worker set can grow
-// and shrink inside the domain's capacity instead of pinning one
-// goroutine per pre-sized slot for the store's lifetime. A departing
-// worker's unreclaimed retires — shard nodes and value tickets alike —
-// are donated to the domain's orphan queue and adopted by live
-// threads' next reclamation pass; its tid-keyed caches (value arena,
-// tickets, scan scratch) transfer to the slot's next tenant through
-// the lease's happens-before edge.
+// Serving pools resize mid-run: Store.Acquire / AcquireWait / Release
+// lease group slots to serving goroutines and return them, so the live
+// worker set can grow and shrink inside the group's capacity. A
+// departing worker's unreclaimed retires — shard nodes and value
+// tickets alike — are donated to each member domain's orphan queue and
+// adopted by that member's live threads; its tid-keyed caches (value
+// arena, tickets, scan scratch) transfer to the slot's next tenant
+// through the lease's happens-before edge, per member.
 //
-// # Batched multi-get
+// # Batched multi-get and multi-put
 //
 // GetBatch sorts the batch by (shard, hashed key) and answers each
 // shard's group in one protected operation via ds.BatchGetter (one
 // StartOp/EndOp per shard per batch instead of per key), falling back
-// to per-key Gets on backings without batch support. Sorted keys also
-// give tree descents warm upper-level paths. See BenchmarkStoreBatchGet.
+// to per-key Gets on backings without batch support. PutBatch is the
+// write-side mirror (ds.BatchPutter): the same counting sort, one
+// protected operation per shard group, one arena reservation pass per
+// group (arena.BytesCache.AllocBatch), and replaced values retired in
+// bulk on the group's member thread. A read-modify-write batch reuses
+// one Batch's scratch across the GetBatch → modify → PutBatch cycle.
+// Sorted keys also give tree descents warm upper-level paths. See
+// BenchmarkStoreBatchGet and BenchmarkStorePutBatch.
 //
 // # Scans
 //
 // On ordered backings (skl, abt) Scan walks a hashed-key window and
 // yields (hashed key, value copy) pairs, built on the validated
 // RangeCollectKV scans: each chunk of pairs is one protected scan
-// operation, and each value is resolved through the same
-// stale-detecting read path as Get.
+// operation on the shard's member thread, and each value is resolved
+// through the same stale-detecting read path as Get.
 package store
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"unsafe"
@@ -102,14 +130,15 @@ const (
 const scanChunk = 128
 
 // MaxShards caps Config.Shards: every shard registers one node type
-// with the domain (plus one for value tickets), and the domain's type
-// table is finite.
+// with its member domain (plus one per member for value tickets), and
+// the domain type tables are finite.
 const MaxShards = 32
 
 // Config tunes a Store. The zero value is usable.
 type Config struct {
 	// Shards is the shard count, rounded up to a power of two
-	// (default 8, max MaxShards).
+	// (default 8, max MaxShards). Must be >= the group's member count:
+	// members partition the shards into contiguous blocks.
 	Shards int
 	// Backing selects the per-shard structure (Backing* constants;
 	// default BackingSkipList).
@@ -161,13 +190,14 @@ type memMap interface {
 // are atomic (several threads serve one shard) but each shard's block
 // is padded, so shard i's stats never false-share with shard j's.
 type shard struct {
-	m       memMap
-	scanner ds.RangeScanner // nil when the backing is unordered
-	batch   ds.BatchGetter  // nil when the backing has no multi-get
+	m        memMap
+	scanner  ds.RangeScanner // nil when the backing is unordered
+	batch    ds.BatchGetter  // nil when the backing has no multi-get
+	batchPut ds.BatchPutter  // nil when the backing has no multi-put
 
 	gets       padded.Uint64 // single-key lookups (GetBatch keys included)
 	misses     padded.Uint64 // lookups that found no entry
-	puts       padded.Uint64 // upserts (inserts + overwrites)
+	puts       padded.Uint64 // upserts (inserts + overwrites; PutBatch keys included)
 	overwrites padded.Uint64 // upserts that replaced (and retired) a value
 	deletes    padded.Uint64 // deletes that removed (and retired) a value
 	stale      padded.Uint64 // value reads that lost to reclamation and retried
@@ -183,13 +213,14 @@ type vticket struct {
 	h arena.Handle
 }
 
-// storeLocal is one thread slot's allocation state: its value-arena
-// cache, its ticket cache, and reusable scratch for batches and scans.
-// State is keyed by thread ID — a slot index — so when a serving
-// goroutine releases its handle and another goroutine re-leases the
-// slot (the elastic-pool lifecycle), the caches transfer with it: the
-// domain's lease/release mutex is the happens-before edge, and the new
-// tenant simply continues filling the previous tenant's caches.
+// storeLocal is one member-domain thread slot's allocation state: its
+// value-arena cache, its ticket cache, and reusable scratch for
+// batches and scans. State is keyed by (member, thread ID) — the
+// member's slot index — so when a serving goroutine releases its group
+// handle and another goroutine re-leases the slot (the elastic-pool
+// lifecycle), the caches transfer with it: the member domain's
+// lease/release mutex is the happens-before edge, and the new tenant
+// simply continues filling the previous tenant's caches.
 type storeLocal struct {
 	vc      *arena.BytesCache
 	tickets *arena.ThreadCache[vticket]
@@ -200,47 +231,70 @@ type storeLocal struct {
 }
 
 // Store is a sharded string-key KV store. All methods are safe for
-// concurrent use by threads registered with the store's domain; as
-// everywhere in this repository, a Thread must only be used by the
-// goroutine that registered it.
+// concurrent use by group handles leased from the store's domain
+// group; as everywhere in this repository, a handle must only be used
+// by the goroutine that acquired it.
 type Store struct {
-	d         *core.Domain
-	cfg       Config
-	mask      uint64
-	shards    []shard
-	vals      *arena.Bytes
-	ticketTyp uint8
-	tickets   *arena.Pool[vticket]
-	locals    []*storeLocal // indexed by thread id (slot), owner-only
-	pool      *core.Handles // serving-handle pool (elastic worker sets)
+	g           *core.DomainGroup
+	cfg         Config
+	mask        uint64
+	memberShift uint // shard >> memberShift = member domain index
+	shards      []shard
+	vals        *arena.Bytes
+	tickets     *arena.Pool[vticket]
+	ticketTyps  []uint8         // per-member ticket type ids
+	locals      [][]*storeLocal // [member][thread id (slot)], owner-only
 
-	batches padded.Uint64 // GetBatch calls
-	scans   padded.Uint64 // Scan calls
+	batches    padded.Uint64 // GetBatch calls
+	putBatches padded.Uint64 // PutBatch calls
+	scans      padded.Uint64 // Scan calls
 }
 
-// New creates a store in domain d.
-func New(d *core.Domain, cfg Config) (*Store, error) {
+// New creates a store over domain group g. The group's member domains
+// partition the shards: shard i lives in member i >> log2(shards /
+// members), so a group of 1 is the classic single-domain store and a
+// group of Shards gives every shard a private reclamation domain. The
+// member count must not exceed the shard count.
+func New(g *core.DomainGroup, cfg Config) (*Store, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{
-		d:       d,
-		cfg:     cfg,
-		mask:    uint64(cfg.Shards - 1),
-		shards:  make([]shard, cfg.Shards),
-		vals:    arena.NewBytes(),
-		tickets: arena.NewPool[vticket](nil, nil),
-		locals:  make([]*storeLocal, d.MaxThreads()),
-		pool:    core.NewHandles(d),
+	groups := g.Members()
+	if groups > cfg.Shards {
+		return nil, fmt.Errorf("store: %d member domains exceed %d shards (need members <= shards)", groups, cfg.Shards)
 	}
-	s.ticketTyp = d.RegisterType(func(t *core.Thread, h *core.Header) {
-		tk := (*vticket)(unsafe.Pointer(h))
-		tl := s.localFor(t)
-		tl.vc.Free(tk.h) // the payload slot frees with its ticket
-		tl.tickets.Put(tk)
-	})
+	shift := uint(0)
+	for 1<<shift < cfg.Shards/groups {
+		shift++
+	}
+	s := &Store{
+		g:           g,
+		cfg:         cfg,
+		mask:        uint64(cfg.Shards - 1),
+		memberShift: shift,
+		shards:      make([]shard, cfg.Shards),
+		vals:        arena.NewBytes(),
+		tickets:     arena.NewPool[vticket](nil, nil),
+		ticketTyps:  make([]uint8, groups),
+		locals:      make([][]*storeLocal, groups),
+	}
+	for m := 0; m < groups; m++ {
+		m := m
+		d := g.Member(m)
+		s.locals[m] = make([]*storeLocal, d.MaxThreads())
+		// One ticket type per member: the free function runs on the
+		// member's reclaiming thread and must resolve that member's
+		// tid-keyed caches.
+		s.ticketTyps[m] = d.RegisterType(func(t *core.Thread, h *core.Header) {
+			tk := (*vticket)(unsafe.Pointer(h))
+			tl := s.localFor(m, t)
+			tl.vc.Free(tk.h) // the payload slot frees with its ticket
+			tl.tickets.Put(tk)
+		})
+	}
 	for i := range s.shards {
+		d := g.Member(i >> shift)
 		var m memMap
 		switch cfg.Backing {
 		case BackingSkipList:
@@ -259,6 +313,7 @@ func New(d *core.Domain, cfg Config) (*Store, error) {
 		s.shards[i].m = m
 		s.shards[i].scanner, _ = m.(ds.RangeScanner)
 		s.shards[i].batch, _ = m.(ds.BatchGetter)
+		s.shards[i].batchPut, _ = m.(ds.BatchPutter)
 	}
 	return s, nil
 }
@@ -266,31 +321,40 @@ func New(d *core.Domain, cfg Config) (*Store, error) {
 // Shards returns the shard count.
 func (s *Store) Shards() int { return len(s.shards) }
 
-// Handles returns the store's serving-handle pool: a goroutine-affine
-// acquire/release facade over the domain's thread slots, so serving
-// pools can resize mid-run — a departing worker's handle (and its
-// tid-keyed caches) is re-leased to the next worker, and its
-// unreclaimed value tickets are adopted by live threads.
-func (s *Store) Handles() *core.Handles { return s.pool }
+// Group returns the store's domain group: the lease facade serving
+// layers acquire handles from, and the aggregation point for
+// reclamation, lifecycle and fan-out statistics.
+func (s *Store) Group() *core.DomainGroup { return s.g }
 
-// AcquireThread leases a serving handle from the store's pool. The
-// handle belongs to the calling goroutine until ReleaseThread.
-func (s *Store) AcquireThread() (*core.Thread, error) { return s.pool.Acquire() }
+// MemberIndex returns the member domain shard belongs to.
+func (s *Store) MemberIndex(shard int) int { return shard >> s.memberShift }
 
-// ReleaseThread returns a serving handle to the pool; the worker's
-// unreclaimed retires (nodes and value tickets) are donated to the
-// domain for adoption, and the slot becomes re-leasable.
-func (s *Store) ReleaseThread(t *core.Thread) { s.pool.Release(t) }
+// Acquire leases a serving handle from the store's group. The handle
+// belongs to the calling goroutine until Release.
+func (s *Store) Acquire() (*core.GroupHandle, error) { return s.g.Acquire() }
+
+// AcquireWait leases a serving handle, queueing (FIFO) while the group
+// is saturated — the admission-control path; see
+// core.DomainGroup.AcquireWait.
+func (s *Store) AcquireWait(ctx context.Context) (*core.GroupHandle, error) {
+	return s.g.AcquireWait(ctx)
+}
+
+// Release returns a serving handle to the group; the worker's
+// unreclaimed retires (nodes and value tickets) are donated to each
+// member domain for adoption, and the slot becomes re-leasable.
+func (s *Store) Release(h *core.GroupHandle) { s.g.Release(h) }
 
 // Ordered reports whether the backing supports hashed-key Scan.
 func (s *Store) Ordered() bool { return s.shards[0].scanner != nil }
 
-// localFor returns t's thread-local state, creating it on first use.
-func (s *Store) localFor(t *core.Thread) *storeLocal {
-	tl := s.locals[t.ID()]
+// localFor returns t's thread-local state in member m, creating it on
+// first use.
+func (s *Store) localFor(m int, t *core.Thread) *storeLocal {
+	tl := s.locals[m][t.ID()]
 	if tl == nil {
 		tl = &storeLocal{vc: s.vals.NewCache(), tickets: s.tickets.NewCache()}
-		s.locals[t.ID()] = tl
+		s.locals[m][t.ID()] = tl
 	}
 	return tl
 }
@@ -336,10 +400,16 @@ func ikeyOf(h uint64) int64 {
 	return k
 }
 
-// locate resolves key to its shard and in-shard key.
-func (s *Store) locate(key string) (*shard, int64) {
+// locate resolves key to its shard index and in-shard key.
+func (s *Store) locate(key string) (int, int64) {
 	h := hash64(key)
-	return &s.shards[h&s.mask], ikeyOf(h)
+	return int(h & s.mask), ikeyOf(h)
+}
+
+// threadFor resolves the handle's thread for shard index si, leasing
+// the member thread on first touch.
+func (s *Store) threadFor(h *core.GroupHandle, si int) *core.Thread {
+	return h.Member(si >> s.memberShift)
 }
 
 // Get copies key's value into buf (growing it as needed) and returns
@@ -347,8 +417,10 @@ func (s *Store) locate(key string) (*shard, int64) {
 // value slot was reclaimed between the protected map read and the
 // arena read is detected by the arena's sequence check and retried
 // with a fresh lookup — Get never returns torn or recycled bytes.
-func (s *Store) Get(t *core.Thread, key string, buf []byte) ([]byte, bool) {
-	sh, ik := s.locate(key)
+func (s *Store) Get(h *core.GroupHandle, key string, buf []byte) ([]byte, bool) {
+	si, ik := s.locate(key)
+	sh := &s.shards[si]
+	t := s.threadFor(h, si)
 	sh.gets.Add(1)
 	for {
 		hv, ok := sh.m.Get(t, ik)
@@ -364,40 +436,46 @@ func (s *Store) Get(t *core.Thread, key string, buf []byte) ([]byte, bool) {
 }
 
 // Contains reports whether key is present, without touching its value.
-func (s *Store) Contains(t *core.Thread, key string) bool {
-	sh, ik := s.locate(key)
-	_, ok := sh.m.Get(t, ik)
+func (s *Store) Contains(h *core.GroupHandle, key string) bool {
+	si, ik := s.locate(key)
+	_, ok := s.shards[si].m.Get(s.threadFor(h, si), ik)
 	return ok
 }
 
 // Put upserts key to a private copy of val (len(val) bounded by
 // Config.MaxValueLen; it panics beyond it, like the ds layer's key
-// checks). A replaced value is retired through the core retire path
-// and freed by the domain's policy.
-func (s *Store) Put(t *core.Thread, key string, val []byte) {
+// checks). A replaced value is retired through the core retire path in
+// the shard's member domain and freed by the policy.
+func (s *Store) Put(h *core.GroupHandle, key string, val []byte) {
 	if len(val) > s.cfg.MaxValueLen {
 		panic(fmt.Sprintf("store: value of %d bytes exceeds MaxValueLen %d", len(val), s.cfg.MaxValueLen))
 	}
-	tl := s.localFor(t)
+	si, ik := s.locate(key)
+	m := si >> s.memberShift
+	t := h.Member(m)
+	tl := s.localFor(m, t)
 	nh := tl.vc.Alloc(val)
-	sh, ik := s.locate(key)
+	sh := &s.shards[si]
 	old, replaced := sh.m.Put(t, ik, uint64(nh))
 	sh.puts.Add(1)
 	if replaced {
 		sh.overwrites.Add(1)
-		s.retireValue(t, arena.Handle(old))
+		s.retireValue(t, m, arena.Handle(old))
 	}
 }
 
 // PutIfAbsent maps key to a copy of val only if key is absent and
 // reports whether it did.
-func (s *Store) PutIfAbsent(t *core.Thread, key string, val []byte) bool {
+func (s *Store) PutIfAbsent(h *core.GroupHandle, key string, val []byte) bool {
 	if len(val) > s.cfg.MaxValueLen {
 		panic(fmt.Sprintf("store: value of %d bytes exceeds MaxValueLen %d", len(val), s.cfg.MaxValueLen))
 	}
-	tl := s.localFor(t)
+	si, ik := s.locate(key)
+	m := si >> s.memberShift
+	t := h.Member(m)
+	tl := s.localFor(m, t)
 	nh := tl.vc.Alloc(val)
-	sh, ik := s.locate(key)
+	sh := &s.shards[si]
 	if sh.m.PutIfAbsent(t, ik, uint64(nh)) {
 		sh.puts.Add(1)
 		return true
@@ -408,25 +486,30 @@ func (s *Store) PutIfAbsent(t *core.Thread, key string, val []byte) bool {
 
 // Delete removes key, retiring its value, and reports whether it was
 // present.
-func (s *Store) Delete(t *core.Thread, key string) bool {
-	sh, ik := s.locate(key)
+func (s *Store) Delete(h *core.GroupHandle, key string) bool {
+	si, ik := s.locate(key)
+	m := si >> s.memberShift
+	t := h.Member(m)
+	sh := &s.shards[si]
 	old, ok := sh.m.Delete(t, ik)
 	if ok {
 		sh.deletes.Add(1)
-		s.retireValue(t, arena.Handle(old))
+		s.retireValue(t, m, arena.Handle(old))
 	}
 	return ok
 }
 
-// retireValue hands a replaced value handle to the reclamation layer:
-// the ticket is a managed node, so the handle's slot frees exactly when
-// the domain's policy decides the retired generation is safe — value
-// retirement is policy-visible, like node retirement.
-func (s *Store) retireValue(t *core.Thread, h arena.Handle) {
-	tl := s.localFor(t)
+// retireValue hands a replaced value handle to the reclamation layer of
+// member m on thread t (which must be m's member thread): the ticket is
+// a managed node, so the handle's slot frees exactly when m's policy
+// decides the retired generation is safe — value retirement is
+// policy-visible, like node retirement, and member-local, like every
+// other retire.
+func (s *Store) retireValue(t *core.Thread, m int, h arena.Handle) {
+	tl := s.localFor(m, t)
 	tk := tl.tickets.Get()
 	tk.h = h
-	t.OnAlloc(&tk.Header, s.ticketTyp)
+	t.OnAlloc(&tk.Header, s.ticketTyps[m])
 	t.Retire(&tk.Header)
 }
 
@@ -434,23 +517,28 @@ func (s *Store) retireValue(t *core.Thread, h arena.Handle) {
 // [lo, hi], shard by shard and ascending within each shard, until fn
 // returns false; it returns the number of pairs visited. Each chunk of
 // at most scanChunk pairs is one protected scan operation
-// (RangeCollectKV on the backing), and each value is resolved through
-// the stale-detecting read path: a pair whose value was reclaimed
-// mid-scan is re-fetched from the map (it may have a newer value by
-// then) or skipped if deleted. The val slice passed to fn is reused
-// across calls — copy it to keep it.
+// (RangeCollectKV on the backing) on the shard's member thread, so a
+// store-wide scan is a sequence of member-local operations — the
+// membership invariant holds chunk by chunk — and the fan-out of any
+// reclaimer the scan provokes stays per-member. Each value resolves
+// through the stale-detecting read path: a pair whose value was
+// reclaimed mid-scan is re-fetched from the map (it may have a newer
+// value by then) or skipped if deleted. The val slice passed to fn is
+// reused across calls — copy it to keep it.
 //
 // Scan requires an ordered backing (Ordered); it panics otherwise.
-func (s *Store) Scan(t *core.Thread, lo, hi int64, fn func(hkey int64, val []byte) bool) int {
+func (s *Store) Scan(h *core.GroupHandle, lo, hi int64, fn func(hkey int64, val []byte) bool) int {
 	if !s.Ordered() {
 		panic(fmt.Sprintf("store: Scan on unordered backing %q", s.cfg.Backing))
 	}
 	s.scans.Add(1)
-	tl := s.localFor(t)
 	var vbuf []byte
 	visited := 0
 	for i := range s.shards {
 		sh := &s.shards[i]
+		m := i >> s.memberShift
+		t := h.Member(m)
+		tl := s.localFor(m, t)
 		from := lo
 		for from <= hi {
 			tl.keys, tl.vals = sh.scanner.RangeCollectKV(t, from, hi, scanChunk, tl.keys, tl.vals)
@@ -489,9 +577,14 @@ func (s *Store) Scan(t *core.Thread, lo, hi int64, fn func(hkey int64, val []byt
 	return visited
 }
 
-// Batch holds one GetBatch's results and reusable scratch. Vals[i] and
-// OK[i] answer keys[i] of the batch; Vals slices point into an internal
-// buffer that is overwritten by the next GetBatch with this Batch.
+// Batch holds one batched operation's results and reusable scratch.
+// After GetBatch, Vals[i] and OK[i] answer keys[i]; Vals slices point
+// into an internal buffer that is overwritten by the next batched call
+// with this Batch. After PutBatch, OK[i] reports whether keys[i]
+// replaced (and retired) a previous value. One Batch may be reused
+// across a GetBatch → modify → PutBatch read-modify-write cycle: the
+// grouping scratch (hashes, shard order) is simply recomputed per call
+// while the allocations persist.
 type Batch struct {
 	Vals [][]byte
 	OK   []bool
@@ -502,7 +595,10 @@ type Batch struct {
 	ikeys []int64  // per-group scratch
 	gvals []uint64
 	gok   []bool
-	offs  []int // value offsets into buf (per key; -1 = miss)
+	golds []uint64       // PutBatch: replaced handles per group
+	gbuf  [][]byte       // PutBatch: group's value payloads
+	ghs   []arena.Handle // PutBatch: group's fresh arena handles
+	offs  []int          // value offsets into buf (per key; -1 = miss)
 	lens  []int
 	buf   []byte
 }
@@ -552,8 +648,10 @@ func (b *Batch) groupByShard(n, shards int, mask uint64) {
 // one protected operation on batch-capable backings — the entry/exit
 // amortization that makes a 64-key batch measurably cheaper than 64
 // Gets — with values resolved through the same stale-detecting path as
-// Get. Results are positional: input order is preserved.
-func (s *Store) GetBatch(t *core.Thread, keys []string, b *Batch) {
+// Get. Groups run sequentially on each shard's member thread, so the
+// handle is mid-operation in at most one member at a time. Results are
+// positional: input order is preserved.
+func (s *Store) GetBatch(h *core.GroupHandle, keys []string, b *Batch) {
 	n := len(keys)
 	s.batches.Add(1)
 	b.Vals = resize(b.Vals, n)
@@ -569,12 +667,14 @@ func (s *Store) GetBatch(t *core.Thread, keys []string, b *Batch) {
 	b.groupByShard(n, len(s.shards), s.mask)
 
 	for g := 0; g < n; {
-		sh := &s.shards[b.hks[b.order[g]]&s.mask]
+		si := int(b.hks[b.order[g]] & s.mask)
+		sh := &s.shards[si]
 		e := g + 1
-		for e < n && &s.shards[b.hks[b.order[e]]&s.mask] == sh {
+		for e < n && int(b.hks[b.order[e]]&s.mask) == si {
 			e++
 		}
 		group := b.order[g:e]
+		t := s.threadFor(h, si)
 		b.ikeys = resize(b.ikeys, len(group))
 		b.gvals = resize(b.gvals, len(group))
 		b.gok = resize(b.gok, len(group))
@@ -633,6 +733,83 @@ func (s *Store) GetBatch(t *core.Thread, keys []string, b *Batch) {
 	}
 }
 
+// PutBatch upserts every keys[i] to a private copy of vals[i], the
+// write-side mirror of GetBatch: the batch is counting-sorted by
+// (shard, hashed key); each shard group's payloads are copied into the
+// value arena in one reservation pass (AllocBatch — the class free
+// lists are locked at most once per group instead of per refill); the
+// group's upserts run in one protected operation on batch-capable
+// backings (ds.BatchPutter); and the replaced handles retire in bulk
+// on the shard's member thread. b.OK[i] reports whether keys[i]
+// replaced a previous value. A read-modify-write batch can reuse the
+// same Batch from the preceding GetBatch — payload slices passed in
+// vals may even alias b.Vals, because every payload is copied into the
+// arena before any map mutation touches the batch scratch.
+func (s *Store) PutBatch(h *core.GroupHandle, keys []string, vals [][]byte, b *Batch) {
+	n := len(keys)
+	if len(vals) != n {
+		panic(fmt.Sprintf("store: PutBatch with %d keys but %d values", n, len(vals)))
+	}
+	for _, v := range vals {
+		if len(v) > s.cfg.MaxValueLen {
+			panic(fmt.Sprintf("store: value of %d bytes exceeds MaxValueLen %d", len(v), s.cfg.MaxValueLen))
+		}
+	}
+	s.putBatches.Add(1)
+	b.OK = resize(b.OK, n)
+	b.hks = resize(b.hks, n)
+	b.order = resize(b.order, n)
+	for i, k := range keys {
+		b.hks[i] = hash64(k)
+	}
+	b.groupByShard(n, len(s.shards), s.mask)
+
+	for g := 0; g < n; {
+		si := int(b.hks[b.order[g]] & s.mask)
+		sh := &s.shards[si]
+		e := g + 1
+		for e < n && int(b.hks[b.order[e]]&s.mask) == si {
+			e++
+		}
+		group := b.order[g:e]
+		m := si >> s.memberShift
+		t := h.Member(m)
+		tl := s.localFor(m, t)
+		b.ikeys = resize(b.ikeys, len(group))
+		b.gvals = resize(b.gvals, len(group))
+		b.golds = resize(b.golds, len(group))
+		b.gok = resize(b.gok, len(group))
+		b.gbuf = resize(b.gbuf, len(group))
+		b.ghs = resize(b.ghs, len(group))
+		for j, idx := range group {
+			b.ikeys[j] = ikeyOf(b.hks[idx])
+			b.gbuf[j] = vals[idx]
+		}
+		// One arena reservation pass for the group's payloads.
+		tl.vc.AllocBatch(b.gbuf, b.ghs)
+		for j := range group {
+			b.gvals[j] = uint64(b.ghs[j])
+		}
+		sh.puts.Add(uint64(len(group)))
+		if sh.batchPut != nil {
+			// One protected operation for the whole group.
+			sh.batchPut.PutBatch(t, b.ikeys, b.gvals, b.golds, b.gok)
+		} else {
+			for j, ik := range b.ikeys {
+				b.golds[j], b.gok[j] = sh.m.Put(t, ik, b.gvals[j])
+			}
+		}
+		for j, idx := range group {
+			b.OK[idx] = b.gok[j]
+			if b.gok[j] {
+				sh.overwrites.Add(1)
+				s.retireValue(t, m, arena.Handle(b.golds[j]))
+			}
+		}
+		g = e
+	}
+}
+
 // resize returns s with length n, reallocating only when capacity is
 // short.
 func resize[T any](s []T, n int) []T {
@@ -643,11 +820,11 @@ func resize[T any](s []T, n int) []T {
 }
 
 // Size counts the store's keys (quiescent use only).
-func (s *Store) Size(t *core.Thread) int {
+func (s *Store) Size(h *core.GroupHandle) int {
 	n := 0
 	for i := range s.shards {
 		if sized, ok := s.shards[i].m.(ds.Sized); ok {
-			n += sized.Size(t)
+			n += sized.Size(s.threadFor(h, i))
 		}
 	}
 	return n
@@ -667,10 +844,11 @@ func (s *Store) Outstanding() int64 {
 type Stats struct {
 	Gets       uint64 // lookups (batch keys included)
 	GetMisses  uint64 // lookups finding no entry
-	Puts       uint64 // upserts
+	Puts       uint64 // upserts (batch keys included)
 	Overwrites uint64 // upserts that replaced (and retired) a value
 	Deletes    uint64 // deletes that removed (and retired) a value
 	Batches    uint64 // GetBatch calls
+	PutBatches uint64 // PutBatch calls
 	Scans      uint64 // Scan calls
 	ScanPairs  uint64 // pairs yielded by scans
 	StaleReads uint64 // value reads that lost to reclamation and retried
@@ -692,6 +870,7 @@ func (s *Store) Stats() Stats {
 		out.StaleReads += sh.stale.Load()
 	}
 	out.Batches = s.batches.Load()
+	out.PutBatches = s.putBatches.Load()
 	out.Scans = s.scans.Load()
 	out.Values = s.vals.Stats()
 	return out

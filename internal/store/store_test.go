@@ -13,15 +13,25 @@ import (
 	"pop/internal/workload"
 )
 
-// newDomain builds a domain with tiny thresholds so reclamation paths
-// run constantly during the tests (the dstest convention).
-func newDomain(p core.Policy, threads int) *core.Domain {
-	return core.NewDomain(p, threads, &core.Options{
+// newGroup builds a domain group with tiny thresholds so reclamation
+// paths run constantly during the tests (the dstest convention).
+func newGroup(p core.Policy, members, slots int) *core.DomainGroup {
+	return core.NewDomainGroup(p, members, slots, &core.Options{
 		ReclaimThreshold: 32,
 		EpochFreq:        8,
 		BatchSize:        8,
 		Debug:            true,
 	})
+}
+
+// acquire leases a handle or fails the test.
+func acquire(t testing.TB, s *Store) *core.GroupHandle {
+	t.Helper()
+	h, err := s.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
 }
 
 // valFor builds the canonical checksummed payload for key.
@@ -33,49 +43,49 @@ func TestStoreSequential(t *testing.T) {
 	for _, backing := range []string{BackingSkipList, BackingHashTable, BackingABTree,
 		BackingHarrisMichaelList, BackingLazyList, BackingExternalBST} {
 		t.Run(backing, func(t *testing.T) {
-			d := newDomain(core.EpochPOP, 1)
-			s, err := New(d, Config{Shards: 4, Backing: backing})
+			g := newGroup(core.EpochPOP, 2, 1)
+			s, err := New(g, Config{Shards: 4, Backing: backing})
 			if err != nil {
 				t.Fatal(err)
 			}
-			th := d.RegisterThread()
+			h := acquire(t, s)
 
-			if _, ok := s.Get(th, "missing", nil); ok {
+			if _, ok := s.Get(h, "missing", nil); ok {
 				t.Fatal("Get on empty store succeeded")
 			}
-			s.Put(th, "alpha", []byte("value-1"))
-			if v, ok := s.Get(th, "alpha", nil); !ok || string(v) != "value-1" {
+			s.Put(h, "alpha", []byte("value-1"))
+			if v, ok := s.Get(h, "alpha", nil); !ok || string(v) != "value-1" {
 				t.Fatalf("Get(alpha) = %q, %v", v, ok)
 			}
-			s.Put(th, "alpha", []byte("value-2, longer than before"))
-			if v, ok := s.Get(th, "alpha", nil); !ok || string(v) != "value-2, longer than before" {
+			s.Put(h, "alpha", []byte("value-2, longer than before"))
+			if v, ok := s.Get(h, "alpha", nil); !ok || string(v) != "value-2, longer than before" {
 				t.Fatalf("overwritten Get(alpha) = %q, %v", v, ok)
 			}
-			if s.PutIfAbsent(th, "alpha", []byte("loser")) {
+			if s.PutIfAbsent(h, "alpha", []byte("loser")) {
 				t.Fatal("PutIfAbsent overwrote a present key")
 			}
-			if !s.PutIfAbsent(th, "beta", []byte("beta-value")) {
+			if !s.PutIfAbsent(h, "beta", []byte("beta-value")) {
 				t.Fatal("PutIfAbsent failed on an absent key")
 			}
-			if !s.Contains(th, "beta") || s.Contains(th, "gamma") {
+			if !s.Contains(h, "beta") || s.Contains(h, "gamma") {
 				t.Fatal("Contains wrong")
 			}
-			if got := s.Size(th); got != 2 {
+			if got := s.Size(h); got != 2 {
 				t.Fatalf("Size = %d, want 2", got)
 			}
-			if !s.Delete(th, "alpha") || s.Delete(th, "alpha") {
+			if !s.Delete(h, "alpha") || s.Delete(h, "alpha") {
 				t.Fatal("Delete semantics wrong")
 			}
-			if _, ok := s.Get(th, "alpha", nil); ok {
+			if _, ok := s.Get(h, "alpha", nil); ok {
 				t.Fatal("deleted key still served")
 			}
 			st := s.Stats()
 			if st.Puts != 3 || st.Overwrites != 1 || st.Deletes != 1 {
 				t.Fatalf("stats: %+v", st)
 			}
-			th.Flush()
-			if p := d.Policy(); p != core.NR {
-				if u := d.Unreclaimed(); u != 0 {
+			h.Flush()
+			if p := g.Policy(); p != core.NR {
+				if u := g.Unreclaimed(); u != 0 {
 					t.Fatalf("%d unreclaimed after flush", u)
 				}
 			}
@@ -87,11 +97,50 @@ func TestStoreSequential(t *testing.T) {
 	}
 }
 
+// TestStoreMemberMapping pins the shard→member mapping and the lazy
+// member leasing the fan-out argument rests on: an operation touching
+// one shard leases exactly that shard's member thread and no other.
+func TestStoreMemberMapping(t *testing.T) {
+	g := newGroup(core.EpochPOP, 4, 2)
+	s, err := New(g, Config{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Group(); got != g {
+		t.Fatal("Group() did not return the constructing group")
+	}
+	// 8 shards over 4 members: contiguous blocks of 2.
+	for si := 0; si < 8; si++ {
+		if got, want := s.MemberIndex(si), si/2; got != want {
+			t.Fatalf("MemberIndex(%d) = %d, want %d", si, got, want)
+		}
+	}
+	h := acquire(t, s)
+	for i := range make([]struct{}, 4) {
+		if h.MemberLeased(i) != nil {
+			t.Fatalf("member %d leased before any operation", i)
+		}
+	}
+	// One Put touches exactly one shard, hence one member.
+	key := "member-mapping-probe"
+	si := s.ShardIndex(key)
+	s.Put(h, key, []byte("v"))
+	for i := range make([]struct{}, 4) {
+		if want := i == s.MemberIndex(si); (h.MemberLeased(i) != nil) != want {
+			t.Fatalf("after touching shard %d, member %d leased=%v want %v",
+				si, i, h.MemberLeased(i) != nil, want)
+		}
+	}
+	h.Flush()
+	s.Release(h)
+}
+
 // TestStoreGetAfterPut is the linearizable get-after-put check per
 // shard: each thread owns a private slice of the key space and every
 // Get of an owned key must return exactly the bytes of the thread's
 // latest Put, while all other threads churn their own stripes through
-// the same shards. Runs under every policy.
+// the same shards. Runs under every policy on a grouped store (8
+// shards, 2 member domains).
 func TestStoreGetAfterPut(t *testing.T) {
 	const (
 		threads = 4
@@ -100,14 +149,14 @@ func TestStoreGetAfterPut(t *testing.T) {
 	)
 	for _, p := range core.Policies() {
 		t.Run(p.String(), func(t *testing.T) {
-			d := newDomain(p, threads)
-			s, err := New(d, Config{Shards: 8})
+			g := newGroup(p, 2, threads)
+			s, err := New(g, Config{Shards: 8})
 			if err != nil {
 				t.Fatal(err)
 			}
-			ths := make([]*core.Thread, threads)
-			for i := range ths {
-				ths[i] = d.RegisterThread()
+			hs := make([]*core.GroupHandle, threads)
+			for i := range hs {
+				hs[i] = acquire(t, s)
 			}
 			errs := make(chan error, threads)
 			var wg sync.WaitGroup
@@ -115,7 +164,7 @@ func TestStoreGetAfterPut(t *testing.T) {
 				wg.Add(1)
 				go func(id int) {
 					defer wg.Done()
-					th := ths[id]
+					h := hs[id]
 					r := rng.New(uint64(id)*31 + uint64(p) + 1)
 					ref := make(map[string][]byte, stripe)
 					var vbuf, gbuf []byte
@@ -123,15 +172,15 @@ func TestStoreGetAfterPut(t *testing.T) {
 						key := workload.KeyString(int64(id)*stripe + r.Intn(stripe))
 						switch r.Intn(10) {
 						case 0:
-							s.Delete(th, key)
+							s.Delete(h, key)
 							delete(ref, key)
 						case 1, 2, 3, 4:
 							size := 16 + int(r.Intn(240))
 							vbuf = valFor(vbuf, key, uint32(n), size)
-							s.Put(th, key, vbuf)
+							s.Put(h, key, vbuf)
 							ref[key] = append([]byte(nil), vbuf...)
 						default:
-							got, ok := s.Get(th, key, gbuf)
+							got, ok := s.Get(h, key, gbuf)
 							want, wok := ref[key]
 							if ok != wok || (ok && !bytes.Equal(got, want)) {
 								errs <- fmt.Errorf("thread %d op %d: Get(%s) = (%d bytes, %v), want (%d bytes, %v)",
@@ -148,11 +197,11 @@ func TestStoreGetAfterPut(t *testing.T) {
 			for err := range errs {
 				t.Fatal(err)
 			}
-			for _, th := range ths {
-				th.Flush()
+			for _, h := range hs {
+				h.Flush()
 			}
 			if p != core.NR {
-				if u := d.Unreclaimed(); u != 0 {
+				if u := g.Unreclaimed(); u != 0 {
 					t.Fatalf("%d unreclaimed after quiescent flush", u)
 				}
 			}
@@ -163,7 +212,8 @@ func TestStoreGetAfterPut(t *testing.T) {
 // TestStoreBatchVsLoop checks GetBatch's positional equivalence with
 // per-key Gets: exactly on a quiescent store (hits, misses, duplicates,
 // cross-shard batches), and against private references under full
-// concurrency.
+// concurrency. The store is fully grouped (one member per shard), so
+// every batch crosses member domains.
 func TestStoreBatchVsLoop(t *testing.T) {
 	const (
 		threads = 4
@@ -173,21 +223,21 @@ func TestStoreBatchVsLoop(t *testing.T) {
 	for _, p := range []core.Policy{core.EBR, core.HP, core.NBR, core.EpochPOP, core.HazardEraPOP} {
 		for _, backing := range []string{BackingSkipList, BackingHashTable, BackingABTree} {
 			t.Run(fmt.Sprintf("%v/%s", p, backing), func(t *testing.T) {
-				d := newDomain(p, threads)
-				s, err := New(d, Config{Shards: 8, Backing: backing})
+				g := newGroup(p, 8, threads)
+				s, err := New(g, Config{Shards: 8, Backing: backing})
 				if err != nil {
 					t.Fatal(err)
 				}
-				ths := make([]*core.Thread, threads)
-				for i := range ths {
-					ths[i] = d.RegisterThread()
+				hs := make([]*core.GroupHandle, threads)
+				for i := range hs {
+					hs[i] = acquire(t, s)
 				}
-				th := ths[0]
+				h := hs[0]
 				var vbuf []byte
 				for i := int64(0); i < keys; i += 2 {
 					key := workload.KeyString(i)
 					vbuf = valFor(vbuf, key, uint32(i), 16+int(i)%200)
-					s.Put(th, key, vbuf)
+					s.Put(h, key, vbuf)
 				}
 
 				// Quiescent equivalence.
@@ -199,9 +249,9 @@ func TestStoreBatchVsLoop(t *testing.T) {
 						kbuf[i] = workload.KeyString(r.Intn(keys))
 					}
 					kbuf[3] = kbuf[1] // duplicates answered independently
-					s.GetBatch(th, kbuf, &b)
+					s.GetBatch(h, kbuf, &b)
 					for i, key := range kbuf {
-						want, wok := s.Get(th, key, nil)
+						want, wok := s.Get(h, key, nil)
 						if b.OK[i] != wok || !bytes.Equal(b.Vals[i], want) {
 							t.Fatalf("round %d slot %d key %s: batch (%d bytes, %v) vs get (%d bytes, %v)",
 								round, i, key, len(b.Vals[i]), b.OK[i], len(want), wok)
@@ -216,7 +266,7 @@ func TestStoreBatchVsLoop(t *testing.T) {
 					wg.Add(1)
 					go func(id int) {
 						defer wg.Done()
-						th := ths[id]
+						h := hs[id]
 						base := int64(keys + id*256)
 						ref := make(map[string][]byte)
 						r := rng.New(uint64(id)*977 + uint64(p))
@@ -227,18 +277,18 @@ func TestStoreBatchVsLoop(t *testing.T) {
 							for j := 0; j < 16; j++ {
 								key := workload.KeyString(base + r.Intn(256))
 								if r.Intn(5) == 0 {
-									s.Delete(th, key)
+									s.Delete(h, key)
 									delete(ref, key)
 								} else {
 									vb = valFor(vb, key, uint32(n*16+j), 16+int(r.Intn(100)))
-									s.Put(th, key, vb)
+									s.Put(h, key, vb)
 									ref[key] = append([]byte(nil), vb...)
 								}
 							}
 							for j := range kb {
 								kb[j] = workload.KeyString(base + r.Intn(256))
 							}
-							s.GetBatch(th, kb, &bb)
+							s.GetBatch(h, kb, &bb)
 							for j, key := range kb {
 								want, wok := ref[key]
 								if bb.OK[j] != wok || (wok && !bytes.Equal(bb.Vals[j], want)) {
@@ -254,8 +304,117 @@ func TestStoreBatchVsLoop(t *testing.T) {
 				for err := range errs {
 					t.Fatal(err)
 				}
-				for _, th := range ths {
-					th.Flush()
+				for _, h := range hs {
+					h.Flush()
+				}
+			})
+		}
+	}
+}
+
+// TestStorePutBatchVsLoop checks PutBatch's equivalence with per-key
+// Puts: positional replaced-flags, values readable afterwards, replaced
+// values retired (value-slot accounting stays exact), batch-capable and
+// fallback backings, and Batch reuse across a GetBatch → modify →
+// PutBatch read-modify-write cycle.
+func TestStorePutBatchVsLoop(t *testing.T) {
+	const (
+		keys  = 256
+		batch = 64
+	)
+	for _, p := range []core.Policy{core.EBR, core.HP, core.EpochPOP} {
+		for _, backing := range []string{BackingSkipList, BackingHashTable,
+			BackingHarrisMichaelList, BackingABTree} {
+			t.Run(fmt.Sprintf("%v/%s", p, backing), func(t *testing.T) {
+				g := newGroup(p, 4, 2)
+				s, err := New(g, Config{Shards: 8, Backing: backing})
+				if err != nil {
+					t.Fatal(err)
+				}
+				h := acquire(t, s)
+				r := rng.New(uint64(p)*29 + 7)
+				ref := make(map[string][]byte, keys)
+				var vbuf []byte
+				// Seed half the space so batches mix inserts and overwrites.
+				for i := int64(0); i < keys; i += 2 {
+					key := workload.KeyString(i)
+					vbuf = valFor(vbuf, key, uint32(i), 24)
+					s.Put(h, key, vbuf)
+					ref[key] = append([]byte(nil), vbuf...)
+				}
+				kb := make([]string, batch)
+				vb := make([][]byte, batch)
+				var b Batch
+				for round := 0; round < 8; round++ {
+					for i := range kb {
+						kb[i] = workload.KeyString(r.Intn(keys))
+						vb[i] = valFor(nil, kb[i], uint32(round*batch+i), 16+int(r.Intn(120)))
+					}
+					kb[5] = kb[2] // duplicate keys upsert in slot order
+					vb[5] = valFor(nil, kb[5], uint32(round*batch)+0xbeef, 40)
+					wantOK := make([]bool, batch)
+					present := make(map[string]bool, batch)
+					for i, key := range kb {
+						_, had := ref[key]
+						wantOK[i] = had || present[key]
+						present[key] = true
+					}
+					s.PutBatch(h, kb, vb, &b)
+					for i, key := range kb {
+						if b.OK[i] != wantOK[i] {
+							t.Fatalf("round %d slot %d key %s: replaced=%v want %v",
+								round, i, key, b.OK[i], wantOK[i])
+						}
+						// Slot order is upsert order (the in-bucket sort is
+						// stable), so a duplicate key's later slot wins.
+						ref[key] = append([]byte(nil), vb[i]...)
+					}
+					for key, want := range ref {
+						got, ok := s.Get(h, key, nil)
+						if !ok || !bytes.Equal(got, want) {
+							t.Fatalf("round %d: Get(%s) = (%d bytes, %v), want %d bytes",
+								round, key, len(got), ok, len(want))
+						}
+					}
+				}
+
+				// Read-modify-write reusing one Batch: fetch a batch of
+				// known-present keys, rewrite every hit with a derived
+				// payload, put the batch back.
+				live := make([]string, 0, len(ref))
+				for key := range ref {
+					live = append(live, key)
+				}
+				for i := range kb {
+					kb[i] = live[int(r.Intn(int64(len(live))))]
+				}
+				s.GetBatch(h, kb, &b)
+				for i := range kb {
+					if !b.OK[i] {
+						t.Fatalf("rmw key %s missing despite being in the reference map", kb[i])
+					}
+					vb[i] = valFor(vb[i][:0], kb[i], 0xc0de, len(b.Vals[i]))
+				}
+				s.PutBatch(h, kb, vb, &b)
+				for i := range kb {
+					if !b.OK[i] {
+						t.Fatalf("rmw PutBatch slot %d did not replace", i)
+					}
+				}
+
+				h.Flush()
+				if p != core.NR {
+					if u := g.Unreclaimed(); u != 0 {
+						t.Fatalf("%d unreclaimed after quiescent flush", u)
+					}
+					// Every live key holds exactly one value slot: all replaced
+					// slots must have been retired and freed.
+					if vo, live := s.vals.Outstanding(), int64(s.Size(h)); vo != live {
+						t.Fatalf("value slots outstanding = %d, live keys = %d", vo, live)
+					}
+				}
+				if st := s.Stats(); st.PutBatches != 9 {
+					t.Fatalf("PutBatches = %d, want 9", st.PutBatches)
 				}
 			})
 		}
@@ -263,11 +422,12 @@ func TestStoreBatchVsLoop(t *testing.T) {
 }
 
 // TestStoreOverwriteStorm is the acceptance storm: all threads hammer a
-// small hot key set with overwrites while serving gets, batches and
-// scans. Every value the store returns, on every path, must be
+// small hot key set with overwrites while serving gets, batches, batch
+// puts and scans. Every value the store returns, on every path, must be
 // internally consistent — the checksummed payload of some put to
 // exactly that key. A torn read, a stale slot served as live, or a
-// cross-key value fails the checksum. Runs under every policy.
+// cross-key value fails the checksum. Runs under every policy on a
+// fully grouped store (one member domain per shard).
 func TestStoreOverwriteStorm(t *testing.T) {
 	const (
 		threads = 4
@@ -276,14 +436,14 @@ func TestStoreOverwriteStorm(t *testing.T) {
 	)
 	for _, p := range core.Policies() {
 		t.Run(p.String(), func(t *testing.T) {
-			d := newDomain(p, threads)
-			s, err := New(d, Config{Shards: 4})
+			g := newGroup(p, 4, threads)
+			s, err := New(g, Config{Shards: 4})
 			if err != nil {
 				t.Fatal(err)
 			}
-			ths := make([]*core.Thread, threads)
-			for i := range ths {
-				ths[i] = d.RegisterThread()
+			hs := make([]*core.GroupHandle, threads)
+			for i := range hs {
+				hs[i] = acquire(t, s)
 			}
 			keyTab := make([]string, hotKeys)
 			hkTab := make([]int64, hotKeys)
@@ -294,7 +454,7 @@ func TestStoreOverwriteStorm(t *testing.T) {
 			var vbuf []byte
 			for i, key := range keyTab {
 				vbuf = valFor(vbuf, key, uint32(i), 32)
-				s.Put(ths[0], key, vbuf)
+				s.Put(hs[0], key, vbuf)
 			}
 			var badValues atomic.Uint64
 			var wg sync.WaitGroup
@@ -302,10 +462,11 @@ func TestStoreOverwriteStorm(t *testing.T) {
 				wg.Add(1)
 				go func(id int) {
 					defer wg.Done()
-					th := ths[id]
+					h := hs[id]
 					r := rng.New(uint64(id)*7919 + uint64(p) + 3)
 					var vb, gb []byte
 					kb := make([]string, 8)
+					pv := make([][]byte, 8)
 					var bb Batch
 					tag := uint32(id) << 24
 					for n := 0; n < ops; n++ {
@@ -314,27 +475,34 @@ func TestStoreOverwriteStorm(t *testing.T) {
 						case 0, 1, 2: // overwrite: a retirement per hit
 							tag++
 							vb = valFor(vb, keyTab[i], tag, 16+int(r.Intn(1000)))
-							s.Put(th, keyTab[i], vb)
+							s.Put(h, keyTab[i], vb)
 						case 3: // batched serve
 							for j := range kb {
 								kb[j] = keyTab[int(r.Intn(hotKeys))]
 							}
-							s.GetBatch(th, kb, &bb)
+							s.GetBatch(h, kb, &bb)
 							for j := range kb {
 								if bb.OK[j] && !workload.ValueBytesValid(KeyHash(kb[j]), bb.Vals[j]) {
 									badValues.Add(1)
 								}
 							}
 						case 4: // scan serve (ordered backing)
-							s.Scan(th, hkTab[i]-1000, hkTab[i]+1000, func(hk int64, v []byte) bool {
+							s.Scan(h, hkTab[i]-1000, hkTab[i]+1000, func(hk int64, v []byte) bool {
 								if !workload.ValueBytesValid(hk, v) {
 									badValues.Add(1)
 								}
 								return true
 							})
+						case 5: // batched overwrite: 8 retirements per hit set
+							for j := range kb {
+								tag++
+								kb[j] = keyTab[int(r.Intn(hotKeys))]
+								pv[j] = valFor(pv[j][:0], kb[j], tag, 16+int(r.Intn(400)))
+							}
+							s.PutBatch(h, kb, pv, &bb)
 						default: // single serve
 							var ok bool
-							gb, ok = s.Get(th, keyTab[i], gb)
+							gb, ok = s.Get(h, keyTab[i], gb)
 							if ok && !workload.ValueBytesValid(hkTab[i], gb) {
 								badValues.Add(1)
 							}
@@ -346,20 +514,23 @@ func TestStoreOverwriteStorm(t *testing.T) {
 			if n := badValues.Load(); n != 0 {
 				t.Fatalf("%d checksum-invalid values served under %v", n, p)
 			}
-			for _, th := range ths {
-				th.Flush()
+			for _, h := range hs {
+				h.Flush()
 			}
 			st := s.Stats()
 			if st.Overwrites == 0 {
 				t.Fatal("storm produced no overwrites")
 			}
+			if st.PutBatches == 0 {
+				t.Fatal("storm produced no batched puts")
+			}
 			if p != core.NR {
-				if u := d.Unreclaimed(); u != 0 {
+				if u := g.Unreclaimed(); u != 0 {
 					t.Fatalf("%d unreclaimed after quiescent flush", u)
 				}
 				// Every live key holds exactly one value slot; everything
 				// retired must have been freed by the flush.
-				if vo, live := s.vals.Outstanding(), int64(s.Size(ths[0])); vo != live {
+				if vo, live := s.vals.Outstanding(), int64(s.Size(hs[0])); vo != live {
 					t.Fatalf("value slots outstanding = %d, live keys = %d", vo, live)
 				}
 			}
@@ -376,18 +547,18 @@ func TestStoreScan(t *testing.T) {
 	const keys = 300
 	for _, backing := range []string{BackingSkipList, BackingABTree} {
 		t.Run(backing, func(t *testing.T) {
-			d := newDomain(core.EBR, 1)
-			s, err := New(d, Config{Shards: 4, Backing: backing})
+			g := newGroup(core.EBR, 2, 1)
+			s, err := New(g, Config{Shards: 4, Backing: backing})
 			if err != nil {
 				t.Fatal(err)
 			}
-			th := d.RegisterThread()
+			h := acquire(t, s)
 			want := make(map[int64][]byte, keys)
 			var vbuf []byte
 			for i := int64(0); i < keys; i++ {
 				key := workload.KeyString(i)
 				vbuf = valFor(vbuf, key, uint32(i), 16+int(i)%64)
-				s.Put(th, key, vbuf)
+				s.Put(h, key, vbuf)
 				want[KeyHash(key)] = append([]byte(nil), vbuf...)
 			}
 			got := make(map[int64][]byte, keys)
@@ -395,7 +566,7 @@ func TestStoreScan(t *testing.T) {
 			// drop marks a shard boundary — at most Shards()-1 drops total.
 			drops := 0
 			last := int64(math.MinInt64)
-			n := s.Scan(th, -1<<62, 1<<62, func(hk int64, v []byte) bool {
+			n := s.Scan(h, -1<<62, 1<<62, func(hk int64, v []byte) bool {
 				if _, dup := got[hk]; dup {
 					t.Fatalf("pair %d scanned twice", hk)
 				}
@@ -427,43 +598,47 @@ func TestStoreScan(t *testing.T) {
 			}
 			// Early stop.
 			count := 0
-			s.Scan(th, -1<<62, 1<<62, func(int64, []byte) bool {
+			s.Scan(h, -1<<62, 1<<62, func(int64, []byte) bool {
 				count++
 				return count < 5
 			})
 			if count != 5 {
 				t.Fatalf("early-stopped scan visited %d pairs, want 5", count)
 			}
-			th.Flush()
+			h.Flush()
 		})
 	}
 }
 
 func TestStoreScanUnorderedPanics(t *testing.T) {
-	d := newDomain(core.NR, 1)
-	s, err := New(d, Config{Backing: BackingHashTable})
+	g := newGroup(core.NR, 1, 1)
+	s, err := New(g, Config{Backing: BackingHashTable})
 	if err != nil {
 		t.Fatal(err)
 	}
-	th := d.RegisterThread()
+	h := acquire(t, s)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("Scan on unordered backing did not panic")
 		}
 	}()
-	s.Scan(th, 0, 100, func(int64, []byte) bool { return true })
+	s.Scan(h, 0, 100, func(int64, []byte) bool { return true })
 }
 
 func TestStoreConfigValidation(t *testing.T) {
-	d := newDomain(core.NR, 1)
-	if _, err := New(d, Config{Backing: "btree"}); err == nil {
+	g := newGroup(core.NR, 1, 1)
+	if _, err := New(g, Config{Backing: "btree"}); err == nil {
 		t.Fatal("unknown backing accepted")
 	}
-	s, err := New(core.NewDomain(core.NR, 1, nil), Config{Shards: 5})
+	s, err := New(core.NewDomainGroup(core.NR, 1, 1, nil), Config{Shards: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if s.Shards() != 8 {
 		t.Fatalf("Shards() = %d, want rounded-up 8", s.Shards())
+	}
+	// More member domains than shards has no shard→member mapping.
+	if _, err := New(core.NewDomainGroup(core.NR, 8, 1, nil), Config{Shards: 4}); err == nil {
+		t.Fatal("members > shards accepted")
 	}
 }

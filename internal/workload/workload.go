@@ -464,6 +464,10 @@ const (
 	// class). The read and the write are separate protected ops, like
 	// a cache's read-update cycle.
 	StoreRMW
+	// StoreMPut upserts a batch of keys through the store's batched
+	// multi-put (one protected entry/exit and one arena reservation
+	// pass per shard per batch) — the write-side mirror of StoreMGet.
+	StoreMPut
 )
 
 // StoreMix is a store operation mixture in percent; fields must sum to
@@ -475,6 +479,7 @@ type StoreMix struct {
 	ScanPct   int
 	DeletePct int
 	RMWPct    int
+	MPutPct   int
 }
 
 // StoreServe is the standard KV-serving mix for store sweeps: 65% get /
@@ -486,13 +491,13 @@ var StoreServe = StoreMix{GetPct: 65, PutPct: 15, MGetPct: 10, ScanPct: 5, Delet
 // Valid reports whether the mix sums to 100 with no negatives.
 func (m StoreMix) Valid() bool {
 	return m.GetPct >= 0 && m.PutPct >= 0 && m.MGetPct >= 0 && m.ScanPct >= 0 &&
-		m.DeletePct >= 0 && m.RMWPct >= 0 &&
-		m.GetPct+m.PutPct+m.MGetPct+m.ScanPct+m.DeletePct+m.RMWPct == 100
+		m.DeletePct >= 0 && m.RMWPct >= 0 && m.MPutPct >= 0 &&
+		m.GetPct+m.PutPct+m.MGetPct+m.ScanPct+m.DeletePct+m.RMWPct+m.MPutPct == 100
 }
 
-// NextStore draws the next store operation kind from m using r. RMW is
-// drawn last so mixes without it consume the exact same random stream
-// they did before the class existed.
+// NextStore draws the next store operation kind from m using r. Newer
+// classes (RMW, then MPut) are drawn last so mixes without them consume
+// the exact same random stream they did before the class existed.
 func (m StoreMix) NextStore(r *rng.State) StoreOp {
 	p := r.Pct()
 	switch {
@@ -506,8 +511,10 @@ func (m StoreMix) NextStore(r *rng.State) StoreOp {
 		return StoreScan
 	case p < m.GetPct+m.PutPct+m.MGetPct+m.ScanPct+m.DeletePct:
 		return StoreDelete
-	default:
+	case p < m.GetPct+m.PutPct+m.MGetPct+m.ScanPct+m.DeletePct+m.RMWPct:
 		return StoreRMW
+	default:
+		return StoreMPut
 	}
 }
 

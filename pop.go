@@ -149,6 +149,31 @@ func NewDomain(p Policy, maxThreads int, opts *Options) *Domain {
 // NewHandles creates a handle pool over d (see Handles).
 func NewHandles(d *Domain) *Handles { return core.NewHandles(d) }
 
+// DomainGroup partitions one logical reclamation domain into several
+// member Domains sharing a single lease facade. A goroutine leases one
+// group slot (Acquire) and holds a GroupHandle whose per-member Thread
+// handles are leased lazily on first touch, so a reclaimer's ping
+// fan-out covers only the threads that actually operated in its member
+// — O(readers-of-member), not O(total threads). Store shards map onto
+// members; see NewStore.
+type DomainGroup = core.DomainGroup
+
+// GroupHandle is one goroutine's lease across a DomainGroup: a group
+// slot plus lazily-leased member Threads (GroupHandle.Member).
+type GroupHandle = core.GroupHandle
+
+// ReclaimStats summarizes reclamation-pass fan-out: passes, pings
+// issued and thread-list entries scanned, absolute and per pass.
+type ReclaimStats = core.ReclaimStats
+
+// NewDomainGroup creates a group of members domains (members must be a
+// positive power of two) under policy p, each sized so that all
+// maxThreads group slots can lease into it. opts may be nil for the
+// paper's defaults.
+func NewDomainGroup(p Policy, members, maxThreads int, opts *Options) *DomainGroup {
+	return core.NewDomainGroup(p, members, maxThreads, opts)
+}
+
 // ParsePolicy resolves a policy name ("HazardPtrPOP", "EBR", ...).
 func ParsePolicy(s string) (Policy, error) { return core.ParsePolicy(s) }
 
@@ -327,22 +352,28 @@ func NewABTree(d *Domain) RangeSet { return newRangeSet(abtree.New(d)) }
 // reclamation detects it deterministically (the arena's sequence
 // discipline) and retries, never observing torn or recycled bytes.
 //
-//	d := pop.NewDomain(pop.EpochPOP, 8, nil)
-//	s, _ := pop.NewStore(d, nil)            // 8 shards over skiplists
-//	t := d.RegisterThread()
-//	s.Put(t, "user:42", []byte("payload"))
-//	v, ok := s.Get(t, "user:42", nil)       // v is a private copy
-//	s.GetBatch(t, keys, &batch)             // one protected op per shard
-//	s.Scan(t, lo, hi, func(hk int64, v []byte) bool { ... })
+//	g := pop.NewDomainGroup(pop.EpochPOP, 2, 8, nil) // 2 member domains, 8 slots
+//	s, _ := pop.NewStore(g, nil)            // 8 shards over skiplists, 4 per member
+//	h, _ := s.Acquire()                     // lease one group slot
+//	s.Put(h, "user:42", []byte("payload"))
+//	v, ok := s.Get(h, "user:42", nil)       // v is a private copy
+//	s.GetBatch(h, keys, &batch)             // one protected op per shard
+//	s.PutBatch(h, keys, vals, &batch)       // batched protected upsert
+//	s.Scan(h, lo, hi, func(hk int64, v []byte) bool { ... })
+//	s.Release(h)
 //
-// GetBatch answers a whole batch with one protected operation per
-// shard (sorted by shard and in-shard key), which measurably beats
-// per-key Gets — see BenchmarkStoreBatchGet in internal/store. Scan
-// yields (hashed key, value copy) pairs over ordered backings.
+// GetBatch and PutBatch answer a whole batch with one protected
+// operation per shard group (sorted by shard and in-shard key), which
+// measurably beats per-key ops — see BenchmarkStoreBatchGet and
+// BenchmarkStorePutBatch in internal/store. Scan yields (hashed key,
+// value copy) pairs over ordered backings.
 //
-// Serving pools resize live: Store.AcquireThread / ReleaseThread lease
-// handles from the store's Handles pool, so workers can be scaled up
-// and down against a loaded store (see examples/webcache).
+// Serving pools resize live: Store.Acquire / Release lease group
+// handles from the store's domain group, so workers can be scaled up
+// and down against a loaded store (see examples/webcache). Each shard
+// belongs to exactly one member domain; a handle leases into a member
+// only when an op first touches one of its shards, keeping reclamation
+// ping fan-out proportional to the member's reader population.
 type Store = store.Store
 
 // StoreOptions tunes a Store (shard count, backing structure, value
@@ -358,16 +389,18 @@ type StoreStats = store.Stats
 // GetBatch call.
 type StoreBatch = store.Batch
 
-// NewStore creates a sharded string-key KV store in domain d. opts may
-// be nil for the defaults (8 shards, skiplist backing — ordered, so
-// Scan works). Shard structures register node types with the domain,
-// so create the store before the domain's type table fills up.
-func NewStore(d *Domain, opts *StoreOptions) (*Store, error) {
+// NewStore creates a sharded string-key KV store over domain group g.
+// opts may be nil for the defaults (8 shards, skiplist backing —
+// ordered, so Scan works). Shards are split evenly across g's members
+// (g.Members() must not exceed the shard count). Shard structures
+// register node types with the member domains, so create the store
+// before the domains' type tables fill up.
+func NewStore(g *DomainGroup, opts *StoreOptions) (*Store, error) {
 	var cfg store.Config
 	if opts != nil {
 		cfg = *opts
 	}
-	return store.New(d, cfg)
+	return store.New(g, cfg)
 }
 
 // Queue is a concurrent FIFO of int64 values bound to a reclamation

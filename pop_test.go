@@ -186,36 +186,49 @@ func TestSharedDomainAcrossStructures(t *testing.T) {
 }
 
 func TestStoreFacade(t *testing.T) {
-	d := pop.NewDomain(pop.EpochPOP, 2, nil)
-	s, err := pop.NewStore(d, nil)
+	g := pop.NewDomainGroup(pop.EpochPOP, 2, 2, nil)
+	s, err := pop.NewStore(g, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	th := d.RegisterThread()
-	s.Put(th, "facade:key", []byte("facade-value"))
-	if v, ok := s.Get(th, "facade:key", nil); !ok || string(v) != "facade-value" {
+	h, err := s.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(h, "facade:key", []byte("facade-value"))
+	if v, ok := s.Get(h, "facade:key", nil); !ok || string(v) != "facade-value" {
 		t.Fatalf("Get = %q, %v", v, ok)
 	}
 	var b pop.StoreBatch
-	s.GetBatch(th, []string{"facade:key", "absent"}, &b)
+	s.GetBatch(h, []string{"facade:key", "absent"}, &b)
 	if !b.OK[0] || string(b.Vals[0]) != "facade-value" || b.OK[1] {
 		t.Fatalf("GetBatch = %q/%v, %v", b.Vals[0], b.OK[0], b.OK[1])
 	}
-	pairs := 0
-	s.Scan(th, -1<<63+1, 1<<63-2, func(int64, []byte) bool { pairs++; return true })
-	if pairs != 1 {
-		t.Fatalf("Scan visited %d pairs, want 1", pairs)
+	s.PutBatch(h, []string{"facade:key", "facade:sibling"}, [][]byte{[]byte("v2"), []byte("v3")}, &b)
+	if !b.OK[0] || b.OK[1] {
+		t.Fatalf("PutBatch replaced = %v,%v, want true,false", b.OK[0], b.OK[1])
 	}
-	if !s.Delete(th, "facade:key") {
+	if v, ok := s.Get(h, "facade:key", nil); !ok || string(v) != "v2" {
+		t.Fatalf("Get after PutBatch = %q, %v", v, ok)
+	}
+	pairs := 0
+	s.Scan(h, -1<<63+1, 1<<63-2, func(int64, []byte) bool { pairs++; return true })
+	if pairs != 2 {
+		t.Fatalf("Scan visited %d pairs, want 2", pairs)
+	}
+	if !s.Delete(h, "facade:key") {
 		t.Fatal("Delete failed")
 	}
-	if st := s.Stats(); st.Puts != 1 || st.Deletes != 1 {
+	// Puts counts per-key upserts (the single Put plus PutBatch's two);
+	// PutBatches counts batch calls.
+	if st := s.Stats(); st.Puts != 3 || st.Deletes != 1 || st.PutBatches != 1 || st.Overwrites != 1 {
 		t.Fatalf("stats %+v", st)
 	}
-	th.Flush()
+	h.Flush()
+	s.Release(h)
 
 	// Options plumb through (and invalid ones surface as errors).
-	if _, err := pop.NewStore(d, &pop.StoreOptions{Backing: "nope"}); err == nil {
+	if _, err := pop.NewStore(g, &pop.StoreOptions{Backing: "nope"}); err == nil {
 		t.Fatal("invalid backing accepted")
 	}
 }
