@@ -99,6 +99,7 @@ import (
 	"pop/internal/harness"
 	"pop/internal/report"
 	"pop/internal/store"
+	"pop/internal/telemetry"
 	"pop/internal/workload"
 )
 
@@ -128,6 +129,9 @@ func main() {
 		traceFile  = flag.String("trace", "", "replay a recorded op trace (op,key,size,offset_us lines) through the store instead of a synthetic mix")
 		tracePaced = flag.Bool("tracepaced", false, "honor the trace's recorded offsets as an open-loop arrival schedule (default: replay flat-out)")
 		chaosOn    = flag.Bool("chaos", false, "run the standard fault-injector bundle (stalled readers, GC pressure, lease churn, shard hotspot) alongside store and serve sweeps")
+		chaosFrom  = flag.Duration("chaosstart", 0, "with -chaos on -store: delay injector start this long into the measured run (a chaos burst instead of whole-run chaos)")
+		chaosTo    = flag.Duration("chaosstop", 0, "with -chaos on -store: stop injectors this long into the run (0 = at run end)")
+		sampleDur  = flag.Duration("sample", 0, "store sweep: record an interval-sampled telemetry timeline per cell at this resolution and print it after the tables (0 = off); with -json the samples embed in each record")
 
 		storeMode = flag.Bool("store", false, "store sweep: the sharded string-key KV front across shards × policies × batch sizes")
 		backing   = flag.String("backing", "skl", "store backing structure (skl, hmht, hml, abt, ll, dgt)")
@@ -135,7 +139,7 @@ func main() {
 		batchCSV  = flag.String("batch", "16", "store sweep: comma-separated multi-get/multi-put batch sizes")
 		groupsCSV = flag.String("groups", "1", "store sweep: comma-separated reclamation-domain member counts the shards split across (powers of two, capped at the shard count)")
 		mputPct   = flag.Int("mputpct", 0, "store sweep: percent of ops that are batched multi-puts (PutBatch), carved from the mix's put share")
-		jsonOut   = flag.String("json", "", "store sweep: also append one JSON record per (shards, groups, batch, policy) cell to this file (e.g. BENCH_store.json)")
+		jsonOut   = flag.String("json", "", "also append one JSON record per sweep cell (JSON lines) to this file — -store, -ds and -serve sweeps all emit (CI's BENCH_store.json / BENCH_ds.json / BENCH_serve.json trajectories)")
 
 		serveMode = flag.Bool("serve", false, "serve sweep: live TCP memcached-text server across connection counts × policies")
 		connsCSV  = flag.String("conns", "8,32", "serve sweep: comma-separated client connection counts")
@@ -204,12 +208,20 @@ func main() {
 		}
 		chaosCfg = chaos.Default()
 	}
+	if (*chaosFrom > 0 || *chaosTo > 0) && !*storeMode {
+		fmt.Fprintln(os.Stderr, "popbench: -chaosstart/-chaosstop window the -store path's injectors")
+		os.Exit(2)
+	}
+	if *sampleDur > 0 && !*storeMode {
+		fmt.Fprintln(os.Stderr, "popbench: -sample applies to the -store path (-figure timeline samples the canonical run)")
+		os.Exit(2)
+	}
 	if *serveMode {
 		if err := serveSweep(serveSweepOpts{
 			backing: *backing, conns: *connsCSV, slots: *slots, window: *window,
 			openRate: *openRate, getPct: *getPct, keys: *keyRange, dist: dist,
 			duration: *duration, seed: *seed, policies: *policies,
-			ycsb: *ycsbName, chaos: chaosCfg,
+			ycsb: *ycsbName, chaos: chaosCfg, jsonPath: *jsonOut,
 			render: render, quiet: *quiet,
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
@@ -225,6 +237,7 @@ func main() {
 			seed: *seed, policies: *policies, render: render, quiet: *quiet,
 			churn: workload.Churn{AfterOps: *churnOps}, rthresh: *rthresh,
 			ycsb: *ycsbName, chaos: chaosCfg,
+			chaosStart: *chaosFrom, chaosStop: *chaosTo, sample: *sampleDur,
 			trace: trace, traceName: *traceFile, tracePaced: *tracePaced,
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
@@ -238,6 +251,7 @@ func main() {
 			keyRange: *keyRange, dist: dist, duration: *duration, threads: *threads,
 			seed: *seed, policies: *policies, render: render, quiet: *quiet,
 			churn: workload.Churn{AfterOps: *churnOps}, rthresh: *rthresh,
+			jsonPath: *jsonOut,
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
 			os.Exit(1)
@@ -319,6 +333,7 @@ type sweepOpts struct {
 	threads   string
 	seed      uint64
 	policies  string
+	jsonPath  string // JSON-lines sink ("" = none)
 	render    func(*report.Series) error
 	quiet     bool
 }
@@ -340,6 +355,9 @@ type storeSweepOpts struct {
 	traceName  string
 	tracePaced bool
 	chaos      chaos.Config
+	chaosStart time.Duration // burst window start ("" = immediate)
+	chaosStop  time.Duration // burst window end (0 = run end)
+	sample     time.Duration // telemetry sampling interval (0 = off)
 	duration   time.Duration
 	threads    string
 	seed       uint64
@@ -360,6 +378,7 @@ type serveSweepOpts struct {
 	dist     workload.Dist
 	ycsb     string // YCSB workload name ("" = plain get/set mix)
 	chaos    chaos.Config
+	jsonPath string // JSON-lines sink ("" = none)
 	duration time.Duration
 	seed     uint64
 	policies string
@@ -446,6 +465,15 @@ func serveSweep(o serveSweepOpts) error {
 	for i := range series {
 		if err := o.render(&series[i]); err != nil {
 			return fmt.Errorf("write: %w", err)
+		}
+	}
+	if o.jsonPath != "" {
+		names := make([]string, len(metrics))
+		for i, m := range metrics {
+			names[i] = m.Name
+		}
+		if err := appendJSONLines(o.jsonPath, seriesRecords("serve", o.backing, names, series)); err != nil {
+			return fmt.Errorf("write %s: %w", o.jsonPath, err)
 		}
 	}
 	return nil
@@ -601,6 +629,7 @@ func storeSweep(o storeSweepOpts) error {
 		log = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
 	}
 	var jsonRecs []storeJSONRecord
+	var timelines []report.Series
 	for _, nshards := range shardList {
 		for _, ngroups := range groupList {
 			for _, nbatch := range batchList {
@@ -624,6 +653,9 @@ func storeSweep(o storeSweepOpts) error {
 						Trace:            o.trace,
 						TracePaced:       o.tracePaced,
 						Chaos:            o.chaos,
+						ChaosStart:       o.chaosStart,
+						ChaosStop:        o.chaosStop,
+						SampleEvery:      o.sample,
 						BatchSize:        nbatch,
 						OpLatency:        true,
 						ReclaimThreshold: o.rthresh,
@@ -635,11 +667,17 @@ func storeSweep(o storeSweepOpts) error {
 					for mi, m := range metrics {
 						cells[mi][pi] = m.Get(res)
 					}
+					if res.Timeline != nil {
+						timelines = append(timelines, figures.TimelineSeries(
+							fmt.Sprintf("%s — timeline [shards=%d groups=%d batch=%d policy=%v, sample %v]",
+								title, nshards, ngroups, nbatch, p, o.sample), res.Timeline))
+					}
 					if o.jsonPath != "" {
 						rec := storeJSONRecord{
 							Backing: o.backing, Policy: p.String(),
 							Shards: nshards, Groups: ngroups, Batch: nbatch,
 							Threads: threads, Metrics: map[string]float64{},
+							Timeline: res.Timeline,
 						}
 						for mi, m := range metrics {
 							rec.Metrics[m.Name] = cells[mi][pi]
@@ -665,8 +703,13 @@ func storeSweep(o storeSweepOpts) error {
 			return fmt.Errorf("write: %w", err)
 		}
 	}
+	for i := range timelines {
+		if err := o.render(&timelines[i]); err != nil {
+			return fmt.Errorf("write: %w", err)
+		}
+	}
 	if o.jsonPath != "" {
-		if err := writeStoreJSON(o.jsonPath, jsonRecs); err != nil {
+		if err := appendJSONLines(o.jsonPath, jsonRecs); err != nil {
 			return fmt.Errorf("write %s: %w", o.jsonPath, err)
 		}
 	}
@@ -677,18 +720,55 @@ func storeSweep(o storeSweepOpts) error {
 // store sweep, flattened for machine consumption (CI's BENCH_store.json
 // trajectory).
 type storeJSONRecord struct {
-	Backing string             `json:"backing"`
+	Backing  string              `json:"backing"`
+	Policy   string              `json:"policy"`
+	Shards   int                 `json:"shards"`
+	Groups   int                 `json:"groups"`
+	Batch    int                 `json:"batch"`
+	Threads  int                 `json:"threads"`
+	Metrics  map[string]float64  `json:"metrics"`
+	Timeline *telemetry.Timeline `json:"timeline,omitempty"` // present with -sample
+}
+
+// benchJSONRecord is one (x, policy) cell of a -ds or -serve sweep,
+// flattened for machine consumption like storeJSONRecord is for -store
+// (CI's BENCH_ds.json / BENCH_serve.json trajectories). X is the swept
+// axis value: a thread count for -ds, a connection count for -serve.
+type benchJSONRecord struct {
+	Sweep   string             `json:"sweep"`  // "ds" or "serve"
+	Target  string             `json:"target"` // structure (-ds) or backing (-serve)
 	Policy  string             `json:"policy"`
-	Shards  int                `json:"shards"`
-	Groups  int                `json:"groups"`
-	Batch   int                `json:"batch"`
-	Threads int                `json:"threads"`
+	X       string             `json:"x"`
 	Metrics map[string]float64 `json:"metrics"`
 }
 
-// writeStoreJSON appends records to path as JSON lines, so repeated
+// seriesRecords flattens per-metric series (identical row/column grids,
+// one series per metric, as SweepThreads/SweepServeConns build) into
+// one record per (row, policy) cell.
+func seriesRecords(sweep, target string, metricNames []string, series []report.Series) []benchJSONRecord {
+	if len(series) == 0 {
+		return nil
+	}
+	var recs []benchJSONRecord
+	base := &series[0]
+	for ri := range base.Rows {
+		for ci, policy := range base.Names {
+			rec := benchJSONRecord{
+				Sweep: sweep, Target: target, Policy: policy,
+				X: base.Rows[ri].X, Metrics: map[string]float64{},
+			}
+			for si := range series {
+				rec.Metrics[metricNames[si]] = series[si].Rows[ri].Cells[ci]
+			}
+			recs = append(recs, rec)
+		}
+	}
+	return recs
+}
+
+// appendJSONLines appends records to path as JSON lines, so repeated
 // sweep invocations (CI runs several) accumulate one trajectory file.
-func writeStoreJSON(path string, recs []storeJSONRecord) error {
+func appendJSONLines[T any](path string, recs []T) error {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
@@ -846,6 +926,15 @@ func directSweep(o sweepOpts) error {
 	for i := range series {
 		if err := o.render(&series[i]); err != nil {
 			return fmt.Errorf("write: %w", err)
+		}
+	}
+	if o.jsonPath != "" {
+		names := make([]string, len(metrics))
+		for i, m := range metrics {
+			names[i] = m.Name
+		}
+		if err := appendJSONLines(o.jsonPath, seriesRecords("ds", o.ds, names, series)); err != nil {
+			return fmt.Errorf("write %s: %w", o.jsonPath, err)
 		}
 	}
 	return nil

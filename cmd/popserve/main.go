@@ -27,6 +27,7 @@ import (
 	"pop/internal/core"
 	"pop/internal/server"
 	"pop/internal/store"
+	"pop/internal/telemetry"
 )
 
 func main() {
@@ -41,6 +42,8 @@ func main() {
 		maxBatch = flag.Int("maxbatch", 64, "coalesced batch cap")
 		timeout  = flag.Duration("timeout", 10*time.Second, "admission-queue wait bound per burst")
 		maxValue = flag.Int("maxvalue", 0, "value size cap in bytes (0 = arena default)")
+		metrics  = flag.String("metrics", "", "telemetry HTTP address serving /metrics, /timeline and /debug/pprof (e.g. 127.0.0.1:9090; empty disables the endpoint)")
+		sample   = flag.Duration("sample", 100*time.Millisecond, "telemetry sampling interval (stats telemetry / timeline resolution)")
 		smoke    = flag.Bool("smoke", false, "self-test: start, serve one scripted session in-process, verify, exit")
 	)
 	flag.Parse()
@@ -76,11 +79,39 @@ func main() {
 		fmt.Fprintf(os.Stderr, "popserve: %v\n", err)
 		os.Exit(1)
 	}
+	// The live sampler always runs (it powers "stats telemetry" and
+	// "stats reset" even without the HTTP endpoint); -metrics
+	// additionally exposes it over HTTP with pprof alongside.
+	tsampler := telemetry.NewSampler(s.Group(), telemetry.Config{
+		Every:  *sample,
+		Extras: s,
+	})
+	tsampler.Start()
+	s.SetTelemetry(tsampler)
+	defer tsampler.Stop()
+	maddr := ""
+	if *metrics != "" {
+		var stopMetrics func() error
+		maddr, stopMetrics, err = tsampler.Serve(*metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "popserve: metrics: %v\n", err)
+			s.Close()
+			os.Exit(1)
+		}
+		defer stopMetrics()
+	}
 	if *smoke {
 		if err := smokeTest(s); err != nil {
 			fmt.Fprintf(os.Stderr, "popserve: smoke: %v\n", err)
 			s.Close()
 			os.Exit(1)
+		}
+		if maddr != "" {
+			if err := metricsSmoke(maddr, s); err != nil {
+				fmt.Fprintf(os.Stderr, "popserve: metrics smoke: %v\n", err)
+				s.Close()
+				os.Exit(1)
+			}
 		}
 		if err := shutdown(s); err != nil {
 			fmt.Fprintf(os.Stderr, "popserve: %v\n", err)
@@ -91,6 +122,9 @@ func main() {
 	}
 	fmt.Printf("popserve: %v policy, %d slots, %d×%s shards over %d domain members, listening on %s\n",
 		p, *slots, *shards, *backing, s.Group().Members(), s.Addr())
+	if maddr != "" {
+		fmt.Printf("popserve: telemetry on http://%s/metrics (timeline: /timeline, pprof: /debug/pprof/)\n", maddr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -2,9 +2,12 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
+	"net/http"
+	"strconv"
 	"strings"
 
 	"pop/internal/server"
@@ -85,4 +88,124 @@ func smokeTest(s *server.Server) error {
 		return fmt.Errorf("connection alive after quit: %v", err)
 	}
 	return nil
+}
+
+// metricsSmoke exercises the -metrics endpoint: scrape /metrics, push
+// traffic through the text protocol, scrape again, and require the
+// command counters to have advanced between the two scrapes. It also
+// checks /timeline decodes as JSON and "stats telemetry" answers over
+// the wire.
+func metricsSmoke(maddr string, s *server.Server) error {
+	before, err := scrapeMetrics(maddr)
+	if err != nil {
+		return err
+	}
+	for _, name := range []string{"pop_cmd_get_total", "pop_conns_accepted_total", "pop_slot_releases_total"} {
+		if _, ok := before[name]; !ok {
+			return fmt.Errorf("first scrape missing %s", name)
+		}
+	}
+	// Generate traffic between the scrapes.
+	nc, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		return err
+	}
+	defer nc.Close()
+	r := bufio.NewReader(nc)
+	if _, err := io.WriteString(nc, "set mk 0 0 3\r\nabc\r\n"); err != nil {
+		return err
+	}
+	if line, _ := r.ReadString('\n'); strings.TrimRight(line, "\r\n") != "STORED" {
+		return fmt.Errorf("set for metrics traffic not stored: %q", line)
+	}
+	for i := 0; i < 32; i++ {
+		if _, err := io.WriteString(nc, "get mk\r\n"); err != nil {
+			return err
+		}
+		for {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				return fmt.Errorf("metrics traffic get: %w", err)
+			}
+			if strings.TrimRight(line, "\r\n") == "END" {
+				break
+			}
+		}
+	}
+	// The wire-level telemetry section must answer too.
+	if _, err := io.WriteString(nc, "stats telemetry\r\n"); err != nil {
+		return err
+	}
+	sawTel := 0
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return fmt.Errorf("stats telemetry: %w", err)
+		}
+		l := strings.TrimRight(line, "\r\n")
+		if l == "END" {
+			break
+		}
+		if !strings.HasPrefix(l, "STAT ") {
+			return fmt.Errorf("bad stats telemetry line %q", l)
+		}
+		sawTel++
+	}
+	if sawTel < 5 {
+		return fmt.Errorf("stats telemetry emitted only %d lines", sawTel)
+	}
+	after, err := scrapeMetrics(maddr)
+	if err != nil {
+		return err
+	}
+	for _, name := range []string{"pop_cmd_get_total", "pop_get_hits_total"} {
+		if after[name] <= before[name] {
+			return fmt.Errorf("%s did not advance between scrapes (%g -> %g)",
+				name, before[name], after[name])
+		}
+	}
+	// /timeline must be well-formed JSON with the sampling interval set.
+	resp, err := http.Get("http://" + maddr + "/timeline")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var tl struct {
+		Every int64 `json:"every_ns"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&tl); err != nil {
+		return fmt.Errorf("decoding /timeline: %w", err)
+	}
+	if tl.Every <= 0 {
+		return fmt.Errorf("/timeline every_ns = %d, want > 0", tl.Every)
+	}
+	return nil
+}
+
+// scrapeMetrics fetches /metrics and parses every non-labelled sample
+// line into a name -> value map.
+func scrapeMetrics(maddr string) (map[string]float64, error) {
+	resp, err := http.Get("http://" + maddr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	vals := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") || strings.Contains(line, "{") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad metrics line %q: %w", line, err)
+		}
+		vals[name] = f
+	}
+	return vals, sc.Err()
 }

@@ -5,6 +5,7 @@ import (
 
 	"pop/internal/core"
 	"pop/internal/store"
+	"pop/internal/telemetry"
 	"pop/internal/workload"
 )
 
@@ -140,6 +141,39 @@ func (iv Invariants) CheckBalance(outstanding, live int64) []Violation {
 		return nil
 	}
 	return violate(nil, "balance", "%d allocations outstanding after flush, want exactly the %d live (leak or double-free)", outstanding, live)
+}
+
+// CheckTimeline asserts a sampled run's timeline telescopes
+// ("timeline"): the base snapshot plus every sample's deltas must
+// reproduce the final snapshot exactly — a sampler that lost or
+// double-counted a window would misnarrate the very run it claims to
+// explain. Ops telescope the same way, and stall episodes must be
+// well-formed (a recovered episode has a positive age). A nil timeline
+// (sampling off) passes vacuously.
+func (iv Invariants) CheckTimeline(tl *telemetry.Timeline) []Violation {
+	if tl == nil {
+		return nil
+	}
+	var vs []Violation
+	if sum := tl.SumDeltas(); sum != tl.Final {
+		vs = violate(vs, "timeline", "base+deltas %+v diverge from final snapshot %+v (lost or double-counted sample window)", sum, tl.Final)
+	}
+	ops := tl.BaseOps
+	for i := range tl.Samples {
+		ops += tl.Samples[i].Ops
+	}
+	if ops != tl.FinalOps {
+		vs = violate(vs, "timeline", "base+delta ops %d diverge from final op count %d", ops, tl.FinalOps)
+	}
+	if tl.Dropped < 0 {
+		vs = violate(vs, "timeline", "negative dropped-sample count %d", tl.Dropped)
+	}
+	for _, ev := range tl.Stalls {
+		if ev.Recovered && ev.Age <= 0 {
+			vs = violate(vs, "timeline", "recovered stall episode m%d.s%d has non-positive age %v", ev.Member, ev.Slot, ev.Age)
+		}
+	}
+	return vs
 }
 
 // Errs renders violations as a single multi-line error (nil if none) —

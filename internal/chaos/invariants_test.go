@@ -12,6 +12,7 @@ import (
 
 	"pop/internal/core"
 	"pop/internal/store"
+	"pop/internal/telemetry"
 	"pop/internal/workload"
 )
 
@@ -232,5 +233,60 @@ func TestErrs(t *testing.T) {
 	})
 	if err == nil || !strings.Contains(err.Error(), "drain: x") || !strings.Contains(err.Error(), "balance: y") {
 		t.Errorf("Errs rendering = %v", err)
+	}
+}
+
+// TestSeededTimelineDivergence: a live sampled run's timeline passes
+// (control), then each seeded corruption — a doctored sample delta, a
+// phantom op window, a zero-age recovered stall — trips "timeline".
+func TestSeededTimelineDivergence(t *testing.T) {
+	g := core.NewDomainGroup(core.EBR, 2, 2, nil)
+	s, err := store.New(g, store.Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sam := telemetry.NewSampler(g, telemetry.Config{})
+	sam.Start()
+	h, err := s.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vbuf []byte
+	for i := 0; i < 500; i++ {
+		k := workload.KeyString(int64(i % 64))
+		vbuf = workload.AppendValueBytes(vbuf[:0], store.KeyHash(k), uint32(i)+1, 24)
+		s.Put(h, k, vbuf)
+		if i%100 == 99 {
+			sam.Tick() // drive sampling deterministically (no ticker configured)
+		}
+	}
+	s.Release(h)
+	tl := sam.Stop()
+	iv := Invariants{Policy: core.EBR}
+	if vs := iv.CheckTimeline(nil); len(vs) != 0 {
+		t.Errorf("nil timeline (sampling off) reported %v", vs)
+	}
+	if vs := iv.CheckTimeline(tl); len(vs) != 0 {
+		t.Fatalf("control: clean timeline reported %v", vs)
+	}
+	if len(tl.Samples) == 0 {
+		t.Fatal("sampled run recorded no samples")
+	}
+	// Seed the fault: a delta the run never produced.
+	tl.Samples[0].Stats.Retires++
+	if vs := iv.CheckTimeline(tl); !hasInvariant(vs, "timeline") {
+		t.Error("doctored sample delta not detected")
+	}
+	tl.Samples[0].Stats.Retires--
+	// A phantom op window: sample ops no final count backs.
+	tl.Samples[0].Ops += 7
+	if vs := iv.CheckTimeline(tl); !hasInvariant(vs, "timeline") {
+		t.Error("phantom op window not detected")
+	}
+	tl.Samples[0].Ops -= 7
+	// A recovered episode that claims to have taken no time at all.
+	tl.Stalls = append(tl.Stalls, telemetry.StallEvent{Member: 0, Slot: 1, Recovered: true})
+	if vs := iv.CheckTimeline(tl); !hasInvariant(vs, "timeline") {
+		t.Error("zero-age recovered stall episode not detected")
 	}
 }

@@ -53,6 +53,7 @@ import (
 	"unsafe"
 
 	"pop/internal/padded"
+	"pop/internal/report"
 )
 
 // ErrNoSlots is the typed exhaustion error: every one of a domain's
@@ -232,6 +233,13 @@ type Domain struct {
 	ntypes  int
 
 	leaked padded.Int64 // nodes dropped by NR (never freed)
+
+	// Reclamation trace histograms (see trace.go): per-pass ping→ack
+	// wait and whole-pass duration, recorded by whichever thread runs
+	// the pass. Always on — passes are threshold-gated, so two clock
+	// reads per pass are noise.
+	pingAckH report.AtomicHistogram
+	passDurH report.AtomicHistogram
 }
 
 // NewDomain creates a domain for at most maxThreads threads. opts may be
@@ -380,6 +388,9 @@ func (d *Domain) finishRelease(t *Thread) {
 	}
 	t.retiredLen.Store(0)
 	t.batchedLen.Store(0)
+	// Departing tenants leave an exact stats mirror behind: sampled
+	// aggregates never under-count a slot between tenancies.
+	t.publishStats()
 	d.freeSlots = append(d.freeSlots, t.tid)
 	d.leasedCount--
 	d.releases++

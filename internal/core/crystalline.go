@@ -1,6 +1,9 @@
 package core
 
-import "unsafe"
+import (
+	"time"
+	"unsafe"
+)
 
 // crystAlgo is the appendix-E comparator: a simplified Crystalline-style
 // reclaimer (Nikolaev & Ravindran [50]).
@@ -94,6 +97,7 @@ func (a *crystAlgo) retireHook(t *Thread) {
 // wholesale into the adopter's batch list (lo/hi eras travel with the
 // batch, so the free test is unchanged by the handoff).
 func (a *crystAlgo) reclaim(t *Thread) {
+	defer a.d.recordPass(time.Now())
 	t.stats.Reclaims++
 	t.adoptOrphans()
 	ts := t.d.threadList()

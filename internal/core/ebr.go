@@ -1,6 +1,9 @@
 package core
 
-import "unsafe"
+import (
+	"time"
+	"unsafe"
+)
 
 // ebrAlgo is RCU-style epoch-based reclamation (paper Alg. 6): reads are
 // free; each operation announces the global epoch on entry and eraMax on
@@ -37,6 +40,7 @@ func (a *ebrAlgo) retireHook(t *Thread) {
 // Released slots announce eraMax (Thread.Release), identical to
 // quiescence, so they never pin the minimum.
 func (a *ebrAlgo) reclaim(t *Thread) {
+	defer a.d.recordPass(time.Now())
 	t.stats.Reclaims++
 	t.adoptOrphans()
 	t.freeBeforeEpoch(t.minAnnouncedEpoch())

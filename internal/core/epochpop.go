@@ -1,6 +1,9 @@
 package core
 
-import "unsafe"
+import (
+	"time"
+	"unsafe"
+)
 
 // epochPOPAlgo is EpochPOP (paper Alg. 3): threads run classic EBR and
 // HazardPtrPOP *simultaneously*. Operations announce epochs exactly like
@@ -48,6 +51,7 @@ func (a *epochPOPAlgo) retireHook(t *Thread) {
 		return
 	}
 	t.sinceReclaim = 0
+	defer a.d.recordPass(time.Now())
 	// Fast path (Alg. 3 lines 24-25): EBR-style reclamation. Released
 	// slots announce eraMax and never pin the minimum epoch; the
 	// escalation path inherits hppop.go's slot-lifecycle audit (released
@@ -69,6 +73,7 @@ func (a *epochPOPAlgo) retireHook(t *Thread) {
 }
 
 func (a *epochPOPAlgo) flush(t *Thread) {
+	defer a.d.recordPass(time.Now())
 	a.d.epoch.Add(1)
 	t.stats.Reclaims++
 	t.stats.EpochReclaims++

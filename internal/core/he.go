@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"sync/atomic"
 	"unsafe"
 )
@@ -54,6 +56,7 @@ func (a *heAlgo) retireHook(t *Thread) {
 // the lifespan test; a re-leased slot shows only eras its new tenant
 // published.
 func (a *heAlgo) reclaim(t *Thread) {
+	defer a.d.recordPass(time.Now())
 	t.stats.Reclaims++
 	t.adoptOrphans()
 	eras := t.collectEraList(nil)

@@ -1,6 +1,9 @@
 package core
 
-import "unsafe"
+import (
+	"time"
+	"unsafe"
+)
 
 // hePOPAlgo is HazardEraPOP (paper Alg. 5): hazard eras with the
 // publish-on-ping treatment. Reads reserve the current era in a private
@@ -45,6 +48,7 @@ func (a *hePOPAlgo) retireHook(t *Thread) {
 // era reservations in place of pointers (released slots read eraNone in
 // every era slot and are skipped as quiescent by pingAllAndWait).
 func (a *hePOPAlgo) reclaim(t *Thread) {
+	defer a.d.recordPass(time.Now())
 	t.stats.Reclaims++
 	t.adoptOrphans()
 	skip := t.pingAllAndWait((*Thread).publishEras)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"sync/atomic"
 	"unsafe"
 )
@@ -45,6 +47,7 @@ func (a *hpAlgo) retireHook(t *Thread) {
 // departed tenant's reservations can never pin a node, and a reused
 // slot's visible reservations are always the current tenant's.
 func (a *hpAlgo) reclaim(t *Thread) {
+	defer a.d.recordPass(time.Now())
 	t.stats.Reclaims++
 	t.adoptOrphans()
 	set := t.collectPtrSet(nil) // eager publishing: shared slots are current

@@ -54,6 +54,7 @@ func (a *hpAsymAlgo) retireHook(t *Thread) {
 // slot churn only ever removes reservations from the scan, never adds
 // stale ones.
 func (a *hpAsymAlgo) reclaim(t *Thread) {
+	defer a.d.recordPass(time.Now())
 	t.stats.Reclaims++
 	t.adoptOrphans()
 	// The membarrier substitution: fence ourselves, then give every other

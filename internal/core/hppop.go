@@ -1,6 +1,9 @@
 package core
 
-import "unsafe"
+import (
+	"time"
+	"unsafe"
+)
 
 // hpPOPAlgo is HazardPtrPOP (paper Alg. 1–2), the core contribution:
 // hazard pointers without the per-read fence. Reads reserve pointers in a
@@ -49,6 +52,7 @@ func (a *hpPOPAlgo) retireHook(t *Thread) {
 // counters being monotone across reuse — so the wait loop skips it
 // rather than reading the new tenant's publishes as the old tenant's.
 func (a *hpPOPAlgo) reclaim(t *Thread) {
+	defer a.d.recordPass(time.Now())
 	t.stats.Reclaims++
 	t.adoptOrphans()
 	skip := t.pingAllAndWait((*Thread).publishPtrs)

@@ -1,6 +1,9 @@
 package core
 
-import "unsafe"
+import (
+	"time"
+	"unsafe"
+)
 
 // ibrAlgo is 2GE interval-based reclamation (Wen et al. [60], the "IBR"
 // line in the paper's plots). Each operation reserves an era *interval*
@@ -57,6 +60,7 @@ func (a *ibrAlgo) retireHook(t *Thread) {
 // read [eraMax, eraMax] (Thread.Release), which intervalReserved treats
 // as quiescent, so a departed tenant's interval never pins a lifespan.
 func (a *ibrAlgo) reclaim(t *Thread) {
+	defer a.d.recordPass(time.Now())
 	t.stats.Reclaims++
 	t.adoptOrphans()
 	ts := t.d.threadList()

@@ -127,6 +127,7 @@ func (a *nbrAlgo) retireHook(t *Thread) {
 // tenant; and a released slot's shared reservations read all-nil, so
 // departed tenants never pin nodes.
 func (a *nbrAlgo) reclaim(t *Thread) {
+	defer a.d.recordPass(time.Now())
 	t.stats.Reclaims++
 	t.adoptOrphans()
 	ts := t.d.threadList()
@@ -139,17 +140,20 @@ func (a *nbrAlgo) reclaim(t *Thread) {
 		counts[i] = o.pubCount.Load()
 	}
 	// Neutralize everyone (the signal broadcast).
+	pingStart := time.Now()
+	pinged := false
 	for _, o := range ts {
 		if o == t {
 			continue
 		}
 		o.ping.Store(1)
 		t.stats.PingsSent++
+		pinged = true
 	}
 	// Wait until every thread acked, went quiescent, or is in a write
 	// phase (whose reservations are published — never wait on phase 2:
 	// it may be blocked on a lock we hold).
-	deadline := time.Now().Add(publishWaitLimit)
+	deadline := pingStart.Add(publishWaitLimit)
 	for i, o := range ts {
 		if o == t {
 			continue
@@ -163,6 +167,10 @@ func (a *nbrAlgo) reclaim(t *Thread) {
 				panic("core: NBR reclaimer waited >30s for neutralization acks")
 			}
 		}
+	}
+	if pinged {
+		// Neutralization broadcast → last ack: NBR's ping-ack span.
+		t.d.recordPingAck(pingStart)
 	}
 	// Scan all published reservations (only write-phase threads have
 	// non-empty slots; that includes our own, published at EnterWrite).

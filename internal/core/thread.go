@@ -106,6 +106,14 @@ type Thread struct {
 	scEras   []uint64
 
 	stats Stats
+
+	// statsPub is the atomic mirror of stats (indexed by the m* consts
+	// in trace.go), republished by the owner every statsPubEvery
+	// operations and at Flush/Release — what StatsSampled aggregates so
+	// live samplers never race the owner-only counters above. sincePub
+	// is the owner-only cadence counter.
+	statsPub [statsMirrorLen]atomic.Uint64
+	sincePub uint32
 }
 
 // ID returns the thread's dense index within its domain. IDs are slot
@@ -245,6 +253,10 @@ func (t *Thread) EndOp() {
 	}
 	t.hiSlot = -1
 	t.opSeq.Add(1) // -> even: quiescent (fences the clears above)
+	if t.sincePub++; t.sincePub >= statsPubEvery {
+		t.sincePub = 0
+		t.publishStats()
+	}
 }
 
 // Protect reads the shared link a into reservation slot `slot` and
@@ -318,6 +330,7 @@ func (t *Thread) ExitWritePhase() { t.d.algo.exitWrite(t) }
 func (t *Thread) Flush() {
 	t.d.algo.flush(t)
 	t.retiredLen.Store(uint32(len(t.retired)))
+	t.publishStats() // flushed threads report exact sampled stats
 }
 
 // ---------------------------------------------------------------------
@@ -399,16 +412,19 @@ func (t *Thread) pingAllAndWait(selfPublish func(*Thread)) []bool {
 	}
 
 	// Ping (the pthread_kill loop).
+	pingStart := time.Now()
+	pinged := false
 	for i, o := range ts {
 		if !skip[i] {
 			o.ping.Store(1)
 			t.stats.PingsSent++
+			pinged = true
 		}
 	}
 
 	// Wait for every pinged thread to publish or to cross an operation
 	// boundary.
-	deadline := time.Now().Add(publishWaitLimit)
+	deadline := pingStart.Add(publishWaitLimit)
 	for i, o := range ts {
 		if skip[i] {
 			continue
@@ -426,6 +442,11 @@ func (t *Thread) pingAllAndWait(selfPublish func(*Thread)) []bool {
 				panic(fmt.Sprintf("core: thread %d waited >%v for thread %d to publish (Assumption 1 violated: a thread is blocked inside an operation without polling)", t.tid, publishWaitLimit, o.tid))
 			}
 		}
+	}
+	if pinged {
+		// Broadcast → last publish: one ping-ack observation per pass
+		// that actually pinged (an all-quiescent pass has no ack wait).
+		t.d.recordPingAck(pingStart)
 	}
 	return skip
 }

@@ -1,0 +1,204 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+	"unsafe"
+
+	"pop/internal/core"
+)
+
+// TestStatsSampledExactAfterFlush: mid-run the mirror may lag, but after
+// Flush (unconditional republish) and Release the sampled view must
+// equal the owner-only truth field for field.
+func TestStatsSampledExactAfterFlush(t *testing.T) {
+	for _, p := range core.Policies() {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			opts := &core.Options{ReclaimThreshold: 8, EpochFreq: 2, BatchSize: 4}
+			e := newEnv(t, p, 2, opts)
+			th := e.d.RegisterThread()
+			cache := e.pool.NewCache()
+
+			var cell core.Atomic
+			for i := 0; i < 300; i++ {
+				th.StartOp()
+				n := e.alloc(th, cache, int64(i))
+				cell.Store(unsafe.Pointer(n))
+				cell.Store(nil)
+				th.Retire(&n.Header)
+				th.EndOp()
+			}
+			th.Flush()
+			if got, want := e.d.StatsSampled(), e.d.Stats(); got != want {
+				t.Fatalf("post-flush StatsSampled = %+v, want %+v", got, want)
+			}
+			th.Release()
+			if got, want := e.d.StatsSampled(), e.d.Stats(); got != want {
+				t.Fatalf("post-release StatsSampled = %+v, want %+v", got, want)
+			}
+			rs, rw := e.d.ReclaimStatsSampled(), e.d.ReclaimStats()
+			if rs != rw {
+				t.Fatalf("ReclaimStatsSampled = %+v, want %+v", rs, rw)
+			}
+		})
+	}
+}
+
+// TestStatsSampledMonotoneMidRun: every sampled field must be
+// non-decreasing across concurrent snapshots (the property interval
+// deltas rely on), even while a worker is mutating.
+func TestStatsSampledMonotoneMidRun(t *testing.T) {
+	opts := &core.Options{ReclaimThreshold: 8, EpochFreq: 2, BatchSize: 4}
+	e := newEnv(t, core.HazardPtrPOP, 2, opts)
+	th := e.d.RegisterThread()
+	cache := e.pool.NewCache()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var prev core.Stats
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			s := e.d.StatsSampled()
+			if s.Retires < prev.Retires || s.Frees < prev.Frees ||
+				s.Reclaims < prev.Reclaims || s.PingsSent < prev.PingsSent ||
+				s.MaxRetire < prev.MaxRetire {
+				t.Errorf("sampled stats regressed: %+v -> %+v", prev, s)
+				return
+			}
+			prev = s
+		}
+	}()
+
+	var cell core.Atomic
+	for i := 0; i < 4000; i++ {
+		th.StartOp()
+		n := e.alloc(th, cache, int64(i))
+		cell.Store(unsafe.Pointer(n))
+		cell.Store(nil)
+		th.Retire(&n.Header)
+		th.EndOp()
+	}
+	close(done)
+	wg.Wait()
+	th.Flush()
+	th.Release()
+}
+
+// TestProbesShape: Probes reports one entry per created slot with the
+// live incarnation, odd opSeq mid-op, and even opSeq at quiescence.
+func TestProbesShape(t *testing.T) {
+	opts := &core.Options{ReclaimThreshold: 64, EpochFreq: 2, BatchSize: 4}
+	e := newEnv(t, core.HazardPtrPOP, 4, opts)
+	a := e.d.RegisterThread()
+	b := e.d.RegisterThread()
+
+	a.StartOp()
+	ps := e.d.Probes(nil)
+	if len(ps) != 2 {
+		t.Fatalf("Probes returned %d entries, want 2", len(ps))
+	}
+	byID := map[int]core.SlotProbe{}
+	for _, p := range ps {
+		byID[p.Slot] = p
+	}
+	pa, ok := byID[a.ID()]
+	if !ok {
+		t.Fatalf("no probe for slot %d", a.ID())
+	}
+	if pa.OpSeq%2 != 1 {
+		t.Fatalf("mid-op slot has even OpSeq %d", pa.OpSeq)
+	}
+	if pa.Incarnation != a.Incarnation() {
+		t.Fatalf("probe incarnation %d != thread %d", pa.Incarnation, a.Incarnation())
+	}
+	pb := byID[b.ID()]
+	if pb.OpSeq%2 != 0 {
+		t.Fatalf("quiescent slot has odd OpSeq %d", pb.OpSeq)
+	}
+	a.EndOp()
+	ps = e.d.Probes(ps[:0])
+	if len(ps) != 2 {
+		t.Fatalf("reused Probes returned %d entries, want 2", len(ps))
+	}
+	for _, p := range ps {
+		if p.OpSeq%2 != 0 {
+			t.Fatalf("slot %d still odd after EndOp: %d", p.Slot, p.OpSeq)
+		}
+	}
+	a.Release()
+	b.Release()
+}
+
+// TestTraceHistograms: reclamation passes populate the pass-duration
+// histogram for every policy, and the POP policies populate the
+// ping-ack histogram when a second thread is parked mid-operation
+// (forcing a real ping and a publish-side ack).
+func TestTraceHistograms(t *testing.T) {
+	for _, p := range core.Policies() {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			opts := &core.Options{ReclaimThreshold: 4, EpochFreq: 2, BatchSize: 2, CMult: 2}
+			e := newEnv(t, p, 2, opts)
+			th := e.d.RegisterThread()
+			cache := e.pool.NewCache()
+
+			// Park a second tenant mid-operation so reclaimers have
+			// someone to ping; Poll keeps it responsive.
+			other := e.d.RegisterThread()
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					other.StartOp()
+					for i := 0; i < 32; i++ {
+						other.Poll()
+					}
+					other.EndOp()
+					select {
+					case <-stop:
+						return
+					default:
+					}
+				}
+			}()
+
+			var cell core.Atomic
+			for i := 0; i < 400; i++ {
+				th.StartOp()
+				n := e.alloc(th, cache, int64(i))
+				cell.Store(unsafe.Pointer(n))
+				cell.Store(nil)
+				th.Retire(&n.Header)
+				th.EndOp()
+			}
+			close(stop)
+			wg.Wait()
+			th.Flush()
+
+			passH, ackH := e.d.PassDurHist(), e.d.PingAckHist()
+			s := e.d.Stats()
+			if s.Reclaims > 0 && passH.Count() == 0 {
+				t.Fatalf("%d reclaim passes but PassDurHist empty", s.Reclaims)
+			}
+			if s.PingsSent > 0 && ackH.Count() == 0 {
+				t.Fatalf("%d pings sent but PingAckHist empty", s.PingsSent)
+			}
+			if p != core.NR && passH.Count() == 0 {
+				t.Fatal("no reclamation passes recorded in PassDurHist")
+			}
+			other.Flush()
+			other.Release()
+			th.Release()
+		})
+	}
+}

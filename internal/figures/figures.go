@@ -23,9 +23,11 @@ import (
 	"fmt"
 	"time"
 
+	"pop/internal/chaos"
 	"pop/internal/core"
 	"pop/internal/harness"
 	"pop/internal/report"
+	"pop/internal/telemetry"
 	"pop/internal/workload"
 )
 
@@ -1212,6 +1214,7 @@ func All() []Figure {
 		serveFigure(),
 		nbrOverwriteFigure(),
 		churnFigure(),
+		timelineFigure(),
 		readCostFigure(),
 		stallFigure(),
 		ablateThreshold(),
@@ -1228,4 +1231,138 @@ func Get(id string) (Figure, bool) {
 		}
 	}
 	return Figure{}, false
+}
+
+// TimelineSeries renders a sampled timeline as one series: a row per
+// sample, columns for the window's op count, frees, pings, the
+// unreclaimed watermark, stalled readers, and the per-window ping-ack
+// p99 — the CSV/TSV form of the live /timeline endpoint, for plotting
+// a single run over time.
+func TimelineSeries(title string, tl *telemetry.Timeline) report.Series {
+	s := report.Series{
+		Title:  title,
+		XLabel: "t_ms",
+		Names:  []string{"ops", "frees", "pings", "unreclaimed", "stalled", "ping_ack_p99_us"},
+	}
+	for i := range tl.Samples {
+		sm := &tl.Samples[i]
+		s.AddRow(fmt.Sprintf("%.0f", sm.At), []float64{
+			float64(sm.Ops),
+			float64(sm.Stats.Frees),
+			float64(sm.Stats.PingsSent),
+			float64(sm.Unreclaimed),
+			float64(sm.Stalled),
+			sm.PingAckP99,
+		})
+	}
+	return s
+}
+
+// timelineFigure is the observability experiment: a YCSB-A run on the
+// grouped store, sampled live, with a stalled-reader chaos burst
+// injected for the middle quarter of the run. The series plot the
+// unreclaimed watermark, per-window throughput, per-window ping-ack
+// p99 and the stalled-reader gauge over time, one column per policy —
+// the §5.1.2 story as a live trace: garbage climbs while the stalled
+// readers pin their windows, pings flush it back down after the burst
+// lifts (epoch-style schemes recover late; POP schemes recover on the
+// next pass).
+func timelineFigure() Figure {
+	return Figure{
+		ID:   "timeline",
+		Desc: "Telemetry: YCSB-A grouped store sampled live under a stalled-reader burst — unreclaimed watermark, throughput, ping-ack p99 over time",
+		Run: func(c Ctx) ([]report.Series, error) {
+			c = c.withDefaults()
+			threads := c.Threads[len(c.Threads)-1]
+			if threads < 4 {
+				threads = 4
+			}
+			policies := []core.Policy{core.EBR, core.NBR, core.HazardPtrPOP, core.EpochPOP}
+			if c.Policies != nil {
+				policies = c.Policies
+			}
+			w, err := workload.ParseYCSB("A")
+			if err != nil {
+				return nil, err
+			}
+			every := c.Duration / 24
+			if every < time.Millisecond {
+				every = time.Millisecond
+			}
+			names := make([]string, len(policies))
+			tls := make([]*telemetry.Timeline, len(policies))
+			for i, p := range policies {
+				names[i] = p.String()
+				c.Log("  timeline: policy=%v (sample %v, burst %v..%v)", p, every, c.Duration/4, c.Duration/2)
+				res, err := harness.RunStore(harness.StoreConfig{
+					Policy:   p,
+					Threads:  threads,
+					Duration: c.Duration,
+					Keys:     scaleSize(c, 4_000_000),
+					Shards:   8,
+					Groups:   8,
+					Mix:      w.Mix,
+					Dist:     w.Dist,
+					// Stalled readers only: the burst must be attributable to
+					// pinned read windows, not GC or lease churn.
+					Chaos:            chaos.Config{Stalls: 2},
+					ChaosStart:       c.Duration / 4,
+					ChaosStop:        c.Duration / 2,
+					SampleEvery:      every,
+					ReclaimThreshold: scaleThreshold(c, 24576),
+					Seed:             c.Seed,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("timeline [policy=%v]: %w", p, err)
+				}
+				if res.Timeline == nil {
+					return nil, fmt.Errorf("timeline [policy=%v]: sampled run returned no timeline", p)
+				}
+				tls[i] = res.Timeline
+			}
+			mk := func(metric string) report.Series {
+				return report.Series{
+					Title:  fmt.Sprintf("Timeline (YCSB A, skl ×8 shards g8, %d threads, stall burst) — %s", threads, metric),
+					XLabel: "t_ms",
+					Names:  names,
+				}
+			}
+			series := []report.Series{
+				mk("unreclaimed watermark (nodes)"),
+				mk("window ops"),
+				mk("window ping-ack p99 (µs)"),
+				mk("stalled readers"),
+			}
+			rows := 0
+			for _, tl := range tls {
+				if len(tl.Samples) > rows {
+					rows = len(tl.Samples)
+				}
+			}
+			// Policies finish with slightly different sample counts; carry
+			// each run's last sample forward so rows stay aligned by index.
+			for ri := 0; ri < rows; ri++ {
+				cells := make([][]float64, len(series))
+				for i := range cells {
+					cells[i] = make([]float64, len(policies))
+				}
+				for pi, tl := range tls {
+					si := ri
+					if si >= len(tl.Samples) {
+						si = len(tl.Samples) - 1
+					}
+					sm := &tl.Samples[si]
+					cells[0][pi] = float64(sm.Unreclaimed)
+					cells[1][pi] = float64(sm.Ops)
+					cells[2][pi] = sm.PingAckP99
+					cells[3][pi] = float64(sm.Stalled)
+				}
+				x := fmt.Sprintf("%d", (int64(ri)+1)*every.Milliseconds())
+				for i := range series {
+					series[i].AddRow(x, cells[i])
+				}
+			}
+			return series, nil
+		},
+	}
 }

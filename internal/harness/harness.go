@@ -48,7 +48,9 @@ import (
 	"pop/internal/ds/hmlist"
 	"pop/internal/ds/lazylist"
 	"pop/internal/ds/skiplist"
+	"pop/internal/padded"
 	"pop/internal/report"
+	"pop/internal/telemetry"
 	"pop/internal/workload"
 )
 
@@ -183,6 +185,13 @@ type Config struct {
 
 	// SamplePeriod is the memory-sampling interval (default 2ms).
 	SamplePeriod time.Duration
+
+	// SampleEvery enables live telemetry: an interval sampler snapshots
+	// the domain's stats mirrors every SampleEvery and Result.Timeline
+	// carries the per-window deltas, stall episodes, and whole-run
+	// latency histograms. Zero (the default) disables sampling — and
+	// with it every per-op cost except the stats mirror's EndOp branch.
+	SampleEvery time.Duration
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -259,6 +268,12 @@ type Result struct {
 	// orphan donation/adoption volumes — the explainability counters
 	// for churn (elastic-mode) trials.
 	Lifecycle core.LifecycleStats
+
+	// Timeline is the live-telemetry record of the run (nil unless
+	// Config.SampleEvery is set): interval deltas of the reclamation
+	// counters, unreclaimed watermarks, per-window ping-ack/pass p99s,
+	// and stalled-reader episodes.
+	Timeline *telemetry.Timeline
 }
 
 // memMap is a Map that can report pool occupancy.
@@ -400,6 +415,24 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 
+	// Live per-worker op counters (padded: workers publish on owned
+	// lines, the telemetry sampler sums them). Only written when a
+	// sampler is attached.
+	live := make([]padded.Uint64, cfg.Threads)
+	var tsampler *telemetry.Sampler
+	if cfg.SampleEvery > 0 {
+		tsampler = telemetry.NewSampler(d, telemetry.Config{
+			Every: cfg.SampleEvery,
+			Ops: func() uint64 {
+				var sum uint64
+				for i := range live {
+					sum += live[i].Load()
+				}
+				return sum
+			},
+		})
+	}
+
 	if !cfg.NoPrefil {
 		if err := prefill(cfg, m, threads); err != nil {
 			return Result{}, err
@@ -422,7 +455,11 @@ func Run(cfg Config) (Result, error) {
 	// predecessors donated).
 	var runLeg func(id int, th *core.Thread)
 	runLeg = func(id int, th *core.Thread) {
-		runWorker(cfg, m, th, gens[id], id, &stop, &workers[id])
+		var lv *padded.Uint64
+		if tsampler != nil {
+			lv = &live[id]
+		}
+		runWorker(cfg, m, th, gens[id], id, &stop, &workers[id], lv)
 		if cfg.Churn.Enabled() && !stop.Load() {
 			pool.Release(th)
 			nth, err := pool.Acquire()
@@ -463,6 +500,9 @@ func Run(cfg Config) (Result, error) {
 		}
 	}()
 
+	if tsampler != nil {
+		tsampler.Start() // base snapshot excludes prefill-phase noise
+	}
 	close(release)
 	time.Sleep(cfg.Duration)
 	stop.Store(true)
@@ -478,6 +518,13 @@ func Run(cfg Config) (Result, error) {
 	close(flushGo)
 	finished.Wait()
 
+	// Stop after the flush barrier: every thread has republished its
+	// mirror, so Timeline.Final equals the owner-only Stats exactly.
+	var timeline *telemetry.Timeline
+	if tsampler != nil {
+		timeline = tsampler.Stop()
+	}
+
 	res := Result{
 		Config:       cfg,
 		PeakResident: peak.Load(),
@@ -485,6 +532,7 @@ func Run(cfg Config) (Result, error) {
 		LeakedAfter:  d.Unreclaimed(),
 		Reclaim:      d.Stats(),
 		Lifecycle:    d.Lifecycle(),
+		Timeline:     timeline,
 	}
 	for i := range workers {
 		res.Ops += workers[i].ops
@@ -523,7 +571,7 @@ func Run(cfg Config) (Result, error) {
 // allocations, so recording into them does not share lines across
 // workers.) In churn mode the loop additionally ends after
 // cfg.Churn.AfterOps operations so the caller can rotate the handle.
-func runWorker(cfg Config, m memMap, th *core.Thread, gen *workload.Generator, id int, stop *atomic.Bool, c *workerCounters) {
+func runWorker(cfg Config, m memMap, th *core.Thread, gen *workload.Generator, id int, stop *atomic.Bool, c *workerCounters, live *padded.Uint64) {
 	scanner, _ := m.(ds.RangeScanner) // non-nil whenever mix.RangePct > 0
 
 	staller := cfg.StallEvery > 0 && cfg.StallLength > 0 && id == 0
@@ -535,6 +583,7 @@ func runWorker(cfg Config, m memMap, th *core.Thread, gen *workload.Generator, i
 		byClass   [NumOpClasses]uint64
 		rangeKeys uint64
 		valueErrs uint64
+		lastPub   uint64 // ops already folded into the live counter
 	)
 	for !stop.Load() && (quota == 0 || ops < quota) {
 		if staller && time.Now().After(nextStall) {
@@ -575,6 +624,16 @@ func runWorker(cfg Config, m memMap, th *core.Thread, gen *workload.Generator, i
 		}
 		byClass[class]++
 		ops++
+		// Publish live throughput on a coarse cadence (one Add to an
+		// owned padded line every 512 ops — invisible next to the ops
+		// themselves) so the telemetry sampler sees progress mid-leg.
+		if live != nil && ops-lastPub >= 512 {
+			live.Add(ops - lastPub)
+			lastPub = ops
+		}
+	}
+	if live != nil {
+		live.Add(ops - lastPub)
 	}
 	// Accumulate (don't overwrite): a churned worker's counters span
 	// many legs.

@@ -18,9 +18,11 @@ import (
 	"pop/internal/arena"
 	"pop/internal/chaos"
 	"pop/internal/core"
+	"pop/internal/padded"
 	"pop/internal/report"
 	"pop/internal/rng"
 	"pop/internal/store"
+	"pop/internal/telemetry"
 	"pop/internal/workload"
 )
 
@@ -127,6 +129,16 @@ type StoreConfig struct {
 	// slots and StoreResult.Chaos reports what the injectors did.
 	Chaos chaos.Config
 
+	// ChaosStart/ChaosStop window the injectors to a burst inside the
+	// timed phase: the injectors launch ChaosStart after the measured
+	// phase begins and stop at ChaosStop (0 = run to the end of the
+	// phase). Both zero (the default) runs chaos for the whole phase.
+	// Burst mode is how the timeline figure shows a stalled-reader
+	// spike arriving and draining mid-run. Requires Chaos.Enabled();
+	// incompatible with trace replay (whose length Duration
+	// doesn't bound).
+	ChaosStart, ChaosStop time.Duration
+
 	// Churn enables the elastic serving mode: each worker returns its
 	// handle to the store's pool after Churn.AfterOps operations and
 	// respawns as a fresh goroutine re-leasing a slot —
@@ -155,6 +167,12 @@ type StoreConfig struct {
 
 	// SamplePeriod is the memory-sampling interval (default 2ms).
 	SamplePeriod time.Duration
+
+	// SampleEvery enables live telemetry (see Config.SampleEvery):
+	// StoreResult.Timeline carries interval deltas of the group's
+	// reclamation counters, store-level extras (gets/puts/overwrites/
+	// deletes/scan pairs/stale reads), and stalled-reader episodes.
+	SampleEvery time.Duration
 }
 
 func (c StoreConfig) withDefaults() (StoreConfig, error) {
@@ -169,6 +187,17 @@ func (c StoreConfig) withDefaults() (StoreConfig, error) {
 	}
 	if len(c.Trace) > 0 && c.Churn.Enabled() {
 		return c, fmt.Errorf("harness: trace replay is incompatible with churn")
+	}
+	if c.ChaosStart > 0 || c.ChaosStop > 0 {
+		if !c.Chaos.Enabled() {
+			return c, fmt.Errorf("harness: ChaosStart/ChaosStop set but Chaos is disabled")
+		}
+		if len(c.Trace) > 0 {
+			return c, fmt.Errorf("harness: chaos bursts are incompatible with trace replay")
+		}
+		if c.ChaosStop > 0 && c.ChaosStop <= c.ChaosStart {
+			return c, fmt.Errorf("harness: ChaosStop %v must exceed ChaosStart %v", c.ChaosStop, c.ChaosStart)
+		}
 	}
 	if c.Mix == (workload.StoreMix{}) {
 		c.Mix = workload.StoreServe
@@ -282,6 +311,29 @@ type StoreResult struct {
 	// Elapsed is the measured execution-phase length: Config.Duration
 	// for mix runs, the actual replay time for trace runs.
 	Elapsed time.Duration
+
+	// Timeline is the live-telemetry record of the run (nil unless
+	// Config.SampleEvery is set). Its extras columns are the store's
+	// counters (gets, puts, overwrites, deletes, scan pairs, stale
+	// reads), so value-plane behaviour lines up against reclamation
+	// deltas sample by sample.
+	Timeline *telemetry.Timeline
+}
+
+// storeExtras adapts the store's shard-aggregated counters to
+// telemetry.ExtrasSource, so StoreResult.Timeline samples carry
+// value-plane deltas next to the reclamation deltas.
+type storeExtras struct{ s *store.Store }
+
+func (e storeExtras) ExtraNames() []string {
+	return []string{"store_gets", "store_puts", "store_overwrites",
+		"store_deletes", "store_scan_pairs", "store_stale_reads"}
+}
+
+func (e storeExtras) ReadExtras(dst []uint64) []uint64 {
+	st := e.s.Stats()
+	return append(dst, st.Gets, st.Puts, st.Overwrites, st.Deletes,
+		st.ScanPairs, st.StaleReads)
 }
 
 // storeWorkerCounters receives one worker's tallies.
@@ -406,6 +458,26 @@ func RunStore(cfg StoreConfig) (StoreResult, error) {
 		}
 	}
 
+	// Live per-worker op counters and the telemetry sampler (see
+	// Config.SampleEvery): the sampler reads the group's stats mirrors
+	// and the store's counters; workers publish coarse-grained
+	// throughput on padded lines.
+	live := make([]padded.Uint64, cfg.Threads)
+	var tsampler *telemetry.Sampler
+	if cfg.SampleEvery > 0 {
+		tsampler = telemetry.NewSampler(g, telemetry.Config{
+			Every:  cfg.SampleEvery,
+			Extras: storeExtras{s},
+			Ops: func() uint64 {
+				var sum uint64
+				for i := range live {
+					sum += live[i].Load()
+				}
+				return sum
+			},
+		})
+	}
+
 	// Prefill: mix runs load half the rank population (the §5.0.2
 	// shape, transplanted to the store); trace runs load every distinct
 	// trace key so reads hit.
@@ -416,9 +488,12 @@ func RunStore(cfg StoreConfig) (StoreResult, error) {
 	}
 
 	// Launch fault injectors after the prefill so they perturb the
-	// measured phase, not the load phase.
+	// measured phase, not the load phase. In burst mode the injectors
+	// instead launch from a timer goroutine ChaosStart into the phase
+	// (see below).
+	burst := cfg.Chaos.Enabled() && (cfg.ChaosStart > 0 || cfg.ChaosStop > 0)
 	var chaosRun *chaos.Runner
-	if cfg.Chaos.Enabled() {
+	if cfg.Chaos.Enabled() && !burst {
 		chaosRun, err = chaos.Start(cfg.Chaos, s, keyTab)
 		if err != nil {
 			return StoreResult{}, err
@@ -448,10 +523,14 @@ func RunStore(cfg StoreConfig) (StoreResult, error) {
 	// orphans).
 	var runLeg func(id int, h *core.GroupHandle)
 	runLeg = func(id int, h *core.GroupHandle) {
+		var lv *padded.Uint64
+		if tsampler != nil {
+			lv = &live[id]
+		}
 		if traceMode {
-			runStoreTraceWorker(cfg, s, h, start, traceHK, &cursor, &workers[id])
+			runStoreTraceWorker(cfg, s, h, start, traceHK, &cursor, &workers[id], lv)
 		} else {
-			runStoreWorker(cfg, s, h, samplers[id], id, keyTab, hkTab, workerRanks(id), &stop, &workers[id])
+			runStoreWorker(cfg, s, h, samplers[id], id, keyTab, hkTab, workerRanks(id), &stop, &workers[id], lv)
 		}
 		if cfg.Churn.Enabled() && !stop.Load() {
 			s.Release(h)
@@ -490,6 +569,39 @@ func RunStore(cfg StoreConfig) (StoreResult, error) {
 		}
 	}()
 
+	if tsampler != nil {
+		tsampler.Start() // base snapshot excludes prefill and injector setup
+	}
+	// Burst-mode chaos: launch the injectors ChaosStart into the timed
+	// phase and stop them at ChaosStop, delivering their stats over a
+	// channel so the drain accounting below still happens after every
+	// injector thread has flushed and released.
+	var (
+		chaosBurst chan chaos.Stats
+		chaosErr   error
+	)
+	if burst {
+		chaosBurst = make(chan chaos.Stats, 1)
+		go func() {
+			if cfg.ChaosStart > 0 {
+				time.Sleep(cfg.ChaosStart)
+			}
+			run, err := chaos.Start(cfg.Chaos, s, keyTab)
+			if err != nil {
+				chaosErr = err
+				chaosBurst <- chaos.Stats{}
+				return
+			}
+			stopAt := cfg.ChaosStop
+			if stopAt == 0 {
+				stopAt = cfg.Duration
+			}
+			if d := stopAt - cfg.ChaosStart; d > 0 {
+				time.Sleep(d)
+			}
+			chaosBurst <- run.Stop()
+		}()
+	}
 	start = time.Now()
 	close(release)
 	if traceMode {
@@ -514,6 +626,11 @@ func RunStore(cfg StoreConfig) (StoreResult, error) {
 	var chaosStats chaos.Stats
 	if chaosRun != nil {
 		chaosStats = chaosRun.Stop()
+	} else if chaosBurst != nil {
+		chaosStats = <-chaosBurst // channel receive orders the chaosErr write
+		if chaosErr != nil {
+			return StoreResult{}, fmt.Errorf("harness: chaos burst: %w", chaosErr)
+		}
 	}
 
 	if v := s.Outstanding(); v > peak.Load() {
@@ -527,6 +644,13 @@ func RunStore(cfg StoreConfig) (StoreResult, error) {
 	close(flushGo)
 	finished.Wait()
 
+	// Stop after the drain barrier: every handle has republished its
+	// stats mirror, so Timeline.Final is exact.
+	var timeline *telemetry.Timeline
+	if tsampler != nil {
+		timeline = tsampler.Stop()
+	}
+
 	res := StoreResult{
 		Config:        cfg,
 		PeakResident:  peak.Load(),
@@ -538,6 +662,7 @@ func RunStore(cfg StoreConfig) (StoreResult, error) {
 		Lifecycle:     g.Lifecycle(),
 		Chaos:         chaosStats,
 		Elapsed:       elapsed,
+		Timeline:      timeline,
 	}
 	for i := range workers {
 		res.Ops += workers[i].ops
@@ -580,7 +705,7 @@ func scanWidth(keys int64, span int) uint64 {
 // non-nil, maps the sampler's dense rank space onto the worker's
 // member-owned ranks (worker→member affinity).
 func runStoreWorker(cfg StoreConfig, s *store.Store, h *core.GroupHandle, keys *workload.Sampler,
-	id int, keyTab []string, hkTab []int64, rankTab []int64, stop *atomic.Bool, c *storeWorkerCounters) {
+	id int, keyTab []string, hkTab []int64, rankTab []int64, stop *atomic.Bool, c *storeWorkerCounters, live *padded.Uint64) {
 	// The incarnation term keeps churn legs from replaying one leg's op
 	// sequence: each lease of the slot draws a distinct stream.
 	r := rng.New(cfg.Seed ^ (uint64(id)*0xff51afd7ed558ccd + 7) ^ (h.Incarnation() * 0x9e3779b97f4a7c15))
@@ -606,6 +731,7 @@ func runStoreWorker(cfg StoreConfig, s *store.Store, h *core.GroupHandle, keys *
 		byClass   [NumStoreOpClasses]uint64
 		served    uint64
 		valueErrs uint64
+		lastPub   uint64 // ops already folded into the live counter
 	)
 	for !stop.Load() && (quota == 0 || ops < quota) {
 		op := cfg.Mix.NextStore(r)
@@ -700,6 +826,13 @@ func runStoreWorker(cfg StoreConfig, s *store.Store, h *core.GroupHandle, keys *
 		}
 		byClass[class]++
 		ops++
+		if live != nil && ops-lastPub >= 512 {
+			live.Add(ops - lastPub)
+			lastPub = ops
+		}
+	}
+	if live != nil {
+		live.Add(ops - lastPub)
 	}
 	// Accumulate across churn legs.
 	c.ops += ops
@@ -716,12 +849,16 @@ func runStoreWorker(cfg StoreConfig, s *store.Store, h *core.GroupHandle, keys *
 // index, so two same-config replays execute identical work regardless
 // of how ops land on workers.
 func runStoreTraceWorker(cfg StoreConfig, s *store.Store, h *core.GroupHandle,
-	start time.Time, traceHK []int64, cursor *atomic.Int64, c *storeWorkerCounters) {
+	start time.Time, traceHK []int64, cursor *atomic.Int64, c *storeWorkerCounters, live *padded.Uint64) {
 	var (
 		vbuf []byte
 		gbuf []byte
+		done uint64 // ops this worker completed (live-counter cadence)
 	)
 	width := scanWidth(cfg.Keys, cfg.ScanSpan)
+	if live != nil {
+		defer func() { live.Add(done % 512) }()
+	}
 	for {
 		i := cursor.Add(1) - 1
 		if i >= int64(len(cfg.Trace)) {
@@ -793,6 +930,9 @@ func runStoreTraceWorker(cfg StoreConfig, s *store.Store, h *core.GroupHandle,
 		}
 		c.byClass[class]++
 		c.ops++
+		if done++; live != nil && done%512 == 0 {
+			live.Add(512)
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"pop/internal/chaos"
 	"pop/internal/core"
 	"pop/internal/harness"
 	"pop/internal/workload"
@@ -114,5 +115,55 @@ func TestRunStoreUnorderedBacking(t *testing.T) {
 	}
 	if res.Ops == 0 || res.ValueErrors != 0 {
 		t.Fatalf("ops=%d errors=%d", res.Ops, res.ValueErrors)
+	}
+}
+
+// TestRunStoreSampledBurst runs a sampled store trial with the chaos
+// injectors windowed to the middle of the run: the result must carry a
+// timeline that telescopes (chaos.CheckTimeline), the burst must be
+// visible as nonzero injector activity, and the chaos window must not
+// perturb the run's value correctness.
+func TestRunStoreSampledBurst(t *testing.T) {
+	res, err := harness.RunStore(harness.StoreConfig{
+		Policy:           core.EpochPOP,
+		Threads:          4,
+		Duration:         300 * time.Millisecond,
+		Keys:             2048,
+		Shards:           4,
+		Groups:           4,
+		Dist:             workload.Zipf,
+		Chaos:            chaos.Config{Stalls: 2},
+		ChaosStart:       75 * time.Millisecond,
+		ChaosStop:        150 * time.Millisecond,
+		SampleEvery:      20 * time.Millisecond,
+		ReclaimThreshold: 256,
+		Seed:             7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timeline == nil {
+		t.Fatal("sampled run returned no timeline")
+	}
+	tl := res.Timeline
+	if len(tl.Samples) == 0 {
+		t.Fatal("timeline has no samples")
+	}
+	iv := chaos.Invariants{Policy: core.EpochPOP}
+	if vs := iv.CheckTimeline(tl); len(vs) != 0 {
+		t.Fatalf("timeline invariant violations: %v", vs)
+	}
+	if vs := iv.CheckValueErrors(res.ValueErrors); len(vs) != 0 {
+		t.Fatalf("value errors under burst: %v", vs)
+	}
+	if res.Chaos.Stalls == 0 {
+		t.Error("burst window completed no stall windows")
+	}
+	if res.Chaos.Ops == 0 {
+		t.Error("burst injectors issued no ops")
+	}
+	// The timeline's op count telescopes to what the workers did.
+	if tl.FinalOps == 0 {
+		t.Error("timeline recorded no worker ops")
 	}
 }

@@ -100,6 +100,41 @@ func MergeAll(hs ...*Histogram) *Histogram {
 	return out
 }
 
+// Sub returns the difference h - o: the observations recorded between
+// snapshot o and snapshot h of the same histogram. o must be an earlier
+// snapshot (per-bucket counts in h ≥ those in o); a bucket that would
+// go negative is clamped to zero, so slightly-torn concurrent snapshots
+// degrade to an undercount instead of garbage. This is how interval
+// samplers report per-window latency percentiles from cumulative
+// histograms: window = now.Sub(&prev).
+//
+// The exact maximum of the window is not recoverable from bucket
+// counts; Sub reports h's max when it falls inside the window's highest
+// occupied bucket (the window necessarily contains it), and that
+// bucket's upper bound otherwise — within the same 1/histSub relative
+// error as every quantile.
+func (h *Histogram) Sub(o *Histogram) Histogram {
+	var d Histogram
+	for i := range h.counts {
+		if h.counts[i] > o.counts[i] {
+			d.counts[i] = h.counts[i] - o.counts[i]
+			d.total += d.counts[i]
+		}
+	}
+	for i := histBuckets - 1; i >= 0; i-- {
+		if d.counts[i] == 0 {
+			continue
+		}
+		if hi := bucketLow(i+1) - 1; h.max >= bucketLow(i) && h.max <= hi {
+			d.max = h.max
+		} else {
+			d.max = hi
+		}
+		break
+	}
+	return d
+}
+
 // Count returns the number of recorded observations.
 func (h *Histogram) Count() uint64 { return h.total }
 

@@ -156,6 +156,116 @@ func TestHistogramMerge(t *testing.T) {
 	}
 }
 
+// TestHistogramSub: Sub of an earlier snapshot must recover exactly the
+// observations recorded between the snapshots, and Merge must invert it
+// (the merge/delta round trip interval samplers rely on).
+func TestHistogramSub(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 500; v++ {
+		h.Record(v)
+	}
+	snap := h // first snapshot
+	for v := int64(2000); v <= 2300; v++ {
+		h.Record(v)
+	}
+	d := h.Sub(&snap)
+	if d.Count() != 301 {
+		t.Fatalf("window Count = %d, want 301", d.Count())
+	}
+	// The window's counts must be bucket-identical to recording the
+	// window's observations alone.
+	var want Histogram
+	for v := int64(2000); v <= 2300; v++ {
+		want.Record(v)
+	}
+	if d.counts != want.counts {
+		t.Fatal("window bucket counts differ from a fresh recording of the window")
+	}
+	// h.max (2300) falls in the window's highest occupied bucket, so the
+	// window max is exact.
+	if d.Max() != 2300 {
+		t.Fatalf("window Max = %d, want exact 2300", d.Max())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.99} {
+		if got, w := d.Quantile(q), want.Quantile(q); got != w {
+			t.Fatalf("window Quantile(%v) = %v, want %v", q, got, w)
+		}
+	}
+	// Round trip: snapshot + window == whole history.
+	rt := snap
+	rt.Merge(&d)
+	if rt.counts != h.counts || rt.Count() != h.Count() || rt.Max() != h.Max() {
+		t.Fatal("snap.Merge(h.Sub(snap)) does not reproduce h")
+	}
+	// Empty window: no observations between identical snapshots.
+	e := h.Sub(&h)
+	if e.Count() != 0 || e.Max() != 0 {
+		t.Fatalf("self-Sub = count %d max %d, want empty", e.Count(), e.Max())
+	}
+	// A window whose observations all precede the history max: the max
+	// is bounded by the highest occupied bucket, not h's max.
+	var h2 Histogram
+	h2.Record(1 << 20) // old tail
+	snap2 := h2
+	h2.Record(100)
+	d2 := h2.Sub(&snap2)
+	if d2.Count() != 1 {
+		t.Fatalf("window Count = %d, want 1", d2.Count())
+	}
+	if d2.Max() < 100 || d2.Max() >= 1<<20 {
+		t.Fatalf("window Max = %d, want ~100 (bucket upper bound), not the stale history max", d2.Max())
+	}
+}
+
+// TestAtomicHistogram: concurrent Records must all land, and interval
+// snapshots must telescope (Sub of successive snapshots sums to the
+// final snapshot).
+func TestAtomicHistogram(t *testing.T) {
+	var ah AtomicHistogram
+	const writers, per = 8, 10000
+	done := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < per; i++ {
+				ah.Record(int64(w*per + i))
+			}
+		}(w)
+	}
+	for w := 0; w < writers; w++ {
+		<-done
+	}
+	snap := ah.Snapshot()
+	if snap.Count() != writers*per {
+		t.Fatalf("Count = %d, want %d", snap.Count(), writers*per)
+	}
+	if snap.Max() != writers*per-1 {
+		t.Fatalf("Max = %d, want %d", snap.Max(), writers*per-1)
+	}
+	if ah.Count() != writers*per {
+		t.Fatalf("AtomicHistogram.Count = %d, want %d", ah.Count(), writers*per)
+	}
+	// Interval telescoping: base + Σ windows == final.
+	var ah2 AtomicHistogram
+	base := ah2.Snapshot()
+	acc := base
+	for round := 0; round < 5; round++ {
+		prev := ah2.Snapshot()
+		for i := 0; i < 100; i++ {
+			ah2.Record(int64(round*1000 + i))
+		}
+		cur := ah2.Snapshot()
+		w := cur.Sub(&prev)
+		if w.Count() != 100 {
+			t.Fatalf("round %d window Count = %d, want 100", round, w.Count())
+		}
+		acc.Merge(&w)
+	}
+	if fin := ah2.Snapshot(); acc.counts != fin.counts || acc.Count() != fin.Count() {
+		t.Fatal("base + Σ interval windows does not telescope to the final snapshot")
+	}
+}
+
 func TestMergeAll(t *testing.T) {
 	if got := MergeAll(nil, nil); got != nil {
 		t.Fatal("MergeAll of all-nil inputs must be nil")

@@ -15,6 +15,7 @@ import (
 	"pop/internal/core"
 	"pop/internal/report"
 	"pop/internal/store"
+	"pop/internal/telemetry"
 )
 
 // Config tunes a Server. The zero value listens on a loopback port
@@ -107,6 +108,8 @@ type Server struct {
 	admMu   sync.Mutex
 	admWait report.Histogram // admission-queue wait per burst (ns)
 
+	sampler atomic.Pointer[telemetry.Sampler] // attached via SetTelemetry
+
 	accepted  atomic.Uint64
 	cmdGet    atomic.Uint64 // get/gets commands (not keys)
 	cmdSet    atomic.Uint64 // set+add commands
@@ -190,6 +193,30 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	return s, nil
+}
+
+// SetTelemetry attaches a live sampler (normally built over Group()
+// with the server itself as telemetry.ExtrasSource). Once attached,
+// "stats telemetry" reports its snapshot and "stats reset" rebases it.
+// The caller owns the sampler's Start/Stop lifecycle.
+func (s *Server) SetTelemetry(t *telemetry.Sampler) { s.sampler.Store(t) }
+
+// Telemetry returns the attached sampler (nil if none).
+func (s *Server) Telemetry() *telemetry.Sampler { return s.sampler.Load() }
+
+// ExtraNames lists the serving counters the server contributes to
+// telemetry samples (telemetry.ExtrasSource).
+func (s *Server) ExtraNames() []string {
+	return []string{"conns_accepted", "cmd_get", "cmd_set", "cmd_delete",
+		"get_keys", "get_hits", "admission_timeouts", "protocol_errors"}
+}
+
+// ReadExtras appends the current cumulative serving counters, aligned
+// with ExtraNames (telemetry.ExtrasSource).
+func (s *Server) ReadExtras(dst []uint64) []uint64 {
+	return append(dst, s.accepted.Load(), s.cmdGet.Load(), s.cmdSet.Load(),
+		s.cmdDelete.Load(), s.getKeys.Load(), s.getHits.Load(),
+		s.admTimeos.Load(), s.protoErrs.Load())
 }
 
 // Store exposes the store underneath (prefill, direct inspection).
@@ -629,10 +656,13 @@ func (c *conn) reply(s string) bool {
 
 // doStats answers the stats command:
 //
-//	stats        global serving counters, coalescing, admission tails,
-//	             store + reclamation + lifecycle aggregates
-//	stats conns  per-connection op/byte/admission counters
-//	stats slots  per-slot lease counts (Domain.Lifecycle.SlotLeases)
+//	stats            global serving counters, coalescing, admission
+//	                 tails, store + reclamation + lifecycle aggregates
+//	stats conns      per-connection op/byte/admission counters
+//	stats slots      per-slot lease counts (Lifecycle.SlotLeases)
+//	stats telemetry  live-sampler view: stall episodes, ping-ack and
+//	                 pass-duration tails, last-window deltas
+//	stats reset      rebase the attached sampler (replies RESET)
 func (c *conn) doStats(arg string) bool {
 	s := c.srv
 	emit := func(name string, format string, args ...any) {
@@ -647,7 +677,9 @@ func (c *conn) doStats(arg string) bool {
 		st := s.Stats()
 		lc := s.g.Lifecycle()
 		ss := s.st.Stats()
-		rs := s.g.ReclaimStats()
+		// The sampled mirrors, not the owner-only counters: connections
+		// are mid-burst while stats runs, so the plain reads would race.
+		rs := s.g.ReclaimStatsSampled()
 		adm := s.AdmissionWait()
 		emit("uptime_s", "%.1f", time.Since(s.started).Seconds())
 		emit("curr_connections", "%d", st.Conns)
@@ -715,6 +747,53 @@ func (c *conn) doStats(arg string) bool {
 		for i, n := range lc.SlotLeases {
 			emit(fmt.Sprintf("slot.%d.leases", i), "%d", n)
 		}
+	case "telemetry":
+		t := s.sampler.Load()
+		if t == nil {
+			emit("telemetry_enabled", "%d", 0)
+			break
+		}
+		emit("telemetry_enabled", "%d", 1)
+		tl := t.Snapshot()
+		emit("sample_every_ms", "%.1f", float64(tl.Every)/1e6)
+		emit("samples", "%d", len(tl.Samples))
+		emit("samples_dropped", "%d", tl.Dropped)
+		active := 0
+		for _, ev := range tl.Stalls {
+			if !ev.Recovered {
+				active++
+			}
+		}
+		emit("stalled_readers", "%d", active)
+		emit("stall_episodes", "%d", len(tl.Stalls))
+		emit("ping_ack_count", "%d", tl.PingAck.Count())
+		emit("ping_ack_p50_us", "%.1f", tl.PingAck.Quantile(0.50)/1e3)
+		emit("ping_ack_p99_us", "%.1f", tl.PingAck.Quantile(0.99)/1e3)
+		emit("pass_count", "%d", tl.PassDur.Count())
+		emit("pass_p99_us", "%.1f", tl.PassDur.Quantile(0.99)/1e3)
+		emit("unreclaimed", "%d", tl.FinalUnrec)
+		if n := len(tl.Samples); n > 0 {
+			last := tl.Samples[n-1]
+			emit("window_ops", "%d", last.Ops)
+			emit("window_frees", "%d", last.Stats.Frees)
+			emit("window_pings", "%d", last.Stats.PingsSent)
+			emit("window_stalled", "%d", last.Stalled)
+		}
+		for _, ev := range tl.Stalls {
+			state := "open"
+			if ev.Recovered {
+				state = "recovered"
+			}
+			emit(fmt.Sprintf("stall.m%d.s%d.i%d", ev.Member, ev.Slot, ev.Incarnation),
+				"%s %s %.1fms", ev.Kind, state, float64(ev.Age)/1e6)
+		}
+	case "reset":
+		// memcached-style counter reset, scoped to the live sampler:
+		// rebase it so subsequent "stats telemetry" deltas start now.
+		if t := s.sampler.Load(); t != nil {
+			t.Reset()
+		}
+		return c.reply("RESET" + crlf)
 	default:
 		c.srv.protoErrs.Add(1)
 		return c.reply("CLIENT_ERROR unknown stats argument" + crlf)
