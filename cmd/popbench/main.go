@@ -26,7 +26,13 @@
 // throughput, per-class latency tails and the stale-value-read count —
 // how often a value read lost to an overwrite's reclamation — per
 // policy. -dist zipf switches key popularity to scrambled Zipfian
-// (s=0.99) in both store sweeps and -ds direct sweeps.
+// (s=0.99) in both store sweeps and -ds direct sweeps. -valsize picks
+// the payload-size distribution (fixed:N, uniform:MIN,MAX or
+// mixed:PCT,SMALL,LARGE); payloads of at most 7 bytes inline-encode
+// into the map word instead of taking an arena slot, and every store
+// and -ds sweep reports allocs/op and alloc bytes/op (whole-process
+// MemStats deltas over the measured phase) so the allocation cost of a
+// configuration is a first-class column.
 //
 // With -ycsb A..F, store and serve sweeps run the named YCSB core
 // workload instead of the default mix: A (50/50 read/update, zipf),
@@ -74,6 +80,7 @@
 //	popbench -store -shards 1,4,16 -batch 8,64 -dist zipf
 //	popbench -store -churn 2000 -shards 8
 //	popbench -store -backing hmht -keyrange 1000000 -csv > store.csv
+//	popbench -store -valsize mixed:80,6,256 -ycsb B
 //	popbench -ycsb B -threads 8
 //	popbench -ycsb D -serve -conns 32
 //	popbench -trace ops.trace -tracepaced
@@ -135,6 +142,7 @@ func main() {
 
 		storeMode = flag.Bool("store", false, "store sweep: the sharded string-key KV front across shards × policies × batch sizes")
 		backing   = flag.String("backing", "skl", "store backing structure (skl, hmht, hml, abt, ll, dgt)")
+		valSize   = flag.String("valsize", "", "store sweep payload-size distribution: fixed:N, uniform:MIN,MAX or mixed:PCT,SMALL,LARGE (PCT%% of puts are SMALL bytes, the rest LARGE); sizes <= 7 take the store's inline-value path")
 		shardsCSV = flag.String("shards", "8", "store sweep: comma-separated shard counts")
 		batchCSV  = flag.String("batch", "16", "store sweep: comma-separated multi-get/multi-put batch sizes")
 		groupsCSV = flag.String("groups", "1", "store sweep: comma-separated reclamation-domain member counts the shards split across (powers of two, capped at the shard count)")
@@ -216,6 +224,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "popbench: -sample applies to the -store path (-figure timeline samples the canonical run)")
 		os.Exit(2)
 	}
+	if *valSize != "" && !*storeMode {
+		fmt.Fprintln(os.Stderr, "popbench: -valsize applies to the -store path")
+		os.Exit(2)
+	}
+	valMin, valMax, valSmallPct, err := parseValSize(*valSize)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
+		os.Exit(2)
+	}
 	if *serveMode {
 		if err := serveSweep(serveSweepOpts{
 			backing: *backing, conns: *connsCSV, slots: *slots, window: *window,
@@ -239,6 +256,7 @@ func main() {
 			ycsb: *ycsbName, chaos: chaosCfg,
 			chaosStart: *chaosFrom, chaosStop: *chaosTo, sample: *sampleDur,
 			trace: trace, traceName: *traceFile, tracePaced: *tracePaced,
+			valSpec: *valSize, valMin: valMin, valMax: valMax, valSmallPct: valSmallPct,
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
 			os.Exit(1)
@@ -340,30 +358,34 @@ type sweepOpts struct {
 
 // storeSweepOpts carries the -store sweep flag values.
 type storeSweepOpts struct {
-	backing    string
-	shards     string // csv shard counts
-	batches    string // csv batch sizes
-	groups     string // csv domain-group member counts
-	mputPct    int    // PutBatch share carved from the put share
-	jsonPath   string // JSON records sink ("" = none)
-	keys       int64
-	dist       workload.Dist
-	churn      workload.Churn
-	rthresh    int    // per-slot reclamation threshold (0 = paper default)
-	ycsb       string // YCSB workload name ("" = serve mix)
-	trace      []workload.TraceOp
-	traceName  string
-	tracePaced bool
-	chaos      chaos.Config
-	chaosStart time.Duration // burst window start ("" = immediate)
-	chaosStop  time.Duration // burst window end (0 = run end)
-	sample     time.Duration // telemetry sampling interval (0 = off)
-	duration   time.Duration
-	threads    string
-	seed       uint64
-	policies   string
-	render     func(*report.Series) error
-	quiet      bool
+	backing     string
+	shards      string // csv shard counts
+	batches     string // csv batch sizes
+	groups      string // csv domain-group member counts
+	mputPct     int    // PutBatch share carved from the put share
+	jsonPath    string // JSON records sink ("" = none)
+	keys        int64
+	dist        workload.Dist
+	churn       workload.Churn
+	rthresh     int    // per-slot reclamation threshold (0 = paper default)
+	ycsb        string // YCSB workload name ("" = serve mix)
+	trace       []workload.TraceOp
+	traceName   string
+	tracePaced  bool
+	chaos       chaos.Config
+	chaosStart  time.Duration // burst window start ("" = immediate)
+	chaosStop   time.Duration // burst window end (0 = run end)
+	sample      time.Duration // telemetry sampling interval (0 = off)
+	valSpec     string        // the raw -valsize spec (title/labels; "" = defaults)
+	valMin      int           // payload size bounds (0 = harness defaults)
+	valMax      int
+	valSmallPct int // bimodal small-share percent (0 = uniform draw)
+	duration    time.Duration
+	threads     string
+	seed        uint64
+	policies    string
+	render      func(*report.Series) error
+	quiet       bool
 }
 
 // serveSweepOpts carries the -serve sweep flag values.
@@ -530,6 +552,11 @@ func storeSweep(o storeSweepOpts) error {
 		figures.StoreOpLatencyMetric("put latency p99 (µs)", harness.SOpPut, 0.99),
 		{Name: "stale value reads", Get: func(r harness.StoreResult) float64 { return float64(r.Stale) }},
 		{Name: "value checksum failures", Get: func(r harness.StoreResult) float64 { return float64(r.ValueErrors) }},
+		// Allocation accounting: whole-process heap-allocation rate over
+		// the measured phase — the sweep-level view of the hot-path
+		// memory diet (inline values and pooled nodes cost zero here).
+		{Name: "allocs/op", Get: func(r harness.StoreResult) float64 { return r.AllocsPerOp }},
+		{Name: "alloc bytes/op", Get: func(r harness.StoreResult) float64 { return r.AllocBytesPerOp }},
 		{Name: "unreclaimed at run end (nodes)", Get: func(r harness.StoreResult) float64 { return float64(r.Unreclaimed) }},
 		{Name: "leaked after flush (nodes)", Get: func(r harness.StoreResult) float64 { return float64(r.LeakedAfter) }},
 		// The fan-out view (satellite of the domain-group work): how many
@@ -610,6 +637,9 @@ func storeSweep(o storeSweepOpts) error {
 	}
 
 	title := fmt.Sprintf("store %s (%s, %d keys, %v dist, %d threads)", o.backing, mixLabel, o.keys, o.dist, threads)
+	if o.valSpec != "" {
+		title += " valsize=" + o.valSpec
+	}
 	if o.churn.Enabled() {
 		title += fmt.Sprintf(" churn=%d", o.churn.AfterOps)
 	}
@@ -657,6 +687,9 @@ func storeSweep(o storeSweepOpts) error {
 						ChaosStop:        o.chaosStop,
 						SampleEvery:      o.sample,
 						BatchSize:        nbatch,
+						ValueMin:         o.valMin,
+						ValueMax:         o.valMax,
+						ValueSmallPct:    o.valSmallPct,
 						OpLatency:        true,
 						ReclaimThreshold: o.rthresh,
 						Seed:             o.seed,
@@ -869,6 +902,12 @@ func directSweep(o sweepOpts) error {
 	metrics = append(metrics, figures.Metric{
 		Name: "value checksum failures",
 		Get:  func(r harness.Result) float64 { return float64(r.ValueErrors) },
+	}, figures.Metric{
+		Name: "allocs/op",
+		Get:  func(r harness.Result) float64 { return r.AllocsPerOp },
+	}, figures.Metric{
+		Name: "alloc bytes/op",
+		Get:  func(r harness.Result) float64 { return r.AllocBytesPerOp },
 	})
 	if mix.RangePct > 0 {
 		metrics = append(metrics,
@@ -938,6 +977,35 @@ func directSweep(o sweepOpts) error {
 		}
 	}
 	return nil
+}
+
+// parseValSize parses the -valsize spec into harness StoreConfig value
+// knobs: "" keeps the harness defaults, "fixed:N" pins every payload to
+// N bytes, "uniform:MIN,MAX" draws uniformly, and
+// "mixed:PCT,SMALL,LARGE" makes PCT% of payloads SMALL bytes and the
+// rest LARGE — the inline-vs-arena ratio dial.
+func parseValSize(spec string) (vmin, vmax, smallPct int, err error) {
+	if spec == "" {
+		return 0, 0, 0, nil
+	}
+	usage := fmt.Errorf("bad -valsize %q (want fixed:N, uniform:MIN,MAX or mixed:PCT,SMALL,LARGE)", spec)
+	kind, rest, ok := strings.Cut(spec, ":")
+	if !ok {
+		return 0, 0, 0, usage
+	}
+	nums, err := parseInts(rest)
+	if err != nil {
+		return 0, 0, 0, usage
+	}
+	switch {
+	case kind == "fixed" && len(nums) == 1:
+		return nums[0], nums[0], 0, nil
+	case kind == "uniform" && len(nums) == 2 && nums[0] <= nums[1]:
+		return nums[0], nums[1], 0, nil
+	case kind == "mixed" && len(nums) == 3 && nums[0] <= 100 && nums[1] <= nums[2]:
+		return nums[1], nums[2], nums[0], nil
+	}
+	return 0, 0, 0, usage
 }
 
 func parseInts(s string) ([]int, error) {

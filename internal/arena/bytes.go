@@ -57,18 +57,28 @@ const bytesMaxCache = 4 * bytesBatch
 const MaxValueLen = (16 << (bytesClasses - 1)) - 8
 
 // Handle names one allocated value: the slot's class and global index
-// plus the low 32 bits of the slot's (odd) allocation sequence. The
+// plus the low 31 bits of the slot's (odd) allocation sequence. The
 // zero Handle is never produced by Alloc, so 0 can mean "no value" in
 // the structures that store handles.
 //
-// Layout: seq32 << 32 | class4 << 28 | idx28.
+// Layout: 0 << 63 | seq31 << 32 | class4 << 28 | idx28.
+//
+// Bit 63 is reserved-zero: the store layer tags values that are encoded
+// inline (not arena-backed at all) with that bit in the same uint64
+// slot, so a Handle must never set it. Dropping the sequence from 32 to
+// 31 bits halves the recycle count needed for a false CheckHandle
+// match, from 2^32 to 2^31 per-slot reuses within one reader's
+// protected operation — still far beyond any reachable churn.
 type Handle uint64
 
+// handleSeqMask selects the sequence bits a Handle carries.
+const handleSeqMask = 1<<31 - 1
+
 func makeHandle(seq uint64, class, idx uint32) Handle {
-	return Handle(seq<<32 | uint64(class)<<28 | uint64(idx))
+	return Handle((seq&handleSeqMask)<<32 | uint64(class)<<28 | uint64(idx))
 }
 
-func (h Handle) seq() uint32   { return uint32(uint64(h) >> 32) }
+func (h Handle) seq() uint32   { return uint32(uint64(h)>>32) & handleSeqMask }
 func (h Handle) class() uint32 { return uint32(h) >> 28 }
 func (h Handle) idx() uint32   { return uint32(h) & (1<<28 - 1) }
 
@@ -274,7 +284,7 @@ func (c *BytesCache) Free(h Handle) {
 		panic("arena: Free of handle naming no slab")
 	}
 	seq := atomic.LoadUint64(&slab.seqs[slot])
-	if seq%2 == 0 || uint32(seq) != h.seq() {
+	if seq%2 == 0 || uint32(seq)&handleSeqMask != h.seq() {
 		panic(fmt.Sprintf("arena: double or stale free of value slot (seq=%d, handle seq=%d)", seq, h.seq()))
 	}
 	atomic.StoreUint64(&slab.seqs[slot], seq+1) // odd -> even: free
@@ -304,7 +314,7 @@ func (b *Bytes) Read(h Handle, buf []byte) ([]byte, bool) {
 		return buf[:0], false
 	}
 	seq := atomic.LoadUint64(&slab.seqs[slot])
-	if seq%2 == 0 || uint32(seq) != h.seq() {
+	if seq%2 == 0 || uint32(seq)&handleSeqMask != h.seq() {
 		return buf[:0], false
 	}
 	n := atomic.LoadUint64(&slab.words[base])
@@ -347,7 +357,7 @@ func (b *Bytes) CheckHandle(h Handle) bool {
 		return false
 	}
 	seq := atomic.LoadUint64(&slab.seqs[slot])
-	return seq%2 == 1 && uint32(seq) == h.seq()
+	return seq%2 == 1 && uint32(seq)&handleSeqMask == h.seq()
 }
 
 // Len returns the payload length recorded for h, without copying.
@@ -358,7 +368,7 @@ func (b *Bytes) Len(h Handle) (int, bool) {
 		return 0, false
 	}
 	seq := atomic.LoadUint64(&slab.seqs[slot])
-	if seq%2 == 0 || uint32(seq) != h.seq() {
+	if seq%2 == 0 || uint32(seq)&handleSeqMask != h.seq() {
 		return 0, false
 	}
 	n := atomic.LoadUint64(&slab.words[base])

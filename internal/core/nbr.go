@@ -162,6 +162,15 @@ func (a *nbrAlgo) reclaim(t *Thread) {
 			if ph := o.phase.Load(); ph == 0 || ph == 2 {
 				break
 			}
+			// Another reclaimer may be waiting on *our* ack: answer any
+			// pending neutralization while we spin (the POP wait loop's
+			// checkPing(selfPublish), in NBR terms). Retire sites run
+			// after the write phase, so acking here discards no writes;
+			// it just marks the surrounding operation for restart at its
+			// next Protect. Without this, two threads whose retires
+			// trigger reclamation concurrently deadlock in phase 1, each
+			// waiting for the other's ack.
+			a.poll(t)
 			runtime.Gosched()
 			if time.Now().After(deadline) {
 				panic("core: NBR reclaimer waited >30s for neutralization acks")

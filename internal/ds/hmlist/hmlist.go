@@ -1,5 +1,9 @@
 // Package hmlist implements the Harris-Michael lock-free linked-list
 // map (HML in the paper's plots; Michael [42], building on Harris [29]).
+// It is also the repository's unified bottom layer: the hash table's
+// buckets and the skiplist's level 0 are both hmlist chains, so the map
+// logic — upsert, replace-node-and-retire overwrite, PutIfAbsent,
+// Delete, batched get/put, and the retire handoff — exists exactly once.
 //
 // Nodes are sorted by key between two sentinels. Deletion is two-phase:
 // a CAS sets the mark bit in the victim's next field (logical delete),
@@ -28,6 +32,48 @@
 // deletion path (unlink winner retires), which makes every overwrite a
 // retirement: value churn alone now exercises the reclamation layer.
 //
+// # Retire handoff (LINKING/RETIREREQ)
+//
+// A structure layered above the list (the skiplist's probabilistic
+// index) may keep touching a node after it is published — splicing index
+// columns that point at it. Retiring such a node out from under its
+// inserter would be a use-after-free, so every retirement funnels
+// through a two-bit state machine in the node:
+//
+//   - The inserter publishes the node with LINKING set (linking mode
+//     only) and calls FinishLinking when it stops touching the node.
+//   - The unlink winner calls retire, which sets RETIREREQ. If LINKING
+//     was already clear the winner retires the node (after the list's
+//     purge hook detaches any index state); otherwise the retire is
+//     handed off, and FinishLinking — observing RETIREREQ — purges and
+//     retires instead.
+//
+// Exactly one side sees "my bit cleared last" on the same atomic word,
+// so every node is retired exactly once. Plain lists (hash-table
+// buckets) run the same code with LINKING never set: retire degenerates
+// to the immediate path, and the hash table and skiplist retire through
+// literally the same function.
+//
+// The retire itself runs after ExitWritePhase: the node is already
+// unlinked and marked by then, the purge hook must always run to
+// completion (it clears index cells a concurrent hint may still
+// validate against), and no poll point intervenes between the winning
+// CAS and the Retire call, so the handoff is policy-safe under all
+// eleven reclamation schemes (the skiplist used this exact ordering
+// before the handoff moved here).
+//
+// # Hinted traversals
+//
+// An index layered above the list descends to some node with key < the
+// target and resumes the walk there instead of at the head. The hinted
+// entry points (GetInOpHinted, PutInOpHinted, DeleteInOpHinted,
+// ScanInOpHinted) take such a start node, already protected by the
+// caller in a slot of its choosing, and return valid=false when the
+// hint turns out to be stale (start marked, an edge fails validation,
+// or a CAS loses a race) — the caller re-descends its index for a fresh
+// hint rather than falling back to an O(n) head walk. With start=nil
+// they are exactly the classic head-walk operations.
+//
 // Reservation discipline (Michael's, adapted to the core API): three
 // rotating slots protect pred, curr and next; after protecting curr's
 // successor the traversal re-validates pred.next == curr, restarting from
@@ -38,22 +84,41 @@ package hmlist
 
 import (
 	"math"
+	"sync/atomic"
 	"unsafe"
 
 	"pop/internal/arena"
 	"pop/internal/core"
 )
 
-// node is a list cell. Header must be first (reclamation contract).
+// State-word bits (Node.state). See the package comment's retire-handoff
+// section for the protocol.
+const (
+	// stateLinking is set by the inserter before the node is published
+	// (linking mode only) and cleared by FinishLinking when the inserter
+	// stops touching the node. A node with LINKING set is never retired.
+	stateLinking = uint32(1) << 0
+	// stateRetireReq is set by the unlink winner. If LINKING was already
+	// clear the winner retires; otherwise FinishLinking does.
+	stateRetireReq = uint32(1) << 1
+)
+
+// Node is a list cell. Header must be first (reclamation contract).
 // The mark bit of next tags *this* node as logically deleted. key and
 // val are immutable once the node is published (see the package comment
-// for why values are never stored in place).
-type node struct {
+// for why values are never stored in place). state is the
+// LINKING/RETIREREQ retire-handoff word.
+type Node struct {
 	core.Header
-	key  int64
-	val  uint64
-	next core.Atomic
+	key   int64
+	val   uint64
+	next  core.Atomic
+	state atomic.Uint32
 }
+
+// Key returns the node's key (immutable once published). Index layers
+// need it to locate the column a retiring node owns.
+func (n *Node) Key() int64 { return n.key }
 
 // Shared is the allocation state that one or more lists built over the
 // same domain can share — the hash table creates one Shared and thousands
@@ -61,19 +126,22 @@ type node struct {
 type Shared struct {
 	d      *core.Domain
 	typ    uint8
-	pool   *arena.Pool[node]
-	caches []*arena.ThreadCache[node] // indexed by thread id, owner-only
+	pool   *arena.Pool[Node]
+	caches []*arena.ThreadCache[Node] // indexed by thread id, owner-only
+	// Retire-handoff balance counters (see Handoffs).
+	deferred atomic.Int64
+	adopted  atomic.Int64
 }
 
 // NewShared creates the node pool for lists in domain d.
 func NewShared(d *core.Domain) *Shared {
 	s := &Shared{
 		d:      d,
-		pool:   arena.NewPool[node](nil, nil),
-		caches: make([]*arena.ThreadCache[node], d.MaxThreads()),
+		pool:   arena.NewPool[Node](nil, nil),
+		caches: make([]*arena.ThreadCache[Node], d.MaxThreads()),
 	}
 	s.typ = d.RegisterType(func(t *core.Thread, h *core.Header) {
-		s.cacheFor(t).Put((*node)(unsafe.Pointer(h)))
+		s.cacheFor(t).Put((*Node)(unsafe.Pointer(h)))
 	})
 	return s
 }
@@ -81,9 +149,18 @@ func NewShared(d *core.Domain) *Shared {
 // Outstanding reports pool-level live+retired nodes (memory metric).
 func (s *Shared) Outstanding() int64 { return s.pool.Outstanding() }
 
+// Handoffs reports the retire-handoff balance: deferred counts unlink
+// winners that found LINKING set and handed the retire to the inserter;
+// adopted counts FinishLinking calls that observed RETIREREQ and
+// performed the handed-off retire. At quiescence the two must be equal —
+// every deferred retire was adopted by exactly one inserter.
+func (s *Shared) Handoffs() (deferred, adopted int64) {
+	return s.deferred.Load(), s.adopted.Load()
+}
+
 // cacheFor returns t's allocation cache, creating it on first use. The
 // slot is only ever touched by t's goroutine.
-func (s *Shared) cacheFor(t *core.Thread) *arena.ThreadCache[node] {
+func (s *Shared) cacheFor(t *core.Thread) *arena.ThreadCache[Node] {
 	c := s.caches[t.ID()]
 	if c == nil {
 		c = s.pool.NewCache()
@@ -94,9 +171,11 @@ func (s *Shared) cacheFor(t *core.Thread) *arena.ThreadCache[node] {
 
 // List is a Harris-Michael sorted-list map.
 type List struct {
-	s    *Shared
-	head *node
-	tail *node
+	s       *Shared
+	head    *Node
+	tail    *Node
+	linking bool
+	purge   func(*core.Thread, *Node)
 }
 
 // New creates a standalone list (with its own Shared pool) in domain d.
@@ -107,34 +186,80 @@ func NewWithShared(s *Shared) *List {
 	// Sentinels come from the Go heap, not the pool: they are never
 	// retired, and keeping them out of the pool means pool.Outstanding
 	// counts only real keys.
-	head := &node{key: math.MinInt64}
-	tail := &node{key: math.MaxInt64}
+	head := &Node{key: math.MinInt64}
+	tail := &Node{key: math.MaxInt64}
 	head.next.Raw(unsafe.Pointer(tail))
 	return &List{s: s, head: head, tail: tail}
 }
 
+// EnableLinking switches the list into linking mode: nodes publish with
+// LINKING set, PutInOpHinted returns the published node, and the caller
+// must call FinishLinking once it stops touching it. purge, if non-nil,
+// runs exactly once per retired node — after the node is unlinked and
+// marked, before it is Retired — to detach any index state still naming
+// it (the skiplist clears its column's node pointer here). Must be
+// called before the list is shared.
+func (l *List) EnableLinking(purge func(*core.Thread, *Node)) {
+	l.linking = true
+	l.purge = purge
+}
+
+// retire resolves a won unlink through the handoff state machine: the
+// sole caller-side entry point for retiring a node. Runs outside the
+// write phase (see the package comment).
+func (l *List) retire(t *core.Thread, victim *Node) {
+	if st := victim.state.Or(stateRetireReq); st&stateLinking != 0 {
+		// The inserter is still touching the node (index splice in
+		// flight): hand the retire off to its FinishLinking.
+		l.s.deferred.Add(1)
+		return
+	}
+	if l.purge != nil {
+		l.purge(t, victim)
+	}
+	t.Retire(&victim.Header)
+}
+
+// FinishLinking releases a published node's LINKING bit. If an unlink
+// winner requested the retire while the caller was still linking, the
+// handoff lands here: purge + Retire, exactly once.
+func (l *List) FinishLinking(t *core.Thread, n *Node) {
+	if st := n.state.And(^stateLinking); st&stateRetireReq != 0 {
+		l.s.adopted.Add(1)
+		if l.purge != nil {
+			l.purge(t, n)
+		}
+		t.Retire(&n.Header)
+	}
+}
+
 // Reservation slots. The traversal rotates roles among three physical
 // slots so advancing never re-publishes (Michael's index-rotation trick).
+// Hinted walks substitute the caller's hint slot for slotC in the
+// rotation, so the two walk flavors use disjoint slot sets only by
+// convention, never by requirement — each operation owns all its slots.
 const (
 	slotA = 0
 	slotB = 1
 	slotC = 2
 )
 
-// find locates the first unmarked node with key >= key, unlinking marked
-// nodes on the way. It returns the predecessor cell and both nodes with
-// pred protected in sPred and curr in sCurr. ok=false means the operation
-// was neutralized (NBR) and must restart from StartOp level.
+// position is the state of a walk at its stopping point: the
+// predecessor cell and both nodes, with pred protected in sPred and
+// curr in sCurr.
 type position struct {
 	predCell *core.Atomic
-	pred     *node // protected; may be head sentinel
-	curr     *node // protected; tail sentinel if key > all
-	next     *node // protected; successor of curr (nil iff curr==tail)
+	pred     *Node // protected; may be head sentinel or the caller's hint
+	curr     *Node // protected; tail sentinel if key > all
+	next     *Node // protected; successor of curr (nil iff curr==tail)
 	sPred    int   // slot currently protecting pred
 	sCurr    int   // slot currently protecting curr
 	sNext    int   // slot currently protecting next
 }
 
+// find locates the first unmarked node with key >= key, unlinking marked
+// nodes on the way. ok=false means the operation was neutralized (NBR)
+// and must restart from StartOp level.
 func (l *List) find(t *core.Thread, key int64) (pos position, ok bool) {
 retry:
 	pos = position{
@@ -150,7 +275,7 @@ retry:
 		// Head is never deleted; a marked head.next is impossible.
 		panic("hmlist: head.next marked")
 	}
-	pos.curr = (*node)(craw)
+	pos.curr = (*Node)(craw)
 	for {
 		if pos.curr == l.tail {
 			pos.next = nil
@@ -169,7 +294,7 @@ retry:
 			// curr is logically deleted (or replaced): help unlink it. For
 			// a replaced node the masked successor is the same-key
 			// replacement, so the walk lands on the key's live node.
-			next := (*node)(core.Mask(nraw))
+			next := (*Node)(core.Mask(nraw))
 			if !t.EnterWritePhase() {
 				return pos, false
 			}
@@ -177,20 +302,85 @@ retry:
 				t.ExitWritePhase()
 				goto retry
 			}
-			t.Retire(&pos.curr.Header)
 			t.ExitWritePhase()
+			l.retire(t, pos.curr)
 			// next keeps its protection and becomes curr.
 			pos.curr = next
 			pos.sCurr, pos.sNext = pos.sNext, pos.sCurr
 			continue
 		}
-		next := (*node)(nraw)
+		next := (*Node)(nraw)
 		if pos.curr.key >= key {
 			pos.next = next
 			return pos, true
 		}
 		// Advance: curr becomes pred, next becomes curr; the old pred
 		// slot is recycled for the next protection.
+		pos.pred = pos.curr
+		pos.predCell = &pos.curr.next
+		pos.curr = next
+		pos.sPred, pos.sCurr, pos.sNext = pos.sCurr, pos.sNext, pos.sPred
+	}
+}
+
+// findFrom is find starting at a hinted node (key strictly below the
+// target, protected by the caller in sStart) instead of the head. Any
+// validation failure returns valid=false instead of restarting: the
+// walk origin may be stale, so only the caller — who owns the index
+// that produced it — can pick a fresh one. With start=nil it is exactly
+// find (valid always true).
+func (l *List) findFrom(t *core.Thread, key int64, start *Node, sStart int) (pos position, ok, valid bool) {
+	if start == nil {
+		pos, ok = l.find(t, key)
+		return pos, ok, true
+	}
+	pos = position{
+		predCell: &start.next,
+		pred:     start,
+		sPred:    sStart, sCurr: slotA, sNext: slotB,
+	}
+	craw, okp := t.Protect(pos.sCurr, pos.predCell)
+	if !okp {
+		return pos, false, false
+	}
+	if core.Marked(craw) {
+		// The hint itself was deleted under us: its links are no longer
+		// a valid walk origin.
+		return pos, true, false
+	}
+	pos.curr = (*Node)(craw)
+	for {
+		if pos.curr == l.tail {
+			pos.next = nil
+			return pos, true, true
+		}
+		nraw, okp := t.Protect(pos.sNext, &pos.curr.next)
+		if !okp {
+			return pos, false, false
+		}
+		if pos.predCell.Load() != unsafe.Pointer(pos.curr) {
+			return pos, true, false
+		}
+		if core.Marked(nraw) {
+			next := (*Node)(core.Mask(nraw))
+			if !t.EnterWritePhase() {
+				return pos, false, false
+			}
+			if !pos.predCell.CompareAndSwap(unsafe.Pointer(pos.curr), unsafe.Pointer(next)) {
+				t.ExitWritePhase()
+				return pos, true, false
+			}
+			t.ExitWritePhase()
+			l.retire(t, pos.curr)
+			pos.curr = next
+			pos.sCurr, pos.sNext = pos.sNext, pos.sCurr
+			continue
+		}
+		next := (*Node)(nraw)
+		if pos.curr.key >= key {
+			pos.next = next
+			return pos, true, true
+		}
 		pos.pred = pos.curr
 		pos.predCell = &pos.curr.next
 		pos.curr = next
@@ -217,16 +407,30 @@ func (l *List) Get(t *core.Thread, key int64) (uint64, bool) {
 // amortize one protected entry/exit over many lookups.
 func (l *List) GetInOp(t *core.Thread, key int64) (uint64, bool) {
 	for {
-		pos, ok := l.find(t, key)
-		if !ok {
-			continue // neutralized: retry within the operation
+		v, present, valid := l.GetInOpHinted(t, key, nil, 0)
+		if valid {
+			return v, present
+		}
+	}
+}
+
+// GetInOpHinted is GetInOp resuming at a hinted start node (see
+// findFrom). valid=false: the hint was stale, re-descend.
+func (l *List) GetInOpHinted(t *core.Thread, key int64, start *Node, sStart int) (v uint64, present, valid bool) {
+	for {
+		pos, ok, val := l.findFrom(t, key, start, sStart)
+		if !ok || !val {
+			if start != nil {
+				return 0, false, false
+			}
+			continue // neutralized head walk: retry within the operation
 		}
 		if pos.curr == l.tail || pos.curr.key != key {
-			return 0, false
+			return 0, false, true
 		}
 		// curr is protected and its value immutable: a plain read is the
 		// value the node was published with.
-		return pos.curr.val, true
+		return pos.curr.val, true, true
 	}
 }
 
@@ -290,116 +494,250 @@ func (l *List) put(t *core.Thread, key int64, val uint64, overwrite bool) (inser
 
 // putInOp is put inside an already-open operation. An NBR
 // neutralization restarts the find loop within the operation, matching
-// GetInOp's discipline.
+// GetInOp's discipline. In linking mode the published node's LINKING
+// bit is released immediately — this path builds no index, so the node
+// is never touched after publication.
 func (l *List) putInOp(t *core.Thread, key int64, val uint64, overwrite bool) (inserted bool, old uint64, replaced bool) {
+	for {
+		out, valid := l.PutInOpHinted(t, key, val, overwrite, nil, 0)
+		if !valid {
+			continue
+		}
+		if out.New != nil && l.linking {
+			l.FinishLinking(t, out.New)
+		}
+		return out.Inserted, out.Old, out.Replaced
+	}
+}
+
+// PutOutcome is the result of PutInOpHinted. New is the node the call
+// published (insert or replacement), nil if nothing was published; in
+// linking mode the caller owns its LINKING bit and must call
+// FinishLinking once it stops touching it.
+type PutOutcome struct {
+	Inserted bool
+	Old      uint64
+	Replaced bool
+	New      *Node
+}
+
+// PutInOpHinted is the upsert body resuming at a hinted start node (see
+// findFrom). valid=false: the hint went stale or a CAS lost its race —
+// nothing was published, re-descend and retry. With start=nil it
+// retries internally and always returns valid=true.
+func (l *List) PutInOpHinted(t *core.Thread, key int64, val uint64, overwrite bool, start *Node, sStart int) (out PutOutcome, valid bool) {
 	checkKey(key)
 	cache := l.s.cacheFor(t)
-	var n *node
+	var n *Node
 	for {
-		pos, ok := l.find(t, key)
-		if !ok {
+		pos, ok, val2 := l.findFrom(t, key, start, sStart)
+		if !ok || !val2 {
+			if start != nil {
+				goto fail
+			}
 			continue
 		}
 		if pos.curr != l.tail && pos.curr.key == key {
 			if !overwrite {
 				if n != nil {
-					// Never published: return straight to the pool.
 					cache.Put(n)
 				}
-				return false, pos.curr.val, true
+				return PutOutcome{Old: pos.curr.val, Replaced: true}, true
 			}
 			// Overwrite: replace the victim. One CAS marks it and links
 			// the replacement behind it, so the key is never absent.
 			victim := pos.curr // protected in pos.sCurr
 			if n == nil {
-				n = cache.Get()
-				n.key = key
-				n.val = val
-				t.OnAlloc(&n.Header, l.s.typ)
+				n = l.alloc(t, cache, key, val)
 			}
 			n.next.Raw(unsafe.Pointer(pos.next))
 			// Snapshot the replaced value before the CAS: the victim is
 			// immutable, and once it is retired a neutralized thread (NBR)
 			// must not touch it again.
-			old = victim.val
+			old := victim.val
 			if !t.EnterWritePhase() {
+				if start != nil {
+					goto fail
+				}
 				continue
 			}
 			if !victim.next.CompareAndSwap(unsafe.Pointer(pos.next), core.WithMark(unsafe.Pointer(n))) {
 				// Lost to a racing delete/overwrite: re-find. n stays
-				// private and is reused on the next attempt.
+				// private and is reused (head walk) or returned (hinted).
 				t.ExitWritePhase()
+				if start != nil {
+					goto fail
+				}
 				continue
 			}
 			// Linearized: n replaced victim. Physically unlink the victim;
-			// on failure some traversal will help (and retire it).
+			// on failure some traversal will help (and resolve the retire).
 			if pos.predCell.CompareAndSwap(unsafe.Pointer(victim), unsafe.Pointer(n)) {
-				t.Retire(&victim.Header)
+				t.ExitWritePhase()
+				l.retire(t, victim)
+			} else {
+				t.ExitWritePhase()
 			}
-			t.ExitWritePhase()
-			return false, old, true
+			return PutOutcome{Old: old, Replaced: true, New: n}, true
 		}
 		if n == nil {
-			n = cache.Get()
-			n.key = key
-			n.val = val
-			t.OnAlloc(&n.Header, l.s.typ)
+			n = l.alloc(t, cache, key, val)
 		}
 		n.next.Raw(unsafe.Pointer(pos.curr))
 		if !t.EnterWritePhase() {
+			if start != nil {
+				goto fail
+			}
 			continue
 		}
 		if pos.predCell.CompareAndSwap(unsafe.Pointer(pos.curr), unsafe.Pointer(n)) {
 			t.ExitWritePhase()
-			return true, 0, false
+			return PutOutcome{Inserted: true, New: n}, true
 		}
 		t.ExitWritePhase()
+		if start != nil {
+			goto fail
+		}
 	}
+fail:
+	if n != nil {
+		// Never published: return straight to the pool.
+		cache.Put(n)
+	}
+	return PutOutcome{}, false
+}
+
+// alloc draws and initialises an unpublished node. The state word is
+// always re-stored: a recycled node carries its previous life's bits.
+func (l *List) alloc(t *core.Thread, cache *arena.ThreadCache[Node], key int64, val uint64) *Node {
+	n := cache.Get()
+	n.key = key
+	n.val = val
+	st := uint32(0)
+	if l.linking {
+		st = stateLinking
+	}
+	n.state.Store(st)
+	t.OnAlloc(&n.Header, l.s.typ)
+	return n
 }
 
 // Delete removes key and returns the value it removed.
 func (l *List) Delete(t *core.Thread, key int64) (uint64, bool) {
-	checkKey(key)
 	t.StartOp()
 	defer t.EndOp()
 	for {
-		pos, ok := l.find(t, key)
-		if !ok {
+		old, removed, valid := l.DeleteInOpHinted(t, key, nil, 0)
+		if valid {
+			return old, removed
+		}
+	}
+}
+
+// DeleteInOpHinted is Delete's body resuming at a hinted start node
+// (see findFrom). valid=false: the hint went stale or the mark CAS lost
+// its race — nothing was removed, re-descend and retry.
+func (l *List) DeleteInOpHinted(t *core.Thread, key int64, start *Node, sStart int) (old uint64, removed, valid bool) {
+	checkKey(key)
+	for {
+		pos, ok, val := l.findFrom(t, key, start, sStart)
+		if !ok || !val {
+			if start != nil {
+				return 0, false, false
+			}
 			continue
 		}
 		if pos.curr == l.tail || pos.curr.key != key {
-			return 0, false
+			return 0, false, true
 		}
 		// Snapshot before the mark CAS: values are immutable, and after
 		// the retire a neutralized thread must not touch the node.
-		old := pos.curr.val
+		old = pos.curr.val
 		if !t.EnterWritePhase() {
+			if start != nil {
+				return 0, false, false
+			}
 			continue
 		}
 		// Logical delete: mark curr.next. pos.next is protected, so the
 		// CAS succeeding means no successor change raced us.
 		if !pos.curr.next.CompareAndSwap(unsafe.Pointer(pos.next), core.WithMark(unsafe.Pointer(pos.next))) {
 			t.ExitWritePhase()
+			if start != nil {
+				return 0, false, false
+			}
 			continue
 		}
-		// Physical unlink; on failure some traversal will help.
+		// Physical unlink; on failure some traversal will help (and
+		// resolve the retire through the same handoff).
 		if pos.predCell.CompareAndSwap(unsafe.Pointer(pos.curr), unsafe.Pointer(pos.next)) {
-			t.Retire(&pos.curr.Header)
+			t.ExitWritePhase()
+			l.retire(t, pos.curr)
+		} else {
+			t.ExitWritePhase()
 		}
-		t.ExitWritePhase()
-		return old, true
+		return old, true, true
+	}
+}
+
+// ScanInOpHinted walks keys in [from, hi] ascending, resuming at a
+// hinted start node (see findFrom; start=nil walks from the head),
+// emitting every (key, value) pair observed unmarked while validated
+// reachable. done=true: the scan passed hi (or emit returned false).
+// done=false: a hop failed validation, was neutralized, or hit a marked
+// node (whose links are not a safe bridge) — re-descend and call again
+// with from=resume; keys below resume were emitted and are never
+// revisited, keeping output sorted and unique.
+func (l *List) ScanInOpHinted(t *core.Thread, from, hi int64, start *Node, sStart int, emit func(int64, uint64) bool) (resume int64, done bool) {
+	pos, ok, valid := l.findFrom(t, from, start, sStart)
+	if !ok || !valid {
+		return from, false
+	}
+	predCell, curr := pos.predCell, pos.curr
+	// Full three-slot rotation, exactly as in the find walk: the node
+	// holding predCell must keep its reservation through the validation
+	// read below, so the slot reused for each new protect is the one two
+	// hops back, never the current predecessor's.
+	sPred, sCurr, sNext := pos.sPred, pos.sCurr, pos.sNext
+	for {
+		if curr == l.tail || curr.key > hi {
+			return 0, true
+		}
+		// Snapshot the key and value while curr is still protected: a
+		// failed Protect below means we were neutralized and curr may be
+		// reclaimed before the !ok branch runs.
+		k, v := curr.key, curr.val
+		nraw, okp := t.Protect(sNext, &curr.next)
+		if !okp {
+			return k, false // neutralized: re-descend
+		}
+		if predCell.Load() != unsafe.Pointer(curr) {
+			return k, false // chain changed behind us: re-descend
+		}
+		if core.Marked(nraw) {
+			// curr was deleted or replaced under the scan: resume at its
+			// key (the re-descent finds the replacement if there is one,
+			// whose key has not been emitted yet).
+			return k, false
+		}
+		if !emit(k, v) {
+			return 0, true
+		}
+		predCell = &curr.next
+		curr = (*Node)(nraw)
+		sPred, sCurr, sNext = sCurr, sNext, sPred
 	}
 }
 
 // Size counts the unmarked nodes. Quiescent use only.
 func (l *List) Size(t *core.Thread) int {
 	n := 0
-	for c := (*node)(core.Mask(l.head.next.Load())); c != l.tail; {
+	for c := (*Node)(core.Mask(l.head.next.Load())); c != l.tail; {
 		nraw := c.next.Load()
 		if !core.Marked(nraw) {
 			n++
 		}
-		c = (*node)(core.Mask(nraw))
+		c = (*Node)(core.Mask(nraw))
 	}
 	return n
 }

@@ -6,13 +6,13 @@ import (
 	"pop/internal/core"
 )
 
-// Effective-height microbenchmarks: the single-op descents (Get, Put)
-// start at the probed highest live level instead of MaxHeight-1, so a
-// small store pays ~log2(keys) link hops per descent instead of a fixed
-// 20. The *FullHeight variants drive the same in-op bodies pinned to the
-// pre-change start level — the before/after pair for the probe's win.
-// At 1K keys the effective top is ~10 levels, so roughly half of every
-// pre-change descent was hops along empty head→tail levels.
+// Index-vs-head-walk microbenchmarks: the default single-op paths seed
+// the bottom-layer walk with an index hint (O(log n) column hops, no
+// protections until the final hop), while the *HeadWalk variants drive
+// the identical hmlist in-op bodies with a nil hint — the pure
+// Harris-Michael walk every operation would pay without the index. At
+// 1K keys that is ~512 protected hops per op versus ~5 column hops plus
+// a short protected tail, the before/after pair for the index's win.
 
 const effKeys = 1 << 10
 
@@ -29,7 +29,7 @@ func prefill(b *testing.B) (*core.Domain, *List, *core.Thread) {
 	return d, l, th
 }
 
-func BenchmarkGetEffectiveHeight(b *testing.B) {
+func BenchmarkGetIndexed(b *testing.B) {
 	_, l, th := prefill(b)
 	for i := 0; i < b.N; i++ {
 		if _, ok := l.Get(th, int64(i)%effKeys); !ok {
@@ -38,36 +38,41 @@ func BenchmarkGetEffectiveHeight(b *testing.B) {
 	}
 }
 
-// BenchmarkGetFullHeight is the pre-change Get: same protected descent,
-// start level pinned to MaxHeight-1.
-func BenchmarkGetFullHeight(b *testing.B) {
+// BenchmarkGetHeadWalk is the same protected lookup body with the index
+// bypassed: every descent walks the bottom layer from the head.
+func BenchmarkGetHeadWalk(b *testing.B) {
 	_, l, th := prefill(b)
 	for i := 0; i < b.N; i++ {
 		key := int64(i) % effKeys
 		th.StartOp()
-		pos, ok := l.descendFrom(th, key, 0, MaxHeight-1, nil)
-		if !ok || pos.curr == l.tail || pos.curr.key != key {
-			th.EndOp()
+		_, present, _ := l.b.GetInOpHinted(th, key, nil, 0)
+		th.EndOp()
+		if !present {
 			b.Fatal("miss")
 		}
-		th.EndOp()
 	}
 }
 
-func BenchmarkPutEffectiveHeight(b *testing.B) {
+func BenchmarkPutIndexed(b *testing.B) {
 	_, l, th := prefill(b)
 	for i := 0; i < b.N; i++ {
 		l.Put(th, int64(i)%effKeys, uint64(i))
 	}
 }
 
-// BenchmarkPutFullHeight is the pre-change Put: the shared upsert body
-// with its find descents pinned to MaxHeight-1.
-func BenchmarkPutFullHeight(b *testing.B) {
+// BenchmarkPutHeadWalk is the upsert body with the index bypassed: the
+// overwrite walks from the head, and the published replacement still
+// links its column (the index must stay coherent for the purge hook).
+func BenchmarkPutHeadWalk(b *testing.B) {
 	_, l, th := prefill(b)
 	for i := 0; i < b.N; i++ {
+		key := int64(i) % effKeys
 		th.StartOp()
-		l.putInOp(th, int64(i)%effKeys, uint64(i), true, MaxHeight-1)
+		out, _ := l.b.PutInOpHinted(th, key, uint64(i), true, nil, 0)
+		if out.New != nil {
+			l.linkIndex(th, out.New, key)
+			l.b.FinishLinking(th, out.New)
+		}
 		th.EndOp()
 	}
 }

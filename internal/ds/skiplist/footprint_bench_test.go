@@ -5,30 +5,35 @@ import (
 	"unsafe"
 
 	"pop/internal/core"
+	"pop/internal/ds/hmlist"
 )
 
-// BenchmarkTowerFootprint measures link-cell memory per key with the
-// variable-height tower layout and reports it against the fixed-tower
-// baseline this layout replaced (every node carrying a full
-// MaxHeight-cell array, the ROADMAP item). The benchmark inserts N
-// distinct keys and derives bytes/key from the arena pools' slab
-// counts, so it reflects what the allocator actually reserved —
-// including pooled extTowers for the ~6.25% of towers taller than
-// inlineLevels.
+// prevBytesPerKey is what the pre-unification layout paid per key, as
+// measured by this benchmark before the rewrite: a pooled node carrying
+// an inline 4-cell tower plus an amortized pooled extTower for the
+// ~6.25% of geometric(1/2) towers taller than that (~88 node-B/key +
+// ~8 ext-B/key). Kept as the before side of the before/after
+// comparison this benchmark reports.
+const prevBytesPerKey = 96
+
+// BenchmarkTowerFootprint measures index + node memory per key with the
+// unified layout: every key is one hmlist bottom node, and only the
+// geometric(1/4) minority of keys carries a GC-heap index column. The
+// node side is derived from the arena pool's outstanding count (what
+// the allocator actually reserved); the column side walks index level 0
+// and sums the exact Go-heap size of every column spine.
 //
 // Reported metrics:
 //
-//	node-B/key   bytes of node slab per key (includes the inline tower)
-//	ext-B/key    bytes of extension slab per key
-//	fixed-B/key  what the same key count cost with fixed 20-level towers
+//	node-B/key   bytes of bottom-node slab per key
+//	idx-B/key    bytes of index columns per key (struct + right cells)
+//	total-B/key  the two combined — the after side
+//	prev-B/key   the pre-unification layout's measured cost — the before side
 func BenchmarkTowerFootprint(b *testing.B) {
 	const keys = 200_000
-	nodeSize := int64(unsafe.Sizeof(node{}))
-	extSize := int64(unsafe.Sizeof(extTower{}))
-	// The pre-refactor node: the current layout minus the ext pointer
-	// and inline array, plus a full MaxHeight tower.
-	fixedNodeSize := nodeSize - int64(unsafe.Sizeof([inlineLevels]core.Atomic{})) -
-		int64(unsafe.Sizeof((*extTower)(nil))) + int64(unsafe.Sizeof([MaxHeight]core.Atomic{}))
+	nodeSize := int64(unsafe.Sizeof(hmlist.Node{}))
+	colSize := int64(unsafe.Sizeof(column{}))
+	cellSize := int64(unsafe.Sizeof(core.Atomic{}))
 
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -38,21 +43,28 @@ func BenchmarkTowerFootprint(b *testing.B) {
 		for k := int64(0); k < keys; k++ {
 			l.PutIfAbsent(th, k, uint64(k))
 		}
-		nodes := l.pool.Outstanding()
-		exts := l.extPool.Outstanding()
+		nodes := l.Outstanding()
 		if nodes != keys {
 			b.Fatalf("outstanding nodes = %d, want %d", nodes, keys)
 		}
-		b.ReportMetric(float64(nodes*nodeSize)/keys, "node-B/key")
-		b.ReportMetric(float64(exts*extSize)/keys, "ext-B/key")
-		b.ReportMetric(float64(nodes*fixedNodeSize)/keys, "fixed-B/key")
+		idxBytes := int64(0)
+		for c := (*column)(core.Mask(l.headCol.right[0].Load())); c != l.tailCol; c = (*column)(core.Mask(c.right[0].Load())) {
+			idxBytes += colSize + int64(len(c.right))*cellSize
+		}
+		nodeB := float64(nodes*nodeSize) / keys
+		idxB := float64(idxBytes) / keys
+		b.ReportMetric(nodeB, "node-B/key")
+		b.ReportMetric(idxB, "idx-B/key")
+		b.ReportMetric(nodeB+idxB, "total-B/key")
+		b.ReportMetric(prevBytesPerKey, "prev-B/key")
 	}
 }
 
-// TestExtTowerAccounting pins the variable-height invariant: only
-// towers taller than inlineLevels hold an extension, and extensions are
-// recycled when their nodes are reclaimed.
-func TestExtTowerAccounting(t *testing.T) {
+// TestColumnAccounting pins the index invariants: roughly a quarter of
+// keys own a column (geometric(1/4)), every column routes to a live
+// same-key node, and a full delete leaves the index empty — every
+// column unlinked by the purge hook and every node back in its pool.
+func TestColumnAccounting(t *testing.T) {
 	d := core.NewDomain(core.EBR, 1, &core.Options{ReclaimThreshold: 64})
 	l := New(d)
 	th := d.RegisterThread()
@@ -60,35 +72,35 @@ func TestExtTowerAccounting(t *testing.T) {
 	for k := int64(0); k < keys; k++ {
 		l.PutIfAbsent(th, k, 0)
 	}
-	tall := int64(0)
-	for c := (*node)(core.Mask(l.head.link(0).Load())); c != l.tail; c = (*node)(core.Mask(c.link(0).Load())) {
-		if c.height > inlineLevels {
-			if c.ext == nil {
-				t.Fatalf("height-%d node without extension", c.height)
-			}
-			tall++
-		} else if c.ext != nil {
-			t.Fatalf("height-%d node holds an extension", c.height)
+	cols := int64(0)
+	for c := (*column)(core.Mask(l.headCol.right[0].Load())); c != l.tailCol; c = (*column)(core.Mask(c.right[0].Load())) {
+		cols++
+		raw := c.n.Load()
+		if raw == nil {
+			t.Fatalf("live column for key %d has a cleared node pointer", c.key)
+		}
+		if got := (*hmlist.Node)(raw).Key(); got != c.key {
+			t.Fatalf("column key %d routes to node key %d", c.key, got)
 		}
 	}
-	exts := l.extPool.Outstanding()
-	if exts != tall {
-		t.Fatalf("ext pool outstanding = %d, want %d (tall towers)", exts, tall)
+	// Geometric(1/4) heights: P(column) = 1/4. Allow generous slack.
+	if lo, hi := int64(keys/6), int64(keys/3); cols < lo || cols > hi {
+		t.Fatalf("columns = %d of %d keys, outside sane geometric bounds [%d, %d]", cols, keys, lo, hi)
 	}
-	// Geometric(1/2) heights: P(h > 4) = 1/16. Allow generous slack.
-	if lo, hi := keys/32, keys/8; tall < int64(lo) || tall > int64(hi) {
-		t.Fatalf("tall towers = %d of %d, outside sane geometric bounds [%d, %d]", tall, keys, lo, hi)
-	}
-	// Deleting everything must return every extension to its pool once
-	// reclamation has run.
+	// Deleting everything must purge every column and return every node
+	// to its pool once reclamation has run.
 	for k := int64(0); k < keys; k++ {
-		l.Delete(th, k)
+		if _, ok := l.Delete(th, k); !ok {
+			t.Fatalf("delete %d: absent", k)
+		}
 	}
 	th.Flush()
-	if got := l.extPool.Outstanding(); got != 0 {
-		t.Fatalf("ext pool outstanding = %d after full delete+flush, want 0", got)
+	for lvl := 0; lvl < maxIndexHeight; lvl++ {
+		if raw := l.headCol.right[lvl].Load(); (*column)(core.Mask(raw)) != l.tailCol {
+			t.Fatalf("index level %d not empty after full delete", lvl)
+		}
 	}
-	if got := l.pool.Outstanding(); got != 0 {
+	if got := l.Outstanding(); got != 0 {
 		t.Fatalf("node pool outstanding = %d after full delete+flush, want 0", got)
 	}
 }

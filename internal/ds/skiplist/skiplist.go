@@ -1,82 +1,71 @@
 // Package skiplist implements a lock-free skiplist map (SKL in the
-// harness) in the Fraser/Herlihy style: a sorted multi-level linked
-// list in which each node carries a tower of forward links, each level
-// is a Harris-Michael list in its own right (logical deletion by CAS
-// marking the level's next pointer, physical unlink by a second CAS),
-// and membership is defined by the bottom level alone. It is one of the
-// repository's two structures with ordered range scans, which makes it
-// the SMR-heaviest workload available: a scan is one long operation
-// that protects every hop, exactly the traversal pressure the paper's
-// §5.1.2 long-running-reads experiment puts on reservation publication.
+// harness) whose bottom layer *is* an hmlist.List: membership, upsert,
+// replace-node-and-retire overwrite, deletion, batched get/put and the
+// LINKING/RETIREREQ retire handoff all live in the shared Harris-Michael
+// bottom layer (see package hmlist), and this package contributes only
+// the probabilistic index above it. It is one of the repository's two
+// structures with ordered range scans, which makes it the SMR-heaviest
+// workload available: a scan is one long operation that protects every
+// hop, exactly the traversal pressure the paper's §5.1.2
+// long-running-reads experiment puts on reservation publication.
 //
-// # Variable-height towers
+// # Index columns: GC-managed, protection-free
 //
-// Tower heights are geometric(1/2), so 93.75% of nodes are at most
-// inlineLevels (4) tall. Each node inlines only those four link cells;
-// taller towers attach a pooled extension (extTower) holding the
-// remaining MaxHeight-4 levels. The extension comes from its own
-// type-stable arena pool, is attached before the node is published and
-// detached only when the node is freed (after its grace period), so a
-// protected node's links are always dereferenceable. Expected tower
-// footprint drops from MaxHeight (20) cells per node to 4 + 16/16 = 5,
-// a ~4x cut in link memory — see BenchmarkTowerFootprint for the
-// measured bytes/key.
+// Earlier revisions gave every node a tower of forward links and paid
+// for it twice: ~96 B/key of pooled link cells, and a full reservation
+// protocol (protect + validate per hop) on every index level, because
+// index cells lived inside reclaimed nodes. The index is now a separate
+// spine of *columns* on the ordinary Go heap:
 //
-// # Reservation discipline
+//	column{ key, n (-> bottom node), right[height] }
 //
-// Traversals rotate three protection slots (pred/curr/next, Michael's
-// index-rotation trick, as in hmlist) and re-validate pred.next == curr
-// after every protect; descending a level keeps pred protected and
-// re-walks from it. Range scans extend the same rotation along level 0
-// and resume from the last emitted key when a hop fails validation, so
-// results stay sorted and duplicate-free without restarting the scan.
+// A column is published once by its inserter and unlinked when its node
+// retires, but never pooled or freed manually — the garbage collector
+// owns it. That one decision deletes the entire reservation protocol
+// from the index: walkers chase column pointers with plain loads (a
+// stale column routes conservatively, never dangles), and index CASes
+// need no write-phase brackets under NBR because nothing in the index
+// is ever reclaimed by the domain. Only the final hop — materializing
+// the bottom-layer hint out of a column's n cell — publishes a
+// reservation, and the hmlist walk it seeds revalidates everything.
 //
-// # Overwrite strategy: replace-node-and-retire
+// Column heights are geometric(1/4): three quarters of keys have no
+// column at all, and the expected index footprint is ~1/3 cell per key
+// (~13 B amortized), versus one mandatory tower per key before. Lookups
+// still descend O(log n) expected: a quarter-density index is one extra
+// bottom hop per descent on average, traded for hint hops that touch no
+// shared SMR state at all.
 //
-// Node values are immutable once published: storing into a live node is
-// not linearizable on a lock-free list (the node can be CAS-marked
-// between lookup and store, letting a Get observe a value the map never
-// held). Put on a present key instead builds a fresh node with the new
-// value and links it directly *behind* the victim at level 0 with the
-// very CAS that marks the victim:
+// # Hint protocol (why a column may be trusted)
 //
-//	victim.level0: succ  ->  mark(new)     where new.level0 = succ
+// descendIndex walks the columns to the last column with key < target
+// and protects that column's n cell. The column clears n *before* the
+// node is retired (purge runs before Retire under every policy — see
+// hmlist's retire ordering), so a successful Protect on n happened
+// before the clear, hence before the Retire, hence before any
+// reclaimer's scan: the hint node is safely dereferenceable. The hinted
+// hmlist walk then revalidates the ordinary way; any staleness
+// (hint marked, edge changed, CAS lost) surfaces as valid=false and the
+// operation re-descends for a fresh hint, falling back to a plain head
+// walk after maxHintTries misses so progress never depends on a stalled
+// purge.
 //
-// One CAS both logically deletes the victim and makes the same-key
-// replacement the continuation of the chain, so the key is never
-// absent; traversals that snip the marked victim land on the new node.
-// The victim's upper levels are marked top-down beforehand (exactly as
-// in Delete) and the victim retires through the ordinary mark-winner
-// purge/handoff path below, so every overwrite is a retirement — a new
-// tower is allocated and an old one reclaimed even when the key set is
-// static.
+// # Column lifecycle
 //
-// # Retire protocol (why towers don't break reclamation)
-//
-// A skiplist node is reachable from many levels, so "unlinked at level
-// 0" does not mean unreachable — the retire contract every policy in
-// core depends on. Two rules make retirement exact:
-//
-//  1. Only the thread whose CAS marks level 0 (the deletion's or
-//     replacement's linearization point) may retire the node, and only
-//     after a full by-pointer purge descent has confirmed the node is
-//     unlinked from every level. Helper traversals snip marked levels
-//     but never retire.
-//  2. The inserting thread announces tower construction in the node's
-//     state word (LINKING). A deleter that finds LINKING still set
-//     hands the retire off (RETIREREQ); whichever of the two clears its
-//     bit last performs the purge + retire. The inserter additionally
-//     keeps the node protected in a dedicated anchor slot from before
-//     publication until its operation ends, and un-links any level it
-//     raced a deleter on (link-then-mark interleavings) before
-//     releasing LINKING — so a retired node can never be re-linked, and
-//     a linked node can never be freed.
-//
-// Under NBR a neutralized inserter abandons the remaining tower levels
-// instead of restarting: the node is already in the set (level 0), a
-// short tower only costs balance, and the state protocol guarantees the
-// node outlives every access the inserter still performs (a node with
-// LINKING set is never retired, hence never freed).
+// The inserter publishes its bottom node with LINKING set (hmlist's
+// linking mode), builds the column bottom-up — so a column spliced
+// anywhere is always spliced at index level 0 — and only then releases
+// LINKING. Retirement funnels through hmlist's handoff: whichever side
+// clears its state bit last runs this package's purge hook exactly
+// once. The purge walks index level 0 to find the victim's column by
+// node identity (absent there means the column was never published:
+// unreachable Go garbage, nothing to do), marks every right cell
+// top-down so walkers stop splicing behind it and help unlink it, then
+// unlinks each level and clears n last. Mark-then-unlink on the column
+// cells is what makes a concurrent splice either land before the mark
+// (and be preserved by the unlink CAS, which swings to the masked
+// successor) or fail its CAS and re-walk — a splice is never lost into
+// a dead column.
 package skiplist
 
 import (
@@ -84,271 +73,318 @@ import (
 	"sync/atomic"
 	"unsafe"
 
-	"pop/internal/arena"
 	"pop/internal/core"
+	"pop/internal/ds/hmlist"
 	"pop/internal/rng"
 )
 
-// MaxHeight is the tower-height cap. 2^20 keys at the expected one node
-// per two towers per level covers every structure size the harness runs.
-const MaxHeight = 20
+// maxIndexHeight caps the number of index levels. Geometric(1/4)
+// heights over 2^16 expected columns per level-16 cell covers every
+// structure size the harness runs.
+const maxIndexHeight = 16
 
-// inlineLevels is the number of link cells stored inside the node
-// itself. Geometric(1/2) heights make towers taller than this a 1/16
-// event; those attach a pooled extTower for the remaining levels.
-const inlineLevels = 4
+// maxHintTries is how many stale hints an operation tolerates before
+// falling back to a head walk: re-descending is cheap, but progress
+// must not depend on the purge of a dead column ever being scheduled.
+const maxHintTries = 3
 
-// extTower is the pooled link extension for towers taller than
-// inlineLevels. It is attached before the node is published and
-// detached only on free, so it shares the node's lifetime exactly.
-type extTower struct {
-	cells [MaxHeight - inlineLevels]core.Atomic
+// slotHint is the reservation slot holding the bottom-layer hint node.
+// The hinted hmlist walk rotates it with slots 0 and 1; slot 2 is only
+// used by head walks.
+const slotHint = 3
+
+// column is one key's index presence: height cells of right links plus
+// the bottom node the index routes to. Columns live on the Go heap —
+// the GC reclaims them, the domain never does (see the package
+// comment) — so key is plainly immutable, right cells carry the usual
+// mark bit ("this column is being purged"), and n is a protectable cell
+// cleared before the node retires.
+type column struct {
+	key   int64
+	n     core.Atomic
+	right []core.Atomic
 }
 
-// state-word bits (node.state).
-const (
-	// stateLinking is set by the inserter before the node is published
-	// and cleared when tower construction (including undo of any
-	// link/mark race) is complete. A node with LINKING set is never
-	// retired.
-	stateLinking = uint32(1) << 0
-	// stateRetireReq is set by the deleter that won the level-0 mark
-	// after its purge descent. If LINKING was already clear, the deleter
-	// retires; otherwise the inserter does when it clears LINKING.
-	stateRetireReq = uint32(1) << 1
-)
-
-// node is a skiplist cell. Header must be first (reclamation contract).
-// The mark bit of link(lvl) tags *this* node as logically deleted at
-// that level; level 0's mark is the deletion's (or replacement's)
-// linearization point. key and val are immutable once published.
-type node struct {
-	core.Header
-	key    int64
-	val    uint64
-	height int32         // tower height, 1..MaxHeight; immutable once published
-	state  atomic.Uint32 // LINKING/RETIREREQ retire-handoff word
-	ext    *extTower     // levels inlineLevels..height-1; nil for short towers
-	low    [inlineLevels]core.Atomic
-}
-
-// link returns the node's forward cell for level lvl. Callers only ever
-// name levels below the node's height, so ext is non-nil whenever the
-// branch takes it.
-func (n *node) link(lvl int) *core.Atomic {
-	if lvl < inlineLevels {
-		return &n.low[lvl]
-	}
-	return &n.ext.cells[lvl-inlineLevels]
-}
-
-// threadLocal is a thread's allocation caches plus its private
-// height-distribution generator.
-type threadLocal struct {
-	cache *arena.ThreadCache[node]
-	extc  *arena.ThreadCache[extTower]
-	hrng  *rng.State
+// colLocal is a thread's private height-distribution generator.
+type colLocal struct {
+	hrng *rng.State
 }
 
 // List is a lock-free skiplist map of int64 keys to uint64 values.
 type List struct {
-	d       *core.Domain
-	typ     uint8
-	pool    *arena.Pool[node]
-	extPool *arena.Pool[extTower]
-	locals  []*threadLocal // indexed by thread id, owner-only
-	head    *node          // full-height sentinel, key = MinInt64
-	tail    *node          // key = MaxInt64; terminates every level
+	b       *hmlist.List
+	headCol *column // full-height column before all keys; never purged
+	tailCol *column // terminates every index level (marked cells must
+	// stay non-nil, the core.WithMark contract), key = MaxInt64
+	top    atomic.Int32 // index levels in use; see indexTop
+	locals []*colLocal  // indexed by thread id, owner-only
 }
 
 // New creates an empty skiplist in domain d.
 func New(d *core.Domain) *List {
 	l := &List{
-		d:       d,
-		pool:    arena.NewPool[node](nil, nil),
-		extPool: arena.NewPool[extTower](nil, nil),
-		locals:  make([]*threadLocal, d.MaxThreads()),
+		headCol: &column{key: math.MinInt64, right: make([]core.Atomic, maxIndexHeight)},
+		tailCol: &column{key: math.MaxInt64},
+		locals:  make([]*colLocal, d.MaxThreads()),
 	}
-	l.typ = d.RegisterType(func(t *core.Thread, h *core.Header) {
-		n := (*node)(unsafe.Pointer(h))
-		tl := l.localFor(t)
-		if n.ext != nil {
-			tl.extc.Put(n.ext)
-			n.ext = nil
-		}
-		tl.cache.Put(n)
-	})
-	// Sentinels come from the Go heap (never retired; Outstanding counts
-	// only real keys). Their extensions do too.
-	l.head = &node{key: math.MinInt64, height: MaxHeight, ext: &extTower{}}
-	l.tail = &node{key: math.MaxInt64, height: MaxHeight, ext: &extTower{}}
-	for i := 0; i < MaxHeight; i++ {
-		l.head.link(i).Raw(unsafe.Pointer(l.tail))
+	for h := 0; h < maxIndexHeight; h++ {
+		l.headCol.right[h].Raw(unsafe.Pointer(l.tailCol))
 	}
+	l.b = hmlist.New(d)
+	l.b.EnableLinking(l.purgeIndex)
 	return l
 }
 
 // Outstanding reports pool-level live+retired nodes (memory metric).
-func (l *List) Outstanding() int64 { return l.pool.Outstanding() }
+// Index columns are deliberately absent: they are Go-heap objects.
+func (l *List) Outstanding() int64 { return l.b.Outstanding() }
 
-// localFor returns t's thread-local state, creating it on first use. The
-// slot is only ever touched by t's goroutine.
-func (l *List) localFor(t *core.Thread) *threadLocal {
+// localFor returns t's thread-local state, creating it on first use.
+// The slot is only ever touched by t's goroutine.
+func (l *List) localFor(t *core.Thread) *colLocal {
 	tl := l.locals[t.ID()]
 	if tl == nil {
-		tl = &threadLocal{
-			cache: l.pool.NewCache(),
-			extc:  l.extPool.NewCache(),
-			hrng:  rng.New(0x5ee9_11f7<<16 ^ uint64(t.ID())*0x9e3779b97f4a7c15),
-		}
+		tl = &colLocal{hrng: rng.New(0x5ee9_11f7<<16 ^ uint64(t.ID())*0x9e3779b97f4a7c15)}
 		l.locals[t.ID()] = tl
 	}
 	return tl
 }
 
-// randomHeight draws a geometric(1/2) tower height in [1, MaxHeight].
-func randomHeight(r *rng.State) int32 {
-	h := int32(1)
-	for bits := r.Uint64(); bits&1 == 1 && h < MaxHeight; bits >>= 1 {
+// indexHeight draws a geometric(1/4) column height in [0, maxIndexHeight]:
+// 0 (no column) with probability 3/4, each further level a 1/4 event.
+func indexHeight(r *rng.State) int {
+	h := 0
+	for bits := r.Uint64(); bits&3 == 3 && h < maxIndexHeight; bits >>= 2 {
 		h++
 	}
 	return h
 }
 
-// newNode allocates and initialises an unpublished node: links point at
-// the tail, the extension matches the sampled height (attached for tall
-// towers, returned to its pool when a recycled node no longer needs one).
-func (l *List) newNode(t *core.Thread, tl *threadLocal, key int64, val uint64) *node {
-	n := tl.cache.Get()
-	n.key = key
-	n.val = val
-	n.height = randomHeight(tl.hrng)
-	n.state.Store(stateLinking)
-	if n.height > inlineLevels {
-		if n.ext == nil {
-			n.ext = tl.extc.Get()
+// indexTop returns the number of index levels currently worth
+// descending: the effective-height probe, now O(1). The counter is
+// raised by splicers and never lowered — starting a descent above the
+// live columns only costs nil loads, while starting below one is always
+// safe because upper levels are only shortcuts (every key is reachable
+// through the bottom layer alone).
+func (l *List) indexTop() int { return int(l.top.Load()) }
+
+func (l *List) raiseTop(h int) {
+	for {
+		t0 := l.top.Load()
+		if int32(h) <= t0 || l.top.CompareAndSwap(t0, int32(h)) {
+			return
 		}
-	} else if n.ext != nil {
-		tl.extc.Put(n.ext)
-		n.ext = nil
 	}
-	for i := 0; i < int(n.height); i++ {
-		n.link(i).Raw(unsafe.Pointer(l.tail))
-	}
-	t.OnAlloc(&n.Header, l.typ)
-	return n
 }
 
-// Reservation slots: three rotating traversal slots plus a fixed anchor
-// the inserter uses to keep its node protected during tower linking.
-const (
-	slotPred   = 0
-	slotCurr   = 1
-	slotNext   = 2
-	slotAnchor = 3
-)
-
-// position is the result of a descent: the state of the walk at the
-// lowest level visited, with pred and curr protected in the recorded
-// slots (the hmlist discipline, per level).
-type position struct {
-	predCell *core.Atomic
-	pred     *node // protected in sPred; head sentinel at minimum
-	curr     *node // protected in sCurr; first node with key >= target key
-	next     *node // curr's successor (nil iff curr == tail)
-	sPred    int
-	sCurr    int
-	sNext    int
-}
-
-// descend walks from the head down to level lo and returns the position
-// there. At each level it stops before the first node with key > key;
-// nodes with key == key stop the walk unless target is non-nil, in which
-// case only target itself stops it (the retirer's by-pointer purge walks
-// past unmarked same-key reincarnations). Marked nodes encountered at
-// any level are snipped — but never retired; see the package comment.
-//
-// ok=false means the operation was neutralized (NBR) and the caller must
-// either restart from its entry point or abandon (tower building).
-// A completed descent with target != nil proves target was unlinked from
-// every level in [lo, MaxHeight): target is fully marked by then, so if
-// the walk met it, it snipped it, and if not, it wasn't in the chain.
-func (l *List) descend(t *core.Thread, key int64, lo int, target *node) (position, bool) {
-	return l.descendFrom(t, key, lo, MaxHeight-1, target)
-}
-
-// descendFrom is descend with an explicit start level. Starting below
-// MaxHeight-1 is always safe — every node is reachable through level 0
-// and the upper levels are only shortcuts — it just walks more at the
-// start level if towers above it exist. GetBatch exploits this: one
-// effective-height probe amortized over the whole batch skips the empty
-// top levels every descent would otherwise pay for. Purge descents
-// (target != nil) must use the full height: their contract is proving
-// target unlinked from every level.
-func (l *List) descendFrom(t *core.Thread, key int64, lo, top int, target *node) (position, bool) {
-retry:
-	pos := position{pred: l.head, sPred: slotPred, sCurr: slotCurr, sNext: slotNext}
-	for lvl := top; ; lvl-- {
-		pos.predCell = pos.pred.link(lvl)
-		craw, ok := t.Protect(pos.sCurr, pos.predCell)
-		if !ok {
-			return pos, false
-		}
-		if core.Marked(craw) {
-			// pred was logically deleted at this level under us; its
-			// links are no longer a valid walk origin.
-			goto retry
-		}
-		pos.curr = (*node)(craw)
+// descendIndex walks the column spine to the last column with key
+// strictly below target. All loads are plain (GC memory); marked right
+// cells belong to columns being purged and are helped out of the chain
+// when the predecessor's cell is still clean. Returns nil when no
+// column precedes target (walk from the list head).
+func (l *List) descendIndex(key int64) *column {
+	pred := l.headCol
+	for h := l.indexTop() - 1; h >= 0; h-- {
 		for {
-			if pos.curr == l.tail {
-				pos.next = nil
-				break
+			craw := pred.right[h].Load()
+			c := (*column)(core.Mask(craw))
+			if c.key >= key {
+				break // descend a level
 			}
-			nraw, ok := t.Protect(pos.sNext, pos.curr.link(lvl))
-			if !ok {
-				return pos, false
-			}
-			// Validate the edge: pred must still point at curr, so curr
-			// was reachable (and next its successor) after the protect.
-			if pos.predCell.Load() != unsafe.Pointer(pos.curr) {
-				goto retry
-			}
-			if core.Marked(nraw) {
-				// curr is logically deleted at lvl: snip it. (For a
-				// replaced node at level 0 the masked successor is the
-				// same-key replacement, so the walk lands on the key's
-				// live node.) Retirement is the mark winner's job (see
-				// package comment), so a successful snip just drops the
-				// node from this level.
-				succ := core.Mask(nraw)
-				if !t.EnterWritePhase() {
-					return pos, false
+			rraw := c.right[h].Load()
+			if core.Marked(rraw) {
+				// c is being purged. Help unlink it if pred's cell is
+				// clean; a marked pred cell means pred is being purged
+				// too — just route through (columns never dangle).
+				if !core.Marked(craw) && pred.right[h].CompareAndSwap(craw, core.Mask(rraw)) {
+					continue
 				}
-				if !pos.predCell.CompareAndSwap(unsafe.Pointer(pos.curr), succ) {
-					t.ExitWritePhase()
-					goto retry
-				}
-				t.ExitWritePhase()
-				pos.curr = (*node)(succ)
-				pos.sCurr, pos.sNext = pos.sNext, pos.sCurr
+				pred = c
 				continue
 			}
-			if pos.curr.key > key || (pos.curr.key == key && (target == nil || pos.curr == target)) {
-				pos.next = (*node)(nraw)
+			pred = c
+		}
+	}
+	if pred == l.headCol {
+		return nil
+	}
+	return pred
+}
+
+// hintFor materializes a bottom-layer walk origin for key: descend the
+// index, protect the final column's n cell in slotHint. A nil return
+// (no index progress, cleared n, neutralized protect, or the caller
+// exhausted maxHintTries) means walk from the head.
+func (l *List) hintFor(t *core.Thread, key int64, attempt int) (*hmlist.Node, int) {
+	if attempt >= maxHintTries {
+		return nil, 0
+	}
+	c := l.descendIndex(key)
+	if c == nil {
+		return nil, 0
+	}
+	raw, ok := t.Protect(slotHint, &c.n)
+	if !ok || raw == nil {
+		return nil, 0
+	}
+	return (*hmlist.Node)(raw), slotHint
+}
+
+// indexPred positions a level-h walk: the last column with key < target
+// whose cell (craw, unmarked) it returns, descending from the current
+// top so the walk is O(log n) rather than a level scan. ok=false means
+// the chosen pred's cell went marked under the probe — retry from the
+// head.
+func (l *List) indexPred(key int64, lvl int) (pred *column, craw unsafe.Pointer, ok bool) {
+	pred = l.headCol
+	top := l.indexTop()
+	if top <= lvl {
+		top = lvl + 1
+	}
+	for h := top - 1; h >= lvl; h-- {
+		for {
+			craw = pred.right[h].Load()
+			c := (*column)(core.Mask(craw))
+			if c.key >= key {
 				break
 			}
-			// Advance along the level.
-			pos.pred = pos.curr
-			pos.predCell = pos.curr.link(lvl)
-			pos.curr = (*node)(nraw)
-			pos.sPred, pos.sCurr, pos.sNext = pos.sCurr, pos.sNext, pos.sPred
+			rraw := c.right[h].Load()
+			if core.Marked(rraw) {
+				if !core.Marked(craw) && pred.right[h].CompareAndSwap(craw, core.Mask(rraw)) {
+					continue
+				}
+				pred = c
+				continue
+			}
+			pred = c
 		}
-		if lvl == lo {
-			return pos, true
+	}
+	if core.Marked(craw) {
+		return nil, nil, false
+	}
+	return pred, craw, true
+}
+
+// linkIndex publishes n's column: height drawn geometric(1/4) (0 = no
+// column, the common case), levels spliced bottom-up so presence at any
+// level implies presence at index level 0 — the invariant purgeIndex's
+// level-0 search relies on. Runs between the bottom-layer publish and
+// FinishLinking, so the node cannot retire (and the column cannot be
+// purged) while it is under construction.
+func (l *List) linkIndex(t *core.Thread, n *hmlist.Node, key int64) {
+	h := indexHeight(l.localFor(t).hrng)
+	if h == 0 {
+		return
+	}
+	c := &column{key: key, right: make([]core.Atomic, h)}
+	c.n.Raw(unsafe.Pointer(n))
+	for lvl := 0; lvl < h; lvl++ {
+		for {
+			pred, craw, ok := l.indexPred(key, lvl)
+			if !ok {
+				continue
+			}
+			// Route c past the successor, then splice. c is unpublished
+			// at this level, so the Raw store cannot race a helper; the
+			// CAS fails if pred's cell changed — including going marked,
+			// which is what makes a splice into a dying column impossible
+			// (mark-then-unlink, see the package comment).
+			c.right[lvl].Raw(craw)
+			if pred.right[lvl].CompareAndSwap(craw, unsafe.Pointer(c)) {
+				break
+			}
 		}
-		// Descend: pred keeps its protection and the next level's walk
-		// re-validates from it.
+	}
+	l.raiseTop(h)
+}
+
+// purgeIndex is the hmlist purge hook: called exactly once per retiring
+// node, after it is unlinked and marked at the bottom, before Retire.
+// It removes the node's column (if any) from every level and clears the
+// column's n cell last, so no hint can outlive the grace period: a
+// Protect on n that validates must have happened before this clear,
+// hence before the Retire that follows it.
+func (l *List) purgeIndex(t *core.Thread, victim *hmlist.Node) {
+	key := victim.Key()
+	// Find the victim's column by node identity at index level 0: splices
+	// go bottom-up, so absence there proves the column was never
+	// published (unreachable Go garbage the GC will sweep).
+	var c *column
+	pred, craw, _ := l.indexPred(key, 0)
+	if pred == nil {
+		// Pred's cell went marked mid-probe; the level-0 scan below
+		// re-walks from wherever the chain is clean.
+		pred = l.headCol
+		craw = pred.right[0].Load()
+	}
+	for {
+		s := (*column)(core.Mask(craw))
+		if s.key > key {
+			break
+		}
+		if s.key == key && s.n.Load() == unsafe.Pointer(victim) {
+			c = s
+			break
+		}
+		// Equal-key columns of older incarnations may precede ours; walk
+		// through them (and anything a racing splice put in between).
+		pred = s
+		craw = pred.right[0].Load()
+	}
+	if c == nil {
+		return
+	}
+	// Phase 1: mark every right cell top-down. A failed CAS means a
+	// splice landed behind c after we loaded the cell — reload and mark
+	// the new successor chain in.
+	for lvl := len(c.right) - 1; lvl >= 0; lvl-- {
+		for {
+			raw := c.right[lvl].Load()
+			if core.Marked(raw) || c.right[lvl].CompareAndSwap(raw, core.WithMark(raw)) {
+				break
+			}
+		}
+	}
+	// Phase 2: unlink each level. Walkers help, so the walk just retries
+	// until c is no longer reachable at the level.
+	for lvl := len(c.right) - 1; lvl >= 0; lvl-- {
+		l.unlinkIndexLevel(c, lvl)
+	}
+	// Phase 3: cut the index->node edge. After this store no new hint
+	// can name the victim; earlier Protects validated against the
+	// pre-clear value and are covered by the Retire ordering.
+	c.n.Store(nil)
+}
+
+// unlinkIndexLevel removes c (fully marked at lvl) from level lvl.
+func (l *List) unlinkIndexLevel(c *column, lvl int) {
+retry:
+	pred := l.headCol
+	for {
+		craw := pred.right[lvl].Load()
+		if core.Marked(craw) {
+			// pred is being purged under us: restart from the head (the
+			// head column is never purged).
+			goto retry
+		}
+		s := (*column)(craw)
+		if s.key > c.key {
+			return // c is not reachable at this level
+		}
+		if s == c {
+			if pred.right[lvl].CompareAndSwap(craw, core.Mask(c.right[lvl].Load())) {
+				return
+			}
+			continue // pred's cell changed: re-read
+		}
+		rraw := s.right[lvl].Load()
+		if core.Marked(rraw) {
+			if pred.right[lvl].CompareAndSwap(craw, core.Mask(rraw)) {
+				continue
+			}
+			goto retry
+		}
+		pred = s
 	}
 }
 
@@ -358,41 +394,22 @@ func (l *List) Contains(t *core.Thread, key int64) bool {
 	return ok
 }
 
-// effectiveTop probes the highest level with any live tower: the level
-// single and batched descents start from instead of MaxHeight-1, so a
-// store holding 2^h keys pays ~h link hops per descent, not MaxHeight.
-// Starting below MaxHeight-1 is always safe (upper levels are only
-// shortcuts; a tower raised above the probe after it ran is still found
-// through the levels below), which is why the probe needs no protection
-// — the head sentinel is never retired. Purge descents must NOT use it:
-// their contract is proving a node unlinked from every level.
-func (l *List) effectiveTop() int {
-	top := MaxHeight - 1
-	for top > 0 && l.head.link(top).Load() == unsafe.Pointer(l.tail) {
-		top--
-	}
-	return top
-}
-
-// Get returns the value mapped to key. Values are immutable per node,
-// so a plain read of the protected node is the value it was published
-// with. The descent starts at the probed effective height (see
-// effectiveTop) — the batch path's amortization applied to the single
-// lookup, where the empty top levels were pure overhead per call.
+// Get returns the value mapped to key. The index descent costs no
+// protections; only the final hint hop publishes a reservation, and the
+// bottom-layer walk revalidates from there.
 func (l *List) Get(t *core.Thread, key int64) (uint64, bool) {
-	checkKey(key)
 	t.StartOp()
 	defer t.EndOp()
-	top := l.effectiveTop()
-	for {
-		pos, ok := l.descendFrom(t, key, 0, top, nil)
-		if !ok {
-			continue // neutralized: restart
+	return l.getInOp(t, key)
+}
+
+func (l *List) getInOp(t *core.Thread, key int64) (uint64, bool) {
+	for attempt := 0; ; attempt++ {
+		start, s := l.hintFor(t, key, attempt)
+		v, present, valid := l.b.GetInOpHinted(t, key, start, s)
+		if valid {
+			return v, present
 		}
-		if pos.curr == l.tail || pos.curr.key != key {
-			return 0, false
-		}
-		return pos.curr.val, true
 	}
 }
 
@@ -403,318 +420,78 @@ func (l *List) Insert(t *core.Thread, key int64) bool {
 
 // PutIfAbsent maps key to val only if key is absent.
 func (l *List) PutIfAbsent(t *core.Thread, key int64, val uint64) bool {
-	ok, _, _ := l.put(t, key, val, false)
+	t.StartOp()
+	defer t.EndOp()
+	ok, _, _ := l.putInOp(t, key, val, false)
 	return ok
 }
 
 // Put maps key to val, overwriting; returns the previous value.
 func (l *List) Put(t *core.Thread, key int64, val uint64) (uint64, bool) {
-	_, old, replaced := l.put(t, key, val, true)
+	t.StartOp()
+	defer t.EndOp()
+	_, old, replaced := l.putInOp(t, key, val, true)
 	return old, replaced
 }
 
-// put is the shared insert/overwrite path. A present key under
-// overwrite is replaced by a fresh node linked behind it with the CAS
-// that marks it (see the package comment); the victim then retires
-// through the same purge/handoff path a deletion uses, and the
-// replacement builds its own tower exactly like an insert.
-func (l *List) put(t *core.Thread, key int64, val uint64, overwrite bool) (inserted bool, old uint64, replaced bool) {
-	checkKey(key)
-	t.StartOp()
-	defer t.EndOp()
-	// Find descents start at the probed effective height (safe at any
-	// start level; see effectiveTop). The purge and ensureUnlinked
-	// descents inside keep the full height — their unlink proof needs it.
-	return l.putInOp(t, key, val, overwrite, l.effectiveTop())
+// putInOp is the upsert body: hinted bottom-layer put, then — if a node
+// was published — index column construction under the LINKING bit, with
+// the retire handoff resolved by FinishLinking. A replaced victim's
+// column is purged by whichever side hmlist's handoff elects; the
+// replacement builds its own column exactly like an insert.
+func (l *List) putInOp(t *core.Thread, key int64, val uint64, overwrite bool) (inserted bool, old uint64, replaced bool) {
+	for attempt := 0; ; attempt++ {
+		start, s := l.hintFor(t, key, attempt)
+		out, valid := l.b.PutInOpHinted(t, key, val, overwrite, start, s)
+		if !valid {
+			continue
+		}
+		if out.New != nil {
+			l.linkIndex(t, out.New, key)
+			l.b.FinishLinking(t, out.New)
+		}
+		return out.Inserted, out.Old, out.Replaced
+	}
 }
 
 // PutBatch upserts every keys[i] inside one protected operation,
 // recording replaced values in old[i]/replaced[i] (the ds.BatchPutter
-// contract). The batch amortizes the entry/exit protocol and one
-// effective-height probe across the group, exactly like GetBatch; each
-// upsert is an ordinary validated put body, so under NBR a
-// neutralization retries only the key it interrupted.
+// contract). The batch amortizes the entry/exit protocol; each upsert
+// re-descends the index for its own hint, so under NBR a neutralization
+// retries only the key it interrupted.
 func (l *List) PutBatch(t *core.Thread, keys []int64, vals []uint64, old []uint64, replaced []bool) {
 	t.StartOp()
 	defer t.EndOp()
-	top := l.effectiveTop()
 	for i, key := range keys {
-		checkKey(key)
-		_, old[i], replaced[i] = l.putInOp(t, key, vals[i], true, top)
+		_, old[i], replaced[i] = l.putInOp(t, key, vals[i], true)
 	}
 }
 
-// putInOp is put's body inside an already-open operation, descending
-// from start level top. The anchor reservation it takes in slotAnchor
-// is held only while this upsert still touches its node — a following
-// batch entry may re-use the slot, by which point the previous node is
-// published and no longer touched.
-func (l *List) putInOp(t *core.Thread, key int64, val uint64, overwrite bool, top int) (inserted bool, old uint64, replaced bool) {
-	tl := l.localFor(t)
-	var n *node
-	var anchor core.Atomic
-	for {
-		pos, ok := l.descendFrom(t, key, 0, top, nil)
-		if !ok {
-			continue // neutralized: n (if any) is still private, retry
-		}
-		if pos.curr != l.tail && pos.curr.key == key {
-			victim := pos.curr // protected in pos.sCurr
-			// Snapshot the value now: no poll point has intervened since
-			// the descent, and the victim may retire below.
-			vold := victim.val
-			if !overwrite {
-				if n != nil {
-					tl.cache.Put(n) // never published: straight back to the pool
-				}
-				return false, vold, true
-			}
-			if n == nil {
-				n = l.newNode(t, tl, key, val)
-				anchor.Raw(unsafe.Pointer(n))
-			}
-			// Anchor n before publication, exactly as in the insert path.
-			if _, ok := t.Protect(slotAnchor, &anchor); !ok {
-				continue
-			}
-			// Mark the victim's upper levels top-down (idempotent, shared
-			// with concurrent deleters; the level-0 CAS below decides who
-			// linearizes).
-			if !l.markUpper(t, victim) {
-				continue // neutralized: restart
-			}
-			won, ok := l.replaceAt0(t, victim, n)
-			if !ok {
-				continue // neutralized
-			}
-			if !won {
-				continue // a deleter or another replacer linearized first: re-find
-			}
-			// Linearized: n replaced victim atomically. The victim is ours
-			// to purge and retire (we won its level-0 mark).
-			l.purge(t, victim, key)
-			if st := victim.state.Or(stateRetireReq); st&stateLinking == 0 {
-				t.Retire(&victim.Header)
-			}
-			old, replaced = vold, true
-			break // build n's tower
-		}
-		if n == nil {
-			n = l.newNode(t, tl, key, val)
-			anchor.Raw(unsafe.Pointer(n))
-		}
-		// Anchor n before publication: the reservation is taken while the
-		// node provably cannot be retired (it is still private) and held
-		// until EndOp, so the tower-building phase below may keep
-		// touching n under every policy.
-		if _, ok := t.Protect(slotAnchor, &anchor); !ok {
-			continue
-		}
-		n.link(0).Raw(unsafe.Pointer(pos.curr))
-		if !t.EnterWritePhase() {
-			continue
-		}
-		if pos.predCell.CompareAndSwap(unsafe.Pointer(pos.curr), unsafe.Pointer(n)) {
-			t.ExitWritePhase()
-			inserted = true
-			break // linearized: n is in the map
-		}
-		t.ExitWritePhase()
-	}
-	// Build the tower. Failures here never affect the put's outcome.
-	for lvl := 1; lvl < int(n.height); lvl++ {
-		if !l.linkLevel(t, n, key, lvl) {
-			break
-		}
-	}
-	// Release LINKING; if a deleter finished while we were linking, the
-	// retire was handed to us.
-	if st := n.state.And(^stateLinking); st&stateRetireReq != 0 {
-		l.purge(t, n, key)
-		t.Retire(&n.Header)
-	}
-	return inserted, old, replaced
-}
-
-// markUpper marks victim's levels [1, height) top-down, the shared
-// first phase of deletion and replacement. false: neutralized.
-func (l *List) markUpper(t *core.Thread, victim *node) bool {
-	for lvl := int(victim.height) - 1; lvl >= 1; lvl-- {
-		for {
-			raw := victim.link(lvl).Load()
-			if core.Marked(raw) {
-				break
-			}
-			if !t.EnterWritePhase() {
-				return false
-			}
-			done := victim.link(lvl).CompareAndSwap(raw, core.WithMark(raw))
-			t.ExitWritePhase()
-			if done {
-				break
-			}
-		}
-	}
-	return true
-}
-
-// replaceAt0 attempts the replacement's linearization: one CAS that
-// marks victim at level 0 *and* links n (same key, new value) as the
-// masked continuation, so the key is never absent. won=false means a
-// deleter or another replacer marked level 0 first; ok=false means
-// neutralized.
-func (l *List) replaceAt0(t *core.Thread, victim, n *node) (won, ok bool) {
-	for {
-		raw := victim.link(0).Load()
-		if core.Marked(raw) {
-			return false, true
-		}
-		n.link(0).Raw(raw) // n continues to victim's successor
-		if !t.EnterWritePhase() {
-			return false, false
-		}
-		done := victim.link(0).CompareAndSwap(raw, core.WithMark(unsafe.Pointer(n)))
-		t.ExitWritePhase()
-		if done {
-			return true, true
-		}
-		// Successor changed under us (an insert landed right behind the
-		// victim): reload and retry the CAS.
-	}
-}
-
-// linkLevel links n into level lvl. false means the tower is abandoned:
-// the node was deleted, another node owns the key, or the thread was
-// neutralized (NBR) — in every case the map's contents are unaffected.
-func (l *List) linkLevel(t *core.Thread, n *node, key int64, lvl int) bool {
-	for {
-		pos, ok := l.descend(t, key, lvl, nil)
-		if !ok {
-			return false
-		}
-		if pos.curr == n {
-			return true // already linked at this level
-		}
-		if pos.curr != l.tail && pos.curr.key == key {
-			// A different node owns the key at this level, which can only
-			// happen after n was marked at level 0: stop building.
-			return false
-		}
-		// Point n's level-lvl link at the successor, but only while the
-		// level is unmarked (a mark here means a deleter beat us).
-		for {
-			raw := n.link(lvl).Load()
-			if core.Marked(raw) {
-				return false
-			}
-			if raw == unsafe.Pointer(pos.curr) {
-				break
-			}
-			if !t.EnterWritePhase() {
-				return false
-			}
-			done := n.link(lvl).CompareAndSwap(raw, unsafe.Pointer(pos.curr))
-			t.ExitWritePhase()
-			if done {
-				break
-			}
-		}
-		if !t.EnterWritePhase() {
-			return false
-		}
-		if !pos.predCell.CompareAndSwap(unsafe.Pointer(pos.curr), unsafe.Pointer(n)) {
-			t.ExitWritePhase()
-			continue // position changed under us: re-walk this level
-		}
-		// Linked. If a deleter marked this level between the two CASes we
-		// just re-linked a logically dead node: undo before the state
-		// protocol can let anyone retire it.
-		if raw := n.link(lvl).Load(); core.Marked(raw) {
-			pos.predCell.CompareAndSwap(unsafe.Pointer(n), core.Mask(raw))
-			t.ExitWritePhase()
-			l.ensureUnlinked(t, n, key, lvl)
-			return false
-		}
-		t.ExitWritePhase()
-		return true
-	}
-}
-
-// ensureUnlinked walks levels [lvl, MaxHeight) until a descent completes
-// with n absent from each of them (n is fully marked by now, so any
-// encounter snips it). n cannot be retired while we are here: LINKING is
-// still set, so the descent may keep comparing against it safely.
-func (l *List) ensureUnlinked(t *core.Thread, n *node, key int64, lvl int) {
-	for {
-		if _, ok := l.descend(t, key, lvl, n); ok {
-			return
-		}
-	}
-}
-
-// purge makes n physically unreachable from every level. Callers hold
-// the retire right (mark winner with LINKING clear, or inserter with
-// RETIREREQ observed), which guarantees n stays allocated throughout.
-func (l *List) purge(t *core.Thread, n *node, key int64) {
-	for {
-		if _, ok := l.descend(t, key, 0, n); ok {
-			return
-		}
-	}
-}
-
-// Delete removes key and returns the value it removed.
+// Delete removes key and returns the value it removed. The bottom layer
+// owns the whole removal; the victim's index column is detached by the
+// purge hook on whichever side of the handoff retires it.
 func (l *List) Delete(t *core.Thread, key int64) (uint64, bool) {
-	checkKey(key)
 	t.StartOp()
 	defer t.EndOp()
-restart:
-	for {
-		pos, ok := l.descend(t, key, 0, nil)
-		if !ok {
-			continue
+	for attempt := 0; ; attempt++ {
+		start, s := l.hintFor(t, key, attempt)
+		old, removed, valid := l.b.DeleteInOpHinted(t, key, start, s)
+		if valid {
+			return old, removed
 		}
-		if pos.curr == l.tail || pos.curr.key != key {
-			return 0, false
-		}
-		victim := pos.curr // protected in pos.sCurr
-		// Snapshot the value before any poll point: once the retire
-		// handoff resolves the node may be reclaimed.
-		old := victim.val
-		// Mark the upper levels top-down (idempotent; concurrent deleters
-		// and replacers may interleave here, the level-0 mark below
-		// decides the winner).
-		if !l.markUpper(t, victim) {
-			goto restart
-		}
-		// Level 0: the winning CAS is the linearization point and carries
-		// the retire right.
-		for {
-			raw := victim.link(0).Load()
-			if core.Marked(raw) {
-				// Another deleter or a replacer linearized first. Either
-				// way this operation did not remove the key: re-find (a
-				// replacement or reincarnation is deletable; a completed
-				// delete returns absent).
-				goto restart
-			}
-			if !t.EnterWritePhase() {
-				goto restart
-			}
-			won := victim.link(0).CompareAndSwap(raw, core.WithMark(raw))
-			t.ExitWritePhase()
-			if !won {
-				continue
-			}
-			// From here victim cannot be freed even after our traversal
-			// slots are reused: it is not retired until the handoff below
-			// resolves, and only the handoff's winner retires it.
-			l.purge(t, victim, key)
-			if st := victim.state.Or(stateRetireReq); st&stateLinking == 0 {
-				t.Retire(&victim.Header)
-			}
-			return old, true
-		}
+	}
+}
+
+// GetBatch looks up every keys[i] inside one protected operation (one
+// StartOp/EndOp instead of one per key), recording results in vals[i]
+// and present[i]. Ascending key order gives consecutive descents warm
+// column paths; the O(1) indexTop probe replaced the per-batch
+// effective-height scan.
+func (l *List) GetBatch(t *core.Thread, keys []int64, vals []uint64, present []bool) {
+	t.StartOp()
+	defer t.EndOp()
+	for i, key := range keys {
+		vals[i], present[i] = l.getInOp(t, key)
 	}
 }
 
@@ -750,45 +527,13 @@ func (l *List) RangeCollectKV(t *core.Thread, lo, hi int64, max int, keys []int6
 	return keys, vals
 }
 
-// GetBatch looks up every keys[i] inside one protected operation (one
-// StartOp/EndOp instead of one per key), recording results in vals[i]
-// and present[i]. Two amortizations pay for the batch: the operation
-// entry/exit protocol runs once, and one effective-height probe lets
-// every descent start just above the tallest live tower instead of at
-// MaxHeight-1 (safe at any start level — upper levels are only
-// shortcuts; a tower raised above the probe after it ran is still found
-// through the levels below). Each lookup is an ordinary validated
-// descent; under NBR a neutralization retries only the key it
-// interrupted. Ascending key order gives consecutive descents warm
-// upper-level paths.
-func (l *List) GetBatch(t *core.Thread, keys []int64, vals []uint64, present []bool) {
-	t.StartOp()
-	defer t.EndOp()
-	top := l.effectiveTop()
-	for i, key := range keys {
-		checkKey(key)
-		for {
-			pos, ok := l.descendFrom(t, key, 0, top, nil)
-			if !ok {
-				continue // neutralized: retry this key
-			}
-			if pos.curr == l.tail || pos.curr.key != key {
-				vals[i], present[i] = 0, false
-			} else {
-				vals[i], present[i] = pos.curr.val, true
-			}
-			break
-		}
-	}
-}
-
-// scanRange walks level 0 across [lo, hi] as one long operation,
-// emitting every (key, value) pair observed unmarked while validated
-// reachable; emit returning false stops the scan (the KV collector's
-// pair limit). When a hop fails validation (or hits a marked node,
-// whose links are not a safe bridge), the scan re-descends to the first
-// key not yet emitted — keys already emitted are never revisited,
-// keeping output sorted and unique.
+// scanRange walks [lo, hi] as one long operation: each leg descends the
+// index for a hint and runs the bottom layer's validated scan from
+// there, resuming at the first unemitted key whenever a hop fails
+// validation — keys already emitted are never revisited, keeping output
+// sorted and unique. Legs that advance reset the hint budget; legs that
+// don't burn it down until the walk degrades to the head (progress
+// never depends on a fresh hint materializing).
 func (l *List) scanRange(t *core.Thread, lo, hi int64, emit func(int64, uint64) bool) {
 	if lo > hi {
 		return
@@ -796,68 +541,20 @@ func (l *List) scanRange(t *core.Thread, lo, hi int64, emit func(int64, uint64) 
 	t.StartOp()
 	defer t.EndOp()
 	from := lo
+	attempt := 0
 	for {
-		pos, ok := l.descend(t, from, 0, nil)
-		if !ok {
-			continue // neutralized: resume at `from`
+		start, s := l.hintFor(t, from, attempt)
+		resume, done := l.b.ScanInOpHinted(t, from, hi, start, s, emit)
+		if done {
+			return
 		}
-		predCell, curr := pos.predCell, pos.curr
-		// Full three-slot rotation, exactly as in descend: the node
-		// holding predCell must keep its reservation through the
-		// validation read below, so the slot reused for each new protect
-		// is the one two hops back, never the current predecessor's.
-		sPred, sCurr, sNext := pos.sPred, pos.sCurr, pos.sNext
-		for {
-			if curr == l.tail || curr.key > hi {
-				return
-			}
-			// Snapshot the key and value while curr is still protected: a
-			// failed Protect below means we were neutralized and curr may
-			// be reclaimed before the !ok branch runs.
-			k, v := curr.key, curr.val
-			nraw, ok := t.Protect(sNext, curr.link(0))
-			if !ok {
-				from = k
-				break // neutralized: re-descend
-			}
-			if predCell.Load() != unsafe.Pointer(curr) {
-				from = k
-				break // chain changed behind us: re-descend
-			}
-			if core.Marked(nraw) {
-				// curr was deleted or replaced under the scan: restart at
-				// its key (a marked node's links may already be stale; the
-				// re-descent finds the replacement if there is one, whose
-				// key has not been emitted yet).
-				from = k
-				break
-			}
-			if !emit(k, v) {
-				return
-			}
-			from = k + 1
-			predCell = curr.link(0)
-			curr = (*node)(nraw)
-			sPred, sCurr, sNext = sCurr, sNext, sPred
+		if resume > from {
+			from, attempt = resume, 0
+		} else {
+			attempt++
 		}
 	}
 }
 
 // Size counts unmarked bottom-level nodes. Quiescent use only.
-func (l *List) Size(t *core.Thread) int {
-	n := 0
-	for c := (*node)(core.Mask(l.head.link(0).Load())); c != l.tail; {
-		raw := c.link(0).Load()
-		if !core.Marked(raw) {
-			n++
-		}
-		c = (*node)(core.Mask(raw))
-	}
-	return n
-}
-
-func checkKey(key int64) {
-	if key == math.MinInt64 || key == math.MaxInt64 {
-		panic("skiplist: key collides with sentinel")
-	}
-}
+func (l *List) Size(t *core.Thread) int { return l.b.Size(t) }

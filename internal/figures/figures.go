@@ -27,6 +27,7 @@ import (
 	"pop/internal/core"
 	"pop/internal/harness"
 	"pop/internal/report"
+	"pop/internal/store"
 	"pop/internal/telemetry"
 	"pop/internal/workload"
 )
@@ -909,6 +910,100 @@ func ycsbFigure() Figure {
 	}
 }
 
+// hotpathFigure isolates the value-encoding fast path: the same YCSB-B
+// serving run (95% get / 5% overwrite, zipf) at 64 threads on the
+// skiplist and hash-table backings, once with 6-byte values — every one
+// inline-encoded into the map word, no arena traffic, no stale-read
+// window — and once with 64-byte values through the arena path. Rows
+// are policies, columns the backing × encoding variants, so the
+// inline-vs-arena read win (get p50) and the allocation diet
+// (allocs/op, alloc bytes/op) are read directly off each row.
+func hotpathFigure() Figure {
+	return Figure{
+		ID:   "hotpath",
+		Desc: "Hot path: YCSB-B at 64 threads, inline 6 B vs arena 64 B values on skl and hmht — get p50/p99, allocs/op",
+		Run: func(c Ctx) ([]report.Series, error) {
+			c = c.withDefaults()
+			threads := c.Threads[len(c.Threads)-1]
+			if threads < 64 {
+				threads = 64
+			}
+			w, err := workload.ParseYCSB("B")
+			if err != nil {
+				return nil, err
+			}
+			type variant struct {
+				backing string
+				valLen  int
+				label   string
+			}
+			vs := []variant{
+				{store.BackingSkipList, 6, "skl inline 6B"},
+				{store.BackingSkipList, 64, "skl arena 64B"},
+				{store.BackingHashTable, 6, "hmht inline 6B"},
+				{store.BackingHashTable, 64, "hmht arena 64B"},
+			}
+			names := make([]string, len(vs))
+			for i, v := range vs {
+				names[i] = v.label
+			}
+			policies := c.policySet(false)
+			metrics := []StoreMetric{
+				{Name: "throughput (ops/s)", Get: func(r harness.StoreResult) float64 { return r.Throughput }},
+				StoreOpLatencyMetric("get p50 (µs)", harness.SOpGet, 0.50),
+				StoreOpLatencyMetric("get p99 (µs)", harness.SOpGet, 0.99),
+				StoreOpLatencyMetric("put p99 (µs)", harness.SOpPut, 0.99),
+				{Name: "allocs/op", Get: func(r harness.StoreResult) float64 { return r.AllocsPerOp }},
+				{Name: "alloc bytes/op", Get: func(r harness.StoreResult) float64 { return r.AllocBytesPerOp }},
+				{Name: "stale value reads", Get: func(r harness.StoreResult) float64 { return float64(r.Stale) }},
+				{Name: "value checksum failures", Get: func(r harness.StoreResult) float64 { return float64(r.ValueErrors) }},
+			}
+			out := make([]report.Series, len(metrics))
+			for i, m := range metrics {
+				out[i] = report.Series{
+					Title:  fmt.Sprintf("Hot path (YCSB B, %d threads, 8 shards) — %s", threads, m.Name),
+					XLabel: "policy",
+					Names:  names,
+				}
+			}
+			for _, p := range policies {
+				cells := make([][]float64, len(metrics))
+				for i := range cells {
+					cells[i] = make([]float64, len(vs))
+				}
+				for vi, v := range vs {
+					c.Log("  hotpath: policy=%v %s", p, v.label)
+					res, err := harness.RunStore(harness.StoreConfig{
+						Policy:           p,
+						Threads:          threads,
+						Duration:         c.Duration,
+						Keys:             scaleSize(c, 4_000_000),
+						Shards:           8,
+						Backing:          v.backing,
+						Mix:              w.Mix,
+						Dist:             w.Dist,
+						ValueMin:         v.valLen,
+						ValueMax:         v.valLen,
+						OpLatency:        true,
+						ReclaimThreshold: scaleThreshold(c, 24576),
+						Seed:             c.Seed,
+					})
+					if err != nil {
+						return nil, fmt.Errorf("hotpath [policy=%v %s]: %w", p, v.label, err)
+					}
+					for mi, m := range metrics {
+						cells[mi][vi] = m.Get(res)
+					}
+				}
+				for mi := range metrics {
+					out[mi].AddRow(p.String(), cells[mi])
+				}
+			}
+			return out, nil
+		},
+	}
+}
+
 // ServeMetric extracts one plotted value from a serve trial result.
 type ServeMetric struct {
 	Name string
@@ -1211,6 +1306,7 @@ func All() []Figure {
 		storeServeFigure(),
 		pingFanoutFigure(),
 		ycsbFigure(),
+		hotpathFigure(),
 		serveFigure(),
 		nbrOverwriteFigure(),
 		churnFigure(),

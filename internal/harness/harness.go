@@ -36,6 +36,7 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -250,6 +251,15 @@ type Result struct {
 	PeakResident int64 // peak outstanding nodes (max resident memory analogue)
 	Unreclaimed  int64 // retired-but-unfreed nodes at measurement end (pre-flush)
 	LeakedAfter  int64 // unreclaimed after a quiescent flush (0 except NR)
+
+	// Allocation accounting: Go-heap allocation rate over the measured
+	// phase (runtime.MemStats deltas between release and worker
+	// quiescence, divided by Ops) — the whole-process view that makes a
+	// hot-path memory diet visible in every sweep, not just in
+	// microbenches. Pool-recycled nodes and arena slots cost zero here;
+	// what shows up is whatever the hot loops still ask the Go heap for.
+	AllocsPerOp     float64 // heap allocations per operation
+	AllocBytesPerOp float64 // heap bytes per operation
 
 	// OpLat holds per-class latency histograms (ns), merged across
 	// workers. The scan class is populated whenever the mix scans; the
@@ -503,10 +513,14 @@ func Run(cfg Config) (Result, error) {
 	if tsampler != nil {
 		tsampler.Start() // base snapshot excludes prefill-phase noise
 	}
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	close(release)
 	time.Sleep(cfg.Duration)
 	stop.Store(true)
 	loopsDone.Wait() // every worker is quiescent now
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
 	<-samplerDone
 
 	// End-of-run memory state, before any flush reclaims the backlog.
@@ -544,6 +558,10 @@ func Run(cfg Config) (Result, error) {
 	}
 	res.ReadOps = res.OpCounts[OpGet]
 	res.RangeOps = res.OpCounts[OpScan]
+	if res.Ops > 0 {
+		res.AllocsPerOp = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(res.Ops)
+		res.AllocBytesPerOp = float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(res.Ops)
+	}
 	res.Throughput = float64(res.Ops) / cfg.Duration.Seconds()
 	res.ReadTput = float64(res.ReadOps) / cfg.Duration.Seconds()
 	res.RangeTput = float64(res.RangeOps) / cfg.Duration.Seconds()

@@ -11,6 +11,7 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -153,8 +154,18 @@ type StoreConfig struct {
 	// population.
 	ScanSpan int
 	// ValueMin/ValueMax bound the (uniformly drawn) payload sizes
-	// (defaults 16 and 256; the issue's serving shape is 16–1024 B).
+	// (defaults 16 and 256; the serving shape is 16–1024 B). ValueMin
+	// is clamped up to workload.MinCompactLen (4), the smallest
+	// verifiable payload; sizes at or below store.InlineMaxLen (7)
+	// take the store's inline-value fast path.
 	ValueMin, ValueMax int
+	// ValueSmallPct switches the size draw from uniform over
+	// [ValueMin, ValueMax] to a bimodal small-vs-large mix: that
+	// percentage of puts (and prefilled values) are exactly ValueMin
+	// bytes and the rest exactly ValueMax — the knob that dials the
+	// inline-vs-arena ratio of a trial. 0 (the default) keeps the
+	// uniform draw.
+	ValueSmallPct int
 
 	// OpLatency enables per-class latency histograms (on in sweeps).
 	OpLatency bool
@@ -237,6 +248,12 @@ func (c StoreConfig) withDefaults() (StoreConfig, error) {
 	if c.ValueMin <= 0 {
 		c.ValueMin = 16
 	}
+	if c.ValueMin < workload.MinCompactLen {
+		c.ValueMin = workload.MinCompactLen
+	}
+	if c.ValueSmallPct < 0 || c.ValueSmallPct > 100 {
+		return c, fmt.Errorf("harness: ValueSmallPct %d out of [0, 100]", c.ValueSmallPct)
+	}
 	if c.ValueMax <= 0 {
 		// Default 256, but never below an explicitly chosen ValueMin:
 		// {ValueMin: 512} alone means fixed 512-byte payloads.
@@ -286,6 +303,14 @@ type StoreResult struct {
 	PeakResident int64 // peak outstanding nodes+values+tickets
 	Unreclaimed  int64 // retired-but-unfreed at measurement end
 	LeakedAfter  int64 // unreclaimed after a quiescent flush
+
+	// Allocation accounting: Go-heap allocation rate over the measured
+	// phase (runtime.MemStats deltas between release and worker
+	// quiescence, divided by Ops) — see Result.AllocsPerOp. Inline
+	// values and pooled nodes cost zero here, so this is the sweep-level
+	// witness of the hot-path memory diet.
+	AllocsPerOp     float64 // heap allocations per operation
+	AllocBytesPerOp float64 // heap bytes per operation
 
 	// OpLat holds per-class latency histograms (ns), merged across
 	// workers; nil unless Config.OpLatency.
@@ -602,6 +627,8 @@ func RunStore(cfg StoreConfig) (StoreResult, error) {
 			chaosBurst <- run.Stop()
 		}()
 	}
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	start = time.Now()
 	close(release)
 	if traceMode {
@@ -615,6 +642,8 @@ func RunStore(cfg StoreConfig) (StoreResult, error) {
 		loopsDone.Wait()
 	}
 	elapsed := time.Since(start)
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
 	if elapsed <= 0 {
 		elapsed = time.Nanosecond
 	}
@@ -672,6 +701,10 @@ func RunStore(cfg StoreConfig) (StoreResult, error) {
 			res.OpCounts[c] += workers[i].byClass[c]
 		}
 	}
+	if res.Ops > 0 {
+		res.AllocsPerOp = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(res.Ops)
+		res.AllocBytesPerOp = float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(res.Ops)
+	}
 	res.Throughput = float64(res.Ops) / elapsed.Seconds()
 	res.KeyTput = float64(res.ServedKeys) / elapsed.Seconds()
 	res.MaxRetire = res.Reclaim.MaxRetire
@@ -699,6 +732,21 @@ func scanWidth(keys int64, span int) uint64 {
 		w = 1
 	}
 	return w
+}
+
+// drawValueSize draws one put payload size from cfg's distribution
+// using r: uniform over [ValueMin, ValueMax] by default, or the
+// ValueSmallPct bimodal small-vs-large mix. The uniform branch consumes
+// the random stream exactly as it did before the knob existed, so
+// ValueSmallPct=0 trials reproduce old draws bit for bit.
+func drawValueSize(cfg StoreConfig, r *rng.State) int {
+	if cfg.ValueSmallPct > 0 {
+		if int(r.Intn(100)) < cfg.ValueSmallPct {
+			return cfg.ValueMin
+		}
+		return cfg.ValueMax
+	}
+	return cfg.ValueMin + int(r.Intn(int64(cfg.ValueMax-cfg.ValueMin+1)))
 }
 
 // runStoreWorker is one worker's execution phase. rankTab, when
@@ -757,7 +805,7 @@ func runStoreWorker(cfg StoreConfig, s *store.Store, h *core.GroupHandle, keys *
 			// advances the insert frontier the reads chase.
 			rank := pick(keys.NextInsert())
 			tag++
-			size := cfg.ValueMin + int(r.Intn(int64(cfg.ValueMax-cfg.ValueMin+1)))
+			size := drawValueSize(cfg, r)
 			vbuf = workload.AppendValueBytes(vbuf[:0], hkTab[rank], tag, size)
 			s.Put(h, keyTab[rank], vbuf)
 		case workload.StoreMGet:
@@ -801,7 +849,7 @@ func runStoreWorker(cfg StoreConfig, s *store.Store, h *core.GroupHandle, keys *
 				}
 			}
 			tag++
-			size := cfg.ValueMin + int(r.Intn(int64(cfg.ValueMax-cfg.ValueMin+1)))
+			size := drawValueSize(cfg, r)
 			vbuf = workload.AppendValueBytes(vbuf[:0], hkTab[rank], tag, size)
 			s.Put(h, keyTab[rank], vbuf)
 		case workload.StoreMPut:
@@ -814,7 +862,7 @@ func runStoreWorker(cfg StoreConfig, s *store.Store, h *core.GroupHandle, keys *
 				ranks[i] = pick(keys.NextInsert())
 				kb[i] = keyTab[ranks[i]]
 				tag++
-				size := cfg.ValueMin + int(r.Intn(int64(cfg.ValueMax-cfg.ValueMin+1)))
+				size := drawValueSize(cfg, r)
 				pvals[i] = workload.AppendValueBytes(pvals[i][:0], hkTab[ranks[i]], tag, size)
 			}
 			s.PutBatch(h, kb, pvals, &batch)
@@ -946,8 +994,8 @@ func traceTag(i int64) uint32 { return uint32(i)*2654435761 + 1 }
 func traceSize(cfg StoreConfig, op workload.TraceOp, i int64) int {
 	if op.Size > 0 {
 		size := op.Size
-		if size < workload.MinValueLen {
-			size = workload.MinValueLen
+		if size < workload.MinCompactLen {
+			size = workload.MinCompactLen
 		}
 		if size > cfg.ValueMax {
 			size = cfg.ValueMax
@@ -1024,7 +1072,7 @@ func storePrefill(cfg StoreConfig, s *store.Store, handles []*core.GroupHandle, 
 				if tab != nil {
 					rank = tab[rank]
 				}
-				size := cfg.ValueMin + int(r.Intn(int64(cfg.ValueMax-cfg.ValueMin+1)))
+				size := drawValueSize(cfg, r)
 				tag++
 				vbuf = workload.AppendValueBytes(vbuf[:0], hkTab[rank], tag, size)
 				if s.PutIfAbsent(h, keyTab[rank], vbuf) {

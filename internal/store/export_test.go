@@ -29,3 +29,9 @@ func (s *Store) ReadRaw(h arena.Handle, buf []byte) ([]byte, bool) {
 func (s *Store) CheckRawHandle(h arena.Handle) bool {
 	return s.vals.CheckHandle(h)
 }
+
+// ValueSlotsOutstanding reports live+retired value-arena slots — zero
+// for a store whose every value is inline-encoded.
+func (s *Store) ValueSlotsOutstanding() int64 {
+	return s.vals.Outstanding()
+}

@@ -38,10 +38,22 @@
 // thread, and the batched operations visit shards sequentially, one
 // member operation at a time.
 //
-// # Values: arena handles, retirement, and stale detection
+// # Values: inline words, arena handles, retirement, stale detection
 //
-// Values live out of line in an arena.Bytes value arena; the uint64 a
-// shard's map stores is the value's arena.Handle. An overwrite or
+// Values at most 7 bytes long never leave the map: the uint64 the
+// shard's map stores is the payload itself, tag-encoded with the high
+// bit set (bit 63, which arena.Handle reserves as zero) and the length
+// in bits 56..58 — the memcached-style slab-inlining move that makes
+// the hottest GETs a single protected map read with no second
+// dereference, no seqlock validation, and no possibility of a stale
+// retry. Inline values also have nothing to reclaim: an overwrite or
+// delete of an inline value retires nothing, and overwrites that flip
+// a key between encodings retire exactly the arena side (the inline
+// word dies with the map cell; the arena handle goes through the
+// ticket path below).
+//
+// Longer values live out of line in an arena.Bytes value arena; the
+// uint64 a shard's map stores is the value's arena.Handle. An overwrite or
 // delete retires the replaced handle through the *same core retire
 // path as nodes* — a small ticket node carrying the handle flows
 // through Thread.Retire in the shard's member domain, and the policy's
@@ -128,6 +140,44 @@ const (
 // scanChunk bounds the pairs one protected scan operation collects, so
 // a large Scan is many medium operations instead of one enormous one.
 const scanChunk = 128
+
+// Inline value encoding: a map word with inlineBit set carries the
+// payload itself instead of an arena handle. arena.Handle keeps bit 63
+// zero by construction (its layout is 0<<63 | seq31<<32 | class4<<28 |
+// idx28), so the tag is unambiguous. Layout of an inline word:
+//
+//	bit  63      inlineBit
+//	bits 56..58  payload length (0..InlineMaxLen)
+//	bits 0..55   payload bytes, little-endian
+const (
+	inlineBit = uint64(1) << 63
+
+	// InlineMaxLen is the longest payload that inline-encodes into the
+	// map word (7 bytes: 56 payload bits below the length field).
+	InlineMaxLen = 7
+)
+
+// inlineEncode packs val (len <= InlineMaxLen) into a tagged map word.
+func inlineEncode(val []byte) uint64 {
+	w := inlineBit | uint64(len(val))<<56
+	for i, c := range val {
+		w |= uint64(c) << (8 * i)
+	}
+	return w
+}
+
+// inlineDecode unpacks an inline word into buf (reusing its capacity).
+func inlineDecode(w uint64, buf []byte) []byte {
+	n := int(w>>56) & 7
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = byte(w >> (8 * i))
+	}
+	return buf
+}
 
 // MaxShards caps Config.Shards: every shard registers one node type
 // with its member domain (plus one per member for value tickets), and
@@ -412,11 +462,22 @@ func (s *Store) threadFor(h *core.GroupHandle, si int) *core.Thread {
 	return h.Member(si >> s.memberShift)
 }
 
+// readWord resolves a map word to value bytes: an inline word decodes
+// from the word itself (always succeeds — the payload travels with the
+// map cell), an arena word goes through the stale-detecting arena read.
+func (s *Store) readWord(w uint64, buf []byte) ([]byte, bool) {
+	if w&inlineBit != 0 {
+		return inlineDecode(w, buf), true
+	}
+	return s.vals.Read(arena.Handle(w), buf)
+}
+
 // Get copies key's value into buf (growing it as needed) and returns
-// the filled slice. ok=false means the key is absent. A lookup whose
-// value slot was reclaimed between the protected map read and the
-// arena read is detected by the arena's sequence check and retried
-// with a fresh lookup — Get never returns torn or recycled bytes.
+// the filled slice. ok=false means the key is absent. Inline values
+// decode straight from the map word; an arena lookup whose value slot
+// was reclaimed between the protected map read and the arena read is
+// detected by the arena's sequence check and retried with a fresh
+// lookup — Get never returns torn or recycled bytes.
 func (s *Store) Get(h *core.GroupHandle, key string, buf []byte) ([]byte, bool) {
 	si, ik := s.locate(key)
 	sh := &s.shards[si]
@@ -428,7 +489,7 @@ func (s *Store) Get(h *core.GroupHandle, key string, buf []byte) ([]byte, bool) 
 			sh.misses.Add(1)
 			return buf[:0], false
 		}
-		if v, ok := s.vals.Read(arena.Handle(hv), buf); ok {
+		if v, ok := s.readWord(hv, buf); ok {
 			return v, true
 		}
 		sh.stale.Add(1) // lost to an overwrite's reclamation: retry
@@ -444,8 +505,11 @@ func (s *Store) Contains(h *core.GroupHandle, key string) bool {
 
 // Put upserts key to a private copy of val (len(val) bounded by
 // Config.MaxValueLen; it panics beyond it, like the ds layer's key
-// checks). A replaced value is retired through the core retire path in
-// the shard's member domain and freed by the policy.
+// checks). Values of at most InlineMaxLen bytes inline-encode into the
+// map word; longer ones take an arena slot. A replaced arena value is
+// retired through the core retire path in the shard's member domain
+// and freed by the policy; a replaced inline value dies with the map
+// cell.
 func (s *Store) Put(h *core.GroupHandle, key string, val []byte) {
 	if len(val) > s.cfg.MaxValueLen {
 		panic(fmt.Sprintf("store: value of %d bytes exceeds MaxValueLen %d", len(val), s.cfg.MaxValueLen))
@@ -453,14 +517,18 @@ func (s *Store) Put(h *core.GroupHandle, key string, val []byte) {
 	si, ik := s.locate(key)
 	m := si >> s.memberShift
 	t := h.Member(m)
-	tl := s.localFor(m, t)
-	nh := tl.vc.Alloc(val)
+	var nw uint64
+	if len(val) <= InlineMaxLen {
+		nw = inlineEncode(val)
+	} else {
+		nw = uint64(s.localFor(m, t).vc.Alloc(val))
+	}
 	sh := &s.shards[si]
-	old, replaced := sh.m.Put(t, ik, uint64(nh))
+	old, replaced := sh.m.Put(t, ik, nw)
 	sh.puts.Add(1)
 	if replaced {
 		sh.overwrites.Add(1)
-		s.retireValue(t, m, arena.Handle(old))
+		s.retireWord(t, m, old)
 	}
 }
 
@@ -473,9 +541,16 @@ func (s *Store) PutIfAbsent(h *core.GroupHandle, key string, val []byte) bool {
 	si, ik := s.locate(key)
 	m := si >> s.memberShift
 	t := h.Member(m)
+	sh := &s.shards[si]
+	if len(val) <= InlineMaxLen {
+		if sh.m.PutIfAbsent(t, ik, inlineEncode(val)) {
+			sh.puts.Add(1)
+			return true
+		}
+		return false
+	}
 	tl := s.localFor(m, t)
 	nh := tl.vc.Alloc(val)
-	sh := &s.shards[si]
 	if sh.m.PutIfAbsent(t, ik, uint64(nh)) {
 		sh.puts.Add(1)
 		return true
@@ -484,8 +559,8 @@ func (s *Store) PutIfAbsent(h *core.GroupHandle, key string, val []byte) bool {
 	return false
 }
 
-// Delete removes key, retiring its value, and reports whether it was
-// present.
+// Delete removes key, retiring its value (if arena-backed), and
+// reports whether it was present.
 func (s *Store) Delete(h *core.GroupHandle, key string) bool {
 	si, ik := s.locate(key)
 	m := si >> s.memberShift
@@ -494,9 +569,23 @@ func (s *Store) Delete(h *core.GroupHandle, key string) bool {
 	old, ok := sh.m.Delete(t, ik)
 	if ok {
 		sh.deletes.Add(1)
-		s.retireValue(t, m, arena.Handle(old))
+		s.retireWord(t, m, old)
 	}
 	return ok
+}
+
+// retireWord retires whatever a replaced map word owned: nothing for
+// an inline word (the payload lived in the cell the map just
+// replaced), the arena slot for a handle word. This is the single
+// point where encoding-flipping overwrites converge — inline-replaces-
+// arena retires the arena side here, arena-replaces-inline retires
+// nothing, and the policy never sees a ticket for memory that was
+// never allocated.
+func (s *Store) retireWord(t *core.Thread, m int, w uint64) {
+	if w&inlineBit != 0 {
+		return
+	}
+	s.retireValue(t, m, arena.Handle(w))
 }
 
 // retireValue hands a replaced value handle to the reclamation layer of
@@ -543,7 +632,7 @@ func (s *Store) Scan(h *core.GroupHandle, lo, hi int64, fn func(hkey int64, val 
 		for from <= hi {
 			tl.keys, tl.vals = sh.scanner.RangeCollectKV(t, from, hi, scanChunk, tl.keys, tl.vals)
 			for j, k := range tl.keys {
-				v, ok := s.vals.Read(arena.Handle(tl.vals[j]), vbuf)
+				v, ok := s.readWord(tl.vals[j], vbuf)
 				for !ok {
 					// The pair's value lost to reclamation between the scan
 					// and this read: serve the key's current value instead.
@@ -552,7 +641,7 @@ func (s *Store) Scan(h *core.GroupHandle, lo, hi int64, fn func(hkey int64, val 
 					if !present {
 						break // deleted since the scan observed it: skip
 					}
-					v, ok = s.vals.Read(arena.Handle(hv), vbuf)
+					v, ok = s.readWord(hv, vbuf)
 				}
 				if !ok {
 					continue
@@ -701,7 +790,7 @@ func (s *Store) GetBatch(h *core.GroupHandle, keys []string, b *Batch) {
 			hv := b.gvals[j]
 			for {
 				off := len(b.buf)
-				v, ok := s.vals.Read(arena.Handle(hv), b.buf[off:])
+				v, ok := s.readWord(hv, b.buf[off:])
 				if ok {
 					// v aliases buf's spare capacity unless Read had to
 					// grow; append handles both (and keeps offsets valid —
@@ -735,8 +824,9 @@ func (s *Store) GetBatch(h *core.GroupHandle, keys []string, b *Batch) {
 
 // PutBatch upserts every keys[i] to a private copy of vals[i], the
 // write-side mirror of GetBatch: the batch is counting-sorted by
-// (shard, hashed key); each shard group's payloads are copied into the
-// value arena in one reservation pass (AllocBatch — the class free
+// (shard, hashed key); each shard group's inline-eligible payloads
+// encode into their map words and the rest are copied into the value
+// arena in one reservation pass (AllocBatch — the class free
 // lists are locked at most once per group instead of per refill); the
 // group's upserts run in one protected operation on batch-capable
 // backings (ds.BatchPutter); and the replaced handles retire in bulk
@@ -781,14 +871,29 @@ func (s *Store) PutBatch(h *core.GroupHandle, keys []string, vals [][]byte, b *B
 		b.gok = resize(b.gok, len(group))
 		b.gbuf = resize(b.gbuf, len(group))
 		b.ghs = resize(b.ghs, len(group))
+		// Inline-eligible payloads encode straight into their map words;
+		// only the rest join the arena reservation pass.
+		na := 0
 		for j, idx := range group {
 			b.ikeys[j] = ikeyOf(b.hks[idx])
-			b.gbuf[j] = vals[idx]
+			v := vals[idx]
+			if len(v) <= InlineMaxLen {
+				b.gvals[j] = inlineEncode(v)
+			} else {
+				b.gbuf[na] = v
+				na++
+			}
 		}
-		// One arena reservation pass for the group's payloads.
-		tl.vc.AllocBatch(b.gbuf, b.ghs)
-		for j := range group {
-			b.gvals[j] = uint64(b.ghs[j])
+		if na > 0 {
+			// One arena reservation pass for the group's long payloads.
+			tl.vc.AllocBatch(b.gbuf[:na], b.ghs[:na])
+			k := 0
+			for j, idx := range group {
+				if len(vals[idx]) > InlineMaxLen {
+					b.gvals[j] = uint64(b.ghs[k])
+					k++
+				}
+			}
 		}
 		sh.puts.Add(uint64(len(group)))
 		if sh.batchPut != nil {
@@ -803,7 +908,7 @@ func (s *Store) PutBatch(h *core.GroupHandle, keys []string, vals [][]byte, b *B
 			b.OK[idx] = b.gok[j]
 			if b.gok[j] {
 				sh.overwrites.Add(1)
-				s.retireValue(t, m, arena.Handle(b.golds[j]))
+				s.retireWord(t, m, b.golds[j])
 			}
 		}
 		g = e

@@ -161,7 +161,7 @@ func TestKeyString(t *testing.T) {
 }
 
 func TestValueBytesRoundTrip(t *testing.T) {
-	for _, size := range []int{8, 16, 17, 100, 1024} {
+	for _, size := range []int{4, 5, 6, 7, 8, 16, 17, 100, 1024} {
 		v := AppendValueBytes(nil, 42, 7, size)
 		if len(v) != size {
 			t.Fatalf("size %d: got %d bytes", size, len(v))
@@ -185,9 +185,16 @@ func TestValueBytesRoundTrip(t *testing.T) {
 	if ValueBytesValid(1, []byte{1, 2, 3}) {
 		t.Error("short payload accepted")
 	}
-	// Undersized requests are padded up to the checksum head.
-	if v := AppendValueBytes(nil, 5, 1, 3); len(v) != MinValueLen || !ValueBytesValid(5, v) {
+	// Undersized requests are padded up to the compact checksum.
+	if v := AppendValueBytes(nil, 5, 1, 3); len(v) != MinCompactLen || !ValueBytesValid(5, v) {
 		t.Errorf("padded payload: len=%d valid=%v", len(v), ValueBytesValid(5, v))
+	}
+	// Compact payloads with distinct surviving tag bytes stay
+	// last-writer-wins distinguishable.
+	a := AppendValueBytes(nil, 9, 0x01, 6)
+	b := AppendValueBytes(nil, 9, 0x02, 6)
+	if string(a) == string(b) {
+		t.Error("compact payloads with distinct tags collide")
 	}
 }
 

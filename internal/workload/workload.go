@@ -535,19 +535,49 @@ func KeyString(i int64) string {
 	return string(b[:])
 }
 
-// MinValueLen is the smallest verifiable byte payload: the 8-byte
-// checksum head.
+// MinValueLen is the smallest payload of the full verifiable format:
+// the 8-byte checksum head. Sizes below it use the compact format.
 const MinValueLen = 8
 
+// MinCompactLen is the smallest verifiable payload overall: the 4-byte
+// checksum of the compact small-value format. Requested sizes below it
+// are clamped up to it.
+const MinCompactLen = 4
+
 // AppendValueBytes appends a verifiable payload of exactly size bytes
-// (>= MinValueLen) for key to buf and returns the result. The head is
-// EncodeValue(key, tag) — the same (tag, checksum) word the uint64 value
-// plane uses — and the body is a splitmix stream seeded by that head,
-// so any torn, truncated, cross-key or stale-slot payload fails
-// ValueBytesValid with overwhelming probability.
+// for key to buf and returns the result. Two formats, selected by
+// length alone so the verifier needs no side channel:
+//
+//   - size >= MinValueLen (full): the head is EncodeValue(key, tag) —
+//     the same (tag, checksum) word the uint64 value plane uses — and
+//     the body is a splitmix stream seeded by that head.
+//   - MinCompactLen <= size < MinValueLen (compact): size-4 low tag
+//     bytes little-endian, then checksum32(key, truncated tag)
+//     little-endian. These sizes exist so the store's inline-value
+//     fast path (payloads <= 7 bytes) is exercisable with the same
+//     checksum discipline as every other served byte.
+//
+// Sizes below MinCompactLen clamp up to it. Either way, any torn,
+// truncated, cross-key or stale-slot payload fails ValueBytesValid
+// with overwhelming probability.
 func AppendValueBytes(buf []byte, key int64, tag uint32, size int) []byte {
+	if size < MinCompactLen {
+		size = MinCompactLen
+	}
 	if size < MinValueLen {
-		size = MinValueLen
+		nb := size - MinCompactLen // tag bytes carried (0..3)
+		tt := tag
+		if nb < 4 {
+			tt &= 1<<(8*nb) - 1
+		}
+		for i := 0; i < nb; i++ {
+			buf = append(buf, byte(tt>>(8*i)))
+		}
+		ck := checksum32(key, tt)
+		for i := 0; i < 4; i++ {
+			buf = append(buf, byte(ck>>(8*i)))
+		}
+		return buf
 	}
 	head := EncodeValue(key, tag)
 	for i := 0; i < 8; i++ {
@@ -564,11 +594,27 @@ func AppendValueBytes(buf []byte, key int64, tag uint32, size int) []byte {
 }
 
 // ValueBytesValid reports whether v is a payload AppendValueBytes could
-// have produced for key: the head word passes ValueValid and the body
-// matches the head-seeded stream exactly.
+// have produced for key, in whichever format its length selects: the
+// compact tag/checksum pair for lengths in [MinCompactLen, MinValueLen),
+// or the head word passing ValueValid and the body matching the
+// head-seeded stream exactly for full-format lengths.
 func ValueBytesValid(key int64, v []byte) bool {
-	if len(v) < MinValueLen {
+	if len(v) < MinCompactLen {
 		return false
+	}
+	if len(v) < MinValueLen {
+		nb := len(v) - MinCompactLen
+		var tt uint32
+		for i := 0; i < nb; i++ {
+			tt |= uint32(v[i]) << (8 * i)
+		}
+		ck := checksum32(key, tt)
+		for i := 0; i < 4; i++ {
+			if v[nb+i] != byte(ck>>(8*i)) {
+				return false
+			}
+		}
+		return true
 	}
 	var head uint64
 	for i := 0; i < 8; i++ {

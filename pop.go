@@ -345,8 +345,10 @@ func NewABTree(d *Domain) RangeSet { return newRangeSet(abtree.New(d)) }
 
 // Store is the KV-serving front: a sharded map from string keys to
 // byte-slice values, layered on the Map structures above. Keys hash to
-// a shard plus an int64 in-shard key; values live out of line in a
-// size-class arena and retire through the same reclamation path as
+// a shard plus an int64 in-shard key. Values at most StoreInlineMaxLen
+// bytes are tag-encoded directly into the map word — Put allocates
+// nothing and Get cannot read stale. Longer values live out of line in
+// a size-class arena and retire through the same reclamation path as
 // nodes, so an overwrite's replaced payload is freed exactly when the
 // domain's policy says it is safe — and a reader that raced that
 // reclamation detects it deterministically (the arena's sequence
@@ -388,6 +390,11 @@ type StoreStats = store.Stats
 // scratch; allocate one per serving goroutine and pass it to every
 // GetBatch call.
 type StoreBatch = store.Batch
+
+// StoreInlineMaxLen is the longest value (in bytes) the store encodes
+// inline in the map word instead of the value arena. Inline puts
+// allocate no arena slot and inline gets have no stale-read window.
+const StoreInlineMaxLen = store.InlineMaxLen
 
 // NewStore creates a sharded string-key KV store over domain group g.
 // opts may be nil for the defaults (8 shards, skiplist backing —
